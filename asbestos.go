@@ -1,0 +1,103 @@
+// Package asbestos is a userspace reproduction of the Asbestos operating
+// system's labels and event processes (Efstathopoulos et al., SOSP 2005).
+//
+// The root package is a facade over the implementation packages:
+//
+//   - internal/label — the label algebra: levels [⋆,0,1,2,3], ⊑/⊔/⊓, the
+//     chunked copy-on-write representation of §5.6
+//   - internal/handle — 61-bit unpredictable handle allocation (§4, §8)
+//   - internal/kernel — processes, ports, the send/recv label checks of
+//     Figure 4, and event processes (§6)
+//   - internal/netd, internal/db, internal/dbproxy, internal/idd,
+//     internal/fs — the userspace servers of Figure 1
+//   - internal/okws — the OK Web server (§7)
+//   - internal/baseline, internal/workload, internal/experiments — the
+//     evaluation harness (§9)
+//
+// The aliases below expose the core types under one import for library
+// consumers; examples/ and cmd/ show idiomatic use.
+package asbestos
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/okws"
+)
+
+// Handle names a compartment or port (61-bit, unique since boot).
+type Handle = handle.Handle
+
+// Level is an Asbestos privilege level: Star (⋆), L0..L3.
+type Level = label.Level
+
+// Label is a function from handles to levels with lattice operations.
+type Label = label.Label
+
+// Re-exported levels.
+const (
+	Star = label.Star
+	L0   = label.L0
+	L1   = label.L1
+	L2   = label.L2
+	L3   = label.L3
+)
+
+// System is the emulated Asbestos kernel.
+type System = kernel.System
+
+// Process is an Asbestos process; EventProcess its lightweight isolated
+// context (§6).
+type (
+	Process      = kernel.Process
+	EventProcess = kernel.EventProcess
+)
+
+// SendOpts carries the optional labels of the send system call: C_S, D_S,
+// D_R and V (Figure 4).
+type SendOpts = kernel.SendOpts
+
+// Delivery is a received message: payload plus the sender's verification
+// label.
+type Delivery = kernel.Delivery
+
+// WebServer is a running OKWS stack (§7).
+type WebServer = okws.Server
+
+// WebService describes one OKWS worker.
+type WebService = okws.Service
+
+// WebConfig configures LaunchWeb.
+type WebConfig = okws.Config
+
+// WebHandler is a worker's application logic; WebCtx its per-request
+// context.
+type (
+	WebHandler = okws.Handler
+	WebCtx     = okws.Ctx
+)
+
+// NewSystem boots an empty kernel. See kernel.NewSystem for options.
+var NewSystem = kernel.NewSystem
+
+// NewLabel builds a label from a default level and explicit entries.
+var NewLabel = label.New
+
+// EmptyLabel returns the label mapping every handle to def.
+var EmptyLabel = label.Empty
+
+// ParseLabel parses the paper's set notation, e.g. "{h7 *, h9 3, 1}".
+var ParseLabel = label.Parse
+
+// LaunchWeb boots the full OKWS stack of Figure 1.
+var LaunchWeb = okws.Launch
+
+// Grant builds a D_S label handing out ⋆ for the given handles (capability
+// grant, §5.5); Taint builds a C_S contamination label; AllowRecv builds a
+// D_R clearance label; VerifyLabel builds a V credential proof.
+var (
+	Grant       = kernel.Grant
+	Taint       = kernel.Taint
+	AllowRecv   = kernel.AllowRecv
+	VerifyLabel = kernel.VerifyLabel
+)

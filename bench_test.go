@@ -1,0 +1,135 @@
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (§9). Each benchmark runs a scaled version of the experiment
+// and reports the figure's metric via b.ReportMetric; the cmd/ binaries run
+// the full paper-scale sweeps.
+package asbestos
+
+import (
+	"fmt"
+	"testing"
+
+	"asbestos/internal/experiments"
+	"asbestos/internal/stats"
+)
+
+// BenchmarkFig6MemoryPerSession reproduces Figure 6: memory per cached and
+// active session (paper: ≈1.5 pages cached, ≈+8 active).
+func BenchmarkFig6MemoryPerSession(b *testing.B) {
+	for _, variant := range []struct {
+		name   string
+		active bool
+	}{{"cached", false}, {"active", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure6([]int{200}, variant.active, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows[0].PagesPerSession
+			}
+			b.ReportMetric(last, "pages/session")
+		})
+	}
+}
+
+// BenchmarkFig7Throughput reproduces Figure 7: conns/sec for OKWS at
+// several cached-session counts plus the two Apache baselines.
+func BenchmarkFig7Throughput(b *testing.B) {
+	for _, n := range []int{1, 100, 1000} {
+		b.Run(fmt.Sprintf("OKWS/sessions=%d", n), func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure7OKWS([]int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows[0].Errors > 0 {
+					b.Fatalf("%d errors", rows[0].Errors)
+				}
+				cps = rows[0].ConnsPerSec
+			}
+			b.ReportMetric(cps, "conns/sec")
+		})
+	}
+	for _, name := range []string{"Apache", "Mod-Apache"} {
+		b.Run(name, func(b *testing.B) {
+			var cps float64
+			for i := 0; i < b.N; i++ {
+				for _, r := range experiments.Figure7Baselines(500) {
+					if r.Label == name {
+						cps = r.ConnsPerSec
+					}
+				}
+			}
+			b.ReportMetric(cps, "conns/sec")
+		})
+	}
+}
+
+// BenchmarkFig8Latency reproduces the Figure 8 table: median and 90th
+// percentile latency at client concurrency 4.
+func BenchmarkFig8Latency(b *testing.B) {
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure8(400, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Median, "median_µs_"+sanitize(r.Server))
+		b.ReportMetric(r.P90, "p90_µs_"+sanitize(r.Server))
+	}
+}
+
+// BenchmarkFig9LabelCost reproduces Figure 9: per-component
+// Kcycles/connection as cached sessions grow.
+func BenchmarkFig9LabelCost(b *testing.B) {
+	for _, n := range []int{1, 200, 1000} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			var row experiments.Fig9Row
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure9([]int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			for _, c := range stats.Categories() {
+				b.ReportMetric(row.Kcycles[c], "Kcyc_"+sanitize(c.String()))
+			}
+			b.ReportMetric(row.Total, "Kcyc_total")
+		})
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkForkVsEventProcess quantifies §6's motivating comparison: memory
+// for N isolated users under the forked-process model versus event
+// processes.
+func BenchmarkForkVsEventProcess(b *testing.B) {
+	var row experiments.ForkVsEPRow
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ForkVsEventProcess([]int{100}, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = rows[0]
+	}
+	b.ReportMetric(row.PagesPerForked, "pages/user_forked")
+	b.ReportMetric(row.PagesPerEventPro, "pages/user_eventproc")
+}

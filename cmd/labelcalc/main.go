@@ -1,0 +1,80 @@
+// Command labelcalc is an interactive calculator for the Asbestos label
+// algebra (paper §5): enter labels in the paper's notation and combine them
+// with the lattice operators.
+//
+//	> {h1 *, h2 3, 1} lub {h2 0, 2}
+//	{h1 *, h2 3, 2}
+//	> {h1 3, 1} leq {2}
+//	false
+//	> star {h1 *, h2 0, 1}
+//	{h1 *, 3}
+//
+// Operators: lub (⊔), glb (⊓), leq (⊑), eq; unary: star (L⋆).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"asbestos/internal/label"
+)
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("Asbestos label calculator — labels like {h1 *, h2 3, 1}; ops: lub glb leq eq, unary star; quit to exit")
+	fmt.Print("> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			return
+		default:
+			fmt.Println(eval(line))
+		}
+		fmt.Print("> ")
+	}
+}
+
+// eval evaluates one calculator line.
+func eval(line string) string {
+	if rest, ok := strings.CutPrefix(line, "star "); ok {
+		l, err := label.Parse(strings.TrimSpace(rest))
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return l.StarRestrict().String()
+	}
+	for _, op := range []string{" lub ", " glb ", " leq ", " eq "} {
+		i := strings.Index(line, op)
+		if i < 0 {
+			continue
+		}
+		a, err := label.Parse(strings.TrimSpace(line[:i]))
+		if err != nil {
+			return "error: left label: " + err.Error()
+		}
+		b, err := label.Parse(strings.TrimSpace(line[i+len(op):]))
+		if err != nil {
+			return "error: right label: " + err.Error()
+		}
+		switch strings.TrimSpace(op) {
+		case "lub":
+			return a.Lub(b).String()
+		case "glb":
+			return a.Glb(b).String()
+		case "leq":
+			return fmt.Sprintf("%v", a.Leq(b))
+		case "eq":
+			return fmt.Sprintf("%v", a.Eq(b))
+		}
+	}
+	// Bare label: parse and echo canonical form with size.
+	l, err := label.Parse(line)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return fmt.Sprintf("%s   (entries=%d, %d bytes)", l, l.Len(), l.SizeBytes())
+}

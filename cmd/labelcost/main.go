@@ -1,0 +1,66 @@
+// Command labelcost regenerates paper Figure 9: the average cost, in
+// thousands of (nominal 2.8 GHz) CPU cycles per connection, of each system
+// component as the number of cached OKWS sessions increases.
+//
+// Usage:
+//
+//	labelcost [-sessions 1,100,1000,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"asbestos/internal/experiments"
+	"asbestos/internal/stats"
+)
+
+func main() {
+	sessions := flag.String("sessions", "1,100,1000,3000,5000,7500,10000",
+		"comma-separated cached-session counts")
+	flag.Parse()
+
+	counts, err := parseInts(*sessions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labelcost:", err)
+		os.Exit(1)
+	}
+
+	rows, err := experiments.Figure9(counts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labelcost:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 9: average Kcycles/connection by component vs cached sessions")
+	fmt.Println("paper shape: OKDB and Kernel IPC grow linearly; Kernel IPC passes Network ≈3k sessions")
+	header := []string{"sessions"}
+	for _, c := range stats.Categories() {
+		header = append(header, c.String())
+	}
+	header = append(header, "total")
+	var table [][]string
+	for _, r := range rows {
+		row := []string{strconv.Itoa(r.Sessions)}
+		for _, c := range stats.Categories() {
+			row = append(row, fmt.Sprintf("%.0f", r.Kcycles[c]))
+		}
+		row = append(row, fmt.Sprintf("%.0f", r.Total))
+		table = append(table, row)
+	}
+	fmt.Print(stats.Table(header, table))
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad session count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+// Capabilities: Asbestos port labels as send capabilities (paper §5.5).
+//
+// A freshly created port is private ({p 0} in its port label); the right to
+// send to it is granted by decontaminating another process's send label
+// with respect to the port handle — and, like a capability, the holder can
+// re-delegate it. The example also shows the mail-reader pattern: a port
+// label that blocks contamination from a compromised peer.
+package main
+
+import (
+	"fmt"
+
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+)
+
+func main() {
+	sys := kernel.NewSystem(kernel.WithSeed(9))
+
+	owner := sys.NewProcess("owner")
+	service := owner.NewPort(nil) // port label {service 0, 3}: private
+
+	// A stranger cannot send: ES(service)=1 > pR(service)=0.
+	stranger := sys.NewProcess("stranger")
+	stranger.Send(service, []byte("knock knock"), nil)
+	if d, _ := owner.TryRecv(); d == nil {
+		fmt.Println("stranger -> service: DROPPED (no capability)")
+	}
+
+	// The owner mints a capability: DS = {service ⋆, 3} sent to a friend.
+	friend := sys.NewProcess("friend")
+	fPort := friend.NewPort(nil)
+	friend.SetPortLabel(fPort, label.Empty(label.L3))
+	owner.Send(fPort, nil, &kernel.SendOpts{DecontSend: kernel.Grant(service)})
+	friend.TryRecv()
+	friend.Send(service, []byte("hi, it's friend"), nil)
+	d, _ := owner.TryRecv()
+	fmt.Printf("friend -> service: %q (capability granted)\n", d.Data)
+
+	// Capabilities re-delegate: friend forwards the right to delegate.
+	delegate := sys.NewProcess("delegate")
+	dPort := delegate.NewPort(nil)
+	delegate.SetPortLabel(dPort, label.Empty(label.L3))
+	friend.Send(dPort, nil, &kernel.SendOpts{DecontSend: kernel.Grant(service)})
+	delegate.TryRecv()
+	delegate.Send(service, []byte("hello from delegate"), nil)
+	d, _ = owner.TryRecv()
+	fmt.Printf("delegate -> service: %q (re-delegation works)\n", d.Data)
+
+	// The mail-reader pattern (§5.5): a port label of {2} refuses tainted
+	// senders outright, keeping the receiver's labels clean.
+	mail := sys.NewProcess("mail-reader")
+	inbox := mail.NewPort(label.Empty(label.L2))
+	mail.SetPortLabel(inbox, label.Empty(label.L2)) // open, but taint-proof
+
+	attachment := sys.NewProcess("attachment")
+	attachment.Send(inbox, []byte("clean attachment output"), nil)
+	d, _ = mail.TryRecv()
+	fmt.Printf("clean attachment -> inbox: %q\n", d.Data)
+
+	tainter := sys.NewProcess("tainter")
+	hT := tainter.NewHandle()
+	attachment.ContaminateSelf(kernel.Taint(label.L3, hT))
+	attachment.Send(inbox, []byte("now compromised"), nil)
+	if d, _ := mail.TryRecv(); d == nil {
+		fmt.Println("compromised attachment -> inbox: DROPPED by port label")
+	}
+	fmt.Printf("mail reader's send label stayed clean: %v\n", mail.SendLabel())
+}

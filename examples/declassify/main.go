@@ -1,0 +1,90 @@
+// Declassify: decentralized declassification (paper §5.3, §7.6).
+//
+// Alice's private rows are confined by her taint handle. A semi-trusted
+// declassifier worker — holding her uT at ⋆, granted by ok-demux without
+// involving idd — republishes selected rows for public reading. A
+// compromised declassifier can overshare *alice's* data but cannot touch
+// anyone else's: the example shows the blast radius staying per-user.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/okws"
+	"asbestos/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "declassify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	posts := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+		if d, ok := req.Query["add"]; ok {
+			if _, err := c.Query("INSERT INTO posts (body) VALUES (?)", d); err != nil {
+				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			}
+			return &httpmsg.Response{Status: 200}
+		}
+		rows, err := c.Query("SELECT body FROM posts")
+		if err != nil {
+			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+		}
+		var out []byte
+		for _, r := range rows {
+			out = append(out, r[0]...)
+			out = append(out, '\n')
+		}
+		return &httpmsg.Response{Status: 200, Body: out}
+	}
+
+	// The declassifier — an over-eager one that publishes whatever the
+	// request names. Compromise here leaks only the requesting user's data.
+	publish := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+		rows, err := c.Declassify("UPDATE posts SET body = ? WHERE body = ?",
+			req.Query["t"], req.Query["t"])
+		if err != nil {
+			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+		}
+		return &httpmsg.Response{Status: 200, Body: []byte(fmt.Sprintf("%d rows", len(rows)))}
+	}
+
+	srv, err := okws.Launch(okws.Config{
+		Seed: 17,
+		Services: []okws.Service{
+			{Name: "posts", Handler: posts},
+			{Name: "publish", Handler: publish, Declassifier: true},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+	srv.Database.Exec("CREATE TABLE posts (body, _uid)")
+	srv.AddUser("alice", "a", "1")
+	srv.AddUser("bob", "b", "2")
+
+	get := func(user, pass, path string) *httpmsg.Response {
+		resp, err := workload.Get(srv.Network(), 80, user, pass, path)
+		if err != nil {
+			fmt.Printf("%-40s -> error %v\n", user+" "+path, err)
+			return nil
+		}
+		fmt.Printf("%-40s -> %d %q\n", user+" "+path, resp.Status, resp.Body)
+		return resp
+	}
+
+	get("alice", "a", "/posts?add=alice-private")
+	get("alice", "a", "/posts?add=alice-public-draft")
+	get("bob", "b", "/posts") // sees nothing of alice's
+	get("alice", "a", "/publish?t=alice-public-draft")
+	get("bob", "b", "/posts") // now sees the declassified post only
+	fmt.Println("-- declassification was decentralized: only alice's declassifier ran,")
+	fmt.Println("-- holding only alice's uT at ⋆; bob's data was never at risk (§7.6)")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Webserver: a small multi-user web application on the OKWS stack —
+// the paper's motivating scenario (§2): a dynamic-content server whose
+// users are isolated from one another by the operating system even if the
+// worker code is hostile.
+//
+// The "profile" worker here is intentionally buggy: given ?steal=<user> it
+// happily queries another user's rows. The kernel's labels make the attack
+// yield nothing.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/okws"
+	"asbestos/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// profile: stores a per-user bio in the database; ?steal triggers the
+	// deliberately malicious path.
+	profile := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+		if bio, ok := req.Query["set"]; ok {
+			if _, err := c.Query("DELETE FROM profiles"); err != nil {
+				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			}
+			if _, err := c.Query("INSERT INTO profiles (bio) VALUES (?)", bio); err != nil {
+				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			}
+			return &httpmsg.Response{Status: 200, Body: []byte("saved")}
+		}
+		// The "exploit": the worker asks for EVERY row in the table. The
+		// kernel delivers only rows labeled for this user (or declassified).
+		rows, err := c.Query("SELECT bio FROM profiles")
+		if err != nil {
+			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+		}
+		var out []byte
+		for _, r := range rows {
+			out = append(out, r[0]...)
+			out = append(out, '\n')
+		}
+		return &httpmsg.Response{Status: 200, Body: out}
+	}
+
+	srv, err := okws.Launch(okws.Config{
+		Seed:     99,
+		Services: []okws.Service{{Name: "profile", Handler: profile}},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+	srv.Database.Exec("CREATE TABLE profiles (bio, _uid)")
+	srv.AddUser("alice", "a", "1")
+	srv.AddUser("bob", "b", "2")
+
+	get := func(user, pass, path string) {
+		resp, err := workload.Get(srv.Network(), 80, user, pass, path)
+		if err != nil {
+			fmt.Printf("%-34s -> error: %v\n", user+" "+path, err)
+			return
+		}
+		fmt.Printf("%-34s -> %d %q\n", user+" "+path, resp.Status, resp.Body)
+	}
+
+	fmt.Println("multi-user web app with a deliberately malicious worker")
+	get("alice", "a", "/profile?set=alice's+private+bio")
+	get("bob", "b", "/profile?set=bob's+bio")
+	get("alice", "a", "/profile")
+	fmt.Println("-- bob's worker runs `SELECT bio FROM profiles` over ALL rows:")
+	get("bob", "b", "/profile")
+	fmt.Println("-- the kernel delivered only bob's own row: alice's bio never arrived;")
+	fmt.Println("-- the worker cannot even tell how many rows were withheld (§7.5)")
+	return nil
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"asbestos/internal/httpmsg"
+)
+
+func testHandler(req *httpmsg.Request) *httpmsg.Response {
+	return &httpmsg.Response{Status: 200, Body: []byte("hello from baseline")}
+}
+
+func testReq() *httpmsg.Request {
+	return &httpmsg.Request{Method: "GET", Path: "/svc",
+		Headers: map[string]string{"authorization": "u p"}}
+}
+
+// fastCosts keeps unit tests quick.
+var fastCosts = Costs{
+	Fork: 50 * time.Microsecond, Exec: 80 * time.Microsecond,
+	CtxSwitch: time.Microsecond, Syscall: 200 * time.Nanosecond,
+	PerPage: 10 * time.Nanosecond, AcceptCost: 2 * time.Microsecond,
+}
+
+func TestModuleServesRequest(t *testing.T) {
+	s := NewWithCosts(ModModule, 4, testHandler, fastCosts)
+	out := s.Do(httpmsg.FormatRequest(testReq()))
+	resp, _, complete, err := httpmsg.ParseResponse(out)
+	if err != nil || !complete || resp.Status != 200 || string(resp.Body) != "hello from baseline" {
+		t.Fatalf("module response: %v %v %+v", err, complete, resp)
+	}
+	if s.Forks() != 0 {
+		t.Error("module mode must not fork")
+	}
+}
+
+func TestCGIForksPerRequest(t *testing.T) {
+	s := NewWithCosts(ModCGI, 4, testHandler, fastCosts)
+	raw := httpmsg.FormatRequest(testReq())
+	for i := 0; i < 3; i++ {
+		out := s.Do(raw)
+		resp, _, complete, err := httpmsg.ParseResponse(out)
+		if err != nil || !complete || resp.Status != 200 {
+			t.Fatalf("cgi response %d: %v %v", i, err, complete)
+		}
+	}
+	if s.Forks() != 3 {
+		t.Fatalf("forks = %d, want 3", s.Forks())
+	}
+}
+
+func TestMalformedRequest(t *testing.T) {
+	for _, mode := range []Mode{ModModule, ModCGI} {
+		s := NewWithCosts(mode, 2, testHandler, fastCosts)
+		out := s.Do([]byte("NONSENSE\r\n\r\n"))
+		resp, _, complete, err := httpmsg.ParseResponse(out)
+		if err != nil || !complete || resp.Status != 400 {
+			t.Fatalf("%v malformed: %v %+v", mode, err, resp)
+		}
+	}
+}
+
+func TestCGISlowerThanModule(t *testing.T) {
+	// The architectural claim behind Figure 7: per-request CGI cost must
+	// exceed module cost by a large factor (paper: ≈3×; ours depends on
+	// the cost constants but must be >2×).
+	mod := NewWithCosts(ModModule, 1, testHandler, fastCosts)
+	cgi := NewWithCosts(ModCGI, 1, testHandler, fastCosts)
+	rm := Run(mod, testReq(), 50, 1)
+	rc := Run(cgi, testReq(), 50, 1)
+	if rc.Latency.Median() < 2*rm.Latency.Median() {
+		t.Errorf("CGI median %v should dwarf module median %v",
+			rc.Latency.Median(), rm.Latency.Median())
+	}
+	if rm.ConnsPerSec() < 2*rc.ConnsPerSec() {
+		t.Errorf("module throughput %.0f should dwarf CGI %.0f",
+			rm.ConnsPerSec(), rc.ConnsPerSec())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	// With a pool of 1 and client concurrency 4, requests serialize: total
+	// elapsed ≈ sum of service times, and throughput matches pool=1.
+	s := NewWithCosts(ModModule, 1, func(req *httpmsg.Request) *httpmsg.Response {
+		spin(200 * time.Microsecond)
+		return &httpmsg.Response{Status: 200}
+	}, fastCosts)
+	r := Run(s, testReq(), 20, 4)
+	if r.Elapsed < 20*200*time.Microsecond {
+		t.Errorf("pool=1 should serialize: elapsed %v < %v", r.Elapsed, 4*time.Millisecond)
+	}
+}
+
+func TestRunStatistics(t *testing.T) {
+	s := NewWithCosts(ModModule, 4, testHandler, fastCosts)
+	r := Run(s, testReq(), 40, 4)
+	if r.Connections != 40 || r.Latency.N() != 40 {
+		t.Fatalf("result: %+v", r)
+	}
+	if r.ConnsPerSec() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	if r.Latency.P90() < r.Latency.Median() {
+		t.Fatal("P90 < median")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModCGI.String() != "Apache" || ModModule.String() != "Mod-Apache" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestSpinZero(t *testing.T) {
+	start := time.Now()
+	spin(0)
+	spin(-time.Second)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("spin of non-positive duration must return immediately")
+	}
+}

@@ -1,0 +1,545 @@
+// Package dbproxy implements ok-dbproxy (paper §7.5–7.6): the trusted,
+// privileged process interposed on all OKWS database access. It converts
+// Asbestos labels and security policies to operations on the plain
+// relational engine:
+//
+//   - Every table accessed by workers gets a private "user ID" column
+//     (UserCol) that workers can neither read nor name.
+//   - Writes require a verification label bounded by {uT 3, uG 0, 2} for the
+//     claimed user's handles: the sender speaks for u and is contaminated by
+//     nothing beyond u's own taint.
+//   - Reads return each row as a separate message contaminated with its
+//     owner's taint handle at 3 (declassified rows, user ID 0, travel
+//     untainted), followed by an untainted done message. The kernel drops
+//     rows the worker's labels cannot accept, so a worker sees only its
+//     user's rows and cannot tell how many others were sent.
+//   - Declassifiers prove uT ⋆ via the verification label to write rows
+//     with user ID 0.
+//
+// idd pushes (user, uT, uG) bindings to the proxy as it creates them,
+// granting the proxy uT ⋆ per user; the proxy's send and receive labels
+// therefore grow linearly with the user population, one of the label costs
+// Figure 9 measures. (The paper's proxy pulls mappings from idd on demand;
+// pushing avoids a synchronous call cycle between two single-threaded
+// servers and is otherwise equivalent.)
+package dbproxy
+
+import (
+	"fmt"
+	"strings"
+
+	"asbestos/internal/db"
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+	"asbestos/internal/wire"
+)
+
+// UserCol is the private per-row owner column.
+const UserCol = "_uid"
+
+// DeclassifiedUID marks rows readable by anyone (paper: "flags a data row
+// as declassified by setting its user ID entry to zero").
+const DeclassifiedUID = "0"
+
+// Worker-facing ops.
+const (
+	OpQuery      = 1 // user, sql, args..., reply; V proves identity
+	OpDeclassify = 2 // user, sql, args..., reply; V proves uT ⋆
+)
+
+// Reply ops.
+const (
+	OpRow    = 3 // one result row (tainted with the owner's uT 3)
+	OpDone   = 4 // affected count; terminates a result stream
+	OpError  = 5 // message
+	OpAdmRes = 7 // admin result set in one message
+)
+
+// Admin/idd-facing ops.
+const (
+	OpAdminExec = 6 // sql, args..., reply: unrestricted access
+	OpMapping   = 8 // user, uid, uT, uG: binding push from idd
+)
+
+// EnvWorkerPort and EnvAdminPort are the environment names under which the
+// proxy publishes its ports.
+const (
+	EnvWorkerPort = "ok-dbproxy"
+	EnvAdminPort  = "ok-dbproxy-admin"
+)
+
+// Mapping is one authenticated user binding.
+type Mapping struct {
+	UID string
+	UT  handle.Handle
+	UG  handle.Handle
+}
+
+// Proxy is the ok-dbproxy process.
+type Proxy struct {
+	sys  *kernel.System
+	proc *kernel.Process
+	db   *db.DB
+
+	workerPort handle.Handle
+	adminPort  handle.Handle
+
+	byUser map[string]Mapping
+	byUID  map[string]Mapping
+}
+
+// New boots the proxy over an existing database. The admin port's label is
+// locked down ({p 0, 2}); GrantAdmin hands access to idd.
+func New(sys *kernel.System, database *db.DB) *Proxy {
+	proc := sys.NewProcess("ok-dbproxy")
+	worker := proc.NewPort(nil)
+	if err := proc.SetPortLabel(worker, label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	// The admin port is private by capability: {admin 0, 3}. The default
+	// must stay 3 (not 2) because idd's mapping pushes raise the proxy's
+	// receive label with DR = {uT 3}, and requirement 4 demands DR ⊑ pR.
+	admin := proc.NewPort(nil)
+	p := &Proxy{
+		sys:        sys,
+		proc:       proc,
+		db:         database,
+		workerPort: worker,
+		adminPort:  admin,
+		byUser:     make(map[string]Mapping),
+		byUID:      make(map[string]Mapping),
+	}
+	sys.SetEnv(EnvWorkerPort, worker)
+	sys.SetEnv(EnvAdminPort, admin)
+	return p
+}
+
+// Process returns the proxy's kernel process (label inspection in tests and
+// the Figure 9 experiment).
+func (p *Proxy) Process() *kernel.Process { return p.proc }
+
+// WorkerPort returns the public query port.
+func (p *Proxy) WorkerPort() handle.Handle { return p.workerPort }
+
+// AdminPort returns the restricted admin port.
+func (p *Proxy) AdminPort() handle.Handle { return p.adminPort }
+
+// GrantAdmin gives a process the capability to send to the admin port (the
+// launcher calls this for idd). dst must be an open port of the grantee.
+func (p *Proxy) GrantAdmin(dst handle.Handle) error {
+	return p.proc.Send(dst, wire.NewWriter(OpAdmRes).Done(),
+		&kernel.SendOpts{DecontSend: kernel.Grant(p.adminPort)})
+}
+
+// Run is the proxy's event loop.
+func (p *Proxy) Run() {
+	prof := p.sys.Profiler()
+	for {
+		d, err := p.proc.Recv()
+		if err != nil {
+			return
+		}
+		stop := prof.Time(stats.CatOKDB)
+		switch d.Port {
+		case p.workerPort:
+			p.handleWorker(d)
+		case p.adminPort:
+			p.handleAdmin(d)
+		}
+		stop()
+	}
+}
+
+// Stop kills the proxy process.
+func (p *Proxy) Stop() { p.proc.Exit() }
+
+func (p *Proxy) handleAdmin(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	switch op {
+	case OpAdminExec:
+		sql := r.String()
+		n := int(r.U32())
+		args := make([]string, n)
+		for i := range args {
+			args[i] = r.String()
+		}
+		reply := r.Handle()
+		if r.Err() {
+			return
+		}
+		res, err := p.db.Exec(sql, args...)
+		if err != nil {
+			p.proc.Send(reply, errMsg(err), nil)
+			return
+		}
+		w := wire.NewWriter(OpAdmRes).U32(uint32(len(res.Cols))).U32(uint32(len(res.Rows)))
+		for _, c := range res.Cols {
+			w.String(c)
+		}
+		for _, row := range res.Rows {
+			for _, v := range row {
+				w.String(v)
+			}
+		}
+		w.U32(uint32(res.Affected))
+		p.proc.Send(reply, w.Done(), nil)
+		p.proc.DropPrivilege(reply, label.L1)
+	case OpMapping:
+		user := r.String()
+		m := Mapping{UID: r.String(), UT: r.Handle(), UG: r.Handle()}
+		if r.Err() {
+			return
+		}
+		p.byUser[user] = m
+		p.byUID[m.UID] = m
+	}
+}
+
+func (p *Proxy) handleWorker(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpQuery && op != OpDeclassify {
+		return
+	}
+	user := r.String()
+	sql := r.String()
+	n := int(r.U32())
+	args := make([]string, n)
+	for i := range args {
+		args[i] = r.String()
+	}
+	reply := r.Handle()
+	if r.Err() {
+		return
+	}
+	// The reply capability lives for this request only.
+	defer p.proc.DropPrivilege(reply, label.L1)
+
+	m, ok := p.byUser[user]
+	if !ok {
+		p.proc.Send(reply, errMsg(fmt.Errorf("dbproxy: unknown user %q", user)), nil)
+		return
+	}
+
+	// Identity and purity check (paper §7.5): the verify label conveys that
+	// the sender speaks for u (uG at 0) and has not been contaminated by
+	// any data other than u's own (nothing else above the default receive
+	// level).
+	if op == OpDeclassify {
+		if d.V.Get(m.UT) != label.Star {
+			p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: declassify requires uT ⋆")))
+			return
+		}
+	} else {
+		bound := label.New(label.L2,
+			label.Entry{H: m.UT, L: label.L3},
+			label.Entry{H: m.UG, L: label.L0})
+		if !d.V.Leq(bound) {
+			p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: verify label rejected")))
+			return
+		}
+	}
+
+	stmt, err := db.Parse(sql)
+	if err != nil {
+		p.reply(m, reply, errMsg(err))
+		return
+	}
+	if namesUserCol(stmt) {
+		p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: column %s is reserved", UserCol)))
+		return
+	}
+
+	uid := m.UID
+	if op == OpDeclassify {
+		uid = DeclassifiedUID
+	}
+
+	switch s := stmt.(type) {
+	case *db.CreateStmt:
+		// Every worker table silently gets the user-ID column.
+		s.Cols = append(s.Cols, UserCol)
+		p.execSimple(m, s, args, reply)
+	case *db.InsertStmt:
+		s.Cols = append(s.Cols, UserCol)
+		s.Vals = append(s.Vals, db.Lit(uid))
+		p.execSimple(m, s, args, reply)
+	case *db.UpdateStmt:
+		if op == OpDeclassify {
+			// Declassification flags u's rows public: set _uid = 0 on rows
+			// the declassifier's user owns.
+			s.Where = append(s.Where, db.Cond{Col: UserCol, Val: db.Lit(m.UID)})
+			s.Set = append(s.Set, db.Assign{Col: UserCol, Val: db.Lit(DeclassifiedUID)})
+		} else {
+			s.Where = append(s.Where, db.Cond{Col: UserCol, Val: db.Lit(uid)})
+		}
+		p.execSimple(m, s, args, reply)
+	case *db.DeleteStmt:
+		s.Where = append(s.Where, db.Cond{Col: UserCol, Val: db.Lit(uid)})
+		p.execSimple(m, s, args, reply)
+	case *db.SelectStmt:
+		p.execSelect(m, s, args, reply)
+	default:
+		p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: unsupported statement")))
+	}
+}
+
+// execSimple runs a write statement and replies with a tainted done.
+func (p *Proxy) execSimple(m Mapping, stmt db.Stmt, args []string, reply handle.Handle) {
+	res, err := p.db.ExecStmt(stmt, args...)
+	if err != nil {
+		p.reply(m, reply, errMsg(err))
+		return
+	}
+	p.reply(m, reply, wire.NewWriter(OpDone).U32(uint32(res.Affected)).Done())
+}
+
+// execSelect streams rows back, each labeled by its owner (paper §7.5:
+// "Each row is returned as a separate message with a separate taint"),
+// then an untainted done.
+func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply handle.Handle) {
+	// Resolve the output columns, then select them plus the hidden owner.
+	outCols := s.Cols
+	if outCols == nil {
+		all, err := p.db.Columns(s.Table)
+		if err != nil {
+			p.reply(m, reply, errMsg(err))
+			return
+		}
+		outCols = nil
+		for _, c := range all {
+			if c != UserCol {
+				outCols = append(outCols, c)
+			}
+		}
+	}
+	internal := &db.SelectStmt{
+		Table: s.Table,
+		Cols:  append(append([]string(nil), outCols...), UserCol),
+		Where: s.Where,
+	}
+	res, err := p.db.ExecStmt(internal, args...)
+	if err != nil {
+		p.reply(m, reply, errMsg(err))
+		return
+	}
+	sent := 0
+	for _, row := range res.Rows {
+		owner := row[len(row)-1]
+		vals := row[:len(row)-1]
+		w := wire.NewWriter(OpRow).U32(uint32(len(vals)))
+		for _, v := range vals {
+			w.String(v)
+		}
+		var opts *kernel.SendOpts
+		if owner != DeclassifiedUID {
+			om, ok := p.byUID[owner]
+			if !ok {
+				continue // owner never authenticated: no label to apply
+			}
+			opts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, om.UT)}
+		}
+		p.proc.Send(reply, w.Done(), opts)
+		sent++
+	}
+	// Untainted completion marker: receipt tells the worker the stream
+	// ended without revealing how many rows it was not allowed to see.
+	p.proc.Send(reply, wire.NewWriter(OpDone).U32(uint32(sent)).Done(), nil)
+}
+
+// reply sends a worker-facing control message tainted with the user's
+// handle (it concerns u's data).
+func (p *Proxy) reply(m Mapping, to handle.Handle, msg []byte) {
+	p.proc.Send(to, msg, &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, m.UT)})
+}
+
+func errMsg(err error) []byte {
+	return wire.NewWriter(OpError).String(err.Error()).Done()
+}
+
+// namesUserCol reports whether a worker statement references the private
+// column anywhere.
+func namesUserCol(stmt db.Stmt) bool {
+	has := func(cols []string) bool {
+		for _, c := range cols {
+			if strings.EqualFold(c, UserCol) {
+				return true
+			}
+		}
+		return false
+	}
+	hasCond := func(w []db.Cond) bool {
+		for _, c := range w {
+			if strings.EqualFold(c.Col, UserCol) {
+				return true
+			}
+		}
+		return false
+	}
+	switch s := stmt.(type) {
+	case *db.CreateStmt:
+		return has(s.Cols)
+	case *db.InsertStmt:
+		return has(s.Cols)
+	case *db.SelectStmt:
+		return has(s.Cols) || hasCond(s.Where)
+	case *db.UpdateStmt:
+		for _, a := range s.Set {
+			if strings.EqualFold(a.Col, UserCol) {
+				return true
+			}
+		}
+		return hasCond(s.Where)
+	case *db.DeleteStmt:
+		return hasCond(s.Where)
+	}
+	return false
+}
+
+// --- client helpers ---
+
+// Query sends a worker query: the caller must pass its verification label
+// (VerifyFor builds the standard one).
+func Query(p *kernel.Process, proxyPort handle.Handle, user, sql string, args []string,
+	reply handle.Handle, v *label.Label) error {
+	w := wire.NewWriter(OpQuery).String(user).String(sql).U32(uint32(len(args)))
+	for _, a := range args {
+		w.String(a)
+	}
+	w.Handle(reply)
+	return p.Send(proxyPort, w.Done(), &kernel.SendOpts{
+		DecontSend: kernel.Grant(reply),
+		Verify:     v,
+	})
+}
+
+// Declassify sends a declassification write; v must prove uT ⋆.
+func Declassify(p *kernel.Process, proxyPort handle.Handle, user, sql string, args []string,
+	reply handle.Handle, v *label.Label) error {
+	w := wire.NewWriter(OpDeclassify).String(user).String(sql).U32(uint32(len(args)))
+	for _, a := range args {
+		w.String(a)
+	}
+	w.Handle(reply)
+	return p.Send(proxyPort, w.Done(), &kernel.SendOpts{
+		DecontSend: kernel.Grant(reply),
+		Verify:     v,
+	})
+}
+
+// VerifyFor builds the standard worker verification label
+// {uT 3, uG 0, 2} (paper §7.5).
+func VerifyFor(uT, uG handle.Handle) *label.Label {
+	return label.New(label.L2,
+		label.Entry{H: uT, L: label.L3},
+		label.Entry{H: uG, L: label.L0})
+}
+
+// VerifyDeclassify builds the declassifier's proof {uT ⋆, 2}.
+func VerifyDeclassify(uT handle.Handle) *label.Label {
+	return label.New(label.L2, label.Entry{H: uT, L: label.Star})
+}
+
+// PushMapping is used by idd to install a user binding, granting the proxy
+// uT ⋆/uG ⋆ and raising its receive label for uT (the sender must hold both
+// handles at ⋆).
+func PushMapping(p *kernel.Process, adminPort handle.Handle, user string, m Mapping) error {
+	w := wire.NewWriter(OpMapping).String(user).String(m.UID).Handle(m.UT).Handle(m.UG)
+	return p.Send(adminPort, w.Done(), &kernel.SendOpts{
+		DecontSend: kernel.Grant(m.UT, m.UG),
+		DecontRecv: kernel.AllowRecv(label.L3, m.UT),
+	})
+}
+
+// AdminExec runs an unrestricted statement (idd's password lookups).
+func AdminExec(p *kernel.Process, adminPort handle.Handle, sql string, args []string, reply handle.Handle) error {
+	w := wire.NewWriter(OpAdminExec).String(sql).U32(uint32(len(args)))
+	for _, a := range args {
+		w.String(a)
+	}
+	w.Handle(reply)
+	return p.Send(adminPort, w.Done(), &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// AdminResult is a parsed OpAdmRes.
+type AdminResult struct {
+	Cols     []string
+	Rows     [][]string
+	Affected int
+}
+
+// ParseAdminResult decodes an admin result.
+func ParseAdminResult(d *kernel.Delivery) (AdminResult, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpAdmRes {
+		return AdminResult{}, false
+	}
+	nc := int(r.U32())
+	nr := int(r.U32())
+	if r.Err() || nc > 1024 || nr > 1<<20 {
+		return AdminResult{}, false
+	}
+	res := AdminResult{}
+	for i := 0; i < nc; i++ {
+		res.Cols = append(res.Cols, r.String())
+	}
+	for i := 0; i < nr; i++ {
+		row := make([]string, nc)
+		for j := range row {
+			row[j] = r.String()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Affected = int(r.U32())
+	if r.Err() {
+		return AdminResult{}, false
+	}
+	return res, true
+}
+
+// ParseRow decodes an OpRow delivery.
+func ParseRow(d *kernel.Delivery) ([]string, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpRow {
+		return nil, false
+	}
+	n := int(r.U32())
+	if r.Err() || n > 1024 {
+		return nil, false
+	}
+	row := make([]string, n)
+	for i := range row {
+		row[i] = r.String()
+	}
+	if r.Err() {
+		return nil, false
+	}
+	return row, true
+}
+
+// ParseDone decodes an OpDone delivery, returning the affected/sent count.
+func ParseDone(d *kernel.Delivery) (int, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpDone {
+		return 0, false
+	}
+	n := int(r.U32())
+	if r.Err() {
+		return 0, false
+	}
+	return n, true
+}
+
+// ParseError decodes an OpError delivery.
+func ParseError(d *kernel.Delivery) (string, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpError {
+		return "", false
+	}
+	msg := r.String()
+	if r.Err() {
+		return "", false
+	}
+	return msg, true
+}

@@ -1,0 +1,112 @@
+package dbproxy
+
+import (
+	"testing"
+
+	"asbestos/internal/db"
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+)
+
+// The cross-process behaviour of ok-dbproxy is covered by the idd
+// integration tests; this file unit-tests the proxy's query rewriting and
+// label construction directly.
+
+func TestNamesUserColDetection(t *testing.T) {
+	cases := map[string]bool{
+		"SELECT a FROM t":                          false,
+		"SELECT _uid FROM t":                       true,
+		"SELECT _UID FROM t":                       true, // case-insensitive
+		"SELECT a FROM t WHERE _uid = '1'":         true,
+		"INSERT INTO t (a, _uid) VALUES ('1','2')": true,
+		"INSERT INTO t (a) VALUES ('1')":           false,
+		"UPDATE t SET _uid = '0'":                  true,
+		"UPDATE t SET a = '0' WHERE _uid = '1'":    true,
+		"UPDATE t SET a = '0' WHERE b = '1'":       false,
+		"DELETE FROM t WHERE _uid = '9'":           true,
+		"DELETE FROM t":                            false,
+		"CREATE TABLE t (a, _uid)":                 true,
+		"CREATE TABLE t (a, b)":                    false,
+	}
+	for q, want := range cases {
+		stmt, err := db.Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if got := namesUserCol(stmt); got != want {
+			t.Errorf("namesUserCol(%q) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestVerifyForShape(t *testing.T) {
+	uT, uG := handle.Handle(10), handle.Handle(11)
+	v := VerifyFor(uT, uG)
+	if v.Get(uT) != label.L3 || v.Get(uG) != label.L0 || v.Default() != label.L2 {
+		t.Fatalf("VerifyFor = %v", v)
+	}
+	vd := VerifyDeclassify(uT)
+	if vd.Get(uT) != label.Star || vd.Default() != label.L2 {
+		t.Fatalf("VerifyDeclassify = %v", vd)
+	}
+}
+
+func TestParseHelpersRejectWrongOps(t *testing.T) {
+	d := &kernel.Delivery{Data: []byte{99, 0, 0}}
+	if _, ok := ParseRow(d); ok {
+		t.Error("ParseRow accepted wrong op")
+	}
+	if _, ok := ParseDone(d); ok {
+		t.Error("ParseDone accepted wrong op")
+	}
+	if _, ok := ParseError(d); ok {
+		t.Error("ParseError accepted wrong op")
+	}
+	if _, ok := ParseAdminResult(d); ok {
+		t.Error("ParseAdminResult accepted wrong op")
+	}
+}
+
+func TestMappingPushAndQueryPathDirect(t *testing.T) {
+	// Drive the proxy synchronously (no goroutine): a trusted admin pushes
+	// a mapping, then a worker-shaped process queries.
+	sys := kernel.NewSystem(kernel.WithSeed(21))
+	p := New(sys, db.Open())
+
+	admin := sys.NewProcess("idd-stub")
+	uT := admin.NewHandle()
+	uG := admin.NewHandle()
+	grantRx := admin.NewPort(nil)
+	admin.SetPortLabel(grantRx, label.Empty(label.L3))
+	if err := p.GrantAdmin(grantRx); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := admin.TryRecv(); d == nil {
+		t.Fatal("admin grant lost")
+	}
+	if err := PushMapping(admin, p.AdminPort(), "zoe",
+		Mapping{UID: "7", UT: uT, UG: uG}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := p.Process().TryRecv()
+	if d == nil {
+		t.Fatal("mapping delivery lost")
+	}
+	// Dispatch by hand.
+	pd := d
+	if pd.Port != p.AdminPort() {
+		t.Fatal("mapping arrived on wrong port")
+	}
+	p.handleAdmin(pd)
+	if m, ok := p.byUser["zoe"]; !ok || m.UID != "7" {
+		t.Fatalf("mapping not installed: %+v", p.byUser)
+	}
+	// The push granted the proxy uT ⋆ and uT-3 clearance.
+	if p.Process().SendLabel().Get(uT) != label.Star {
+		t.Error("proxy missing uT ⋆")
+	}
+	if p.Process().RecvLabel().Get(uT) != label.L3 {
+		t.Error("proxy missing uT clearance")
+	}
+}

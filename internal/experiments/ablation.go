@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/mem"
+)
+
+// ForkVsEventProcess quantifies §6's motivation: "forking a separate
+// process per user provides isolation, but may have low performance due to
+// operating system overheads, such as memory. ... A group of event
+// processes is almost as efficient as a single ordinary process."
+//
+// Both servers hold residentPages of shared state and one page of private
+// per-user state for n users. The forked model pays a full copy of the
+// address space plus a 320-byte process structure per user; the
+// event-process model pays one private COW page plus 44 bytes.
+type ForkVsEPRow struct {
+	Users            int
+	ForkedPages      float64 // total pages, forked-process model
+	EventProcPages   float64 // total pages, event-process model
+	PagesPerForked   float64
+	PagesPerEventPro float64
+}
+
+// ForkVsEventProcess runs the comparison for each user count.
+func ForkVsEventProcess(userCounts []int, residentPages int) ([]ForkVsEPRow, error) {
+	var rows []ForkVsEPRow
+	private := []byte("per-user session state")
+	for _, n := range userCounts {
+		// Forked model: one full process per user.
+		sysF := kernel.NewSystem(kernel.WithSeed(1))
+		parent := sysF.NewProcess("server")
+		buf := make([]byte, mem.PageSize)
+		for i := 0; i < residentPages; i++ {
+			parent.Memory().WriteAt(mem.Addr(i)*mem.PageSize, buf)
+		}
+		baseF := sysF.MemStats()
+		for i := 0; i < n; i++ {
+			child := parent.Fork(fmt.Sprintf("worker-%d", i))
+			child.Memory().WriteAt(mem.Addr(residentPages)*mem.PageSize, private)
+		}
+		forked := sysF.MemStats().TotalPages() - baseF.TotalPages()
+
+		// Event-process model: one base process, one EP per user.
+		sysE := kernel.NewSystem(kernel.WithSeed(1))
+		server := sysE.NewProcess("server")
+		svc := server.NewPort(nil)
+		server.SetPortLabel(svc, label.Empty(label.L3))
+		for i := 0; i < residentPages; i++ {
+			server.Memory().WriteAt(mem.Addr(i)*mem.PageSize, buf)
+		}
+		client := sysE.NewProcess("client")
+		baseE := sysE.MemStats()
+		for i := 0; i < n; i++ {
+			if err := client.Send(svc, []byte{byte(i)}, nil); err != nil {
+				return nil, err
+			}
+			_, ep, err := server.Checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			ep.Memory().WriteAt(mem.Addr(residentPages)*mem.PageSize, private)
+			server.Yield()
+		}
+		eps := sysE.MemStats().TotalPages() - baseE.TotalPages()
+
+		rows = append(rows, ForkVsEPRow{
+			Users:            n,
+			ForkedPages:      forked,
+			EventProcPages:   eps,
+			PagesPerForked:   forked / float64(n),
+			PagesPerEventPro: eps / float64(n),
+		})
+	}
+	return rows, nil
+}

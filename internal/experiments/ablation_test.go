@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestForkVsEventProcess(t *testing.T) {
+	rows, err := ForkVsEventProcess([]int{50}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// The forked model pays the full resident set per user (≥64 pages);
+	// the event-process model pays ≈1 page plus small kernel state.
+	if r.PagesPerForked < 60 {
+		t.Errorf("forked model: %.1f pages/user, expected ≥ resident set", r.PagesPerForked)
+	}
+	if r.PagesPerEventPro > 3 {
+		t.Errorf("event processes: %.2f pages/user, expected ≈1", r.PagesPerEventPro)
+	}
+	if r.ForkedPages < 20*r.EventProcPages {
+		t.Errorf("event processes should be ≥20× cheaper: forked=%.0f ep=%.0f",
+			r.ForkedPages, r.EventProcPages)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"testing"
+
+	"asbestos/internal/stats"
+)
+
+// The experiment tests run scaled-down versions of each figure and assert
+// the qualitative claims (the "shape"); the full-scale sweeps live in the
+// cmd/ binaries and repository benchmarks.
+
+func TestFigure6CachedShape(t *testing.T) {
+	rows, err := Figure6([]int{50, 200}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper: ≈1.5 pages per cached session. Accept 1–3: the exact
+		// kernel byte count differs, the order of magnitude must not.
+		if r.PagesPerSession < 1.0 || r.PagesPerSession > 3.0 {
+			t.Errorf("sessions=%d: %.2f pages/cached session, want ≈1.5",
+				r.Sessions, r.PagesPerSession)
+		}
+	}
+	// Linearity: per-session cost must not grow with session count.
+	if rows[1].PagesPerSession > rows[0].PagesPerSession*1.5 {
+		t.Errorf("memory per session grew superlinearly: %.2f → %.2f",
+			rows[0].PagesPerSession, rows[1].PagesPerSession)
+	}
+}
+
+func TestFigure6ActiveShape(t *testing.T) {
+	cached, err := Figure6([]int{50}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := Figure6([]int{50}, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: active sessions use ≈8 more pages than cached ones. Require a
+	// clear multiple.
+	if active[0].PagesPerSession < cached[0].PagesPerSession+2 {
+		t.Errorf("active %.2f pages/session should clearly exceed cached %.2f",
+			active[0].PagesPerSession, cached[0].PagesPerSession)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	okwsRows, err := Figure7OKWS([]int{1, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range okwsRows {
+		if r.Errors != 0 {
+			t.Fatalf("%s: %d errors", r.Label, r.Errors)
+		}
+		if r.ConnsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", r.Label)
+		}
+	}
+	// Throughput decreases with cached sessions (label costs).
+	if okwsRows[1].ConnsPerSec >= okwsRows[0].ConnsPerSec {
+		t.Errorf("OKWS throughput should fall with sessions: %0.f → %0.f",
+			okwsRows[0].ConnsPerSec, okwsRows[1].ConnsPerSec)
+	}
+	base := Figure7Baselines(300)
+	var apache, mod float64
+	for _, r := range base {
+		switch r.Label {
+		case "Apache":
+			apache = r.ConnsPerSec
+		case "Mod-Apache":
+			mod = r.ConnsPerSec
+		}
+	}
+	// Architectural ordering: Mod-Apache > Apache (paper: ≈2.8×).
+	if mod <= apache {
+		t.Errorf("Mod-Apache (%.0f) must beat Apache (%.0f)", mod, apache)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	rows, err := Figure8(200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig8Row{}
+	for _, r := range rows {
+		byName[r.Server] = r
+		if r.Median <= 0 || r.P90 < r.Median {
+			t.Errorf("%s: median %.0fµs p90 %.0fµs malformed", r.Server, r.Median, r.P90)
+		}
+	}
+	// Paper's table ordering: Mod-Apache fastest; Apache ≈3-5× slower.
+	if byName["Mod-Apache"].Median >= byName["Apache"].Median {
+		t.Errorf("Mod-Apache median %.0f should beat Apache %.0f",
+			byName["Mod-Apache"].Median, byName["Apache"].Median)
+	}
+	// OKWS latency grows with cached sessions.
+	if byName["OKWS, 1 session(s)"].Median > byName["OKWS, 100 session(s)"].Median {
+		t.Errorf("OKWS latency should grow with sessions")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	rows, err := Figure9([]int{1, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Fatalf("sessions=%d: no cost recorded", r.Sessions)
+		}
+	}
+	// Per-connection Kernel IPC (label) cost grows with session count —
+	// the paper's central cost observation (§9.3).
+	k1 := rows[0].Kcycles[stats.CatKernelIPC]
+	k2 := rows[1].Kcycles[stats.CatKernelIPC]
+	if k2 <= k1 {
+		t.Errorf("Kernel IPC Kcycles/conn should grow: %.0f → %.0f", k1, k2)
+	}
+	// OKDB cost also grows (per-login database scans over more users).
+	d1 := rows[0].Kcycles[stats.CatOKDB]
+	d2 := rows[1].Kcycles[stats.CatOKDB]
+	if d2 <= d1 {
+		t.Errorf("OKDB Kcycles/conn should grow: %.0f → %.0f", d1, d2)
+	}
+}

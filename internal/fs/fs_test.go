@@ -1,0 +1,258 @@
+package fs_test
+
+import (
+	"strings"
+	"testing"
+
+	"asbestos/internal/fs"
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+)
+
+type rig struct {
+	sys *kernel.System
+	srv *fs.Server
+}
+
+func boot(t *testing.T) *rig {
+	t.Helper()
+	sys := kernel.NewSystem(kernel.WithSeed(3))
+	srv := fs.New(sys)
+	go srv.Run()
+	t.Cleanup(srv.Stop)
+	return &rig{sys, srv}
+}
+
+// principal makes a process registered as a file-server user.
+func (r *rig) principal(t *testing.T, name string) (*kernel.Process, fs.Identity, handle.Handle) {
+	t.Helper()
+	p := r.sys.NewProcess(name)
+	reply := p.NewPort(nil)
+	id, err := fs.Register(p, r.srv.Port(), name, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, id, reply
+}
+
+func ownerV(id fs.Identity) *label.Label {
+	return label.New(label.L3, label.Entry{H: id.UG, L: label.L0})
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	r := boot(t)
+	u, uid, reply := r.principal(t, "u")
+	if err := fs.Create(u, r.srv.Port(), "/home/u/diary", "u", reply, ownerV(uid)); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := u.Recv(reply)
+	if !fs.ParseWriteReply(d) {
+		t.Fatal("create rejected")
+	}
+	fs.Write(u, r.srv.Port(), "/home/u/diary", []byte("dear diary"), reply, ownerV(uid))
+	d, _ = u.Recv(reply)
+	if !fs.ParseWriteReply(d) {
+		t.Fatal("write rejected")
+	}
+	fs.Read(u, r.srv.Port(), "/home/u/diary", reply)
+	d, _ = u.Recv(reply)
+	data, ok := fs.ParseReadReply(d)
+	if !ok || string(data) != "dear diary" {
+		t.Fatalf("read = %q %v", data, ok)
+	}
+	// The owner holds uT ⋆, so Equation 5 preserves the privilege: the
+	// contaminated reply does NOT taint the owner.
+	if u.SendLabel().Get(uid.UT) != label.Star {
+		t.Error("owner's ⋆ must survive reading own file")
+	}
+}
+
+func TestReadTaintsAndConfines(t *testing.T) {
+	r := boot(t)
+	u, uid, ur := r.principal(t, "u")
+	fs.Create(u, r.srv.Port(), "/u/file", "u", ur, ownerV(uid))
+	u.Recv(ur)
+	fs.Write(u, r.srv.Port(), "/u/file", []byte("private"), ur, ownerV(uid))
+	u.Recv(ur)
+
+	// v reads u's file (allowed only if cleared for u's taint).
+	v, _, vr := r.principal(t, "v")
+	// v is NOT cleared for uT: the tainted reply is dropped by the kernel.
+	fs.Read(v, r.srv.Port(), "/u/file", vr)
+	if d, _ := v.TryRecv(vr); d != nil {
+		t.Fatal("uncleared reader received tainted file data")
+	}
+
+	// Now clear v for u's taint (u, holding uT ⋆, grants it).
+	clear := v.NewPort(nil)
+	v.SetPortLabel(clear, label.Empty(label.L3))
+	u.Send(clear, nil, &kernel.SendOpts{DecontRecv: kernel.AllowRecv(label.L3, uid.UT)})
+	if d, _ := v.TryRecv(clear); d == nil {
+		t.Fatal("clearance grant dropped")
+	}
+	fs.Read(v, r.srv.Port(), "/u/file", vr)
+	d, _ := v.Recv(vr)
+	if data, ok := fs.ParseReadReply(d); !ok || string(data) != "private" {
+		t.Fatalf("cleared read failed: %q %v", data, ok)
+	}
+	// v is now tainted and cannot message an ordinary process.
+	w := r.sys.NewProcess("w")
+	wPort := w.NewPort(nil)
+	w.SetPortLabel(wPort, label.Empty(label.L3))
+	v.Send(wPort, []byte("leak"), nil)
+	if d, _ := w.TryRecv(); d != nil {
+		t.Fatal("tainted reader leaked to untainted process")
+	}
+}
+
+func TestWriteRequiresSpeaksFor(t *testing.T) {
+	r := boot(t)
+	u, uid, ur := r.principal(t, "u")
+	fs.Create(u, r.srv.Port(), "/u/file", "u", ur, ownerV(uid))
+	u.Recv(ur)
+
+	// A stranger cannot write: without uG 0 the kernel drops the forged V,
+	// and an honest V fails the server's check.
+	s := r.sys.NewProcess("stranger")
+	sr := s.NewPort(nil)
+	fs.Write(s, r.srv.Port(), "/u/file", []byte("defaced"), sr, ownerV(uid))
+	if d, _ := s.TryRecv(sr); d != nil {
+		t.Fatal("forged ownership proof was not dropped")
+	}
+	fs.Write(s, r.srv.Port(), "/u/file", []byte("defaced"), sr, label.Empty(label.L3))
+	d, _ := s.Recv(sr)
+	if fs.ParseWriteReply(d) {
+		t.Fatal("write without proof accepted")
+	}
+
+	// u can delegate: grant uG 0 to an editor, who may then write.
+	e := r.sys.NewProcess("editor")
+	ePort := e.NewPort(nil)
+	e.SetPortLabel(ePort, label.Empty(label.L3))
+	u.Send(ePort, nil, &kernel.SendOpts{
+		DecontSend: label.New(label.L3, label.Entry{H: uid.UG, L: label.L0})})
+	if d, _ := e.TryRecv(); d == nil {
+		t.Fatal("delegation dropped")
+	}
+	er := e.NewPort(nil)
+	fs.Write(e, r.srv.Port(), "/u/file", []byte("edited"), er, ownerV(uid))
+	d, _ = e.Recv(er)
+	if !fs.ParseWriteReply(d) {
+		t.Fatal("delegated write rejected")
+	}
+}
+
+func TestMandatoryIntegrity(t *testing.T) {
+	// §5.4: the editor loses uG 0 after receiving from a non-speaker.
+	r := boot(t)
+	u, uid, ur := r.principal(t, "u")
+	fs.Create(u, r.srv.Port(), "/u/file", "u", ur, ownerV(uid))
+	u.Recv(ur)
+
+	e := r.sys.NewProcess("editor")
+	ePort := e.NewPort(nil)
+	e.SetPortLabel(ePort, label.Empty(label.L3))
+	u.Send(ePort, nil, &kernel.SendOpts{
+		DecontSend: label.New(label.L3, label.Entry{H: uid.UG, L: label.L0})})
+	e.TryRecv()
+
+	// Low-integrity input arrives.
+	q := r.sys.NewProcess("random")
+	q.Send(ePort, []byte("spam"), nil)
+	if d, _ := e.TryRecv(); d == nil {
+		t.Fatal("plain message dropped")
+	}
+	// The privilege is gone; the kernel now drops the forged proof.
+	er := e.NewPort(nil)
+	fs.Write(e, r.srv.Port(), "/u/file", []byte("tainted write"), er, ownerV(uid))
+	if d, _ := e.TryRecv(er); d != nil {
+		t.Fatal("editor kept speaks-for after low-integrity input")
+	}
+}
+
+func TestSystemFileIntegrity(t *testing.T) {
+	// §5.4: netd is marked sysH 2; nothing it contaminates can write
+	// system files.
+	r := boot(t)
+	r.srv.CreateSystemFile("/etc/passwd", []byte("root"))
+	sysH := r.srv.SystemHandle()
+
+	installer := r.sys.NewProcess("installer")
+	ir := installer.NewPort(nil)
+	v := label.New(label.L3, label.Entry{H: sysH, L: label.L1})
+	fs.Write(installer, r.srv.Port(), "/etc/passwd", []byte("updated"), ir, v)
+	d, _ := installer.Recv(ir)
+	if !fs.ParseWriteReply(d) {
+		t.Fatal("clean installer rejected")
+	}
+
+	netdP := r.sys.NewProcess("netd")
+	netdP.ContaminateSelf(kernel.Taint(label.L2, sysH))
+	nr := netdP.NewPort(nil)
+	fs.Write(netdP, r.srv.Port(), "/etc/passwd", []byte("pwned"), nr, v)
+	if d, _ := netdP.TryRecv(nr); d != nil {
+		t.Fatal("network-tainted writer passed the integrity check")
+	}
+
+	// Transitively: a process that received from netd also fails.
+	victim := r.sys.NewProcess("victim")
+	vp := victim.NewPort(nil)
+	victim.SetPortLabel(vp, label.Empty(label.L3))
+	netdP.Send(vp, []byte("data"), nil)
+	victim.TryRecv()
+	vr := victim.NewPort(nil)
+	fs.Write(victim, r.srv.Port(), "/etc/passwd", []byte("pwned2"), vr, v)
+	if d, _ := victim.TryRecv(vr); d != nil {
+		t.Fatal("laundered network taint passed the integrity check")
+	}
+}
+
+func TestList(t *testing.T) {
+	r := boot(t)
+	u, uid, ur := r.principal(t, "u")
+	fs.Create(u, r.srv.Port(), "/b", "u", ur, ownerV(uid))
+	u.Recv(ur)
+	fs.Create(u, r.srv.Port(), "/a", "u", ur, ownerV(uid))
+	u.Recv(ur)
+	fs.List(u, r.srv.Port(), ur)
+	d, _ := u.Recv(ur)
+	listing, ok := fs.ParseListReply(d)
+	if !ok || listing != "/a\n/b\n" {
+		t.Fatalf("list = %q %v", listing, ok)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	r := boot(t)
+	u, _, ur := r.principal(t, "u")
+	fs.Read(u, r.srv.Port(), "/nope", ur)
+	d, _ := u.Recv(ur)
+	if _, ok := fs.ParseReadReply(d); ok {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestServerStaysClean(t *testing.T) {
+	// The trusted server's send label keeps ⋆ for every user (§5.3 FSS).
+	r := boot(t)
+	u, uid, ur := r.principal(t, "u")
+	v, vid, vr := r.principal(t, "v")
+	fs.Create(u, r.srv.Port(), "/u/f", "u", ur, ownerV(uid))
+	u.Recv(ur)
+	fs.Create(v, r.srv.Port(), "/v/f", "v", vr, ownerV(vid))
+	v.Recv(vr)
+	fs.Write(u, r.srv.Port(), "/u/f", []byte("uu"), ur, ownerV(uid))
+	u.Recv(ur)
+	fs.Write(v, r.srv.Port(), "/v/f", []byte("vv"), vr, ownerV(vid))
+	v.Recv(vr)
+	if got := r.srv.Process().SendLabel().Get(uid.UT); got != label.Star {
+		t.Errorf("server label for uT = %v, want ⋆", got)
+	}
+	if got := r.srv.Process().SendLabel().Get(vid.UT); got != label.Star {
+		t.Errorf("server label for vT = %v, want ⋆", got)
+	}
+	if !strings.Contains(r.srv.Process().Name(), "fsd") {
+		t.Error("unexpected process identity")
+	}
+}

@@ -1,0 +1,170 @@
+// Package handle implements Asbestos handles: 61-bit values that name both
+// label compartments and communication ports (paper §4, §5.1).
+//
+// Handles are unique since boot. The kernel generates them by encrypting an
+// incrementing counter with a keyed 61-bit block cipher so that the visible
+// sequence of handle values is unpredictable and non-repeating; the
+// unpredictability conceals the number of handles created at any given time,
+// closing a covert storage channel (paper §8). The paper derives its cipher
+// from Blowfish; stdlib Go has no Blowfish, so we use a balanced Feistel
+// network over 62 bits with a Blowfish-style keyed round function and
+// cycle-walk the result into the 61-bit domain. Any keyed pseudorandom
+// permutation over [0, 2^61) satisfies the paper's requirement.
+package handle
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Handle is a 61-bit compartment/port name. The value 0 is reserved and is
+// never returned by an Allocator; it is used as a "no handle" sentinel.
+type Handle uint64
+
+// None is the reserved zero handle.
+const None Handle = 0
+
+// MaxHandle is the largest representable handle value (2^61 - 1).
+const MaxHandle Handle = 1<<61 - 1
+
+// Bits is the width of the handle namespace.
+const Bits = 61
+
+// VnodeBytes is the size of the kernel data structure backing each active
+// handle (paper §5.6: "each active handle corresponds to a 64-byte data
+// structure called a vnode").
+const VnodeBytes = 64
+
+func (h Handle) String() string {
+	return fmt.Sprintf("h%d", uint64(h))
+}
+
+// Valid reports whether h lies in the 61-bit namespace and is not the
+// reserved zero value.
+func (h Handle) Valid() bool {
+	return h != None && h <= MaxHandle
+}
+
+// Allocator hands out unique, unpredictable handles. It is safe for
+// concurrent use.
+type Allocator struct {
+	mu      sync.Mutex
+	counter uint64
+	cipher  feistel61
+}
+
+// NewAllocator returns an allocator keyed by seed. Two allocators with the
+// same seed produce the same handle sequence, which keeps tests and
+// benchmarks deterministic. A production kernel would key the cipher with
+// boot-time entropy.
+func NewAllocator(seed uint64) *Allocator {
+	return &Allocator{cipher: newFeistel61(seed)}
+}
+
+// New returns the next handle: the encryption of an incrementing counter.
+// It panics if the 61-bit namespace is exhausted (at a rate of 10^9
+// allocations per second that takes 73 years; see paper §5.1).
+func (a *Allocator) New() Handle {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		a.counter++
+		if a.counter > uint64(MaxHandle) {
+			panic("handle: 61-bit namespace exhausted")
+		}
+		h := Handle(a.cipher.encrypt(a.counter))
+		if h != None {
+			return h
+		}
+	}
+}
+
+// Allocated returns how many handles have been handed out. This counter is
+// kernel-internal; it must never be revealed to user code (it is exactly the
+// covert channel the cipher exists to close).
+func (a *Allocator) Allocated() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counter
+}
+
+// feistel61 is a pseudorandom permutation over [0, 2^61). It runs a balanced
+// 8-round Feistel network over 62 bits (two 31-bit halves) and cycle-walks:
+// values that land outside the 61-bit domain are re-encrypted until they fall
+// inside. Cycle-walking a permutation restricted to a subdomain is itself a
+// permutation of that subdomain.
+type feistel61 struct {
+	keys [feistelRounds]uint64
+}
+
+const (
+	feistelRounds = 8
+	halfBits      = 31
+	halfMask      = 1<<halfBits - 1
+	domain        = 1 << 61
+)
+
+func newFeistel61(seed uint64) feistel61 {
+	var f feistel61
+	// splitmix64 key schedule: well-distributed round keys from one seed.
+	s := seed
+	for i := range f.keys {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		f.keys[i] = z ^ (z >> 31)
+	}
+	return f
+}
+
+// round is the keyed F function: a multiply-xor-shift mixer in the style of
+// Blowfish's F (key-dependent nonlinear mix of one half), truncated to 31
+// bits.
+func round(half, key uint64) uint64 {
+	x := half ^ key
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 29
+	return x & halfMask
+}
+
+// permute62 is a bijection on [0, 2^62).
+func (f feistel61) permute62(v uint64) uint64 {
+	l := (v >> halfBits) & halfMask
+	r := v & halfMask
+	for i := 0; i < feistelRounds; i++ {
+		l, r = r, l^round(r, f.keys[i])
+	}
+	return l<<halfBits | r
+}
+
+// unpermute62 inverts permute62.
+func (f feistel61) unpermute62(v uint64) uint64 {
+	l := (v >> halfBits) & halfMask
+	r := v & halfMask
+	for i := feistelRounds - 1; i >= 0; i-- {
+		l, r = r^round(l, f.keys[i]), l
+	}
+	return l<<halfBits | r
+}
+
+// encrypt maps [0, 2^61) to [0, 2^61) bijectively via cycle walking.
+func (f feistel61) encrypt(v uint64) uint64 {
+	x := f.permute62(v)
+	for x >= domain {
+		x = f.permute62(x)
+	}
+	return x
+}
+
+// decrypt inverts encrypt on [0, 2^61). Exported for tests only: the kernel
+// never needs to invert handles, and user code must not be able to.
+func (f feistel61) decrypt(v uint64) uint64 {
+	x := f.unpermute62(v)
+	for x >= domain {
+		x = f.unpermute62(x)
+	}
+	return x
+}

@@ -1,0 +1,186 @@
+package handle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestValid(t *testing.T) {
+	if None.Valid() {
+		t.Error("None must not be valid")
+	}
+	if !MaxHandle.Valid() {
+		t.Error("MaxHandle must be valid")
+	}
+	if (MaxHandle + 1).Valid() {
+		t.Error("2^61 must not be valid")
+	}
+	if !Handle(1).Valid() {
+		t.Error("handle 1 must be valid")
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	a := NewAllocator(42)
+	seen := make(map[Handle]bool)
+	for i := 0; i < 100000; i++ {
+		h := a.New()
+		if !h.Valid() {
+			t.Fatalf("invalid handle %v at allocation %d", h, i)
+		}
+		if seen[h] {
+			t.Fatalf("duplicate handle %v at allocation %d", h, i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestAllocatorDeterministic(t *testing.T) {
+	a, b := NewAllocator(7), NewAllocator(7)
+	for i := 0; i < 1000; i++ {
+		if ha, hb := a.New(), b.New(); ha != hb {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, ha, hb)
+		}
+	}
+}
+
+func TestAllocatorSeedsDiffer(t *testing.T) {
+	a, b := NewAllocator(1), NewAllocator(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.New() == b.New() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/1000 identical handles", same)
+	}
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	a := NewAllocator(9)
+	const goroutines, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[Handle]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Handle, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, a.New())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, h := range local {
+				if seen[h] {
+					t.Errorf("duplicate handle %v under concurrency", h)
+				}
+				seen[h] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d unique handles, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestFeistelBijective(t *testing.T) {
+	f := newFeistel61(123)
+	// encrypt/decrypt must round-trip across the domain.
+	check := func(v uint64) bool {
+		v %= domain
+		e := f.encrypt(v)
+		if e >= domain {
+			return false
+		}
+		return f.decrypt(e) == v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	// Include domain edges.
+	for _, v := range []uint64{0, 1, 2, domain - 2, domain - 1} {
+		if f.decrypt(f.encrypt(v)) != v {
+			t.Errorf("round-trip failed at %d", v)
+		}
+	}
+}
+
+func TestFeistelPermute62RoundTrip(t *testing.T) {
+	f := newFeistel61(55)
+	check := func(v uint64) bool {
+		v &= 1<<62 - 1
+		return f.unpermute62(f.permute62(v)) == v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFeistelAvalanche verifies the covert-channel property that motivates
+// encrypting the counter (paper §8): consecutive counter values must map to
+// wildly different handles. We require that on average roughly half the
+// output bits differ between encrypt(i) and encrypt(i+1).
+func TestFeistelAvalanche(t *testing.T) {
+	f := newFeistel61(99)
+	total, n := 0, 4096
+	for i := 1; i <= n; i++ {
+		d := f.encrypt(uint64(i)) ^ f.encrypt(uint64(i+1))
+		total += popcount(d)
+	}
+	avg := float64(total) / float64(n)
+	if avg < 20 || avg > 41 {
+		t.Errorf("avalanche: average %.1f differing bits of 61, want roughly 30", avg)
+	}
+}
+
+// TestFeistelNoLinearLeak checks that the low bits of successive handles do
+// not simply count up (i.e., the permutation is not the identity or a simple
+// affine map on any tested stretch).
+func TestFeistelNoLinearLeak(t *testing.T) {
+	f := newFeistel61(3)
+	incr := 0
+	for i := uint64(1); i < 1000; i++ {
+		if f.encrypt(i+1) == f.encrypt(i)+1 {
+			incr++
+		}
+	}
+	if incr > 2 {
+		t.Errorf("%d/999 consecutive counters mapped to consecutive handles", incr)
+	}
+}
+
+func TestAllocatedCounter(t *testing.T) {
+	a := NewAllocator(1)
+	if a.Allocated() != 0 {
+		t.Fatalf("fresh allocator reports %d allocations", a.Allocated())
+	}
+	for i := 0; i < 10; i++ {
+		a.New()
+	}
+	if got := a.Allocated(); got != 10 {
+		t.Fatalf("Allocated() = %d, want 10", got)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkAllocatorNew(b *testing.B) {
+	a := NewAllocator(uint64(rand.Int63()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.New()
+	}
+}

@@ -1,0 +1,270 @@
+// Package idd implements OKWS's identity server (paper §7.4). It associates
+// persistent user identification data — username, user ID, password — with
+// the per-boot grant and taint handles uG and uT. On a successful login it
+// grants the querier both handles at ⋆; it caches handle pairs so repeat
+// logins skip the database, and it pushes each new binding to ok-dbproxy.
+package idd
+
+import (
+	"asbestos/internal/dbproxy"
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+	"asbestos/internal/wire"
+)
+
+// Ops on the login port.
+const (
+	OpLogin  = 10 // user, pass, reply
+	OpLoginR = 11 // ok byte, uid, uT, uG (handles granted at ⋆ via DS)
+)
+
+// Ops on the admin port (account management, used by the launcher/tests).
+const (
+	OpAddUser  = 12 // user, pass, uid, reply
+	OpAddUserR = 13 // ok byte
+)
+
+// UsersTable is the password table idd keeps through ok-dbproxy's admin
+// interface.
+const UsersTable = "okws_users"
+
+// EnvLoginPort and EnvAdminPort are the environment names for idd's ports.
+const (
+	EnvLoginPort = "idd"
+	EnvAdminPort = "idd-admin"
+)
+
+// Identity is one authenticated user's handle pair.
+type Identity struct {
+	UID string
+	UT  handle.Handle
+	UG  handle.Handle
+}
+
+// Idd is the identity server process.
+type Idd struct {
+	sys  *kernel.System
+	proc *kernel.Process
+
+	loginPort handle.Handle
+	adminPort handle.Handle
+	dbAdmin   handle.Handle // ok-dbproxy admin port (capability held)
+	dbReply   handle.Handle // reply port for database queries
+
+	cache map[string]Identity // by username
+}
+
+// New boots idd. The proxy must already exist; New acquires the admin
+// capability from it and creates the password table if missing.
+func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
+	proc := sys.NewProcess("idd")
+	login := proc.NewPort(nil)
+	if err := proc.SetPortLabel(login, label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	admin := proc.NewPort(nil)
+	if err := proc.SetPortLabel(admin, label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	dbReply := proc.NewPort(nil)
+
+	// Bootstrap: receive the admin-port capability from the proxy.
+	grantRx := proc.NewPort(nil)
+	if err := proc.SetPortLabel(grantRx, label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	if err := proxy.GrantAdmin(grantRx); err != nil {
+		panic(err)
+	}
+	if d, err := proc.TryRecv(grantRx); err != nil || d == nil {
+		panic("idd: dbproxy admin grant failed")
+	}
+	proc.Dissociate(grantRx)
+
+	i := &Idd{
+		sys:       sys,
+		proc:      proc,
+		loginPort: login,
+		adminPort: admin,
+		dbAdmin:   proxy.AdminPort(),
+		dbReply:   dbReply,
+		cache:     make(map[string]Identity),
+	}
+	sys.SetEnv(EnvLoginPort, login)
+	sys.SetEnv(EnvAdminPort, admin)
+	return i
+}
+
+// Process returns idd's kernel process (for the Figure 9 label-size
+// tracking).
+func (i *Idd) Process() *kernel.Process { return i.proc }
+
+// LoginPort returns the login request port.
+func (i *Idd) LoginPort() handle.Handle { return i.loginPort }
+
+// Run is idd's event loop.
+func (i *Idd) Run() {
+	prof := i.sys.Profiler()
+	for {
+		d, err := i.proc.Recv(i.loginPort, i.adminPort)
+		if err != nil {
+			return
+		}
+		stop := prof.Time(stats.CatOKWS)
+		switch d.Port {
+		case i.loginPort:
+			i.handleLogin(d)
+		case i.adminPort:
+			i.handleAdmin(d)
+		}
+		stop()
+	}
+}
+
+// Stop kills the idd process.
+func (i *Idd) Stop() { i.proc.Exit() }
+
+// adminExec runs a statement through ok-dbproxy and waits for the reply.
+// The blocking is safe: the proxy never calls back into idd.
+func (i *Idd) adminExec(sql string, args ...string) (dbproxy.AdminResult, bool) {
+	if err := dbproxy.AdminExec(i.proc, i.dbAdmin, sql, args, i.dbReply); err != nil {
+		return dbproxy.AdminResult{}, false
+	}
+	d, err := i.proc.Recv(i.dbReply)
+	if err != nil || d == nil {
+		return dbproxy.AdminResult{}, false
+	}
+	return dbproxy.ParseAdminResult(d)
+}
+
+func (i *Idd) handleLogin(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpLogin {
+		return
+	}
+	user := r.String()
+	pass := r.String()
+	reply := r.Handle()
+	if r.Err() {
+		return
+	}
+
+	id, ok := i.authenticate(user, pass)
+	if !ok {
+		i.proc.Send(reply, wire.NewWriter(OpLoginR).Byte(0).String("").
+			Handle(handle.None).Handle(handle.None).Done(), nil)
+		return
+	}
+	// Success: grant uT ⋆ and uG ⋆, and raise the receiver's clearance for
+	// uT so it can handle u's tainted data (Figure 5 step 4).
+	msg := wire.NewWriter(OpLoginR).Byte(1).String(id.UID).Handle(id.UT).Handle(id.UG).Done()
+	i.proc.Send(reply, msg, &kernel.SendOpts{
+		DecontSend: kernel.Grant(id.UT, id.UG),
+		DecontRecv: kernel.AllowRecv(label.L3, id.UT),
+	})
+	i.proc.DropPrivilege(reply, label.L1)
+}
+
+// authenticate validates credentials, minting handles on first login
+// ("it either generates new uT and uG handles ... or returns cached
+// handles", §7.4).
+func (i *Idd) authenticate(user, pass string) (Identity, bool) {
+	if id, ok := i.cache[user]; ok {
+		// Cached handle pair; still verify the password against the cache
+		// key? The cache is keyed by username only, so check the database
+		// only when we must. For cached users, validate via one lookup.
+		res, ok2 := i.adminExec(
+			"SELECT uid FROM "+UsersTable+" WHERE name = ? AND password = ?",
+			user, pass)
+		if !ok2 || len(res.Rows) != 1 {
+			return Identity{}, false
+		}
+		return id, true
+	}
+	res, ok := i.adminExec(
+		"SELECT uid FROM "+UsersTable+" WHERE name = ? AND password = ?",
+		user, pass)
+	if !ok || len(res.Rows) != 1 {
+		return Identity{}, false
+	}
+	id := Identity{
+		UID: res.Rows[0][0],
+		UT:  i.proc.NewHandle(),
+		UG:  i.proc.NewHandle(),
+	}
+	// idd must itself tolerate uT-tainted traffic (it is trusted with ⋆).
+	if err := i.proc.RaiseRecv(id.UT, label.L3); err != nil {
+		return Identity{}, false
+	}
+	i.cache[user] = id
+	// Push the binding to ok-dbproxy so it can taint rows.
+	dbproxy.PushMapping(i.proc, i.dbAdmin, user, dbproxy.Mapping{
+		UID: id.UID, UT: id.UT, UG: id.UG,
+	})
+	return id, true
+}
+
+func (i *Idd) handleAdmin(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpAddUser {
+		return
+	}
+	user := r.String()
+	pass := r.String()
+	uid := r.String()
+	reply := r.Handle()
+	if r.Err() {
+		return
+	}
+	i.ensureTable()
+	_, ok := i.adminExec(
+		"INSERT INTO "+UsersTable+" (name, password, uid) VALUES (?, ?, ?)",
+		user, pass, uid)
+	b := byte(0)
+	if ok {
+		b = 1
+	}
+	i.proc.Send(reply, wire.NewWriter(OpAddUserR).Byte(b).Done(), nil)
+	i.proc.DropPrivilege(reply, label.L1)
+}
+
+func (i *Idd) ensureTable() {
+	i.adminExec("CREATE TABLE " + UsersTable + " (name, password, uid)")
+}
+
+// --- client helpers ---
+
+// Login sends a login request; the reply arrives on reply as OpLoginR.
+func Login(p *kernel.Process, iddPort handle.Handle, user, pass string, reply handle.Handle) error {
+	msg := wire.NewWriter(OpLogin).String(user).String(pass).Handle(reply).Done()
+	return p.Send(iddPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// ParseLoginReply decodes an OpLoginR delivery.
+func ParseLoginReply(d *kernel.Delivery) (Identity, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpLoginR {
+		return Identity{}, false
+	}
+	okb := r.Byte()
+	id := Identity{UID: r.String(), UT: r.Handle(), UG: r.Handle()}
+	if r.Err() || okb != 1 {
+		return Identity{}, false
+	}
+	return id, true
+}
+
+// AddUser provisions an account (launcher/test helper); the caller needs an
+// open reply port.
+func AddUser(p *kernel.Process, iddAdmin handle.Handle, user, pass, uid string, reply handle.Handle) error {
+	msg := wire.NewWriter(OpAddUser).String(user).String(pass).String(uid).Handle(reply).Done()
+	return p.Send(iddAdmin, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// ParseAddUserReply decodes an OpAddUserR delivery.
+func ParseAddUserReply(d *kernel.Delivery) bool {
+	op, r := wire.NewReader(d.Data)
+	return op == OpAddUserR && r.Byte() == 1 && !r.Err()
+}

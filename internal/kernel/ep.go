@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+	"asbestos/internal/mem"
+	"asbestos/internal/stats"
+)
+
+// EventProcess is a lightweight, isolated context within a process (paper
+// §6): a pair of labels, receive rights for the ports it created, and a
+// copy-on-write view of the base process's memory. Its kernel state is
+// charged at 44 bytes (EPKernelBytes).
+//
+// Only one event process of a process runs at a time; they share the base
+// process's goroutine. The kernel switches contexts in Checkpoint.
+type EventProcess struct {
+	proc   *Process
+	id     uint32
+	sendL  *label.Label
+	recvL  *label.Label
+	ports  map[handle.Handle]bool
+	view   *mem.View
+	active bool // between Checkpoint return and Yield/EPExit
+	seen   bool // has ever yielded (FirstRun sugar)
+}
+
+// ID returns the event process identifier, unique within its process.
+func (e *EventProcess) ID() uint32 { return e.id }
+
+// FirstRun reports whether this event process has never yielded: true for
+// the activation that created it. The paper's idiom is checking a memory
+// location the base process initialized to zero (§6.1); FirstRun is
+// equivalent sugar.
+func (e *EventProcess) FirstRun() bool { return !e.seen }
+
+// Memory returns the event process's private copy-on-write view.
+func (e *EventProcess) Memory() *mem.View { return e.view }
+
+// Checkpoint implements ep_checkpoint (paper §6.1). The first call moves
+// the process into the event-process realm: the base process will never run
+// its own context again. Each call then blocks until a message is
+// deliverable to some event process:
+//
+//   - a message to a port owned by an existing event process resumes that
+//     event process;
+//   - a message to a port still owned by the base process creates a fresh
+//     event process whose labels are copied from the base and whose memory
+//     view starts empty.
+//
+// Label contamination and declassification rules apply to the chosen event
+// process's labels. An event process still active from a previous
+// Checkpoint is implicitly yielded first.
+func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.dead {
+		return nil, nil, ErrDead
+	}
+	p.inRealm = true
+	if p.cur != nil {
+		p.yieldLocked()
+	}
+	for {
+		stop := p.sys.prof.Time(stats.CatKernelIPC)
+		d, ep := p.checkpointScan()
+		stop()
+		if d != nil {
+			return d, ep, nil
+		}
+		p.cond.Wait()
+		if p.dead {
+			return nil, nil, ErrDead
+		}
+	}
+}
+
+// checkpointScan is the delivery loop of Checkpoint. Caller holds mu.
+func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
+	i := 0
+	for i < len(p.queue) {
+		m := p.queue[i]
+		vn := p.sys.vnodes[m.Port]
+		if vn == nil || vn.owner != p {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.sys.drops++
+			continue
+		}
+		if vn.ownerEP != 0 {
+			ep := p.eps[vn.ownerEP]
+			if ep == nil {
+				// Owner event process exited; message undeliverable.
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				p.sys.drops++
+				continue
+			}
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			if !p.sys.deliverable(m, ep.recvL) {
+				p.sys.drops++
+				continue
+			}
+			applyEffects(m, &ep.sendL, &ep.recvL)
+			ep.active = true
+			p.cur = ep
+			return &Delivery{Port: m.Port, Data: m.Data, V: m.v}, ep
+		}
+		// Base-owned port: a deliverable message forks a new event process
+		// with labels copied from the base (§6.1).
+		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		if !p.sys.deliverable(m, p.recvL) {
+			p.sys.drops++
+			continue
+		}
+		p.nextEP++
+		ep := &EventProcess{
+			proc:  p,
+			id:    p.nextEP,
+			sendL: p.sendL,
+			recvL: p.recvL,
+			ports: make(map[handle.Handle]bool),
+			view:  mem.NewView(p.space),
+		}
+		p.eps[ep.id] = ep
+		applyEffects(m, &ep.sendL, &ep.recvL)
+		ep.active = true
+		p.cur = ep
+		return &Delivery{Port: m.Port, Data: m.Data, V: m.v}, ep
+	}
+	return nil, nil
+}
+
+// Yield implements ep_yield: it saves the current event process's labels,
+// receive rights and memory, and suspends until the next Checkpoint. The
+// event process's private pages persist — this is how a worker caches
+// session state across connections (§7.3).
+func (p *Process) Yield() error {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.cur == nil {
+		return ErrNotInRealm
+	}
+	p.yieldLocked()
+	return nil
+}
+
+func (p *Process) yieldLocked() {
+	p.cur.active = false
+	p.cur.seen = true
+	p.cur = nil
+}
+
+// EPClean implements ep_clean: it reverts the pages overlapping
+// [a, a+n) of the current event process to the base process's contents,
+// dropping the private copies. Workers call it before yielding to discard
+// per-request temporaries such as the stack (§6.1, §7.3).
+func (p *Process) EPClean(a mem.Addr, n int) error {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.cur == nil {
+		return ErrNotInRealm
+	}
+	p.cur.view.Clean(a, n)
+	return nil
+}
+
+// EPExit implements ep_exit: it frees the current event process — its
+// kernel state, private pages, and the receive rights for any ports it
+// created (messages to those ports are henceforth dropped).
+func (p *Process) EPExit() error {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.cur == nil {
+		return ErrNotInRealm
+	}
+	ep := p.cur
+	for port := range ep.ports {
+		if vn := p.sys.vnodes[port]; vn != nil && vn.owner == p && vn.ownerEP == ep.id {
+			vn.owner = nil
+			vn.ownerEP = 0
+		}
+	}
+	delete(p.eps, ep.id)
+	p.cur = nil
+	return nil
+}
+
+// EPCount returns the number of live event processes (cached sessions plus
+// the active one); diagnostics for the memory experiments.
+func (p *Process) EPCount() int {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	return len(p.eps)
+}
+
+// Current returns the active event process, or nil.
+func (p *Process) Current() *EventProcess {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	return p.cur
+}

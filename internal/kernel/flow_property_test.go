@@ -1,0 +1,168 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+)
+
+// TestPropNoSecretLeakage is a whole-system information-flow property test.
+// We build a random mesh of processes, mark one compartment's data SECRET,
+// and drive thousands of random sends (some tainted, some decontaminating,
+// some forwarding previously received payloads). The invariant, checked
+// after every delivery, is the paper's core guarantee: a process may hold
+// secret-derived data only if its send label records the taint (level 3)
+// or it holds declassification privilege (⋆) for the secret compartment.
+func TestPropNoSecretLeakage(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			runLeakTrial(t, rand.New(rand.NewSource(int64(trial)+100)))
+		})
+	}
+}
+
+const secretPayload = "SECRET"
+
+type leakNode struct {
+	p        *Process
+	port     handle.Handle
+	sawTaint bool // holds data derived from the secret
+}
+
+func runLeakTrial(t *testing.T, rng *rand.Rand) {
+	s := newSys()
+	owner := s.NewProcess("owner")
+	secret := owner.NewHandle()
+
+	const n = 8
+	nodes := make([]*leakNode, n)
+	for i := range nodes {
+		p := s.NewProcess(fmt.Sprintf("node%d", i))
+		port := p.NewPort(nil)
+		p.SetPortLabel(port, label.Empty(label.L3))
+		// Randomly give some nodes clearance to receive the secret.
+		if rng.Intn(2) == 0 {
+			owner.Send(port, nil, &SendOpts{DecontRecv: AllowRecv(label.L3, secret)})
+			if d, _ := p.TryRecv(); d == nil {
+				t.Fatal("clearance setup dropped")
+			}
+		}
+		nodes[i] = &leakNode{p: p, port: port}
+	}
+
+	// drain delivers every currently deliverable message at dst and tracks
+	// secret propagation through payloads.
+	drain := func(dst *leakNode) {
+		for {
+			d, err := dst.p.TryRecv()
+			if err != nil || d == nil {
+				return
+			}
+			if string(d.Data) == secretPayload {
+				dst.sawTaint = true
+				// Invariant: anyone holding the secret must be labeled.
+				lvl := dst.p.SendLabel().Get(secret)
+				if lvl != label.L3 && lvl != label.Star {
+					t.Fatalf("%s holds secret with label level %v", dst.p.Name(), lvl)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1: // owner injects secret data, properly tainted
+			dst := nodes[rng.Intn(n)]
+			owner.Send(dst.port, []byte(secretPayload), &SendOpts{
+				Contaminate: Taint(label.L3, secret)})
+			drain(dst)
+		case 2: // owner declassifies to a random node (allowed: it owns it)
+			dst := nodes[rng.Intn(n)]
+			owner.Send(dst.port, []byte("public version"), nil)
+			drain(dst)
+		case 3: // a node tries to decontaminate itself via a crafted send
+			// (must fail: no privilege)
+			src, dst := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
+			err := src.p.Send(dst.port, []byte("fake grant"), &SendOpts{
+				DecontSend: Grant(secret)})
+			if err != ErrPrivilege {
+				t.Fatalf("unprivileged DecontSend = %v, want ErrPrivilege", err)
+			}
+		case 4: // a node tries to raise someone's receive label (must fail)
+			src, dst := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
+			err := src.p.Send(dst.port, []byte("fake clearance"), &SendOpts{
+				DecontRecv: AllowRecv(label.L3, secret)})
+			if err != ErrPrivilege {
+				t.Fatalf("unprivileged DecontRecv = %v, want ErrPrivilege", err)
+			}
+		default: // forward: a node relays what it knows to another node
+			src, dst := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
+			payload := "boring"
+			if src.sawTaint {
+				payload = secretPayload // relaying secret-derived data
+			}
+			src.p.Send(dst.port, []byte(payload), nil)
+			drain(dst)
+		}
+	}
+
+	// Final sweep: every node that ever held the secret must be labeled.
+	for _, nd := range nodes {
+		drain(nd)
+		if nd.sawTaint {
+			lvl := nd.p.SendLabel().Get(secret)
+			if lvl != label.L3 && lvl != label.Star {
+				t.Fatalf("%s ended with secret but label %v", nd.p.Name(), lvl)
+			}
+		}
+	}
+}
+
+// TestPropTaintMonotoneWithoutPrivilege: absent ⋆ privilege and explicit
+// decontamination, a process's send label only rises over time.
+func TestPropTaintMonotoneWithoutPrivilege(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := newSys()
+	owner := s.NewProcess("owner")
+	handles := make([]handle.Handle, 5)
+	for i := range handles {
+		handles[i] = owner.NewHandle()
+	}
+	procs := make([]*Process, 6)
+	ports := make([]handle.Handle, 6)
+	for i := range procs {
+		procs[i] = s.NewProcess(fmt.Sprintf("p%d", i))
+		ports[i] = procs[i].NewPort(nil)
+		procs[i].SetPortLabel(ports[i], label.Empty(label.L3))
+		for _, h := range handles {
+			procs[i].RaiseRecv(h, label.L3) // will fail silently: no privilege
+			owner.Send(ports[i], nil, &SendOpts{DecontRecv: AllowRecv(label.L3, h)})
+			if d, _ := procs[i].TryRecv(); d == nil {
+				t.Fatal("clearance setup failed")
+			}
+		}
+	}
+	prev := make([]*label.Label, len(procs))
+	for i, p := range procs {
+		prev[i] = p.SendLabel()
+	}
+	for step := 0; step < 3000; step++ {
+		src, dst := rng.Intn(len(procs)), rng.Intn(len(procs))
+		var opts *SendOpts
+		if rng.Intn(3) == 0 {
+			opts = &SendOpts{Contaminate: Taint(label.Level(rng.Intn(3)+2), handles[rng.Intn(len(handles))])}
+		}
+		procs[src].Send(ports[dst], []byte("m"), opts)
+		if d, _ := procs[dst].TryRecv(); d != nil {
+			cur := procs[dst].SendLabel()
+			if !prev[dst].Leq(cur) {
+				t.Fatalf("send label went down: %v -> %v", prev[dst], cur)
+			}
+			prev[dst] = cur
+		}
+	}
+}

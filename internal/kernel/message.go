@@ -1,0 +1,354 @@
+package kernel
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+)
+
+// Message is one queued IPC message with its label arguments (paper
+// Figure 4). The labels are captured at send time; the checks that depend
+// on the receiver run at delivery time.
+type Message struct {
+	Port handle.Handle
+	Data []byte
+
+	es *label.Label // effective send label E_S = P_S ⊔ C_S
+	ds *label.Label // decontaminate-send D_S
+	dr *label.Label // decontaminate-receive D_R
+	v  *label.Label // verification V (passed up to the receiver)
+}
+
+// SendOpts carries the four optional labels of the send system call
+// (paper §5). Nil fields take the paper's defaults:
+//
+//	Contaminate  C_S  {⋆}  — adds no contamination
+//	DecontSend   D_S  {3}  — lowers nothing
+//	DecontRecv   D_R  {⋆}  — raises nothing
+//	Verify       V    {3}  — proves nothing, restricts nothing
+type SendOpts struct {
+	Contaminate *label.Label
+	DecontSend  *label.Label
+	DecontRecv  *label.Label
+	Verify      *label.Label
+}
+
+func (o *SendOpts) defaults() (cs, ds, dr, v *label.Label) {
+	cs = label.Empty(label.Star)
+	ds = label.Empty(label.L3)
+	dr = label.Empty(label.Star)
+	v = label.Empty(label.L3)
+	if o == nil {
+		return
+	}
+	if o.Contaminate != nil {
+		cs = o.Contaminate
+	}
+	if o.DecontSend != nil {
+		ds = o.DecontSend
+	}
+	if o.DecontRecv != nil {
+		dr = o.DecontRecv
+	}
+	if o.Verify != nil {
+		v = o.Verify
+	}
+	return
+}
+
+// Delivery is what a receiver observes: the port, the payload, and the
+// sender's verification label (the only optional label passed up, §5.4).
+type Delivery struct {
+	Port handle.Handle
+	Data []byte
+	V    *label.Label
+}
+
+// Grant builds a decontaminate-send label granting ⋆ for the given handles:
+// {h₁ ⋆, …, 3}. Sending with DecontSend: Grant(h) hands the receiver
+// declassification privilege for h — the capability-grant idiom of §5.5.
+func Grant(hs ...handle.Handle) *label.Label {
+	entries := make([]label.Entry, len(hs))
+	for i, h := range hs {
+		entries[i] = label.Entry{H: h, L: label.Star}
+	}
+	return label.New(label.L3, entries...)
+}
+
+// Taint builds a contamination label {h₁ lvl, …, ⋆}: ⊔-ing it into a send
+// label raises exactly the named handles.
+func Taint(lvl label.Level, hs ...handle.Handle) *label.Label {
+	entries := make([]label.Entry, len(hs))
+	for i, h := range hs {
+		entries[i] = label.Entry{H: h, L: lvl}
+	}
+	return label.New(label.Star, entries...)
+}
+
+// AllowRecv builds a decontaminate-receive label {h₁ lvl, …, ⋆} used to
+// raise a receiver's receive label for the named handles.
+func AllowRecv(lvl label.Level, hs ...handle.Handle) *label.Label {
+	entries := make([]label.Entry, len(hs))
+	for i, h := range hs {
+		entries[i] = label.Entry{H: h, L: lvl}
+	}
+	return label.New(label.Star, entries...)
+}
+
+// VerifyLabel builds a verification label {h₁ lvl, …, 3} proving the sender
+// holds the named handles at or below lvl.
+func VerifyLabel(lvl label.Level, hs ...handle.Handle) *label.Label {
+	entries := make([]label.Entry, len(hs))
+	for i, h := range hs {
+		entries[i] = label.Entry{H: h, L: lvl}
+	}
+	return label.New(label.L3, entries...)
+}
+
+// Send implements the send system call (Figure 4). The payload is copied.
+//
+// Sender-side requirements checked immediately (they depend only on the
+// caller's own labels, so failing them leaks nothing):
+//
+//	(2) DS(h) < 3  ⇒ PS(h) = ⋆
+//	(3) DR(h) > ⋆  ⇒ PS(h) = ⋆
+//
+// The remaining requirements — (1) ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR and (4)
+// DR ⊑ pR — are evaluated when the receiver attempts delivery; a message
+// failing them is silently dropped. Send returning nil therefore does NOT
+// imply delivery (unreliable messaging, §4).
+func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.dead {
+		return ErrDead
+	}
+	stop := p.sys.prof.Time(stats.CatKernelIPC)
+	defer stop()
+
+	cs, ds, dr, v := opts.defaults()
+	sendL, _ := p.ctxLabels()
+	ps := *sendL
+	es := ps.Lub(cs)
+
+	// Requirement 2: granting privilege (lowering another's send label)
+	// demands ⋆ for every handle granted.
+	if !label.PairwiseAll(ds, ps, func(d, s label.Level) bool {
+		return d >= label.L3 || s == label.Star
+	}) {
+		return ErrPrivilege
+	}
+	// Requirement 3: raising another's receive label likewise.
+	if !label.PairwiseAll(dr, ps, func(d, s label.Level) bool {
+		return d == label.Star || s == label.Star
+	}) {
+		return ErrPrivilege
+	}
+
+	vn := p.sys.vnodes[port]
+	if vn == nil || !vn.isPort || vn.owner == nil || vn.owner.dead {
+		// Undeliverable, but send still "succeeds" (§4).
+		p.sys.drops++
+		return nil
+	}
+	q := vn.owner
+	if len(q.queue) >= p.sys.queueLimit {
+		p.sys.drops++ // resource exhaustion drop
+		return nil
+	}
+	msg := &Message{
+		Port: port,
+		Data: append([]byte(nil), data...),
+		es:   es,
+		ds:   ds,
+		dr:   dr,
+		v:    v,
+	}
+	q.queue = append(q.queue, msg)
+	q.cond.Broadcast()
+	return nil
+}
+
+func minLevel(a, b label.Level) label.Level {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxLevel(a, b label.Level) label.Level {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// deliverable evaluates requirements 1 and 4 of Figure 4 against a
+// receiving context's labels and the port's current label. Caller holds mu.
+func (s *System) deliverable(m *Message, recvL *label.Label) bool {
+	vn := s.vnodes[m.Port]
+	if vn == nil || vn.portLabel == nil {
+		return false
+	}
+	pr := vn.portLabel
+	// (4) DR ⊑ pR: the port label bounds decontamination, protecting
+	// long-running servers from unwanted taint-acceptance (§5.5).
+	if !m.dr.Leq(pr) {
+		return false
+	}
+	// (1) ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR. The common case has huge recvL (one
+	// clearance entry per user) but tiny DR/V/pR; materializing the bound
+	// would allocate three recvL-sized labels per message. When the ES
+	// default is safely below the bound's floor, it suffices to check the
+	// explicit entries of ES, DR, V and pR pointwise.
+	floor := minLevel(
+		maxLevel(recvL.Min(), m.dr.Default()),
+		minLevel(m.v.Default(), pr.Default()))
+	if m.es.Default() <= floor {
+		rhs := func(h handle.Handle) label.Level {
+			return minLevel(
+				maxLevel(recvL.Get(h), m.dr.Get(h)),
+				minLevel(m.v.Get(h), pr.Get(h)))
+		}
+		ok := true
+		// Walk ES with its own iterated levels: privileged (⋆) entries —
+		// the bulk of a trusted server's label — pass trivially with no
+		// lookups at all.
+		m.es.Each(func(h handle.Handle, e label.Level) bool {
+			if e != label.Star && e > rhs(h) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		check := func(h handle.Handle, _ label.Level) bool {
+			if e := m.es.Get(h); e != label.Star && e > rhs(h) {
+				ok = false
+				return false
+			}
+			return true
+		}
+		if ok {
+			m.dr.Each(check)
+		}
+		if ok {
+			m.v.Each(check)
+		}
+		if ok {
+			pr.Each(check)
+		}
+		return ok
+	}
+	bound := recvL.Lub(m.dr).Glb(m.v).Glb(pr)
+	return m.es.Leq(bound)
+}
+
+// applyEffects performs the label updates of Figure 4 on a receiving
+// context:
+//
+//	QS ← (QS ⊓ DS) ⊔ (ES ⊓ QS⋆)
+//	QR ← QR ⊔ DR
+//
+// The ES ⊓ QS⋆ term gives the receiver's ⋆ handles precedence over
+// incoming contamination (Equation 5); the QS ⊓ DS term applies granted
+// decontamination.
+func applyEffects(m *Message, sendL, recvL **label.Label) {
+	qs := (*sendL).Glb(m.ds)
+	*sendL = qs.Contaminate(m.es)
+	*recvL = (*recvL).Lub(m.dr)
+}
+
+// matchFilter reports whether port is accepted by the filter list (empty
+// filter = any port).
+func matchFilter(port handle.Handle, filter []handle.Handle) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == port {
+			return true
+		}
+	}
+	return false
+}
+
+// recvScan walks the queue for the first message deliverable to the current
+// context, applying drops along the way. It returns nil if nothing is
+// available right now. Caller holds mu.
+func (p *Process) recvScan(filter []handle.Handle) *Delivery {
+	sendL, recvL := p.ctxLabels()
+	i := 0
+	for i < len(p.queue) {
+		m := p.queue[i]
+		vn := p.sys.vnodes[m.Port]
+		if vn == nil || vn.owner != p {
+			// Port dissociated or re-owned elsewhere: drop.
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.sys.drops++
+			continue
+		}
+		if vn.ownerEP != p.curID() || !matchFilter(m.Port, filter) {
+			// Belongs to a different context of this process (handled by
+			// Checkpoint) or filtered out: leave queued.
+			i++
+			continue
+		}
+		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		if !p.sys.deliverable(m, *recvL) {
+			p.sys.drops++
+			continue
+		}
+		applyEffects(m, sendL, recvL)
+		return &Delivery{Port: m.Port, Data: m.Data, V: m.v}
+	}
+	return nil
+}
+
+// Recv blocks until a message is deliverable to the current context on one
+// of the filtered ports (any port if no filter), applies the label effects,
+// and returns it. In the event-process realm, only the active event
+// process's ports are eligible; the base process must use Checkpoint.
+func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	for {
+		if p.dead {
+			return nil, ErrDead
+		}
+		if p.inRealm && p.cur == nil {
+			return nil, ErrNotInRealm
+		}
+		stop := p.sys.prof.Time(stats.CatKernelIPC)
+		d := p.recvScan(filter)
+		stop()
+		if d != nil {
+			return d, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// TryRecv is Recv without blocking: it returns nil if no message is
+// currently deliverable.
+func (p *Process) TryRecv(filter ...handle.Handle) (*Delivery, error) {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.dead {
+		return nil, ErrDead
+	}
+	if p.inRealm && p.cur == nil {
+		return nil, ErrNotInRealm
+	}
+	stop := p.sys.prof.Time(stats.CatKernelIPC)
+	d := p.recvScan(filter)
+	stop()
+	return d, nil
+}
+
+// QueueLen reports the number of queued (not yet delivered) messages;
+// diagnostics only.
+func (p *Process) QueueLen() int {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	return len(p.queue)
+}

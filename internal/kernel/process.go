@@ -1,0 +1,300 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+	"asbestos/internal/mem"
+)
+
+func newSpace() *mem.Space { return mem.NewSpace() }
+
+// Errors returned by syscalls. Only conditions that depend purely on the
+// caller's own state are reported; deliverability failures are silent
+// (unreliable messaging, paper §4).
+var (
+	ErrPrivilege  = errors.New("kernel: operation requires ⋆ privilege for a handle")
+	ErrNotOwner   = errors.New("kernel: caller lacks receive rights for port")
+	ErrDead       = errors.New("kernel: process has exited")
+	ErrInRealm    = errors.New("kernel: base process entered the event-process realm")
+	ErrNotInRealm = errors.New("kernel: no active event process context")
+	ErrBadLabel   = errors.New("kernel: invalid label argument")
+)
+
+// Process is an Asbestos process: a pair of labels, a message queue, an
+// address space, and (optionally) a family of event processes.
+type Process struct {
+	sys  *System
+	id   ProcID
+	name string
+
+	// Base-context labels. Once the process enters the event-process realm
+	// these are frozen as the template for new event processes.
+	sendL *label.Label // P_S: current contamination
+	recvL *label.Label // P_R: maximum acceptable contamination
+
+	queue []*Message
+	cond  *sync.Cond
+	dead  bool
+
+	space *mem.Space
+
+	inRealm bool
+	eps     map[uint32]*EventProcess
+	cur     *EventProcess
+	nextEP  uint32
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() ProcID { return p.id }
+
+// Name returns the diagnostic name.
+func (p *Process) Name() string { return p.name }
+
+// System returns the owning kernel.
+func (p *Process) System() *System { return p.sys }
+
+// ctxLabels returns pointers to the current context's label slots: the
+// active event process if any, else the base process. Caller holds mu.
+func (p *Process) ctxLabels() (sendL, recvL **label.Label) {
+	if p.cur != nil {
+		return &p.cur.sendL, &p.cur.recvL
+	}
+	return &p.sendL, &p.recvL
+}
+
+// SendLabel returns the current context's send label P_S.
+func (p *Process) SendLabel() *label.Label {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	s, _ := p.ctxLabels()
+	return *s
+}
+
+// RecvLabel returns the current context's receive label P_R.
+func (p *Process) RecvLabel() *label.Label {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	_, r := p.ctxLabels()
+	return *r
+}
+
+// Memory returns the current context's memory: the base address space, or
+// the active event process's copy-on-write view.
+func (p *Process) Memory() Memory {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if p.cur != nil {
+		return p.cur.view
+	}
+	return p.space
+}
+
+// Memory is the read/write interface shared by base address spaces and
+// event-process views.
+type Memory interface {
+	ReadAt(a mem.Addr, buf []byte)
+	WriteAt(a mem.Addr, buf []byte)
+}
+
+// NewHandle creates a fresh compartment. The calling context receives
+// declassification privilege: P_S(h) ← ⋆ (paper §5.3: "A process initially
+// has privilege for every handle it creates").
+func (p *Process) NewHandle() handle.Handle {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	vn := p.sys.vnodeFor(false)
+	s, _ := p.ctxLabels()
+	*s = (*s).With(vn.h, label.Star)
+	return vn.h
+}
+
+// NewPort creates a port with the given initial port label. As in Figure 4,
+// the kernel then sets pR(p) ← 0, so no other process can send to the port
+// until the creator grants access, and gives the creating context
+// P_S(p) = ⋆ and receive rights. A nil initial label means {3} (no
+// restriction beyond the process receive label).
+func (p *Process) NewPort(initial *label.Label) handle.Handle {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	if initial == nil {
+		initial = label.Empty(label.L3)
+	}
+	vn := p.sys.vnodeFor(true)
+	vn.portLabel = initial.With(vn.h, label.L0)
+	vn.owner = p
+	if p.cur != nil {
+		vn.ownerEP = p.cur.id
+		p.cur.ports[vn.h] = true
+	}
+	s, _ := p.ctxLabels()
+	*s = (*s).With(vn.h, label.Star)
+	return vn.h
+}
+
+// SetPortLabel replaces a port's label. Only the context holding receive
+// rights may do so; no label privilege is required (port labels are purely
+// discretionary, §5.5). Unlike NewPort, it does not modify its input, so a
+// process can deliberately open a port to everyone by setting {3}.
+func (p *Process) SetPortLabel(port handle.Handle, l *label.Label) error {
+	if l == nil {
+		return ErrBadLabel
+	}
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	vn := p.sys.vnodes[port]
+	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
+		return ErrNotOwner
+	}
+	vn.portLabel = l
+	return nil
+}
+
+// PortLabel returns a port's current label; only the owner may inspect it.
+func (p *Process) PortLabel(port handle.Handle) (*label.Label, error) {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	vn := p.sys.vnodes[port]
+	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
+		return nil, ErrNotOwner
+	}
+	return vn.portLabel, nil
+}
+
+// Dissociate abandons receive rights for a port. Pending and future
+// messages to it are dropped.
+func (p *Process) Dissociate(port handle.Handle) error {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	vn := p.sys.vnodes[port]
+	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
+		return ErrNotOwner
+	}
+	vn.owner = nil
+	vn.ownerEP = 0
+	if p.cur != nil {
+		delete(p.cur.ports, port)
+	}
+	return nil
+}
+
+func (p *Process) curID() uint32 {
+	if p.cur != nil {
+		return p.cur.id
+	}
+	return 0
+}
+
+// ContaminateSelf voluntarily raises the context's send label: P_S ← P_S ⊔
+// (l ⊓ P_S⋆). Contamination requires no privilege, and the ⋆ projection
+// keeps the context's own declassification privileges intact; use
+// DropPrivilege to give those up.
+func (p *Process) ContaminateSelf(l *label.Label) {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	s, _ := p.ctxLabels()
+	*s = (*s).Lub(l.Glb((*s).StarRestrict()))
+}
+
+// DropPrivilege removes ⋆ for h from the context's send label, setting it
+// to lvl (which must be above ⋆). This is the paper's "special variant of
+// the send system call" by which only a process itself can shed ⋆ (§5.3).
+func (p *Process) DropPrivilege(h handle.Handle, lvl label.Level) error {
+	if lvl == label.Star || !lvl.Valid() {
+		return ErrBadLabel
+	}
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	s, _ := p.ctxLabels()
+	if (*s).Get(h) != label.Star {
+		return nil // nothing to drop
+	}
+	*s = (*s).With(h, lvl)
+	return nil
+}
+
+// LowerRecv voluntarily restricts the context's receive label: P_R ← P_R ⊓
+// l. Restricting what one may receive needs no privilege.
+func (p *Process) LowerRecv(l *label.Label) {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	_, r := p.ctxLabels()
+	*r = (*r).Glb(l)
+}
+
+// RaiseRecv raises the context's receive level for handle h to lvl. Raising
+// a receive label makes the system more permissive and therefore requires
+// declassification privilege for h (paper §5.2: "processes are not free to
+// raise their receive labels arbitrarily").
+func (p *Process) RaiseRecv(h handle.Handle, lvl label.Level) error {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	s, r := p.ctxLabels()
+	if (*r).Get(h) >= lvl {
+		return nil // not actually a raise
+	}
+	if (*s).Get(h) != label.Star {
+		return ErrPrivilege
+	}
+	*r = (*r).With(h, lvl)
+	return nil
+}
+
+// Fork creates a new process whose labels copy the calling context's —
+// including ⋆ privileges, which is one of the two ways privilege is
+// distributed (§5.3: "either by forking or using ... decontamination") —
+// and whose address space is a copy of the base process's.
+func (p *Process) Fork(name string) *Process {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	s, r := p.ctxLabels()
+	child := p.sys.newProcessLocked(name, *s, *r)
+	// Copy memory contents (plain copy; COW between processes is not
+	// needed for the paper's accounting, which charges per-process pages).
+	buf := make([]byte, mem.PageSize)
+	forEachPage(p.space, func(n mem.PageNo) {
+		p.space.ReadAt(mem.Addr(n)*mem.PageSize, buf)
+		child.space.WriteAt(mem.Addr(n)*mem.PageSize, buf)
+	})
+	return child
+}
+
+// Exit kills the process: its ports are dissociated, queued messages
+// dropped, and kernel state released.
+func (p *Process) Exit() {
+	p.sys.mu.Lock()
+	defer p.sys.mu.Unlock()
+	p.exitLocked()
+}
+
+func (p *Process) exitLocked() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	for _, vn := range p.sys.vnodes {
+		if vn.owner == p {
+			vn.owner = nil
+			vn.ownerEP = 0
+		}
+	}
+	p.sys.drops += uint64(len(p.queue))
+	p.queue = nil
+	p.eps = make(map[uint32]*EventProcess)
+	p.cur = nil
+	delete(p.sys.procs, p.id)
+	p.cond.Broadcast()
+}
+
+func (p *Process) String() string {
+	return fmt.Sprintf("proc %d (%s)", p.id, p.name)
+}
+
+func forEachPage(s *mem.Space, f func(mem.PageNo)) {
+	for _, n := range s.PageList() {
+		f(n)
+	}
+}

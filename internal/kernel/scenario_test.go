@@ -1,0 +1,300 @@
+package kernel
+
+import (
+	"testing"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+)
+
+// TestFigure2PrivacyScenario reproduces paper Figure 2: a trusted file
+// server FS with privilege for both users' taints, shells U and V tainted
+// with their users' handles, and u's terminal UT. u's data flows freely to
+// the terminal; v's cannot reach it.
+func TestFigure2PrivacyScenario(t *testing.T) {
+	s := newSys()
+	fs := s.NewProcess("fs")
+	uT := fs.NewHandle()
+	vT := fs.NewHandle()
+
+	// Build U, V, UT with the labels of Figure 2 (assigned via explicit
+	// grants from fs, which controls both compartments).
+	mkShell := func(name string, taint handle.Handle) (*Process, handle.Handle) {
+		p := s.NewProcess(name)
+		port := p.NewPort(nil)
+		p.SetPortLabel(port, label.Empty(label.L3))
+		// Raise receive label to taint 3 and contaminate send label to 3.
+		if err := fs.Send(port, nil, &SendOpts{
+			Contaminate: Taint(label.L3, taint),
+			DecontRecv:  AllowRecv(label.L3, taint),
+		}); err != nil {
+			t.Fatalf("%s setup: %v", name, err)
+		}
+		if d, _ := p.TryRecv(); d == nil {
+			t.Fatalf("%s setup message dropped", name)
+		}
+		return p, port
+	}
+	U, _ := mkShell("U", uT)
+	V, _ := mkShell("V", vT)
+	UT, utPort := mkShell("UT", uT)
+
+	// Check the labels match Figure 2.
+	if U.SendLabel().Get(uT) != label.L3 || U.RecvLabel().Get(uT) != label.L3 {
+		t.Fatalf("U labels wrong: %v / %v", U.SendLabel(), U.RecvLabel())
+	}
+
+	// U → UT allowed: US ⊑ UTR.
+	U.Send(utPort, []byte("u's data"), nil)
+	if d, _ := UT.TryRecv(); d == nil {
+		t.Fatal("U must be able to send to UT")
+	}
+
+	// V → UT denied: VS(vT)=3 > UTR(vT)=2.
+	V.Send(utPort, []byte("v's data"), nil)
+	if d, _ := UT.TryRecv(); d != nil {
+		t.Fatal("V must not be able to send to UT")
+	}
+
+	// FS can receive from both (receive label {uT 3, vT 3, 2}) without
+	// accumulating taint (send label keeps ⋆).
+	fsPort := fs.NewPort(nil)
+	fs.SetPortLabel(fsPort, label.Empty(label.L3))
+	fs.RaiseRecv(uT, label.L3)
+	fs.RaiseRecv(vT, label.L3)
+	V.Send(fsPort, []byte("v write"), nil)
+	if d, _ := fs.TryRecv(); d == nil {
+		t.Fatal("fs must accept v's write")
+	}
+	if fs.SendLabel().Get(vT) != label.Star {
+		t.Fatal("fs must keep ⋆ for vT after receiving v-tainted data")
+	}
+
+	// And fs can declassify: reply to U with minimal taint even after
+	// having seen v's data.
+	uPort := U.NewPort(nil)
+	U.SetPortLabel(uPort, label.Empty(label.L3))
+	fs.Send(uPort, []byte("u file contents"), &SendOpts{Contaminate: Taint(label.L3, uT)})
+	if d, _ := U.TryRecv(); d == nil {
+		t.Fatal("fs reply to U dropped")
+	}
+}
+
+// TestPartialTaintLevelTwo exercises the "four levels" discussion of §5.2:
+// with user taint at level 2 the system defaults to allowing communication,
+// and only explicitly excluded processes (receive label lowered to 1) are
+// protected.
+func TestPartialTaintLevelTwo(t *testing.T) {
+	s := newSys()
+	owner := s.NewProcess("owner")
+	vT := owner.NewHandle()
+
+	U := s.NewProcess("U")
+	uPort := U.NewPort(nil)
+	U.SetPortLabel(uPort, label.Empty(label.L3))
+
+	UT := s.NewProcess("UT")
+	utPort := UT.NewPort(nil)
+	UT.SetPortLabel(utPort, label.Empty(label.L3))
+	// UT excluded from vT-tainted data: receive label lowered to {vT 1, 2}.
+	UT.LowerRecv(label.New(label.L3, label.Entry{H: vT, L: label.L1}))
+
+	V := s.NewProcess("V")
+	V.ContaminateSelf(Taint(label.L2, vT)) // taint at level 2, not 3
+
+	// V can talk to U (default receive label 2 accepts level-2 taint) —
+	// the permissive default.
+	V.Send(uPort, []byte("hello"), nil)
+	if d, _ := U.TryRecv(); d == nil {
+		t.Fatal("level-2 taint should pass default receive labels")
+	}
+	if U.SendLabel().Get(vT) != label.L2 {
+		t.Fatalf("U taint = %v, want 2", U.SendLabel().Get(vT))
+	}
+
+	// But not to UT, whose receive label was explicitly lowered.
+	V.Send(utPort, []byte("spy"), nil)
+	if d, _ := UT.TryRecv(); d != nil {
+		t.Fatal("explicitly excluded process received level-2 taint")
+	}
+
+	// And U, having received from V, now cannot reach UT either:
+	// transitive protection.
+	U.Send(utPort, []byte("indirect"), nil)
+	if d, _ := UT.TryRecv(); d != nil {
+		t.Fatal("taint must follow data transitively")
+	}
+}
+
+// TestMLSEmulation reproduces §5.2's multi-level security construction:
+// unclassified / secret / top-secret from two compartments s and t.
+func TestMLSEmulation(t *testing.T) {
+	sys := newSys()
+	admin := sys.NewProcess("admin")
+	sh := admin.NewHandle() // secret compartment
+	th := admin.NewHandle() // top-secret compartment
+
+	mk := func(name string, clearance int) (*Process, handle.Handle) {
+		p := sys.NewProcess(name)
+		port := p.NewPort(nil)
+		p.SetPortLabel(port, label.Empty(label.L3))
+		var opts SendOpts
+		switch clearance {
+		case 1: // secret: receive {s3,2}, send {s3,1}
+			opts.DecontRecv = AllowRecv(label.L3, sh)
+			opts.Contaminate = Taint(label.L3, sh)
+		case 2: // top-secret: receive {s3,t3,2}, send {s3,t3,1}
+			opts.DecontRecv = AllowRecv(label.L3, sh, th)
+			opts.Contaminate = Taint(label.L3, sh, th)
+		}
+		if clearance > 0 {
+			if err := admin.Send(port, nil, &opts); err != nil {
+				t.Fatal(err)
+			}
+			if d, _ := p.TryRecv(); d == nil {
+				t.Fatalf("%s clearance setup dropped", name)
+			}
+		}
+		return p, port
+	}
+
+	uncl, unclPort := mk("unclassified", 0)
+	secret, secretPort := mk("secret", 1)
+	topsec, topsecPort := mk("topsecret", 2)
+
+	// Upward flows allowed: unclassified → secret → top-secret.
+	uncl.Send(secretPort, []byte("up1"), nil)
+	if d, _ := secret.TryRecv(); d == nil {
+		t.Fatal("unclassified → secret must flow")
+	}
+	secret.Send(topsecPort, []byte("up2"), nil)
+	if d, _ := topsec.TryRecv(); d == nil {
+		t.Fatal("secret → top-secret must flow")
+	}
+
+	// Downward flows blocked: top-secret → secret, secret → unclassified.
+	topsec.Send(secretPort, []byte("down1"), nil)
+	if d, _ := secret.TryRecv(); d != nil {
+		t.Fatal("top-secret → secret must be blocked")
+	}
+	secret.Send(unclPort, []byte("down2"), nil)
+	if d, _ := uncl.TryRecv(); d != nil {
+		t.Fatal("secret → unclassified must be blocked")
+	}
+
+	// The odd label {t3, 1} (§5.2): can still send to top-secret only.
+	odd := sys.NewProcess("odd")
+	odd.ContaminateSelf(Taint(label.L3, th))
+	odd.Send(topsecPort, []byte("odd-up"), nil)
+	if d, _ := topsec.TryRecv(); d == nil {
+		t.Fatal("{t3,1} → top-secret must flow")
+	}
+	odd.Send(secretPort, []byte("odd-down"), nil)
+	if d, _ := secret.TryRecv(); d != nil {
+		t.Fatal("{t3,1} → secret must be blocked")
+	}
+}
+
+// TestNetworkIntegrityExclusion reproduces §5.4's system-file example: the
+// network daemon is marked s2 so that anything contaminated by network data
+// cannot pass a V(s) ≤ 1 integrity check.
+func TestNetworkIntegrityExclusion(t *testing.T) {
+	sys := newSys()
+	fs := sys.NewProcess("fs")
+	s := fs.NewHandle()
+	fsPort := fs.NewPort(nil)
+	fs.SetPortLabel(fsPort, label.Empty(label.L3))
+
+	netd := sys.NewProcess("netd")
+	netd.ContaminateSelf(Taint(label.L2, s))
+
+	clean := sys.NewProcess("installer")
+
+	// Clean process proves V(s) ≤ 1 and may write system files.
+	v := label.New(label.L3, label.Entry{H: s, L: label.L1})
+	clean.Send(fsPort, []byte("write system file"), &SendOpts{Verify: v})
+	if d, _ := fs.TryRecv(); d == nil || d.V.Get(s) > label.L1 {
+		t.Fatal("clean writer should pass the integrity check")
+	}
+
+	// netd itself cannot provide that V.
+	netd.Send(fsPort, []byte("evil"), &SendOpts{Verify: v})
+	if d, _ := fs.TryRecv(); d != nil {
+		t.Fatal("netd must fail the s ≤ 1 verification")
+	}
+
+	// And any process contaminated by netd transitively fails too.
+	victim := sys.NewProcess("victim")
+	vicPort := victim.NewPort(nil)
+	victim.SetPortLabel(vicPort, label.Empty(label.L3))
+	netd.Send(vicPort, []byte("payload"), nil)
+	if d, _ := victim.TryRecv(); d == nil {
+		t.Fatal("netd → victim should deliver (s2 ≤ default receive 2)")
+	}
+	victim.Send(fsPort, []byte("laundered"), &SendOpts{Verify: v})
+	if d, _ := fs.TryRecv(); d != nil {
+		t.Fatal("network taint must not be launderable through a victim")
+	}
+}
+
+// TestDeclassifierPattern mirrors §7.6: a semi-trusted declassifier with
+// uT ⋆ can read u's data and republish it untainted; a worker without ⋆
+// cannot.
+func TestDeclassifierPattern(t *testing.T) {
+	s := newSys()
+	idd := s.NewProcess("idd")
+	uT := idd.NewHandle()
+
+	public := s.NewProcess("public")
+	pubPort := public.NewPort(nil)
+	public.SetPortLabel(pubPort, label.Empty(label.L3))
+
+	db := s.NewProcess("db")
+	dbData := []byte("u's profile")
+
+	serve := func(dst handle.Handle) {
+		db.Send(dst, dbData, &SendOpts{Contaminate: Taint(label.L3, uT)})
+	}
+
+	// Ordinary worker: receives tainted, cannot republish.
+	worker := s.NewProcess("worker")
+	wPort := worker.NewPort(nil)
+	worker.SetPortLabel(wPort, label.Empty(label.L3))
+	idd.Send(wPort, nil, &SendOpts{DecontRecv: AllowRecv(label.L3, uT)})
+	if d, _ := worker.TryRecv(); d == nil {
+		t.Fatal("worker clearance setup failed")
+	}
+	serve(wPort)
+	if d, _ := worker.TryRecv(); d == nil {
+		t.Fatal("worker should receive tainted data")
+	}
+	worker.Send(pubPort, dbData, nil)
+	if d, _ := public.TryRecv(); d != nil {
+		t.Fatal("tainted worker must not publish")
+	}
+
+	// Declassifier: granted uT ⋆ instead of taint. Note that ⋆ protects the
+	// send label but receiving tainted data still requires receive-label
+	// clearance (Equation 6), so the grant includes DR as well.
+	decl := s.NewProcess("declassifier")
+	dPort := decl.NewPort(nil)
+	decl.SetPortLabel(dPort, label.Empty(label.L3))
+	idd.Send(dPort, nil, &SendOpts{
+		DecontSend: Grant(uT),
+		DecontRecv: AllowRecv(label.L3, uT),
+	})
+	if d, _ := decl.TryRecv(); d == nil {
+		t.Fatal("declassifier grant failed")
+	}
+	serve(dPort)
+	if d, _ := decl.TryRecv(); d == nil {
+		t.Fatal("declassifier should receive data")
+	}
+	if decl.SendLabel().Get(uT) != label.Star {
+		t.Fatal("declassifier must keep ⋆ (not be contaminated)")
+	}
+	decl.Send(pubPort, dbData, nil)
+	if d, _ := public.TryRecv(); d == nil {
+		t.Fatal("declassifier must be able to publish")
+	}
+}

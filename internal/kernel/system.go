@@ -1,0 +1,238 @@
+// Package kernel emulates the Asbestos kernel in user space: processes,
+// ports, labels on every IPC, and event processes (paper §4–§6).
+//
+// The emulation preserves the kernel's logic exactly while substituting Go
+// machinery for hardware privilege:
+//
+//   - Processes are goroutines. Every system call takes the kernel lock, so
+//     the kernel acts as a monitor, mirroring the uniprocessor Asbestos
+//     prototype.
+//   - Messaging is asynchronous and unreliable. send enqueues after checking
+//     only the sender-side privilege requirements (Figure 4 requirements 2
+//     and 3, which depend on sender state alone); deliverability (requirements
+//     1 and 4) is evaluated at the instant the receiver tries to receive,
+//     against its labels at that moment, exactly as §4 specifies. Messages
+//     failing the check are silently dropped.
+//   - Event processes share their base process's goroutine: only one event
+//     process of a process runs at a time (they share the event loop, §6.1),
+//     so Checkpoint switches the current context — labels, receive rights,
+//     and the copy-on-write memory view.
+//
+// Kernel data-structure sizes follow the paper for memory accounting:
+// 64-byte vnodes per active handle, 320-byte processes, 44-byte event
+// processes, and chunked labels of ≈300 bytes minimum.
+package kernel
+
+import (
+	"sync"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+)
+
+// ProcID identifies a process.
+type ProcID uint32
+
+// ProcKernelBytes is the size of the minimal kernel process structure
+// (paper §6: "Asbestos's minimal process structure takes 320 bytes").
+const ProcKernelBytes = 320
+
+// EPKernelBytes is the size of an event process's kernel state (paper §6:
+// "altogether occupying 44 bytes of Asbestos kernel memory").
+const EPKernelBytes = 44
+
+// msgKernelBytes is the per-queued-message kernel overhead (queue entry,
+// label references) charged by memory accounting.
+const msgKernelBytes = 48
+
+// defaultQueueLimit bounds each process's incoming message queue; sends
+// beyond it are dropped (resource exhaustion, §4).
+const defaultQueueLimit = 16384
+
+// System is the emulated kernel: the single authority for handles, ports,
+// processes and label checks.
+type System struct {
+	mu     sync.Mutex
+	alloc  *handle.Allocator
+	vnodes map[handle.Handle]*vnode
+	procs  map[ProcID]*Process
+	next   ProcID
+	env    map[string]handle.Handle
+	prof   *stats.Profiler
+
+	queueLimit int
+	drops      uint64 // messages dropped by label checks or overflow
+}
+
+// vnode is the kernel structure behind every active handle (paper §5.6).
+// For port handles it carries the port label and receive rights.
+type vnode struct {
+	h         handle.Handle
+	isPort    bool
+	portLabel *label.Label
+	owner     *Process // receive rights; nil when dissociated or not a port
+	ownerEP   uint32   // owning event process id, 0 = the base process
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithSeed keys the handle allocator; systems with equal seeds allocate
+// identical handle sequences (deterministic tests).
+func WithSeed(seed uint64) Option {
+	return func(s *System) { s.alloc = handle.NewAllocator(seed) }
+}
+
+// WithProfiler attaches a component-cost profiler; the kernel records
+// send/recv label-operation time under stats.CatKernelIPC (Figure 9's
+// "Kernel IPC" series).
+func WithProfiler(p *stats.Profiler) Option {
+	return func(s *System) { s.prof = p }
+}
+
+// WithQueueLimit overrides the per-process queue bound.
+func WithQueueLimit(n int) Option {
+	return func(s *System) { s.queueLimit = n }
+}
+
+// NewSystem boots an empty kernel.
+func NewSystem(opts ...Option) *System {
+	s := &System{
+		alloc:      handle.NewAllocator(0x0a5b_e570_5000_0001),
+		vnodes:     make(map[handle.Handle]*vnode),
+		procs:      make(map[ProcID]*Process),
+		env:        make(map[string]handle.Handle),
+		queueLimit: defaultQueueLimit,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NewProcess creates a process with default labels: send {1}, receive {2}
+// (paper §5.1). The caller drives it from any goroutine; all syscalls are
+// methods on the returned Process.
+func (s *System) NewProcess(name string) *Process {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newProcessLocked(name, label.Empty(label.DefaultSend), label.Empty(label.DefaultRecv))
+}
+
+func (s *System) newProcessLocked(name string, sendL, recvL *label.Label) *Process {
+	s.next++
+	p := &Process{
+		sys:   s,
+		id:    s.next,
+		name:  name,
+		sendL: sendL,
+		recvL: recvL,
+		space: newSpace(),
+		eps:   make(map[uint32]*EventProcess),
+	}
+	p.cond = sync.NewCond(&s.mu)
+	s.procs[p.id] = p
+	return p
+}
+
+// SetEnv publishes a handle under a well-known name. Communication is
+// bootstrapped through such environment variables because port names are
+// unpredictable (paper §4).
+func (s *System) SetEnv(name string, h handle.Handle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.env[name] = h
+}
+
+// Env looks up a published handle.
+func (s *System) Env(name string) (handle.Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.env[name]
+	return h, ok
+}
+
+// Drops reports how many messages the kernel has discarded (failed label
+// checks, dead ports, queue overflow). This counter is for tests and
+// diagnostics only: a hardened kernel would not expose it, since observing
+// drops is exactly the storage channel §8 discusses.
+func (s *System) Drops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// Profiler returns the attached profiler (possibly nil).
+func (s *System) Profiler() *stats.Profiler { return s.prof }
+
+// vnodeFor allocates a fresh handle plus its backing vnode. Caller holds mu.
+func (s *System) vnodeFor(isPort bool) *vnode {
+	h := s.alloc.New()
+	vn := &vnode{h: h, isPort: isPort}
+	s.vnodes[h] = vn
+	return vn
+}
+
+// MemStats walks kernel structures and user memory, reproducing the
+// accounting of Figure 6 ("includes all memory allocated by both kernel and
+// user programs"). Labels shared between entities are counted once,
+// modelling the paper's refcounted copy-on-write label sharing.
+func (s *System) MemStats() stats.MemReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var r stats.MemReport
+	labels := make(map[*label.Label]bool)
+	note := func(l *label.Label) {
+		if l != nil {
+			labels[l] = true
+		}
+	}
+	for _, vn := range s.vnodes {
+		r.KernelBytes += handle.VnodeBytes
+		note(vn.portLabel)
+	}
+	for _, p := range s.procs {
+		r.KernelBytes += ProcKernelBytes
+		r.KernelBytes += len(p.queue) * msgKernelBytes
+		for _, m := range p.queue {
+			r.KernelBytes += len(m.Data)
+			note(m.es)
+			note(m.ds)
+			note(m.dr)
+			note(m.v)
+		}
+		note(p.sendL)
+		note(p.recvL)
+		r.UserPages += p.space.Pages()
+		for _, ep := range p.eps {
+			r.KernelBytes += EPKernelBytes
+			note(ep.sendL)
+			note(ep.recvL)
+			r.UserPages += ep.view.PrivatePages()
+			if ep.active {
+				// An active event process holds a message-queue page
+				// (paper §9.1's active-session accounting).
+				r.UserPages++
+			}
+		}
+	}
+	for l := range labels {
+		r.KernelBytes += l.SizeBytes()
+	}
+	return r
+}
+
+// Processes returns a snapshot count of live processes (diagnostics).
+func (s *System) Processes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.procs)
+}
+
+// Handles returns the number of active handles (diagnostics).
+func (s *System) Handles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vnodes)
+}

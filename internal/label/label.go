@@ -1,0 +1,562 @@
+package label
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asbestos/internal/handle"
+)
+
+// Entry is one explicit (handle, level) pair of a label.
+type Entry struct {
+	H handle.Handle
+	L Level
+}
+
+// chunkMax is the maximum number of entries per chunk (paper §5.6: "a sorted
+// array of chunks, each of which is a sorted array of up to 64 vnode
+// pointers").
+const chunkMax = 64
+
+// chunkAllocQuantum models the allocation granularity of chunk entry arrays
+// for memory accounting: entries are allocated in blocks of 32 slots, so the
+// smallest label (one chunk, ≤32 entries) occupies 296 bytes, matching the
+// paper's "smallest label is about 300 bytes long, including space for one
+// chunk".
+const chunkAllocQuantum = 32
+
+// packed entry: upper 61 bits handle, lower 3 bits level (paper §5.6).
+func pack(h handle.Handle, l Level) uint64 { return uint64(h)<<3 | uint64(l) }
+
+func unpack(e uint64) (handle.Handle, Level) {
+	return handle.Handle(e >> 3), Level(e & 7)
+}
+
+// chunk is a sorted run of packed entries with cached level bounds. Chunks
+// are immutable once built and may be shared between labels (the paper's
+// copy-on-write sharing).
+type chunk struct {
+	ents     []uint64
+	min, max Level // over entries only
+}
+
+func newChunk(ents []uint64) *chunk {
+	c := &chunk{ents: ents, min: L3, max: Star}
+	for _, e := range ents {
+		_, l := unpack(e)
+		c.min = minLevel(c.min, l)
+		c.max = maxLevel(c.max, l)
+	}
+	return c
+}
+
+func (c *chunk) first() handle.Handle { h, _ := unpack(c.ents[0]); return h }
+func (c *chunk) last() handle.Handle  { h, _ := unpack(c.ents[len(c.ents)-1]); return h }
+
+// Label is an immutable Asbestos label. The zero value is not meaningful;
+// use Empty or New. Because labels are immutable they are shared freely:
+// operations return their receiver unchanged where the fast paths allow,
+// which is the reproduction of the paper's refcounted copy-on-write sharing.
+type Label struct {
+	chunks   []*chunk
+	def      Level
+	min, max Level // over all handles, including the default
+	nent     int
+}
+
+var empties [numLevels]*Label
+
+func init() {
+	for l := Star; l < numLevels; l++ {
+		empties[l] = &Label{def: l, min: l, max: l}
+	}
+}
+
+// Empty returns the label mapping every handle to def.
+func Empty(def Level) *Label {
+	if !def.Valid() {
+		panic("label: invalid default level")
+	}
+	return empties[def]
+}
+
+// New builds a label with the given default and explicit entries. Entries
+// whose level equals the default are elided (canonical form). New panics on
+// duplicate handles, invalid levels, or invalid handles: labels come from
+// trusted kernel paths and malformed input is a programming error.
+func New(def Level, entries ...Entry) *Label {
+	if !def.Valid() {
+		panic("label: invalid default level")
+	}
+	ents := make([]uint64, 0, len(entries))
+	for _, e := range entries {
+		if !e.L.Valid() {
+			panic("label: invalid level " + e.L.String())
+		}
+		if !e.H.Valid() {
+			panic("label: invalid handle " + e.H.String())
+		}
+		if e.L != def {
+			ents = append(ents, pack(e.H, e.L))
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i]>>3 < ents[j]>>3 })
+	for i := 1; i < len(ents); i++ {
+		if ents[i]>>3 == ents[i-1]>>3 {
+			h, _ := unpack(ents[i])
+			panic("label: duplicate handle " + h.String())
+		}
+	}
+	return build(def, ents)
+}
+
+// build assembles a canonical label from sorted packed entries with no
+// duplicates and no level equal to def.
+func build(def Level, ents []uint64) *Label {
+	if len(ents) == 0 {
+		return Empty(def)
+	}
+	l := &Label{def: def, min: def, max: def, nent: len(ents)}
+	for len(ents) > 0 {
+		n := len(ents)
+		if n > chunkMax {
+			n = chunkMax
+		}
+		c := newChunk(ents[:n:n])
+		ents = ents[n:]
+		l.chunks = append(l.chunks, c)
+		l.min = minLevel(l.min, c.min)
+		l.max = maxLevel(l.max, c.max)
+	}
+	return l
+}
+
+// Default returns the label's default level.
+func (l *Label) Default() Level { return l.def }
+
+// Len returns the number of explicit entries.
+func (l *Label) Len() int { return l.nent }
+
+// Min and Max return the label's level bounds over all handles (including
+// the default). The paper caches these to enable fast-path lattice ops.
+func (l *Label) Min() Level { return l.min }
+func (l *Label) Max() Level { return l.max }
+
+// Get returns the level of handle h.
+func (l *Label) Get(h handle.Handle) Level {
+	// Binary search for the chunk whose span may contain h.
+	i := sort.Search(len(l.chunks), func(i int) bool { return l.chunks[i].last() >= h })
+	if i == len(l.chunks) {
+		return l.def
+	}
+	c := l.chunks[i]
+	j := sort.Search(len(c.ents), func(j int) bool { return c.ents[j]>>3 >= uint64(h) })
+	if j < len(c.ents) {
+		if hh, lvl := unpack(c.ents[j]); hh == h {
+			return lvl
+		}
+	}
+	return l.def
+}
+
+// With returns a label identical to l except that handle h maps to lvl.
+// Unchanged chunks are shared with the receiver (copy-on-write).
+func (l *Label) With(h handle.Handle, lvl Level) *Label {
+	if !lvl.Valid() {
+		panic("label: invalid level " + lvl.String())
+	}
+	if !h.Valid() {
+		panic("label: invalid handle " + h.String())
+	}
+	if l.Get(h) == lvl {
+		return l
+	}
+	// Rebuild via entry list of the affected chunk only.
+	i := sort.Search(len(l.chunks), func(i int) bool { return l.chunks[i].last() >= h })
+	out := &Label{def: l.def}
+	var newEnts []uint64
+	if i == len(l.chunks) {
+		// h beyond all chunks: extend or append to the final chunk.
+		if len(l.chunks) > 0 {
+			i = len(l.chunks) - 1
+			newEnts = append(append([]uint64{}, l.chunks[i].ents...), pack(h, lvl))
+		} else if lvl != l.def {
+			newEnts = []uint64{pack(h, lvl)}
+			i = 0
+		}
+	} else {
+		c := l.chunks[i]
+		newEnts = make([]uint64, 0, len(c.ents)+1)
+		inserted := false
+		for _, e := range c.ents {
+			hh, _ := unpack(e)
+			if hh == h {
+				if lvl != l.def {
+					newEnts = append(newEnts, pack(h, lvl))
+				}
+				inserted = true
+				continue
+			}
+			if !inserted && hh > h {
+				if lvl != l.def {
+					newEnts = append(newEnts, pack(h, lvl))
+				}
+				inserted = true
+			}
+			newEnts = append(newEnts, e)
+		}
+		if !inserted && lvl != l.def {
+			newEnts = append(newEnts, pack(h, lvl))
+		}
+	}
+	// Assemble: shared prefix, replacement chunk(s), shared suffix.
+	out.chunks = append(out.chunks, l.chunks[:i]...)
+	switch {
+	case len(newEnts) == 0:
+		// chunk vanished
+	case len(newEnts) > chunkMax:
+		mid := len(newEnts) / 2
+		out.chunks = append(out.chunks, newChunk(newEnts[:mid:mid]), newChunk(newEnts[mid:]))
+	default:
+		out.chunks = append(out.chunks, newChunk(newEnts))
+	}
+	if i < len(l.chunks) {
+		out.chunks = append(out.chunks, l.chunks[i+1:]...)
+	}
+	out.recompute()
+	if out.nent == 0 {
+		return Empty(out.def)
+	}
+	return out
+}
+
+func (l *Label) recompute() {
+	l.min, l.max, l.nent = l.def, l.def, 0
+	for _, c := range l.chunks {
+		l.min = minLevel(l.min, c.min)
+		l.max = maxLevel(l.max, c.max)
+		l.nent += len(c.ents)
+	}
+}
+
+// iter walks a label's explicit entries in handle order.
+type iter struct {
+	l      *Label
+	ci, ei int
+}
+
+func (it *iter) peek() (handle.Handle, Level, bool) {
+	if it.ci >= len(it.l.chunks) {
+		return 0, 0, false
+	}
+	h, lvl := unpack(it.l.chunks[it.ci].ents[it.ei])
+	return h, lvl, true
+}
+
+func (it *iter) advance() {
+	it.ei++
+	if it.ei >= len(it.l.chunks[it.ci].ents) {
+		it.ci++
+		it.ei = 0
+	}
+}
+
+// PairwiseAll reports whether pred(a(h), b(h)) holds for every handle h,
+// checking the union of both labels' explicit entries plus the defaults.
+// This is the workhorse behind ⊑ and the send-time privilege requirements
+// (paper Figure 4, requirements 2 and 3).
+func PairwiseAll(a, b *Label, pred func(av, bv Level) bool) bool {
+	if !pred(a.def, b.def) {
+		return false
+	}
+	ia, ib := iter{l: a}, iter{l: b}
+	for {
+		ha, la, oka := ia.peek()
+		hb, lb, okb := ib.peek()
+		switch {
+		case !oka && !okb:
+			return true
+		case oka && (!okb || ha < hb):
+			// ha precedes b's next explicit entry, so b(ha) = b.def.
+			if !pred(la, b.def) {
+				return false
+			}
+			ia.advance()
+		case okb && (!oka || hb < ha):
+			if !pred(a.def, lb) {
+				return false
+			}
+			ib.advance()
+		default: // ha == hb
+			if !pred(la, lb) {
+				return false
+			}
+			ia.advance()
+			ib.advance()
+		}
+	}
+}
+
+// Leq reports a ⊑ b: a(h) ≤ b(h) for all h.
+func (l *Label) Leq(m *Label) bool {
+	if l == m {
+		return true
+	}
+	if l.max <= m.min {
+		return true // fast path via cached bounds
+	}
+	if l.min > m.max {
+		return false
+	}
+	return PairwiseAll(l, m, func(a, b Level) bool { return a <= b })
+}
+
+// combine merges two labels pointwise with op (which must be monotone in
+// the lattice sense: here max for ⊔ and min for ⊓).
+func combine(a, b *Label, op func(Level, Level) Level) *Label {
+	def := op(a.def, b.def)
+	// Collect union of explicit handles with combined levels.
+	ents := make([]uint64, 0, a.nent+b.nent)
+	ia, ib := iter{l: a}, iter{l: b}
+	emit := func(h handle.Handle, v Level) {
+		if v != def {
+			ents = append(ents, pack(h, v))
+		}
+	}
+	for {
+		ha, la, oka := ia.peek()
+		hb, lb, okb := ib.peek()
+		switch {
+		case !oka && !okb:
+			return build(def, ents)
+		case oka && (!okb || ha < hb):
+			emit(ha, op(la, b.def))
+			ia.advance()
+		case okb && (!oka || hb < ha):
+			emit(hb, op(a.def, lb))
+			ib.advance()
+		default:
+			emit(ha, op(la, lb))
+			ia.advance()
+			ib.advance()
+		}
+	}
+}
+
+// Lub returns the least upper bound a ⊔ b: pointwise max. Used to combine
+// contamination when a message is delivered (paper Equation 2).
+func (l *Label) Lub(m *Label) *Label {
+	if l == m {
+		return l
+	}
+	// Fast paths from cached bounds (paper §5.6: "if L2's maximum level is
+	// no larger than L1's minimum level, then L1 ⊔ L2 = L1 by definition").
+	if m.max <= l.min {
+		return l
+	}
+	if l.max <= m.min {
+		return m
+	}
+	out := combine(l, m, maxLevel)
+	// Share storage when the result is value-equal to an input — the
+	// paper's copy-on-write label sharing, which keeps dormant event
+	// processes from each holding a private copy of an unchanged label.
+	if out.Eq(l) {
+		return l
+	}
+	if out.Eq(m) {
+		return m
+	}
+	return out
+}
+
+// Glb returns the greatest lower bound a ⊓ b: pointwise min. Used for
+// declassification: ⊓ against a stars-only label preserves the receiver's
+// ⋆ privileges during contamination (paper Equation 5).
+func (l *Label) Glb(m *Label) *Label {
+	if l == m {
+		return l
+	}
+	if m.min >= l.max {
+		return l
+	}
+	if l.min >= m.max {
+		return m
+	}
+	out := combine(l, m, minLevel)
+	if out.Eq(l) {
+		return l
+	}
+	if out.Eq(m) {
+		return m
+	}
+	return out
+}
+
+// Contaminate returns the Equation 5 update QS ⊔ (ES ⊓ QS⋆) in one fused
+// pass: pointwise, a handle held at ⋆ keeps its privilege, anything else
+// takes the max of the current level and the incoming effective level. The
+// fused form avoids materializing two intermediate labels on every message
+// delivery — the hot path of the whole system.
+func (l *Label) Contaminate(es *Label) *Label {
+	if l == es {
+		return l
+	}
+	if es.max <= l.min {
+		return l // nothing in es exceeds anything here
+	}
+	out := combine(l, es, func(q, e Level) Level {
+		if q == Star {
+			return Star
+		}
+		return maxLevel(q, e)
+	})
+	if out.Eq(l) {
+		return l
+	}
+	return out
+}
+
+// StarRestrict returns L⋆: ⋆ where the label has ⋆, 3 everywhere else
+// (paper Figure 3). It projects a label onto its declassification
+// privileges.
+func (l *Label) StarRestrict() *Label {
+	if l.min > Star {
+		return Empty(L3) // no stars at all
+	}
+	def := starProject(l.def)
+	var ents []uint64
+	for _, c := range l.chunks {
+		if c.min > Star && def == L3 {
+			continue // no stars in this chunk, and default already 3
+		}
+		for _, e := range c.ents {
+			h, lvl := unpack(e)
+			if v := starProject(lvl); v != def {
+				ents = append(ents, pack(h, v))
+			}
+		}
+	}
+	return build(def, ents)
+}
+
+// Eq reports whether two labels are the same function.
+func (l *Label) Eq(m *Label) bool {
+	if l == m {
+		return true
+	}
+	if l.def != m.def || l.nent != m.nent {
+		return false
+	}
+	ia, ib := iter{l: l}, iter{l: m}
+	for {
+		ha, la, oka := ia.peek()
+		hb, lb, okb := ib.peek()
+		if !oka {
+			return !okb
+		}
+		if !okb || ha != hb || la != lb {
+			return false
+		}
+		ia.advance()
+		ib.advance()
+	}
+}
+
+// Each calls f for every explicit entry in handle order; f returning false
+// stops the walk.
+func (l *Label) Each(f func(handle.Handle, Level) bool) {
+	for _, c := range l.chunks {
+		for _, e := range c.ents {
+			h, lvl := unpack(e)
+			if !f(h, lvl) {
+				return
+			}
+		}
+	}
+}
+
+// Entries returns the explicit entries in handle order.
+func (l *Label) Entries() []Entry {
+	out := make([]Entry, 0, l.nent)
+	l.Each(func(h handle.Handle, lvl Level) bool {
+		out = append(out, Entry{h, lvl})
+		return true
+	})
+	return out
+}
+
+// SizeBytes models the kernel memory occupied by this label: a 32-byte
+// header plus, per chunk, an 8-byte chunk header and entry storage rounded
+// up to 32-slot blocks. The smallest label is 296 bytes, matching the
+// paper's "about 300 bytes, including space for one chunk" (§5.6).
+func (l *Label) SizeBytes() int {
+	n := 32
+	chunks := len(l.chunks)
+	if chunks == 0 {
+		chunks = 1 // space for one chunk is always reserved
+	}
+	n += chunks * 8
+	for _, c := range l.chunks {
+		blocks := (len(c.ents) + chunkAllocQuantum - 1) / chunkAllocQuantum
+		n += blocks * chunkAllocQuantum * 8
+	}
+	if len(l.chunks) == 0 {
+		n += chunkAllocQuantum * 8
+	}
+	return n
+}
+
+// String renders the label in the paper's set notation, e.g. "{h7 *, h9 3, 1}".
+func (l *Label) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	l.Each(func(h handle.Handle, lvl Level) bool {
+		fmt.Fprintf(&b, "%s %s, ", h, lvl)
+		return true
+	})
+	b.WriteString(l.def.String())
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Parse parses the String representation: "{h7 *, h9 3, 1}" or "{1}".
+func Parse(s string) (*Label, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("label: %q is not wrapped in braces", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	defStr := strings.TrimSpace(parts[len(parts)-1])
+	def, ok := ParseLevel(defStr)
+	if !ok {
+		return nil, fmt.Errorf("label: bad default level %q", defStr)
+	}
+	var entries []Entry
+	for _, p := range parts[:len(parts)-1] {
+		fields := strings.Fields(strings.TrimSpace(p))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("label: bad entry %q", p)
+		}
+		hs := strings.TrimPrefix(fields[0], "h")
+		var hv uint64
+		if _, err := fmt.Sscanf(hs, "%d", &hv); err != nil {
+			return nil, fmt.Errorf("label: bad handle %q", fields[0])
+		}
+		lvl, ok := ParseLevel(fields[1])
+		if !ok {
+			return nil, fmt.Errorf("label: bad level %q", fields[1])
+		}
+		entries = append(entries, Entry{handle.Handle(hv), lvl})
+	}
+	var l *Label
+	func() {
+		defer func() { recover() }()
+		l = New(def, entries...)
+	}()
+	if l == nil {
+		return nil, fmt.Errorf("label: invalid entries in %q", s)
+	}
+	return l, nil
+}

@@ -1,0 +1,285 @@
+package label
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"asbestos/internal/handle"
+)
+
+// randLabel is a generator for testing/quick: labels over a small handle
+// universe (to force collisions between labels) with random defaults.
+type randLabel struct{ L *Label }
+
+func (randLabel) Generate(r *rand.Rand, size int) reflect.Value {
+	def := Level(r.Intn(5))
+	n := r.Intn(40)
+	l := Empty(def)
+	for i := 0; i < n; i++ {
+		l = l.With(handle.Handle(r.Intn(60)+1), Level(r.Intn(5)))
+	}
+	return reflect.ValueOf(randLabel{l})
+}
+
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+// --- cross-validation: optimized Label vs Simple reference ---
+
+func TestPropAgreeLeq(t *testing.T) {
+	f := func(a, b randLabel) bool {
+		return a.L.Leq(b.L) == FromLabel(a.L).Leq(FromLabel(b.L))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAgreeLub(t *testing.T) {
+	f := func(a, b randLabel) bool {
+		got := FromLabel(a.L.Lub(b.L))
+		want := FromLabel(a.L).Lub(FromLabel(b.L))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAgreeGlb(t *testing.T) {
+	f := func(a, b randLabel) bool {
+		got := FromLabel(a.L.Glb(b.L))
+		want := FromLabel(a.L).Glb(FromLabel(b.L))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAgreeStarRestrict(t *testing.T) {
+	f := func(a randLabel) bool {
+		return FromLabel(a.L.StarRestrict()).Eq(FromLabel(a.L).StarRestrict())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSimpleRoundTrip(t *testing.T) {
+	f := func(a randLabel) bool {
+		return FromLabel(a.L).ToLabel().Eq(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- lattice laws (paper §5.1: labels form a lattice) ---
+
+func TestPropLeqReflexive(t *testing.T) {
+	f := func(a randLabel) bool { return a.L.Leq(a.L) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqAntisymmetric(t *testing.T) {
+	f := func(a, b randLabel) bool {
+		if a.L.Leq(b.L) && b.L.Leq(a.L) {
+			return a.L.Eq(b.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqTransitive(t *testing.T) {
+	f := func(a, b, c randLabel) bool {
+		if a.L.Leq(b.L) && b.L.Leq(c.L) {
+			return a.L.Leq(c.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLubIsUpperBound(t *testing.T) {
+	f := func(a, b randLabel) bool {
+		j := a.L.Lub(b.L)
+		return a.L.Leq(j) && b.L.Leq(j)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLubIsLeast(t *testing.T) {
+	// For any upper bound c of {a, b}, a⊔b ⊑ c.
+	f := func(a, b, c randLabel) bool {
+		if a.L.Leq(c.L) && b.L.Leq(c.L) {
+			return a.L.Lub(b.L).Leq(c.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGlbIsLowerBound(t *testing.T) {
+	f := func(a, b randLabel) bool {
+		m := a.L.Glb(b.L)
+		return m.Leq(a.L) && m.Leq(b.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGlbIsGreatest(t *testing.T) {
+	f := func(a, b, c randLabel) bool {
+		if c.L.Leq(a.L) && c.L.Leq(b.L) {
+			return c.L.Leq(a.L.Glb(b.L))
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLubCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(a, b, c randLabel) bool {
+		if !a.L.Lub(b.L).Eq(b.L.Lub(a.L)) {
+			return false
+		}
+		if !a.L.Lub(b.L).Lub(c.L).Eq(a.L.Lub(b.L.Lub(c.L))) {
+			return false
+		}
+		return a.L.Lub(a.L).Eq(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGlbCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(a, b, c randLabel) bool {
+		if !a.L.Glb(b.L).Eq(b.L.Glb(a.L)) {
+			return false
+		}
+		if !a.L.Glb(b.L).Glb(c.L).Eq(a.L.Glb(b.L.Glb(c.L))) {
+			return false
+		}
+		return a.L.Glb(a.L).Eq(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAbsorption(t *testing.T) {
+	// a ⊔ (a ⊓ b) = a and a ⊓ (a ⊔ b) = a.
+	f := func(a, b randLabel) bool {
+		return a.L.Lub(a.L.Glb(b.L)).Eq(a.L) && a.L.Glb(a.L.Lub(b.L)).Eq(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqIffLubAbsorbs(t *testing.T) {
+	// a ⊑ b ⇔ a ⊔ b = b ⇔ a ⊓ b = a.
+	f := func(a, b randLabel) bool {
+		leq := a.L.Leq(b.L)
+		return leq == a.L.Lub(b.L).Eq(b.L) && leq == a.L.Glb(b.L).Eq(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- ⋆ projection and contamination laws used by the kernel ---
+
+func TestPropStarRestrictIdempotent(t *testing.T) {
+	f := func(a randLabel) bool {
+		s := a.L.StarRestrict()
+		return s.StarRestrict().Eq(s)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContaminationPreservesStars(t *testing.T) {
+	// The Equation 5 update QS ← QS ⊔ (ES ⊓ QS⋆) must keep every ⋆ of QS:
+	// privileged handles cannot be contaminated (paper §5.3).
+	f := func(q, e randLabel) bool {
+		updated := q.L.Lub(e.L.Glb(q.L.StarRestrict()))
+		ok := true
+		q.L.Each(func(hh handle.Handle, lvl Level) bool {
+			if lvl == Star && updated.Get(hh) != Star {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if q.L.Default() == Star {
+			// Any handle not explicit in q keeps ⋆ unless e mentions it...
+			// actually ⊓ with QS⋆ (which is ⋆ there) forces the contamination
+			// term to ⋆, so the update leaves it at ⋆.
+			e.L.Each(func(hh handle.Handle, lvl Level) bool {
+				if q.L.Get(hh) == Star && updated.Get(hh) != Star {
+					ok = false
+					return false
+				}
+				return true
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContaminationMonotone(t *testing.T) {
+	// Contamination never lowers a non-⋆ level: QS ⊑ QS ⊔ (ES ⊓ QS⋆).
+	f := func(q, e randLabel) bool {
+		updated := q.L.Lub(e.L.Glb(q.L.StarRestrict()))
+		return q.L.Leq(updated)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropWithGetConsistent(t *testing.T) {
+	f := func(a randLabel, hv uint16, lv uint8) bool {
+		hh := handle.Handle(uint64(hv) + 1)
+		lvl := Level(lv % 5)
+		m := a.L.With(hh, lvl)
+		if m.Get(hh) != lvl {
+			return false
+		}
+		// All other handles unchanged.
+		ok := true
+		a.L.Each(func(other handle.Handle, l Level) bool {
+			if other != hh && m.Get(other) != l {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && m.Default() == a.L.Default()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package label
+
+import (
+	"sort"
+
+	"asbestos/internal/handle"
+)
+
+// Simple is the map-based reference implementation of the label algebra.
+// It exists to validate the optimized Label via property tests: every
+// operation on Label must agree with the corresponding operation here.
+// It is exported so other packages' tests can reuse it as an oracle.
+type Simple struct {
+	Def Level
+	M   map[handle.Handle]Level
+}
+
+// NewSimple builds a reference label.
+func NewSimple(def Level, entries ...Entry) *Simple {
+	s := &Simple{Def: def, M: make(map[handle.Handle]Level)}
+	for _, e := range entries {
+		if e.L != def {
+			s.M[e.H] = e.L
+		}
+	}
+	return s
+}
+
+// FromLabel converts an optimized label to the reference form.
+func FromLabel(l *Label) *Simple {
+	s := &Simple{Def: l.Default(), M: make(map[handle.Handle]Level, l.Len())}
+	l.Each(func(h handle.Handle, lvl Level) bool {
+		s.M[h] = lvl
+		return true
+	})
+	return s
+}
+
+// ToLabel converts back to the optimized form.
+func (s *Simple) ToLabel() *Label {
+	entries := make([]Entry, 0, len(s.M))
+	for h, l := range s.M {
+		entries = append(entries, Entry{h, l})
+	}
+	return New(s.Def, entries...)
+}
+
+// Get returns the level of h.
+func (s *Simple) Get(h handle.Handle) Level {
+	if l, ok := s.M[h]; ok {
+		return l
+	}
+	return s.Def
+}
+
+// handles returns the union of explicit handles of a and b.
+func (s *Simple) handles(t *Simple) []handle.Handle {
+	set := make(map[handle.Handle]bool, len(s.M)+len(t.M))
+	for h := range s.M {
+		set[h] = true
+	}
+	for h := range t.M {
+		set[h] = true
+	}
+	out := make([]handle.Handle, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leq reports s ⊑ t pointwise.
+func (s *Simple) Leq(t *Simple) bool {
+	if s.Def > t.Def {
+		return false
+	}
+	for _, h := range s.handles(t) {
+		if s.Get(h) > t.Get(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lub returns the pointwise max.
+func (s *Simple) Lub(t *Simple) *Simple {
+	out := NewSimple(maxLevel(s.Def, t.Def))
+	for _, h := range s.handles(t) {
+		if v := maxLevel(s.Get(h), t.Get(h)); v != out.Def {
+			out.M[h] = v
+		}
+	}
+	return out
+}
+
+// Glb returns the pointwise min.
+func (s *Simple) Glb(t *Simple) *Simple {
+	out := NewSimple(minLevel(s.Def, t.Def))
+	for _, h := range s.handles(t) {
+		if v := minLevel(s.Get(h), t.Get(h)); v != out.Def {
+			out.M[h] = v
+		}
+	}
+	return out
+}
+
+// StarRestrict returns L⋆ in reference form.
+func (s *Simple) StarRestrict() *Simple {
+	out := NewSimple(starProject(s.Def))
+	for h, l := range s.M {
+		if v := starProject(l); v != out.Def {
+			out.M[h] = v
+		}
+	}
+	return out
+}
+
+// Eq reports equality as functions.
+func (s *Simple) Eq(t *Simple) bool {
+	if s.Def != t.Def {
+		return false
+	}
+	for _, h := range s.handles(t) {
+		if s.Get(h) != t.Get(h) {
+			return false
+		}
+	}
+	return true
+}

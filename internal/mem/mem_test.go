@@ -1,0 +1,241 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceReadWrite(t *testing.T) {
+	s := NewSpace()
+	data := []byte("hello asbestos")
+	s.WriteAt(100, data)
+	got := make([]byte, len(data))
+	s.ReadAt(100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	if s.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1", s.Pages())
+	}
+}
+
+func TestSpaceZeroFill(t *testing.T) {
+	s := NewSpace()
+	buf := []byte{1, 2, 3, 4}
+	s.ReadAt(5000, buf)
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("unallocated read = %v, want zeros", buf)
+	}
+	if s.Pages() != 0 {
+		t.Fatal("read must not allocate")
+	}
+}
+
+func TestSpaceCrossPageWrite(t *testing.T) {
+	s := NewSpace()
+	data := make([]byte, PageSize*2+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	const base = PageSize - 50
+	s.WriteAt(base, data)
+	if s.Pages() != 4 {
+		t.Fatalf("Pages = %d, want 4 (write spans 4 pages)", s.Pages())
+	}
+	got := make([]byte, len(data))
+	s.ReadAt(base, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip failed")
+	}
+}
+
+func TestSpaceUnmap(t *testing.T) {
+	s := NewSpace()
+	s.WriteAt(0, make([]byte, PageSize*3))
+	if s.Pages() != 3 {
+		t.Fatalf("Pages = %d", s.Pages())
+	}
+	s.Unmap(PageSize, PageSize)
+	if s.Pages() != 2 {
+		t.Fatalf("after Unmap Pages = %d, want 2", s.Pages())
+	}
+	buf := make([]byte, 1)
+	s.ReadAt(PageSize+10, buf)
+	if buf[0] != 0 {
+		t.Fatal("unmapped page must read zero")
+	}
+	s.Unmap(0, 0) // no-op
+	if s.Pages() != 2 {
+		t.Fatal("Unmap(_, 0) must be a no-op")
+	}
+}
+
+func TestViewCopyOnWrite(t *testing.T) {
+	s := NewSpace()
+	s.WriteAt(0, []byte("base data"))
+	v := NewView(s)
+
+	// Reads fall through; no private pages yet.
+	buf := make([]byte, 9)
+	v.ReadAt(0, buf)
+	if string(buf) != "base data" {
+		t.Fatalf("view read %q", buf)
+	}
+	if v.PrivatePages() != 0 {
+		t.Fatal("read must not copy pages")
+	}
+
+	// First write copies the page.
+	v.WriteAt(0, []byte("VIEW"))
+	if v.PrivatePages() != 1 {
+		t.Fatalf("PrivatePages = %d, want 1", v.PrivatePages())
+	}
+	v.ReadAt(0, buf)
+	if string(buf) != "VIEW data" {
+		t.Fatalf("view read after write %q", buf)
+	}
+	// Base unchanged: isolation.
+	s.ReadAt(0, buf)
+	if string(buf) != "base data" {
+		t.Fatalf("base corrupted: %q", buf)
+	}
+}
+
+func TestViewsIsolated(t *testing.T) {
+	s := NewSpace()
+	s.WriteAt(0, []byte("shared"))
+	v1, v2 := NewView(s), NewView(s)
+	v1.WriteAt(0, []byte("one"))
+	v2.WriteAt(0, []byte("two"))
+	b1, b2 := make([]byte, 6), make([]byte, 6)
+	v1.ReadAt(0, b1)
+	v2.ReadAt(0, b2)
+	if string(b1) != "onered" || string(b2) != "twored" {
+		t.Fatalf("views not isolated: %q %q", b1, b2)
+	}
+}
+
+func TestViewSeesBaseUpdatesOnUntouchedPages(t *testing.T) {
+	// An event process borrows the base page table for pages it never
+	// modified; changes to the base before the EP realm are visible.
+	s := NewSpace()
+	v := NewView(s)
+	s.WriteAt(0, []byte("later"))
+	buf := make([]byte, 5)
+	v.ReadAt(0, buf)
+	if string(buf) != "later" {
+		t.Fatalf("view should fall through to base: %q", buf)
+	}
+}
+
+func TestViewClean(t *testing.T) {
+	s := NewSpace()
+	s.WriteAt(0, []byte("base"))
+	v := NewView(s)
+	v.WriteAt(0, []byte("temp"))
+	v.WriteAt(PageSize*5, []byte("session"))
+	if v.PrivatePages() != 2 {
+		t.Fatalf("PrivatePages = %d, want 2", v.PrivatePages())
+	}
+	// Clean the first page only (the "stack").
+	v.Clean(0, PageSize)
+	if v.PrivatePages() != 1 {
+		t.Fatalf("after Clean PrivatePages = %d, want 1", v.PrivatePages())
+	}
+	buf := make([]byte, 4)
+	v.ReadAt(0, buf)
+	if string(buf) != "base" {
+		t.Fatalf("cleaned page should revert to base: %q", buf)
+	}
+	buf7 := make([]byte, 7)
+	v.ReadAt(PageSize*5, buf7)
+	if string(buf7) != "session" {
+		t.Fatalf("session page lost: %q", buf7)
+	}
+	v.CleanAll()
+	if v.PrivatePages() != 0 {
+		t.Fatal("CleanAll left private pages")
+	}
+}
+
+func TestViewCleanZeroLength(t *testing.T) {
+	v := NewView(NewSpace())
+	v.WriteAt(0, []byte("x"))
+	v.Clean(0, 0)
+	if v.PrivatePages() != 1 {
+		t.Fatal("Clean(_, 0) must be a no-op")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Fatal("PageOf boundary arithmetic wrong")
+	}
+}
+
+// Property: a view behaves exactly like a private full copy of the base.
+func TestPropViewMatchesFullCopy(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint16
+		Data  []byte
+		Which bool // true = write to view, false = write to base first
+	}) bool {
+		s := NewSpace()
+		v := NewView(s)
+		model := make(map[Addr]byte) // expected view contents
+		baseModel := make(map[Addr]byte)
+		viewTouched := make(map[PageNo]bool)
+		for _, op := range ops {
+			a := Addr(op.Addr)
+			if op.Which {
+				v.WriteAt(a, op.Data)
+				for i, b := range op.Data {
+					model[a+Addr(i)] = b
+					viewTouched[PageOf(a+Addr(i))] = true
+				}
+			} else {
+				s.WriteAt(a, op.Data)
+				for i, b := range op.Data {
+					baseModel[a+Addr(i)] = b
+					// Base writes show through only on untouched pages.
+					if !viewTouched[PageOf(a+Addr(i))] {
+						model[a+Addr(i)] = b
+					}
+				}
+			}
+		}
+		buf := make([]byte, 1)
+		for a, want := range model {
+			v.ReadAt(a, buf)
+			if buf[0] != want {
+				return false
+			}
+		}
+		for a, want := range baseModel {
+			s.ReadAt(a, buf)
+			if buf[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkViewWriteCOW(b *testing.B) {
+	s := NewSpace()
+	s.WriteAt(0, make([]byte, PageSize*16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := NewView(s)
+		v.WriteAt(Addr(i%16)*PageSize, []byte("dirty"))
+	}
+}

@@ -1,0 +1,312 @@
+package netd
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+	"asbestos/internal/wire"
+)
+
+// EnvName is the environment key under which netd publishes its service
+// port (bootstrap, paper §4).
+const EnvName = "netd"
+
+// Netd is the network server. Create with New, then run its event loop on
+// a goroutine with Run.
+type Netd struct {
+	sys  *kernel.System
+	proc *kernel.Process
+	nw   *Network
+
+	servicePort handle.Handle
+	driverPort  handle.Handle
+
+	conns     map[uint64]*sconn
+	byPort    map[handle.Handle]*sconn
+	listeners map[uint16]handle.Handle // lport → notify port
+}
+
+// sconn is netd's per-connection state: the wrapped port, the optional
+// taint handle, and reads awaiting data.
+type sconn struct {
+	c       *Conn
+	port    handle.Handle
+	lport   uint16
+	taint   handle.Handle
+	pending []pendingRead
+	closed  bool // Asbestos side closed it
+}
+
+type pendingRead struct {
+	reply handle.Handle
+	max   int
+}
+
+// New boots netd on sys: it creates the netd process, its service and
+// driver ports, and the hidden driver process, and publishes the service
+// port under EnvName.
+func New(sys *kernel.System) *Netd {
+	proc := sys.NewProcess("netd")
+	svc := proc.NewPort(nil)
+	if err := proc.SetPortLabel(svc, label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	driver := proc.NewPort(nil)
+
+	// The driver process models the interrupt path: it is the only process
+	// allowed to send to the driver port.
+	drv := sys.NewProcess("netdrv")
+	boot := drv.NewPort(nil)
+	if err := drv.SetPortLabel(boot, label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	if err := proc.Send(boot, nil, &kernel.SendOpts{DecontSend: kernel.Grant(driver)}); err != nil {
+		panic(err)
+	}
+	if d, err := drv.TryRecv(); err != nil || d == nil {
+		panic("netd: driver bootstrap failed")
+	}
+
+	nd := &Netd{
+		sys:         sys,
+		proc:        proc,
+		servicePort: svc,
+		driverPort:  driver,
+		conns:       make(map[uint64]*sconn),
+		byPort:      make(map[handle.Handle]*sconn),
+		listeners:   make(map[uint16]handle.Handle),
+	}
+	nd.nw = &Network{
+		conns:      make(map[uint64]*Conn),
+		listening:  make(map[uint16]bool),
+		external:   make(map[uint16]*ExternalListener),
+		drv:        drv,
+		driverPort: driver,
+	}
+	sys.SetEnv(EnvName, svc)
+	return nd
+}
+
+// Network returns the simulated wire for remote peers.
+func (nd *Netd) Network() *Network { return nd.nw }
+
+// ServicePort returns netd's request port.
+func (nd *Netd) ServicePort() handle.Handle { return nd.servicePort }
+
+// Process returns the netd kernel process (for label inspection in tests
+// and experiments — e.g. Figure 9 tracks its receive-label growth).
+func (nd *Netd) Process() *kernel.Process { return nd.proc }
+
+// Run is netd's event loop; it returns when the process is killed via
+// Stop.
+func (nd *Netd) Run() {
+	prof := nd.sys.Profiler()
+	for {
+		d, err := nd.proc.Recv()
+		if err != nil {
+			return
+		}
+		stop := prof.Time(stats.CatNetwork)
+		nd.dispatch(d)
+		stop()
+	}
+}
+
+// Stop kills the netd process, terminating Run.
+func (nd *Netd) Stop() { nd.proc.Exit() }
+
+func (nd *Netd) dispatch(d *kernel.Delivery) {
+	switch d.Port {
+	case nd.servicePort:
+		nd.handleService(d)
+	case nd.driverPort:
+		nd.handleDriver(d)
+	default:
+		if sc := nd.byPort[d.Port]; sc != nil {
+			nd.handleConn(sc, d)
+		}
+	}
+}
+
+func (nd *Netd) handleService(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	switch op {
+	case opListen:
+		lport := r.U16()
+		notify := r.Handle()
+		if r.Err() {
+			return
+		}
+		nd.listeners[lport] = notify
+		nd.nw.markListening(lport)
+	case opConnect:
+		lport := r.U16()
+		reply := r.Handle()
+		if r.Err() {
+			return
+		}
+		c := nd.nw.connectExternal(lport)
+		if c == nil {
+			nd.proc.Send(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
+			return
+		}
+		sc := nd.newSconn(c, lport)
+		msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port).Done()
+		nd.proc.Send(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
+		nd.proc.DropPrivilege(reply, label.L1)
+	}
+}
+
+// newSconn wraps a connection in a fresh Asbestos port whose label starts
+// as {uC 0, 2}: nobody but netd can send to it until access is granted
+// (Figure 5 step 1).
+func (nd *Netd) newSconn(c *Conn, lport uint16) *sconn {
+	port := nd.proc.NewPort(label.Empty(label.L2))
+	sc := &sconn{c: c, port: port, lport: lport}
+	nd.conns[c.id] = sc
+	nd.byPort[port] = sc
+	return sc
+}
+
+func (nd *Netd) handleDriver(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	switch op {
+	case evNewConn:
+		id := r.U64()
+		lport := r.U16()
+		if r.Err() {
+			return
+		}
+		c := nd.nw.conn(id)
+		notify, ok := nd.listeners[lport]
+		if c == nil || !ok {
+			return
+		}
+		sc := nd.newSconn(c, lport)
+		// Figure 5 step 2: notify the listener, granting uC at ⋆.
+		msg := wire.NewWriter(OpNewConnNotify).Handle(sc.port).U16(lport).Done()
+		nd.proc.Send(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
+	case evData, evClosed:
+		id := r.U64()
+		if r.Err() {
+			return
+		}
+		if sc := nd.conns[id]; sc != nil {
+			nd.fulfillReads(sc)
+		}
+	}
+}
+
+func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	switch op {
+	case opRead:
+		reply := r.Handle()
+		max := int(r.U32())
+		if r.Err() {
+			return
+		}
+		sc.pending = append(sc.pending, pendingRead{reply, max})
+		nd.fulfillReads(sc)
+	case opWrite:
+		reply := r.Handle()
+		data := r.Bytes()
+		if r.Err() {
+			return
+		}
+		n := 0
+		if !sc.closed {
+			n = sc.c.pushFromNetd(data)
+		}
+		nd.reply(sc, reply, wire.NewWriter(OpWriteReply).U32(uint32(n)).Done())
+	case opControl:
+		reply := r.Handle()
+		cmd := r.Byte()
+		if r.Err() {
+			return
+		}
+		okb := byte(0)
+		if cmd == CtlClose && !sc.closed {
+			sc.closed = true
+			sc.c.closeFromNetd()
+			okb = 1
+		}
+		nd.fulfillReads(sc) // pending reads now get EOF
+		nd.reply(sc, reply, wire.NewWriter(OpControlReply).Byte(okb).Done())
+		if okb == 1 {
+			// Release the connection: its port and capability go away, the
+			// label churn the paper charges per connection ("... and then
+			// to release that capability when the connection is ... closed",
+			// §9.3). The per-user taint ⋆ is retained for future
+			// connections.
+			nd.proc.Dissociate(sc.port)
+			nd.proc.DropPrivilege(sc.port, label.L1)
+			delete(nd.conns, sc.c.id)
+			delete(nd.byPort, sc.port)
+		}
+	case opSelect:
+		reply := r.Handle()
+		if r.Err() {
+			return
+		}
+		readable, writable := sc.c.bufferState()
+		msg := wire.NewWriter(OpSelectReply).U32(uint32(readable)).U32(uint32(writable)).Done()
+		nd.reply(sc, reply, msg)
+	case opAddTaint:
+		reply := r.Handle()
+		taint := r.Handle()
+		if r.Err() || !taint.Valid() {
+			return
+		}
+		sc.taint = taint
+		// The sender granted us taint ⋆ (AddTaint's DS), so netd may raise
+		// its own receive label and the port label: {uC 0, uT 3, 2}
+		// (Figure 5 step 5).
+		if err := nd.proc.RaiseRecv(taint, label.L3); err != nil {
+			return
+		}
+		pl := label.New(label.L2,
+			label.Entry{H: sc.port, L: label.L0},
+			label.Entry{H: taint, L: label.L3})
+		nd.proc.SetPortLabel(sc.port, pl)
+		nd.reply(sc, reply, wire.NewWriter(OpAddTaintReply).Byte(1).Done())
+	}
+}
+
+// fulfillReads answers queued reads that can now complete.
+func (nd *Netd) fulfillReads(sc *sconn) {
+	for len(sc.pending) > 0 {
+		pr := sc.pending[0]
+		data, eof := sc.c.takeToNetd(pr.max)
+		if sc.closed {
+			eof = true
+		}
+		if data == nil && !eof {
+			return // still waiting
+		}
+		sc.pending = sc.pending[1:]
+		var msg []byte
+		if data == nil {
+			msg = wire.NewWriter(OpReadReply).Byte(1).Bytes(nil).Done()
+		} else {
+			msg = wire.NewWriter(OpReadReply).Byte(0).Bytes(data).Done()
+		}
+		nd.reply(sc, pr.reply, msg)
+	}
+}
+
+// reply sends a response, contaminated with the connection's taint when set
+// ("netd will respond to all messages on uC with replies contaminated with
+// uT 3", Figure 5 step 5).
+func (nd *Netd) reply(sc *sconn, to handle.Handle, msg []byte) {
+	var opts *kernel.SendOpts
+	if sc.taint.Valid() {
+		opts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, sc.taint)}
+	}
+	nd.proc.Send(to, msg, opts)
+	// The reply-port capability was granted for this exchange only; shed it
+	// so netd's send label stays proportional to users + open connections,
+	// not to total messages handled.
+	nd.proc.DropPrivilege(to, label.L1)
+}

@@ -1,0 +1,239 @@
+package netd
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/wire"
+)
+
+// connWindow bounds each direction's in-flight bytes, standing in for a TCP
+// window. Writers block when the window is full.
+const connWindow = 256 * 1024
+
+// ErrRefused is returned by Dial when nothing listens on the port.
+var ErrRefused = errors.New("netd: connection refused")
+
+// ErrClosed is returned on operations over a closed connection.
+var ErrClosed = errors.New("netd: connection closed")
+
+// Network is the simulated wire: the world outside the Asbestos box.
+// Remote peers obtain Conns via Dial (connecting in to an Asbestos
+// listener) or ListenExternal (accepting connections that Asbestos
+// processes open outward). It substitutes for the paper's gigabit LAN and
+// HTTP load generator host.
+type Network struct {
+	mu        sync.Mutex
+	nextID    uint64
+	conns     map[uint64]*Conn
+	listening map[uint16]bool
+	external  map[uint16]*ExternalListener
+
+	drv        *kernel.Process
+	driverPort handle.Handle
+}
+
+// Dial opens a connection from the simulated remote host to an Asbestos
+// listener on lport.
+func (nw *Network) Dial(lport uint16) (*Conn, error) {
+	nw.mu.Lock()
+	if !nw.listening[lport] {
+		nw.mu.Unlock()
+		return nil, ErrRefused
+	}
+	nw.nextID++
+	c := newConn(nw, nw.nextID)
+	nw.conns[c.id] = c
+	nw.mu.Unlock()
+	nw.event(wire.NewWriter(evNewConn).U64(c.id).U16(lport).Done())
+	return c, nil
+}
+
+// ListenExternal registers a remote-side listener: Asbestos processes that
+// Connect to lport get paired with Conns accepted here.
+func (nw *Network) ListenExternal(lport uint16) *ExternalListener {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	l := &ExternalListener{nw: nw, lport: lport, ch: make(chan *Conn, 64)}
+	nw.external[lport] = l
+	return l
+}
+
+// event injects a driver event into the kernel on behalf of the interrupt
+// path.
+func (nw *Network) event(msg []byte) {
+	nw.drv.Send(nw.driverPort, msg, nil)
+}
+
+// markListening is called by netd when it processes a Listen request.
+func (nw *Network) markListening(lport uint16) {
+	nw.mu.Lock()
+	nw.listening[lport] = true
+	nw.mu.Unlock()
+}
+
+func (nw *Network) conn(id uint64) *Conn {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.conns[id]
+}
+
+// connectExternal pairs an Asbestos-initiated connection with an external
+// listener, returning the new conn or nil if nothing listens.
+func (nw *Network) connectExternal(lport uint16) *Conn {
+	nw.mu.Lock()
+	l := nw.external[lport]
+	if l == nil {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.nextID++
+	c := newConn(nw, nw.nextID)
+	nw.conns[c.id] = c
+	nw.mu.Unlock()
+	select {
+	case l.ch <- c:
+		return c
+	default:
+		// Listener backlog full: refuse.
+		nw.mu.Lock()
+		delete(nw.conns, c.id)
+		nw.mu.Unlock()
+		return nil
+	}
+}
+
+// ExternalListener accepts connections initiated from inside Asbestos.
+type ExternalListener struct {
+	nw    *Network
+	lport uint16
+	ch    chan *Conn
+}
+
+// Accept blocks for the next connection.
+func (l *ExternalListener) Accept() *Conn { return <-l.ch }
+
+// Conn is the remote peer's endpoint of one simulated TCP connection.
+// Read/Write/Close are called from remote-host goroutines (the load
+// generator); the netd process works the other end via sconn.
+type Conn struct {
+	nw *Network
+	id uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	toNetd    []byte // remote → Asbestos
+	fromNetd  []byte // Asbestos → remote
+	remoteEOF bool   // remote closed (no more toNetd data)
+	netdEOF   bool   // Asbestos side closed (no more fromNetd data)
+}
+
+func newConn(nw *Network, id uint64) *Conn {
+	c := &Conn{nw: nw, id: id}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Write queues data toward Asbestos, blocking while the window is full.
+func (c *Conn) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		c.mu.Lock()
+		for len(c.toNetd) >= connWindow && !c.netdEOF && !c.remoteEOF {
+			c.cond.Wait()
+		}
+		if c.netdEOF || c.remoteEOF {
+			c.mu.Unlock()
+			return total, ErrClosed
+		}
+		n := connWindow - len(c.toNetd)
+		if n > len(b) {
+			n = len(b)
+		}
+		c.toNetd = append(c.toNetd, b[:n]...)
+		c.mu.Unlock()
+		c.nw.event(wire.NewWriter(evData).U64(c.id).Done())
+		b = b[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Read blocks for data from Asbestos; it returns io.EOF once the Asbestos
+// side has closed and the buffer is drained.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.fromNetd) == 0 && !c.netdEOF {
+		c.cond.Wait()
+	}
+	if len(c.fromNetd) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(b, c.fromNetd)
+	c.fromNetd = c.fromNetd[n:]
+	return n, nil
+}
+
+// Close shuts the remote side.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	already := c.remoteEOF
+	c.remoteEOF = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if !already {
+		c.nw.event(wire.NewWriter(evClosed).U64(c.id).Done())
+	}
+	return nil
+}
+
+// --- netd-side buffer access (used by the netd process only) ---
+
+// takeToNetd removes up to max buffered bytes heading into Asbestos,
+// reporting eof once the remote has closed and the buffer is empty.
+func (c *Conn) takeToNetd(max int) (data []byte, eof bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.toNetd) == 0 {
+		return nil, c.remoteEOF
+	}
+	if max > len(c.toNetd) {
+		max = len(c.toNetd)
+	}
+	data = append([]byte(nil), c.toNetd[:max]...)
+	c.toNetd = c.toNetd[max:]
+	c.cond.Broadcast() // wake writers blocked on the window
+	return data, false
+}
+
+// pushFromNetd appends outbound data for the remote peer.
+func (c *Conn) pushFromNetd(b []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remoteEOF || c.netdEOF {
+		return 0
+	}
+	c.fromNetd = append(c.fromNetd, b...)
+	c.cond.Broadcast()
+	return len(b)
+}
+
+// closeFromNetd marks the Asbestos side closed.
+func (c *Conn) closeFromNetd() {
+	c.mu.Lock()
+	c.netdEOF = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// bufferState reports (readable by netd, window space toward remote).
+func (c *Conn) bufferState() (readable, writable int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.toNetd), connWindow - len(c.fromNetd)
+}

@@ -1,0 +1,174 @@
+// Package netd implements the Asbestos network server (paper §7.7): the
+// single process through which all network traffic flows. It wraps each
+// connection in an Asbestos port, services READ/WRITE/CONTROL/SELECT
+// messages on that port, and optionally taints each connection with a user
+// handle so that every byte read from user u's connection carries uT 3 and
+// only suitably labeled processes can write to it.
+//
+// The paper's netd contains an LWIP TCP/IP stack and an E1000 driver; the
+// hardware is substituted by an in-memory Network on which remote peers
+// (load generators, test clients) exchange buffered byte streams with the
+// kernel-resident netd process. A hidden driver process injects connection
+// and data events into netd's driver port — the moral equivalent of an
+// interrupt handler.
+package netd
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/wire"
+)
+
+// Request ops (application → netd service port).
+const (
+	opListen  = 1 // lport u16, notify handle; DS grants notify ⋆
+	opConnect = 2 // lport u16, reply handle; DS grants reply ⋆
+)
+
+// Driver events (driver process → netd driver port).
+const (
+	evNewConn = 10 // connID u64, lport u16
+	evData    = 11 // connID u64
+	evClosed  = 12 // connID u64
+)
+
+// Connection ops (application → connection port uC).
+const (
+	opRead     = 20 // reply handle, maxLen u32; DS grants reply ⋆
+	opWrite    = 21 // reply handle, data; DS grants reply ⋆
+	opControl  = 22 // reply handle, cmd byte; DS grants reply ⋆
+	opSelect   = 23 // reply handle; DS grants reply ⋆
+	opAddTaint = 24 // reply handle, taint handle; DS grants reply ⋆ and taint ⋆
+)
+
+// Control commands.
+const (
+	CtlClose = 1
+)
+
+// Reply ops (netd → application reply ports).
+const (
+	OpNewConnNotify = 30 // conn port handle (granted ⋆), lport u16
+	OpReadReply     = 31 // eof byte, data
+	OpWriteReply    = 32 // n u32
+	OpControlReply  = 33 // ok byte
+	OpSelectReply   = 34 // readable u32, writable u32
+	OpAddTaintReply = 35 // ok byte
+	OpConnectReply  = 36 // ok byte, conn port handle (granted ⋆)
+)
+
+// Listen asks netd to deliver new-connection notifications for lport to
+// notify. The message grants netd ⋆ for the notify port so it can send
+// there.
+func Listen(p *kernel.Process, netdPort handle.Handle, lport uint16, notify handle.Handle) error {
+	msg := wire.NewWriter(opListen).U16(lport).Handle(notify).Done()
+	return p.Send(netdPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(notify)})
+}
+
+// Connect asks netd to open an outgoing connection to lport on the
+// simulated network; the reply (OpConnectReply) grants a connection port.
+func Connect(p *kernel.Process, netdPort handle.Handle, lport uint16, reply handle.Handle) error {
+	msg := wire.NewWriter(opConnect).U16(lport).Handle(reply).Done()
+	return p.Send(netdPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// Read requests up to maxLen bytes from a connection; netd replies on reply
+// with OpReadReply (blocking server-side until data or EOF).
+func Read(p *kernel.Process, connPort handle.Handle, reply handle.Handle, maxLen int) error {
+	msg := wire.NewWriter(opRead).Handle(reply).U32(uint32(maxLen)).Done()
+	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// Write sends data out on a connection; netd replies with OpWriteReply.
+func Write(p *kernel.Process, connPort handle.Handle, reply handle.Handle, data []byte) error {
+	msg := wire.NewWriter(opWrite).Handle(reply).Bytes(data).Done()
+	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// Control issues a control command (CtlClose) on a connection.
+func Control(p *kernel.Process, connPort handle.Handle, reply handle.Handle, cmd byte) error {
+	msg := wire.NewWriter(opControl).Handle(reply).Byte(cmd).Done()
+	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// Select asks for the connection's buffer availability.
+func Select(p *kernel.Process, connPort handle.Handle, reply handle.Handle) error {
+	msg := wire.NewWriter(opSelect).Handle(reply).Done()
+	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+}
+
+// AddTaint attaches a taint handle to a connection (paper §7.7): netd will
+// contaminate all subsequent replies on this connection with taint 3 and
+// raise the connection port's label so tainted writers can reach it. The
+// message grants netd ⋆ for the taint handle (Figure 5 step 5: "ok-demux
+// grants uT ⋆ to netd").
+func AddTaint(p *kernel.Process, connPort handle.Handle, reply handle.Handle, taint handle.Handle) error {
+	msg := wire.NewWriter(opAddTaint).Handle(reply).Handle(taint).Done()
+	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply, taint)})
+}
+
+// NewConnNotification is a parsed OpNewConnNotify.
+type NewConnNotification struct {
+	ConnPort handle.Handle
+	LPort    uint16
+}
+
+// ParseNotify decodes an OpNewConnNotify delivery; ok is false for other
+// message types.
+func ParseNotify(d *kernel.Delivery) (NewConnNotification, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpNewConnNotify {
+		return NewConnNotification{}, false
+	}
+	n := NewConnNotification{ConnPort: r.Handle(), LPort: r.U16()}
+	if r.Err() {
+		return NewConnNotification{}, false
+	}
+	return n, true
+}
+
+// ReadReply is a parsed OpReadReply.
+type ReadReply struct {
+	EOF  bool
+	Data []byte
+}
+
+// ParseReadReply decodes an OpReadReply delivery.
+func ParseReadReply(d *kernel.Delivery) (ReadReply, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpReadReply {
+		return ReadReply{}, false
+	}
+	rr := ReadReply{EOF: r.Byte() == 1, Data: r.Bytes()}
+	if r.Err() {
+		return ReadReply{}, false
+	}
+	return rr, true
+}
+
+// ParseWriteReply decodes an OpWriteReply delivery, returning bytes written.
+func ParseWriteReply(d *kernel.Delivery) (int, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpWriteReply {
+		return 0, false
+	}
+	n := int(r.U32())
+	if r.Err() {
+		return 0, false
+	}
+	return n, true
+}
+
+// ParseConnectReply decodes an OpConnectReply.
+func ParseConnectReply(d *kernel.Delivery) (handle.Handle, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != OpConnectReply {
+		return handle.None, false
+	}
+	ok := r.Byte() == 1
+	h := r.Handle()
+	if r.Err() || !ok {
+		return handle.None, false
+	}
+	return h, true
+}

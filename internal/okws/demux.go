@@ -1,0 +1,334 @@
+package okws
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/idd"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/netd"
+	"asbestos/internal/stats"
+	"asbestos/internal/wire"
+)
+
+// Demux is the trusted ok-demux process: it accepts each incoming
+// connection from netd, parses the HTTP headers to pick a worker,
+// authenticates the user with idd, taints the connection, and hands it off
+// (paper §7.2). It holds the session table mapping (user, service) pairs to
+// worker event-process ports (§7.3).
+type Demux struct {
+	sys  *kernel.System
+	proc *kernel.Process
+
+	notifyPort  handle.Handle // new connections from netd
+	regPort     handle.Handle // worker registration
+	sessionPort handle.Handle // session-port registration from worker EPs
+	loginReply  handle.Handle // replies from idd
+
+	netdSvc  handle.Handle
+	iddLogin handle.Handle
+
+	// verif holds the launcher-issued verification handle per worker name;
+	// registration messages must prove it at level 0 (§7.1).
+	verif map[string]handle.Handle
+	// declassifier marks worker names the launcher registered as
+	// semi-trusted declassifiers (§7.6).
+	declassifier map[string]bool
+
+	workers  map[string]handle.Handle // service → worker base port
+	sessions map[sessionKey]handle.Handle
+	conns    map[handle.Handle]*dconn // per-connection reply port → state
+	idCache  map[string]idd.Identity  // demux-side cache of login results
+}
+
+type sessionKey struct {
+	user    string
+	service string
+}
+
+// dconn is per-connection demux state while the request headers are read.
+type dconn struct {
+	uC    handle.Handle
+	reply handle.Handle
+	buf   []byte
+	taint bool // AddTaint acknowledged
+	req   *httpmsg.Request
+	id    idd.Identity
+}
+
+// newDemux wires a demux against existing netd and idd service ports; the
+// launcher then registers workers' verification handles directly.
+func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
+	proc := sys.NewProcess("ok-demux")
+	open := label.Empty(label.L3)
+	notify := proc.NewPort(nil)
+	proc.SetPortLabel(notify, open)
+	reg := proc.NewPort(nil)
+	proc.SetPortLabel(reg, open)
+	sess := proc.NewPort(nil)
+	proc.SetPortLabel(sess, open)
+	loginReply := proc.NewPort(nil)
+
+	d := &Demux{
+		sys:          sys,
+		proc:         proc,
+		notifyPort:   notify,
+		regPort:      reg,
+		sessionPort:  sess,
+		loginReply:   loginReply,
+		netdSvc:      netdSvc,
+		iddLogin:     iddLogin,
+		verif:        make(map[string]handle.Handle),
+		declassifier: make(map[string]bool),
+		workers:      make(map[string]handle.Handle),
+		sessions:     make(map[sessionKey]handle.Handle),
+		conns:        make(map[handle.Handle]*dconn),
+		idCache:      make(map[string]idd.Identity),
+	}
+	sys.SetEnv(EnvDemuxReg, reg)
+	sys.SetEnv(EnvDemuxSession, sess)
+	return d
+}
+
+// Process exposes the demux kernel process for label inspection.
+func (dm *Demux) Process() *kernel.Process { return dm.proc }
+
+// listen registers with netd for HTTP connections on lport.
+func (dm *Demux) listen(lport uint16) error {
+	return netd.Listen(dm.proc, dm.netdSvc, lport, dm.notifyPort)
+}
+
+// expectWorker tells the demux a worker named name will register, proving
+// verification handle v at level 0; declassifier marks §7.6 workers.
+func (dm *Demux) expectWorker(name string, v handle.Handle, declassifier bool) {
+	dm.verif[name] = v
+	dm.declassifier[name] = declassifier
+}
+
+// Run is the demux event loop.
+func (dm *Demux) Run() {
+	prof := dm.sys.Profiler()
+	for {
+		d, err := dm.proc.Recv()
+		if err != nil {
+			return
+		}
+		stop := prof.Time(stats.CatOKWS)
+		dm.dispatch(d)
+		stop()
+	}
+}
+
+// Stop kills the demux process.
+func (dm *Demux) Stop() { dm.proc.Exit() }
+
+func (dm *Demux) dispatch(d *kernel.Delivery) {
+	switch d.Port {
+	case dm.notifyPort:
+		dm.handleNotify(d)
+	case dm.regPort:
+		dm.handleRegister(d)
+	case dm.sessionPort:
+		dm.handleSession(d)
+	default:
+		if cs := dm.conns[d.Port]; cs != nil {
+			dm.handleConnReply(cs, d)
+		}
+	}
+}
+
+// handleRegister records a worker's base port after checking the
+// launcher-issued verification handle: "ok-demux must be certain that it is
+// communicating with the worker processes that the launcher started" (§7.1).
+func (dm *Demux) handleRegister(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	if op != opRegister {
+		return
+	}
+	name := r.String()
+	base := r.Handle()
+	if r.Err() {
+		return
+	}
+	v, expected := dm.verif[name]
+	if !expected || d.V.Get(v) > label.L0 {
+		return // unknown worker or failed proof: ignore
+	}
+	dm.workers[name] = base
+}
+
+// handleSession records a worker event process's session port (§7.3).
+func (dm *Demux) handleSession(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	if op != opSession {
+		return
+	}
+	user := r.String()
+	service := r.String()
+	port := r.Handle()
+	if r.Err() {
+		return
+	}
+	dm.sessions[sessionKey{user, service}] = port
+}
+
+// handleNotify starts reading a new connection's request.
+func (dm *Demux) handleNotify(d *kernel.Delivery) {
+	n, ok := netd.ParseNotify(d)
+	if !ok {
+		return
+	}
+	reply := dm.proc.NewPort(nil)
+	cs := &dconn{uC: n.ConnPort, reply: reply}
+	dm.conns[reply] = cs
+	netd.Read(dm.proc, cs.uC, reply, 4096)
+}
+
+// handleConnReply advances a connection's state machine: reading headers,
+// then tainting, then handoff.
+func (dm *Demux) handleConnReply(cs *dconn, d *kernel.Delivery) {
+	if rr, ok := netd.ParseReadReply(d); ok {
+		if cs.req == nil {
+			cs.buf = append(cs.buf, rr.Data...)
+			req, _, complete, err := httpmsg.ParseRequest(cs.buf)
+			switch {
+			case err != nil:
+				dm.fail(cs, 400)
+			case complete:
+				cs.req = req
+				dm.authenticate(cs)
+			case rr.EOF:
+				dm.drop(cs)
+			default:
+				netd.Read(dm.proc, cs.uC, cs.reply, 4096)
+			}
+		}
+		return
+	}
+	if d.Data[0] == netd.OpAddTaintReply {
+		cs.taint = true
+		dm.handoff(cs)
+		return
+	}
+	if d.Data[0] == netd.OpWriteReply || d.Data[0] == netd.OpControlReply {
+		// Completion of an error response; tear down.
+		if d.Data[0] == netd.OpControlReply {
+			dm.drop(cs)
+		}
+		return
+	}
+}
+
+// authenticate runs Figure 5 steps 3–5: look up credentials with idd, then
+// taint the connection at netd.
+func (dm *Demux) authenticate(cs *dconn) {
+	user, pass, ok := cs.req.User()
+	if !ok {
+		dm.fail(cs, 401)
+		return
+	}
+	cacheKey := user + "\x00" + pass
+	if id, ok := dm.idCache[cacheKey]; ok {
+		cs.id = id
+		dm.taint(cs)
+		return
+	}
+	if err := idd.Login(dm.proc, dm.iddLogin, user, pass, dm.loginReply); err != nil {
+		dm.fail(cs, 500)
+		return
+	}
+	// idd is trusted and never calls back into the demux, so a synchronous
+	// wait cannot deadlock.
+	d, err := dm.proc.Recv(dm.loginReply)
+	if err != nil {
+		return
+	}
+	id, ok := idd.ParseLoginReply(d)
+	if !ok {
+		dm.fail(cs, 401)
+		return
+	}
+	dm.idCache[cacheKey] = id
+	cs.id = id
+	dm.taint(cs)
+}
+
+func (dm *Demux) taint(cs *dconn) {
+	netd.AddTaint(dm.proc, cs.uC, cs.reply, cs.id.UT)
+	// Handoff continues when the AddTaint acknowledgment arrives.
+}
+
+// handoff runs Figure 5 step 6: forward uC to the responsible worker.
+func (dm *Demux) handoff(cs *dconn) {
+	defer dm.release(cs)
+	service := cs.req.Service()
+	base, ok := dm.workers[service]
+	if !ok {
+		dm.failDirect(cs, 404)
+		return
+	}
+	raw := httpmsg.FormatRequest(cs.req)
+	user, _, _ := cs.req.User()
+	if port, ok := dm.sessions[sessionKey{user, service}]; ok {
+		// Existing session: forward straight to the event process W[u].
+		dm.proc.Send(port, encodeCont(cont{Conn: cs.uC, Buf: raw}),
+			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC)})
+		return
+	}
+	opts := &kernel.SendOpts{
+		DecontSend: kernel.Grant(cs.uC, cs.id.UG),
+		DecontRecv: kernel.AllowRecv(label.L3, cs.id.UT),
+	}
+	if dm.declassifier[service] {
+		// §7.6: declassifiers get uT ⋆ instead of contamination.
+		opts.DecontSend = kernel.Grant(cs.uC, cs.id.UG, cs.id.UT)
+	} else {
+		opts.Contaminate = kernel.Taint(label.L3, cs.id.UT)
+	}
+	msg := encodeStart(start{
+		User: user,
+		UID:  cs.id.UID,
+		Conn: cs.uC,
+		UT:   cs.id.UT,
+		UG:   cs.id.UG,
+		Buf:  raw,
+	})
+	dm.proc.Send(base, msg, opts)
+}
+
+// release drops the per-connection capabilities from the demux's labels —
+// the label churn Figure 9 charges per connection — and forgets the state.
+func (dm *Demux) release(cs *dconn) {
+	dm.proc.Dissociate(cs.reply)
+	dm.proc.DropPrivilege(cs.uC, label.L1)
+	dm.proc.DropPrivilege(cs.reply, label.L1)
+	delete(dm.conns, cs.reply)
+}
+
+// fail writes an HTTP error and closes the connection (pre-handoff).
+func (dm *Demux) fail(cs *dconn, status int) {
+	body := httpmsg.FormatResponse(status, nil, nil)
+	netd.Write(dm.proc, cs.uC, cs.reply, body)
+	netd.Control(dm.proc, cs.uC, cs.reply, netd.CtlClose)
+	// Torn down when the control reply arrives (handleConnReply).
+}
+
+// failDirect is fail for the post-release path.
+func (dm *Demux) failDirect(cs *dconn, status int) {
+	reply := dm.proc.NewPort(nil)
+	body := httpmsg.FormatResponse(status, nil, nil)
+	netd.Write(dm.proc, cs.uC, reply, body)
+	netd.Control(dm.proc, cs.uC, reply, netd.CtlClose)
+	dm.proc.Dissociate(reply)
+	dm.proc.DropPrivilege(reply, label.L1)
+}
+
+func (dm *Demux) drop(cs *dconn) {
+	dm.proc.Dissociate(cs.reply)
+	dm.proc.DropPrivilege(cs.reply, label.L1)
+	dm.proc.DropPrivilege(cs.uC, label.L1)
+	delete(dm.conns, cs.reply)
+}
+
+// SessionCount reports the size of the session table (diagnostics).
+func (dm *Demux) SessionCount() int { return len(dm.sessions) }

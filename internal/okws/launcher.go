@@ -1,0 +1,181 @@
+package okws
+
+import (
+	"fmt"
+
+	"asbestos/internal/db"
+	"asbestos/internal/dbproxy"
+	"asbestos/internal/idd"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/netd"
+	"asbestos/internal/stats"
+)
+
+// Service describes one worker the launcher should start.
+type Service struct {
+	// Name is the first path segment routed to this worker.
+	Name string
+	// Handler is the worker's (untrusted) application logic.
+	Handler Handler
+	// Declassifier marks the worker semi-trusted: it receives uT ⋆ instead
+	// of taint and may call Ctx.Declassify (§7.6).
+	Declassifier bool
+	// EphemeralSessions makes event processes exit after each request
+	// instead of caching session state.
+	EphemeralSessions bool
+	// NoClean disables ep_clean and session teardown, reproducing the
+	// paper's worst-case active-session memory measurement (§9.1).
+	NoClean bool
+}
+
+// Config configures a full OKWS stack.
+type Config struct {
+	// Seed keys the kernel's handle allocator (deterministic tests).
+	Seed uint64
+	// HTTPPort is the simulated TCP port to listen on (default 80).
+	HTTPPort uint16
+	// Profiler, when set, receives per-component costs (Figure 9).
+	Profiler *stats.Profiler
+	// Services lists the workers to launch.
+	Services []Service
+}
+
+// Server is a running OKWS stack: kernel, netd, database, ok-dbproxy, idd,
+// ok-demux and workers, wired as in Figure 1.
+type Server struct {
+	Sys      *kernel.System
+	Netd     *netd.Netd
+	Database *db.DB
+	Proxy    *dbproxy.Proxy
+	Idd      *idd.Idd
+	Demux    *Demux
+
+	HTTPPort uint16
+
+	launcher *kernel.Process
+	workers  []*Worker
+}
+
+// Launch boots the whole stack (paper §7.1). It returns with every process
+// running and every worker registered with the demux.
+func Launch(cfg Config) (*Server, error) {
+	if cfg.HTTPPort == 0 {
+		cfg.HTTPPort = 80
+	}
+	opts := []kernel.Option{kernel.WithSeed(cfg.Seed)}
+	if cfg.Profiler != nil {
+		opts = append(opts, kernel.WithProfiler(cfg.Profiler))
+	}
+	sys := kernel.NewSystem(opts...)
+	nd := netd.New(sys)
+	database := db.Open()
+	proxy := dbproxy.New(sys, database)
+	iddSrv := idd.New(sys, proxy)
+	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPort())
+
+	s := &Server{
+		Sys:      sys,
+		Netd:     nd,
+		Database: database,
+		Proxy:    proxy,
+		Idd:      iddSrv,
+		Demux:    demux,
+		HTTPPort: cfg.HTTPPort,
+		launcher: sys.NewProcess("launcher"),
+	}
+
+	demuxSess, _ := sys.Env(EnvDemuxSession)
+	proxyPort, _ := sys.Env(dbproxy.EnvWorkerPort)
+
+	for _, svc := range cfg.Services {
+		w := newWorker(sys, svc.Name, svc.Handler)
+		w.declassifier = svc.Declassifier
+		w.keepSessions = !svc.EphemeralSessions
+		w.debugNoClean = svc.NoClean
+		w.demuxSess = demuxSess
+		w.proxyPort = proxyPort
+
+		// §7.1: the launcher grants a process-specific verification handle
+		// to each worker it starts and tells ok-demux its value.
+		verif := s.launcher.NewHandle()
+		boot := w.proc.NewPort(nil)
+		w.proc.SetPortLabel(boot, label.Empty(label.L3))
+		if err := s.launcher.Send(boot, nil, &kernel.SendOpts{
+			DecontSend: label.New(label.L3, label.Entry{H: verif, L: label.L0}),
+		}); err != nil {
+			return nil, fmt.Errorf("okws: verification grant for %q: %w", svc.Name, err)
+		}
+		if d, err := w.proc.TryRecv(boot); err != nil || d == nil {
+			return nil, fmt.Errorf("okws: worker %q bootstrap failed", svc.Name)
+		}
+		w.proc.Dissociate(boot)
+		demux.expectWorker(svc.Name, verif, svc.Declassifier)
+		if err := w.register(demux.regPort, verif); err != nil {
+			return nil, fmt.Errorf("okws: register %q: %w", svc.Name, err)
+		}
+		s.workers = append(s.workers, w)
+	}
+
+	// Drain registrations synchronously before the demux loop starts, so a
+	// request can never race a worker registration.
+	for len(demux.workers) < len(cfg.Services) {
+		d, err := demux.proc.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if d == nil {
+			return nil, fmt.Errorf("okws: missing worker registration")
+		}
+		demux.dispatch(d)
+	}
+
+	if err := demux.listen(cfg.HTTPPort); err != nil {
+		return nil, err
+	}
+
+	go nd.Run()
+	go proxy.Run()
+	go iddSrv.Run()
+	go demux.Run()
+	for _, w := range s.workers {
+		go w.Run()
+	}
+	return s, nil
+}
+
+// AddUser provisions an account in the password database.
+func (s *Server) AddUser(user, pass, uid string) error {
+	reply := s.launcher.NewPort(nil)
+	defer s.launcher.Dissociate(reply)
+	adminPort, _ := s.Sys.Env(idd.EnvAdminPort)
+	if err := idd.AddUser(s.launcher, adminPort, user, pass, uid, reply); err != nil {
+		return err
+	}
+	d, err := s.launcher.Recv(reply)
+	if err != nil {
+		return err
+	}
+	if !idd.ParseAddUserReply(d) {
+		return fmt.Errorf("okws: AddUser(%s) rejected", user)
+	}
+	return nil
+}
+
+// Network returns the simulated wire clients dial into.
+func (s *Server) Network() *netd.Network { return s.Netd.Network() }
+
+// Workers returns the launched workers (diagnostics and experiments).
+func (s *Server) Workers() []*Worker { return s.workers }
+
+// Stop tears the stack down.
+func (s *Server) Stop() {
+	for _, w := range s.workers {
+		w.Stop()
+	}
+	s.Demux.Stop()
+	s.Idd.Stop()
+	s.Proxy.Stop()
+	s.Netd.Stop()
+	s.launcher.Exit()
+}

@@ -1,0 +1,105 @@
+// Package okws implements the Asbestos OK Web server (paper §7): a
+// launcher, the trusted ok-demux connection router, and an event-process
+// worker framework with per-user session state, database access through
+// ok-dbproxy, and semi-trusted declassifier workers.
+//
+// The process architecture matches Figure 1, and connection handling
+// follows the Figure 5 message flow step by step:
+//
+//  1. netd accepts u's TCP connection and wraps it in port uC.
+//  2. netd notifies ok-demux, granting uC ⋆.
+//  3. ok-demux reads and parses the HTTP request, then authenticates
+//     u's credentials with idd.
+//  4. idd grants ok-demux uT ⋆ and uG ⋆.
+//  5. ok-demux grants uT ⋆ to netd, which taints the connection.
+//  6. ok-demux forwards uC to the service's worker, granting uC ⋆ and
+//     uG ⋆ while contaminating the worker with uT 3 (declassifier
+//     workers get uT ⋆ instead).
+//  7. The worker returns from checkpoint in a fresh event process W[u].
+//  8. W[u] makes port uW, reads the request, replies over uC.
+//  9. W[u] yields (sessions) or exits.
+package okws
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/wire"
+)
+
+// Demux-facing ops.
+const (
+	opRegister = 40 // worker name, base port; V proves the verification handle
+	opSession  = 41 // user, service, uW port (granted ⋆)
+)
+
+// Worker-facing ops.
+const (
+	opStart = 42 // user, uid, uC, uT, uG, buffered request bytes
+	opCont  = 43 // uC, buffered request bytes
+)
+
+// Environment names published by the launcher.
+const (
+	EnvDemuxReg     = "ok-demux-reg"
+	EnvDemuxSession = "ok-demux-session"
+)
+
+// start is a parsed opStart.
+type start struct {
+	User string
+	UID  string
+	Conn handle.Handle
+	UT   handle.Handle
+	UG   handle.Handle
+	Buf  []byte
+}
+
+func encodeStart(s start) []byte {
+	return wire.NewWriter(opStart).String(s.User).String(s.UID).
+		Handle(s.Conn).Handle(s.UT).Handle(s.UG).Bytes(s.Buf).Done()
+}
+
+func parseStart(d *kernel.Delivery) (start, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != opStart {
+		return start{}, false
+	}
+	s := start{
+		User: r.String(), UID: r.String(),
+		Conn: r.Handle(), UT: r.Handle(), UG: r.Handle(),
+		Buf: r.Bytes(),
+	}
+	if r.Err() {
+		return start{}, false
+	}
+	return s, true
+}
+
+type cont struct {
+	Conn handle.Handle
+	Buf  []byte
+}
+
+func encodeCont(c cont) []byte {
+	return wire.NewWriter(opCont).Handle(c.Conn).Bytes(c.Buf).Done()
+}
+
+func parseCont(d *kernel.Delivery) (cont, bool) {
+	op, r := wire.NewReader(d.Data)
+	if op != opCont {
+		return cont{}, false
+	}
+	c := cont{Conn: r.Handle(), Buf: r.Bytes()}
+	if r.Err() {
+		return cont{}, false
+	}
+	return c, true
+}
+
+func encodeRegister(name string, base handle.Handle) []byte {
+	return wire.NewWriter(opRegister).String(name).Handle(base).Done()
+}
+
+func encodeSession(user, service string, port handle.Handle) []byte {
+	return wire.NewWriter(opSession).String(user).String(service).Handle(port).Done()
+}

@@ -1,0 +1,409 @@
+package okws
+
+import (
+	"fmt"
+
+	"asbestos/internal/dbproxy"
+	"asbestos/internal/handle"
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/mem"
+	"asbestos/internal/netd"
+	"asbestos/internal/stats"
+)
+
+// Memory layout of a worker event process. Session data lives in its own
+// region so that ep_clean of the scratch region (the "stack") leaves it
+// intact, reproducing the paper's one-private-page cached sessions (§9.1).
+const (
+	// SessionAddr is where session state is stored (length-prefixed).
+	SessionAddr mem.Addr = 0x10000
+	// ScratchAddr is the per-request temporary region, cleaned before
+	// every yield.
+	ScratchAddr mem.Addr = 0x40000
+	// ScratchSize bounds the scratch region.
+	ScratchSize = 64 * mem.PageSize
+)
+
+// Handler is a worker's application logic, invoked once per HTTP request
+// with the request and the per-user context. This is the untrusted code of
+// the paper's threat model: even a malicious Handler cannot violate user
+// isolation.
+type Handler func(c *Ctx, req *httpmsg.Request) *httpmsg.Response
+
+// Worker is one OKWS service: a base process that forks an event process
+// per user session.
+type Worker struct {
+	sys     *kernel.System
+	proc    *kernel.Process
+	name    string
+	handler Handler
+
+	basePort  handle.Handle
+	demuxSess handle.Handle
+	proxyPort handle.Handle
+
+	declassifier bool
+	keepSessions bool
+
+	// debugNoClean disables ep_clean/unmap, reproducing the paper's
+	// worst-case "active session" memory experiment (§9.1).
+	debugNoClean bool
+}
+
+// newWorker builds the worker process; the launcher registers it with the
+// demux (proving the verification handle) before Run is called.
+func newWorker(sys *kernel.System, name string, h Handler) *Worker {
+	proc := sys.NewProcess("worker-" + name)
+	base := proc.NewPort(nil)
+	proc.SetPortLabel(base, label.Empty(label.L3))
+	w := &Worker{
+		sys:          sys,
+		proc:         proc,
+		name:         name,
+		handler:      h,
+		basePort:     base,
+		keepSessions: true,
+	}
+	return w
+}
+
+// Process exposes the worker's kernel process.
+func (w *Worker) Process() *kernel.Process { return w.proc }
+
+// register proves identity to the demux (Figure 5 preamble; §7.1): the
+// verification label carries the launcher-issued handle at level 0.
+func (w *Worker) register(regPort, verif handle.Handle) error {
+	v := label.New(label.L3, label.Entry{H: verif, L: label.L0})
+	return w.proc.Send(regPort, encodeRegister(w.name, w.basePort), &kernel.SendOpts{
+		Verify:     v,
+		DecontSend: kernel.Grant(w.basePort),
+	})
+}
+
+// Run is the worker's event loop: one event process per user session.
+func (w *Worker) Run() {
+	prof := w.sys.Profiler()
+	for {
+		d, ep, err := w.proc.Checkpoint()
+		if err != nil {
+			return
+		}
+		stop := prof.Time(stats.CatOKWS)
+		w.serve(d, ep)
+		stop()
+	}
+}
+
+// Stop kills the worker process.
+func (w *Worker) Stop() { w.proc.Exit() }
+
+// session state persisted in event-process memory.
+type sessState struct {
+	user string
+	uid  string
+	uT   handle.Handle
+	uG   handle.Handle
+	// sess is uW, the port registered with the demux: follow-up
+	// connections arrive here and are consumed only via Checkpoint.
+	sess handle.Handle
+	// reply receives netd and ok-dbproxy replies during a request. It must
+	// be distinct from sess: a blocking await on the reply port must never
+	// swallow a concurrent connection handoff.
+	reply handle.Handle
+}
+
+// serve handles one delivery in the context of event process ep.
+func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
+	var st sessState
+	var buf []byte
+	if s, ok := parseStart(d); ok {
+		// New session (Figure 5 step 7): the delivery contaminated this
+		// fresh event process with uT 3 and granted uC ⋆ + uG ⋆.
+		uW := w.proc.NewPort(nil)
+		reply := w.proc.NewPort(nil)
+		st = sessState{user: s.User, uid: s.UID, uT: s.UT, uG: s.UG, sess: uW, reply: reply}
+		storeSession(ep, st)
+		if w.keepSessions {
+			// Register the session port with the demux so future
+			// connections come straight to this event process (§7.3).
+			// Ephemeral workers skip this: their event processes exit
+			// after each request, so routing to uW would dead-end.
+			w.proc.Send(w.demuxSess, encodeSession(s.User, w.name, uW),
+				&kernel.SendOpts{DecontSend: kernel.Grant(uW)})
+		}
+		buf = s.Buf
+		w.handleRequest(ep, &st, s.Conn, buf)
+		return
+	}
+	if c, ok := parseCont(d); ok {
+		// Resumed session: restore state from event-process memory.
+		st, ok = loadSession(ep)
+		if !ok {
+			w.proc.Yield()
+			return
+		}
+		w.handleRequest(ep, &st, c.Conn, c.Buf)
+		return
+	}
+	// Unknown message: ignore and yield.
+	w.proc.Yield()
+}
+
+// handleRequest reads the full request (step 8), runs the handler, writes
+// the response, closes the connection, and yields or exits.
+func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, conn handle.Handle, buf []byte) {
+	req := w.readRequest(st, conn, buf)
+	if req == nil {
+		w.finish(ep, st)
+		return
+	}
+	c := &Ctx{
+		w: w, ep: ep, st: st,
+		User: st.user, UID: st.uid,
+		UT: st.uT, UG: st.uG,
+	}
+	resp := w.handler(c, req)
+	if resp == nil {
+		resp = &httpmsg.Response{Status: 500}
+	}
+	raw := httpmsg.FormatResponse(resp.Status, resp.Headers, resp.Body)
+	// Scratch traffic, mirroring how "programs scatter users' data across
+	// the stack in addition to various places on the heap" (§6.2): the
+	// response buffer, a copy of the request ("stack" temporaries), and a
+	// per-request counter page ("modified global variables"). ep_clean
+	// reverts all of it for cached sessions; the NoClean worker retains it,
+	// reproducing the paper's active-session footprint.
+	ep.Memory().WriteAt(ScratchAddr, raw[:min(len(raw), ScratchSize)])
+	reqRaw := httpmsg.FormatRequest(req)
+	ep.Memory().WriteAt(ScratchAddr+4*mem.PageSize, reqRaw[:min(len(reqRaw), 2*mem.PageSize)])
+	var ctr [8]byte
+	ep.Memory().ReadAt(ScratchAddr+8*mem.PageSize, ctr[:])
+	ctr[7]++
+	ep.Memory().WriteAt(ScratchAddr+8*mem.PageSize, ctr[:])
+	netd.Write(w.proc, conn, st.reply, raw)
+	w.await(netd.OpWriteReply, st.reply)
+	netd.Control(w.proc, conn, st.reply, netd.CtlClose)
+	w.await(netd.OpControlReply, st.reply)
+	// Release the per-connection capability so event-process labels do not
+	// accumulate one stale uC ⋆ entry per connection.
+	w.proc.DropPrivilege(conn, label.L1)
+	w.finish(ep, st)
+}
+
+// readRequest assembles the HTTP request, reading more from netd if the
+// demux's buffered bytes are incomplete.
+func (w *Worker) readRequest(st *sessState, conn handle.Handle, buf []byte) *httpmsg.Request {
+	for {
+		req, _, complete, err := httpmsg.ParseRequest(buf)
+		if err != nil {
+			return nil
+		}
+		if complete {
+			return req
+		}
+		if err := netd.Read(w.proc, conn, st.reply, 4096); err != nil {
+			return nil
+		}
+		d, err := w.proc.Recv(st.reply)
+		if err != nil {
+			return nil
+		}
+		rr, ok := netd.ParseReadReply(d)
+		if !ok || rr.EOF {
+			return nil
+		}
+		buf = append(buf, rr.Data...)
+	}
+}
+
+// await discards deliveries on port until one with the given op arrives.
+func (w *Worker) await(op byte, port handle.Handle) *kernel.Delivery {
+	for {
+		d, err := w.proc.Recv(port)
+		if err != nil {
+			return nil
+		}
+		if len(d.Data) > 0 && d.Data[0] == op {
+			return d
+		}
+	}
+}
+
+// finish ends request processing: clean the scratch region and yield
+// (cached session) or exit the event process entirely.
+func (w *Worker) finish(ep *kernel.EventProcess, st *sessState) {
+	if w.debugNoClean {
+		w.proc.Yield()
+		return
+	}
+	if !w.keepSessions {
+		w.proc.EPExit()
+		return
+	}
+	w.proc.EPClean(ScratchAddr, ScratchSize)
+	w.proc.Yield()
+}
+
+// --- session state persistence in event-process memory ---
+
+// storeSession serializes session metadata into the event process's
+// private memory at SessionAddr.
+func storeSession(ep *kernel.EventProcess, st sessState) {
+	b := []byte(fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%d\x00%d",
+		st.user, st.uid, st.uT, st.uG, st.sess, st.reply))
+	hdr := []byte{byte(len(b) >> 8), byte(len(b))}
+	ep.Memory().WriteAt(SessionAddr, append(hdr, b...))
+}
+
+func loadSession(ep *kernel.EventProcess) (sessState, bool) {
+	hdr := make([]byte, 2)
+	ep.Memory().ReadAt(SessionAddr, hdr)
+	n := int(hdr[0])<<8 | int(hdr[1])
+	if n == 0 || n > 4096 {
+		return sessState{}, false
+	}
+	b := make([]byte, n)
+	ep.Memory().ReadAt(SessionAddr+2, b)
+	var st sessState
+	var uT, uG, sess, reply uint64
+	parts := splitNull(string(b), 6)
+	if parts == nil {
+		return sessState{}, false
+	}
+	st.user, st.uid = parts[0], parts[1]
+	for i, dst := range []*uint64{&uT, &uG, &sess, &reply} {
+		if _, err := fmt.Sscanf(parts[2+i], "%d", dst); err != nil {
+			return sessState{}, false
+		}
+	}
+	st.uT, st.uG = handle.Handle(uT), handle.Handle(uG)
+	st.sess, st.reply = handle.Handle(sess), handle.Handle(reply)
+	return st, true
+}
+
+func splitNull(s string, n int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < n-1; i++ {
+		if s[i] == 0 {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	if len(out) != n {
+		return nil
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Ctx is the per-request context handed to worker Handlers: the
+// authenticated user, session-state accessors backed by event-process
+// memory, and labeled database access.
+type Ctx struct {
+	w  *Worker
+	ep *kernel.EventProcess
+	st *sessState
+
+	// User is the authorization string; UID the database user id.
+	User string
+	UID  string
+	// UT and UG are the user's taint and grant handles. An ordinary worker
+	// holds UT at 3 (tainted); a declassifier holds it at ⋆.
+	UT handle.Handle
+	UG handle.Handle
+}
+
+// sessionDataAddr places user data on the same page as the (small) session
+// metadata, so a cached session with ≤ ~3 KB of state costs exactly one
+// private page — the quantity behind Figure 6's 1.5-pages-per-session.
+const sessionDataAddr = SessionAddr + 512
+
+// SessionStore persists app data in the event process's private memory; it
+// survives across connections until the session exits.
+func (c *Ctx) SessionStore(b []byte) {
+	hdr := []byte{byte(len(b) >> 24), byte(len(b) >> 16), byte(len(b) >> 8), byte(len(b))}
+	c.ep.Memory().WriteAt(sessionDataAddr, append(hdr, b...))
+}
+
+// SessionLoad retrieves data stored by SessionStore (nil if none).
+func (c *Ctx) SessionLoad() []byte {
+	hdr := make([]byte, 4)
+	c.ep.Memory().ReadAt(sessionDataAddr, hdr)
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n == 0 || n > 1<<20 {
+		return nil
+	}
+	b := make([]byte, n)
+	c.ep.Memory().ReadAt(sessionDataAddr+4, b)
+	return b
+}
+
+// Scratch writes into the per-request temporary region (cleaned on yield);
+// used by handlers that want realistic memory behaviour.
+func (c *Ctx) Scratch(off mem.Addr, b []byte) {
+	if off+mem.Addr(len(b)) > ScratchSize {
+		return
+	}
+	c.ep.Memory().WriteAt(ScratchAddr+off, b)
+}
+
+// RawProcess exposes the worker's kernel process. It models a fully
+// compromised worker: arbitrary system calls with whatever labels the
+// current event process carries. The isolation tests use it to verify that
+// even raw kernel access cannot leak a user's data (§7.8).
+func (c *Ctx) RawProcess() *kernel.Process { return c.w.proc }
+
+// Query runs a labeled database query through ok-dbproxy, returning result
+// rows. The kernel guarantees only rows the user may see arrive (§7.5).
+func (c *Ctx) Query(sql string, args ...string) ([][]string, error) {
+	return c.dbExec(sql, args, false)
+}
+
+// Declassify runs a declassification write; it succeeds only in
+// declassifier workers, which hold UT at ⋆ (§7.6).
+func (c *Ctx) Declassify(sql string, args ...string) ([][]string, error) {
+	return c.dbExec(sql, args, true)
+}
+
+func (c *Ctx) dbExec(sql string, args []string, declassify bool) ([][]string, error) {
+	var v *label.Label
+	var send func(*kernel.Process, handle.Handle, string, string, []string, handle.Handle, *label.Label) error
+	if declassify {
+		v = dbproxy.VerifyDeclassify(c.UT)
+		send = dbproxy.Declassify
+	} else {
+		v = dbproxy.VerifyFor(c.UT, c.UG)
+		send = dbproxy.Query
+	}
+	if err := send(c.w.proc, c.w.proxyPort, c.User, sql, args, c.st.reply, v); err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for {
+		d, err := c.w.proc.Recv(c.st.reply)
+		if err != nil {
+			return nil, err
+		}
+		if row, ok := dbproxy.ParseRow(d); ok {
+			rows = append(rows, row)
+			continue
+		}
+		if _, ok := dbproxy.ParseDone(d); ok {
+			return rows, nil
+		}
+		if msg, ok := dbproxy.ParseError(d); ok {
+			return nil, fmt.Errorf("okws: db: %s", msg)
+		}
+		// Stray netd replies can interleave; skip them.
+	}
+}
