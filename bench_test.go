@@ -6,10 +6,15 @@ package asbestos
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"asbestos/internal/experiments"
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/okws"
 	"asbestos/internal/stats"
+	"asbestos/internal/workload"
 )
 
 // BenchmarkFig6MemoryPerSession reproduces Figure 6: memory per cached and
@@ -65,6 +70,58 @@ func BenchmarkFig7Throughput(b *testing.B) {
 			b.ReportMetric(cps, "conns/sec")
 		})
 	}
+}
+
+// BenchmarkFig7ThroughputParallel is the multicore companion to
+// BenchmarkFig7Throughput: the echo service is replicated across one worker
+// process per available core (round-robin user sharding, sessions pinned),
+// and b.RunParallel drives one client per core against the sharded kernel.
+// Compare its conns/sec metric against the single-goroutine benchmark; on
+// ≥4 cores the sharded kernel should deliver well over 1.5× the serial
+// figure, since syscalls from distinct processes no longer serialize on a
+// global monitor lock.
+func BenchmarkFig7ThroughputParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	echo := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+		n := 11
+		fmt.Sscanf(req.Query["n"], "%d", &n)
+		return &httpmsg.Response{Status: 200, Body: make([]byte, n)}
+	}
+	srv, err := okws.Launch(okws.Config{
+		Seed:     42,
+		Services: []okws.Service{{Name: "echo", Handler: echo, Replicas: workers}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Stop()
+	// One user per client goroutine (plus slack) so concurrent requests
+	// never contend for the same session's event process.
+	users := make([]struct{ user, pass string }, 4*workers)
+	for i := range users {
+		users[i].user = fmt.Sprintf("pu%04d", i)
+		users[i].pass = fmt.Sprintf("pp%04d", i)
+		if err := srv.AddUser(users[i].user, users[i].pass, fmt.Sprintf("%d", 20000+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextUser, failures atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		u := users[int(nextUser.Add(1))%len(users)]
+		for pb.Next() {
+			resp, err := workload.Get(srv.Network(), 80, u.user, u.pass, "/echo?n=11")
+			if err != nil || resp.Status != 200 {
+				failures.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := failures.Load(); n > 0 {
+		b.Fatalf("%d failed connections", n)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "conns/sec")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkFig8Latency reproduces the Figure 8 table: median and 90th

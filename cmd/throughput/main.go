@@ -22,6 +22,8 @@ func main() {
 	sessions := flag.String("sessions", "1,100,1000,3000,5000,7500,10000",
 		"comma-separated cached-session counts")
 	baseConns := flag.Int("baseconns", 2000, "connections per baseline run")
+	workers := flag.Int("workers", 1,
+		"worker replicas per service; >1 adds a multicore sweep over the sharded kernel")
 	flag.Parse()
 
 	counts, err := parseInts(*sessions)
@@ -36,6 +38,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "throughput:", err)
 		os.Exit(1)
+	}
+	if *workers > 1 {
+		prows, err := experiments.Figure7OKWSParallel(counts, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, prows...)
 	}
 	rows = append(rows, experiments.Figure7Baselines(*baseConns)...)
 

@@ -1,0 +1,3 @@
+module asbestos
+
+go 1.24

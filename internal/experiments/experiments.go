@@ -182,6 +182,35 @@ func Figure7OKWS(sessionCounts []int) ([]Fig7Row, error) {
 	return rows, nil
 }
 
+// Figure7OKWSParallel measures OKWS throughput with the service replicated
+// across `workers` truly parallel worker processes — the multicore scenario
+// the sharded kernel exists for. The client concurrency scales with the
+// replica count so every worker has requests in flight.
+func Figure7OKWSParallel(sessionCounts []int, workers int) ([]Fig7Row, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var rows []Fig7Row
+	for _, n := range sessionCounts {
+		srv, us, err := provision(n, nil, okws.Service{
+			Name: "echo", Handler: echoHandler, Replicas: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
+		res := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency*workers)
+		rows = append(rows, Fig7Row{
+			Label:       fmt.Sprintf("OKWS %d x%dw", n, workers),
+			Sessions:    n,
+			ConnsPerSec: res.ConnsPerSec(),
+			Errors:      res.Errors + res.BadStatus,
+		})
+		srv.Stop()
+	}
+	return rows, nil
+}
+
 // Figure7Baselines measures the Apache and Mod-Apache bars.
 func Figure7Baselines(connections int) []Fig7Row {
 	req := &httpmsg.Request{Method: "GET", Path: "/svc",

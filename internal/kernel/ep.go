@@ -10,7 +10,8 @@ import (
 // EventProcess is a lightweight, isolated context within a process (paper
 // §6): a pair of labels, receive rights for the ports it created, and a
 // copy-on-write view of the base process's memory. Its kernel state is
-// charged at 44 bytes (EPKernelBytes).
+// charged at 44 bytes (EPKernelBytes). All mutable fields are guarded by
+// the owning process's mutex.
 //
 // Only one event process of a process runs at a time; they share the base
 // process's goroutine. The kernel switches contexts in Checkpoint.
@@ -52,8 +53,8 @@ func (e *EventProcess) Memory() *mem.View { return e.view }
 // process's labels. An event process still active from a previous
 // Checkpoint is implicitly yielded first.
 func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.dead {
 		return nil, nil, ErrDead
 	}
@@ -75,28 +76,29 @@ func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
 	}
 }
 
-// checkpointScan is the delivery loop of Checkpoint. Caller holds mu.
+// checkpointScan is the delivery loop of Checkpoint. Caller holds p.mu;
+// port state is snapshotted via the shard locks as in recvScan.
 func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 	i := 0
 	for i < len(p.queue) {
 		m := p.queue[i]
-		vn := p.sys.vnodes[m.Port]
-		if vn == nil || vn.owner != p {
+		owner, ownerEP, pr, ok := p.sys.portState(m.Port)
+		if !ok || owner != p {
 			p.queue = append(p.queue[:i], p.queue[i+1:]...)
-			p.sys.drops++
+			p.sys.drops.Add(1)
 			continue
 		}
-		if vn.ownerEP != 0 {
-			ep := p.eps[vn.ownerEP]
+		if ownerEP != 0 {
+			ep := p.eps[ownerEP]
 			if ep == nil {
 				// Owner event process exited; message undeliverable.
 				p.queue = append(p.queue[:i], p.queue[i+1:]...)
-				p.sys.drops++
+				p.sys.drops.Add(1)
 				continue
 			}
 			p.queue = append(p.queue[:i], p.queue[i+1:]...)
-			if !p.sys.deliverable(m, ep.recvL) {
-				p.sys.drops++
+			if !deliverable(m, ep.recvL, pr) {
+				p.sys.drops.Add(1)
 				continue
 			}
 			applyEffects(m, &ep.sendL, &ep.recvL)
@@ -107,8 +109,8 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 		// Base-owned port: a deliverable message forks a new event process
 		// with labels copied from the base (§6.1).
 		p.queue = append(p.queue[:i], p.queue[i+1:]...)
-		if !p.sys.deliverable(m, p.recvL) {
-			p.sys.drops++
+		if !deliverable(m, p.recvL, pr) {
+			p.sys.drops.Add(1)
 			continue
 		}
 		p.nextEP++
@@ -134,8 +136,8 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 // event process's private pages persist — this is how a worker caches
 // session state across connections (§7.3).
 func (p *Process) Yield() error {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cur == nil {
 		return ErrNotInRealm
 	}
@@ -154,8 +156,8 @@ func (p *Process) yieldLocked() {
 // dropping the private copies. Workers call it before yielding to discard
 // per-request temporaries such as the stack (§6.1, §7.3).
 func (p *Process) EPClean(a mem.Addr, n int) error {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cur == nil {
 		return ErrNotInRealm
 	}
@@ -167,17 +169,20 @@ func (p *Process) EPClean(a mem.Addr, n int) error {
 // kernel state, private pages, and the receive rights for any ports it
 // created (messages to those ports are henceforth dropped).
 func (p *Process) EPExit() error {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cur == nil {
 		return ErrNotInRealm
 	}
 	ep := p.cur
 	for port := range ep.ports {
-		if vn := p.sys.vnodes[port]; vn != nil && vn.owner == p && vn.ownerEP == ep.id {
+		sh := p.sys.shard(port)
+		sh.mu.Lock()
+		if vn := sh.m[port]; vn != nil && vn.owner == p && vn.ownerEP == ep.id {
 			vn.owner = nil
 			vn.ownerEP = 0
 		}
+		sh.mu.Unlock()
 	}
 	delete(p.eps, ep.id)
 	p.cur = nil
@@ -187,14 +192,14 @@ func (p *Process) EPExit() error {
 // EPCount returns the number of live event processes (cached sessions plus
 // the active one); diagnostics for the memory experiments.
 func (p *Process) EPCount() int {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return len(p.eps)
 }
 
 // Current returns the active event process, or nil.
 func (p *Process) Current() *EventProcess {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.cur
 }

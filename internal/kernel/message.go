@@ -117,18 +117,26 @@ func VerifyLabel(lvl label.Level, hs ...handle.Handle) *label.Label {
 // DR ⊑ pR — are evaluated when the receiver attempts delivery; a message
 // failing them is silently dropped. Send returning nil therefore does NOT
 // imply delivery (unreliable messaging, §4).
+//
+// Concurrency: the sender's labels are snapshotted under its own lock
+// (labels are immutable values, so the snapshot stays valid), the
+// requirement checks run lock-free against the snapshot, and the enqueue
+// takes only the receiver's lock. No two process locks are ever held
+// together (package lock-ordering rule 3).
 func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
-	if p.dead {
-		return ErrDead
-	}
 	stop := p.sys.prof.Time(stats.CatKernelIPC)
 	defer stop()
 
-	cs, ds, dr, v := opts.defaults()
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return ErrDead
+	}
 	sendL, _ := p.ctxLabels()
 	ps := *sendL
+	p.mu.Unlock()
+
+	cs, ds, dr, v := opts.defaults()
 	es := ps.Lub(cs)
 
 	// Requirement 2: granting privilege (lowering another's send label)
@@ -145,15 +153,10 @@ func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
 		return ErrPrivilege
 	}
 
-	vn := p.sys.vnodes[port]
-	if vn == nil || !vn.isPort || vn.owner == nil || vn.owner.dead {
+	q, _, _, ok := p.sys.portState(port)
+	if !ok || q == nil {
 		// Undeliverable, but send still "succeeds" (§4).
-		p.sys.drops++
-		return nil
-	}
-	q := vn.owner
-	if len(q.queue) >= p.sys.queueLimit {
-		p.sys.drops++ // resource exhaustion drop
+		p.sys.drops.Add(1)
 		return nil
 	}
 	msg := &Message{
@@ -164,8 +167,16 @@ func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
 		dr:   dr,
 		v:    v,
 	}
+	q.mu.Lock()
+	if q.dead || len(q.queue) >= p.sys.queueLimit {
+		// Dead receiver or resource exhaustion (§4).
+		q.mu.Unlock()
+		p.sys.drops.Add(1)
+		return nil
+	}
 	q.queue = append(q.queue, msg)
 	q.cond.Broadcast()
+	q.mu.Unlock()
 	return nil
 }
 
@@ -184,13 +195,13 @@ func maxLevel(a, b label.Level) label.Level {
 }
 
 // deliverable evaluates requirements 1 and 4 of Figure 4 against a
-// receiving context's labels and the port's current label. Caller holds mu.
-func (s *System) deliverable(m *Message, recvL *label.Label) bool {
-	vn := s.vnodes[m.Port]
-	if vn == nil || vn.portLabel == nil {
+// receiving context's labels and the port's current label (both snapshotted
+// by the caller at the instant of receive). Pure label math over immutable
+// labels; needs no locks.
+func deliverable(m *Message, recvL, pr *label.Label) bool {
+	if pr == nil {
 		return false
 	}
-	pr := vn.portLabel
 	// (4) DR ⊑ pR: the port label bounds decontamination, protecting
 	// long-running servers from unwanted taint-acceptance (§5.5).
 	if !m.dr.Leq(pr) {
@@ -274,28 +285,30 @@ func matchFilter(port handle.Handle, filter []handle.Handle) bool {
 
 // recvScan walks the queue for the first message deliverable to the current
 // context, applying drops along the way. It returns nil if nothing is
-// available right now. Caller holds mu.
+// available right now. Caller holds p.mu; port state is snapshotted per
+// message via the vnode shard locks (ordering rule 2), and the Figure 4
+// receiver-side checks run against the receiver's labels at this instant.
 func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 	sendL, recvL := p.ctxLabels()
 	i := 0
 	for i < len(p.queue) {
 		m := p.queue[i]
-		vn := p.sys.vnodes[m.Port]
-		if vn == nil || vn.owner != p {
+		owner, ownerEP, pr, ok := p.sys.portState(m.Port)
+		if !ok || owner != p {
 			// Port dissociated or re-owned elsewhere: drop.
 			p.queue = append(p.queue[:i], p.queue[i+1:]...)
-			p.sys.drops++
+			p.sys.drops.Add(1)
 			continue
 		}
-		if vn.ownerEP != p.curID() || !matchFilter(m.Port, filter) {
+		if ownerEP != p.curID() || !matchFilter(m.Port, filter) {
 			// Belongs to a different context of this process (handled by
 			// Checkpoint) or filtered out: leave queued.
 			i++
 			continue
 		}
 		p.queue = append(p.queue[:i], p.queue[i+1:]...)
-		if !p.sys.deliverable(m, *recvL) {
-			p.sys.drops++
+		if !deliverable(m, *recvL, pr) {
+			p.sys.drops.Add(1)
 			continue
 		}
 		applyEffects(m, sendL, recvL)
@@ -309,8 +322,8 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 // and returns it. In the event-process realm, only the active event
 // process's ports are eligible; the base process must use Checkpoint.
 func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for {
 		if p.dead {
 			return nil, ErrDead
@@ -331,8 +344,8 @@ func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
 // TryRecv is Recv without blocking: it returns nil if no message is
 // currently deliverable.
 func (p *Process) TryRecv(filter ...handle.Handle) (*Delivery, error) {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.dead {
 		return nil, ErrDead
 	}
@@ -348,7 +361,7 @@ func (p *Process) TryRecv(filter ...handle.Handle) (*Delivery, error) {
 // QueueLen reports the number of queued (not yet delivered) messages;
 // diagnostics only.
 func (p *Process) QueueLen() int {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return len(p.queue)
 }

@@ -26,10 +26,18 @@ var (
 
 // Process is an Asbestos process: a pair of labels, a message queue, an
 // address space, and (optionally) a family of event processes.
+//
+// mu guards every mutable field below it (labels, queue, event-process
+// table, liveness); cond, on mu, wakes blocked Recv/Checkpoint calls. The
+// address space contents are, as in the seed, accessed only by the owning
+// goroutine (plus quiescent diagnostics); mu does not cover page data.
 type Process struct {
 	sys  *System
 	id   ProcID
 	name string
+
+	mu   sync.Mutex
+	cond *sync.Cond
 
 	// Base-context labels. Once the process enters the event-process realm
 	// these are frozen as the template for new event processes.
@@ -37,7 +45,6 @@ type Process struct {
 	recvL *label.Label // P_R: maximum acceptable contamination
 
 	queue []*Message
-	cond  *sync.Cond
 	dead  bool
 
 	space *mem.Space
@@ -58,7 +65,7 @@ func (p *Process) Name() string { return p.name }
 func (p *Process) System() *System { return p.sys }
 
 // ctxLabels returns pointers to the current context's label slots: the
-// active event process if any, else the base process. Caller holds mu.
+// active event process if any, else the base process. Caller holds p.mu.
 func (p *Process) ctxLabels() (sendL, recvL **label.Label) {
 	if p.cur != nil {
 		return &p.cur.sendL, &p.cur.recvL
@@ -68,16 +75,16 @@ func (p *Process) ctxLabels() (sendL, recvL **label.Label) {
 
 // SendLabel returns the current context's send label P_S.
 func (p *Process) SendLabel() *label.Label {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, _ := p.ctxLabels()
 	return *s
 }
 
 // RecvLabel returns the current context's receive label P_R.
 func (p *Process) RecvLabel() *label.Label {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, r := p.ctxLabels()
 	return *r
 }
@@ -85,8 +92,8 @@ func (p *Process) RecvLabel() *label.Label {
 // Memory returns the current context's memory: the base address space, or
 // the active event process's copy-on-write view.
 func (p *Process) Memory() Memory {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cur != nil {
 		return p.cur.view
 	}
@@ -104,8 +111,8 @@ type Memory interface {
 // declassification privilege: P_S(h) ← ⋆ (paper §5.3: "A process initially
 // has privilege for every handle it creates").
 func (p *Process) NewHandle() handle.Handle {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	vn := p.sys.vnodeFor(false)
 	s, _ := p.ctxLabels()
 	*s = (*s).With(vn.h, label.Star)
@@ -118,21 +125,44 @@ func (p *Process) NewHandle() handle.Handle {
 // P_S(p) = ⋆ and receive rights. A nil initial label means {3} (no
 // restriction beyond the process receive label).
 func (p *Process) NewPort(initial *label.Label) handle.Handle {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
 	if initial == nil {
 		initial = label.Empty(label.L3)
 	}
-	vn := p.sys.vnodeFor(true)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Build the vnode fully before publishing it, so no one can observe a
+	// half-initialized port.
+	vn := &vnode{h: p.sys.alloc.New(), isPort: true}
 	vn.portLabel = initial.With(vn.h, label.L0)
 	vn.owner = p
 	if p.cur != nil {
 		vn.ownerEP = p.cur.id
 		p.cur.ports[vn.h] = true
 	}
+	sh := p.sys.shard(vn.h)
+	sh.mu.Lock()
+	sh.m[vn.h] = vn
+	sh.mu.Unlock()
 	s, _ := p.ctxLabels()
 	*s = (*s).With(vn.h, label.Star)
 	return vn.h
+}
+
+// withOwnedPort runs f on the vnode of a port the current context owns,
+// holding p.mu and the vnode's shard write lock. It reports ErrNotOwner
+// when the handle is not a port owned by this context.
+func (p *Process) withOwnedPort(port handle.Handle, f func(vn *vnode)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := p.sys.shard(port)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vn := sh.m[port]
+	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
+		return ErrNotOwner
+	}
+	f(vn)
+	return nil
 }
 
 // SetPortLabel replaces a port's label. Only the context holding receive
@@ -143,42 +173,28 @@ func (p *Process) SetPortLabel(port handle.Handle, l *label.Label) error {
 	if l == nil {
 		return ErrBadLabel
 	}
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
-	vn := p.sys.vnodes[port]
-	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
-		return ErrNotOwner
-	}
-	vn.portLabel = l
-	return nil
+	return p.withOwnedPort(port, func(vn *vnode) { vn.portLabel = l })
 }
 
 // PortLabel returns a port's current label; only the owner may inspect it.
 func (p *Process) PortLabel(port handle.Handle) (*label.Label, error) {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
-	vn := p.sys.vnodes[port]
-	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
-		return nil, ErrNotOwner
+	var out *label.Label
+	if err := p.withOwnedPort(port, func(vn *vnode) { out = vn.portLabel }); err != nil {
+		return nil, err
 	}
-	return vn.portLabel, nil
+	return out, nil
 }
 
 // Dissociate abandons receive rights for a port. Pending and future
 // messages to it are dropped.
 func (p *Process) Dissociate(port handle.Handle) error {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
-	vn := p.sys.vnodes[port]
-	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
-		return ErrNotOwner
-	}
-	vn.owner = nil
-	vn.ownerEP = 0
-	if p.cur != nil {
-		delete(p.cur.ports, port)
-	}
-	return nil
+	return p.withOwnedPort(port, func(vn *vnode) {
+		vn.owner = nil
+		vn.ownerEP = 0
+		if p.cur != nil {
+			delete(p.cur.ports, port)
+		}
+	})
 }
 
 func (p *Process) curID() uint32 {
@@ -193,8 +209,8 @@ func (p *Process) curID() uint32 {
 // keeps the context's own declassification privileges intact; use
 // DropPrivilege to give those up.
 func (p *Process) ContaminateSelf(l *label.Label) {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, _ := p.ctxLabels()
 	*s = (*s).Lub(l.Glb((*s).StarRestrict()))
 }
@@ -206,8 +222,8 @@ func (p *Process) DropPrivilege(h handle.Handle, lvl label.Level) error {
 	if lvl == label.Star || !lvl.Valid() {
 		return ErrBadLabel
 	}
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, _ := p.ctxLabels()
 	if (*s).Get(h) != label.Star {
 		return nil // nothing to drop
@@ -219,8 +235,8 @@ func (p *Process) DropPrivilege(h handle.Handle, lvl label.Level) error {
 // LowerRecv voluntarily restricts the context's receive label: P_R ← P_R ⊓
 // l. Restricting what one may receive needs no privilege.
 func (p *Process) LowerRecv(l *label.Label) {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, r := p.ctxLabels()
 	*r = (*r).Glb(l)
 }
@@ -230,8 +246,8 @@ func (p *Process) LowerRecv(l *label.Label) {
 // declassification privilege for h (paper §5.2: "processes are not free to
 // raise their receive labels arbitrarily").
 func (p *Process) RaiseRecv(h handle.Handle, lvl label.Level) error {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, r := p.ctxLabels()
 	if (*r).Get(h) >= lvl {
 		return nil // not actually a raise
@@ -247,11 +263,17 @@ func (p *Process) RaiseRecv(h handle.Handle, lvl label.Level) error {
 // including ⋆ privileges, which is one of the two ways privilege is
 // distributed (§5.3: "either by forking or using ... decontamination") —
 // and whose address space is a copy of the base process's.
+//
+// The label snapshot is taken under p's lock; the child is then created and
+// its memory filled without it (registry before process locks, ordering
+// rule 1). The address-space copy is safe because only p's own goroutine —
+// the one running Fork — writes p.space.
 func (p *Process) Fork(name string) *Process {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
+	p.mu.Lock()
 	s, r := p.ctxLabels()
-	child := p.sys.newProcessLocked(name, *s, *r)
+	sendL, recvL := *s, *r
+	p.mu.Unlock()
+	child := p.sys.newProcess(name, sendL, recvL)
 	// Copy memory contents (plain copy; COW between processes is not
 	// needed for the paper's accounting, which charges per-process pages).
 	buf := make([]byte, mem.PageSize)
@@ -265,28 +287,26 @@ func (p *Process) Fork(name string) *Process {
 // Exit kills the process: its ports are dissociated, queued messages
 // dropped, and kernel state released.
 func (p *Process) Exit() {
-	p.sys.mu.Lock()
-	defer p.sys.mu.Unlock()
-	p.exitLocked()
-}
-
-func (p *Process) exitLocked() {
+	p.mu.Lock()
 	if p.dead {
+		p.mu.Unlock()
 		return
 	}
 	p.dead = true
-	for _, vn := range p.sys.vnodes {
-		if vn.owner == p {
-			vn.owner = nil
-			vn.ownerEP = 0
-		}
-	}
-	p.sys.drops += uint64(len(p.queue))
+	p.sys.drops.Add(uint64(len(p.queue)))
 	p.queue = nil
 	p.eps = make(map[uint32]*EventProcess)
 	p.cur = nil
-	delete(p.sys.procs, p.id)
 	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	// Sends racing with exit either observe the stale ownership (and are
+	// dropped at enqueue, since p.dead holds) or miss the vnode entirely.
+	p.sys.disownAll(p)
+
+	p.sys.procMu.Lock()
+	delete(p.sys.procs, p.id)
+	p.sys.procMu.Unlock()
 }
 
 func (p *Process) String() string {

@@ -4,9 +4,10 @@
 // The emulation preserves the kernel's logic exactly while substituting Go
 // machinery for hardware privilege:
 //
-//   - Processes are goroutines. Every system call takes the kernel lock, so
-//     the kernel acts as a monitor, mirroring the uniprocessor Asbestos
-//     prototype.
+//   - Processes are goroutines. Unlike the uniprocessor Asbestos prototype,
+//     which ran the kernel as a monitor behind one big lock, this kernel is
+//     sharded for multicore scaling (see "Locking" below): syscalls on
+//     different processes proceed in parallel.
 //   - Messaging is asynchronous and unreliable. send enqueues after checking
 //     only the sender-side privilege requirements (Figure 4 requirements 2
 //     and 3, which depend on sender state alone); deliverability (requirements
@@ -17,6 +18,46 @@
 //     process of a process runs at a time (they share the event loop, §6.1),
 //     so Checkpoint switches the current context — labels, receive rights,
 //     and the copy-on-write memory view.
+//
+// # Locking
+//
+// The single monitor mutex of the uniprocessor prototype is split three
+// ways:
+//
+//   - Each Process has its own mutex guarding that process's message queue,
+//     labels, event-process table and liveness bit; its condition variable
+//     wakes blocked Recv/Checkpoint calls.
+//   - The vnode table is sharded vnodeShards ways by handle hash; each shard
+//     has an RWMutex guarding its map and the fields of every vnode in it
+//     (port label, owner, owning event process).
+//   - The process registry and environment table have their own mutexes, and
+//     hot-path counters (drops) use lock-free striped counters from
+//     internal/stats.
+//
+// Lock ordering, which every code path must respect:
+//
+//  1. System.procMu (registry) is acquired before any per-process mutex and
+//     never while one is held.
+//  2. A per-process mutex is acquired before a vnode shard lock; a shard
+//     lock is NEVER held while acquiring a process mutex. (send snapshots
+//     the vnode under the shard lock, releases it, and only then locks the
+//     receiver.)
+//  3. At most one per-process mutex is held at a time — no syscall locks two
+//     processes. Cross-process effects (enqueue on send) happen after the
+//     sender's own lock is released, against an immutable snapshot of the
+//     sender's labels, which is exactly the atomicity Figure 4 requires:
+//     sender-side checks against the sender's labels at send time,
+//     receiver-side checks against the receiver's labels at delivery time.
+//  4. Leaf locks (handle allocator, profiler stripes, label comparison
+//     cache shards) take no other locks and may be acquired under any of
+//     the above.
+//
+// Races the sharding does introduce are exactly the ones unreliable
+// messaging already absorbs: a port may be dissociated or its owner may
+// exit between the sender's vnode snapshot and the enqueue, in which case
+// the message is dropped at enqueue (dead receiver) or at the receiver's
+// next scan (stale ownership) — indistinguishable, for the sender, from any
+// other silent drop of §4.
 //
 // Kernel data-structure sizes follow the paper for memory accounting:
 // 64-byte vnodes per active handle, 320-byte processes, 44-byte event
@@ -50,29 +91,56 @@ const msgKernelBytes = 48
 // beyond it are dropped (resource exhaustion, §4).
 const defaultQueueLimit = 16384
 
-// System is the emulated kernel: the single authority for handles, ports,
-// processes and label checks.
+// vnodeShards is the number of independent vnode-table shards. Must be a
+// power of two. 64 keeps per-shard maps tiny at paper scale (10k sessions ≈
+// a few hundred vnodes per shard) while letting that many cores touch the
+// table concurrently.
+const vnodeShards = 64
+
+// System is the emulated kernel: the authority for handles, ports,
+// processes and label checks. Its state is sharded as described in the
+// package comment; no syscall serializes against unrelated syscalls.
 type System struct {
-	mu     sync.Mutex
-	alloc  *handle.Allocator
-	vnodes map[handle.Handle]*vnode
+	alloc *handle.Allocator
+
+	shards [vnodeShards]vnodeShard
+
+	procMu sync.Mutex
 	procs  map[ProcID]*Process
 	next   ProcID
-	env    map[string]handle.Handle
-	prof   *stats.Profiler
+
+	envMu sync.RWMutex
+	env   map[string]handle.Handle
+
+	prof *stats.Profiler
 
 	queueLimit int
-	drops      uint64 // messages dropped by label checks or overflow
+	drops      stats.Counter // messages dropped by label checks or overflow
+}
+
+// vnodeShard is one slice of the handle table: a map plus the lock guarding
+// both the map and the mutable fields of every vnode in it.
+type vnodeShard struct {
+	mu sync.RWMutex
+	m  map[handle.Handle]*vnode
 }
 
 // vnode is the kernel structure behind every active handle (paper §5.6).
-// For port handles it carries the port label and receive rights.
+// For port handles it carries the port label and receive rights. All fields
+// after h are guarded by the owning shard's lock; h is immutable.
 type vnode struct {
 	h         handle.Handle
 	isPort    bool
 	portLabel *label.Label
 	owner     *Process // receive rights; nil when dissociated or not a port
 	ownerEP   uint32   // owning event process id, 0 = the base process
+}
+
+// shard returns the shard responsible for h. Handles are outputs of a keyed
+// permutation (see internal/handle), so the low bits are already uniformly
+// distributed.
+func (s *System) shard(h handle.Handle) *vnodeShard {
+	return &s.shards[uint64(h)&(vnodeShards-1)]
 }
 
 // Option configures a System.
@@ -100,10 +168,12 @@ func WithQueueLimit(n int) Option {
 func NewSystem(opts ...Option) *System {
 	s := &System{
 		alloc:      handle.NewAllocator(0x0a5b_e570_5000_0001),
-		vnodes:     make(map[handle.Handle]*vnode),
 		procs:      make(map[ProcID]*Process),
 		env:        make(map[string]handle.Handle),
 		queueLimit: defaultQueueLimit,
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[handle.Handle]*vnode)
 	}
 	for _, o := range opts {
 		o(s)
@@ -115,24 +185,24 @@ func NewSystem(opts ...Option) *System {
 // (paper §5.1). The caller drives it from any goroutine; all syscalls are
 // methods on the returned Process.
 func (s *System) NewProcess(name string) *Process {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.newProcessLocked(name, label.Empty(label.DefaultSend), label.Empty(label.DefaultRecv))
+	return s.newProcess(name, label.Empty(label.DefaultSend), label.Empty(label.DefaultRecv))
 }
 
-func (s *System) newProcessLocked(name string, sendL, recvL *label.Label) *Process {
-	s.next++
+func (s *System) newProcess(name string, sendL, recvL *label.Label) *Process {
 	p := &Process{
 		sys:   s,
-		id:    s.next,
 		name:  name,
 		sendL: sendL,
 		recvL: recvL,
 		space: newSpace(),
 		eps:   make(map[uint32]*EventProcess),
 	}
-	p.cond = sync.NewCond(&s.mu)
+	p.cond = sync.NewCond(&p.mu)
+	s.procMu.Lock()
+	s.next++
+	p.id = s.next
 	s.procs[p.id] = p
+	s.procMu.Unlock()
 	return p
 }
 
@@ -140,15 +210,15 @@ func (s *System) newProcessLocked(name string, sendL, recvL *label.Label) *Proce
 // bootstrapped through such environment variables because port names are
 // unpredictable (paper §4).
 func (s *System) SetEnv(name string, h handle.Handle) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.envMu.Lock()
+	defer s.envMu.Unlock()
 	s.env[name] = h
 }
 
 // Env looks up a published handle.
 func (s *System) Env(name string) (handle.Handle, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.envMu.RLock()
+	defer s.envMu.RUnlock()
 	h, ok := s.env[name]
 	return h, ok
 }
@@ -158,29 +228,69 @@ func (s *System) Env(name string) (handle.Handle, bool) {
 // diagnostics only: a hardened kernel would not expose it, since observing
 // drops is exactly the storage channel §8 discusses.
 func (s *System) Drops() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.drops
+	return s.drops.Load()
 }
 
 // Profiler returns the attached profiler (possibly nil).
 func (s *System) Profiler() *stats.Profiler { return s.prof }
 
-// vnodeFor allocates a fresh handle plus its backing vnode. Caller holds mu.
+// vnodeFor allocates a fresh handle plus its backing vnode and publishes it
+// in the handle table. The shard lock is taken internally; since shard
+// locks sit below process mutexes in the lock order (rule 2), callers may
+// hold a process mutex.
 func (s *System) vnodeFor(isPort bool) *vnode {
 	h := s.alloc.New()
 	vn := &vnode{h: h, isPort: isPort}
-	s.vnodes[h] = vn
+	sh := s.shard(h)
+	sh.mu.Lock()
+	sh.m[h] = vn
+	sh.mu.Unlock()
 	return vn
+}
+
+// portState snapshots the routing fields of a port's vnode: the current
+// owner, owning event process and port label. ok is false when the handle
+// is unknown or not a port. Safe to call with a process lock held (ordering
+// rule 2); never holds the shard lock beyond the copy.
+func (s *System) portState(h handle.Handle) (owner *Process, ownerEP uint32, pr *label.Label, ok bool) {
+	sh := s.shard(h)
+	sh.mu.RLock()
+	vn := sh.m[h]
+	if vn == nil || !vn.isPort {
+		sh.mu.RUnlock()
+		return nil, 0, nil, false
+	}
+	owner, ownerEP, pr = vn.owner, vn.ownerEP, vn.portLabel
+	sh.mu.RUnlock()
+	return owner, ownerEP, pr, true
+}
+
+// disownAll clears receive rights for every port owned by p (process
+// exit). Caller must NOT hold any shard lock; p's own lock may be held.
+func (s *System) disownAll(p *Process) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, vn := range sh.m {
+			if vn.owner == p {
+				vn.owner = nil
+				vn.ownerEP = 0
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // MemStats walks kernel structures and user memory, reproducing the
 // accounting of Figure 6 ("includes all memory allocated by both kernel and
 // user programs"). Labels shared between entities are counted once,
 // modelling the paper's refcounted copy-on-write label sharing.
+//
+// The walk locks one structure at a time (registry, then each process, then
+// each shard), so against a running workload the report is a best-effort
+// snapshot; the experiment harness quiesces first, as the paper's
+// measurements do.
 func (s *System) MemStats() stats.MemReport {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var r stats.MemReport
 	labels := make(map[*label.Label]bool)
 	note := func(l *label.Label) {
@@ -188,11 +298,26 @@ func (s *System) MemStats() stats.MemReport {
 			labels[l] = true
 		}
 	}
-	for _, vn := range s.vnodes {
-		r.KernelBytes += handle.VnodeBytes
-		note(vn.portLabel)
-	}
+
+	s.procMu.Lock()
+	procs := make([]*Process, 0, len(s.procs))
 	for _, p := range s.procs {
+		procs = append(procs, p)
+	}
+	s.procMu.Unlock()
+
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, vn := range sh.m {
+			r.KernelBytes += handle.VnodeBytes
+			note(vn.portLabel)
+		}
+		sh.mu.RUnlock()
+	}
+
+	for _, p := range procs {
+		p.mu.Lock()
 		r.KernelBytes += ProcKernelBytes
 		r.KernelBytes += len(p.queue) * msgKernelBytes
 		for _, m := range p.queue {
@@ -216,6 +341,7 @@ func (s *System) MemStats() stats.MemReport {
 				r.UserPages++
 			}
 		}
+		p.mu.Unlock()
 	}
 	for l := range labels {
 		r.KernelBytes += l.SizeBytes()
@@ -225,14 +351,19 @@ func (s *System) MemStats() stats.MemReport {
 
 // Processes returns a snapshot count of live processes (diagnostics).
 func (s *System) Processes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
 	return len(s.procs)
 }
 
 // Handles returns the number of active handles (diagnostics).
 func (s *System) Handles() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.vnodes)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }

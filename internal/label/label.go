@@ -63,13 +63,14 @@ type Label struct {
 	def      Level
 	min, max Level // over all handles, including the default
 	nent     int
+	fp       uint64 // fingerprint: process-unique id of this label value
 }
 
 var empties [numLevels]*Label
 
 func init() {
 	for l := Star; l < numLevels; l++ {
-		empties[l] = &Label{def: l, min: l, max: l}
+		empties[l] = &Label{def: l, min: l, max: l, fp: newFP()}
 	}
 }
 
@@ -117,7 +118,7 @@ func build(def Level, ents []uint64) *Label {
 	if len(ents) == 0 {
 		return Empty(def)
 	}
-	l := &Label{def: def, min: def, max: def, nent: len(ents)}
+	l := &Label{def: def, min: def, max: def, nent: len(ents), fp: newFP()}
 	for len(ents) > 0 {
 		n := len(ents)
 		if n > chunkMax {
@@ -172,9 +173,11 @@ func (l *Label) With(h handle.Handle, lvl Level) *Label {
 	if l.Get(h) == lvl {
 		return l
 	}
-	// Rebuild via entry list of the affected chunk only.
+	// Rebuild via entry list of the affected chunk only. The result gets a
+	// fresh fingerprint, which is what retires any memoized comparisons
+	// involving the receiver (see leqcache.go).
 	i := sort.Search(len(l.chunks), func(i int) bool { return l.chunks[i].last() >= h })
-	out := &Label{def: l.def}
+	out := &Label{def: l.def, fp: newFP()}
 	var newEnts []uint64
 	if i == len(l.chunks) {
 		// h beyond all chunks: extend or append to the final chunk.
@@ -298,7 +301,10 @@ func PairwiseAll(a, b *Label, pred func(av, bv Level) bool) bool {
 	}
 }
 
-// Leq reports a ⊑ b: a(h) ≤ b(h) for all h.
+// Leq reports a ⊑ b: a(h) ≤ b(h) for all h. Comparisons that survive the
+// cached-bounds fast paths are memoized by fingerprint pair, so the full
+// pairwise walk runs once per distinct label pair (paper §5.6, extended
+// across calls).
 func (l *Label) Leq(m *Label) bool {
 	if l == m {
 		return true
@@ -309,7 +315,12 @@ func (l *Label) Leq(m *Label) bool {
 	if l.min > m.max {
 		return false
 	}
-	return PairwiseAll(l, m, func(a, b Level) bool { return a <= b })
+	if r, ok := leqLookup(l.fp, m.fp); ok {
+		return r
+	}
+	r := PairwiseAll(l, m, func(a, b Level) bool { return a <= b })
+	leqStore(l.fp, m.fp, r)
+	return r
 }
 
 // combine merges two labels pointwise with op (which must be monotone in

@@ -1,0 +1,105 @@
+package label
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Memoized label comparison (the §5.6 cached-bounds idea extended across
+// calls). Every Label carries a fingerprint: a process-unique id assigned
+// when the label value is built. Because labels are immutable, a fingerprint
+// permanently names one label value — With and the lattice operations return
+// a *new* label with a *new* fingerprint whenever the value changes, so a
+// mutation can never be confused with the label it derived from. That is the
+// cache's whole invalidation story: stale pairs simply stop being looked up,
+// and eviction (epoch clearing of full shards) bounds the memory they
+// occupy.
+//
+// The cache memoizes Leq results keyed by fingerprint pairs. The kernel's
+// send/recv hot path compares the same few labels over and over (a port
+// label against a worker's receive label, once per message), so after the
+// first full pairwise walk every repeat is a single sharded map probe.
+
+// leqShardCount is the number of independent cache shards; keys are spread
+// by fingerprint hash so concurrent senders rarely contend. Power of two.
+const leqShardCount = 64
+
+// leqShardMax bounds each shard's map; a full shard is cleared wholesale
+// (epoch eviction), which keeps the cache O(1) in steady state without
+// tracking LRU chains on the hot path.
+const leqShardMax = 2048
+
+type leqKey struct{ a, b uint64 }
+
+type leqShard struct {
+	mu sync.Mutex
+	m  map[leqKey]bool
+	_  [48]byte // pad to a 64-byte cache line so shards do not false-share
+}
+
+var leqCache [leqShardCount]leqShard
+
+var leqHits, leqMisses atomic.Uint64
+
+// fpCounter hands out label fingerprints. Fingerprint 0 is never assigned,
+// so a zero-value Label (which is documented as not meaningful) never
+// aliases a real cache entry.
+var fpCounter atomic.Uint64
+
+func newFP() uint64 { return fpCounter.Add(1) }
+
+// Fingerprint returns the label's identity for memoization: two labels with
+// the same fingerprint are the same immutable value. The converse does not
+// hold — equal values built independently get distinct fingerprints, which
+// costs a cache miss, never a wrong answer.
+func (l *Label) Fingerprint() uint64 { return l.fp }
+
+func leqShardFor(k leqKey) *leqShard {
+	// Fibonacci-style mix of both fingerprints.
+	h := (k.a*0x9e3779b97f4a7c15 ^ k.b) * 0x9e3779b97f4a7c15
+	return &leqCache[h>>(64-6)&(leqShardCount-1)]
+}
+
+func leqLookup(a, b uint64) (result, ok bool) {
+	k := leqKey{a, b}
+	s := leqShardFor(k)
+	s.mu.Lock()
+	r, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		leqHits.Add(1)
+	} else {
+		leqMisses.Add(1)
+	}
+	return r, ok
+}
+
+func leqStore(a, b uint64, r bool) {
+	k := leqKey{a, b}
+	s := leqShardFor(k)
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= leqShardMax {
+		s.m = make(map[leqKey]bool, leqShardMax/4)
+	}
+	s.m[k] = r
+	s.mu.Unlock()
+}
+
+// LeqCacheStats reports cumulative hit/miss counts for the memoized
+// comparison cache (diagnostics and tests).
+func LeqCacheStats() (hits, misses uint64) {
+	return leqHits.Load(), leqMisses.Load()
+}
+
+// ResetLeqCache drops every memoized comparison and zeroes the stats
+// (tests and benchmarks).
+func ResetLeqCache() {
+	for i := range leqCache {
+		s := &leqCache[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+	leqHits.Store(0)
+	leqMisses.Store(0)
+}

@@ -15,6 +15,12 @@
 // 64-bit entries, with cached min/max levels enabling fast-path comparisons,
 // shared structurally between labels (copy-on-write). Simple is a map-based
 // reference implementation used by property tests to validate Label.
+//
+// Beyond the paper's per-label cached bounds, comparisons are memoized
+// across calls: each immutable label value carries a fingerprint, and ⊑
+// results are cached by fingerprint pair (see leqcache.go). Mutation via
+// With yields a fresh fingerprint, so stale results are unreachable by
+// construction.
 package label
 
 import "strconv"

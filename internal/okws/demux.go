@@ -28,14 +28,20 @@ type Demux struct {
 	netdSvc  handle.Handle
 	iddLogin handle.Handle
 
-	// verif holds the launcher-issued verification handle per worker name;
-	// registration messages must prove it at level 0 (§7.1).
-	verif map[string]handle.Handle
+	// verif holds the launcher-issued verification handles per worker name
+	// (one per replica); registration messages must prove one of them at
+	// level 0 (§7.1).
+	verif map[string][]handle.Handle
 	// declassifier marks worker names the launcher registered as
 	// semi-trusted declassifiers (§7.6).
 	declassifier map[string]bool
 
-	workers  map[string]handle.Handle // service → worker base port
+	// workers maps a service to the base ports of its registered replicas.
+	// New sessions are dealt round-robin via rr; established sessions stay
+	// pinned to their event process through the session table, so replicas
+	// only shard fresh users, never split a session.
+	workers  map[string][]handle.Handle
+	rr       map[string]uint64
 	sessions map[sessionKey]handle.Handle
 	conns    map[handle.Handle]*dconn // per-connection reply port → state
 	idCache  map[string]idd.Identity  // demux-side cache of login results
@@ -78,9 +84,10 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
 		loginReply:   loginReply,
 		netdSvc:      netdSvc,
 		iddLogin:     iddLogin,
-		verif:        make(map[string]handle.Handle),
+		verif:        make(map[string][]handle.Handle),
 		declassifier: make(map[string]bool),
-		workers:      make(map[string]handle.Handle),
+		workers:      make(map[string][]handle.Handle),
+		rr:           make(map[string]uint64),
 		sessions:     make(map[sessionKey]handle.Handle),
 		conns:        make(map[handle.Handle]*dconn),
 		idCache:      make(map[string]idd.Identity),
@@ -99,10 +106,20 @@ func (dm *Demux) listen(lport uint16) error {
 }
 
 // expectWorker tells the demux a worker named name will register, proving
-// verification handle v at level 0; declassifier marks §7.6 workers.
+// verification handle v at level 0; declassifier marks §7.6 workers. Called
+// once per replica, each with its own launcher-issued handle.
 func (dm *Demux) expectWorker(name string, v handle.Handle, declassifier bool) {
-	dm.verif[name] = v
+	dm.verif[name] = append(dm.verif[name], v)
 	dm.declassifier[name] = declassifier
+}
+
+// registeredWorkers counts worker replicas that have completed registration.
+func (dm *Demux) registeredWorkers() int {
+	n := 0
+	for _, ports := range dm.workers {
+		n += len(ports)
+	}
+	return n
 }
 
 // Run is the demux event loop.
@@ -150,11 +167,22 @@ func (dm *Demux) handleRegister(d *kernel.Delivery) {
 	if r.Err() {
 		return
 	}
-	v, expected := dm.verif[name]
-	if !expected || d.V.Get(v) > label.L0 {
+	proved := false
+	for _, v := range dm.verif[name] {
+		if d.V.Get(v) <= label.L0 {
+			proved = true
+			break
+		}
+	}
+	if !proved {
 		return // unknown worker or failed proof: ignore
 	}
-	dm.workers[name] = base
+	for _, b := range dm.workers[name] {
+		if b == base {
+			return // duplicate registration
+		}
+	}
+	dm.workers[name] = append(dm.workers[name], base)
 }
 
 // handleSession records a worker event process's session port (§7.3).
@@ -258,12 +286,14 @@ func (dm *Demux) taint(cs *dconn) {
 	// Handoff continues when the AddTaint acknowledgment arrives.
 }
 
-// handoff runs Figure 5 step 6: forward uC to the responsible worker.
+// handoff runs Figure 5 step 6: forward uC to the responsible worker. With
+// replicated workers, a fresh user is dealt to the next replica round-robin;
+// follow-up connections go straight to the session's event process.
 func (dm *Demux) handoff(cs *dconn) {
 	defer dm.release(cs)
 	service := cs.req.Service()
-	base, ok := dm.workers[service]
-	if !ok {
+	replicas := dm.workers[service]
+	if len(replicas) == 0 {
 		dm.failDirect(cs, 404)
 		return
 	}
@@ -275,6 +305,10 @@ func (dm *Demux) handoff(cs *dconn) {
 			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC)})
 		return
 	}
+	// Fresh user: deal to the next replica. The counter advances only on
+	// this path, so pinned-session traffic cannot skew the rotation.
+	base := replicas[dm.rr[service]%uint64(len(replicas))]
+	dm.rr[service]++
 	opts := &kernel.SendOpts{
 		DecontSend: kernel.Grant(cs.uC, cs.id.UG),
 		DecontRecv: kernel.AllowRecv(label.L3, cs.id.UT),

@@ -27,6 +27,21 @@ type Service struct {
 	// NoClean disables ep_clean and session teardown, reproducing the
 	// paper's worst-case active-session memory measurement (§9.1).
 	NoClean bool
+	// Replicas is the number of identical worker processes to launch for
+	// this service (0 or 1 means one). The demux deals new users to
+	// replicas round-robin; each user's session stays pinned to the event
+	// process that created it. Replication is how OKWS exploits the sharded
+	// kernel on multicore hardware: one service's request stream fans out
+	// over Replicas truly parallel processes.
+	Replicas int
+}
+
+// replicaCount normalizes Replicas.
+func (svc Service) replicaCount() int {
+	if svc.Replicas < 1 {
+		return 1
+	}
+	return svc.Replicas
 }
 
 // Config configures a full OKWS stack.
@@ -88,38 +103,42 @@ func Launch(cfg Config) (*Server, error) {
 	demuxSess, _ := sys.Env(EnvDemuxSession)
 	proxyPort, _ := sys.Env(dbproxy.EnvWorkerPort)
 
+	totalWorkers := 0
 	for _, svc := range cfg.Services {
-		w := newWorker(sys, svc.Name, svc.Handler)
-		w.declassifier = svc.Declassifier
-		w.keepSessions = !svc.EphemeralSessions
-		w.debugNoClean = svc.NoClean
-		w.demuxSess = demuxSess
-		w.proxyPort = proxyPort
+		for i := 0; i < svc.replicaCount(); i++ {
+			w := newWorker(sys, svc.Name, svc.Handler)
+			w.declassifier = svc.Declassifier
+			w.keepSessions = !svc.EphemeralSessions
+			w.debugNoClean = svc.NoClean
+			w.demuxSess = demuxSess
+			w.proxyPort = proxyPort
 
-		// §7.1: the launcher grants a process-specific verification handle
-		// to each worker it starts and tells ok-demux its value.
-		verif := s.launcher.NewHandle()
-		boot := w.proc.NewPort(nil)
-		w.proc.SetPortLabel(boot, label.Empty(label.L3))
-		if err := s.launcher.Send(boot, nil, &kernel.SendOpts{
-			DecontSend: label.New(label.L3, label.Entry{H: verif, L: label.L0}),
-		}); err != nil {
-			return nil, fmt.Errorf("okws: verification grant for %q: %w", svc.Name, err)
+			// §7.1: the launcher grants a process-specific verification
+			// handle to each worker it starts and tells ok-demux its value.
+			verif := s.launcher.NewHandle()
+			boot := w.proc.NewPort(nil)
+			w.proc.SetPortLabel(boot, label.Empty(label.L3))
+			if err := s.launcher.Send(boot, nil, &kernel.SendOpts{
+				DecontSend: label.New(label.L3, label.Entry{H: verif, L: label.L0}),
+			}); err != nil {
+				return nil, fmt.Errorf("okws: verification grant for %q: %w", svc.Name, err)
+			}
+			if d, err := w.proc.TryRecv(boot); err != nil || d == nil {
+				return nil, fmt.Errorf("okws: worker %q bootstrap failed", svc.Name)
+			}
+			w.proc.Dissociate(boot)
+			demux.expectWorker(svc.Name, verif, svc.Declassifier)
+			if err := w.register(demux.regPort, verif); err != nil {
+				return nil, fmt.Errorf("okws: register %q: %w", svc.Name, err)
+			}
+			s.workers = append(s.workers, w)
+			totalWorkers++
 		}
-		if d, err := w.proc.TryRecv(boot); err != nil || d == nil {
-			return nil, fmt.Errorf("okws: worker %q bootstrap failed", svc.Name)
-		}
-		w.proc.Dissociate(boot)
-		demux.expectWorker(svc.Name, verif, svc.Declassifier)
-		if err := w.register(demux.regPort, verif); err != nil {
-			return nil, fmt.Errorf("okws: register %q: %w", svc.Name, err)
-		}
-		s.workers = append(s.workers, w)
 	}
 
 	// Drain registrations synchronously before the demux loop starts, so a
 	// request can never race a worker registration.
-	for len(demux.workers) < len(cfg.Services) {
+	for demux.registeredWorkers() < totalWorkers {
 		d, err := demux.proc.TryRecv()
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package okws_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"asbestos/internal/handle"
 	"asbestos/internal/httpmsg"
@@ -274,6 +275,76 @@ func TestManySessionsConcurrently(t *testing.T) {
 	}
 }
 
+func TestReplicatedWorkers(t *testing.T) {
+	const replicas = 3
+	s := launch(t, okws.Service{Name: "store", Handler: storeHandler, Replicas: replicas})
+	if got := len(s.Workers()); got != replicas {
+		t.Fatalf("launched %d workers, want %d", got, replicas)
+	}
+	var users []workload.Credentials
+	for i := 1; i <= 5; i++ {
+		users = append(users, workload.Credentials{
+			User: fmt.Sprintf("user%d", i), Pass: fmt.Sprintf("pw%d", i)})
+	}
+	// Two rounds: the first stores per-user data, the second must read it
+	// back, proving follow-up connections stay pinned to the session's
+	// event process even though new users round-robin across replicas.
+	for i, u := range users {
+		r, err := workload.Get(s.Network(), 80, u.User, u.Pass, fmt.Sprintf("/store?d=v%d", i))
+		if err != nil || r.Status != 200 {
+			t.Fatalf("store for %s: %v %v", u.User, r, err)
+		}
+	}
+	for i, u := range users {
+		r, err := workload.Get(s.Network(), 80, u.User, u.Pass, "/store")
+		if err != nil || r.Status != 200 {
+			t.Fatalf("load for %s: %v %v", u.User, r, err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(r.Body) != want {
+			t.Fatalf("session data for %s = %q, want %q (session not pinned?)", u.User, r.Body, want)
+		}
+	}
+	// 5 users over 3 replicas round-robin: sessions spread 2/2/1.
+	var counts []int
+	total := 0
+	for _, w := range s.Workers() {
+		n := w.Process().EPCount()
+		counts = append(counts, n)
+		total += n
+	}
+	if total != len(users) {
+		t.Fatalf("sessions across replicas = %v (total %d), want %d", counts, total, len(users))
+	}
+	for _, n := range counts {
+		if n == 0 {
+			t.Fatalf("round-robin left a replica idle: %v", counts)
+		}
+	}
+}
+
+// TestReplicaRoundRobinWithPinnedTraffic interleaves each new user's first
+// request with an immediate follow-up on the established session. Only the
+// first request may advance the round-robin rotation: if pinned-session
+// traffic also consumed rotation slots, alternating new/pinned requests
+// would park every session on one replica.
+func TestReplicaRoundRobinWithPinnedTraffic(t *testing.T) {
+	s := launch(t, okws.Service{Name: "store", Handler: storeHandler, Replicas: 2})
+	for i := 1; i <= 4; i++ {
+		user, pass := fmt.Sprintf("user%d", i), fmt.Sprintf("pw%d", i)
+		if r, err := workload.Get(s.Network(), 80, user, pass, fmt.Sprintf("/store?d=x%d", i)); err != nil || r.Status != 200 {
+			t.Fatalf("new session %s: %v %v", user, r, err)
+		}
+		if r, err := workload.Get(s.Network(), 80, user, pass, "/store"); err != nil || r.Status != 200 || string(r.Body) != fmt.Sprintf("x%d", i) {
+			t.Fatalf("pinned follow-up %s: %v %v", user, r, err)
+		}
+	}
+	a := s.Workers()[0].Process().EPCount()
+	b := s.Workers()[1].Process().EPCount()
+	if a != 2 || b != 2 {
+		t.Fatalf("sessions split %d/%d across 2 replicas, want 2/2", a, b)
+	}
+}
+
 func TestEphemeralSessions(t *testing.T) {
 	s := launch(t, okws.Service{Name: "echo", Handler: echoHandler, EphemeralSessions: true})
 	for i := 0; i < 3; i++ {
@@ -281,7 +352,17 @@ func TestEphemeralSessions(t *testing.T) {
 			t.Fatalf("req %d: %v %v", i, r, err)
 		}
 	}
-	if got := s.Workers()[0].Process().EPCount(); got != 0 {
-		t.Fatalf("ephemeral worker kept %d event processes", got)
+	// The client can parse the response before the worker finishes its
+	// close handshake and calls ep_exit, so poll briefly for quiescence.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got := s.Workers()[0].Process().EPCount()
+		if got == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ephemeral worker kept %d event processes", got)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

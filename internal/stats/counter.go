@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of independent cells a Counter spreads its
+// updates across. It must be a power of two.
+const counterStripes = 16
+
+// cacheLine is the assumed cache-line size; each stripe is padded to one
+// line so concurrent Adds from different cores do not false-share.
+const cacheLine = 64
+
+type counterCell struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotonically increasing, write-mostly counter safe for
+// concurrent use. Updates are striped across padded cells chosen by the
+// caller's stack address, so parallel writers (one per goroutine) mostly hit
+// distinct cache lines; Load sums the stripes. The sharded kernel uses it
+// for drop and accounting counters that previously funneled through the
+// global monitor mutex. The zero value is ready to use.
+type Counter struct {
+	cells [counterStripes]counterCell
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	// A goroutine's stacks are distinct allocations, so the address of a
+	// stack variable is a cheap, stable-enough per-goroutine hash. Collisions
+	// only cost contention, never correctness.
+	var probe byte
+	i := (uintptr(unsafe.Pointer(&probe)) >> 10) & (counterStripes - 1)
+	c.cells[i].v.Add(n)
+}
+
+// Load returns the current sum over all stripes. It is linearizable only
+// against a quiescent counter; concurrent Adds may or may not be included.
+func (c *Counter) Load() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// Reset zeroes the counter. Concurrent Adds may survive a Reset.
+func (c *Counter) Reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}

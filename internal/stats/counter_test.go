@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero Counter must load 0")
+	}
+	c.Add(3)
+	c.Add(0)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 32, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("Load = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	if c.Load() != uint64(b.N) {
+		b.Fatalf("Load = %d, want %d", c.Load(), b.N)
+	}
+}

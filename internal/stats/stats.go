@@ -1,6 +1,8 @@
 // Package stats provides measurement plumbing for the evaluation harness:
 // per-component cycle accounting (Figure 9), latency percentiles (Figure 8),
-// and page/byte accounting (Figure 6).
+// and page/byte accounting (Figure 6), plus the scalable counters the
+// sharded kernel uses so that hot-path accounting never funnels through a
+// single mutex.
 package stats
 
 import (
@@ -8,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,12 +55,13 @@ func Categories() []Category {
 }
 
 // Profiler accumulates wall time per category. It is safe for concurrent
-// use. A nil *Profiler is valid and records nothing, so components can be
+// use and lock-free: every syscall on the sharded kernel records here, so a
+// mutex would reintroduce the global serialization the sharding removed. A
+// nil *Profiler is valid and records nothing, so components can be
 // instrumented unconditionally.
 type Profiler struct {
-	mu    sync.Mutex
-	total [numCategories]time.Duration
-	count [numCategories]int64
+	total [numCategories]atomic.Int64 // nanoseconds
+	count [numCategories]atomic.Int64
 }
 
 // NewProfiler returns an empty profiler.
@@ -68,10 +72,8 @@ func (p *Profiler) Add(c Category, d time.Duration) {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	p.total[c] += d
-	p.count[c]++
-	p.mu.Unlock()
+	p.total[c].Add(int64(d))
+	p.count[c].Add(1)
 }
 
 // Time starts a timer for category c; call the returned func to stop it.
@@ -89,9 +91,7 @@ func (p *Profiler) Total(c Category) time.Duration {
 	if p == nil {
 		return 0
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.total[c]
+	return time.Duration(p.total[c].Load())
 }
 
 // Count returns the number of samples recorded for c.
@@ -99,20 +99,19 @@ func (p *Profiler) Count(c Category) int64 {
 	if p == nil {
 		return 0
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.count[c]
+	return p.count[c].Load()
 }
 
-// Reset zeroes all categories.
+// Reset zeroes all categories. Concurrent Adds may survive a Reset; callers
+// quiesce the workload first, as the experiment harness does.
 func (p *Profiler) Reset() {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	p.total = [numCategories]time.Duration{}
-	p.count = [numCategories]int64{}
-	p.mu.Unlock()
+	for c := range p.total {
+		p.total[c].Store(0)
+		p.count[c].Store(0)
+	}
 }
 
 // NominalGHz is the clock rate used to express measured nanoseconds as
