@@ -12,6 +12,8 @@ import (
 
 	"asbestos/internal/experiments"
 	"asbestos/internal/httpmsg"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
 	"asbestos/internal/okws"
 	"asbestos/internal/stats"
 	"asbestos/internal/workload"
@@ -122,6 +124,63 @@ func BenchmarkFig7ThroughputParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "conns/sec")
 	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSendBatch measures the amortization the batched-send syscall
+// buys on the sender side: per-message cost of enqueuing b.N messages to
+// one port in batches of 1, 8 and 64. One sender-side label check, one port
+// lookup, one CAS and at most one receiver wakeup per batch — so ns/msg
+// falls as the batch grows. The queue is drained off-clock whenever it
+// fills, so the metric is the send syscall path alone.
+func BenchmarkSendBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			const backlog = 1 << 14
+			sys := kernel.NewSystem(kernel.WithSeed(1), kernel.WithQueueLimit(backlog+64))
+			recv := sys.NewProcess("rx")
+			port := recv.NewPort(nil)
+			if err := recv.SetPortLabel(port, label.Empty(label.L3)); err != nil {
+				b.Fatal(err)
+			}
+			sender := sys.NewProcess("tx")
+			payload := make([]byte, 16)
+			entries := make([]kernel.BatchEntry, batch)
+			for i := range entries {
+				entries[i] = kernel.BatchEntry{Data: payload}
+			}
+			drain := func() {
+				for {
+					d, err := recv.TryRecv()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d == nil {
+						return
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sent := 0
+			for i := 0; i < b.N; i += batch {
+				if err := sender.SendBatch(port, entries); err != nil {
+					b.Fatal(err)
+				}
+				sent += batch
+				if recv.QueueLen() >= backlog {
+					b.StopTimer()
+					drain()
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			drain()
+			// Divide by messages actually sent: the loop rounds b.N up to a
+			// whole number of batches, which matters at small -benchtime.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(sent), "ns/msg")
+			recv.Exit()
+		})
+	}
 }
 
 // BenchmarkFig8Latency reproduces the Figure 8 table: median and 90th

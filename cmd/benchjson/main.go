@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a JSON document,
+// so CI can archive one machine-readable benchmark snapshot per PR (the
+// BENCH_pr*.json perf trajectory).
+//
+// Usage:
+//
+//	go test -bench ... | benchjson -o BENCH_pr2.json
+//	benchjson -o BENCH_pr2.json bench.txt
+//
+// Only benchmark result lines are parsed; everything else (goos/pkg
+// headers, PASS/ok trailers) is ignored. Each result line
+//
+//	BenchmarkFoo/bar-8   1000   52646 ns/op   18995 conns/sec
+//
+// becomes {"name": "Foo/bar-8", "iterations": 1000,
+// "metrics": {"ns/op": 52646, "conns/sec": 18995}}.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	GeneratedAt string   `json:"generated_at"`
+	Go          string   `json:"go,omitempty"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	d := doc{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Results: []result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the stream so benchjson can sit inside a pipeline without
+		// hiding the human-readable output from the CI log.
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			d.Results = append(d.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(d.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results found in input")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one "Benchmark<name> <N> <value> <unit> ..." line.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return result{}, false
+	}
+	return r, true
+}

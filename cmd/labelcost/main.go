@@ -36,18 +36,20 @@ func main() {
 	}
 	fmt.Println("Figure 9: average Kcycles/connection by component vs cached sessions")
 	fmt.Println("paper shape: OKDB and Kernel IPC grow linearly; Kernel IPC passes Network ≈3k sessions")
+	fmt.Println("(this kernel memoizes ⊑/⊔/⊓/Contaminate results, flattening the label curves;")
+	fmt.Println(" cachehit shows the fraction of cacheable label ops the memo absorbed)")
 	header := []string{"sessions"}
 	for _, c := range stats.Categories() {
 		header = append(header, c.String())
 	}
-	header = append(header, "total")
+	header = append(header, "total", "cachehit")
 	var table [][]string
 	for _, r := range rows {
 		row := []string{strconv.Itoa(r.Sessions)}
 		for _, c := range stats.Categories() {
 			row = append(row, fmt.Sprintf("%.0f", r.Kcycles[c]))
 		}
-		row = append(row, fmt.Sprintf("%.0f", r.Total))
+		row = append(row, fmt.Sprintf("%.0f", r.Total), fmt.Sprintf("%.2f", r.CacheHitRate))
 		table = append(table, row)
 	}
 	fmt.Print(stats.Table(header, table))

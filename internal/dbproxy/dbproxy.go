@@ -297,7 +297,11 @@ func (p *Proxy) execSimple(m Mapping, stmt db.Stmt, args []string, reply handle.
 
 // execSelect streams rows back, each labeled by its owner (paper §7.5:
 // "Each row is returned as a separate message with a separate taint"),
-// then an untainted done.
+// then an untainted done. The whole stream — every row message plus the
+// done marker — leaves the proxy as ONE SendBatch: each row is still a
+// separate message with its own taint (the receiver-side checks run per
+// message, so the kernel still hides rows the worker may not see), but the
+// per-message queue operations and wakeups are paid once per result set.
 func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply handle.Handle) {
 	// Resolve the output columns, then select them plus the hidden owner.
 	outCols := s.Cols
@@ -324,6 +328,10 @@ func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply han
 		p.reply(m, reply, errMsg(err))
 		return
 	}
+	// One shared *SendOpts per row owner, so SendBatch prepares the taint
+	// labels once per owner run rather than once per row.
+	ownerOpts := make(map[string]*kernel.SendOpts)
+	entries := make([]kernel.BatchEntry, 0, len(res.Rows)+1)
 	sent := 0
 	for _, row := range res.Rows {
 		owner := row[len(row)-1]
@@ -334,18 +342,26 @@ func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply han
 		}
 		var opts *kernel.SendOpts
 		if owner != DeclassifiedUID {
-			om, ok := p.byUID[owner]
-			if !ok {
-				continue // owner never authenticated: no label to apply
+			opts = ownerOpts[owner]
+			if opts == nil {
+				om, ok := p.byUID[owner]
+				if !ok {
+					continue // owner never authenticated: no label to apply
+				}
+				opts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, om.UT)}
+				ownerOpts[owner] = opts
 			}
-			opts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, om.UT)}
 		}
-		p.proc.Send(reply, w.Done(), opts)
+		entries = append(entries, kernel.BatchEntry{Data: w.Done(), Opts: opts, Owned: true})
 		sent++
 	}
 	// Untainted completion marker: receipt tells the worker the stream
 	// ended without revealing how many rows it was not allowed to see.
-	p.proc.Send(reply, wire.NewWriter(OpDone).U32(uint32(sent)).Done(), nil)
+	entries = append(entries, kernel.BatchEntry{
+		Data:  wire.NewWriter(OpDone).U32(uint32(sent)).Done(),
+		Owned: true,
+	})
+	p.proc.SendBatch(reply, entries)
 }
 
 // reply sends a worker-facing control message tainted with the user's

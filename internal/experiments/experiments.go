@@ -17,6 +17,7 @@ import (
 
 	"asbestos/internal/baseline"
 	"asbestos/internal/httpmsg"
+	"asbestos/internal/label"
 	"asbestos/internal/okws"
 	"asbestos/internal/stats"
 	"asbestos/internal/workload"
@@ -271,11 +272,22 @@ func Figure8(connections, okwsSessions int) ([]Fig8Row, error) {
 
 // --- Figure 9: per-component cost ---
 
-// Fig9Row is one x-position of Figure 9: Kcycles/connection by component.
+// Fig9Row is one x-position of Figure 9: Kcycles/connection by component,
+// plus the label op-cache hit rate observed during the run (the memoized
+// ⊑/⊔/⊓/Contaminate results are what keep the label curves flat where the
+// paper's grow — the hit rate quantifies how much of the sweep's label
+// work the cache absorbed).
 type Fig9Row struct {
 	Sessions int
 	Kcycles  map[stats.Category]float64
 	Total    float64
+
+	// CacheHits/CacheMisses are the label op-cache deltas over the run;
+	// CacheHitRate = hits/(hits+misses), 0 when no cacheable op survived
+	// the fast paths.
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheHitRate float64
 }
 
 // Figure9 sweeps cached-session counts, attributing measured time to the
@@ -284,20 +296,31 @@ type Fig9Row struct {
 func Figure9(sessionCounts []int) ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for _, n := range sessionCounts {
+		// The label op-cache is process-global; start each x-position cold
+		// so every row measures the same thing regardless of what ran
+		// before (the booted kernel below is equally fresh).
+		label.ResetOpCache()
 		prof := stats.NewProfiler()
 		srv, us, err := provision(n, prof, okws.Service{Name: "echo", Handler: echoHandler})
 		if err != nil {
 			return nil, err
 		}
 		prof.Reset() // exclude provisioning cost
+		cache0 := label.CacheStats()
 		reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
 		res := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency)
+		cache1 := label.CacheStats()
 		conns := res.Connections - res.Errors
 		row := Fig9Row{Sessions: n, Kcycles: make(map[stats.Category]float64)}
 		for _, c := range stats.Categories() {
 			k := prof.KcyclesPer(c, conns)
 			row.Kcycles[c] = k
 			row.Total += k
+		}
+		row.CacheHits = cache1.Hits() - cache0.Hits()
+		row.CacheMisses = cache1.Misses() - cache0.Misses()
+		if total := row.CacheHits + row.CacheMisses; total > 0 {
+			row.CacheHitRate = float64(row.CacheHits) / float64(total)
 		}
 		rows = append(rows, row)
 		srv.Stop()

@@ -10,11 +10,19 @@
 // network over 62 bits with a Blowfish-style keyed round function and
 // cycle-walk the result into the 61-bit domain. Any keyed pseudorandom
 // permutation over [0, 2^61) satisfies the paper's requirement.
+//
+// The allocator is sharded ShardCount ways so handle creation scales with
+// the kernel's vnode-table shards: each shard owns the sub-sequence of
+// cleartexts whose top shardBits bits equal the shard index, and advances
+// through it with a lock-free atomic counter. All shards feed the same keyed
+// permutation, so the union of the sub-sequences is still a non-repeating,
+// unpredictable walk of the 61-bit namespace, and shard 0 emits exactly the
+// sequence the unsharded allocator did (seeded tests stay stable).
 package handle
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Handle is a 61-bit compartment/port name. The value 0 is reserved and is
@@ -35,6 +43,16 @@ const Bits = 61
 // structure called a vnode").
 const VnodeBytes = 64
 
+// ShardCount is the number of independent allocation shards; it matches the
+// kernel's vnode-table sharding. Must be a power of two.
+const ShardCount = 64
+
+const (
+	shardBits   = 6                       // log2(ShardCount)
+	counterBits = Bits - shardBits        // width of each shard's counter
+	counterMax  = uint64(1)<<counterBits - 1 // largest legal per-shard counter
+)
+
 func (h Handle) String() string {
 	return fmt.Sprintf("h%d", uint64(h))
 }
@@ -46,46 +64,73 @@ func (h Handle) Valid() bool {
 }
 
 // Allocator hands out unique, unpredictable handles. It is safe for
-// concurrent use.
+// concurrent use; allocations on distinct shards never contend.
 type Allocator struct {
-	mu      sync.Mutex
-	counter uint64
-	cipher  feistel61
+	cipher feistel61
+	shards [ShardCount]allocShard
+}
+
+// allocShard is one sub-sequence counter, padded to a cache line so shards
+// advancing on different cores do not false-share.
+type allocShard struct {
+	counter atomic.Uint64
+	_       [56]byte
 }
 
 // NewAllocator returns an allocator keyed by seed. Two allocators with the
-// same seed produce the same handle sequence, which keeps tests and
-// benchmarks deterministic. A production kernel would key the cipher with
-// boot-time entropy.
+// same seed produce the same handle sequence per shard, which keeps tests
+// and benchmarks deterministic. A production kernel would key the cipher
+// with boot-time entropy.
 func NewAllocator(seed uint64) *Allocator {
 	return &Allocator{cipher: newFeistel61(seed)}
 }
 
-// New returns the next handle: the encryption of an incrementing counter.
-// It panics if the 61-bit namespace is exhausted (at a rate of 10^9
-// allocations per second that takes 73 years; see paper §5.1).
-func (a *Allocator) New() Handle {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// New returns the next handle of shard 0. It is the legacy entry point;
+// sharded callers use NewIn.
+func (a *Allocator) New() Handle { return a.NewIn(0) }
+
+// NewIn returns the next handle of shard s (mod ShardCount): the encryption
+// of that shard's incrementing counter, prefixed with the shard index in
+// the cleartext's high bits. It is lock-free — one atomic add plus the pure
+// cipher — and panics if the shard's 55-bit sub-namespace is exhausted (at
+// 10^9 allocations per second per shard that takes over a year of sustained
+// allocation on one shard alone; see paper §5.1).
+func (a *Allocator) NewIn(s uint32) Handle {
+	shard := uint64(s) & (ShardCount - 1)
+	sh := &a.shards[shard]
+	hi := shard << counterBits
 	for {
-		a.counter++
-		if a.counter > uint64(MaxHandle) {
-			panic("handle: 61-bit namespace exhausted")
+		c := sh.counter.Add(1)
+		// The boundary guard must run BEFORE the cleartext is formed: a
+		// counter that spilled past counterMax would alias the next shard's
+		// sub-sequence, and the permutation would faithfully re-emit that
+		// shard's handles — duplicates, the one thing an allocator must
+		// never produce.
+		if c > counterMax {
+			panic("handle: shard sub-namespace exhausted")
 		}
-		h := Handle(a.cipher.encrypt(a.counter))
+		h := Handle(a.cipher.encrypt(hi | c))
 		if h != None {
 			return h
 		}
+		// Exactly one cleartext in the whole 61-bit domain encrypts to the
+		// reserved zero handle; burn this counter value and take the next,
+		// re-checking the boundary (the zero cleartext may sit at the very
+		// end of a shard's range).
 	}
 }
 
-// Allocated returns how many handles have been handed out. This counter is
-// kernel-internal; it must never be revealed to user code (it is exactly the
-// covert channel the cipher exists to close).
+// Allocated returns how many counter values have been consumed across all
+// shards (≥ the number of handles handed out; the cleartext that maps to
+// None burns one). This counter is kernel-internal; it must never be
+// revealed to user code (it is exactly the covert channel the cipher exists
+// to close).
 func (a *Allocator) Allocated() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.counter
+	var n uint64
+	for i := range a.shards {
+		n += a.shards[i].counter.Load()
+	}
+	return n
 }
 
 // feistel61 is a pseudorandom permutation over [0, 2^61). It runs a balanced

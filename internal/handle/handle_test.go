@@ -168,6 +168,159 @@ func TestAllocatedCounter(t *testing.T) {
 	}
 }
 
+func TestShardedAllocatorUniqueAcrossShards(t *testing.T) {
+	a := NewAllocator(42)
+	seen := make(map[Handle]bool)
+	for s := uint32(0); s < ShardCount; s++ {
+		for i := 0; i < 500; i++ {
+			h := a.NewIn(s)
+			if !h.Valid() {
+				t.Fatalf("shard %d: invalid handle %v at allocation %d", s, h, i)
+			}
+			if seen[h] {
+				t.Fatalf("shard %d: duplicate handle %v at allocation %d", s, h, i)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestShardedAllocatorShard0MatchesLegacySequence(t *testing.T) {
+	// Shard 0's cleartexts are the plain counter, so New() must reproduce
+	// the pre-sharding allocator's sequence: encrypt(1), encrypt(2), …
+	a := NewAllocator(7)
+	f := newFeistel61(7)
+	c := uint64(0)
+	for i := 0; i < 2000; i++ {
+		c++
+		want := Handle(f.encrypt(c))
+		for want == None {
+			c++
+			want = Handle(f.encrypt(c))
+		}
+		if got := a.New(); got != want {
+			t.Fatalf("allocation %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestShardedAllocatorConcurrentShards(t *testing.T) {
+	a := NewAllocator(13)
+	const goroutines, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[Handle]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := make([]Handle, 0, per)
+			for i := 0; i < per; i++ {
+				// Mix same-shard and cross-shard contention.
+				local = append(local, a.NewIn(uint32(g*7+i%3)))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, h := range local {
+				if seen[h] {
+					t.Errorf("duplicate handle %v under concurrency", h)
+				}
+				seen[h] = true
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d unique handles, want %d", len(seen), goroutines*per)
+	}
+}
+
+// TestAllocatorNoneCleartextSkipped is the counter-overflow/None regression
+// test: it locates the one cleartext that encrypts to the reserved zero
+// handle (via the test-only decrypt), jams that shard's counter just below
+// it, and walks the allocator across it. The allocator must skip the value
+// — never emitting None — and the neighbours must stay unique.
+func TestAllocatorNoneCleartextSkipped(t *testing.T) {
+	var seed uint64
+	var z uint64
+	found := false
+	for seed = 0; seed < 64; seed++ {
+		z = newFeistel61(seed).decrypt(0)
+		// Need a counter part we can approach from below without
+		// immediately exhausting the shard.
+		if c := z & counterMax; c >= 4 && c <= counterMax-4 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed in range put decrypt(0) in a testable position")
+	}
+	shard := uint32(z >> counterBits)
+	c0 := z & counterMax
+
+	a := NewAllocator(seed)
+	a.shards[shard&(ShardCount-1)].counter.Store(c0 - 3)
+	seen := make(map[Handle]bool)
+	for i := 0; i < 6; i++ {
+		h := a.NewIn(shard)
+		if h == None {
+			t.Fatalf("allocation %d emitted the reserved None handle", i)
+		}
+		if !h.Valid() {
+			t.Fatalf("allocation %d emitted invalid handle %v", i, h)
+		}
+		if seen[h] {
+			t.Fatalf("allocation %d emitted duplicate %v", i, h)
+		}
+		seen[h] = true
+	}
+	// The zero cleartext burned one counter value: 6 handles, 7 increments.
+	if got := a.shards[shard&(ShardCount-1)].counter.Load(); got != c0+4 {
+		t.Fatalf("counter = %d, want %d (one value burned on None)", got, c0+4)
+	}
+}
+
+// TestAllocatorShardBoundaryNeverAliases exercises the 61-bit/55-bit
+// wraparound edge: allocations up to a shard's very last counter value must
+// succeed with unique handles that cannot collide with the next shard's
+// sequence, and the next allocation must panic (namespace exhausted) rather
+// than silently spilling into the neighbouring sub-sequence.
+func TestAllocatorShardBoundaryNeverAliases(t *testing.T) {
+	a := NewAllocator(99)
+	const shard = 3
+	a.shards[shard].counter.Store(counterMax - 2)
+
+	// The neighbouring shard's earliest handles, which a spilled counter
+	// would re-emit.
+	neighbour := make(map[Handle]bool)
+	b := NewAllocator(99)
+	for i := 0; i < 16; i++ {
+		neighbour[b.NewIn(shard+1)] = true
+	}
+
+	seen := make(map[Handle]bool)
+	for i := 0; i < 2; i++ {
+		h := a.NewIn(shard)
+		if h == None || !h.Valid() {
+			t.Fatalf("boundary allocation %d emitted %v", i, h)
+		}
+		if seen[h] {
+			t.Fatalf("boundary allocation %d emitted duplicate %v", i, h)
+		}
+		if neighbour[h] {
+			t.Fatalf("boundary allocation %d aliased next shard's handle %v", i, h)
+		}
+		seen[h] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocation past the shard boundary must panic, not alias")
+		}
+	}()
+	a.NewIn(shard)
+}
+
 func popcount(x uint64) int {
 	n := 0
 	for x != 0 {

@@ -1,0 +1,235 @@
+package kernel
+
+import (
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+)
+
+// BatchEntry is one message of a SendBatch call: a payload plus the send
+// call's optional labels. Entries that share one *SendOpts value (pointer
+// identity, nil included) also share the prepared label set, so the common
+// burst — N replies with identical options — performs the Figure 4
+// sender-side work exactly once.
+//
+// Owned declares that the caller transfers ownership of Data to the kernel:
+// the payload is enqueued without the defensive copy Send makes, and the
+// caller must never touch the slice again. The trusted event loops set it
+// for the wire buffers they build fresh per message.
+type BatchEntry struct {
+	Data  []byte
+	Opts  *SendOpts
+	Owned bool
+}
+
+// SendBatch sends N messages to one port in a single syscall. It is
+// semantically equivalent to calling Send for each entry in order, with the
+// per-message overheads amortized across the batch:
+//
+//   - the sender's labels are snapshotted once — the batch is one syscall,
+//     so one snapshot is exactly the enqueue-time atomicity Figure 4 asks
+//     for (all entries are checked against the sender's labels at the
+//     moment of the batch);
+//   - the sender-side privilege requirements (2) and (3) run once per
+//     distinct Opts value rather than once per message;
+//   - the destination port is resolved once;
+//   - all messages are published to the receiver's lock-free inbox with ONE
+//     compare-and-swap, and the receiver is unparked at most once.
+//
+// Per-sender FIFO order is preserved: the batch occupies one slot in the
+// receiver's arrival order and its entries are delivered in slice order.
+// Receiver-side checks (requirements 1 and 4) still run per message at the
+// instant of each receive, so a batch may be partially delivered and
+// partially dropped — batching changes the cost of sending, never the
+// paper's delivery semantics.
+//
+// If any entry's options fail the sender-side checks, the whole batch is
+// rejected and nothing is enqueued (one syscall, one error). A batch that
+// cannot be delivered at all — unknown port, dead receiver, queue overflow
+// — is dropped whole and silently, like any other undeliverable send (§4).
+func (p *Process) SendBatch(port handle.Handle, entries []BatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	stop := p.sys.prof.Time(stats.CatKernelIPC)
+	defer stop()
+
+	ps, err := p.sendSnapshot()
+	if err != nil {
+		return err
+	}
+
+	// Prepare the label set once per distinct Opts pointer. A single
+	// memo slot suffices: real batches either share one Opts value or
+	// group entries with equal options together.
+	var (
+		memoOpts  *SendOpts
+		memoValid bool
+		es, ds, dr, v *label.Label
+	)
+	msgs := make([]*Message, len(entries))
+	for i, e := range entries {
+		if !memoValid || e.Opts != memoOpts {
+			cs, ds2, dr2, v2 := e.Opts.defaults()
+			if err := checkSendPrivs(ps, ds2, dr2); err != nil {
+				return err
+			}
+			es, ds, dr, v = ps.Lub(cs), ds2, dr2, v2
+			memoOpts, memoValid = e.Opts, true
+		}
+		data := e.Data
+		if !e.Owned {
+			data = append([]byte(nil), data...)
+		}
+		msgs[i] = &Message{
+			Port: port,
+			Data: data,
+			es:   es,
+			ds:   ds,
+			dr:   dr,
+			v:    v,
+		}
+	}
+
+	q, _, _, ok := p.sys.portState(port)
+	if !ok || q == nil {
+		p.sys.drops.Add(uint64(len(msgs)))
+		return nil
+	}
+	// Pre-link the chain newest→oldest; one CAS publishes all of it.
+	for i := 1; i < len(msgs); i++ {
+		msgs[i].next = msgs[i-1]
+	}
+	if !q.enqueue(msgs[0], msgs[len(msgs)-1], len(msgs)) {
+		p.sys.drops.Add(uint64(len(msgs)))
+	}
+	return nil
+}
+
+// enqueue publishes a pre-linked chain of n messages (oldest…newest) to p's
+// inbox and unparks the receiver if the inbox was empty. It reports false —
+// without enqueuing anything — when p is dead or the queue is at its limit
+// (resource exhaustion, §4); the caller accounts the drops.
+//
+// The queued counter is raised before the push and lowered as messages
+// leave the pending list, so the limit bounds inbox + pending together,
+// exactly what the old mutex-guarded slice bounded. Concurrent senders can
+// overshoot the limit by at most one batch each; the limit is a resource
+// backstop, not an exact admission control.
+func (p *Process) enqueue(oldest, newest *Message, n int) bool {
+	if p.deadFlag.Load() {
+		return false
+	}
+	if p.queued.Add(int64(n)) > int64(p.sys.queueLimit) {
+		p.queued.Add(int64(-n))
+		return false
+	}
+	if p.inbox.push(oldest, newest) {
+		// Empty→non-empty transition: the receiver may be parked. Taking
+		// its mutex serializes this broadcast against the receiver's
+		// drain-then-wait, so the wakeup cannot fall between its last
+		// drain and its Wait (see Recv).
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	return true
+}
+
+// Batcher accumulates outgoing messages per destination port and flushes
+// each destination with one SendBatch. The trusted event loops (ok-demux,
+// netd, ok-dbproxy) use it to coalesce a burst of work — connection
+// handoffs, read replies, result rows — into one queue operation per
+// destination instead of one per message.
+//
+// Rules of use: a Batcher belongs to one sending process and is not safe
+// for concurrent use. Messages for one port must not bypass a non-empty
+// Batcher with a direct Send, or per-port FIFO order is lost; and any label
+// privilege a buffered message relies on (a ⋆ being granted via DecontSend)
+// must still be held at Flush time — shed capabilities after Flush, not
+// before.
+type Batcher struct {
+	p     *Process
+	slots []portBatch
+	n     int
+	drops []handle.Handle // privileges to shed after the next Flush
+}
+
+// portBatch is one destination's buffered messages. The number of distinct
+// destinations per burst is small (bounded by the event loops' burst caps),
+// so destinations live in a linear-scanned slice — no map allocation or
+// hashing per message — and every slot's entry array is reused across
+// flushes.
+type portBatch struct {
+	port    handle.Handle
+	entries []BatchEntry
+}
+
+// NewBatcher returns an empty batcher sending from p.
+func NewBatcher(p *Process) *Batcher {
+	return &Batcher{p: p}
+}
+
+// Add buffers one message for port, transferring ownership of data to the
+// kernel: the slice is enqueued without a defensive copy at Flush, so the
+// caller must not touch it again. Every event-loop user builds its wire
+// buffers fresh per message, which is exactly this contract.
+func (b *Batcher) Add(port handle.Handle, data []byte, opts *SendOpts) {
+	b.n++
+	e := BatchEntry{Data: data, Opts: opts, Owned: true}
+	for i := range b.slots {
+		if b.slots[i].port == port {
+			b.slots[i].entries = append(b.slots[i].entries, e)
+			return
+		}
+	}
+	// New destination: reuse a retired slot's entry array if one is spare.
+	if len(b.slots) < cap(b.slots) {
+		b.slots = b.slots[:len(b.slots)+1]
+		s := &b.slots[len(b.slots)-1]
+		s.port = port
+		s.entries = append(s.entries[:0], e)
+		return
+	}
+	b.slots = append(b.slots, portBatch{port: port, entries: []BatchEntry{e}})
+}
+
+// Len reports the number of buffered messages.
+func (b *Batcher) Len() int { return b.n }
+
+// DropAfter schedules DropPrivilege(h, 1) for after the next Flush. This is
+// the safe way to shed a capability a buffered message still depends on —
+// a grant via DecontSend must be held by the sender at enqueue time, which
+// for batched messages is the Flush, not the Add.
+func (b *Batcher) DropAfter(h handle.Handle) {
+	b.drops = append(b.drops, h)
+}
+
+// Flush sends every buffered message, one SendBatch per destination port in
+// first-use order, then sheds the privileges scheduled with DropAfter, and
+// empties the batcher. The first error (a sender-side privilege failure) is
+// returned after all ports have been attempted; silent drops are, as ever,
+// not errors.
+func (b *Batcher) Flush() error {
+	var first error
+	for i := range b.slots {
+		s := &b.slots[i]
+		if err := b.p.SendBatch(s.port, s.entries); err != nil && first == nil {
+			first = err
+		}
+		// Release payload/opts references (the slot and its entry array are
+		// retained for reuse; the buffers must not be).
+		for j := range s.entries {
+			s.entries[j] = BatchEntry{}
+		}
+		s.entries = s.entries[:0]
+		s.port = handle.None
+	}
+	b.slots = b.slots[:0]
+	b.n = 0
+	for _, h := range b.drops {
+		b.p.DropPrivilege(h, label.L1)
+	}
+	b.drops = b.drops[:0]
+	return first
+}

@@ -64,6 +64,7 @@ func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
 	}
 	for {
 		stop := p.sys.prof.Time(stats.CatKernelIPC)
+		p.drainInbox()
 		d, ep := p.checkpointScan()
 		stop()
 		if d != nil {
@@ -76,15 +77,16 @@ func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
 	}
 }
 
-// checkpointScan is the delivery loop of Checkpoint. Caller holds p.mu;
-// port state is snapshotted via the shard locks as in recvScan.
+// checkpointScan is the delivery loop of Checkpoint. Caller holds p.mu and
+// has drained the inbox; port state is snapshotted via the shard locks as
+// in recvScan.
 func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 	i := 0
-	for i < len(p.queue) {
-		m := p.queue[i]
+	for i < len(p.pending) {
+		m := p.pending[i]
 		owner, ownerEP, pr, ok := p.sys.portState(m.Port)
 		if !ok || owner != p {
-			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.removePending(i)
 			p.sys.drops.Add(1)
 			continue
 		}
@@ -92,11 +94,11 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 			ep := p.eps[ownerEP]
 			if ep == nil {
 				// Owner event process exited; message undeliverable.
-				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				p.removePending(i)
 				p.sys.drops.Add(1)
 				continue
 			}
-			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.removePending(i)
 			if !deliverable(m, ep.recvL, pr) {
 				p.sys.drops.Add(1)
 				continue
@@ -108,7 +110,7 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 		}
 		// Base-owned port: a deliverable message forks a new event process
 		// with labels copied from the base (§6.1).
-		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		p.removePending(i)
 		if !deliverable(m, p.recvL, pr) {
 			p.sys.drops.Add(1)
 			continue

@@ -17,6 +17,11 @@ type Message struct {
 	ds *label.Label // decontaminate-send D_S
 	dr *label.Label // decontaminate-receive D_R
 	v  *label.Label // verification V (passed up to the receiver)
+
+	// next is the intrusive MPSC queue link (see mpsc.go). It is written by
+	// the producing sender before the publishing CAS and by the consumer
+	// while reversing a drained chain; the queue's atomics order the two.
+	next *Message
 }
 
 // SendOpts carries the four optional labels of the send system call
@@ -67,7 +72,15 @@ type Delivery struct {
 // Grant builds a decontaminate-send label granting ⋆ for the given handles:
 // {h₁ ⋆, …, 3}. Sending with DecontSend: Grant(h) hands the receiver
 // declassification privilege for h — the capability-grant idiom of §5.5.
+//
+// The single-handle form — by far the hottest, one per request for every
+// reply-port grant — returns an interned label, so repeated grants of the
+// same capability share one fingerprint and the per-delivery label effects
+// they feed can be memoized.
 func Grant(hs ...handle.Handle) *label.Label {
+	if len(hs) == 1 {
+		return label.Single(label.L3, hs[0], label.Star)
+	}
 	entries := make([]label.Entry, len(hs))
 	for i, h := range hs {
 		entries[i] = label.Entry{H: h, L: label.Star}
@@ -76,8 +89,12 @@ func Grant(hs ...handle.Handle) *label.Label {
 }
 
 // Taint builds a contamination label {h₁ lvl, …, ⋆}: ⊔-ing it into a send
-// label raises exactly the named handles.
+// label raises exactly the named handles. Single-handle taints (a user's
+// compartment, once per reply) are interned like single-handle grants.
 func Taint(lvl label.Level, hs ...handle.Handle) *label.Label {
+	if len(hs) == 1 {
+		return label.Single(label.Star, hs[0], lvl)
+	}
 	entries := make([]label.Entry, len(hs))
 	for i, h := range hs {
 		entries[i] = label.Entry{H: h, L: lvl}
@@ -88,6 +105,9 @@ func Taint(lvl label.Level, hs ...handle.Handle) *label.Label {
 // AllowRecv builds a decontaminate-receive label {h₁ lvl, …, ⋆} used to
 // raise a receiver's receive label for the named handles.
 func AllowRecv(lvl label.Level, hs ...handle.Handle) *label.Label {
+	if len(hs) == 1 {
+		return label.Single(label.Star, hs[0], lvl)
+	}
 	entries := make([]label.Entry, len(hs))
 	for i, h := range hs {
 		entries[i] = label.Entry{H: h, L: lvl}
@@ -98,6 +118,9 @@ func AllowRecv(lvl label.Level, hs ...handle.Handle) *label.Label {
 // VerifyLabel builds a verification label {h₁ lvl, …, 3} proving the sender
 // holds the named handles at or below lvl.
 func VerifyLabel(lvl label.Level, hs ...handle.Handle) *label.Label {
+	if len(hs) == 1 {
+		return label.Single(label.L3, hs[0], lvl)
+	}
 	entries := make([]label.Entry, len(hs))
 	for i, h := range hs {
 		entries[i] = label.Entry{H: h, L: lvl}
@@ -105,52 +128,63 @@ func VerifyLabel(lvl label.Level, hs ...handle.Handle) *label.Label {
 	return label.New(label.L3, entries...)
 }
 
-// Send implements the send system call (Figure 4). The payload is copied.
-//
-// Sender-side requirements checked immediately (they depend only on the
-// caller's own labels, so failing them leaks nothing):
-//
-//	(2) DS(h) < 3  ⇒ PS(h) = ⋆
-//	(3) DR(h) > ⋆  ⇒ PS(h) = ⋆
-//
-// The remaining requirements — (1) ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR and (4)
-// DR ⊑ pR — are evaluated when the receiver attempts delivery; a message
-// failing them is silently dropped. Send returning nil therefore does NOT
-// imply delivery (unreliable messaging, §4).
-//
-// Concurrency: the sender's labels are snapshotted under its own lock
-// (labels are immutable values, so the snapshot stays valid), the
-// requirement checks run lock-free against the snapshot, and the enqueue
-// takes only the receiver's lock. No two process locks are ever held
-// together (package lock-ordering rule 3).
-func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
-	stop := p.sys.prof.Time(stats.CatKernelIPC)
-	defer stop()
-
+// sendSnapshot returns the calling context's current send label. Labels are
+// immutable values, so the snapshot stays valid after the lock is dropped —
+// exactly the atomicity Figure 4 requires of the sender-side checks.
+func (p *Process) sendSnapshot() (*label.Label, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.dead {
-		p.mu.Unlock()
-		return ErrDead
+		return nil, ErrDead
 	}
 	sendL, _ := p.ctxLabels()
-	ps := *sendL
-	p.mu.Unlock()
+	return *sendL, nil
+}
 
-	cs, ds, dr, v := opts.defaults()
-	es := ps.Lub(cs)
-
-	// Requirement 2: granting privilege (lowering another's send label)
-	// demands ⋆ for every handle granted.
+// checkSendPrivs evaluates the sender-side requirements of Figure 4 against
+// an immutable label snapshot; it needs no locks.
+//
+//	(2) DS(h) < 3  ⇒ PS(h) = ⋆   — granting privilege demands ⋆
+//	(3) DR(h) > ⋆  ⇒ PS(h) = ⋆   — raising another's receive label likewise
+func checkSendPrivs(ps, ds, dr *label.Label) error {
 	if !label.PairwiseAll(ds, ps, func(d, s label.Level) bool {
 		return d >= label.L3 || s == label.Star
 	}) {
 		return ErrPrivilege
 	}
-	// Requirement 3: raising another's receive label likewise.
 	if !label.PairwiseAll(dr, ps, func(d, s label.Level) bool {
 		return d == label.Star || s == label.Star
 	}) {
 		return ErrPrivilege
+	}
+	return nil
+}
+
+// Send implements the send system call (Figure 4). The payload is copied.
+//
+// Sender-side requirements (2) and (3) are checked immediately — they
+// depend only on the caller's own labels, so failing them leaks nothing.
+// The remaining requirements — (1) ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR and (4)
+// DR ⊑ pR — are evaluated when the receiver attempts delivery; a message
+// failing them is silently dropped. Send returning nil therefore does NOT
+// imply delivery (unreliable messaging, §4).
+//
+// Concurrency: the sender's labels are snapshotted under its own lock, the
+// requirement checks run lock-free against the snapshot, and the enqueue is
+// a single CAS on the receiver's lock-free inbox. The receiver's mutex is
+// taken only to unpark it when the inbox transitions empty→non-empty; no
+// two process locks are ever held together (package lock-ordering rule 3).
+func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
+	stop := p.sys.prof.Time(stats.CatKernelIPC)
+	defer stop()
+
+	ps, err := p.sendSnapshot()
+	if err != nil {
+		return err
+	}
+	cs, ds, dr, v := opts.defaults()
+	if err := checkSendPrivs(ps, ds, dr); err != nil {
+		return err
 	}
 
 	q, _, _, ok := p.sys.portState(port)
@@ -162,21 +196,15 @@ func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
 	msg := &Message{
 		Port: port,
 		Data: append([]byte(nil), data...),
-		es:   es,
+		es:   ps.Lub(cs),
 		ds:   ds,
 		dr:   dr,
 		v:    v,
 	}
-	q.mu.Lock()
-	if q.dead || len(q.queue) >= p.sys.queueLimit {
+	if !q.enqueue(msg, msg, 1) {
 		// Dead receiver or resource exhaustion (§4).
-		q.mu.Unlock()
 		p.sys.drops.Add(1)
-		return nil
 	}
-	q.queue = append(q.queue, msg)
-	q.cond.Broadcast()
-	q.mu.Unlock()
 	return nil
 }
 
@@ -283,20 +311,21 @@ func matchFilter(port handle.Handle, filter []handle.Handle) bool {
 	return false
 }
 
-// recvScan walks the queue for the first message deliverable to the current
-// context, applying drops along the way. It returns nil if nothing is
-// available right now. Caller holds p.mu; port state is snapshotted per
-// message via the vnode shard locks (ordering rule 2), and the Figure 4
-// receiver-side checks run against the receiver's labels at this instant.
+// recvScan walks the pending list for the first message deliverable to the
+// current context, applying drops along the way. It returns nil if nothing
+// is available right now. Caller holds p.mu and has drained the inbox; port
+// state is snapshotted per message via the vnode shard locks (ordering rule
+// 2), and the Figure 4 receiver-side checks run against the receiver's
+// labels at this instant.
 func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 	sendL, recvL := p.ctxLabels()
 	i := 0
-	for i < len(p.queue) {
-		m := p.queue[i]
+	for i < len(p.pending) {
+		m := p.pending[i]
 		owner, ownerEP, pr, ok := p.sys.portState(m.Port)
 		if !ok || owner != p {
 			// Port dissociated or re-owned elsewhere: drop.
-			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.removePending(i)
 			p.sys.drops.Add(1)
 			continue
 		}
@@ -306,7 +335,7 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 			i++
 			continue
 		}
-		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		p.removePending(i)
 		if !deliverable(m, *recvL, pr) {
 			p.sys.drops.Add(1)
 			continue
@@ -332,11 +361,16 @@ func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
 			return nil, ErrNotInRealm
 		}
 		stop := p.sys.prof.Time(stats.CatKernelIPC)
+		p.drainInbox()
 		d := p.recvScan(filter)
 		stop()
 		if d != nil {
 			return d, nil
 		}
+		// Park. The last drain left the inbox empty (drain always swaps it
+		// to nil), so the next push observes the empty→non-empty transition
+		// and broadcasts under p.mu — which it cannot acquire until this
+		// Wait has released it. No wakeup can be lost.
 		p.cond.Wait()
 	}
 }
@@ -353,15 +387,19 @@ func (p *Process) TryRecv(filter ...handle.Handle) (*Delivery, error) {
 		return nil, ErrNotInRealm
 	}
 	stop := p.sys.prof.Time(stats.CatKernelIPC)
+	p.drainInbox()
 	d := p.recvScan(filter)
 	stop()
 	return d, nil
 }
 
 // QueueLen reports the number of queued (not yet delivered) messages;
-// diagnostics only.
+// diagnostics only. It is exact against a quiescent process; concurrent
+// sends may or may not be included.
 func (p *Process) QueueLen() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)
+	n := p.queued.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
 }

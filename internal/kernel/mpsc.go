@@ -1,0 +1,62 @@
+package kernel
+
+import "sync/atomic"
+
+// msgQueue is the intrusive lock-free MPSC mailbox behind every Process.
+// Producers (senders, any goroutine) publish messages with an atomic-CAS
+// push; the single consumer (the receiver, serialized by the process mutex)
+// takes the entire queue with one atomic swap and re-orders it FIFO.
+//
+// The queue is a Treiber chain through the Message.next field: head points
+// at the most recently pushed message, each message at its predecessor. A
+// batch of N messages is pre-linked by the producer and published with ONE
+// compare-and-swap, which is what lets SendBatch enqueue a burst under a
+// single queue operation. Because the chain is fully linked before the CAS
+// makes it visible, the consumer never observes a half-built batch — there
+// is no "in flight" state to spin on, unlike stub-node MPSC designs.
+//
+// Progress: push is lock-free (a failed CAS means another push succeeded),
+// drain is wait-free (one unconditional swap). The happens-before edge from
+// a producer's successful CAS to the consumer's swap is what publishes the
+// message fields and the chain links; no other synchronization is needed.
+type msgQueue struct {
+	head atomic.Pointer[Message]
+}
+
+// push publishes a pre-linked chain of messages in one CAS. The caller has
+// linked the chain from newest down to oldest (newest.next → … → oldest);
+// push splices the previous head below the oldest message, so a subsequent
+// drain yields all messages in send order. It reports whether the queue was
+// empty immediately before — the empty→non-empty transition on which, and
+// only on which, the enqueuer must unpark the receiver.
+//
+// For a single message, oldest == newest.
+func (q *msgQueue) push(oldest, newest *Message) (wasEmpty bool) {
+	for {
+		old := q.head.Load()
+		oldest.next = old
+		if q.head.CompareAndSwap(old, newest) {
+			return old == nil
+		}
+	}
+}
+
+// drain takes the entire queue in one swap and returns it as a nil-
+// terminated chain in FIFO order (oldest first), or nil when empty. Only
+// the single consumer may call it; the returned messages are exclusively
+// owned by the caller.
+func (q *msgQueue) drain() *Message {
+	top := q.head.Swap(nil)
+	var fifo *Message
+	for top != nil {
+		next := top.next
+		top.next = fifo
+		fifo = top
+		top = next
+	}
+	return fifo
+}
+
+// empty reports whether the queue currently has no published messages
+// (diagnostics; racy by nature).
+func (q *msgQueue) empty() bool { return q.head.Load() == nil }

@@ -1,0 +1,460 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/label"
+)
+
+// Tests for the lock-free MPSC mailbox and the SendBatch syscall. The
+// properties that must survive any interleaving:
+//
+//  1. No message is lost: every send is delivered or counted as a drop.
+//  2. No message is duplicated.
+//  3. Per-sender FIFO: messages from one sender to one port are delivered
+//     in send order, whether sent one at a time or in batches.
+//  4. A parked receiver is always woken by the empty→non-empty transition.
+
+// seqMsg encodes (sender, seq) for order tracking.
+func seqMsg(sender uint32, seq uint64) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b[0:], sender)
+	binary.BigEndian.PutUint64(b[4:], seq)
+	return b
+}
+
+func parseSeqMsg(t *testing.T, b []byte) (sender uint32, seq uint64) {
+	t.Helper()
+	if len(b) != 12 {
+		t.Fatalf("malformed payload %x", b)
+	}
+	return binary.BigEndian.Uint32(b[0:]), binary.BigEndian.Uint64(b[4:])
+}
+
+// TestMPSCQueuePushDrainOrder unit-tests the queue itself: batch pushes
+// interleaved with single pushes, drained from one consumer, must come out
+// in global push order with batches contiguous.
+func TestMPSCQueuePushDrainOrder(t *testing.T) {
+	var q msgQueue
+	mk := func(n int) *Message { return &Message{Data: []byte{byte(n)}} }
+
+	if !q.empty() {
+		t.Fatal("fresh queue must be empty")
+	}
+	// Single push onto empty reports the transition (oldest == newest).
+	m0 := mk(0)
+	if !q.push(m0, m0) {
+		t.Fatal("push onto empty must report wasEmpty")
+	}
+	// Batch of three: chain newest→oldest, then one push.
+	m1, m2, m3 := mk(1), mk(2), mk(3)
+	m3.next = m2
+	m2.next = m1
+	if q.push(m1, m3) {
+		t.Fatal("push onto non-empty must not report wasEmpty")
+	}
+	got := []byte{}
+	for m := q.drain(); m != nil; m = m.next {
+		got = append(got, m.Data[0])
+	}
+	want := []byte{0, 1, 2, 3}
+	if string(got) != string(want) {
+		t.Fatalf("drain order = %v, want %v", got, want)
+	}
+	if !q.empty() {
+		t.Fatal("drained queue must be empty")
+	}
+	if q.drain() != nil {
+		t.Fatal("drain of empty queue must return nil")
+	}
+}
+
+// TestMPSCQueueConcurrentProducers hammers the raw queue from many
+// goroutines and checks loss-freedom, duplicate-freedom and per-producer
+// FIFO at the queue level (no kernel semantics involved).
+func TestMPSCQueueConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 5000
+	var q msgQueue
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pr)))
+			seq := uint64(0)
+			for seq < perProducer {
+				// Random batch sizes, including 1.
+				k := 1 + rng.Intn(7)
+				if rem := perProducer - int(seq); k > rem {
+					k = rem
+				}
+				msgs := make([]*Message, k)
+				for i := range msgs {
+					msgs[i] = &Message{Data: seqMsg(uint32(pr), seq)}
+					seq++
+				}
+				for i := 1; i < k; i++ {
+					msgs[i].next = msgs[i-1]
+				}
+				q.push(msgs[0], msgs[k-1])
+			}
+		}(pr)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	nextSeq := make([]uint64, producers)
+	total := 0
+	for {
+		for m := q.drain(); m != nil; m = m.next {
+			sender, seq := parseSeqMsg(t, m.Data)
+			if seq != nextSeq[sender] {
+				t.Errorf("producer %d: got seq %d, want %d (reorder/loss/dup)",
+					sender, seq, nextSeq[sender])
+				return
+			}
+			nextSeq[sender]++
+			total++
+		}
+		if total == producers*perProducer {
+			break
+		}
+		select {
+		case <-done:
+			// Producers finished; one final drain must account for the rest.
+			for m := q.drain(); m != nil; m = m.next {
+				sender, seq := parseSeqMsg(t, m.Data)
+				if seq != nextSeq[sender] {
+					t.Fatalf("final drain: producer %d got seq %d, want %d",
+						sender, seq, nextSeq[sender])
+				}
+				nextSeq[sender]++
+				total++
+			}
+			if total != producers*perProducer {
+				t.Fatalf("lost messages: drained %d of %d", total, producers*perProducer)
+			}
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestSendBatchFIFOAndConservation is the kernel-level property test:
+// several sender processes spray a single receiver port with a mix of Send
+// and randomly-sized SendBatch calls; every message must arrive exactly
+// once, in per-sender order, with nothing dropped (all labels are clean and
+// the queue is sized for the load).
+func TestSendBatchFIFOAndConservation(t *testing.T) {
+	const senders = 6
+	const perSender = 3000
+
+	s := NewSystem(WithSeed(3), WithQueueLimit(senders*perSender+1))
+	recv := s.NewProcess("rx")
+	port := recv.NewPort(nil)
+	if err := recv.SetPortLabel(port, label.Empty(label.L3)); err != nil {
+		t.Fatal(err)
+	}
+	baseDrops := s.Drops()
+
+	var wg sync.WaitGroup
+	for si := 0; si < senders; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			proc := s.NewProcess(fmt.Sprintf("tx-%d", si))
+			rng := rand.New(rand.NewSource(int64(si) * 77))
+			seq := uint64(0)
+			for seq < perSender {
+				if rng.Intn(3) == 0 {
+					// Plain send interleaved with batches: order must hold
+					// across both paths.
+					if err := proc.Send(port, seqMsg(uint32(si), seq), nil); err != nil {
+						t.Errorf("sender %d: %v", si, err)
+						return
+					}
+					seq++
+					continue
+				}
+				k := 1 + rng.Intn(16)
+				if rem := perSender - int(seq); k > rem {
+					k = rem
+				}
+				entries := make([]BatchEntry, k)
+				for i := range entries {
+					entries[i] = BatchEntry{Data: seqMsg(uint32(si), seq)}
+					seq++
+				}
+				if err := proc.SendBatch(port, entries); err != nil {
+					t.Errorf("sender %d: batch: %v", si, err)
+					return
+				}
+			}
+			proc.Exit()
+		}(si)
+	}
+
+	nextSeq := make([]uint64, senders)
+	for got := 0; got < senders*perSender; got++ {
+		d, err := recv.Recv()
+		if err != nil {
+			t.Fatalf("recv after %d deliveries: %v", got, err)
+		}
+		sender, seq := parseSeqMsg(t, d.Data)
+		if seq != nextSeq[sender] {
+			t.Fatalf("sender %d: delivered seq %d, want %d (FIFO violation, loss, or duplicate)",
+				sender, seq, nextSeq[sender])
+		}
+		nextSeq[sender]++
+	}
+	wg.Wait()
+	if d, _ := recv.TryRecv(); d != nil {
+		t.Fatal("extra (duplicated) message after full count")
+	}
+	if drops := s.Drops() - baseDrops; drops != 0 {
+		t.Fatalf("%d unexpected drops in a loss-free workload", drops)
+	}
+	recv.Exit()
+}
+
+// TestSendBatchSemantics pins down the syscall's edge cases: empty batch,
+// shared-opts label preparation, sender-side check failure rejecting the
+// whole batch, unknown ports, queue overflow, and dead receivers.
+func TestSendBatchSemantics(t *testing.T) {
+	s := NewSystem(WithSeed(5), WithQueueLimit(4))
+	rx := s.NewProcess("rx")
+	port := rx.NewPort(nil)
+	rx.SetPortLabel(port, label.Empty(label.L3))
+	tx := s.NewProcess("tx")
+
+	if err := tx.SendBatch(port, nil); err != nil {
+		t.Fatalf("empty batch = %v, want nil", err)
+	}
+
+	// Requirement 2: granting ⋆ for a handle the sender does not hold must
+	// reject the batch atomically — including entries before the bad one.
+	foreign := rx.NewHandle()
+	bad := []BatchEntry{
+		{Data: []byte("ok")},
+		{Data: []byte("bad"), Opts: &SendOpts{DecontSend: Grant(foreign)}},
+	}
+	if err := tx.SendBatch(port, bad); err != ErrPrivilege {
+		t.Fatalf("batch with privilege violation = %v, want ErrPrivilege", err)
+	}
+	if d, _ := rx.TryRecv(); d != nil {
+		t.Fatal("rejected batch must enqueue nothing")
+	}
+
+	// Unknown port: whole batch counted as drops, call succeeds (§4).
+	base := s.Drops()
+	if err := tx.SendBatch(handle.Handle(999999), mkEntries(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Drops() - base; got != 3 {
+		t.Fatalf("drops after unknown-port batch = %d, want 3", got)
+	}
+
+	// Queue limit: a batch that does not fit is dropped whole.
+	if err := tx.SendBatch(port, mkEntries(3)); err != nil {
+		t.Fatal(err)
+	}
+	base = s.Drops()
+	if err := tx.SendBatch(port, mkEntries(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Drops() - base; got != 3 {
+		t.Fatalf("drops after over-limit batch = %d, want 3", got)
+	}
+	if n := rx.QueueLen(); n != 3 {
+		t.Fatalf("QueueLen = %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if d, err := rx.TryRecv(); err != nil || d == nil {
+			t.Fatalf("delivery %d missing: %v %v", i, d, err)
+		}
+	}
+
+	// Dead receiver: batch dropped and counted.
+	rx.Exit()
+	base = s.Drops()
+	if err := tx.SendBatch(port, mkEntries(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Drops() - base; got != 2 {
+		t.Fatalf("drops after dead-receiver batch = %d, want 2", got)
+	}
+
+	// Dead sender: reports ErrDead like Send.
+	tx.Exit()
+	if err := tx.SendBatch(port, mkEntries(1)); err != ErrDead {
+		t.Fatalf("batch from dead sender = %v, want ErrDead", err)
+	}
+}
+
+func mkEntries(n int) []BatchEntry {
+	es := make([]BatchEntry, n)
+	for i := range es {
+		es[i] = BatchEntry{Data: []byte{byte(i)}}
+	}
+	return es
+}
+
+// TestSendBatchReceiverChecksPerMessage verifies batching does not weaken
+// the paper's semantics: receiver-side checks still run per message, so one
+// batch can be partially delivered and partially dropped depending on the
+// receiver's labels at the instant of each receive.
+func TestSendBatchReceiverChecksPerMessage(t *testing.T) {
+	s := NewSystem(WithSeed(9))
+	root := s.NewProcess("root")
+	hT := root.NewHandle()
+
+	rx := root.Fork("rx") // inherits hT ⋆, may accept the taint
+	port := rx.NewPort(nil)
+	rx.SetPortLabel(port, label.Empty(label.L3))
+
+	low := s.NewProcess("low")
+	lowPort := low.NewPort(nil)
+	low.SetPortLabel(lowPort, label.Empty(label.L3))
+	low.LowerRecv(label.New(label.L3, label.Entry{H: hT, L: label.L2}))
+
+	tx := s.NewProcess("tx")
+	taint := &SendOpts{Contaminate: Taint(label.L3, hT)}
+	batch := []BatchEntry{
+		{Data: []byte("clean-1")},
+		{Data: []byte("tainted"), Opts: taint},
+		{Data: []byte("clean-2")},
+	}
+
+	// The privileged receiver gets all three, in order.
+	if err := tx.SendBatch(port, batch); err != nil {
+		t.Fatal(err)
+	}
+	rx.RaiseRecv(hT, label.L3)
+	for _, want := range []string{"clean-1", "tainted", "clean-2"} {
+		d, err := rx.TryRecv()
+		if err != nil || d == nil {
+			t.Fatalf("privileged receiver missing %q: %v %v", want, d, err)
+		}
+		if string(d.Data) != want {
+			t.Fatalf("privileged receiver got %q, want %q", d.Data, want)
+		}
+	}
+
+	// The low-clearance receiver gets the clean two; the tainted middle
+	// entry is dropped at receive time (Figure 4 requirement 1).
+	base := s.Drops()
+	if err := tx.SendBatch(lowPort, batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clean-1", "clean-2"} {
+		d, err := low.TryRecv()
+		if err != nil || d == nil {
+			t.Fatalf("low receiver missing %q: %v %v", want, d, err)
+		}
+		if string(d.Data) != want {
+			t.Fatalf("low receiver got %q, want %q", d.Data, want)
+		}
+	}
+	if d, _ := low.TryRecv(); d != nil {
+		t.Fatalf("low receiver must not see the tainted entry, got %q", d.Data)
+	}
+	if got := s.Drops() - base; got != 1 {
+		t.Fatalf("drops = %d, want exactly the tainted entry", got)
+	}
+}
+
+// TestSendBatchWakesParkedReceiver pins the park/unpark contract: a
+// receiver blocked in Recv must be woken by a batch push (the empty→
+// non-empty transition), and must then consume the entire batch without
+// further sends.
+func TestSendBatchWakesParkedReceiver(t *testing.T) {
+	s := NewSystem(WithSeed(21))
+	rx := s.NewProcess("rx")
+	port := rx.NewPort(nil)
+	rx.SetPortLabel(port, label.Empty(label.L3))
+	tx := s.NewProcess("tx")
+
+	got := make(chan string, 8)
+	go func() {
+		for {
+			d, err := rx.Recv()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- string(d.Data)
+		}
+	}()
+	// Let the receiver park (no sync primitive observes "parked"; a short
+	// sleep makes the interesting interleaving overwhelmingly likely, and
+	// the test is correct — just less pointed — without it).
+	time.Sleep(10 * time.Millisecond)
+
+	if err := tx.SendBatch(port, []BatchEntry{
+		{Data: []byte("a")}, {Data: []byte("b")}, {Data: []byte("c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		select {
+		case g := <-got:
+			if g != want {
+				t.Fatalf("got %q, want %q", g, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("parked receiver never woke for %q", want)
+		}
+	}
+	rx.Exit()
+	tx.Exit()
+}
+
+// TestBatcherGroupsPerPort checks the Batcher helper: adds to multiple
+// ports flush as one batch per destination, in first-use order, preserving
+// per-port message order.
+func TestBatcherGroupsPerPort(t *testing.T) {
+	s := NewSystem(WithSeed(33))
+	rx1, rx2 := s.NewProcess("rx1"), s.NewProcess("rx2")
+	p1, p2 := rx1.NewPort(nil), rx2.NewPort(nil)
+	rx1.SetPortLabel(p1, label.Empty(label.L3))
+	rx2.SetPortLabel(p2, label.Empty(label.L3))
+	tx := s.NewProcess("tx")
+
+	b := NewBatcher(tx)
+	b.Add(p1, []byte("1a"), nil)
+	b.Add(p2, []byte("2a"), nil)
+	b.Add(p1, []byte("1b"), nil)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after flush = %d, want 0", b.Len())
+	}
+	for _, want := range []string{"1a", "1b"} {
+		d, err := rx1.TryRecv()
+		if err != nil || d == nil || string(d.Data) != want {
+			t.Fatalf("rx1: got %v %v, want %q", d, err, want)
+		}
+	}
+	if d, _ := rx2.TryRecv(); d == nil || string(d.Data) != "2a" {
+		t.Fatalf("rx2: got %v, want 2a", d)
+	}
+	// Empty flush is a no-op.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"asbestos/internal/handle"
 	"asbestos/internal/label"
@@ -27,10 +28,15 @@ var (
 // Process is an Asbestos process: a pair of labels, a message queue, an
 // address space, and (optionally) a family of event processes.
 //
-// mu guards every mutable field below it (labels, queue, event-process
-// table, liveness); cond, on mu, wakes blocked Recv/Checkpoint calls. The
-// address space contents are, as in the seed, accessed only by the owning
-// goroutine (plus quiescent diagnostics); mu does not cover page data.
+// The message queue is split in two. inbox is the lock-free MPSC mailbox
+// senders push into (see mpsc.go); pending is the consumer-side holding
+// list — messages drained from the inbox but not yet consumed because they
+// are filtered out, belong to a dormant event process, or failed no check
+// yet. mu guards pending and every other mutable field below it (labels,
+// event-process table, liveness); cond, on mu, wakes blocked Recv/
+// Checkpoint calls when the inbox goes empty→non-empty. The address space
+// contents are, as in the seed, accessed only by the owning goroutine (plus
+// quiescent diagnostics); mu does not cover page data.
 type Process struct {
 	sys  *System
 	id   ProcID
@@ -44,8 +50,15 @@ type Process struct {
 	sendL *label.Label // P_S: current contamination
 	recvL *label.Label // P_R: maximum acceptable contamination
 
-	queue []*Message
-	dead  bool
+	inbox   msgQueue     // lock-free MPSC mailbox; senders push, owner drains
+	pending []*Message   // drained but unconsumed messages; guarded by mu
+	queued  atomic.Int64 // inbox + pending size, bounds the queue limit
+	dead    bool         // guarded by mu
+	// deadFlag mirrors dead for the senders' lock-free fast path. A send
+	// that races Exit between the flag check and the push may strand a
+	// message in the inbox uncounted — for the sender this is
+	// indistinguishable from any other silent drop of §4.
+	deadFlag atomic.Bool
 
 	space *mem.Space
 
@@ -57,6 +70,31 @@ type Process struct {
 
 // ID returns the process identifier.
 func (p *Process) ID() ProcID { return p.id }
+
+// allocShard is the handle-allocator shard this process draws from: spread
+// by process id so handle creation from distinct processes never contends,
+// while staying deterministic for a fixed process-creation order (seeded
+// tests).
+func (p *Process) allocShard() uint32 { return uint32(p.id) }
+
+// drainInbox moves everything published in the lock-free inbox onto the
+// tail of the pending list, preserving global FIFO arrival order. Caller
+// holds p.mu, which is what makes it the queue's single consumer.
+func (p *Process) drainInbox() {
+	for m := p.inbox.drain(); m != nil; {
+		next := m.next
+		m.next = nil
+		p.pending = append(p.pending, m)
+		m = next
+	}
+}
+
+// removePending deletes pending[i], keeping order, and releases its slot in
+// the queue-limit accounting. Caller holds p.mu.
+func (p *Process) removePending(i int) {
+	p.pending = append(p.pending[:i], p.pending[i+1:]...)
+	p.queued.Add(-1)
+}
 
 // Name returns the diagnostic name.
 func (p *Process) Name() string { return p.name }
@@ -113,7 +151,7 @@ type Memory interface {
 func (p *Process) NewHandle() handle.Handle {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	vn := p.sys.vnodeFor(false)
+	vn := p.sys.vnodeFor(p.allocShard(), false)
 	s, _ := p.ctxLabels()
 	*s = (*s).With(vn.h, label.Star)
 	return vn.h
@@ -132,8 +170,14 @@ func (p *Process) NewPort(initial *label.Label) handle.Handle {
 	defer p.mu.Unlock()
 	// Build the vnode fully before publishing it, so no one can observe a
 	// half-initialized port.
-	vn := &vnode{h: p.sys.alloc.New(), isPort: true}
-	vn.portLabel = initial.With(vn.h, label.L0)
+	vn := &vnode{h: p.sys.alloc.NewIn(p.allocShard()), isPort: true}
+	if initial.Len() == 0 {
+		// The common case ({def} with no explicit entries) builds the
+		// interned one-entry label instead of a fresh chunk per port.
+		vn.portLabel = label.Single(initial.Default(), vn.h, label.L0)
+	} else {
+		vn.portLabel = initial.With(vn.h, label.L0)
+	}
 	vn.owner = p
 	if p.cur != nil {
 		vn.ownerEP = p.cur.id
@@ -293,8 +337,15 @@ func (p *Process) Exit() {
 		return
 	}
 	p.dead = true
-	p.sys.drops.Add(uint64(len(p.queue)))
-	p.queue = nil
+	p.deadFlag.Store(true)
+	// Drain the inbox so every message enqueued before this point is
+	// counted as dropped. A send racing the flag flip may still publish
+	// after this drain; that message is stranded unread — for the sender,
+	// indistinguishable from any other silent drop (§4).
+	p.drainInbox()
+	p.sys.drops.Add(uint64(len(p.pending)))
+	p.queued.Add(int64(-len(p.pending)))
+	p.pending = nil
 	p.eps = make(map[uint32]*EventProcess)
 	p.cur = nil
 	p.cond.Broadcast()

@@ -22,42 +22,58 @@
 // # Locking
 //
 // The single monitor mutex of the uniprocessor prototype is split three
-// ways:
+// ways, and the message path itself is lock-free:
 //
-//   - Each Process has its own mutex guarding that process's message queue,
-//     labels, event-process table and liveness bit; its condition variable
-//     wakes blocked Recv/Checkpoint calls.
+//   - Each Process has its own mutex guarding that process's labels,
+//     event-process table, liveness bit and the consumer-side pending list;
+//     its condition variable wakes blocked Recv/Checkpoint calls. The
+//     incoming message queue is NOT under this mutex: it is an intrusive
+//     lock-free MPSC mailbox (mpsc.go) that senders push into with an
+//     atomic CAS — one CAS per SendBatch, however many messages — and the
+//     owner drains with one atomic swap. The receiver parks on the cond var
+//     only after draining the mailbox empty, and a sender broadcasts only
+//     on the empty→non-empty transition, so steady-state traffic to a busy
+//     receiver takes no locks at all on the enqueue side.
 //   - The vnode table is sharded vnodeShards ways by handle hash; each shard
 //     has an RWMutex guarding its map and the fields of every vnode in it
-//     (port label, owner, owning event process).
+//     (port label, owner, owning event process). The handle allocator is
+//     sharded the same 64 ways (internal/handle), one lock-free counter per
+//     shard, selected by creating process.
 //   - The process registry and environment table have their own mutexes, and
-//     hot-path counters (drops) use lock-free striped counters from
-//     internal/stats.
+//     hot-path counters (drops, queue occupancy, label-cache hits) use
+//     lock-free striped or atomic counters from internal/stats.
 //
 // Lock ordering, which every code path must respect:
 //
 //  1. System.procMu (registry) is acquired before any per-process mutex and
-//     never while one is held.
+//     never while one is held. (Unchanged from the sharded monitor.)
 //  2. A per-process mutex is acquired before a vnode shard lock; a shard
-//     lock is NEVER held while acquiring a process mutex. (send snapshots
-//     the vnode under the shard lock, releases it, and only then locks the
-//     receiver.)
-//  3. At most one per-process mutex is held at a time — no syscall locks two
-//     processes. Cross-process effects (enqueue on send) happen after the
-//     sender's own lock is released, against an immutable snapshot of the
-//     sender's labels, which is exactly the atomicity Figure 4 requires:
-//     sender-side checks against the sender's labels at send time,
-//     receiver-side checks against the receiver's labels at delivery time.
-//  4. Leaf locks (handle allocator, profiler stripes, label comparison
-//     cache shards) take no other locks and may be acquired under any of
-//     the above.
+//     lock is NEVER held while acquiring a process mutex. (Unchanged —
+//     send snapshots the vnode under the shard lock, releases it, and only
+//     then touches the receiver.)
+//  3. At most one per-process mutex is held at a time — no syscall locks
+//     two processes. With the lock-free mailbox this rule has become
+//     almost vacuous on the send path: the enqueue itself takes NO lock;
+//     the sender acquires the receiver's mutex only to broadcast the
+//     empty→non-empty wakeup, holding nothing else. Cross-process effects
+//     still happen against an immutable snapshot of the sender's labels,
+//     which is exactly the atomicity Figure 4 requires: sender-side checks
+//     against the sender's labels at send (batch) time, receiver-side
+//     checks against the receiver's labels at delivery time.
+//  4. Leaf locks (profiler stripes, label op-cache shards) take no other
+//     locks and may be acquired under any of the above. The handle
+//     allocator, formerly a leaf lock, is now lock-free and off this list;
+//     the retired rule that the allocator mutex be taken last is subsumed.
 //
 // Races the sharding does introduce are exactly the ones unreliable
 // messaging already absorbs: a port may be dissociated or its owner may
 // exit between the sender's vnode snapshot and the enqueue, in which case
 // the message is dropped at enqueue (dead receiver) or at the receiver's
 // next scan (stale ownership) — indistinguishable, for the sender, from any
-// other silent drop of §4.
+// other silent drop of §4. The lock-free mailbox adds one more of the same
+// flavor: a send racing process exit between the liveness check and the
+// push may strand its message unread and uncounted, which the sender again
+// cannot tell apart from a silent drop.
 //
 // Kernel data-structure sizes follow the paper for memory accounting:
 // 64-byte vnodes per active handle, 320-byte processes, 44-byte event
@@ -234,12 +250,12 @@ func (s *System) Drops() uint64 {
 // Profiler returns the attached profiler (possibly nil).
 func (s *System) Profiler() *stats.Profiler { return s.prof }
 
-// vnodeFor allocates a fresh handle plus its backing vnode and publishes it
-// in the handle table. The shard lock is taken internally; since shard
-// locks sit below process mutexes in the lock order (rule 2), callers may
-// hold a process mutex.
-func (s *System) vnodeFor(isPort bool) *vnode {
-	h := s.alloc.New()
+// vnodeFor allocates a fresh handle (from the caller's allocator shard)
+// plus its backing vnode and publishes it in the handle table. The shard
+// lock is taken internally; since shard locks sit below process mutexes in
+// the lock order (rule 2), callers may hold a process mutex.
+func (s *System) vnodeFor(allocShard uint32, isPort bool) *vnode {
+	h := s.alloc.NewIn(allocShard)
 	vn := &vnode{h: h, isPort: isPort}
 	sh := s.shard(h)
 	sh.mu.Lock()
@@ -318,9 +334,12 @@ func (s *System) MemStats() stats.MemReport {
 
 	for _, p := range procs {
 		p.mu.Lock()
+		// Adopt the consumer role (we hold p.mu) and fold any published but
+		// undrained messages into pending so the walk sees the whole queue.
+		p.drainInbox()
 		r.KernelBytes += ProcKernelBytes
-		r.KernelBytes += len(p.queue) * msgKernelBytes
-		for _, m := range p.queue {
+		r.KernelBytes += len(p.pending) * msgKernelBytes
+		for _, m := range p.pending {
 			r.KernelBytes += len(m.Data)
 			note(m.es)
 			note(m.ds)

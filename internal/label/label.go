@@ -175,7 +175,7 @@ func (l *Label) With(h handle.Handle, lvl Level) *Label {
 	}
 	// Rebuild via entry list of the affected chunk only. The result gets a
 	// fresh fingerprint, which is what retires any memoized comparisons
-	// involving the receiver (see leqcache.go).
+	// involving the receiver (see opcache.go).
 	i := sort.Search(len(l.chunks), func(i int) bool { return l.chunks[i].last() >= h })
 	out := &Label{def: l.def, fp: newFP()}
 	var newEnts []uint64
@@ -356,7 +356,9 @@ func combine(a, b *Label, op func(Level, Level) Level) *Label {
 }
 
 // Lub returns the least upper bound a ⊔ b: pointwise max. Used to combine
-// contamination when a message is delivered (paper Equation 2).
+// contamination when a message is delivered (paper Equation 2). Results
+// that survive the cached-bounds fast paths are memoized by fingerprint
+// pair, so the full merge runs once per distinct label pair.
 func (l *Label) Lub(m *Label) *Label {
 	if l == m {
 		return l
@@ -369,22 +371,34 @@ func (l *Label) Lub(m *Label) *Label {
 	if l.max <= m.min {
 		return m
 	}
-	out := combine(l, m, maxLevel)
-	// Share storage when the result is value-equal to an input — the
-	// paper's copy-on-write label sharing, which keeps dormant event
-	// processes from each holding a private copy of an unchanged label.
-	if out.Eq(l) {
+	// Absorption without allocating: l ⊔ m = l exactly when m ⊑ l. The ⊑
+	// probes are memoized (and walk no chunks on a repeat), so the steady
+	// state — a delivery whose contamination the receiver already carries —
+	// costs two cache hits and zero allocation. This subsumes the old
+	// post-combine Eq sharing (the paper's copy-on-write label sharing):
+	// a result value-equal to an input is exactly an absorbed input.
+	if m.Leq(l) {
 		return l
 	}
-	if out.Eq(m) {
+	if l.Leq(m) {
 		return m
+	}
+	memo := l.nent+m.nent >= joinCacheMin
+	if memo {
+		if r := lubLookup(l.fp, m.fp); r != nil {
+			return r
+		}
+	}
+	out := combine(l, m, maxLevel)
+	if memo {
+		lubStore(l.fp, m.fp, out)
 	}
 	return out
 }
 
 // Glb returns the greatest lower bound a ⊓ b: pointwise min. Used for
 // declassification: ⊓ against a stars-only label preserves the receiver's
-// ⋆ privileges during contamination (paper Equation 5).
+// ⋆ privileges during contamination (paper Equation 5). Memoized like Lub.
 func (l *Label) Glb(m *Label) *Label {
 	if l == m {
 		return l
@@ -395,12 +409,23 @@ func (l *Label) Glb(m *Label) *Label {
 	if l.min >= m.max {
 		return m
 	}
-	out := combine(l, m, minLevel)
-	if out.Eq(l) {
+	// Absorption without allocating: l ⊓ m = l exactly when l ⊑ m (and
+	// symmetrically), via the memoized ⊑ — see Lub.
+	if l.Leq(m) {
 		return l
 	}
-	if out.Eq(m) {
+	if m.Leq(l) {
 		return m
+	}
+	memo := l.nent+m.nent >= joinCacheMin
+	if memo {
+		if r := glbLookup(l.fp, m.fp); r != nil {
+			return r
+		}
+	}
+	out := combine(l, m, minLevel)
+	if memo {
+		glbStore(l.fp, m.fp, out)
 	}
 	return out
 }
@@ -409,7 +434,9 @@ func (l *Label) Glb(m *Label) *Label {
 // pass: pointwise, a handle held at ⋆ keeps its privilege, anything else
 // takes the max of the current level and the incoming effective level. The
 // fused form avoids materializing two intermediate labels on every message
-// delivery — the hot path of the whole system.
+// delivery — the hot path of the whole system — and the result is memoized
+// (ordered pair: the op is not commutative) so a steady-state worker whose
+// labels have converged pays one map probe per delivery instead of a merge.
 func (l *Label) Contaminate(es *Label) *Label {
 	if l == es {
 		return l
@@ -417,14 +444,29 @@ func (l *Label) Contaminate(es *Label) *Label {
 	if es.max <= l.min {
 		return l // nothing in es exceeds anything here
 	}
+	// No-op detection without allocating: the update leaves QS unchanged
+	// exactly when, pointwise, the receiver holds ⋆ or already sits at or
+	// above the incoming level — the steady state of a contaminated
+	// worker receiving its user's traffic.
+	if PairwiseAll(es, l, func(e, q Level) bool {
+		return q == Star || e <= q
+	}) {
+		return l
+	}
+	memo := l.nent+es.nent >= joinCacheMin
+	if memo {
+		if r := contaminateLookup(l.fp, es.fp); r != nil {
+			return r
+		}
+	}
 	out := combine(l, es, func(q, e Level) Level {
 		if q == Star {
 			return Star
 		}
 		return maxLevel(q, e)
 	})
-	if out.Eq(l) {
-		return l
+	if memo {
+		contaminateStore(l.fp, es.fp, out)
 	}
 	return out
 }

@@ -1,0 +1,322 @@
+package label
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/stats"
+)
+
+// Memoized label operations (the §5.6 cached-bounds idea extended across
+// calls). Every Label carries a fingerprint: a process-unique id assigned
+// when the label value is built. Because labels are immutable, a fingerprint
+// permanently names one label value — With and the lattice operations return
+// a *new* label with a *new* fingerprint whenever the value changes, so a
+// mutation can never be confused with the label it derived from. That is the
+// cache's whole invalidation story: stale pairs simply stop being looked up,
+// and eviction (epoch clearing of full shards) bounds the memory they
+// occupy.
+//
+// Four operations are memoized, keyed by fingerprint pairs:
+//
+//   - Leq (⊑) results, a boolean per ordered pair;
+//   - Lub (⊔) and Glb (⊓) results, a *Label per unordered pair (both are
+//     commutative, so the key is normalized to (min fp, max fp), doubling
+//     the hit rate);
+//   - Contaminate — the fused Equation 5 update run on every message
+//     delivery — a *Label per ordered pair.
+//
+// The kernel's send/recv hot path combines the same few labels over and
+// over (a port label against a worker's receive label, once per message),
+// so after the first full pairwise walk every repeat is a single sharded
+// map probe instead of an O(entries) merge that allocates fresh chunks.
+// Hit/miss tallies use lock-free striped stats.Counters so the bookkeeping
+// itself cannot serialize concurrent senders.
+
+// opShardCount is the number of independent cache shards per operation;
+// keys are spread by fingerprint hash so concurrent senders rarely contend.
+// Power of two.
+const opShardCount = 64
+
+// leqShardMax bounds each shard's map; a full shard is cleared wholesale
+// (epoch eviction), which keeps every cache O(1) in steady state without
+// tracking LRU chains on the hot path.
+const leqShardMax = 2048
+
+// joinCacheMin gates ⊔/⊓/Contaminate memoization on operand size: a merge
+// of tiny labels is cheaper than a shard-lock probe plus a stored map entry
+// the GC must then scan, and small-label pairs (per-connection ephemera)
+// rarely recur anyway. Only pairs whose combined explicit entries reach the
+// threshold — the per-user clearance labels of the long-running servers,
+// which both recur and cost O(users) to merge — are worth remembering.
+const joinCacheMin = 24
+
+type leqKey struct{ a, b uint64 }
+
+type leqShard struct {
+	mu sync.Mutex
+	m  map[leqKey]bool
+	_  [48]byte // pad to a 64-byte cache line so shards do not false-share
+}
+
+// joinShard memoizes operations whose result is itself a label (Lub, Glb,
+// Contaminate). Results are immutable labels, so sharing the cached pointer
+// is always safe.
+type joinShard struct {
+	mu sync.Mutex
+	m  map[leqKey]*Label
+	_  [48]byte
+}
+
+var (
+	leqCache [opShardCount]leqShard
+	lubCache [opShardCount]joinShard
+	glbCache [opShardCount]joinShard
+	conCache [opShardCount]joinShard
+)
+
+var (
+	leqHits, leqMisses stats.Counter
+	lubHits, lubMisses stats.Counter
+	glbHits, glbMisses stats.Counter
+	conHits, conMisses stats.Counter
+)
+
+// fpCounter hands out label fingerprints. Fingerprint 0 is never assigned,
+// so a zero-value Label (which is documented as not meaningful) never
+// aliases a real cache entry.
+var fpCounter atomic.Uint64
+
+func newFP() uint64 { return fpCounter.Add(1) }
+
+// Fingerprint returns the label's identity for memoization: two labels with
+// the same fingerprint are the same immutable value. The converse does not
+// hold — equal values built independently get distinct fingerprints, which
+// costs a cache miss, never a wrong answer.
+func (l *Label) Fingerprint() uint64 { return l.fp }
+
+func shardIdx(k leqKey) uint64 {
+	// Fibonacci-style mix of both fingerprints.
+	h := (k.a*0x9e3779b97f4a7c15 ^ k.b) * 0x9e3779b97f4a7c15
+	return h >> (64 - 6) & (opShardCount - 1)
+}
+
+func leqLookup(a, b uint64) (result, ok bool) {
+	k := leqKey{a, b}
+	s := &leqCache[shardIdx(k)]
+	s.mu.Lock()
+	r, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		leqHits.Add(1)
+	} else {
+		leqMisses.Add(1)
+	}
+	return r, ok
+}
+
+func leqStore(a, b uint64, r bool) {
+	k := leqKey{a, b}
+	s := &leqCache[shardIdx(k)]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= leqShardMax {
+		s.m = make(map[leqKey]bool, leqShardMax/4)
+	}
+	s.m[k] = r
+	s.mu.Unlock()
+}
+
+func joinLookup(c *[opShardCount]joinShard, hits, misses *stats.Counter, a, b uint64) *Label {
+	k := leqKey{a, b}
+	s := &c[shardIdx(k)]
+	s.mu.Lock()
+	r := s.m[k]
+	s.mu.Unlock()
+	if r != nil {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
+	}
+	return r
+}
+
+func joinStore(c *[opShardCount]joinShard, a, b uint64, r *Label) {
+	k := leqKey{a, b}
+	s := &c[shardIdx(k)]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= leqShardMax {
+		s.m = make(map[leqKey]*Label, leqShardMax/4)
+	}
+	s.m[k] = r
+	s.mu.Unlock()
+}
+
+// normalize orders a commutative pair so ⊔/⊓ hit the same entry regardless
+// of operand order.
+func normalize(a, b uint64) (uint64, uint64) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+func lubLookup(a, b uint64) *Label {
+	a, b = normalize(a, b)
+	return joinLookup(&lubCache, &lubHits, &lubMisses, a, b)
+}
+
+func lubStore(a, b uint64, r *Label) {
+	a, b = normalize(a, b)
+	joinStore(&lubCache, a, b, r)
+}
+
+func glbLookup(a, b uint64) *Label {
+	a, b = normalize(a, b)
+	return joinLookup(&glbCache, &glbHits, &glbMisses, a, b)
+}
+
+func glbStore(a, b uint64, r *Label) {
+	a, b = normalize(a, b)
+	joinStore(&glbCache, a, b, r)
+}
+
+func contaminateLookup(a, b uint64) *Label {
+	return joinLookup(&conCache, &conHits, &conMisses, a, b)
+}
+
+func contaminateStore(a, b uint64, r *Label) {
+	joinStore(&conCache, a, b, r)
+}
+
+// singleShard memoizes one-entry labels: {h lvl, def}. The kernel's send
+// helpers (Grant, Taint, AllowRecv, Verify) build these on every message —
+// usually for the same few handles (a session's reply port, a user's taint
+// compartment) — so interning them both removes the build allocation and,
+// more importantly, gives repeated sends STABLE fingerprints, which is what
+// lets the join caches above absorb the per-delivery label effects.
+type singleShard struct {
+	mu sync.Mutex
+	m  map[singleKey]*Label
+	_  [48]byte
+}
+
+type singleKey struct {
+	h        handle.Handle
+	def, lvl Level
+}
+
+var singleCache [opShardCount]singleShard
+
+var singleHits, singleMisses stats.Counter
+
+// Single returns the canonical label mapping h to lvl and every other
+// handle to def — the memoized equivalent of New(def, Entry{h, lvl}).
+func Single(def Level, h handle.Handle, lvl Level) *Label {
+	if !h.Valid() {
+		panic("label: invalid handle " + h.String())
+	}
+	if lvl == def {
+		return Empty(def)
+	}
+	k := singleKey{h: h, def: def, lvl: lvl}
+	s := &singleCache[uint64(h)*0x9e3779b97f4a7c15>>(64-6)&(opShardCount-1)]
+	s.mu.Lock()
+	if l := s.m[k]; l != nil {
+		s.mu.Unlock()
+		singleHits.Add(1)
+		return l
+	}
+	s.mu.Unlock()
+	singleMisses.Add(1)
+	l := New(def, Entry{H: h, L: lvl})
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= leqShardMax {
+		s.m = make(map[singleKey]*Label, leqShardMax/4)
+	}
+	// A racing builder may have stored its own copy; keep the first so
+	// every caller shares one fingerprint from then on.
+	if prev := s.m[k]; prev != nil {
+		l = prev
+	} else {
+		s.m[k] = l
+	}
+	s.mu.Unlock()
+	return l
+}
+
+// OpCacheStats reports cumulative hit/miss counts for every memoized label
+// operation (diagnostics, the Figure 9 sweep, and tests). Counts are exact
+// against a quiescent cache; concurrent operations may be mid-flight.
+type OpCacheStats struct {
+	LeqHits, LeqMisses                 uint64
+	LubHits, LubMisses                 uint64
+	GlbHits, GlbMisses                 uint64
+	ContaminateHits, ContaminateMisses uint64
+	SingleHits, SingleMisses           uint64
+}
+
+// Hits returns the total hits across all memoized operations.
+func (s OpCacheStats) Hits() uint64 {
+	return s.LeqHits + s.LubHits + s.GlbHits + s.ContaminateHits + s.SingleHits
+}
+
+// Misses returns the total misses across all memoized operations.
+func (s OpCacheStats) Misses() uint64 {
+	return s.LeqMisses + s.LubMisses + s.GlbMisses + s.ContaminateMisses + s.SingleMisses
+}
+
+// HitRate returns hits/(hits+misses) over all operations, 0 when idle.
+func (s OpCacheStats) HitRate() float64 {
+	total := s.Hits() + s.Misses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// CacheStats snapshots the op-cache counters.
+func CacheStats() OpCacheStats {
+	return OpCacheStats{
+		LeqHits: leqHits.Load(), LeqMisses: leqMisses.Load(),
+		LubHits: lubHits.Load(), LubMisses: lubMisses.Load(),
+		GlbHits: glbHits.Load(), GlbMisses: glbMisses.Load(),
+		ContaminateHits: conHits.Load(), ContaminateMisses: conMisses.Load(),
+		SingleHits: singleHits.Load(), SingleMisses: singleMisses.Load(),
+	}
+}
+
+// LeqCacheStats reports cumulative hit/miss counts for the memoized ⊑
+// comparisons only (kept for tests that predate the Lub/Glb extension).
+func LeqCacheStats() (hits, misses uint64) {
+	return leqHits.Load(), leqMisses.Load()
+}
+
+// ResetOpCache drops every memoized result of every operation and zeroes
+// the stats (tests and benchmarks).
+func ResetOpCache() {
+	for i := 0; i < opShardCount; i++ {
+		leqCache[i].mu.Lock()
+		leqCache[i].m = nil
+		leqCache[i].mu.Unlock()
+		singleCache[i].mu.Lock()
+		singleCache[i].m = nil
+		singleCache[i].mu.Unlock()
+		for _, c := range []*[opShardCount]joinShard{&lubCache, &glbCache, &conCache} {
+			c[i].mu.Lock()
+			c[i].m = nil
+			c[i].mu.Unlock()
+		}
+	}
+	for _, c := range []*stats.Counter{
+		&leqHits, &leqMisses, &lubHits, &lubMisses,
+		&glbHits, &glbMisses, &conHits, &conMisses,
+		&singleHits, &singleMisses,
+	} {
+		c.Reset()
+	}
+}
+
+// ResetLeqCache is the pre-extension name of ResetOpCache; it clears every
+// op cache, not just ⊑ (resetting more than asked is always safe).
+func ResetLeqCache() { ResetOpCache() }

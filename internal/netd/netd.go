@@ -25,7 +25,18 @@ type Netd struct {
 	conns     map[uint64]*sconn
 	byPort    map[handle.Handle]*sconn
 	listeners map[uint16]handle.Handle // lport → notify port
+
+	// out coalesces netd's reply bursts: one dispatch round can fulfill
+	// many reads, acks and connection notifications; each destination port
+	// then receives its replies as one SendBatch. Reply-port capabilities
+	// are shed via out.DropAfter — only after the flush, since a buffered
+	// reply still needs its ⋆ at enqueue time.
+	out *kernel.Batcher
 }
+
+// netdBurst bounds how many queued deliveries one batching round may
+// dispatch before flushing.
+const netdBurst = 64
 
 // sconn is netd's per-connection state: the wrapped port, the optional
 // taint handle, and reads awaiting data.
@@ -36,6 +47,12 @@ type sconn struct {
 	taint   handle.Handle
 	pending []pendingRead
 	closed  bool // Asbestos side closed it
+
+	// replyOpts is the contamination applied to every reply once the
+	// connection is tainted, built once at AddTaint time. Sharing the one
+	// *SendOpts across a connection's replies lets SendBatch prepare the
+	// labels once per batch instead of once per message.
+	replyOpts *kernel.SendOpts
 }
 
 type pendingRead struct {
@@ -76,6 +93,7 @@ func New(sys *kernel.System) *Netd {
 		conns:       make(map[uint64]*sconn),
 		byPort:      make(map[handle.Handle]*sconn),
 		listeners:   make(map[uint16]handle.Handle),
+		out:         kernel.NewBatcher(proc),
 	}
 	nd.nw = &Network{
 		conns:      make(map[uint64]*Conn),
@@ -99,7 +117,9 @@ func (nd *Netd) ServicePort() handle.Handle { return nd.servicePort }
 func (nd *Netd) Process() *kernel.Process { return nd.proc }
 
 // Run is netd's event loop; it returns when the process is killed via
-// Stop.
+// Stop. Deliveries are dispatched in bursts so the reply traffic they
+// generate — read replies, write acks, new-connection notifications —
+// coalesces into one SendBatch per destination.
 func (nd *Netd) Run() {
 	prof := nd.sys.Profiler()
 	for {
@@ -109,6 +129,14 @@ func (nd *Netd) Run() {
 		}
 		stop := prof.Time(stats.CatNetwork)
 		nd.dispatch(d)
+		for i := 1; i < netdBurst; i++ {
+			d, err := nd.proc.TryRecv()
+			if err != nil || d == nil {
+				break
+			}
+			nd.dispatch(d)
+		}
+		nd.out.Flush()
 		stop()
 	}
 }
@@ -148,13 +176,13 @@ func (nd *Netd) handleService(d *kernel.Delivery) {
 		}
 		c := nd.nw.connectExternal(lport)
 		if c == nil {
-			nd.proc.Send(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
+			nd.out.Add(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
 			return
 		}
 		sc := nd.newSconn(c, lport)
 		msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port).Done()
-		nd.proc.Send(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
-		nd.proc.DropPrivilege(reply, label.L1)
+		nd.out.Add(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
+		nd.out.DropAfter(reply)
 	}
 }
 
@@ -184,9 +212,10 @@ func (nd *Netd) handleDriver(d *kernel.Delivery) {
 			return
 		}
 		sc := nd.newSconn(c, lport)
-		// Figure 5 step 2: notify the listener, granting uC at ⋆.
+		// Figure 5 step 2: notify the listener, granting uC at ⋆. A burst
+		// of new connections reaches the demux as one batch.
 		msg := wire.NewWriter(OpNewConnNotify).Handle(sc.port).U16(lport).Done()
-		nd.proc.Send(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
+		nd.out.Add(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
 	case evData, evClosed:
 		id := r.U64()
 		if r.Err() {
@@ -260,6 +289,7 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 			return
 		}
 		sc.taint = taint
+		sc.replyOpts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, taint)}
 		// The sender granted us taint ⋆ (AddTaint's DS), so netd may raise
 		// its own receive label and the port label: {uC 0, uT 3, 2}
 		// (Figure 5 step 5).
@@ -296,17 +326,19 @@ func (nd *Netd) fulfillReads(sc *sconn) {
 	}
 }
 
-// reply sends a response, contaminated with the connection's taint when set
-// ("netd will respond to all messages on uC with replies contaminated with
-// uT 3", Figure 5 step 5).
+// reply buffers a response, contaminated with the connection's taint when
+// set ("netd will respond to all messages on uC with replies contaminated
+// with uT 3", Figure 5 step 5). Replies to one port leave as a single
+// SendBatch at the end of the dispatch burst.
 func (nd *Netd) reply(sc *sconn, to handle.Handle, msg []byte) {
 	var opts *kernel.SendOpts
 	if sc.taint.Valid() {
-		opts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, sc.taint)}
+		opts = sc.replyOpts
 	}
-	nd.proc.Send(to, msg, opts)
+	nd.out.Add(to, msg, opts)
 	// The reply-port capability was granted for this exchange only; shed it
-	// so netd's send label stays proportional to users + open connections,
+	// — after the flush, since the buffered reply may depend on it — so
+	// netd's send label stays proportional to users + open connections,
 	// not to total messages handled.
-	nd.proc.DropPrivilege(to, label.L1)
+	nd.out.DropAfter(to)
 }

@@ -45,7 +45,18 @@ type Demux struct {
 	sessions map[sessionKey]handle.Handle
 	conns    map[handle.Handle]*dconn // per-connection reply port → state
 	idCache  map[string]idd.Identity  // demux-side cache of login results
+
+	// out coalesces worker handoffs: the event loop dispatches a burst of
+	// deliveries, buffering the resulting handoff messages per destination
+	// port, then flushes each port with one SendBatch. Per-connection
+	// privileges are shed via out.DropAfter — only after the flush, since a
+	// buffered handoff still needs its uC ⋆ at enqueue time.
+	out *kernel.Batcher
 }
+
+// demuxBurst bounds how many queued deliveries one batching round may
+// dispatch before flushing, capping both handoff latency and buffer growth.
+const demuxBurst = 64
 
 type sessionKey struct {
 	user    string
@@ -57,7 +68,8 @@ type dconn struct {
 	uC    handle.Handle
 	reply handle.Handle
 	buf   []byte
-	taint bool // AddTaint acknowledged
+	raw   []byte // the parsed request's wire bytes, forwarded on handoff
+	taint bool   // AddTaint acknowledged
 	req   *httpmsg.Request
 	id    idd.Identity
 }
@@ -91,6 +103,7 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
 		sessions:     make(map[sessionKey]handle.Handle),
 		conns:        make(map[handle.Handle]*dconn),
 		idCache:      make(map[string]idd.Identity),
+		out:          kernel.NewBatcher(proc),
 	}
 	sys.SetEnv(EnvDemuxReg, reg)
 	sys.SetEnv(EnvDemuxSession, sess)
@@ -122,7 +135,10 @@ func (dm *Demux) registeredWorkers() int {
 	return n
 }
 
-// Run is the demux event loop.
+// Run is the demux event loop. It dispatches deliveries in bursts: after
+// the blocking receive it drains up to demuxBurst more pending deliveries
+// without blocking, so the handoffs they generate coalesce into one
+// SendBatch per destination worker (flush) instead of one syscall each.
 func (dm *Demux) Run() {
 	prof := dm.sys.Profiler()
 	for {
@@ -132,6 +148,14 @@ func (dm *Demux) Run() {
 		}
 		stop := prof.Time(stats.CatOKWS)
 		dm.dispatch(d)
+		for i := 1; i < demuxBurst; i++ {
+			d, err := dm.proc.TryRecv()
+			if err != nil || d == nil {
+				break
+			}
+			dm.dispatch(d)
+		}
+		dm.out.Flush()
 		stop()
 	}
 }
@@ -218,12 +242,13 @@ func (dm *Demux) handleConnReply(cs *dconn, d *kernel.Delivery) {
 	if rr, ok := netd.ParseReadReply(d); ok {
 		if cs.req == nil {
 			cs.buf = append(cs.buf, rr.Data...)
-			req, _, complete, err := httpmsg.ParseRequest(cs.buf)
+			req, n, complete, err := httpmsg.ParseRequest(cs.buf)
 			switch {
 			case err != nil:
 				dm.fail(cs, 400)
 			case complete:
 				cs.req = req
+				cs.raw = cs.buf[:n]
 				dm.authenticate(cs)
 			case rr.EOF:
 				dm.drop(cs)
@@ -261,6 +286,9 @@ func (dm *Demux) authenticate(cs *dconn) {
 		dm.taint(cs)
 		return
 	}
+	// About to block: release any coalesced handoffs first so earlier
+	// connections in this burst keep making progress.
+	dm.out.Flush()
 	if err := idd.Login(dm.proc, dm.iddLogin, user, pass, dm.loginReply); err != nil {
 		dm.fail(cs, 500)
 		return
@@ -288,7 +316,9 @@ func (dm *Demux) taint(cs *dconn) {
 
 // handoff runs Figure 5 step 6: forward uC to the responsible worker. With
 // replicated workers, a fresh user is dealt to the next replica round-robin;
-// follow-up connections go straight to the session's event process.
+// follow-up connections go straight to the session's event process. The
+// handoff message is buffered in the batcher, so a burst of connections to
+// the same worker leaves the demux as one SendBatch.
 func (dm *Demux) handoff(cs *dconn) {
 	defer dm.release(cs)
 	service := cs.req.Service()
@@ -297,11 +327,14 @@ func (dm *Demux) handoff(cs *dconn) {
 		dm.failDirect(cs, 404)
 		return
 	}
-	raw := httpmsg.FormatRequest(cs.req)
+	// Forward the request's original wire bytes: re-serializing the parsed
+	// form costs an allocation chain per connection and the worker re-parses
+	// either way.
+	raw := cs.raw
 	user, _, _ := cs.req.User()
 	if port, ok := dm.sessions[sessionKey{user, service}]; ok {
 		// Existing session: forward straight to the event process W[u].
-		dm.proc.Send(port, encodeCont(cont{Conn: cs.uC, Buf: raw}),
+		dm.out.Add(port, encodeCont(cont{Conn: cs.uC, Buf: raw}),
 			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC)})
 		return
 	}
@@ -327,15 +360,17 @@ func (dm *Demux) handoff(cs *dconn) {
 		UG:   cs.id.UG,
 		Buf:  raw,
 	})
-	dm.proc.Send(base, msg, opts)
+	dm.out.Add(base, msg, opts)
 }
 
-// release drops the per-connection capabilities from the demux's labels —
-// the label churn Figure 9 charges per connection — and forgets the state.
+// release forgets the per-connection state and schedules the capability
+// drops — the label churn Figure 9 charges per connection — for after the
+// flush: the buffered handoff's Grant(uC) is only legal while the demux
+// still holds uC ⋆.
 func (dm *Demux) release(cs *dconn) {
 	dm.proc.Dissociate(cs.reply)
-	dm.proc.DropPrivilege(cs.uC, label.L1)
-	dm.proc.DropPrivilege(cs.reply, label.L1)
+	dm.out.DropAfter(cs.uC)
+	dm.out.DropAfter(cs.reply)
 	delete(dm.conns, cs.reply)
 }
 

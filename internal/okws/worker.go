@@ -2,6 +2,7 @@ package okws
 
 import (
 	"fmt"
+	"strconv"
 
 	"asbestos/internal/dbproxy"
 	"asbestos/internal/handle"
@@ -154,7 +155,7 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 // handleRequest reads the full request (step 8), runs the handler, writes
 // the response, closes the connection, and yields or exits.
 func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, conn handle.Handle, buf []byte) {
-	req := w.readRequest(st, conn, buf)
+	req, reqRaw := w.readRequest(st, conn, buf)
 	if req == nil {
 		w.finish(ep, st)
 		return
@@ -176,7 +177,8 @@ func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, conn hand
 	// reverts all of it for cached sessions; the NoClean worker retains it,
 	// reproducing the paper's active-session footprint.
 	ep.Memory().WriteAt(ScratchAddr, raw[:min(len(raw), ScratchSize)])
-	reqRaw := httpmsg.FormatRequest(req)
+	// The request copy uses the wire bytes already in hand; re-serializing
+	// the parsed form would only add an allocation chain per request.
 	ep.Memory().WriteAt(ScratchAddr+4*mem.PageSize, reqRaw[:min(len(reqRaw), 2*mem.PageSize)])
 	var ctr [8]byte
 	ep.Memory().ReadAt(ScratchAddr+8*mem.PageSize, ctr[:])
@@ -193,26 +195,27 @@ func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, conn hand
 }
 
 // readRequest assembles the HTTP request, reading more from netd if the
-// demux's buffered bytes are incomplete.
-func (w *Worker) readRequest(st *sessState, conn handle.Handle, buf []byte) *httpmsg.Request {
+// demux's buffered bytes are incomplete. It returns the parsed request and
+// its wire bytes.
+func (w *Worker) readRequest(st *sessState, conn handle.Handle, buf []byte) (*httpmsg.Request, []byte) {
 	for {
-		req, _, complete, err := httpmsg.ParseRequest(buf)
+		req, n, complete, err := httpmsg.ParseRequest(buf)
 		if err != nil {
-			return nil
+			return nil, nil
 		}
 		if complete {
-			return req
+			return req, buf[:n]
 		}
 		if err := netd.Read(w.proc, conn, st.reply, 4096); err != nil {
-			return nil
+			return nil, nil
 		}
 		d, err := w.proc.Recv(st.reply)
 		if err != nil {
-			return nil
+			return nil, nil
 		}
 		rr, ok := netd.ParseReadReply(d)
 		if !ok || rr.EOF {
-			return nil
+			return nil, nil
 		}
 		buf = append(buf, rr.Data...)
 	}
@@ -274,9 +277,11 @@ func loadSession(ep *kernel.EventProcess) (sessState, bool) {
 	}
 	st.user, st.uid = parts[0], parts[1]
 	for i, dst := range []*uint64{&uT, &uG, &sess, &reply} {
-		if _, err := fmt.Sscanf(parts[2+i], "%d", dst); err != nil {
+		v, err := strconv.ParseUint(parts[2+i], 10, 64)
+		if err != nil {
 			return sessState{}, false
 		}
+		*dst = v
 	}
 	st.uT, st.uG = handle.Handle(uT), handle.Handle(uG)
 	st.sess, st.reply = handle.Handle(sess), handle.Handle(reply)
