@@ -1,10 +1,9 @@
 package asbestos
 
 import (
+	"context"
 	"testing"
-
-	"asbestos/internal/httpmsg"
-	"asbestos/internal/workload"
+	"time"
 )
 
 // TestFacadeLabelFlow exercises the public aliases end to end: compartment
@@ -60,8 +59,8 @@ func TestFacadeLabelAlgebra(t *testing.T) {
 
 // TestFacadeWebServer boots OKWS through the facade and serves a request.
 func TestFacadeWebServer(t *testing.T) {
-	hello := func(c *WebCtx, req *httpmsg.Request) *httpmsg.Response {
-		return &httpmsg.Response{Status: 200, Body: []byte("hi " + c.User)}
+	hello := func(c *WebCtx, req *Request) *Response {
+		return &Response{Status: 200, Body: []byte("hi " + c.User)}
 	}
 	srv, err := LaunchWeb(WebConfig{
 		Seed:     1,
@@ -74,8 +73,52 @@ func TestFacadeWebServer(t *testing.T) {
 	if err := srv.AddUser("u", "p", "1"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := workload.Get(srv.Network(), 80, "u", "p", "/hello")
+	resp, err := HTTPGet(srv.Network(), 80, "u", "p", "/hello")
 	if err != nil || resp.Status != 200 || string(resp.Body) != "hi u" {
 		t.Fatalf("resp = %+v err = %v", resp, err)
+	}
+}
+
+// TestFacadePortSurface exercises the v2 endpoint exports end to end:
+// Open, Port, ctx-aware Recv, Mailbox.Drain and Select.
+func TestFacadePortSurface(t *testing.T) {
+	sys := NewSystem(WithSeed(5))
+	rx := sys.NewProcess("rx")
+	a := rx.Open(nil)
+	a.SetLabel(EmptyLabel(L3))
+	b := rx.Open(nil)
+	b.SetLabel(EmptyLabel(L3))
+	tx := sys.NewProcess("tx")
+
+	out := tx.Port(a.Handle())
+	if err := out.Send([]byte("one"), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d, err := a.Recv(ctx)
+	if err != nil || string(d.Data) != "one" {
+		t.Fatalf("Recv = %v %v", d, err)
+	}
+
+	tx.Port(b.Handle()).Send([]byte("two"), nil)
+	d, from, err := Select(ctx, a, b)
+	if err != nil || from != b || string(d.Data) != "two" {
+		t.Fatalf("Select = %v %v %v", d, from, err)
+	}
+
+	out.SendBatch([]BatchEntry{{Data: []byte("x")}, {Data: []byte("y")}})
+	var burst []string
+	for d := range rx.Mailbox(a).Drain() {
+		burst = append(burst, string(d.Data))
+	}
+	if len(burst) != 2 || burst[0] != "x" || burst[1] != "y" {
+		t.Fatalf("Drain = %v", burst)
+	}
+
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	if _, err := a.Recv(expired); err == nil {
+		t.Fatal("expired Recv must fail")
 	}
 }

@@ -183,6 +183,64 @@ func BenchmarkSendBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPortSend measures the cached-route fast path: one sender
+// spraying a port through a bound Port endpoint (vnode resolved once)
+// versus the v1 handle-based Process.Send (handle-table shard lookup per
+// call). The queue is drained off-clock, so the metric isolates the send
+// syscall.
+func BenchmarkPortSend(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		name := "handle"
+		if cached {
+			name = "endpoint"
+		}
+		b.Run(name, func(b *testing.B) {
+			const backlog = 1 << 14
+			sys := kernel.NewSystem(kernel.WithSeed(3), kernel.WithQueueLimit(backlog+64))
+			recv := sys.NewProcess("rx")
+			inbox := recv.Open(nil)
+			if err := inbox.SetLabel(label.Empty(label.L3)); err != nil {
+				b.Fatal(err)
+			}
+			sender := sys.NewProcess("tx")
+			out := sender.Port(inbox.Handle())
+			payload := make([]byte, 16)
+			drain := func() {
+				for {
+					d, err := recv.TryRecv()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d == nil {
+						return
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if cached {
+					err = out.Send(payload, nil)
+				} else {
+					err = sender.Send(inbox.Handle(), payload, nil)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if recv.QueueLen() >= backlog {
+					b.StopTimer()
+					drain()
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			drain()
+			recv.Exit()
+		})
+	}
+}
+
 // BenchmarkFig8Latency reproduces the Figure 8 table: median and 90th
 // percentile latency at client concurrency 4.
 func BenchmarkFig8Latency(b *testing.B) {

@@ -18,7 +18,7 @@ import (
 	"os"
 	"strings"
 
-	"asbestos/internal/label"
+	"asbestos"
 )
 
 func main() {
@@ -41,7 +41,7 @@ func main() {
 // eval evaluates one calculator line.
 func eval(line string) string {
 	if rest, ok := strings.CutPrefix(line, "star "); ok {
-		l, err := label.Parse(strings.TrimSpace(rest))
+		l, err := asbestos.ParseLabel(strings.TrimSpace(rest))
 		if err != nil {
 			return "error: " + err.Error()
 		}
@@ -52,11 +52,11 @@ func eval(line string) string {
 		if i < 0 {
 			continue
 		}
-		a, err := label.Parse(strings.TrimSpace(line[:i]))
+		a, err := asbestos.ParseLabel(strings.TrimSpace(line[:i]))
 		if err != nil {
 			return "error: left label: " + err.Error()
 		}
-		b, err := label.Parse(strings.TrimSpace(line[i+len(op):]))
+		b, err := asbestos.ParseLabel(strings.TrimSpace(line[i+len(op):]))
 		if err != nil {
 			return "error: right label: " + err.Error()
 		}
@@ -72,7 +72,7 @@ func eval(line string) string {
 		}
 	}
 	// Bare label: parse and echo canonical form with size.
-	l, err := label.Parse(line)
+	l, err := asbestos.ParseLabel(line)
 	if err != nil {
 		return "error: " + err.Error()
 	}

@@ -14,8 +14,7 @@ import (
 	"strconv"
 	"strings"
 
-	"asbestos/internal/experiments"
-	"asbestos/internal/stats"
+	"asbestos"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	rows, err := experiments.Figure9(counts)
+	rows, err := asbestos.Figure9(counts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labelcost:", err)
 		os.Exit(1)
@@ -39,20 +38,20 @@ func main() {
 	fmt.Println("(this kernel memoizes ⊑/⊔/⊓/Contaminate results, flattening the label curves;")
 	fmt.Println(" cachehit shows the fraction of cacheable label ops the memo absorbed)")
 	header := []string{"sessions"}
-	for _, c := range stats.Categories() {
+	for _, c := range asbestos.Categories() {
 		header = append(header, c.String())
 	}
 	header = append(header, "total", "cachehit")
 	var table [][]string
 	for _, r := range rows {
 		row := []string{strconv.Itoa(r.Sessions)}
-		for _, c := range stats.Categories() {
+		for _, c := range asbestos.Categories() {
 			row = append(row, fmt.Sprintf("%.0f", r.Kcycles[c]))
 		}
 		row = append(row, fmt.Sprintf("%.0f", r.Total), fmt.Sprintf("%.2f", r.CacheHitRate))
 		table = append(table, row)
 	}
-	fmt.Print(stats.Table(header, table))
+	fmt.Print(asbestos.FormatTable(header, table))
 }
 
 func parseInts(s string) ([]int, error) {

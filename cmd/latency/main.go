@@ -12,8 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"asbestos/internal/experiments"
-	"asbestos/internal/stats"
+	"asbestos"
 )
 
 func main() {
@@ -21,7 +20,7 @@ func main() {
 	okwsSessions := flag.Int("okws-sessions", 1000, "cached sessions for the large OKWS row")
 	flag.Parse()
 
-	rows, err := experiments.Figure8(*conns, *okwsSessions)
+	rows, err := asbestos.Figure8(*conns, *okwsSessions)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "latency:", err)
 		os.Exit(1)
@@ -36,5 +35,5 @@ func main() {
 			fmt.Sprintf("%.0f", r.P90),
 		})
 	}
-	fmt.Print(stats.Table([]string{"server", "median µs", "90th pct µs"}, table))
+	fmt.Print(asbestos.FormatTable([]string{"server", "median µs", "90th pct µs"}, table))
 }

@@ -13,8 +13,7 @@ import (
 	"strconv"
 	"strings"
 
-	"asbestos/internal/experiments"
-	"asbestos/internal/stats"
+	"asbestos"
 )
 
 func main() {
@@ -39,7 +38,7 @@ func main() {
 	fmt.Println("Figure 6: memory used by Web sessions (paper: ~1.5 pages/cached, +8 pages/active)")
 	var rows [][]string
 	for _, act := range variants {
-		res, err := experiments.Figure6(counts, act, *kb)
+		res, err := asbestos.Figure6(counts, act, *kb)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "membench:", err)
 			os.Exit(1)
@@ -57,7 +56,7 @@ func main() {
 			})
 		}
 	}
-	fmt.Print(stats.Table(
+	fmt.Print(asbestos.FormatTable(
 		[]string{"variant", "sessions", "total pages", "pages/session"}, rows))
 }
 

@@ -8,9 +8,7 @@ import (
 	"fmt"
 	"os"
 
-	"asbestos/internal/httpmsg"
-	"asbestos/internal/okws"
-	"asbestos/internal/workload"
+	"asbestos"
 )
 
 func main() {
@@ -21,42 +19,42 @@ func main() {
 }
 
 func run() error {
-	store := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+	store := func(c *asbestos.WebCtx, req *asbestos.Request) *asbestos.Response {
 		prev := c.SessionLoad()
 		if d, ok := req.Query["d"]; ok {
 			c.SessionStore([]byte(d))
 		}
-		return &httpmsg.Response{Status: 200, Body: prev}
+		return &asbestos.Response{Status: 200, Body: prev}
 	}
-	notes := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+	notes := func(c *asbestos.WebCtx, req *asbestos.Request) *asbestos.Response {
 		if d, ok := req.Query["add"]; ok {
 			if _, err := c.Query("INSERT INTO notes (text) VALUES (?)", d); err != nil {
-				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+				return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 			}
-			return &httpmsg.Response{Status: 200}
+			return &asbestos.Response{Status: 200}
 		}
 		rows, err := c.Query("SELECT text FROM notes")
 		if err != nil {
-			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 		}
 		var out []byte
 		for _, r := range rows {
 			out = append(out, r[0]...)
 			out = append(out, '\n')
 		}
-		return &httpmsg.Response{Status: 200, Body: out}
+		return &asbestos.Response{Status: 200, Body: out}
 	}
-	publish := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+	publish := func(c *asbestos.WebCtx, req *asbestos.Request) *asbestos.Response {
 		if _, err := c.Declassify("UPDATE notes SET text = ? WHERE text = ?",
 			req.Query["t"], req.Query["t"]); err != nil {
-			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 		}
-		return &httpmsg.Response{Status: 200}
+		return &asbestos.Response{Status: 200}
 	}
 
-	srv, err := okws.Launch(okws.Config{
+	srv, err := asbestos.LaunchWeb(asbestos.WebConfig{
 		Seed: 2005,
-		Services: []okws.Service{
+		Services: []asbestos.WebService{
 			{Name: "store", Handler: store},
 			{Name: "notes", Handler: notes},
 			{Name: "publish", Handler: publish, Declassifier: true},
@@ -76,8 +74,8 @@ func run() error {
 	fmt.Println("OKWS on Asbestos: netd, ok-demux, idd, ok-dbproxy and 3 workers running")
 	fmt.Println()
 
-	step := func(desc, user, pass, path string) (*httpmsg.Response, error) {
-		resp, err := workload.Get(srv.Network(), 80, user, pass, path)
+	step := func(desc, user, pass, path string) (*asbestos.Response, error) {
+		resp, err := asbestos.HTTPGet(srv.Network(), 80, user, pass, path)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", desc, err)
 		}
@@ -106,7 +104,7 @@ func run() error {
 	if _, err := step("now bob sees the declassified note", "bob", "pw-b", "/notes"); err != nil {
 		return err
 	}
-	if resp, _ := workload.Get(srv.Network(), 80, "mallory", "guess", "/notes"); resp != nil {
+	if resp, _ := asbestos.HTTPGet(srv.Network(), 80, "mallory", "guess", "/notes"); resp != nil {
 		fmt.Printf("%-58s -> %d\n", "mallory fails to authenticate [mallory /notes]", resp.Status)
 	}
 

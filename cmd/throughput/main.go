@@ -14,8 +14,7 @@ import (
 	"strconv"
 	"strings"
 
-	"asbestos/internal/experiments"
-	"asbestos/internal/stats"
+	"asbestos"
 )
 
 func main() {
@@ -34,20 +33,20 @@ func main() {
 
 	fmt.Println("Figure 7: throughput vs cached OKWS sessions (conns/sec)")
 	fmt.Println("paper shape: Mod-Apache > OKWS@1 > Apache > OKWS@10000")
-	rows, err := experiments.Figure7OKWS(counts)
+	rows, err := asbestos.Figure7OKWS(counts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "throughput:", err)
 		os.Exit(1)
 	}
 	if *workers > 1 {
-		prows, err := experiments.Figure7OKWSParallel(counts, *workers)
+		prows, err := asbestos.Figure7OKWSParallel(counts, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "throughput:", err)
 			os.Exit(1)
 		}
 		rows = append(rows, prows...)
 	}
-	rows = append(rows, experiments.Figure7Baselines(*baseConns)...)
+	rows = append(rows, asbestos.Figure7Baselines(*baseConns)...)
 
 	var table [][]string
 	for _, r := range rows {
@@ -57,7 +56,7 @@ func main() {
 			strconv.Itoa(r.Errors),
 		})
 	}
-	fmt.Print(stats.Table([]string{"server", "conns/sec", "errors"}, table))
+	fmt.Print(asbestos.FormatTable([]string{"server", "conns/sec", "errors"}, table))
 }
 
 func parseInts(s string) ([]int, error) {

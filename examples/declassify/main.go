@@ -11,9 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"asbestos/internal/httpmsg"
-	"asbestos/internal/okws"
-	"asbestos/internal/workload"
+	"asbestos"
 )
 
 func main() {
@@ -24,39 +22,39 @@ func main() {
 }
 
 func run() error {
-	posts := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+	posts := func(c *asbestos.WebCtx, req *asbestos.Request) *asbestos.Response {
 		if d, ok := req.Query["add"]; ok {
 			if _, err := c.Query("INSERT INTO posts (body) VALUES (?)", d); err != nil {
-				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+				return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 			}
-			return &httpmsg.Response{Status: 200}
+			return &asbestos.Response{Status: 200}
 		}
 		rows, err := c.Query("SELECT body FROM posts")
 		if err != nil {
-			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 		}
 		var out []byte
 		for _, r := range rows {
 			out = append(out, r[0]...)
 			out = append(out, '\n')
 		}
-		return &httpmsg.Response{Status: 200, Body: out}
+		return &asbestos.Response{Status: 200, Body: out}
 	}
 
 	// The declassifier — an over-eager one that publishes whatever the
 	// request names. Compromise here leaks only the requesting user's data.
-	publish := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+	publish := func(c *asbestos.WebCtx, req *asbestos.Request) *asbestos.Response {
 		rows, err := c.Declassify("UPDATE posts SET body = ? WHERE body = ?",
 			req.Query["t"], req.Query["t"])
 		if err != nil {
-			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 		}
-		return &httpmsg.Response{Status: 200, Body: []byte(fmt.Sprintf("%d rows", len(rows)))}
+		return &asbestos.Response{Status: 200, Body: []byte(fmt.Sprintf("%d rows", len(rows)))}
 	}
 
-	srv, err := okws.Launch(okws.Config{
+	srv, err := asbestos.LaunchWeb(asbestos.WebConfig{
 		Seed: 17,
-		Services: []okws.Service{
+		Services: []asbestos.WebService{
 			{Name: "posts", Handler: posts},
 			{Name: "publish", Handler: publish, Declassifier: true},
 		},
@@ -69,8 +67,8 @@ func run() error {
 	srv.AddUser("alice", "a", "1")
 	srv.AddUser("bob", "b", "2")
 
-	get := func(user, pass, path string) *httpmsg.Response {
-		resp, err := workload.Get(srv.Network(), 80, user, pass, path)
+	get := func(user, pass, path string) *asbestos.Response {
+		resp, err := asbestos.HTTPGet(srv.Network(), 80, user, pass, path)
 		if err != nil {
 			fmt.Printf("%-40s -> error %v\n", user+" "+path, err)
 			return nil

@@ -3,68 +3,71 @@
 // Demonstrates the privacy policy (readers are tainted; taint confines),
 // discretionary integrity (writes need a speaks-for proof), mandatory
 // integrity (the proof evaporates on low-integrity input), and the
-// network-exclusion policy for system files.
+// network-exclusion policy for system files — all through the asbestos
+// facade's Port endpoints.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"asbestos/internal/fs"
-	"asbestos/internal/kernel"
-	"asbestos/internal/label"
+	"asbestos"
 )
 
 func main() {
-	sys := kernel.NewSystem(kernel.WithSeed(7))
-	srv := fs.New(sys)
+	ctx := context.Background()
+	sys := asbestos.NewSystem(asbestos.WithSeed(7))
+	srv := asbestos.NewFileServer(sys)
 	go srv.Run()
 	defer srv.Stop()
 
 	// Two users register; each gets (uT, uG) and clearance for its own
-	// taint.
+	// taint. Each shell binds the published server port as its endpoint.
 	u := sys.NewProcess("u-shell")
-	ur := u.NewPort(nil)
-	uid, _ := fs.Register(u, srv.Port(), "u", ur)
+	uFS := u.Port(srv.Port())
+	ur := u.Open(nil)
+	uid, _ := asbestos.FileRegister(uFS, "u", ur)
 	v := sys.NewProcess("v-shell")
-	vr := v.NewPort(nil)
-	fs.Register(v, srv.Port(), "v", vr)
+	vFS := v.Port(srv.Port())
+	vr := v.Open(nil)
+	asbestos.FileRegister(vFS, "v", vr)
 
-	ownerV := label.New(label.L3, label.Entry{H: uid.UG, L: label.L0})
-	fs.Create(u, srv.Port(), "/home/u/secret.txt", "u", ur, ownerV)
-	u.Recv(ur)
-	fs.Write(u, srv.Port(), "/home/u/secret.txt", []byte("u's diary"), ur, ownerV)
-	u.Recv(ur)
+	ownerV := asbestos.NewLabel(asbestos.L3, asbestos.Entry{H: uid.UG, L: asbestos.L0})
+	asbestos.FileCreate(uFS, "/home/u/secret.txt", "u", ur.Handle(), ownerV)
+	ur.Recv(ctx)
+	asbestos.FileWrite(uFS, "/home/u/secret.txt", []byte("u's diary"), ur.Handle(), ownerV)
+	ur.Recv(ctx)
 	fmt.Println("u created and wrote /home/u/secret.txt (proved uG 0)")
 
 	// v tries to read u's file: the tainted reply cannot reach v.
-	fs.Read(v, srv.Port(), "/home/u/secret.txt", vr)
-	if d, _ := v.TryRecv(vr); d == nil {
+	asbestos.FileRead(vFS, "/home/u/secret.txt", vr.Handle())
+	if d, _ := vr.TryRecv(); d == nil {
 		fmt.Println("v's read of u's file: reply DROPPED (no clearance for u's taint)")
 	}
 
 	// v tries to overwrite it: the server demands a speaks-for proof.
-	fs.Write(v, srv.Port(), "/home/u/secret.txt", []byte("defaced"), vr, label.Empty(label.L3))
-	d, _ := v.Recv(vr)
-	fmt.Printf("v's write without proof: accepted=%v\n", fs.ParseWriteReply(d))
+	asbestos.FileWrite(vFS, "/home/u/secret.txt", []byte("defaced"), vr.Handle(), asbestos.EmptyLabel(asbestos.L3))
+	d, _ := vr.Recv(ctx)
+	fmt.Printf("v's write without proof: accepted=%v\n", asbestos.ParseFileWriteReply(d))
 
 	// u grants v clearance to read (decentralized: no administrator).
-	clear := v.NewPort(nil)
-	v.SetPortLabel(clear, label.Empty(label.L3))
-	u.Send(clear, nil, &kernel.SendOpts{DecontRecv: kernel.AllowRecv(label.L3, uid.UT)})
-	v.TryRecv(clear)
-	fs.Read(v, srv.Port(), "/home/u/secret.txt", vr)
-	d, _ = v.Recv(vr)
-	data, _ := fs.ParseReadReply(d)
+	clear := v.Open(nil)
+	clear.SetLabel(asbestos.EmptyLabel(asbestos.L3))
+	u.Port(clear.Handle()).Send(nil, &asbestos.SendOpts{DecontRecv: asbestos.AllowRecv(asbestos.L3, uid.UT)})
+	clear.TryRecv()
+	asbestos.FileRead(vFS, "/home/u/secret.txt", vr.Handle())
+	d, _ = vr.Recv(ctx)
+	data, _ := asbestos.ParseFileReadReply(d)
 	fmt.Printf("after u grants clearance, v reads: %q\n", data)
 	fmt.Printf("v's send label now carries the taint: %v\n", v.SendLabel())
 
 	// But v still cannot republish: an ordinary process won't receive from
 	// tainted v.
 	outsider := sys.NewProcess("outsider")
-	op := outsider.NewPort(nil)
-	outsider.SetPortLabel(op, label.Empty(label.L3))
-	v.Send(op, data, nil)
-	if d, _ := outsider.TryRecv(); d == nil {
+	op := outsider.Open(nil)
+	op.SetLabel(asbestos.EmptyLabel(asbestos.L3))
+	v.Port(op.Handle()).Send(data, nil)
+	if d, _ := op.TryRecv(); d == nil {
 		fmt.Println("v -> outsider: DROPPED (transitive confinement)")
 	}
 
@@ -72,11 +75,11 @@ func main() {
 	// V(sysH) ≤ 1 check, nor can anything it contaminated.
 	srv.CreateSystemFile("/etc/motd", []byte("welcome"))
 	netd := sys.NewProcess("netd")
-	netd.ContaminateSelf(kernel.Taint(label.L2, srv.SystemHandle()))
-	nr := netd.NewPort(nil)
-	sysV := label.New(label.L3, label.Entry{H: srv.SystemHandle(), L: label.L1})
-	fs.Write(netd, srv.Port(), "/etc/motd", []byte("pwned"), nr, sysV)
-	if d, _ := netd.TryRecv(nr); d == nil {
+	netd.ContaminateSelf(asbestos.Taint(asbestos.L2, srv.SystemHandle()))
+	nr := netd.Open(nil)
+	sysV := asbestos.NewLabel(asbestos.L3, asbestos.Entry{H: srv.SystemHandle(), L: asbestos.L1})
+	asbestos.FileWrite(netd.Port(srv.Port()), "/etc/motd", []byte("pwned"), nr.Handle(), sysV)
+	if d, _ := nr.TryRecv(); d == nil {
 		fmt.Println("network daemon's system-file write: DROPPED (mandatory integrity)")
 	}
 }

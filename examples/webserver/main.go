@@ -12,9 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"asbestos/internal/httpmsg"
-	"asbestos/internal/okws"
-	"asbestos/internal/workload"
+	"asbestos"
 )
 
 func main() {
@@ -27,33 +25,33 @@ func main() {
 func run() error {
 	// profile: stores a per-user bio in the database; ?steal triggers the
 	// deliberately malicious path.
-	profile := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+	profile := func(c *asbestos.WebCtx, req *asbestos.Request) *asbestos.Response {
 		if bio, ok := req.Query["set"]; ok {
 			if _, err := c.Query("DELETE FROM profiles"); err != nil {
-				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+				return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 			}
 			if _, err := c.Query("INSERT INTO profiles (bio) VALUES (?)", bio); err != nil {
-				return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+				return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 			}
-			return &httpmsg.Response{Status: 200, Body: []byte("saved")}
+			return &asbestos.Response{Status: 200, Body: []byte("saved")}
 		}
 		// The "exploit": the worker asks for EVERY row in the table. The
 		// kernel delivers only rows labeled for this user (or declassified).
 		rows, err := c.Query("SELECT bio FROM profiles")
 		if err != nil {
-			return &httpmsg.Response{Status: 500, Body: []byte(err.Error())}
+			return &asbestos.Response{Status: 500, Body: []byte(err.Error())}
 		}
 		var out []byte
 		for _, r := range rows {
 			out = append(out, r[0]...)
 			out = append(out, '\n')
 		}
-		return &httpmsg.Response{Status: 200, Body: out}
+		return &asbestos.Response{Status: 200, Body: out}
 	}
 
-	srv, err := okws.Launch(okws.Config{
+	srv, err := asbestos.LaunchWeb(asbestos.WebConfig{
 		Seed:     99,
-		Services: []okws.Service{{Name: "profile", Handler: profile}},
+		Services: []asbestos.WebService{{Name: "profile", Handler: profile}},
 	})
 	if err != nil {
 		return err
@@ -64,7 +62,7 @@ func run() error {
 	srv.AddUser("bob", "b", "2")
 
 	get := func(user, pass, path string) {
-		resp, err := workload.Get(srv.Network(), 80, user, pass, path)
+		resp, err := asbestos.HTTPGet(srv.Network(), 80, user, pass, path)
 		if err != nil {
 			fmt.Printf("%-34s -> error: %v\n", user+" "+path, err)
 			return

@@ -25,6 +25,7 @@
 package dbproxy
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -83,8 +84,13 @@ type Proxy struct {
 	proc *kernel.Process
 	db   *db.DB
 
-	workerPort handle.Handle
-	adminPort  handle.Handle
+	workerPort *kernel.Port
+	adminPort  *kernel.Port
+	mbox       *kernel.Mailbox
+
+	// ctx is the service lifecycle: Run returns when Stop cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	byUser map[string]Mapping
 	byUID  map[string]Mapping
@@ -94,25 +100,29 @@ type Proxy struct {
 // locked down ({p 0, 2}); GrantAdmin hands access to idd.
 func New(sys *kernel.System, database *db.DB) *Proxy {
 	proc := sys.NewProcess("ok-dbproxy")
-	worker := proc.NewPort(nil)
-	if err := proc.SetPortLabel(worker, label.Empty(label.L3)); err != nil {
+	worker := proc.Open(nil)
+	if err := worker.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
 	// The admin port is private by capability: {admin 0, 3}. The default
 	// must stay 3 (not 2) because idd's mapping pushes raise the proxy's
 	// receive label with DR = {uT 3}, and requirement 4 demands DR ⊑ pR.
-	admin := proc.NewPort(nil)
+	admin := proc.Open(nil)
+	ctx, cancel := context.WithCancel(context.Background())
 	p := &Proxy{
 		sys:        sys,
 		proc:       proc,
 		db:         database,
 		workerPort: worker,
 		adminPort:  admin,
+		mbox:       proc.Mailbox(worker, admin),
+		ctx:        ctx,
+		cancel:     cancel,
 		byUser:     make(map[string]Mapping),
 		byUID:      make(map[string]Mapping),
 	}
-	sys.SetEnv(EnvWorkerPort, worker)
-	sys.SetEnv(EnvAdminPort, admin)
+	sys.SetEnv(EnvWorkerPort, worker.Handle())
+	sys.SetEnv(EnvAdminPort, admin.Handle())
 	return p
 }
 
@@ -121,39 +131,43 @@ func New(sys *kernel.System, database *db.DB) *Proxy {
 func (p *Proxy) Process() *kernel.Process { return p.proc }
 
 // WorkerPort returns the public query port.
-func (p *Proxy) WorkerPort() handle.Handle { return p.workerPort }
+func (p *Proxy) WorkerPort() handle.Handle { return p.workerPort.Handle() }
 
 // AdminPort returns the restricted admin port.
-func (p *Proxy) AdminPort() handle.Handle { return p.adminPort }
+func (p *Proxy) AdminPort() handle.Handle { return p.adminPort.Handle() }
 
 // GrantAdmin gives a process the capability to send to the admin port (the
 // launcher calls this for idd). dst must be an open port of the grantee.
 func (p *Proxy) GrantAdmin(dst handle.Handle) error {
 	return p.proc.Send(dst, wire.NewWriter(OpAdmRes).Done(),
-		&kernel.SendOpts{DecontSend: kernel.Grant(p.adminPort)})
+		&kernel.SendOpts{DecontSend: kernel.Grant(p.adminPort.Handle())})
 }
 
-// Run is the proxy's event loop.
+// Run is the proxy's event loop; it returns when Stop cancels the
+// service's context.
 func (p *Proxy) Run() {
 	prof := p.sys.Profiler()
 	for {
-		d, err := p.proc.Recv()
+		d, err := p.mbox.Recv(p.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatOKDB)
 		switch d.Port {
-		case p.workerPort:
+		case p.workerPort.Handle():
 			p.handleWorker(d)
-		case p.adminPort:
+		case p.adminPort.Handle():
 			p.handleAdmin(d)
 		}
 		stop()
 	}
 }
 
-// Stop kills the proxy process.
-func (p *Proxy) Stop() { p.proc.Exit() }
+// Stop shuts the proxy down: context first (ends Run), then kernel state.
+func (p *Proxy) Stop() {
+	p.cancel()
+	p.proc.Exit()
+}
 
 func (p *Proxy) handleAdmin(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
@@ -415,30 +429,31 @@ func namesUserCol(stmt db.Stmt) bool {
 
 // --- client helpers ---
 
-// Query sends a worker query: the caller must pass its verification label
-// (VerifyFor builds the standard one).
-func Query(p *kernel.Process, proxyPort handle.Handle, user, sql string, args []string,
+// Query sends a worker query through the caller's endpoint to the proxy's
+// worker port; the caller must pass its verification label (VerifyFor
+// builds the standard one).
+func Query(proxyPort *kernel.Port, user, sql string, args []string,
 	reply handle.Handle, v *label.Label) error {
 	w := wire.NewWriter(OpQuery).String(user).String(sql).U32(uint32(len(args)))
 	for _, a := range args {
 		w.String(a)
 	}
 	w.Handle(reply)
-	return p.Send(proxyPort, w.Done(), &kernel.SendOpts{
+	return proxyPort.Send(w.Done(), &kernel.SendOpts{
 		DecontSend: kernel.Grant(reply),
 		Verify:     v,
 	})
 }
 
 // Declassify sends a declassification write; v must prove uT ⋆.
-func Declassify(p *kernel.Process, proxyPort handle.Handle, user, sql string, args []string,
+func Declassify(proxyPort *kernel.Port, user, sql string, args []string,
 	reply handle.Handle, v *label.Label) error {
 	w := wire.NewWriter(OpDeclassify).String(user).String(sql).U32(uint32(len(args)))
 	for _, a := range args {
 		w.String(a)
 	}
 	w.Handle(reply)
-	return p.Send(proxyPort, w.Done(), &kernel.SendOpts{
+	return proxyPort.Send(w.Done(), &kernel.SendOpts{
 		DecontSend: kernel.Grant(reply),
 		Verify:     v,
 	})
@@ -460,22 +475,22 @@ func VerifyDeclassify(uT handle.Handle) *label.Label {
 // PushMapping is used by idd to install a user binding, granting the proxy
 // uT ⋆/uG ⋆ and raising its receive label for uT (the sender must hold both
 // handles at ⋆).
-func PushMapping(p *kernel.Process, adminPort handle.Handle, user string, m Mapping) error {
+func PushMapping(adminPort *kernel.Port, user string, m Mapping) error {
 	w := wire.NewWriter(OpMapping).String(user).String(m.UID).Handle(m.UT).Handle(m.UG)
-	return p.Send(adminPort, w.Done(), &kernel.SendOpts{
+	return adminPort.Send(w.Done(), &kernel.SendOpts{
 		DecontSend: kernel.Grant(m.UT, m.UG),
 		DecontRecv: kernel.AllowRecv(label.L3, m.UT),
 	})
 }
 
 // AdminExec runs an unrestricted statement (idd's password lookups).
-func AdminExec(p *kernel.Process, adminPort handle.Handle, sql string, args []string, reply handle.Handle) error {
+func AdminExec(adminPort *kernel.Port, sql string, args []string, reply handle.Handle) error {
 	w := wire.NewWriter(OpAdminExec).String(sql).U32(uint32(len(args)))
 	for _, a := range args {
 		w.String(a)
 	}
 	w.Handle(reply)
-	return p.Send(adminPort, w.Done(), &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return adminPort.Send(w.Done(), &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // AdminResult is a parsed OpAdmRes.

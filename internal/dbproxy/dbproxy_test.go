@@ -85,7 +85,7 @@ func TestMappingPushAndQueryPathDirect(t *testing.T) {
 	if d, _ := admin.TryRecv(); d == nil {
 		t.Fatal("admin grant lost")
 	}
-	if err := PushMapping(admin, p.AdminPort(), "zoe",
+	if err := PushMapping(admin.Port(p.AdminPort()), "zoe",
 		Mapping{UID: "7", UT: uT, UG: uG}); err != nil {
 		t.Fatal(err)
 	}

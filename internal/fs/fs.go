@@ -23,6 +23,7 @@
 package fs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -65,7 +66,11 @@ type user struct {
 type Server struct {
 	sys  *kernel.System
 	proc *kernel.Process
-	port handle.Handle
+	port *kernel.Port
+
+	// ctx is the service lifecycle: Run returns when Stop cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	files map[string]*file
 	users map[string]user
@@ -77,22 +82,25 @@ type Server struct {
 // New boots a file server and publishes its port.
 func New(sys *kernel.System) *Server {
 	proc := sys.NewProcess("fsd")
-	port := proc.NewPort(nil)
-	proc.SetPortLabel(port, label.Empty(label.L3))
+	port := proc.Open(nil)
+	port.SetLabel(label.Empty(label.L3))
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		sys:   sys,
-		proc:  proc,
-		port:  port,
-		files: make(map[string]*file),
-		users: make(map[string]user),
-		sysH:  proc.NewHandle(),
+		sys:    sys,
+		proc:   proc,
+		port:   port,
+		ctx:    ctx,
+		cancel: cancel,
+		files:  make(map[string]*file),
+		users:  make(map[string]user),
+		sysH:   proc.NewHandle(),
 	}
-	sys.SetEnv(EnvName, port)
+	sys.SetEnv(EnvName, port.Handle())
 	return s
 }
 
 // Port returns the request port.
-func (s *Server) Port() handle.Handle { return s.port }
+func (s *Server) Port() handle.Handle { return s.port.Handle() }
 
 // Process exposes the kernel process.
 func (s *Server) Process() *kernel.Process { return s.proc }
@@ -107,10 +115,11 @@ func (s *Server) CreateSystemFile(path string, data []byte) {
 	s.files[path] = &file{data: data, system: true}
 }
 
-// Run is the server's event loop.
+// Run is the server's event loop; it returns when Stop cancels the
+// service's context.
 func (s *Server) Run() {
 	for {
-		d, err := s.proc.Recv(s.port)
+		d, err := s.port.Recv(s.ctx)
 		if err != nil {
 			return
 		}
@@ -118,8 +127,11 @@ func (s *Server) Run() {
 	}
 }
 
-// Stop kills the server.
-func (s *Server) Stop() { s.proc.Exit() }
+// Stop shuts the server down: context first (ends Run), then kernel state.
+func (s *Server) Stop() {
+	s.cancel()
+	s.proc.Exit()
+}
 
 func (s *Server) dispatch(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
@@ -245,13 +257,14 @@ type Identity struct {
 }
 
 // Register creates (or fetches) a user, granting the caller uT ⋆, uG ⋆ and
-// uT-3 clearance.
-func Register(p *kernel.Process, fsPort handle.Handle, name string, reply handle.Handle) (Identity, error) {
-	msg := wire.NewWriter(OpAddUser).String(name).Handle(reply).Done()
-	if err := p.Send(fsPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)}); err != nil {
+// uT-3 clearance. reply must be an owned endpoint of the calling process;
+// Register blocks on it for the server's answer.
+func Register(fsPort *kernel.Port, name string, reply *kernel.Port) (Identity, error) {
+	msg := wire.NewWriter(OpAddUser).String(name).Handle(reply.Handle()).Done()
+	if err := fsPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply.Handle())}); err != nil {
 		return Identity{}, err
 	}
-	d, err := p.Recv(reply)
+	d, err := reply.Recv(context.Background())
 	if err != nil {
 		return Identity{}, err
 	}
@@ -267,29 +280,29 @@ func Register(p *kernel.Process, fsPort handle.Handle, name string, reply handle
 }
 
 // Create makes a file owned by owner; the caller proves ownership with v.
-func Create(p *kernel.Process, fsPort handle.Handle, path, owner string, reply handle.Handle, v *label.Label) error {
+func Create(fsPort *kernel.Port, path, owner string, reply handle.Handle, v *label.Label) error {
 	msg := wire.NewWriter(OpCreate).String(path).String(owner).Handle(reply).Done()
-	return p.Send(fsPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply), Verify: v})
+	return fsPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply), Verify: v})
 }
 
 // Write stores data; v proves write rights (owner uG 0, or sysH ≤ 1 for
 // system files).
-func Write(p *kernel.Process, fsPort handle.Handle, path string, data []byte, reply handle.Handle, v *label.Label) error {
+func Write(fsPort *kernel.Port, path string, data []byte, reply handle.Handle, v *label.Label) error {
 	msg := wire.NewWriter(OpWrite).String(path).Bytes(data).Handle(reply).Done()
-	return p.Send(fsPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply), Verify: v})
+	return fsPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply), Verify: v})
 }
 
 // Read fetches a file; the reply contaminates the caller with the owner's
 // taint.
-func Read(p *kernel.Process, fsPort handle.Handle, path string, reply handle.Handle) error {
+func Read(fsPort *kernel.Port, path string, reply handle.Handle) error {
 	msg := wire.NewWriter(OpRead).String(path).Handle(reply).Done()
-	return p.Send(fsPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return fsPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // List fetches all paths.
-func List(p *kernel.Process, fsPort handle.Handle, reply handle.Handle) error {
+func List(fsPort *kernel.Port, reply handle.Handle) error {
 	msg := wire.NewWriter(OpList).Handle(reply).Done()
-	return p.Send(fsPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return fsPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // ParseReadReply decodes an OpReadR delivery.

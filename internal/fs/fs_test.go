@@ -28,12 +28,12 @@ func boot(t *testing.T) *rig {
 func (r *rig) principal(t *testing.T, name string) (*kernel.Process, fs.Identity, handle.Handle) {
 	t.Helper()
 	p := r.sys.NewProcess(name)
-	reply := p.NewPort(nil)
-	id, err := fs.Register(p, r.srv.Port(), name, reply)
+	reply := p.Open(nil)
+	id, err := fs.Register(p.Port(r.srv.Port()), name, reply)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p, id, reply
+	return p, id, reply.Handle()
 }
 
 func ownerV(id fs.Identity) *label.Label {
@@ -43,19 +43,19 @@ func ownerV(id fs.Identity) *label.Label {
 func TestCreateWriteRead(t *testing.T) {
 	r := boot(t)
 	u, uid, reply := r.principal(t, "u")
-	if err := fs.Create(u, r.srv.Port(), "/home/u/diary", "u", reply, ownerV(uid)); err != nil {
+	if err := fs.Create(u.Port(r.srv.Port()), "/home/u/diary", "u", reply, ownerV(uid)); err != nil {
 		t.Fatal(err)
 	}
 	d, _ := u.Recv(reply)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("create rejected")
 	}
-	fs.Write(u, r.srv.Port(), "/home/u/diary", []byte("dear diary"), reply, ownerV(uid))
+	fs.Write(u.Port(r.srv.Port()), "/home/u/diary", []byte("dear diary"), reply, ownerV(uid))
 	d, _ = u.Recv(reply)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("write rejected")
 	}
-	fs.Read(u, r.srv.Port(), "/home/u/diary", reply)
+	fs.Read(u.Port(r.srv.Port()), "/home/u/diary", reply)
 	d, _ = u.Recv(reply)
 	data, ok := fs.ParseReadReply(d)
 	if !ok || string(data) != "dear diary" {
@@ -71,15 +71,15 @@ func TestCreateWriteRead(t *testing.T) {
 func TestReadTaintsAndConfines(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
-	fs.Create(u, r.srv.Port(), "/u/file", "u", ur, ownerV(uid))
+	fs.Create(u.Port(r.srv.Port()), "/u/file", "u", ur, ownerV(uid))
 	u.Recv(ur)
-	fs.Write(u, r.srv.Port(), "/u/file", []byte("private"), ur, ownerV(uid))
+	fs.Write(u.Port(r.srv.Port()), "/u/file", []byte("private"), ur, ownerV(uid))
 	u.Recv(ur)
 
 	// v reads u's file (allowed only if cleared for u's taint).
 	v, _, vr := r.principal(t, "v")
 	// v is NOT cleared for uT: the tainted reply is dropped by the kernel.
-	fs.Read(v, r.srv.Port(), "/u/file", vr)
+	fs.Read(v.Port(r.srv.Port()), "/u/file", vr)
 	if d, _ := v.TryRecv(vr); d != nil {
 		t.Fatal("uncleared reader received tainted file data")
 	}
@@ -91,7 +91,7 @@ func TestReadTaintsAndConfines(t *testing.T) {
 	if d, _ := v.TryRecv(clear); d == nil {
 		t.Fatal("clearance grant dropped")
 	}
-	fs.Read(v, r.srv.Port(), "/u/file", vr)
+	fs.Read(v.Port(r.srv.Port()), "/u/file", vr)
 	d, _ := v.Recv(vr)
 	if data, ok := fs.ParseReadReply(d); !ok || string(data) != "private" {
 		t.Fatalf("cleared read failed: %q %v", data, ok)
@@ -109,18 +109,18 @@ func TestReadTaintsAndConfines(t *testing.T) {
 func TestWriteRequiresSpeaksFor(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
-	fs.Create(u, r.srv.Port(), "/u/file", "u", ur, ownerV(uid))
+	fs.Create(u.Port(r.srv.Port()), "/u/file", "u", ur, ownerV(uid))
 	u.Recv(ur)
 
 	// A stranger cannot write: without uG 0 the kernel drops the forged V,
 	// and an honest V fails the server's check.
 	s := r.sys.NewProcess("stranger")
 	sr := s.NewPort(nil)
-	fs.Write(s, r.srv.Port(), "/u/file", []byte("defaced"), sr, ownerV(uid))
+	fs.Write(s.Port(r.srv.Port()), "/u/file", []byte("defaced"), sr, ownerV(uid))
 	if d, _ := s.TryRecv(sr); d != nil {
 		t.Fatal("forged ownership proof was not dropped")
 	}
-	fs.Write(s, r.srv.Port(), "/u/file", []byte("defaced"), sr, label.Empty(label.L3))
+	fs.Write(s.Port(r.srv.Port()), "/u/file", []byte("defaced"), sr, label.Empty(label.L3))
 	d, _ := s.Recv(sr)
 	if fs.ParseWriteReply(d) {
 		t.Fatal("write without proof accepted")
@@ -136,7 +136,7 @@ func TestWriteRequiresSpeaksFor(t *testing.T) {
 		t.Fatal("delegation dropped")
 	}
 	er := e.NewPort(nil)
-	fs.Write(e, r.srv.Port(), "/u/file", []byte("edited"), er, ownerV(uid))
+	fs.Write(e.Port(r.srv.Port()), "/u/file", []byte("edited"), er, ownerV(uid))
 	d, _ = e.Recv(er)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("delegated write rejected")
@@ -147,7 +147,7 @@ func TestMandatoryIntegrity(t *testing.T) {
 	// §5.4: the editor loses uG 0 after receiving from a non-speaker.
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
-	fs.Create(u, r.srv.Port(), "/u/file", "u", ur, ownerV(uid))
+	fs.Create(u.Port(r.srv.Port()), "/u/file", "u", ur, ownerV(uid))
 	u.Recv(ur)
 
 	e := r.sys.NewProcess("editor")
@@ -165,7 +165,7 @@ func TestMandatoryIntegrity(t *testing.T) {
 	}
 	// The privilege is gone; the kernel now drops the forged proof.
 	er := e.NewPort(nil)
-	fs.Write(e, r.srv.Port(), "/u/file", []byte("tainted write"), er, ownerV(uid))
+	fs.Write(e.Port(r.srv.Port()), "/u/file", []byte("tainted write"), er, ownerV(uid))
 	if d, _ := e.TryRecv(er); d != nil {
 		t.Fatal("editor kept speaks-for after low-integrity input")
 	}
@@ -181,7 +181,7 @@ func TestSystemFileIntegrity(t *testing.T) {
 	installer := r.sys.NewProcess("installer")
 	ir := installer.NewPort(nil)
 	v := label.New(label.L3, label.Entry{H: sysH, L: label.L1})
-	fs.Write(installer, r.srv.Port(), "/etc/passwd", []byte("updated"), ir, v)
+	fs.Write(installer.Port(r.srv.Port()), "/etc/passwd", []byte("updated"), ir, v)
 	d, _ := installer.Recv(ir)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("clean installer rejected")
@@ -190,7 +190,7 @@ func TestSystemFileIntegrity(t *testing.T) {
 	netdP := r.sys.NewProcess("netd")
 	netdP.ContaminateSelf(kernel.Taint(label.L2, sysH))
 	nr := netdP.NewPort(nil)
-	fs.Write(netdP, r.srv.Port(), "/etc/passwd", []byte("pwned"), nr, v)
+	fs.Write(netdP.Port(r.srv.Port()), "/etc/passwd", []byte("pwned"), nr, v)
 	if d, _ := netdP.TryRecv(nr); d != nil {
 		t.Fatal("network-tainted writer passed the integrity check")
 	}
@@ -202,7 +202,7 @@ func TestSystemFileIntegrity(t *testing.T) {
 	netdP.Send(vp, []byte("data"), nil)
 	victim.TryRecv()
 	vr := victim.NewPort(nil)
-	fs.Write(victim, r.srv.Port(), "/etc/passwd", []byte("pwned2"), vr, v)
+	fs.Write(victim.Port(r.srv.Port()), "/etc/passwd", []byte("pwned2"), vr, v)
 	if d, _ := victim.TryRecv(vr); d != nil {
 		t.Fatal("laundered network taint passed the integrity check")
 	}
@@ -211,11 +211,11 @@ func TestSystemFileIntegrity(t *testing.T) {
 func TestList(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
-	fs.Create(u, r.srv.Port(), "/b", "u", ur, ownerV(uid))
+	fs.Create(u.Port(r.srv.Port()), "/b", "u", ur, ownerV(uid))
 	u.Recv(ur)
-	fs.Create(u, r.srv.Port(), "/a", "u", ur, ownerV(uid))
+	fs.Create(u.Port(r.srv.Port()), "/a", "u", ur, ownerV(uid))
 	u.Recv(ur)
-	fs.List(u, r.srv.Port(), ur)
+	fs.List(u.Port(r.srv.Port()), ur)
 	d, _ := u.Recv(ur)
 	listing, ok := fs.ParseListReply(d)
 	if !ok || listing != "/a\n/b\n" {
@@ -226,7 +226,7 @@ func TestList(t *testing.T) {
 func TestReadMissingFile(t *testing.T) {
 	r := boot(t)
 	u, _, ur := r.principal(t, "u")
-	fs.Read(u, r.srv.Port(), "/nope", ur)
+	fs.Read(u.Port(r.srv.Port()), "/nope", ur)
 	d, _ := u.Recv(ur)
 	if _, ok := fs.ParseReadReply(d); ok {
 		t.Fatal("missing file read succeeded")
@@ -238,13 +238,13 @@ func TestServerStaysClean(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
 	v, vid, vr := r.principal(t, "v")
-	fs.Create(u, r.srv.Port(), "/u/f", "u", ur, ownerV(uid))
+	fs.Create(u.Port(r.srv.Port()), "/u/f", "u", ur, ownerV(uid))
 	u.Recv(ur)
-	fs.Create(v, r.srv.Port(), "/v/f", "v", vr, ownerV(vid))
+	fs.Create(v.Port(r.srv.Port()), "/v/f", "v", vr, ownerV(vid))
 	v.Recv(vr)
-	fs.Write(u, r.srv.Port(), "/u/f", []byte("uu"), ur, ownerV(uid))
+	fs.Write(u.Port(r.srv.Port()), "/u/f", []byte("uu"), ur, ownerV(uid))
 	u.Recv(ur)
-	fs.Write(v, r.srv.Port(), "/v/f", []byte("vv"), vr, ownerV(vid))
+	fs.Write(v.Port(r.srv.Port()), "/v/f", []byte("vv"), vr, ownerV(vid))
 	v.Recv(vr)
 	if got := r.srv.Process().SendLabel().Get(uid.UT); got != label.Star {
 		t.Errorf("server label for uT = %v, want ⋆", got)

@@ -6,6 +6,8 @@
 package idd
 
 import (
+	"context"
+
 	"asbestos/internal/dbproxy"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
@@ -48,10 +50,15 @@ type Idd struct {
 	sys  *kernel.System
 	proc *kernel.Process
 
-	loginPort handle.Handle
-	adminPort handle.Handle
-	dbAdmin   handle.Handle // ok-dbproxy admin port (capability held)
-	dbReply   handle.Handle // reply port for database queries
+	loginPort *kernel.Port
+	adminPort *kernel.Port
+	mbox      *kernel.Mailbox // login + admin
+	dbAdmin   *kernel.Port    // ok-dbproxy admin port (capability held, route cached)
+	dbReply   *kernel.Port    // reply port for database queries
+
+	// ctx is the service lifecycle: Run returns when Stop cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	cache map[string]Identity // by username
 }
@@ -60,40 +67,44 @@ type Idd struct {
 // capability from it and creates the password table if missing.
 func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
 	proc := sys.NewProcess("idd")
-	login := proc.NewPort(nil)
-	if err := proc.SetPortLabel(login, label.Empty(label.L3)); err != nil {
+	login := proc.Open(nil)
+	if err := login.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
-	admin := proc.NewPort(nil)
-	if err := proc.SetPortLabel(admin, label.Empty(label.L3)); err != nil {
+	admin := proc.Open(nil)
+	if err := admin.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
-	dbReply := proc.NewPort(nil)
+	dbReply := proc.Open(nil)
 
 	// Bootstrap: receive the admin-port capability from the proxy.
-	grantRx := proc.NewPort(nil)
-	if err := proc.SetPortLabel(grantRx, label.Empty(label.L3)); err != nil {
+	grantRx := proc.Open(nil)
+	if err := grantRx.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
-	if err := proxy.GrantAdmin(grantRx); err != nil {
+	if err := proxy.GrantAdmin(grantRx.Handle()); err != nil {
 		panic(err)
 	}
-	if d, err := proc.TryRecv(grantRx); err != nil || d == nil {
+	if d, err := grantRx.TryRecv(); err != nil || d == nil {
 		panic("idd: dbproxy admin grant failed")
 	}
-	proc.Dissociate(grantRx)
+	grantRx.Dissociate()
 
+	ctx, cancel := context.WithCancel(context.Background())
 	i := &Idd{
 		sys:       sys,
 		proc:      proc,
 		loginPort: login,
 		adminPort: admin,
-		dbAdmin:   proxy.AdminPort(),
+		mbox:      proc.Mailbox(login, admin),
+		dbAdmin:   proc.Port(proxy.AdminPort()),
 		dbReply:   dbReply,
+		ctx:       ctx,
+		cancel:    cancel,
 		cache:     make(map[string]Identity),
 	}
-	sys.SetEnv(EnvLoginPort, login)
-	sys.SetEnv(EnvAdminPort, admin)
+	sys.SetEnv(EnvLoginPort, login.Handle())
+	sys.SetEnv(EnvAdminPort, admin.Handle())
 	return i
 }
 
@@ -102,37 +113,42 @@ func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
 func (i *Idd) Process() *kernel.Process { return i.proc }
 
 // LoginPort returns the login request port.
-func (i *Idd) LoginPort() handle.Handle { return i.loginPort }
+func (i *Idd) LoginPort() handle.Handle { return i.loginPort.Handle() }
 
-// Run is idd's event loop.
+// Run is idd's event loop; it returns when Stop cancels the service's
+// context.
 func (i *Idd) Run() {
 	prof := i.sys.Profiler()
 	for {
-		d, err := i.proc.Recv(i.loginPort, i.adminPort)
+		d, err := i.mbox.Recv(i.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatOKWS)
 		switch d.Port {
-		case i.loginPort:
+		case i.loginPort.Handle():
 			i.handleLogin(d)
-		case i.adminPort:
+		case i.adminPort.Handle():
 			i.handleAdmin(d)
 		}
 		stop()
 	}
 }
 
-// Stop kills the idd process.
-func (i *Idd) Stop() { i.proc.Exit() }
+// Stop shuts idd down: context first (ends Run), then kernel state.
+func (i *Idd) Stop() {
+	i.cancel()
+	i.proc.Exit()
+}
 
 // adminExec runs a statement through ok-dbproxy and waits for the reply.
-// The blocking is safe: the proxy never calls back into idd.
+// The blocking is safe: the proxy never calls back into idd, and the wait
+// respects the service context so shutdown cannot hang on a lost reply.
 func (i *Idd) adminExec(sql string, args ...string) (dbproxy.AdminResult, bool) {
-	if err := dbproxy.AdminExec(i.proc, i.dbAdmin, sql, args, i.dbReply); err != nil {
+	if err := dbproxy.AdminExec(i.dbAdmin, sql, args, i.dbReply.Handle()); err != nil {
 		return dbproxy.AdminResult{}, false
 	}
-	d, err := i.proc.Recv(i.dbReply)
+	d, err := i.dbReply.Recv(i.ctx)
 	if err != nil || d == nil {
 		return dbproxy.AdminResult{}, false
 	}
@@ -200,7 +216,7 @@ func (i *Idd) authenticate(user, pass string) (Identity, bool) {
 	}
 	i.cache[user] = id
 	// Push the binding to ok-dbproxy so it can taint rows.
-	dbproxy.PushMapping(i.proc, i.dbAdmin, user, dbproxy.Mapping{
+	dbproxy.PushMapping(i.dbAdmin, user, dbproxy.Mapping{
 		UID: id.UID, UT: id.UT, UG: id.UG,
 	})
 	return id, true
@@ -236,10 +252,11 @@ func (i *Idd) ensureTable() {
 
 // --- client helpers ---
 
-// Login sends a login request; the reply arrives on reply as OpLoginR.
-func Login(p *kernel.Process, iddPort handle.Handle, user, pass string, reply handle.Handle) error {
+// Login sends a login request through the caller's endpoint to idd's login
+// port; the reply arrives on reply as OpLoginR.
+func Login(iddPort *kernel.Port, user, pass string, reply handle.Handle) error {
 	msg := wire.NewWriter(OpLogin).String(user).String(pass).Handle(reply).Done()
-	return p.Send(iddPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return iddPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // ParseLoginReply decodes an OpLoginR delivery.
@@ -258,9 +275,9 @@ func ParseLoginReply(d *kernel.Delivery) (Identity, bool) {
 
 // AddUser provisions an account (launcher/test helper); the caller needs an
 // open reply port.
-func AddUser(p *kernel.Process, iddAdmin handle.Handle, user, pass, uid string, reply handle.Handle) error {
+func AddUser(iddAdmin *kernel.Port, user, pass, uid string, reply handle.Handle) error {
 	msg := wire.NewWriter(OpAddUser).String(user).String(pass).String(uid).Handle(reply).Done()
-	return p.Send(iddAdmin, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return iddAdmin.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // ParseAddUserReply decodes an OpAddUserR delivery.

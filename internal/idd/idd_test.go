@@ -30,14 +30,14 @@ func boot(t *testing.T) *harness {
 	admin := sys.NewProcess("setup")
 	reply := admin.NewPort(nil)
 	adminPort, _ := sys.Env(idd.EnvAdminPort)
-	if err := idd.AddUser(admin, adminPort, "alice", "pw-a", "1001", reply); err != nil {
+	if err := idd.AddUser(admin.Port(adminPort), "alice", "pw-a", "1001", reply); err != nil {
 		t.Fatal(err)
 	}
 	d, err := admin.Recv(reply)
 	if err != nil || !idd.ParseAddUserReply(d) {
 		t.Fatalf("add user: %v", err)
 	}
-	if err := idd.AddUser(admin, adminPort, "bob", "pw-b", "1002", reply); err != nil {
+	if err := idd.AddUser(admin.Port(adminPort), "bob", "pw-b", "1002", reply); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := admin.Recv(reply); !idd.ParseAddUserReply(d) {
@@ -52,7 +52,7 @@ func (h *harness) login(t *testing.T, p *kernel.Process, user, pass string) (idd
 	t.Helper()
 	reply := p.NewPort(nil)
 	port, _ := h.sys.Env(idd.EnvLoginPort)
-	if err := idd.Login(p, port, user, pass, reply); err != nil {
+	if err := idd.Login(p.Port(port), user, pass, reply); err != nil {
 		t.Fatal(err)
 	}
 	d, err := p.Recv(reply)
@@ -166,7 +166,7 @@ func TestWorkerQueryRoundTrip(t *testing.T) {
 	v := dbproxy.VerifyFor(id.UT, id.UG)
 
 	// Create a table, insert, select back.
-	if err := dbproxy.Query(w, proxyPort, "alice", "CREATE TABLE notes (text)", nil, reply, v); err != nil {
+	if err := dbproxy.Query(w.Port(proxyPort), "alice", "CREATE TABLE notes (text)", nil, reply, v); err != nil {
 		t.Fatal(err)
 	}
 	d, err := w.Recv(reply)
@@ -177,11 +177,11 @@ func TestWorkerQueryRoundTrip(t *testing.T) {
 		msg, _ := dbproxy.ParseError(d)
 		t.Fatalf("create failed: %s", msg)
 	}
-	dbproxy.Query(w, proxyPort, "alice", "INSERT INTO notes (text) VALUES (?)", []string{"alice-note"}, reply, v)
+	dbproxy.Query(w.Port(proxyPort), "alice", "INSERT INTO notes (text) VALUES (?)", []string{"alice-note"}, reply, v)
 	if d, _ := w.Recv(reply); d == nil {
 		t.Fatal("insert reply lost")
 	}
-	dbproxy.Query(w, proxyPort, "alice", "SELECT text FROM notes", nil, reply, v)
+	dbproxy.Query(w.Port(proxyPort), "alice", "SELECT text FROM notes", nil, reply, v)
 	var rows [][]string
 	for {
 		d, err := w.Recv(reply)
@@ -211,15 +211,15 @@ func TestCrossUserRowsInvisible(t *testing.T) {
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
 	ra := wa.NewPort(nil)
 	va := dbproxy.VerifyFor(ida.UT, ida.UG)
-	dbproxy.Query(wa, proxyPort, "alice", "CREATE TABLE posts (body)", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "CREATE TABLE posts (body)", nil, ra, va)
 	wa.Recv(ra)
-	dbproxy.Query(wa, proxyPort, "alice", "INSERT INTO posts (body) VALUES ('private!')", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "INSERT INTO posts (body) VALUES ('private!')", nil, ra, va)
 	wa.Recv(ra)
 
 	wb, idb := workerFixture(t, h, "bob", "pw-b")
 	rb := wb.NewPort(nil)
 	vb := dbproxy.VerifyFor(idb.UT, idb.UG)
-	dbproxy.Query(wb, proxyPort, "bob", "SELECT body FROM posts", nil, rb, vb)
+	dbproxy.Query(wb.Port(proxyPort), "bob", "SELECT body FROM posts", nil, rb, vb)
 	sawRow := false
 	for {
 		d, err := wb.Recv(rb)
@@ -252,7 +252,7 @@ func TestForgedVerifyRejected(t *testing.T) {
 	reply := evil.NewPort(nil)
 	v := dbproxy.VerifyFor(ida.UT, ida.UG)
 	// The kernel drops the send outright: evil's ES(uG)=1 > V(uG)=0.
-	dbproxy.Query(evil, proxyPort, "alice", "CREATE TABLE x (a)", nil, reply, v)
+	dbproxy.Query(evil.Port(proxyPort), "alice", "CREATE TABLE x (a)", nil, reply, v)
 	if d, _ := evil.TryRecv(reply); d != nil {
 		t.Fatal("forged query got a reply")
 	}
@@ -269,7 +269,7 @@ func TestUserColReserved(t *testing.T) {
 		"SELECT _uid FROM okws_users",
 		"SELECT name FROM okws_users WHERE _uid = '1'",
 	} {
-		dbproxy.Query(w, proxyPort, "alice", q, nil, reply, v)
+		dbproxy.Query(w.Port(proxyPort), "alice", q, nil, reply, v)
 		d, err := w.Recv(reply)
 		if err != nil {
 			t.Fatal(err)
@@ -288,9 +288,9 @@ func TestDeclassifyFlow(t *testing.T) {
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
 	ra := wa.NewPort(nil)
 	va := dbproxy.VerifyFor(ida.UT, ida.UG)
-	dbproxy.Query(wa, proxyPort, "alice", "CREATE TABLE profiles (bio)", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "CREATE TABLE profiles (bio)", nil, ra, va)
 	wa.Recv(ra)
-	dbproxy.Query(wa, proxyPort, "alice", "INSERT INTO profiles (bio) VALUES ('alice bio')", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "INSERT INTO profiles (bio) VALUES ('alice bio')", nil, ra, va)
 	wa.Recv(ra)
 
 	// Declassifier: gets uT ⋆ from demux (simulated by a fresh login).
@@ -311,7 +311,7 @@ func TestDeclassifyFlow(t *testing.T) {
 	}
 	rd := decl.NewPort(nil)
 	vd := dbproxy.VerifyDeclassify(idd2.UT)
-	if err := dbproxy.Declassify(decl, proxyPort, "alice",
+	if err := dbproxy.Declassify(decl.Port(proxyPort), "alice",
 		"UPDATE profiles SET bio = 'alice bio' WHERE bio = 'alice bio'", nil, rd, vd); err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestDeclassifyFlow(t *testing.T) {
 	wb, idb := workerFixture(t, h, "bob", "pw-b")
 	rb := wb.NewPort(nil)
 	vb := dbproxy.VerifyFor(idb.UT, idb.UG)
-	dbproxy.Query(wb, proxyPort, "bob", "SELECT bio FROM profiles", nil, rb, vb)
+	dbproxy.Query(wb.Port(proxyPort), "bob", "SELECT bio FROM profiles", nil, rb, vb)
 	var rows [][]string
 	for {
 		d, err := wb.Recv(rb)
@@ -356,7 +356,7 @@ func TestDeclassifyRequiresStar(t *testing.T) {
 	reply := w.NewPort(nil)
 	// A tainted worker cannot prove uT ⋆: its ES(uT)=3 > ⋆ fails check 1.
 	v := dbproxy.VerifyDeclassify(id.UT)
-	dbproxy.Declassify(w, proxyPort, "alice", "UPDATE profiles SET bio = 'x'", nil, reply, v)
+	dbproxy.Declassify(w.Port(proxyPort), "alice", "UPDATE profiles SET bio = 'x'", nil, reply, v)
 	if d, _ := w.TryRecv(reply); d != nil {
 		t.Fatal("tainted worker's declassify request should be dropped by the kernel")
 	}
@@ -371,27 +371,27 @@ func TestUpdateDeleteScopedToOwnRows(t *testing.T) {
 	va := dbproxy.VerifyFor(ida.UT, ida.UG)
 	vb := dbproxy.VerifyFor(idb.UT, idb.UG)
 
-	dbproxy.Query(wa, proxyPort, "alice", "CREATE TABLE items (v)", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "CREATE TABLE items (v)", nil, ra, va)
 	wa.Recv(ra)
-	dbproxy.Query(wa, proxyPort, "alice", "INSERT INTO items (v) VALUES ('A')", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "INSERT INTO items (v) VALUES ('A')", nil, ra, va)
 	wa.Recv(ra)
-	dbproxy.Query(wb, proxyPort, "bob", "INSERT INTO items (v) VALUES ('B')", nil, rb, vb)
+	dbproxy.Query(wb.Port(proxyPort), "bob", "INSERT INTO items (v) VALUES ('B')", nil, rb, vb)
 	wb.Recv(rb)
 
 	// Bob updates "all" rows: only his row is touched.
-	dbproxy.Query(wb, proxyPort, "bob", "UPDATE items SET v = 'HACKED'", nil, rb, vb)
+	dbproxy.Query(wb.Port(proxyPort), "bob", "UPDATE items SET v = 'HACKED'", nil, rb, vb)
 	d, _ := wb.Recv(rb)
 	if n, ok := dbproxy.ParseDone(d); !ok || n != 1 {
 		t.Fatalf("bob's update affected %d rows", n)
 	}
 	// Bob deletes "all" rows: only his.
-	dbproxy.Query(wb, proxyPort, "bob", "DELETE FROM items", nil, rb, vb)
+	dbproxy.Query(wb.Port(proxyPort), "bob", "DELETE FROM items", nil, rb, vb)
 	d, _ = wb.Recv(rb)
 	if n, ok := dbproxy.ParseDone(d); !ok || n != 1 {
 		t.Fatalf("bob's delete affected %d rows", n)
 	}
 	// Alice's row is intact.
-	dbproxy.Query(wa, proxyPort, "alice", "SELECT v FROM items", nil, ra, va)
+	dbproxy.Query(wa.Port(proxyPort), "alice", "SELECT v FROM items", nil, ra, va)
 	var rows [][]string
 	for {
 		d, err := wa.Recv(ra)
@@ -414,7 +414,7 @@ func TestUnknownUserQuery(t *testing.T) {
 	w := h.sys.NewProcess("w")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
 	reply := w.NewPort(nil)
-	dbproxy.Query(w, proxyPort, "ghost", "SELECT a FROM t", nil, reply, label.Empty(label.L2))
+	dbproxy.Query(w.Port(proxyPort), "ghost", "SELECT a FROM t", nil, reply, label.Empty(label.L2))
 	d, err := w.Recv(reply)
 	if err != nil {
 		t.Fatal(err)

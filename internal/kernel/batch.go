@@ -44,10 +44,19 @@ type BatchEntry struct {
 // paper's delivery semantics.
 //
 // If any entry's options fail the sender-side checks, the whole batch is
-// rejected and nothing is enqueued (one syscall, one error). A batch that
-// cannot be delivered at all — unknown port, dead receiver, queue overflow
-// — is dropped whole and silently, like any other undeliverable send (§4).
+// rejected and nothing is enqueued (one syscall, one error). Queue-limit
+// accounting matches N individual Sends exactly: the prefix that fits is
+// enqueued and the overflowing tail is dropped and counted, so a batch
+// racing the limit behaves like the same messages sent one at a time. A
+// batch to an unknown port or a dead receiver is dropped whole and
+// silently, like any other undeliverable send (§4).
 func (p *Process) SendBatch(port handle.Handle, entries []BatchEntry) error {
+	return p.sendBatchVia(port, p.sys.lookup(port), entries)
+}
+
+// sendBatchVia is the batch path shared by Process.SendBatch and
+// Port.SendBatch; the destination's vnode has already been resolved.
+func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -59,12 +68,24 @@ func (p *Process) SendBatch(port handle.Handle, entries []BatchEntry) error {
 		return err
 	}
 
+	st, stOK := vn.state()
+	if !stOK || st == nil || st.owner == nil {
+		// Undeliverable (§4); the sender-side checks still run so a
+		// privilege violation is reported identically either way — but no
+		// messages need building.
+		if err := checkBatchPrivs(ps, entries); err != nil {
+			return err
+		}
+		p.sys.drops.Add(uint64(len(entries)))
+		return nil
+	}
+
 	// Prepare the label set once per distinct Opts pointer. A single
 	// memo slot suffices: real batches either share one Opts value or
 	// group entries with equal options together.
 	var (
-		memoOpts  *SendOpts
-		memoValid bool
+		memoOpts      *SendOpts
+		memoValid     bool
 		es, ds, dr, v *label.Label
 	)
 	msgs := make([]*Message, len(entries))
@@ -72,68 +93,105 @@ func (p *Process) SendBatch(port handle.Handle, entries []BatchEntry) error {
 		if !memoValid || e.Opts != memoOpts {
 			cs, ds2, dr2, v2 := e.Opts.defaults()
 			if err := checkSendPrivs(ps, ds2, dr2); err != nil {
+				// Reject the batch atomically: nothing was published, so
+				// the built prefix just goes back to the freelist.
+				for _, m := range msgs[:i] {
+					freeMsg(m)
+				}
 				return err
 			}
 			es, ds, dr, v = ps.Lub(cs), ds2, dr2, v2
 			memoOpts, memoValid = e.Opts, true
 		}
-		data := e.Data
-		if !e.Owned {
-			data = append([]byte(nil), data...)
+		m := getMsg()
+		m.Port = port
+		if e.Owned {
+			m.Data = e.Data
+		} else {
+			m.Data = append(m.Data[:0], e.Data...)
 		}
-		msgs[i] = &Message{
-			Port: port,
-			Data: data,
-			es:   es,
-			ds:   ds,
-			dr:   dr,
-			v:    v,
-		}
+		m.es, m.ds, m.dr, m.v = es, ds, dr, v
+		m.next = nil
+		msgs[i] = m
 	}
 
-	q, _, _, ok := p.sys.portState(port)
-	if !ok || q == nil {
-		p.sys.drops.Add(uint64(len(msgs)))
+	// Queue-limit parity with single sends: admit the prefix that fits,
+	// drop the tail.
+	k := st.owner.admit(len(msgs))
+	if k < len(msgs) {
+		p.sys.drops.Add(uint64(len(msgs) - k))
+		for _, m := range msgs[k:] {
+			freeMsg(m)
+		}
+	}
+	if k == 0 {
 		return nil
 	}
-	// Pre-link the chain newest→oldest; one CAS publishes all of it.
-	for i := 1; i < len(msgs); i++ {
+	// Pre-link the admitted chain newest→oldest; one CAS publishes all of
+	// it.
+	for i := 1; i < k; i++ {
 		msgs[i].next = msgs[i-1]
 	}
-	if !q.enqueue(msgs[0], msgs[len(msgs)-1], len(msgs)) {
-		p.sys.drops.Add(uint64(len(msgs)))
+	st.owner.publish(msgs[0], msgs[k-1])
+	return nil
+}
+
+// checkBatchPrivs runs the Figure 4 sender-side requirements for every
+// entry of a batch against the sender's label snapshot, memoized per
+// distinct Opts pointer like the build loop in sendBatchVia.
+func checkBatchPrivs(ps *label.Label, entries []BatchEntry) error {
+	var memoOpts *SendOpts
+	memoValid := false
+	for _, e := range entries {
+		if !memoValid || e.Opts != memoOpts {
+			_, ds, dr, _ := e.Opts.defaults()
+			if err := checkSendPrivs(ps, ds, dr); err != nil {
+				return err
+			}
+			memoOpts, memoValid = e.Opts, true
+		}
 	}
 	return nil
 }
 
-// enqueue publishes a pre-linked chain of n messages (oldest…newest) to p's
-// inbox and unparks the receiver if the inbox was empty. It reports false —
-// without enqueuing anything — when p is dead or the queue is at its limit
-// (resource exhaustion, §4); the caller accounts the drops.
+// admit reserves queue slots for up to n incoming messages against p's
+// queue limit, returning how many were admitted: all of them, a prefix
+// when the queue is nearly full, or zero when it is full or p is dead
+// (resource exhaustion, §4). The caller accounts drops for the remainder.
 //
-// The queued counter is raised before the push and lowered as messages
-// leave the pending list, so the limit bounds inbox + pending together,
-// exactly what the old mutex-guarded slice bounded. Concurrent senders can
-// overshoot the limit by at most one batch each; the limit is a resource
-// backstop, not an exact admission control.
-func (p *Process) enqueue(oldest, newest *Message, n int) bool {
+// The queued counter is raised here and lowered as messages leave the
+// pending list, so the limit bounds inbox + pending together, exactly what
+// the seed's mutex-guarded slice bounded. The count a batch admits is the
+// same prefix N individual sends would have enqueued; concurrent senders
+// settle the same total either way, since the counter reservation is
+// atomic.
+func (p *Process) admit(n int) int {
 	if p.deadFlag.Load() {
-		return false
+		return 0
 	}
-	if p.queued.Add(int64(n)) > int64(p.sys.queueLimit) {
-		p.queued.Add(int64(-n))
-		return false
+	over := p.queued.Add(int64(n)) - int64(p.sys.queueLimit)
+	if over <= 0 {
+		return n
 	}
+	k := int64(n) - over
+	if k < 0 {
+		k = 0
+	}
+	p.queued.Add(k - int64(n)) // give back the slots the tail reserved
+	return int(k)
+}
+
+// publish pushes a pre-linked chain (oldest…newest) of admitted messages
+// onto p's inbox and unparks receivers on the empty→non-empty transition.
+// Taking p.mu to signal serializes the wakeup against a receiver's
+// drain-then-park, so it cannot fall between the receiver's last drain and
+// its wait (see waitLocked).
+func (p *Process) publish(oldest, newest *Message) {
 	if p.inbox.push(oldest, newest) {
-		// Empty→non-empty transition: the receiver may be parked. Taking
-		// its mutex serializes this broadcast against the receiver's
-		// drain-then-wait, so the wakeup cannot fall between its last
-		// drain and its Wait (see Recv).
 		p.mu.Lock()
-		p.cond.Broadcast()
+		p.wakeAll()
 		p.mu.Unlock()
 	}
-	return true
 }
 
 // Batcher accumulates outgoing messages per destination port and flushes

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"context"
+
 	"asbestos/internal/handle"
 	"asbestos/internal/label"
 	"asbestos/internal/mem"
@@ -38,10 +40,11 @@ func (e *EventProcess) FirstRun() bool { return !e.seen }
 // Memory returns the event process's private copy-on-write view.
 func (e *EventProcess) Memory() *mem.View { return e.view }
 
-// Checkpoint implements ep_checkpoint (paper §6.1). The first call moves
+// CheckpointCtx implements ep_checkpoint (paper §6.1). The first call moves
 // the process into the event-process realm: the base process will never run
 // its own context again. Each call then blocks until a message is
-// deliverable to some event process:
+// deliverable to some event process — or until ctx is cancelled or its
+// deadline passes, in which case it returns ctx's error:
 //
 //   - a message to a port owned by an existing event process resumes that
 //     event process;
@@ -52,7 +55,7 @@ func (e *EventProcess) Memory() *mem.View { return e.view }
 // Label contamination and declassification rules apply to the chosen event
 // process's labels. An event process still active from a previous
 // Checkpoint is implicitly yielded first.
-func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
+func (p *Process) CheckpointCtx(ctx context.Context) (*Delivery, *EventProcess, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.dead {
@@ -70,11 +73,18 @@ func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
 		if d != nil {
 			return d, ep, nil
 		}
-		p.cond.Wait()
+		if err := p.waitLocked(ctx); err != nil {
+			return nil, nil, err
+		}
 		if p.dead {
 			return nil, nil, ErrDead
 		}
 	}
+}
+
+// Checkpoint is CheckpointCtx without cancellation.
+func (p *Process) Checkpoint() (*Delivery, *EventProcess, error) {
+	return p.CheckpointCtx(context.Background())
 }
 
 // checkpointScan is the delivery loop of Checkpoint. Caller holds p.mu and
@@ -96,23 +106,28 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 				// Owner event process exited; message undeliverable.
 				p.removePending(i)
 				p.sys.drops.Add(1)
+				freeMsg(m)
 				continue
 			}
 			p.removePending(i)
 			if !deliverable(m, ep.recvL, pr) {
 				p.sys.drops.Add(1)
+				freeMsg(m)
 				continue
 			}
 			applyEffects(m, &ep.sendL, &ep.recvL)
 			ep.active = true
 			p.cur = ep
-			return &Delivery{Port: m.Port, Data: m.Data, V: m.v}, ep
+			d := &Delivery{Port: m.Port, Data: m.Data, V: m.v}
+			releaseMsg(m)
+			return d, ep
 		}
 		// Base-owned port: a deliverable message forks a new event process
 		// with labels copied from the base (§6.1).
 		p.removePending(i)
 		if !deliverable(m, p.recvL, pr) {
 			p.sys.drops.Add(1)
+			freeMsg(m)
 			continue
 		}
 		p.nextEP++
@@ -128,7 +143,9 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 		applyEffects(m, &ep.sendL, &ep.recvL)
 		ep.active = true
 		p.cur = ep
-		return &Delivery{Port: m.Port, Data: m.Data, V: m.v}, ep
+		d := &Delivery{Port: m.Port, Data: m.Data, V: m.v}
+		releaseMsg(m)
+		return d, ep
 	}
 	return nil, nil
 }
@@ -178,13 +195,16 @@ func (p *Process) EPExit() error {
 	}
 	ep := p.cur
 	for port := range ep.ports {
-		sh := p.sys.shard(port)
-		sh.mu.Lock()
-		if vn := sh.m[port]; vn != nil && vn.owner == p && vn.ownerEP == ep.id {
-			vn.owner = nil
-			vn.ownerEP = 0
+		vn := p.sys.lookup(port)
+		if vn == nil || !vn.isPort {
+			continue
 		}
-		sh.mu.Unlock()
+		p.sys.updatePort(vn, func(st portState) portState {
+			if st.owner == p && st.ownerEP == ep.id {
+				return portState{label: st.label}
+			}
+			return st
+		})
 	}
 	delete(p.eps, ep.id)
 	p.cur = nil

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"asbestos/internal/label"
+)
+
+// The queue-limit parity suite: SendBatch's over-limit accounting must be
+// byte-for-byte the behavior of the same messages sent one Send at a time
+// — the prefix that fits is enqueued in order, the tail is dropped and
+// counted, and the receiver sees identical deliveries either way.
+
+// limitRig boots a kernel with the given queue limit and one open port.
+func limitRig(t *testing.T, limit int) (*System, *Process, *Port, *Process) {
+	t.Helper()
+	s := NewSystem(WithSeed(91), WithQueueLimit(limit))
+	rx := s.NewProcess("rx")
+	inbox := rx.Open(nil)
+	if err := inbox.SetLabel(label.Empty(label.L3)); err != nil {
+		t.Fatal(err)
+	}
+	return s, rx, inbox, s.NewProcess("tx")
+}
+
+// run fills the queue with `pre` messages, then offers `n` more either as
+// one batch or as n single sends, and reports (drops, delivered payloads).
+func runLimit(t *testing.T, limit, pre, n int, batch bool) (drops uint64, got []string) {
+	t.Helper()
+	s, _, inbox, tx := limitRig(t, limit)
+	out := tx.Port(inbox.Handle())
+	for i := 0; i < pre; i++ {
+		if err := out.Send([]byte(fmt.Sprintf("pre%02d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := s.Drops()
+	if batch {
+		entries := make([]BatchEntry, n)
+		for i := range entries {
+			entries[i] = BatchEntry{Data: []byte(fmt.Sprintf("m%02d", i))}
+		}
+		if err := out.SendBatch(entries); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := out.Send([]byte(fmt.Sprintf("m%02d", i)), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drops = s.Drops() - base
+	for d := range inbox.Drain() {
+		got = append(got, string(d.Data))
+	}
+	return drops, got
+}
+
+func TestQueueLimitBatchSingleParity(t *testing.T) {
+	const limit = 8
+	for _, tc := range []struct {
+		name   string
+		pre, n int
+	}{
+		{"fits", 0, 8},
+		{"partial", 5, 6},    // 3 slots free: 3 admitted, 3 dropped
+		{"one-slot", 7, 4},   // 1 slot free
+		{"full", 8, 3},       // no slots: all dropped
+		{"exact-edge", 6, 2}, // fills to the brim, no drops
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dB, gotB := runLimit(t, limit, tc.pre, tc.n, true)
+			dS, gotS := runLimit(t, limit, tc.pre, tc.n, false)
+			if dB != dS {
+				t.Fatalf("drops: batch=%d single=%d", dB, dS)
+			}
+			if len(gotB) != len(gotS) {
+				t.Fatalf("deliveries: batch=%d single=%d", len(gotB), len(gotS))
+			}
+			for i := range gotB {
+				if gotB[i] != gotS[i] {
+					t.Fatalf("delivery %d: batch=%q single=%q", i, gotB[i], gotS[i])
+				}
+			}
+			// The admitted prefix is exactly the oldest messages, in order.
+			free := limit - tc.pre
+			wantAdmitted := tc.n
+			if wantAdmitted > free {
+				wantAdmitted = free
+			}
+			if int(dB) != tc.n-wantAdmitted {
+				t.Fatalf("drops = %d, want %d", dB, tc.n-wantAdmitted)
+			}
+			if len(gotB) != tc.pre+wantAdmitted {
+				t.Fatalf("delivered %d, want %d", len(gotB), tc.pre+wantAdmitted)
+			}
+			for i := 0; i < wantAdmitted; i++ {
+				if want := fmt.Sprintf("m%02d", i); gotB[tc.pre+i] != want {
+					t.Fatalf("admitted prefix out of order: slot %d = %q, want %q",
+						tc.pre+i, gotB[tc.pre+i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueLimitReleasesSlots checks the accounting over time: receiving
+// frees slots, so a once-full queue admits again — identically for batch
+// and single paths.
+func TestQueueLimitReleasesSlots(t *testing.T) {
+	const limit = 4
+	s, _, inbox, tx := limitRig(t, limit)
+	out := tx.Port(inbox.Handle())
+
+	if err := out.SendBatch(mkEntries(limit + 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Drops(); got != 2 {
+		t.Fatalf("initial drops = %d, want 2", got)
+	}
+	// Drain two, freeing two slots.
+	for i := 0; i < 2; i++ {
+		if d, err := inbox.TryRecv(); err != nil || d == nil {
+			t.Fatalf("drain %d: %v %v", i, d, err)
+		}
+	}
+	base := s.Drops()
+	if err := out.SendBatch(mkEntries(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Drops() - base; got != 1 {
+		t.Fatalf("drops after partial refill = %d, want 1", got)
+	}
+	if n := inbox.Process().QueueLen(); n != limit {
+		t.Fatalf("QueueLen = %d, want %d", n, limit)
+	}
+}

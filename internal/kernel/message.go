@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"context"
+
 	"asbestos/internal/handle"
 	"asbestos/internal/label"
 	"asbestos/internal/stats"
@@ -161,6 +163,9 @@ func checkSendPrivs(ps, ds, dr *label.Label) error {
 }
 
 // Send implements the send system call (Figure 4). The payload is copied.
+// It is the v1, handle-based form of Port.Send: the destination is resolved
+// through the handle table on every call. Code holding a Port endpoint
+// skips that lookup.
 //
 // Sender-side requirements (2) and (3) are checked immediately — they
 // depend only on the caller's own labels, so failing them leaks nothing.
@@ -168,13 +173,21 @@ func checkSendPrivs(ps, ds, dr *label.Label) error {
 // DR ⊑ pR — are evaluated when the receiver attempts delivery; a message
 // failing them is silently dropped. Send returning nil therefore does NOT
 // imply delivery (unreliable messaging, §4).
+func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
+	return p.sendVia(port, p.sys.lookup(port), data, opts)
+}
+
+// sendVia is the send path shared by Process.Send and Port.Send: the
+// destination's vnode has already been resolved (nil when the handle is
+// unknown).
 //
 // Concurrency: the sender's labels are snapshotted under its own lock, the
-// requirement checks run lock-free against the snapshot, and the enqueue is
-// a single CAS on the receiver's lock-free inbox. The receiver's mutex is
-// taken only to unpark it when the inbox transitions empty→non-empty; no
-// two process locks are ever held together (package lock-ordering rule 3).
-func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
+// requirement checks run lock-free against the snapshot, the destination's
+// routing state is one atomic load, and the enqueue is a single CAS on the
+// receiver's lock-free inbox. The receiver's mutex is taken only to unpark
+// it when the inbox transitions empty→non-empty; no two process locks are
+// ever held together (package lock-ordering rule 3).
+func (p *Process) sendVia(port handle.Handle, vn *vnode, data []byte, opts *SendOpts) error {
 	stop := p.sys.prof.Time(stats.CatKernelIPC)
 	defer stop()
 
@@ -187,24 +200,27 @@ func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
 		return err
 	}
 
-	q, _, _, ok := p.sys.portState(port)
-	if !ok || q == nil {
+	st, ok := vn.state()
+	if !ok || st == nil || st.owner == nil {
 		// Undeliverable, but send still "succeeds" (§4).
 		p.sys.drops.Add(1)
 		return nil
 	}
-	msg := &Message{
-		Port: port,
-		Data: append([]byte(nil), data...),
-		es:   ps.Lub(cs),
-		ds:   ds,
-		dr:   dr,
-		v:    v,
-	}
-	if !q.enqueue(msg, msg, 1) {
+	msg := getMsg()
+	msg.Port = port
+	msg.Data = append(msg.Data[:0], data...)
+	msg.es = ps.Lub(cs)
+	msg.ds = ds
+	msg.dr = dr
+	msg.v = v
+	msg.next = nil
+	if st.owner.admit(1) == 0 {
 		// Dead receiver or resource exhaustion (§4).
+		freeMsg(msg)
 		p.sys.drops.Add(1)
+		return nil
 	}
+	st.owner.publish(msg, msg)
 	return nil
 }
 
@@ -327,6 +343,7 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 			// Port dissociated or re-owned elsewhere: drop.
 			p.removePending(i)
 			p.sys.drops.Add(1)
+			freeMsg(m)
 			continue
 		}
 		if ownerEP != p.curID() || !matchFilter(m.Port, filter) {
@@ -338,19 +355,25 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 		p.removePending(i)
 		if !deliverable(m, *recvL, pr) {
 			p.sys.drops.Add(1)
+			freeMsg(m)
 			continue
 		}
 		applyEffects(m, sendL, recvL)
-		return &Delivery{Port: m.Port, Data: m.Data, V: m.v}
+		d := &Delivery{Port: m.Port, Data: m.Data, V: m.v}
+		releaseMsg(m)
+		return d
 	}
 	return nil
 }
 
-// Recv blocks until a message is deliverable to the current context on one
-// of the filtered ports (any port if no filter), applies the label effects,
-// and returns it. In the event-process realm, only the active event
-// process's ports are eligible; the base process must use Checkpoint.
-func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
+// RecvCtx blocks until a message is deliverable to the current context on
+// one of the filtered ports (any port if no filter), applies the label
+// effects, and returns it — or until ctx is cancelled or its deadline
+// passes, in which case it returns ctx's error. A message that is already
+// deliverable wins over an already-expired context. In the event-process
+// realm, only the active event process's ports are eligible; the base
+// process must use Checkpoint.
+func (p *Process) RecvCtx(ctx context.Context, filter ...handle.Handle) (*Delivery, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -369,10 +392,18 @@ func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
 		}
 		// Park. The last drain left the inbox empty (drain always swaps it
 		// to nil), so the next push observes the empty→non-empty transition
-		// and broadcasts under p.mu — which it cannot acquire until this
-		// Wait has released it. No wakeup can be lost.
-		p.cond.Wait()
+		// and signals under p.mu — which it cannot acquire until waitLocked
+		// has released it. No wakeup can be lost.
+		if err := p.waitLocked(ctx); err != nil {
+			return nil, err
+		}
 	}
+}
+
+// Recv is RecvCtx without cancellation: it blocks until a message is
+// deliverable or the process exits.
+func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
+	return p.RecvCtx(context.Background(), filter...)
 }
 
 // TryRecv is Recv without blocking: it returns nil if no message is

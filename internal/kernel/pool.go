@@ -1,0 +1,58 @@
+package kernel
+
+import "sync"
+
+// The Message freelist. Message structs are the nodes of every process's
+// MPSC inbox; before pooling, each send allocated one node plus one payload
+// copy — the largest remaining allocation on the IPC path once the
+// event-process scratch pages were pooled. Nodes are recycled through a
+// sync.Pool at the two points the kernel relinquishes ownership:
+//
+//   - a message the kernel drops (failed receiver-side checks, stale port
+//     ownership, queue overflow, process exit) is recycled together with
+//     its payload buffer, which the next send through the pool reuses for
+//     its defensive copy;
+//   - a message that is delivered hands its payload to the Delivery — the
+//     receiver owns those bytes from then on — so only the node itself is
+//     recycled.
+//
+// Label references are cleared in both cases: labels are immutable and
+// shared, and keeping them reachable from pooled nodes would pin them.
+
+// maxPooledPayload bounds the payload capacity a recycled node may retain,
+// so one huge message cannot pin a huge buffer in the pool.
+const maxPooledPayload = 64 << 10
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// getMsg returns a Message node whose Data slice, if non-nil, is empty with
+// reusable capacity. All other fields are garbage; the caller must assign
+// every one of them before publishing the node.
+func getMsg() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// releaseMsg recycles a delivered node. Its payload has escaped into a
+// Delivery and must not be reused.
+func releaseMsg(m *Message) {
+	m.Data = nil
+	scrubMsg(m)
+}
+
+// freeMsg recycles a dropped node, retaining its payload buffer for the
+// next send's copy.
+func freeMsg(m *Message) {
+	if cap(m.Data) > maxPooledPayload {
+		m.Data = nil
+	} else {
+		m.Data = m.Data[:0]
+	}
+	scrubMsg(m)
+}
+
+func scrubMsg(m *Message) {
+	m.Port = 0
+	m.es, m.ds, m.dr, m.v = nil, nil, nil, nil
+	m.next = nil
+	msgPool.Put(m)
+}

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,17 +34,28 @@ var (
 // list — messages drained from the inbox but not yet consumed because they
 // are filtered out, belong to a dormant event process, or failed no check
 // yet. mu guards pending and every other mutable field below it (labels,
-// event-process table, liveness); cond, on mu, wakes blocked Recv/
-// Checkpoint calls when the inbox goes empty→non-empty. The address space
-// contents are, as in the seed, accessed only by the owning goroutine (plus
-// quiescent diagnostics); mu does not cover page data.
+// event-process table, liveness, the waiter set). Blocked receivers park on
+// per-call waiter channels rather than a condition variable, so a wait can
+// also be ended by a context.Context (Recv deadlines and cancellation, and
+// Select across several processes' ports). The address space contents are,
+// as in the seed, accessed only by the owning goroutine (plus quiescent
+// diagnostics); mu does not cover page data.
 type Process struct {
 	sys  *System
 	id   ProcID
 	name string
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+
+	// waiters is the set of parked receivers (Recv, Checkpoint, Select):
+	// one buffered channel per waiter, signalled — never closed — on the
+	// inbox's empty→non-empty transition and on Exit. A Select waiting on
+	// several processes registers the same channel with each. The set is a
+	// small slice — almost always zero or one entry, so registration and
+	// the wake fan-out stay a few word writes. wcache is a one-slot free
+	// list for the common single-receiver case. Guarded by mu.
+	waiters []chan struct{}
+	wcache  chan struct{}
 
 	// Base-context labels. Once the process enters the event-process realm
 	// these are frozen as the template for new event processes.
@@ -68,6 +80,92 @@ type Process struct {
 	nextEP  uint32
 }
 
+// wakeAll signals every parked receiver. Caller holds p.mu; the channels
+// are buffered one deep, so a signal to a waiter that is between its scan
+// and its park is retained rather than lost (see waitLocked).
+func (p *Process) wakeAll() {
+	for _, w := range p.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// addWaiter registers a parked receiver's wake channel; caller holds p.mu.
+func (p *Process) addWaiter(w chan struct{}) {
+	p.waiters = append(p.waiters, w)
+}
+
+// removeWaiter deregisters a wake channel; caller holds p.mu. Order is not
+// preserved — wakeAll signals everyone anyway.
+func (p *Process) removeWaiter(w chan struct{}) {
+	for i, x := range p.waiters {
+		if x == w {
+			last := len(p.waiters) - 1
+			p.waiters[i] = p.waiters[last]
+			p.waiters[last] = nil
+			p.waiters = p.waiters[:last]
+			return
+		}
+	}
+}
+
+// getWaiter returns a fresh or cached wake channel with no pending signal.
+// Caller holds p.mu.
+func (p *Process) getWaiter() chan struct{} {
+	if w := p.wcache; w != nil {
+		p.wcache = nil
+		return w
+	}
+	return make(chan struct{}, 1)
+}
+
+// putWaiter retires a wake channel into the one-slot cache, discarding any
+// stale signal so a later park cannot wake spuriously on it. Caller holds
+// p.mu.
+func (p *Process) putWaiter(w chan struct{}) {
+	select {
+	case <-w:
+	default:
+	}
+	if p.wcache == nil {
+		p.wcache = w
+	}
+}
+
+// waitLocked parks the caller until a sender publishes into the empty
+// inbox, the process exits, or ctx is done — the only case it reports an
+// error. Caller holds p.mu; the lock is released while parked and held
+// again on return.
+//
+// No wakeup can be lost: the waiter is registered before the lock is
+// dropped, and a sender observing the empty→non-empty transition signals
+// under p.mu, which it cannot take until this caller parks. A signal sent
+// while the caller is still between scan and park is retained by the
+// channel's buffer.
+func (p *Process) waitLocked(ctx context.Context) error {
+	w := p.getWaiter()
+	p.addWaiter(w)
+	p.mu.Unlock()
+	var err error
+	if done := ctx.Done(); done == nil {
+		// No cancellation possible: a plain channel receive parks much
+		// cheaper than a two-case select.
+		<-w
+	} else {
+		select {
+		case <-w:
+		case <-done:
+			err = ctx.Err()
+		}
+	}
+	p.mu.Lock()
+	p.removeWaiter(w)
+	p.putWaiter(w)
+	return err
+}
+
 // ID returns the process identifier.
 func (p *Process) ID() ProcID { return p.id }
 
@@ -90,9 +188,17 @@ func (p *Process) drainInbox() {
 }
 
 // removePending deletes pending[i], keeping order, and releases its slot in
-// the queue-limit accounting. Caller holds p.mu.
+// the queue-limit accounting. Deleting the head — the overwhelmingly common
+// case, since receivers consume in arrival order — is O(1): the slice just
+// advances over a nil'd slot, so burst drains of a deep queue stay linear
+// instead of quadratic. Caller holds p.mu.
 func (p *Process) removePending(i int) {
-	p.pending = append(p.pending[:i], p.pending[i+1:]...)
+	if i == 0 {
+		p.pending[0] = nil
+		p.pending = p.pending[1:]
+	} else {
+		p.pending = append(p.pending[:i], p.pending[i+1:]...)
+	}
 	p.queued.Add(-1)
 }
 
@@ -157,12 +263,25 @@ func (p *Process) NewHandle() handle.Handle {
 	return vn.h
 }
 
-// NewPort creates a port with the given initial port label. As in Figure 4,
-// the kernel then sets pR(p) ← 0, so no other process can send to the port
-// until the creator grants access, and gives the creating context
-// P_S(p) = ⋆ and receive rights. A nil initial label means {3} (no
-// restriction beyond the process receive label).
-func (p *Process) NewPort(initial *label.Label) handle.Handle {
+// Open creates a port with the given initial port label and returns the
+// process's endpoint to it. As in Figure 4, the kernel then sets
+// pR(p) ← 0, so no other process can send to the port until the creator
+// grants access, and gives the creating context P_S(p) = ⋆ and receive
+// rights. A nil initial label means {3} (no restriction beyond the process
+// receive label).
+//
+// The returned Port carries the port's vnode, so sends and receive-side
+// scans through it skip the handle-table lookup entirely.
+func (p *Process) Open(initial *label.Label) *Port {
+	vn := p.openPort(initial)
+	pt := &Port{p: p, h: vn.h}
+	pt.vn.Store(vn)
+	return pt
+}
+
+// openPort creates the port and returns its vnode; Open wraps it in an
+// endpoint, NewPort strips it to the bare handle.
+func (p *Process) openPort(initial *label.Label) *vnode {
 	if initial == nil {
 		initial = label.Empty(label.L3)
 	}
@@ -171,59 +290,80 @@ func (p *Process) NewPort(initial *label.Label) handle.Handle {
 	// Build the vnode fully before publishing it, so no one can observe a
 	// half-initialized port.
 	vn := &vnode{h: p.sys.alloc.NewIn(p.allocShard()), isPort: true}
+	st := portState{owner: p}
 	if initial.Len() == 0 {
 		// The common case ({def} with no explicit entries) builds the
 		// interned one-entry label instead of a fresh chunk per port.
-		vn.portLabel = label.Single(initial.Default(), vn.h, label.L0)
+		st.label = label.Single(initial.Default(), vn.h, label.L0)
 	} else {
-		vn.portLabel = initial.With(vn.h, label.L0)
+		st.label = initial.With(vn.h, label.L0)
 	}
-	vn.owner = p
 	if p.cur != nil {
-		vn.ownerEP = p.cur.id
+		st.ownerEP = p.cur.id
 		p.cur.ports[vn.h] = true
 	}
+	vn.st.Store(&st)
 	sh := p.sys.shard(vn.h)
 	sh.mu.Lock()
 	sh.m[vn.h] = vn
 	sh.mu.Unlock()
 	s, _ := p.ctxLabels()
 	*s = (*s).With(vn.h, label.Star)
-	return vn.h
+	return vn
 }
 
-// withOwnedPort runs f on the vnode of a port the current context owns,
-// holding p.mu and the vnode's shard write lock. It reports ErrNotOwner
-// when the handle is not a port owned by this context.
-func (p *Process) withOwnedPort(port handle.Handle, f func(vn *vnode)) error {
+// NewPort is the v1, handle-based form of Open, kept for the seed API.
+//
+// Deprecated: use Open, which returns a Port endpoint with the cached
+// fast path and context-aware receives.
+func (p *Process) NewPort(initial *label.Label) handle.Handle {
+	return p.openPort(initial).h
+}
+
+// withOwnedPort replaces the routing state of a port the current context
+// owns with f's result, serialized under p.mu and the vnode's shard write
+// lock. It reports ErrNotOwner when the handle is not a port owned by this
+// context.
+func (p *Process) withOwnedPort(port handle.Handle, f func(st portState) portState) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	sh := p.sys.shard(port)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	vn := sh.m[port]
-	if vn == nil || !vn.isPort || vn.owner != p || vn.ownerEP != p.curID() {
+	vn := p.sys.lookup(port)
+	if vn == nil || !vn.isPort {
 		return ErrNotOwner
 	}
-	f(vn)
-	return nil
+	err := ErrNotOwner
+	p.sys.updatePort(vn, func(st portState) portState {
+		if st.owner != p || st.ownerEP != p.curID() {
+			return st
+		}
+		err = nil
+		return f(st)
+	})
+	return err
 }
 
 // SetPortLabel replaces a port's label. Only the context holding receive
 // rights may do so; no label privilege is required (port labels are purely
-// discretionary, §5.5). Unlike NewPort, it does not modify its input, so a
+// discretionary, §5.5). Unlike Open, it does not modify its input, so a
 // process can deliberately open a port to everyone by setting {3}.
 func (p *Process) SetPortLabel(port handle.Handle, l *label.Label) error {
 	if l == nil {
 		return ErrBadLabel
 	}
-	return p.withOwnedPort(port, func(vn *vnode) { vn.portLabel = l })
+	return p.withOwnedPort(port, func(st portState) portState {
+		st.label = l
+		return st
+	})
 }
 
 // PortLabel returns a port's current label; only the owner may inspect it.
 func (p *Process) PortLabel(port handle.Handle) (*label.Label, error) {
 	var out *label.Label
-	if err := p.withOwnedPort(port, func(vn *vnode) { out = vn.portLabel }); err != nil {
+	err := p.withOwnedPort(port, func(st portState) portState {
+		out = st.label
+		return st
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -232,12 +372,11 @@ func (p *Process) PortLabel(port handle.Handle) (*label.Label, error) {
 // Dissociate abandons receive rights for a port. Pending and future
 // messages to it are dropped.
 func (p *Process) Dissociate(port handle.Handle) error {
-	return p.withOwnedPort(port, func(vn *vnode) {
-		vn.owner = nil
-		vn.ownerEP = 0
+	return p.withOwnedPort(port, func(st portState) portState {
 		if p.cur != nil {
 			delete(p.cur.ports, port)
 		}
+		return portState{label: st.label}
 	})
 }
 
@@ -345,10 +484,13 @@ func (p *Process) Exit() {
 	p.drainInbox()
 	p.sys.drops.Add(uint64(len(p.pending)))
 	p.queued.Add(int64(-len(p.pending)))
+	for _, m := range p.pending {
+		freeMsg(m)
+	}
 	p.pending = nil
 	p.eps = make(map[uint32]*EventProcess)
 	p.cur = nil
-	p.cond.Broadcast()
+	p.wakeAll()
 	p.mu.Unlock()
 
 	// Sends racing with exit either observe the stale ownership (and are

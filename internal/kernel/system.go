@@ -25,20 +25,27 @@
 // ways, and the message path itself is lock-free:
 //
 //   - Each Process has its own mutex guarding that process's labels,
-//     event-process table, liveness bit and the consumer-side pending list;
-//     its condition variable wakes blocked Recv/Checkpoint calls. The
-//     incoming message queue is NOT under this mutex: it is an intrusive
-//     lock-free MPSC mailbox (mpsc.go) that senders push into with an
-//     atomic CAS — one CAS per SendBatch, however many messages — and the
-//     owner drains with one atomic swap. The receiver parks on the cond var
-//     only after draining the mailbox empty, and a sender broadcasts only
+//     event-process table, liveness bit, the consumer-side pending list and
+//     the set of parked receivers. Blocked Recv/RecvCtx/Checkpoint/Select
+//     calls park on buffered per-waiter channels (see Process.waitLocked),
+//     which is what lets a wait also end on a context.Context — deadline,
+//     cancellation, service shutdown — or span several processes (Select).
+//     The incoming message queue is NOT under this mutex: it is an
+//     intrusive lock-free MPSC mailbox (mpsc.go) that senders push into
+//     with an atomic CAS — one CAS per SendBatch, however many messages —
+//     and the owner drains with one atomic swap. The receiver parks only
+//     after draining the mailbox empty, and a sender signals waiters only
 //     on the empty→non-empty transition, so steady-state traffic to a busy
 //     receiver takes no locks at all on the enqueue side.
-//   - The vnode table is sharded vnodeShards ways by handle hash; each shard
-//     has an RWMutex guarding its map and the fields of every vnode in it
-//     (port label, owner, owning event process). The handle allocator is
-//     sharded the same 64 ways (internal/handle), one lock-free counter per
-//     shard, selected by creating process.
+//   - The vnode table is sharded vnodeShards ways by handle hash; each
+//     shard has an RWMutex guarding its map and serializing updates to the
+//     vnodes in it. A vnode's routing state (port label, owner, owning
+//     event process) is an immutable snapshot behind an atomic pointer:
+//     readers — every send, every receive-side scan — just Load it, and a
+//     Port endpoint that has cached the vnode touches neither the shard
+//     lock nor the map. The handle allocator is sharded the same 64 ways
+//     (internal/handle), one lock-free counter per shard, selected by
+//     creating process.
 //   - The process registry and environment table have their own mutexes, and
 //     hot-path counters (drops, queue occupancy, label-cache hits) use
 //     lock-free striped or atomic counters from internal/stats.
@@ -82,6 +89,7 @@ package kernel
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"asbestos/internal/handle"
 	"asbestos/internal/label"
@@ -135,21 +143,46 @@ type System struct {
 }
 
 // vnodeShard is one slice of the handle table: a map plus the lock guarding
-// both the map and the mutable fields of every vnode in it.
+// the map itself and serializing read-modify-write updates of the vnodes in
+// it. Reads of a vnode's routing state do not need the lock (see vnode).
 type vnodeShard struct {
 	mu sync.RWMutex
 	m  map[handle.Handle]*vnode
 }
 
 // vnode is the kernel structure behind every active handle (paper §5.6).
-// For port handles it carries the port label and receive rights. All fields
-// after h are guarded by the owning shard's lock; h is immutable.
+// For port handles, st points at an immutable snapshot of the routing
+// state; h and isPort are set before publication and never change. Writers
+// (port creation, SetPortLabel, Dissociate, process/event-process exit)
+// build a fresh portState and store it while holding the owning shard's
+// write lock, which serializes updates; readers — every send and every
+// receive-side scan — just Load, so once a sender holds a *vnode (a Port
+// endpoint caches one), the message fast path touches no lock and no map.
+//
+// Vnodes are never removed from the shard maps (handles are unique since
+// boot and never reused), which is what makes the cached pointer safe to
+// hold forever.
 type vnode struct {
-	h         handle.Handle
-	isPort    bool
-	portLabel *label.Label
-	owner     *Process // receive rights; nil when dissociated or not a port
-	ownerEP   uint32   // owning event process id, 0 = the base process
+	h      handle.Handle
+	isPort bool
+	st     atomic.Pointer[portState]
+}
+
+// portState is one immutable snapshot of a port's routing fields. A
+// dissociated or exited port keeps a state with a nil owner.
+type portState struct {
+	owner   *Process // receive rights; nil when dissociated
+	ownerEP uint32   // owning event process id, 0 = the base process
+	label   *label.Label
+}
+
+// state returns the port's current routing snapshot, or ok=false for
+// non-port handles. Lock-free.
+func (vn *vnode) state() (*portState, bool) {
+	if vn == nil || !vn.isPort {
+		return nil, false
+	}
+	return vn.st.Load(), true
 }
 
 // shard returns the shard responsible for h. Handles are outputs of a keyed
@@ -213,7 +246,6 @@ func (s *System) newProcess(name string, sendL, recvL *label.Label) *Process {
 		space: newSpace(),
 		eps:   make(map[uint32]*EventProcess),
 	}
-	p.cond = sync.NewCond(&p.mu)
 	s.procMu.Lock()
 	s.next++
 	p.id = s.next
@@ -264,21 +296,40 @@ func (s *System) vnodeFor(allocShard uint32, isPort bool) *vnode {
 	return vn
 }
 
-// portState snapshots the routing fields of a port's vnode: the current
-// owner, owning event process and port label. ok is false when the handle
-// is unknown or not a port. Safe to call with a process lock held (ordering
-// rule 2); never holds the shard lock beyond the copy.
-func (s *System) portState(h handle.Handle) (owner *Process, ownerEP uint32, pr *label.Label, ok bool) {
+// lookup finds the vnode behind h, or nil. The returned pointer is stable
+// for the lifetime of the system (vnodes are never deleted), so callers may
+// cache it.
+func (s *System) lookup(h handle.Handle) *vnode {
 	sh := s.shard(h)
 	sh.mu.RLock()
 	vn := sh.m[h]
-	if vn == nil || !vn.isPort {
-		sh.mu.RUnlock()
+	sh.mu.RUnlock()
+	return vn
+}
+
+// portState snapshots the routing fields of a port's vnode: the current
+// owner, owning event process and port label. ok is false when the handle
+// is unknown or not a port. Safe to call with a process lock held (ordering
+// rule 2); the shard lock covers only the map lookup — the state itself is
+// an atomic load of an immutable snapshot.
+func (s *System) portState(h handle.Handle) (owner *Process, ownerEP uint32, pr *label.Label, ok bool) {
+	st, ok := s.lookup(h).state()
+	if !ok || st == nil {
 		return nil, 0, nil, false
 	}
-	owner, ownerEP, pr = vn.owner, vn.ownerEP, vn.portLabel
-	sh.mu.RUnlock()
-	return owner, ownerEP, pr, true
+	return st.owner, st.ownerEP, st.label, true
+}
+
+// updatePort applies f to a port's routing snapshot and publishes the
+// result, serialized by the shard write lock. f receives the current state
+// (never nil for a port) and returns the replacement.
+func (s *System) updatePort(vn *vnode, f func(st portState) portState) {
+	sh := s.shard(vn.h)
+	sh.mu.Lock()
+	cur := vn.st.Load()
+	next := f(*cur)
+	vn.st.Store(&next)
+	sh.mu.Unlock()
 }
 
 // disownAll clears receive rights for every port owned by p (process
@@ -288,9 +339,9 @@ func (s *System) disownAll(p *Process) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, vn := range sh.m {
-			if vn.owner == p {
-				vn.owner = nil
-				vn.ownerEP = 0
+			if st, ok := vn.state(); ok && st != nil && st.owner == p {
+				next := portState{label: st.label}
+				vn.st.Store(&next)
 			}
 		}
 		sh.mu.Unlock()
@@ -327,7 +378,9 @@ func (s *System) MemStats() stats.MemReport {
 		sh.mu.RLock()
 		for _, vn := range sh.m {
 			r.KernelBytes += handle.VnodeBytes
-			note(vn.portLabel)
+			if st, ok := vn.state(); ok && st != nil {
+				note(st.label)
+			}
 		}
 		sh.mu.RUnlock()
 	}

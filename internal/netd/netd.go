@@ -1,6 +1,8 @@
 package netd
 
 import (
+	"context"
+
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
@@ -19,8 +21,14 @@ type Netd struct {
 	proc *kernel.Process
 	nw   *Network
 
-	servicePort handle.Handle
-	driverPort  handle.Handle
+	servicePort *kernel.Port
+	driverPort  *kernel.Port
+	mbox        *kernel.Mailbox // every port netd owns, ctx-aware
+
+	// ctx is the service's lifecycle: Run returns when it is cancelled,
+	// which is how Stop shuts the loop down (no Exit-unblocking tricks).
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	conns     map[uint64]*sconn
 	byPort    map[handle.Handle]*sconn
@@ -38,11 +46,11 @@ type Netd struct {
 // dispatch before flushing.
 const netdBurst = 64
 
-// sconn is netd's per-connection state: the wrapped port, the optional
-// taint handle, and reads awaiting data.
+// sconn is netd's per-connection state: the wrapped port endpoint, the
+// optional taint handle, and reads awaiting data.
 type sconn struct {
 	c       *Conn
-	port    handle.Handle
+	port    *kernel.Port
 	lport   uint16
 	taint   handle.Handle
 	pending []pendingRead
@@ -65,44 +73,48 @@ type pendingRead struct {
 // port under EnvName.
 func New(sys *kernel.System) *Netd {
 	proc := sys.NewProcess("netd")
-	svc := proc.NewPort(nil)
-	if err := proc.SetPortLabel(svc, label.Empty(label.L3)); err != nil {
+	svc := proc.Open(nil)
+	if err := svc.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
-	driver := proc.NewPort(nil)
+	driver := proc.Open(nil)
 
 	// The driver process models the interrupt path: it is the only process
 	// allowed to send to the driver port.
 	drv := sys.NewProcess("netdrv")
-	boot := drv.NewPort(nil)
-	if err := drv.SetPortLabel(boot, label.Empty(label.L3)); err != nil {
+	boot := drv.Open(nil)
+	if err := boot.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
-	if err := proc.Send(boot, nil, &kernel.SendOpts{DecontSend: kernel.Grant(driver)}); err != nil {
+	if err := proc.Port(boot.Handle()).Send(nil, &kernel.SendOpts{DecontSend: kernel.Grant(driver.Handle())}); err != nil {
 		panic(err)
 	}
 	if d, err := drv.TryRecv(); err != nil || d == nil {
 		panic("netd: driver bootstrap failed")
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
 	nd := &Netd{
 		sys:         sys,
 		proc:        proc,
 		servicePort: svc,
 		driverPort:  driver,
+		mbox:        proc.Mailbox(),
+		ctx:         ctx,
+		cancel:      cancel,
 		conns:       make(map[uint64]*sconn),
 		byPort:      make(map[handle.Handle]*sconn),
 		listeners:   make(map[uint16]handle.Handle),
 		out:         kernel.NewBatcher(proc),
 	}
 	nd.nw = &Network{
-		conns:      make(map[uint64]*Conn),
-		listening:  make(map[uint16]bool),
-		external:   make(map[uint16]*ExternalListener),
-		drv:        drv,
-		driverPort: driver,
+		conns:     make(map[uint64]*Conn),
+		listening: make(map[uint16]bool),
+		external:  make(map[uint16]*ExternalListener),
+		drv:       drv,
+		driver:    drv.Port(driver.Handle()),
 	}
-	sys.SetEnv(EnvName, svc)
+	sys.SetEnv(EnvName, svc.Handle())
 	return nd
 }
 
@@ -110,45 +122,50 @@ func New(sys *kernel.System) *Netd {
 func (nd *Netd) Network() *Network { return nd.nw }
 
 // ServicePort returns netd's request port.
-func (nd *Netd) ServicePort() handle.Handle { return nd.servicePort }
+func (nd *Netd) ServicePort() handle.Handle { return nd.servicePort.Handle() }
 
 // Process returns the netd kernel process (for label inspection in tests
 // and experiments — e.g. Figure 9 tracks its receive-label growth).
 func (nd *Netd) Process() *kernel.Process { return nd.proc }
 
-// Run is netd's event loop; it returns when the process is killed via
-// Stop. Deliveries are dispatched in bursts so the reply traffic they
-// generate — read replies, write acks, new-connection notifications —
-// coalesces into one SendBatch per destination.
+// Run is netd's event loop; it returns when the service's context is
+// cancelled via Stop (or the process is killed). Deliveries are dispatched
+// in bursts so the reply traffic they generate — read replies, write acks,
+// new-connection notifications — coalesces into one SendBatch per
+// destination.
 func (nd *Netd) Run() {
 	prof := nd.sys.Profiler()
 	for {
-		d, err := nd.proc.Recv()
+		d, err := nd.mbox.Recv(nd.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatNetwork)
 		nd.dispatch(d)
-		for i := 1; i < netdBurst; i++ {
-			d, err := nd.proc.TryRecv()
-			if err != nil || d == nil {
+		n := 1
+		for d := range nd.mbox.Drain() {
+			nd.dispatch(d)
+			if n++; n >= netdBurst {
 				break
 			}
-			nd.dispatch(d)
 		}
 		nd.out.Flush()
 		stop()
 	}
 }
 
-// Stop kills the netd process, terminating Run.
-func (nd *Netd) Stop() { nd.proc.Exit() }
+// Stop shuts netd down: it cancels the lifecycle context, which returns
+// Run, and then releases the process's kernel state.
+func (nd *Netd) Stop() {
+	nd.cancel()
+	nd.proc.Exit()
+}
 
 func (nd *Netd) dispatch(d *kernel.Delivery) {
 	switch d.Port {
-	case nd.servicePort:
+	case nd.servicePort.Handle():
 		nd.handleService(d)
-	case nd.driverPort:
+	case nd.driverPort.Handle():
 		nd.handleDriver(d)
 	default:
 		if sc := nd.byPort[d.Port]; sc != nil {
@@ -180,8 +197,8 @@ func (nd *Netd) handleService(d *kernel.Delivery) {
 			return
 		}
 		sc := nd.newSconn(c, lport)
-		msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port).Done()
-		nd.out.Add(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
+		msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port.Handle()).Done()
+		nd.out.Add(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
 		nd.out.DropAfter(reply)
 	}
 }
@@ -190,10 +207,10 @@ func (nd *Netd) handleService(d *kernel.Delivery) {
 // as {uC 0, 2}: nobody but netd can send to it until access is granted
 // (Figure 5 step 1).
 func (nd *Netd) newSconn(c *Conn, lport uint16) *sconn {
-	port := nd.proc.NewPort(label.Empty(label.L2))
+	port := nd.proc.Open(label.Empty(label.L2))
 	sc := &sconn{c: c, port: port, lport: lport}
 	nd.conns[c.id] = sc
-	nd.byPort[port] = sc
+	nd.byPort[port.Handle()] = sc
 	return sc
 }
 
@@ -214,8 +231,8 @@ func (nd *Netd) handleDriver(d *kernel.Delivery) {
 		sc := nd.newSconn(c, lport)
 		// Figure 5 step 2: notify the listener, granting uC at ⋆. A burst
 		// of new connections reaches the demux as one batch.
-		msg := wire.NewWriter(OpNewConnNotify).Handle(sc.port).U16(lport).Done()
-		nd.out.Add(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port)})
+		msg := wire.NewWriter(OpNewConnNotify).Handle(sc.port.Handle()).U16(lport).Done()
+		nd.out.Add(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
 	case evData, evClosed:
 		id := r.U64()
 		if r.Err() {
@@ -269,10 +286,10 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 			// to release that capability when the connection is ... closed",
 			// §9.3). The per-user taint ⋆ is retained for future
 			// connections.
-			nd.proc.Dissociate(sc.port)
-			nd.proc.DropPrivilege(sc.port, label.L1)
+			sc.port.Dissociate()
+			nd.proc.DropPrivilege(sc.port.Handle(), label.L1)
 			delete(nd.conns, sc.c.id)
-			delete(nd.byPort, sc.port)
+			delete(nd.byPort, sc.port.Handle())
 		}
 	case opSelect:
 		reply := r.Handle()
@@ -297,9 +314,9 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 			return
 		}
 		pl := label.New(label.L2,
-			label.Entry{H: sc.port, L: label.L0},
+			label.Entry{H: sc.port.Handle(), L: label.L0},
 			label.Entry{H: taint, L: label.L3})
-		nd.proc.SetPortLabel(sc.port, pl)
+		sc.port.SetLabel(pl)
 		nd.reply(sc, reply, wire.NewWriter(OpAddTaintReply).Byte(1).Done())
 	}
 }

@@ -32,7 +32,7 @@ func newRig(t *testing.T) *rig {
 	if !ok {
 		t.Fatal("netd service port not published")
 	}
-	if err := Listen(app, svc, 80, notify); err != nil {
+	if err := Listen(app.Port(svc), 80, notify); err != nil {
 		t.Fatal(err)
 	}
 	return &rig{sys: sys, nd: nd, app: app, notify: notify}
@@ -93,7 +93,7 @@ func TestAcceptReadWrite(t *testing.T) {
 		c.Write([]byte("GET / HTTP/1.0\r\n\r\n"))
 	}()
 	reply := r.replyPort(r.app)
-	if err := Read(r.app, connPort, reply, 4096); err != nil {
+	if err := Read(r.app.Port(connPort), reply, 4096); err != nil {
 		t.Fatal(err)
 	}
 	d, err := r.app.Recv(reply)
@@ -106,7 +106,7 @@ func TestAcceptReadWrite(t *testing.T) {
 	}
 
 	// App WRITEs; remote reads.
-	if err := Write(r.app, connPort, reply, []byte("200 OK")); err != nil {
+	if err := Write(r.app.Port(connPort), reply, []byte("200 OK")); err != nil {
 		t.Fatal(err)
 	}
 	d, _ = r.app.Recv(reply)
@@ -125,7 +125,7 @@ func TestReadBlocksUntilData(t *testing.T) {
 	c, connPort := r.accept(t)
 	reply := r.replyPort(r.app)
 	// Issue the READ before any data exists.
-	if err := Read(r.app, connPort, reply, 100); err != nil {
+	if err := Read(r.app.Port(connPort), reply, 100); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan string, 1)
@@ -154,7 +154,7 @@ func TestRemoteCloseGivesEOF(t *testing.T) {
 	c, connPort := r.accept(t)
 	c.Close()
 	reply := r.replyPort(r.app)
-	Read(r.app, connPort, reply, 100)
+	Read(r.app.Port(connPort), reply, 100)
 	d, _ := r.app.Recv(reply)
 	rr, ok := ParseReadReply(d)
 	if !ok || !rr.EOF {
@@ -166,9 +166,9 @@ func TestAppCloseGivesRemoteEOF(t *testing.T) {
 	r := newRig(t)
 	c, connPort := r.accept(t)
 	reply := r.replyPort(r.app)
-	Write(r.app, connPort, reply, []byte("bye"))
+	Write(r.app.Port(connPort), reply, []byte("bye"))
 	r.app.Recv(reply)
-	Control(r.app, connPort, reply, CtlClose)
+	Control(r.app.Port(connPort), reply, CtlClose)
 	d, _ := r.app.Recv(reply)
 	op := d.Data[0]
 	if op != OpControlReply {
@@ -193,7 +193,7 @@ func TestSelectReportsBuffers(t *testing.T) {
 	reply := r.replyPort(r.app)
 	deadline := time.Now().Add(time.Second)
 	for {
-		Select(r.app, connPort, reply)
+		Select(r.app.Port(connPort), reply)
 		d, _ := r.app.Recv(reply)
 		_, rr := splitSelect(t, d.Data)
 		if rr == 5 {
@@ -230,7 +230,7 @@ func TestTaintedConnectionFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	reply := r.replyPort(r.app)
-	if err := AddTaint(r.app, connPort, reply, uT); err != nil {
+	if err := AddTaint(r.app.Port(connPort), reply, uT); err != nil {
 		t.Fatal(err)
 	}
 	// The AddTaint reply itself is tainted; the app must be able to
@@ -264,7 +264,7 @@ func TestTaintedConnectionFlow(t *testing.T) {
 	if d, _ := worker.TryRecv(); d == nil {
 		t.Fatal("handoff dropped")
 	}
-	if err := Write(worker, connPort, wReply, []byte("for u")); err != nil {
+	if err := Write(worker.Port(connPort), wReply, []byte("for u")); err != nil {
 		t.Fatal(err)
 	}
 	d2, err := worker.Recv(wReply)
@@ -287,7 +287,7 @@ func TestTaintedConnectionFlow(t *testing.T) {
 	evil.ContaminateSelf(kernel.Taint(label.L3, uT, vT))
 	eReply := evil.NewPort(nil)
 	before := r.sys.Drops()
-	Write(evil, connPort, eReply, []byte("stolen"))
+	Write(evil.Port(connPort), eReply, []byte("stolen"))
 	if r.sys.Drops() <= before {
 		// The message may still be queued; poke netd with a no-op and
 		// verify nothing reached the remote.
@@ -313,7 +313,7 @@ func TestOutgoingConnect(t *testing.T) {
 	ext := r.nd.Network().ListenExternal(443)
 	reply := r.replyPort(r.app)
 	svc, _ := r.sys.Env(EnvName)
-	if err := Connect(r.app, svc, 443, reply); err != nil {
+	if err := Connect(r.app.Port(svc), 443, reply); err != nil {
 		t.Fatal(err)
 	}
 	remote := ext.Accept()
@@ -325,7 +325,7 @@ func TestOutgoingConnect(t *testing.T) {
 	if !ok {
 		t.Fatalf("connect reply: % x", d.Data)
 	}
-	if err := Write(r.app, connPort, reply, []byte("hi out")); err != nil {
+	if err := Write(r.app.Port(connPort), reply, []byte("hi out")); err != nil {
 		t.Fatal(err)
 	}
 	r.app.Recv(reply)
@@ -340,7 +340,7 @@ func TestConnectRefusedWithoutExternalListener(t *testing.T) {
 	r := newRig(t)
 	reply := r.replyPort(r.app)
 	svc, _ := r.sys.Env(EnvName)
-	Connect(r.app, svc, 12345, reply)
+	Connect(r.app.Port(svc), 12345, reply)
 	d, err := r.app.Recv(reply)
 	if err != nil {
 		t.Fatal(err)
@@ -370,7 +370,7 @@ func TestWindowBackpressure(t *testing.T) {
 	reply := r.replyPort(r.app)
 	drained := 0
 	for drained < len(payload) {
-		Read(r.app, connPort, reply, 64*1024)
+		Read(r.app.Port(connPort), reply, 64*1024)
 		d, err := r.app.Recv(reply)
 		if err != nil {
 			t.Fatal(err)
@@ -401,7 +401,7 @@ func TestMultipleConnections(t *testing.T) {
 	}
 	seen := make(map[handle.Handle]byte)
 	for i := 0; i < n; i++ {
-		Read(r.app, ports[i], reply, 10)
+		Read(r.app.Port(ports[i]), reply, 10)
 		d, err := r.app.Recv(reply)
 		if err != nil {
 			t.Fatal(err)

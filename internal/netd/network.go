@@ -5,7 +5,6 @@ import (
 	"io"
 	"sync"
 
-	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/wire"
 )
@@ -32,8 +31,8 @@ type Network struct {
 	listening map[uint16]bool
 	external  map[uint16]*ExternalListener
 
-	drv        *kernel.Process
-	driverPort handle.Handle
+	drv    *kernel.Process
+	driver *kernel.Port // netd's driver port, as the driver process's cached send endpoint
 }
 
 // Dial opens a connection from the simulated remote host to an Asbestos
@@ -65,7 +64,7 @@ func (nw *Network) ListenExternal(lport uint16) *ExternalListener {
 // event injects a driver event into the kernel on behalf of the interrupt
 // path.
 func (nw *Network) event(msg []byte) {
-	nw.drv.Send(nw.driverPort, msg, nil)
+	nw.driver.Send(msg, nil)
 }
 
 // markListening is called by netd when it processes a Listen request.

@@ -57,44 +57,50 @@ const (
 	OpConnectReply  = 36 // ok byte, conn port handle (granted ⋆)
 )
 
+// The client helpers below take the destination as a *kernel.Port — an
+// endpoint of the calling process, usually cached so repeated requests on
+// one connection reuse the resolved route. Reply ports travel as raw
+// handles: they are wire payload for netd, not a destination the caller
+// sends to here.
+
 // Listen asks netd to deliver new-connection notifications for lport to
 // notify. The message grants netd ⋆ for the notify port so it can send
 // there.
-func Listen(p *kernel.Process, netdPort handle.Handle, lport uint16, notify handle.Handle) error {
+func Listen(netdPort *kernel.Port, lport uint16, notify handle.Handle) error {
 	msg := wire.NewWriter(opListen).U16(lport).Handle(notify).Done()
-	return p.Send(netdPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(notify)})
+	return netdPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(notify)})
 }
 
 // Connect asks netd to open an outgoing connection to lport on the
 // simulated network; the reply (OpConnectReply) grants a connection port.
-func Connect(p *kernel.Process, netdPort handle.Handle, lport uint16, reply handle.Handle) error {
+func Connect(netdPort *kernel.Port, lport uint16, reply handle.Handle) error {
 	msg := wire.NewWriter(opConnect).U16(lport).Handle(reply).Done()
-	return p.Send(netdPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return netdPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // Read requests up to maxLen bytes from a connection; netd replies on reply
 // with OpReadReply (blocking server-side until data or EOF).
-func Read(p *kernel.Process, connPort handle.Handle, reply handle.Handle, maxLen int) error {
+func Read(conn *kernel.Port, reply handle.Handle, maxLen int) error {
 	msg := wire.NewWriter(opRead).Handle(reply).U32(uint32(maxLen)).Done()
-	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return conn.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // Write sends data out on a connection; netd replies with OpWriteReply.
-func Write(p *kernel.Process, connPort handle.Handle, reply handle.Handle, data []byte) error {
+func Write(conn *kernel.Port, reply handle.Handle, data []byte) error {
 	msg := wire.NewWriter(opWrite).Handle(reply).Bytes(data).Done()
-	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return conn.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // Control issues a control command (CtlClose) on a connection.
-func Control(p *kernel.Process, connPort handle.Handle, reply handle.Handle, cmd byte) error {
+func Control(conn *kernel.Port, reply handle.Handle, cmd byte) error {
 	msg := wire.NewWriter(opControl).Handle(reply).Byte(cmd).Done()
-	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return conn.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // Select asks for the connection's buffer availability.
-func Select(p *kernel.Process, connPort handle.Handle, reply handle.Handle) error {
+func Select(conn *kernel.Port, reply handle.Handle) error {
 	msg := wire.NewWriter(opSelect).Handle(reply).Done()
-	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+	return conn.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
 // AddTaint attaches a taint handle to a connection (paper §7.7): netd will
@@ -102,9 +108,9 @@ func Select(p *kernel.Process, connPort handle.Handle, reply handle.Handle) erro
 // raise the connection port's label so tainted writers can reach it. The
 // message grants netd ⋆ for the taint handle (Figure 5 step 5: "ok-demux
 // grants uT ⋆ to netd").
-func AddTaint(p *kernel.Process, connPort handle.Handle, reply handle.Handle, taint handle.Handle) error {
+func AddTaint(conn *kernel.Port, reply handle.Handle, taint handle.Handle) error {
 	msg := wire.NewWriter(opAddTaint).Handle(reply).Handle(taint).Done()
-	return p.Send(connPort, msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply, taint)})
+	return conn.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply, taint)})
 }
 
 // NewConnNotification is a parsed OpNewConnNotify.

@@ -1,6 +1,8 @@
 package okws
 
 import (
+	"context"
+
 	"asbestos/internal/handle"
 	"asbestos/internal/httpmsg"
 	"asbestos/internal/idd"
@@ -20,13 +22,18 @@ type Demux struct {
 	sys  *kernel.System
 	proc *kernel.Process
 
-	notifyPort  handle.Handle // new connections from netd
-	regPort     handle.Handle // worker registration
-	sessionPort handle.Handle // session-port registration from worker EPs
-	loginReply  handle.Handle // replies from idd
+	notifyPort  *kernel.Port // new connections from netd
+	regPort     *kernel.Port // worker registration
+	sessionPort *kernel.Port // session-port registration from worker EPs
+	loginReply  *kernel.Port // replies from idd
+	mbox        *kernel.Mailbox
 
-	netdSvc  handle.Handle
-	iddLogin handle.Handle
+	netdSvc  *kernel.Port // netd's service port, route cached
+	iddLogin *kernel.Port // idd's login port, route cached
+
+	// ctx is the service lifecycle: Run returns when Stop cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// verif holds the launcher-issued verification handles per worker name
 	// (one per replica); registration messages must prove one of them at
@@ -64,8 +71,10 @@ type sessionKey struct {
 }
 
 // dconn is per-connection demux state while the request headers are read.
+// uC is the connection port as a cached endpoint: the demux's repeated
+// reads and the taint exchange reuse the resolved route.
 type dconn struct {
-	uC    handle.Handle
+	uC    *kernel.Port
 	reply handle.Handle
 	buf   []byte
 	raw   []byte // the parsed request's wire bytes, forwarded on handoff
@@ -79,14 +88,15 @@ type dconn struct {
 func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
 	proc := sys.NewProcess("ok-demux")
 	open := label.Empty(label.L3)
-	notify := proc.NewPort(nil)
-	proc.SetPortLabel(notify, open)
-	reg := proc.NewPort(nil)
-	proc.SetPortLabel(reg, open)
-	sess := proc.NewPort(nil)
-	proc.SetPortLabel(sess, open)
-	loginReply := proc.NewPort(nil)
+	notify := proc.Open(nil)
+	notify.SetLabel(open)
+	reg := proc.Open(nil)
+	reg.SetLabel(open)
+	sess := proc.Open(nil)
+	sess.SetLabel(open)
+	loginReply := proc.Open(nil)
 
+	ctx, cancel := context.WithCancel(context.Background())
 	d := &Demux{
 		sys:          sys,
 		proc:         proc,
@@ -94,8 +104,11 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
 		regPort:      reg,
 		sessionPort:  sess,
 		loginReply:   loginReply,
-		netdSvc:      netdSvc,
-		iddLogin:     iddLogin,
+		mbox:         proc.Mailbox(),
+		netdSvc:      proc.Port(netdSvc),
+		iddLogin:     proc.Port(iddLogin),
+		ctx:          ctx,
+		cancel:       cancel,
 		verif:        make(map[string][]handle.Handle),
 		declassifier: make(map[string]bool),
 		workers:      make(map[string][]handle.Handle),
@@ -105,8 +118,8 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
 		idCache:      make(map[string]idd.Identity),
 		out:          kernel.NewBatcher(proc),
 	}
-	sys.SetEnv(EnvDemuxReg, reg)
-	sys.SetEnv(EnvDemuxSession, sess)
+	sys.SetEnv(EnvDemuxReg, reg.Handle())
+	sys.SetEnv(EnvDemuxSession, sess.Handle())
 	return d
 }
 
@@ -115,7 +128,7 @@ func (dm *Demux) Process() *kernel.Process { return dm.proc }
 
 // listen registers with netd for HTTP connections on lport.
 func (dm *Demux) listen(lport uint16) error {
-	return netd.Listen(dm.proc, dm.netdSvc, lport, dm.notifyPort)
+	return netd.Listen(dm.netdSvc, lport, dm.notifyPort.Handle())
 }
 
 // expectWorker tells the demux a worker named name will register, proving
@@ -142,34 +155,37 @@ func (dm *Demux) registeredWorkers() int {
 func (dm *Demux) Run() {
 	prof := dm.sys.Profiler()
 	for {
-		d, err := dm.proc.Recv()
+		d, err := dm.mbox.Recv(dm.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatOKWS)
 		dm.dispatch(d)
-		for i := 1; i < demuxBurst; i++ {
-			d, err := dm.proc.TryRecv()
-			if err != nil || d == nil {
+		n := 1
+		for d := range dm.mbox.Drain() {
+			dm.dispatch(d)
+			if n++; n >= demuxBurst {
 				break
 			}
-			dm.dispatch(d)
 		}
 		dm.out.Flush()
 		stop()
 	}
 }
 
-// Stop kills the demux process.
-func (dm *Demux) Stop() { dm.proc.Exit() }
+// Stop shuts the demux down: context first (ends Run), then kernel state.
+func (dm *Demux) Stop() {
+	dm.cancel()
+	dm.proc.Exit()
+}
 
 func (dm *Demux) dispatch(d *kernel.Delivery) {
 	switch d.Port {
-	case dm.notifyPort:
+	case dm.notifyPort.Handle():
 		dm.handleNotify(d)
-	case dm.regPort:
+	case dm.regPort.Handle():
 		dm.handleRegister(d)
-	case dm.sessionPort:
+	case dm.sessionPort.Handle():
 		dm.handleSession(d)
 	default:
 		if cs := dm.conns[d.Port]; cs != nil {
@@ -231,9 +247,9 @@ func (dm *Demux) handleNotify(d *kernel.Delivery) {
 		return
 	}
 	reply := dm.proc.NewPort(nil)
-	cs := &dconn{uC: n.ConnPort, reply: reply}
+	cs := &dconn{uC: dm.proc.Port(n.ConnPort), reply: reply}
 	dm.conns[reply] = cs
-	netd.Read(dm.proc, cs.uC, reply, 4096)
+	netd.Read(cs.uC, reply, 4096)
 }
 
 // handleConnReply advances a connection's state machine: reading headers,
@@ -253,7 +269,7 @@ func (dm *Demux) handleConnReply(cs *dconn, d *kernel.Delivery) {
 			case rr.EOF:
 				dm.drop(cs)
 			default:
-				netd.Read(dm.proc, cs.uC, cs.reply, 4096)
+				netd.Read(cs.uC, cs.reply, 4096)
 			}
 		}
 		return
@@ -289,13 +305,13 @@ func (dm *Demux) authenticate(cs *dconn) {
 	// About to block: release any coalesced handoffs first so earlier
 	// connections in this burst keep making progress.
 	dm.out.Flush()
-	if err := idd.Login(dm.proc, dm.iddLogin, user, pass, dm.loginReply); err != nil {
+	if err := idd.Login(dm.iddLogin, user, pass, dm.loginReply.Handle()); err != nil {
 		dm.fail(cs, 500)
 		return
 	}
 	// idd is trusted and never calls back into the demux, so a synchronous
-	// wait cannot deadlock.
-	d, err := dm.proc.Recv(dm.loginReply)
+	// wait cannot deadlock; the service context bounds it across shutdown.
+	d, err := dm.loginReply.Recv(dm.ctx)
 	if err != nil {
 		return
 	}
@@ -310,7 +326,7 @@ func (dm *Demux) authenticate(cs *dconn) {
 }
 
 func (dm *Demux) taint(cs *dconn) {
-	netd.AddTaint(dm.proc, cs.uC, cs.reply, cs.id.UT)
+	netd.AddTaint(cs.uC, cs.reply, cs.id.UT)
 	// Handoff continues when the AddTaint acknowledgment arrives.
 }
 
@@ -334,8 +350,8 @@ func (dm *Demux) handoff(cs *dconn) {
 	user, _, _ := cs.req.User()
 	if port, ok := dm.sessions[sessionKey{user, service}]; ok {
 		// Existing session: forward straight to the event process W[u].
-		dm.out.Add(port, encodeCont(cont{Conn: cs.uC, Buf: raw}),
-			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC)})
+		dm.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), Buf: raw}),
+			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
 		return
 	}
 	// Fresh user: deal to the next replica. The counter advances only on
@@ -343,19 +359,19 @@ func (dm *Demux) handoff(cs *dconn) {
 	base := replicas[dm.rr[service]%uint64(len(replicas))]
 	dm.rr[service]++
 	opts := &kernel.SendOpts{
-		DecontSend: kernel.Grant(cs.uC, cs.id.UG),
+		DecontSend: kernel.Grant(cs.uC.Handle(), cs.id.UG),
 		DecontRecv: kernel.AllowRecv(label.L3, cs.id.UT),
 	}
 	if dm.declassifier[service] {
 		// §7.6: declassifiers get uT ⋆ instead of contamination.
-		opts.DecontSend = kernel.Grant(cs.uC, cs.id.UG, cs.id.UT)
+		opts.DecontSend = kernel.Grant(cs.uC.Handle(), cs.id.UG, cs.id.UT)
 	} else {
 		opts.Contaminate = kernel.Taint(label.L3, cs.id.UT)
 	}
 	msg := encodeStart(start{
 		User: user,
 		UID:  cs.id.UID,
-		Conn: cs.uC,
+		Conn: cs.uC.Handle(),
 		UT:   cs.id.UT,
 		UG:   cs.id.UG,
 		Buf:  raw,
@@ -369,7 +385,7 @@ func (dm *Demux) handoff(cs *dconn) {
 // still holds uC ⋆.
 func (dm *Demux) release(cs *dconn) {
 	dm.proc.Dissociate(cs.reply)
-	dm.out.DropAfter(cs.uC)
+	dm.out.DropAfter(cs.uC.Handle())
 	dm.out.DropAfter(cs.reply)
 	delete(dm.conns, cs.reply)
 }
@@ -377,8 +393,8 @@ func (dm *Demux) release(cs *dconn) {
 // fail writes an HTTP error and closes the connection (pre-handoff).
 func (dm *Demux) fail(cs *dconn, status int) {
 	body := httpmsg.FormatResponse(status, nil, nil)
-	netd.Write(dm.proc, cs.uC, cs.reply, body)
-	netd.Control(dm.proc, cs.uC, cs.reply, netd.CtlClose)
+	netd.Write(cs.uC, cs.reply, body)
+	netd.Control(cs.uC, cs.reply, netd.CtlClose)
 	// Torn down when the control reply arrives (handleConnReply).
 }
 
@@ -386,8 +402,8 @@ func (dm *Demux) fail(cs *dconn, status int) {
 func (dm *Demux) failDirect(cs *dconn, status int) {
 	reply := dm.proc.NewPort(nil)
 	body := httpmsg.FormatResponse(status, nil, nil)
-	netd.Write(dm.proc, cs.uC, reply, body)
-	netd.Control(dm.proc, cs.uC, reply, netd.CtlClose)
+	netd.Write(cs.uC, reply, body)
+	netd.Control(cs.uC, reply, netd.CtlClose)
 	dm.proc.Dissociate(reply)
 	dm.proc.DropPrivilege(reply, label.L1)
 }
@@ -395,7 +411,7 @@ func (dm *Demux) failDirect(cs *dconn, status int) {
 func (dm *Demux) drop(cs *dconn) {
 	dm.proc.Dissociate(cs.reply)
 	dm.proc.DropPrivilege(cs.reply, label.L1)
-	dm.proc.DropPrivilege(cs.uC, label.L1)
+	dm.proc.DropPrivilege(cs.uC.Handle(), label.L1)
 	delete(dm.conns, cs.reply)
 }
 

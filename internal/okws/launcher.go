@@ -1,6 +1,7 @@
 package okws
 
 import (
+	"context"
 	"fmt"
 
 	"asbestos/internal/db"
@@ -110,25 +111,25 @@ func Launch(cfg Config) (*Server, error) {
 			w.declassifier = svc.Declassifier
 			w.keepSessions = !svc.EphemeralSessions
 			w.debugNoClean = svc.NoClean
-			w.demuxSess = demuxSess
-			w.proxyPort = proxyPort
+			w.demuxSess = w.proc.Port(demuxSess)
+			w.proxyPort = w.proc.Port(proxyPort)
 
 			// §7.1: the launcher grants a process-specific verification
 			// handle to each worker it starts and tells ok-demux its value.
 			verif := s.launcher.NewHandle()
-			boot := w.proc.NewPort(nil)
-			w.proc.SetPortLabel(boot, label.Empty(label.L3))
-			if err := s.launcher.Send(boot, nil, &kernel.SendOpts{
+			boot := w.proc.Open(nil)
+			boot.SetLabel(label.Empty(label.L3))
+			if err := s.launcher.Send(boot.Handle(), nil, &kernel.SendOpts{
 				DecontSend: label.New(label.L3, label.Entry{H: verif, L: label.L0}),
 			}); err != nil {
 				return nil, fmt.Errorf("okws: verification grant for %q: %w", svc.Name, err)
 			}
-			if d, err := w.proc.TryRecv(boot); err != nil || d == nil {
+			if d, err := boot.TryRecv(); err != nil || d == nil {
 				return nil, fmt.Errorf("okws: worker %q bootstrap failed", svc.Name)
 			}
-			w.proc.Dissociate(boot)
+			boot.Dissociate()
 			demux.expectWorker(svc.Name, verif, svc.Declassifier)
-			if err := w.register(demux.regPort, verif); err != nil {
+			if err := w.register(demux.regPort.Handle(), verif); err != nil {
 				return nil, fmt.Errorf("okws: register %q: %w", svc.Name, err)
 			}
 			s.workers = append(s.workers, w)
@@ -165,13 +166,13 @@ func Launch(cfg Config) (*Server, error) {
 
 // AddUser provisions an account in the password database.
 func (s *Server) AddUser(user, pass, uid string) error {
-	reply := s.launcher.NewPort(nil)
-	defer s.launcher.Dissociate(reply)
+	reply := s.launcher.Open(nil)
+	defer reply.Dissociate()
 	adminPort, _ := s.Sys.Env(idd.EnvAdminPort)
-	if err := idd.AddUser(s.launcher, adminPort, user, pass, uid, reply); err != nil {
+	if err := idd.AddUser(s.launcher.Port(adminPort), user, pass, uid, reply.Handle()); err != nil {
 		return err
 	}
-	d, err := s.launcher.Recv(reply)
+	d, err := reply.Recv(context.Background())
 	if err != nil {
 		return err
 	}

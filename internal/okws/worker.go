@@ -1,6 +1,7 @@
 package okws
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -41,9 +42,14 @@ type Worker struct {
 	name    string
 	handler Handler
 
-	basePort  handle.Handle
-	demuxSess handle.Handle
-	proxyPort handle.Handle
+	basePort  *kernel.Port
+	demuxSess *kernel.Port // demux session port, route cached
+	proxyPort *kernel.Port // ok-dbproxy worker port, route cached
+
+	// ctx is the worker lifecycle: Run returns when Stop cancels it, and
+	// every blocking receive inside a request honors it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	declassifier bool
 	keepSessions bool
@@ -57,14 +63,17 @@ type Worker struct {
 // demux (proving the verification handle) before Run is called.
 func newWorker(sys *kernel.System, name string, h Handler) *Worker {
 	proc := sys.NewProcess("worker-" + name)
-	base := proc.NewPort(nil)
-	proc.SetPortLabel(base, label.Empty(label.L3))
+	base := proc.Open(nil)
+	base.SetLabel(label.Empty(label.L3))
+	ctx, cancel := context.WithCancel(context.Background())
 	w := &Worker{
 		sys:          sys,
 		proc:         proc,
 		name:         name,
 		handler:      h,
 		basePort:     base,
+		ctx:          ctx,
+		cancel:       cancel,
 		keepSessions: true,
 	}
 	return w
@@ -77,17 +86,18 @@ func (w *Worker) Process() *kernel.Process { return w.proc }
 // verification label carries the launcher-issued handle at level 0.
 func (w *Worker) register(regPort, verif handle.Handle) error {
 	v := label.New(label.L3, label.Entry{H: verif, L: label.L0})
-	return w.proc.Send(regPort, encodeRegister(w.name, w.basePort), &kernel.SendOpts{
+	return w.proc.Send(regPort, encodeRegister(w.name, w.basePort.Handle()), &kernel.SendOpts{
 		Verify:     v,
-		DecontSend: kernel.Grant(w.basePort),
+		DecontSend: kernel.Grant(w.basePort.Handle()),
 	})
 }
 
-// Run is the worker's event loop: one event process per user session.
+// Run is the worker's event loop: one event process per user session. It
+// returns when Stop cancels the worker's context.
 func (w *Worker) Run() {
 	prof := w.sys.Profiler()
 	for {
-		d, ep, err := w.proc.Checkpoint()
+		d, ep, err := w.proc.CheckpointCtx(w.ctx)
 		if err != nil {
 			return
 		}
@@ -97,8 +107,12 @@ func (w *Worker) Run() {
 	}
 }
 
-// Stop kills the worker process.
-func (w *Worker) Stop() { w.proc.Exit() }
+// Stop shuts the worker down: context first (ends Run and any in-request
+// wait), then kernel state.
+func (w *Worker) Stop() {
+	w.cancel()
+	w.proc.Exit()
+}
 
 // session state persisted in event-process memory.
 type sessState struct {
@@ -131,7 +145,7 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 			// connections come straight to this event process (§7.3).
 			// Ephemeral workers skip this: their event processes exit
 			// after each request, so routing to uW would dead-end.
-			w.proc.Send(w.demuxSess, encodeSession(s.User, w.name, uW),
+			w.demuxSess.Send(encodeSession(s.User, w.name, uW),
 				&kernel.SendOpts{DecontSend: kernel.Grant(uW)})
 		}
 		buf = s.Buf
@@ -154,7 +168,10 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 
 // handleRequest reads the full request (step 8), runs the handler, writes
 // the response, closes the connection, and yields or exits.
-func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, conn handle.Handle, buf []byte) {
+func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, connH handle.Handle, buf []byte) {
+	// One endpoint per request: the write, close and any continuation reads
+	// below share the resolved route.
+	conn := w.proc.Port(connH)
 	req, reqRaw := w.readRequest(st, conn, buf)
 	if req == nil {
 		w.finish(ep, st)
@@ -184,20 +201,20 @@ func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, conn hand
 	ep.Memory().ReadAt(ScratchAddr+8*mem.PageSize, ctr[:])
 	ctr[7]++
 	ep.Memory().WriteAt(ScratchAddr+8*mem.PageSize, ctr[:])
-	netd.Write(w.proc, conn, st.reply, raw)
+	netd.Write(conn, st.reply, raw)
 	w.await(netd.OpWriteReply, st.reply)
-	netd.Control(w.proc, conn, st.reply, netd.CtlClose)
+	netd.Control(conn, st.reply, netd.CtlClose)
 	w.await(netd.OpControlReply, st.reply)
 	// Release the per-connection capability so event-process labels do not
 	// accumulate one stale uC ⋆ entry per connection.
-	w.proc.DropPrivilege(conn, label.L1)
+	w.proc.DropPrivilege(conn.Handle(), label.L1)
 	w.finish(ep, st)
 }
 
 // readRequest assembles the HTTP request, reading more from netd if the
 // demux's buffered bytes are incomplete. It returns the parsed request and
 // its wire bytes.
-func (w *Worker) readRequest(st *sessState, conn handle.Handle, buf []byte) (*httpmsg.Request, []byte) {
+func (w *Worker) readRequest(st *sessState, conn *kernel.Port, buf []byte) (*httpmsg.Request, []byte) {
 	for {
 		req, n, complete, err := httpmsg.ParseRequest(buf)
 		if err != nil {
@@ -206,10 +223,10 @@ func (w *Worker) readRequest(st *sessState, conn handle.Handle, buf []byte) (*ht
 		if complete {
 			return req, buf[:n]
 		}
-		if err := netd.Read(w.proc, conn, st.reply, 4096); err != nil {
+		if err := netd.Read(conn, st.reply, 4096); err != nil {
 			return nil, nil
 		}
-		d, err := w.proc.Recv(st.reply)
+		d, err := w.proc.RecvCtx(w.ctx, st.reply)
 		if err != nil {
 			return nil, nil
 		}
@@ -221,10 +238,11 @@ func (w *Worker) readRequest(st *sessState, conn handle.Handle, buf []byte) (*ht
 	}
 }
 
-// await discards deliveries on port until one with the given op arrives.
+// await discards deliveries on port until one with the given op arrives,
+// giving up when the worker shuts down.
 func (w *Worker) await(op byte, port handle.Handle) *kernel.Delivery {
 	for {
-		d, err := w.proc.Recv(port)
+		d, err := w.proc.RecvCtx(w.ctx, port)
 		if err != nil {
 			return nil
 		}
@@ -382,7 +400,7 @@ func (c *Ctx) Declassify(sql string, args ...string) ([][]string, error) {
 
 func (c *Ctx) dbExec(sql string, args []string, declassify bool) ([][]string, error) {
 	var v *label.Label
-	var send func(*kernel.Process, handle.Handle, string, string, []string, handle.Handle, *label.Label) error
+	var send func(*kernel.Port, string, string, []string, handle.Handle, *label.Label) error
 	if declassify {
 		v = dbproxy.VerifyDeclassify(c.UT)
 		send = dbproxy.Declassify
@@ -390,12 +408,12 @@ func (c *Ctx) dbExec(sql string, args []string, declassify bool) ([][]string, er
 		v = dbproxy.VerifyFor(c.UT, c.UG)
 		send = dbproxy.Query
 	}
-	if err := send(c.w.proc, c.w.proxyPort, c.User, sql, args, c.st.reply, v); err != nil {
+	if err := send(c.w.proxyPort, c.User, sql, args, c.st.reply, v); err != nil {
 		return nil, err
 	}
 	var rows [][]string
 	for {
-		d, err := c.w.proc.Recv(c.st.reply)
+		d, err := c.w.proc.RecvCtx(c.w.ctx, c.st.reply)
 		if err != nil {
 			return nil, err
 		}

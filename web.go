@@ -1,0 +1,76 @@
+package asbestos
+
+// The userspace-server surface of the facade: the OK Web server stack
+// (§7), the labeled file server (§5.2–5.4), HTTP message types, and the
+// simulated network that load generators dial into.
+
+import (
+	"asbestos/internal/fs"
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/netd"
+	"asbestos/internal/okws"
+	"asbestos/internal/workload"
+)
+
+// WebServer is a running OKWS stack (§7).
+type WebServer = okws.Server
+
+// WebService describes one OKWS worker.
+type WebService = okws.Service
+
+// WebConfig configures LaunchWeb.
+type WebConfig = okws.Config
+
+// WebHandler is a worker's application logic; WebCtx its per-request
+// context.
+type (
+	WebHandler = okws.Handler
+	WebCtx     = okws.Ctx
+)
+
+// Request and Response are the HTTP messages handlers consume and produce.
+type (
+	Request  = httpmsg.Request
+	Response = httpmsg.Response
+)
+
+// Network is the simulated wire remote peers dial into (WebServer.Network).
+type Network = netd.Network
+
+// LaunchWeb boots the full OKWS stack of Figure 1.
+var LaunchWeb = okws.Launch
+
+// HTTPGet issues one authenticated GET over the simulated network — the
+// load-generator primitive of the evaluation.
+var HTTPGet = workload.Get
+
+// FileServer is the labeled multi-user file server of §5.2–§5.4;
+// FileIdentity a registered principal's (uT, uG) pair.
+type (
+	FileServer   = fs.Server
+	FileIdentity = fs.Identity
+)
+
+// NewFileServer boots a file server and publishes its port.
+var NewFileServer = fs.New
+
+// File-server client calls. Destinations are Port endpoints of the calling
+// process (bind the published handle with Process.Port).
+var (
+	FileRegister = fs.Register
+	FileCreate   = fs.Create
+	FileWrite    = fs.Write
+	FileRead     = fs.Read
+	FileList     = fs.List
+)
+
+// Parsers for file-server replies.
+var (
+	ParseFileReadReply  = fs.ParseReadReply
+	ParseFileWriteReply = fs.ParseWriteReply
+	ParseFileListReply  = fs.ParseListReply
+)
+
+// FileServerEnv is the environment key under which the file server
+// publishes its request port.
+const FileServerEnv = fs.EnvName
