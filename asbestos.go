@@ -30,8 +30,9 @@
 // Batching (Port.SendBatch, Batcher) enqueues N messages with one syscall,
 // one label check per distinct options value and one queue CAS.
 //
-// The v1 handle-based calls — Process.NewPort, Process.Send, Process.Recv
-// — remain as thin shims over the endpoint layer for existing code.
+// Port endpoints are the only IPC surface: the v1 handle-based shims
+// (Process.NewPort/Send/Recv/SendBatch) are gone. Create owned ports with
+// Process.Open, bind wire-carried handles with Process.Port.
 //
 // # Layout
 //

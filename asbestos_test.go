@@ -14,9 +14,9 @@ func TestFacadeLabelFlow(t *testing.T) {
 	secret := owner.NewHandle()
 
 	recv := sys.NewProcess("recv")
-	port := recv.NewPort(nil)
+	port := recv.Open(nil).Handle()
 	recv.SetPortLabel(port, EmptyLabel(L3))
-	if err := owner.Send(port, []byte("x"), &SendOpts{
+	if err := owner.Port(port).Send([]byte("x"), &SendOpts{
 		Contaminate: Taint(L3, secret),
 		DecontRecv:  AllowRecv(L3, secret),
 	}); err != nil {
@@ -31,9 +31,9 @@ func TestFacadeLabelFlow(t *testing.T) {
 	}
 
 	out := sys.NewProcess("outsider")
-	oPort := out.NewPort(nil)
+	oPort := out.Open(nil).Handle()
 	out.SetPortLabel(oPort, EmptyLabel(L3))
-	recv.Send(oPort, []byte("leak"), nil)
+	recv.Port(oPort).Send([]byte("leak"), nil)
 	if d, _ := out.TryRecv(); d != nil {
 		t.Fatal("confinement failed through the facade")
 	}

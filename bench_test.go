@@ -77,53 +77,67 @@ func BenchmarkFig7Throughput(b *testing.B) {
 // BenchmarkFig7ThroughputParallel is the multicore companion to
 // BenchmarkFig7Throughput: the echo service is replicated across one worker
 // process per available core (round-robin user sharding, sessions pinned),
-// and b.RunParallel drives one client per core against the sharded kernel.
-// Compare its conns/sec metric against the single-goroutine benchmark; on
-// ≥4 cores the sharded kernel should deliver well over 1.5× the serial
-// figure, since syscalls from distinct processes no longer serialize on a
-// global monitor lock.
+// and b.RunParallel drives one client per core. The shards sub-dimension
+// compares the trusted services (ok-demux, netd, ok-dbproxy) as one event
+// loop each (shards=1, the paper's architecture) against one loop per core
+// (shards=N) — the headline shards=1 vs N number in BENCH_pr4.json. On ≥4
+// cores the fully sharded stack should deliver well over 1.5× the serial
+// figure, since neither the kernel monitor nor any single trusted event
+// loop serializes the request stream.
 func BenchmarkFig7ThroughputParallel(b *testing.B) {
 	workers := runtime.GOMAXPROCS(0)
-	echo := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
-		n := 11
-		fmt.Sscanf(req.Query["n"], "%d", &n)
-		return &httpmsg.Response{Status: 200, Body: make([]byte, n)}
+	shardCounts := []int{1, workers}
+	if workers == 1 {
+		// One core: still exercise the sharded configuration (2 loops) so
+		// the comparison exists everywhere.
+		shardCounts = []int{1, 2}
 	}
-	srv, err := okws.Launch(okws.Config{
-		Seed:     42,
-		Services: []okws.Service{{Name: "echo", Handler: echo, Replicas: workers}},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer srv.Stop()
-	// One user per client goroutine (plus slack) so concurrent requests
-	// never contend for the same session's event process.
-	users := make([]struct{ user, pass string }, 4*workers)
-	for i := range users {
-		users[i].user = fmt.Sprintf("pu%04d", i)
-		users[i].pass = fmt.Sprintf("pp%04d", i)
-		if err := srv.AddUser(users[i].user, users[i].pass, fmt.Sprintf("%d", 20000+i)); err != nil {
-			b.Fatal(err)
-		}
-	}
-	var nextUser, failures atomic.Uint64
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		u := users[int(nextUser.Add(1))%len(users)]
-		for pb.Next() {
-			resp, err := workload.Get(srv.Network(), 80, u.user, u.pass, "/echo?n=11")
-			if err != nil || resp.Status != 200 {
-				failures.Add(1)
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			echo := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
+				n := 11
+				fmt.Sscanf(req.Query["n"], "%d", &n)
+				return &httpmsg.Response{Status: 200, Body: make([]byte, n)}
 			}
-		}
-	})
-	b.StopTimer()
-	if n := failures.Load(); n > 0 {
-		b.Fatalf("%d failed connections", n)
+			srv, err := okws.Launch(okws.Config{
+				Seed:     42,
+				Shards:   shards,
+				Services: []okws.Service{{Name: "echo", Handler: echo, Replicas: workers}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Stop()
+			// One user per client goroutine (plus slack) so concurrent
+			// requests never contend for the same session's event process.
+			users := make([]struct{ user, pass string }, 4*workers)
+			for i := range users {
+				users[i].user = fmt.Sprintf("pu%04d", i)
+				users[i].pass = fmt.Sprintf("pp%04d", i)
+				if err := srv.AddUser(users[i].user, users[i].pass, fmt.Sprintf("%d", 20000+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var nextUser, failures atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				u := users[int(nextUser.Add(1))%len(users)]
+				for pb.Next() {
+					resp, err := workload.Get(srv.Network(), 80, u.user, u.pass, "/echo?n=11")
+					if err != nil || resp.Status != 200 {
+						failures.Add(1)
+					}
+				}
+			})
+			b.StopTimer()
+			if n := failures.Load(); n > 0 {
+				b.Fatalf("%d failed connections", n)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "conns/sec")
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(float64(shards), "shards")
+		})
 	}
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "conns/sec")
-	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkSendBatch measures the amortization the batched-send syscall
@@ -138,7 +152,7 @@ func BenchmarkSendBatch(b *testing.B) {
 			const backlog = 1 << 14
 			sys := kernel.NewSystem(kernel.WithSeed(1), kernel.WithQueueLimit(backlog+64))
 			recv := sys.NewProcess("rx")
-			port := recv.NewPort(nil)
+			port := recv.Open(nil).Handle()
 			if err := recv.SetPortLabel(port, label.Empty(label.L3)); err != nil {
 				b.Fatal(err)
 			}
@@ -163,7 +177,7 @@ func BenchmarkSendBatch(b *testing.B) {
 			b.ResetTimer()
 			sent := 0
 			for i := 0; i < b.N; i += batch {
-				if err := sender.SendBatch(port, entries); err != nil {
+				if err := sender.Port(port).SendBatch(entries); err != nil {
 					b.Fatal(err)
 				}
 				sent += batch
@@ -223,7 +237,7 @@ func BenchmarkPortSend(b *testing.B) {
 				if cached {
 					err = out.Send(payload, nil)
 				} else {
-					err = sender.Send(inbox.Handle(), payload, nil)
+					err = sender.Port(inbox.Handle()).Send(payload, nil)
 				}
 				if err != nil {
 					b.Fatal(err)

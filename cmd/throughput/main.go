@@ -23,6 +23,8 @@ func main() {
 	baseConns := flag.Int("baseconns", 2000, "connections per baseline run")
 	workers := flag.Int("workers", 1,
 		"worker replicas per service; >1 adds a multicore sweep over the sharded kernel")
+	shards := flag.Int("shards", 0,
+		"event loops per trusted service (demux/netd/dbproxy) for the parallel sweep; 0 = workers")
 	flag.Parse()
 
 	counts, err := parseInts(*sessions)
@@ -38,8 +40,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "throughput:", err)
 		os.Exit(1)
 	}
-	if *workers > 1 {
-		prows, err := asbestos.Figure7OKWSParallel(counts, *workers)
+	if *workers > 1 || *shards > 1 {
+		n := *shards
+		if n == 0 {
+			n = *workers
+		}
+		prows, err := asbestos.Figure7OKWSSharded(counts, *workers, n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "throughput:", err)
 			os.Exit(1)

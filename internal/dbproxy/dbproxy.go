@@ -28,11 +28,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"asbestos/internal/db"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
+	"asbestos/internal/shard"
 	"asbestos/internal/stats"
 	"asbestos/internal/wire"
 )
@@ -78,86 +80,156 @@ type Mapping struct {
 	UG  handle.Handle
 }
 
-// Proxy is the ok-dbproxy process.
+// Proxy is ok-dbproxy: one or more replicated event loops ("shards") over a
+// shared database. Each shard is its own kernel process with its own worker
+// and admin ports; clients dispatch queries by user hash (ShardFor), so one
+// user's queries always land on the same replica, and idd broadcasts every
+// (user, uT, uG) binding to all shards — any shard may need any owner's
+// taint handle when labeling result rows.
 type Proxy struct {
-	sys  *kernel.System
+	sys *kernel.System
+	db  *db.DB
+
+	shards []*proxyShard
+
+	// ctx is the service lifecycle: Run returns when Stop cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// proxyShard is one replica: its own process, ports and mapping tables,
+// touched only by its own loop (no locking).
+type proxyShard struct {
+	p    *Proxy
 	proc *kernel.Process
-	db   *db.DB
 
 	workerPort *kernel.Port
 	adminPort  *kernel.Port
 	mbox       *kernel.Mailbox
 
-	// ctx is the service lifecycle: Run returns when Stop cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
-
 	byUser map[string]Mapping
 	byUID  map[string]Mapping
 }
 
-// New boots the proxy over an existing database. The admin port's label is
-// locked down ({p 0, 2}); GrantAdmin hands access to idd.
+// New boots a single-loop proxy over an existing database; NewSharded
+// replicates the loop. The admin ports' labels are locked down by
+// capability; GrantAdmin hands access to idd.
 func New(sys *kernel.System, database *db.DB) *Proxy {
-	proc := sys.NewProcess("ok-dbproxy")
-	worker := proc.Open(nil)
-	if err := worker.SetLabel(label.Empty(label.L3)); err != nil {
-		panic(err)
-	}
-	// The admin port is private by capability: {admin 0, 3}. The default
-	// must stay 3 (not 2) because idd's mapping pushes raise the proxy's
-	// receive label with DR = {uT 3}, and requirement 4 demands DR ⊑ pR.
-	admin := proc.Open(nil)
+	return NewSharded(sys, database, 1)
+}
+
+// NewSharded boots the proxy with n replicated event loops. The first
+// shard's ports are published under EnvWorkerPort/EnvAdminPort; WorkerPorts
+// exposes the full dispatch set.
+func NewSharded(sys *kernel.System, database *db.DB, n int) *Proxy {
+	n = shard.Clamp(n)
 	ctx, cancel := context.WithCancel(context.Background())
-	p := &Proxy{
-		sys:        sys,
-		proc:       proc,
-		db:         database,
-		workerPort: worker,
-		adminPort:  admin,
-		mbox:       proc.Mailbox(worker, admin),
-		ctx:        ctx,
-		cancel:     cancel,
-		byUser:     make(map[string]Mapping),
-		byUID:      make(map[string]Mapping),
+	p := &Proxy{sys: sys, db: database, ctx: ctx, cancel: cancel}
+	for i := 0; i < n; i++ {
+		name := "ok-dbproxy"
+		if n > 1 {
+			name = fmt.Sprintf("ok-dbproxy/%d", i)
+		}
+		proc := sys.NewProcess(name)
+		worker := proc.Open(nil)
+		if err := worker.SetLabel(label.Empty(label.L3)); err != nil {
+			panic(err)
+		}
+		// The admin port is private by capability: {admin 0, 3}. The default
+		// must stay 3 (not 2) because idd's mapping pushes raise the shard's
+		// receive label with DR = {uT 3}, and requirement 4 demands DR ⊑ pR.
+		admin := proc.Open(nil)
+		p.shards = append(p.shards, &proxyShard{
+			p:          p,
+			proc:       proc,
+			workerPort: worker,
+			adminPort:  admin,
+			mbox:       proc.Mailbox(worker, admin),
+			byUser:     make(map[string]Mapping),
+			byUID:      make(map[string]Mapping),
+		})
 	}
-	sys.SetEnv(EnvWorkerPort, worker.Handle())
-	sys.SetEnv(EnvAdminPort, admin.Handle())
+	sys.SetEnv(EnvWorkerPort, p.shards[0].workerPort.Handle())
+	sys.SetEnv(EnvAdminPort, p.shards[0].adminPort.Handle())
 	return p
 }
 
-// Process returns the proxy's kernel process (label inspection in tests and
-// the Figure 9 experiment).
-func (p *Proxy) Process() *kernel.Process { return p.proc }
+// Process returns the first shard's kernel process (label inspection in
+// tests and the Figure 9 experiment).
+func (p *Proxy) Process() *kernel.Process { return p.shards[0].proc }
 
-// WorkerPort returns the public query port.
-func (p *Proxy) WorkerPort() handle.Handle { return p.workerPort.Handle() }
+// ShardCount reports the number of replicated loops.
+func (p *Proxy) ShardCount() int { return len(p.shards) }
 
-// AdminPort returns the restricted admin port.
-func (p *Proxy) AdminPort() handle.Handle { return p.adminPort.Handle() }
+// WorkerPort returns the first shard's query port (single-loop callers).
+func (p *Proxy) WorkerPort() handle.Handle { return p.shards[0].workerPort.Handle() }
 
-// GrantAdmin gives a process the capability to send to the admin port (the
-// launcher calls this for idd). dst must be an open port of the grantee.
-func (p *Proxy) GrantAdmin(dst handle.Handle) error {
-	return p.proc.Send(dst, wire.NewWriter(OpAdmRes).Done(),
-		&kernel.SendOpts{DecontSend: kernel.Grant(p.adminPort.Handle())})
+// WorkerPorts returns every shard's query port, indexed by shard; clients
+// route user u's queries to WorkerPorts()[ShardFor(u, n)].
+func (p *Proxy) WorkerPorts() []handle.Handle {
+	out := make([]handle.Handle, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.workerPort.Handle()
+	}
+	return out
 }
 
-// Run is the proxy's event loop; it returns when Stop cancels the
+// AdminPort returns the first shard's restricted admin port.
+func (p *Proxy) AdminPort() handle.Handle { return p.shards[0].adminPort.Handle() }
+
+// AdminPorts returns every shard's admin port, indexed by shard.
+func (p *Proxy) AdminPorts() []handle.Handle {
+	out := make([]handle.Handle, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.adminPort.Handle()
+	}
+	return out
+}
+
+// ShardFor returns the shard index owning a user's queries among n shards.
+func ShardFor(user string, n int) int { return shard.Of(user, n) }
+
+// GrantAdmin gives a process the capability to send to every shard's admin
+// port (the launcher calls this for idd). dst must be an open port of the
+// grantee; one grant message arrives per shard.
+func (p *Proxy) GrantAdmin(dst handle.Handle) error {
+	for _, s := range p.shards {
+		err := s.proc.Port(dst).Send(wire.NewWriter(OpAdmRes).Done(),
+			&kernel.SendOpts{DecontSend: kernel.Grant(s.adminPort.Handle())})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run runs every shard's event loop; it returns when Stop cancels the
 // service's context.
 func (p *Proxy) Run() {
-	prof := p.sys.Profiler()
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		wg.Add(1)
+		go func(s *proxyShard) {
+			defer wg.Done()
+			s.run()
+		}(s)
+	}
+	wg.Wait()
+}
+
+func (s *proxyShard) run() {
+	prof := s.p.sys.Profiler()
 	for {
-		d, err := p.mbox.Recv(p.ctx)
+		d, err := s.mbox.Recv(s.p.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatOKDB)
 		switch d.Port {
-		case p.workerPort.Handle():
-			p.handleWorker(d)
-		case p.adminPort.Handle():
-			p.handleAdmin(d)
+		case s.workerPort.Handle():
+			s.handleWorker(d)
+		case s.adminPort.Handle():
+			s.handleAdmin(d)
 		}
 		stop()
 	}
@@ -166,10 +238,12 @@ func (p *Proxy) Run() {
 // Stop shuts the proxy down: context first (ends Run), then kernel state.
 func (p *Proxy) Stop() {
 	p.cancel()
-	p.proc.Exit()
+	for _, s := range p.shards {
+		s.proc.Exit()
+	}
 }
 
-func (p *Proxy) handleAdmin(d *kernel.Delivery) {
+func (s *proxyShard) handleAdmin(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	switch op {
 	case OpAdminExec:
@@ -183,9 +257,9 @@ func (p *Proxy) handleAdmin(d *kernel.Delivery) {
 		if r.Err() {
 			return
 		}
-		res, err := p.db.Exec(sql, args...)
+		res, err := s.p.db.Exec(sql, args...)
 		if err != nil {
-			p.proc.Send(reply, errMsg(err), nil)
+			s.send(reply, errMsg(err), nil)
 			return
 		}
 		w := wire.NewWriter(OpAdmRes).U32(uint32(len(res.Cols))).U32(uint32(len(res.Rows)))
@@ -198,20 +272,20 @@ func (p *Proxy) handleAdmin(d *kernel.Delivery) {
 			}
 		}
 		w.U32(uint32(res.Affected))
-		p.proc.Send(reply, w.Done(), nil)
-		p.proc.DropPrivilege(reply, label.L1)
+		s.send(reply, w.Done(), nil)
+		s.proc.DropPrivilege(reply, label.L1)
 	case OpMapping:
 		user := r.String()
 		m := Mapping{UID: r.String(), UT: r.Handle(), UG: r.Handle()}
 		if r.Err() {
 			return
 		}
-		p.byUser[user] = m
-		p.byUID[m.UID] = m
+		s.byUser[user] = m
+		s.byUID[m.UID] = m
 	}
 }
 
-func (p *Proxy) handleWorker(d *kernel.Delivery) {
+func (s *proxyShard) handleWorker(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	if op != OpQuery && op != OpDeclassify {
 		return
@@ -228,11 +302,11 @@ func (p *Proxy) handleWorker(d *kernel.Delivery) {
 		return
 	}
 	// The reply capability lives for this request only.
-	defer p.proc.DropPrivilege(reply, label.L1)
+	defer s.proc.DropPrivilege(reply, label.L1)
 
-	m, ok := p.byUser[user]
+	m, ok := s.byUser[user]
 	if !ok {
-		p.proc.Send(reply, errMsg(fmt.Errorf("dbproxy: unknown user %q", user)), nil)
+		s.send(reply, errMsg(fmt.Errorf("dbproxy: unknown user %q", user)), nil)
 		return
 	}
 
@@ -242,7 +316,7 @@ func (p *Proxy) handleWorker(d *kernel.Delivery) {
 	// level).
 	if op == OpDeclassify {
 		if d.V.Get(m.UT) != label.Star {
-			p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: declassify requires uT ⋆")))
+			s.reply(m, reply, errMsg(fmt.Errorf("dbproxy: declassify requires uT ⋆")))
 			return
 		}
 	} else {
@@ -250,18 +324,18 @@ func (p *Proxy) handleWorker(d *kernel.Delivery) {
 			label.Entry{H: m.UT, L: label.L3},
 			label.Entry{H: m.UG, L: label.L0})
 		if !d.V.Leq(bound) {
-			p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: verify label rejected")))
+			s.reply(m, reply, errMsg(fmt.Errorf("dbproxy: verify label rejected")))
 			return
 		}
 	}
 
 	stmt, err := db.Parse(sql)
 	if err != nil {
-		p.reply(m, reply, errMsg(err))
+		s.reply(m, reply, errMsg(err))
 		return
 	}
 	if namesUserCol(stmt) {
-		p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: column %s is reserved", UserCol)))
+		s.reply(m, reply, errMsg(fmt.Errorf("dbproxy: column %s is reserved", UserCol)))
 		return
 	}
 
@@ -270,43 +344,43 @@ func (p *Proxy) handleWorker(d *kernel.Delivery) {
 		uid = DeclassifiedUID
 	}
 
-	switch s := stmt.(type) {
+	switch st := stmt.(type) {
 	case *db.CreateStmt:
 		// Every worker table silently gets the user-ID column.
-		s.Cols = append(s.Cols, UserCol)
-		p.execSimple(m, s, args, reply)
+		st.Cols = append(st.Cols, UserCol)
+		s.execSimple(m, st, args, reply)
 	case *db.InsertStmt:
-		s.Cols = append(s.Cols, UserCol)
-		s.Vals = append(s.Vals, db.Lit(uid))
-		p.execSimple(m, s, args, reply)
+		st.Cols = append(st.Cols, UserCol)
+		st.Vals = append(st.Vals, db.Lit(uid))
+		s.execSimple(m, st, args, reply)
 	case *db.UpdateStmt:
 		if op == OpDeclassify {
 			// Declassification flags u's rows public: set _uid = 0 on rows
 			// the declassifier's user owns.
-			s.Where = append(s.Where, db.Cond{Col: UserCol, Val: db.Lit(m.UID)})
-			s.Set = append(s.Set, db.Assign{Col: UserCol, Val: db.Lit(DeclassifiedUID)})
+			st.Where = append(st.Where, db.Cond{Col: UserCol, Val: db.Lit(m.UID)})
+			st.Set = append(st.Set, db.Assign{Col: UserCol, Val: db.Lit(DeclassifiedUID)})
 		} else {
-			s.Where = append(s.Where, db.Cond{Col: UserCol, Val: db.Lit(uid)})
+			st.Where = append(st.Where, db.Cond{Col: UserCol, Val: db.Lit(uid)})
 		}
-		p.execSimple(m, s, args, reply)
+		s.execSimple(m, st, args, reply)
 	case *db.DeleteStmt:
-		s.Where = append(s.Where, db.Cond{Col: UserCol, Val: db.Lit(uid)})
-		p.execSimple(m, s, args, reply)
+		st.Where = append(st.Where, db.Cond{Col: UserCol, Val: db.Lit(uid)})
+		s.execSimple(m, st, args, reply)
 	case *db.SelectStmt:
-		p.execSelect(m, s, args, reply)
+		s.execSelect(m, st, args, reply)
 	default:
-		p.reply(m, reply, errMsg(fmt.Errorf("dbproxy: unsupported statement")))
+		s.reply(m, reply, errMsg(fmt.Errorf("dbproxy: unsupported statement")))
 	}
 }
 
 // execSimple runs a write statement and replies with a tainted done.
-func (p *Proxy) execSimple(m Mapping, stmt db.Stmt, args []string, reply handle.Handle) {
-	res, err := p.db.ExecStmt(stmt, args...)
+func (s *proxyShard) execSimple(m Mapping, stmt db.Stmt, args []string, reply handle.Handle) {
+	res, err := s.p.db.ExecStmt(stmt, args...)
 	if err != nil {
-		p.reply(m, reply, errMsg(err))
+		s.reply(m, reply, errMsg(err))
 		return
 	}
-	p.reply(m, reply, wire.NewWriter(OpDone).U32(uint32(res.Affected)).Done())
+	s.reply(m, reply, wire.NewWriter(OpDone).U32(uint32(res.Affected)).Done())
 }
 
 // execSelect streams rows back, each labeled by its owner (paper §7.5:
@@ -316,13 +390,13 @@ func (p *Proxy) execSimple(m Mapping, stmt db.Stmt, args []string, reply handle.
 // separate message with its own taint (the receiver-side checks run per
 // message, so the kernel still hides rows the worker may not see), but the
 // per-message queue operations and wakeups are paid once per result set.
-func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply handle.Handle) {
+func (s *proxyShard) execSelect(m Mapping, sel *db.SelectStmt, args []string, reply handle.Handle) {
 	// Resolve the output columns, then select them plus the hidden owner.
-	outCols := s.Cols
+	outCols := sel.Cols
 	if outCols == nil {
-		all, err := p.db.Columns(s.Table)
+		all, err := s.p.db.Columns(sel.Table)
 		if err != nil {
-			p.reply(m, reply, errMsg(err))
+			s.reply(m, reply, errMsg(err))
 			return
 		}
 		outCols = nil
@@ -333,13 +407,13 @@ func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply han
 		}
 	}
 	internal := &db.SelectStmt{
-		Table: s.Table,
+		Table: sel.Table,
 		Cols:  append(append([]string(nil), outCols...), UserCol),
-		Where: s.Where,
+		Where: sel.Where,
 	}
-	res, err := p.db.ExecStmt(internal, args...)
+	res, err := s.p.db.ExecStmt(internal, args...)
 	if err != nil {
-		p.reply(m, reply, errMsg(err))
+		s.reply(m, reply, errMsg(err))
 		return
 	}
 	// One shared *SendOpts per row owner, so SendBatch prepares the taint
@@ -358,7 +432,7 @@ func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply han
 		if owner != DeclassifiedUID {
 			opts = ownerOpts[owner]
 			if opts == nil {
-				om, ok := p.byUID[owner]
+				om, ok := s.byUID[owner]
 				if !ok {
 					continue // owner never authenticated: no label to apply
 				}
@@ -375,13 +449,19 @@ func (p *Proxy) execSelect(m Mapping, s *db.SelectStmt, args []string, reply han
 		Data:  wire.NewWriter(OpDone).U32(uint32(sent)).Done(),
 		Owned: true,
 	})
-	p.proc.SendBatch(reply, entries)
+	s.proc.Port(reply).SendBatch(entries)
 }
 
 // reply sends a worker-facing control message tainted with the user's
 // handle (it concerns u's data).
-func (p *Proxy) reply(m Mapping, to handle.Handle, msg []byte) {
-	p.proc.Send(to, msg, &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, m.UT)})
+func (s *proxyShard) reply(m Mapping, to handle.Handle, msg []byte) {
+	s.send(to, msg, &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, m.UT)})
+}
+
+// send is the shard's one-off reply path: replies go to wire-carried
+// handles, so the endpoint is bound per call.
+func (s *proxyShard) send(to handle.Handle, msg []byte, opts *kernel.SendOpts) {
+	s.proc.Port(to).Send(msg, opts)
 }
 
 func errMsg(err error) []byte {

@@ -77,9 +77,9 @@ func TestMappingPushAndQueryPathDirect(t *testing.T) {
 	admin := sys.NewProcess("idd-stub")
 	uT := admin.NewHandle()
 	uG := admin.NewHandle()
-	grantRx := admin.NewPort(nil)
-	admin.SetPortLabel(grantRx, label.Empty(label.L3))
-	if err := p.GrantAdmin(grantRx); err != nil {
+	grantRx := admin.Open(nil)
+	grantRx.SetLabel(label.Empty(label.L3))
+	if err := p.GrantAdmin(grantRx.Handle()); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := admin.TryRecv(); d == nil {
@@ -98,9 +98,9 @@ func TestMappingPushAndQueryPathDirect(t *testing.T) {
 	if pd.Port != p.AdminPort() {
 		t.Fatal("mapping arrived on wrong port")
 	}
-	p.handleAdmin(pd)
-	if m, ok := p.byUser["zoe"]; !ok || m.UID != "7" {
-		t.Fatalf("mapping not installed: %+v", p.byUser)
+	p.shards[0].handleAdmin(pd)
+	if m, ok := p.shards[0].byUser["zoe"]; !ok || m.UID != "7" {
+		t.Fatalf("mapping not installed: %+v", p.shards[0].byUser)
 	}
 	// The push granted the proxy uT ⋆ and uT-3 clearance.
 	if p.Process().SendLabel().Get(uT) != label.Star {

@@ -47,15 +47,16 @@ func ForkVsEventProcess(userCounts []int, residentPages int) ([]ForkVsEPRow, err
 		// Event-process model: one base process, one EP per user.
 		sysE := kernel.NewSystem(kernel.WithSeed(1))
 		server := sysE.NewProcess("server")
-		svc := server.NewPort(nil)
-		server.SetPortLabel(svc, label.Empty(label.L3))
+		svc := server.Open(nil)
+		svc.SetLabel(label.Empty(label.L3))
 		for i := 0; i < residentPages; i++ {
 			server.Memory().WriteAt(mem.Addr(i)*mem.PageSize, buf)
 		}
 		client := sysE.NewProcess("client")
+		clientEP := client.Port(svc.Handle())
 		baseE := sysE.MemStats()
 		for i := 0; i < n; i++ {
-			if err := client.Send(svc, []byte{byte(i)}, nil); err != nil {
+			if err := clientEP.Send([]byte{byte(i)}, nil); err != nil {
 				return nil, err
 			}
 			_, ep, err := server.Checkpoint()

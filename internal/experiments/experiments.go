@@ -88,8 +88,18 @@ func users(n int) []workload.Credentials {
 }
 
 // provision boots an OKWS server with the given services and n accounts.
+// The stack runs single-shard: Figures 6–9 reproduce the paper's
+// single-process services, and the shape assertions (label growth, per-
+// component cycles) are statements about that configuration. The sharded
+// stack is measured by Figure7OKWSParallel and the parallel benchmark.
 func provision(n int, prof *stats.Profiler, services ...okws.Service) (*okws.Server, []workload.Credentials, error) {
-	srv, err := okws.Launch(okws.Config{Seed: 42, Profiler: prof, Services: services})
+	return provisionSharded(n, 1, prof, services...)
+}
+
+// provisionSharded is provision with the trusted services sharded; the
+// parallel/sharded sweeps use it.
+func provisionSharded(n, shards int, prof *stats.Profiler, services ...okws.Service) (*okws.Server, []workload.Credentials, error) {
+	srv, err := okws.Launch(okws.Config{Seed: 42, Shards: shards, Profiler: prof, Services: services})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -184,16 +194,31 @@ func Figure7OKWS(sessionCounts []int) ([]Fig7Row, error) {
 }
 
 // Figure7OKWSParallel measures OKWS throughput with the service replicated
-// across `workers` truly parallel worker processes — the multicore scenario
+// across `workers` truly parallel worker processes AND the trusted
+// single-process services sharded `workers` ways — the multicore scenario
 // the sharded kernel exists for. The client concurrency scales with the
 // replica count so every worker has requests in flight.
 func Figure7OKWSParallel(sessionCounts []int, workers int) ([]Fig7Row, error) {
+	return figure7Parallel(sessionCounts, workers, workers)
+}
+
+// Figure7OKWSSharded is Figure7OKWSParallel with the demux/netd/dbproxy
+// shard count chosen independently of the worker replica count — the
+// shards=1 vs shards=N comparison behind BENCH_pr4.json.
+func Figure7OKWSSharded(sessionCounts []int, workers, shards int) ([]Fig7Row, error) {
+	return figure7Parallel(sessionCounts, workers, shards)
+}
+
+func figure7Parallel(sessionCounts []int, workers, shards int) ([]Fig7Row, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	var rows []Fig7Row
 	for _, n := range sessionCounts {
-		srv, us, err := provision(n, nil, okws.Service{
+		srv, us, err := provisionSharded(n, shards, nil, okws.Service{
 			Name: "echo", Handler: echoHandler, Replicas: workers,
 		})
 		if err != nil {
@@ -202,7 +227,7 @@ func Figure7OKWSParallel(sessionCounts []int, workers int) ([]Fig7Row, error) {
 		reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
 		res := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency*workers)
 		rows = append(rows, Fig7Row{
-			Label:       fmt.Sprintf("OKWS %d x%dw", n, workers),
+			Label:       fmt.Sprintf("OKWS %d x%dw s%d", n, workers, shards),
 			Sessions:    n,
 			ConnsPerSec: res.ConnsPerSec(),
 			Errors:      res.Errors + res.BadStatus,

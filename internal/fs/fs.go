@@ -152,7 +152,7 @@ func (s *Server) dispatch(d *kernel.Delivery) {
 			s.users[name] = u
 		}
 		msg := wire.NewWriter(OpUserR).Byte(1).Handle(u.uT).Handle(u.uG).Done()
-		s.proc.Send(reply, msg, &kernel.SendOpts{
+		s.proc.Port(reply).Send(msg, &kernel.SendOpts{
 			DecontSend: kernel.Grant(u.uT, u.uG),
 			DecontRecv: kernel.AllowRecv(label.L3, u.uT),
 		})
@@ -171,7 +171,7 @@ func (s *Server) dispatch(d *kernel.Delivery) {
 				okb = 1
 			}
 		}
-		s.proc.Send(reply, wire.NewWriter(OpWriteR).Byte(okb).Done(), nil)
+		s.proc.Port(reply).Send(wire.NewWriter(OpWriteR).Byte(okb).Done(), nil)
 	case OpWrite:
 		path := r.String()
 		data := r.Bytes()
@@ -202,7 +202,7 @@ func (s *Server) dispatch(d *kernel.Delivery) {
 		// Write acknowledgments carry no file data, only a success bit the
 		// verified writer is entitled to; they travel untainted so writers
 		// without taint clearance still learn the outcome.
-		s.proc.Send(reply, wire.NewWriter(OpWriteR).Byte(okb).Done(), nil)
+		s.proc.Port(reply).Send(wire.NewWriter(OpWriteR).Byte(okb).Done(), nil)
 	case OpRead:
 		path := r.String()
 		reply := r.Handle()
@@ -211,7 +211,7 @@ func (s *Server) dispatch(d *kernel.Delivery) {
 		}
 		f := s.files[path]
 		if f == nil {
-			s.proc.Send(reply, wire.NewWriter(OpReadR).Byte(0).Bytes(nil).Done(), nil)
+			s.proc.Port(reply).Send(wire.NewWriter(OpReadR).Byte(0).Bytes(nil).Done(), nil)
 			return
 		}
 		msg := wire.NewWriter(OpReadR).Byte(1).Bytes(f.data).Done()
@@ -234,7 +234,7 @@ func (s *Server) dispatch(d *kernel.Delivery) {
 			joined = append(joined, p...)
 			joined = append(joined, '\n')
 		}
-		s.proc.Send(reply, wire.NewWriter(OpListR).Bytes(joined).Done(), nil)
+		s.proc.Port(reply).Send(wire.NewWriter(OpListR).Bytes(joined).Done(), nil)
 	}
 }
 
@@ -245,7 +245,7 @@ func (s *Server) replyFor(owner string, to handle.Handle, msg []byte) {
 	if u, ok := s.users[owner]; ok && owner != "" {
 		opts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, u.uT)}
 	}
-	s.proc.Send(to, msg, opts)
+	s.proc.Port(to).Send(msg, opts)
 }
 
 // --- client helpers ---

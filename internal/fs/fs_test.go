@@ -1,6 +1,7 @@
 package fs_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -46,17 +47,17 @@ func TestCreateWriteRead(t *testing.T) {
 	if err := fs.Create(u.Port(r.srv.Port()), "/home/u/diary", "u", reply, ownerV(uid)); err != nil {
 		t.Fatal(err)
 	}
-	d, _ := u.Recv(reply)
+	d, _ := u.RecvCtx(context.Background(), reply)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("create rejected")
 	}
 	fs.Write(u.Port(r.srv.Port()), "/home/u/diary", []byte("dear diary"), reply, ownerV(uid))
-	d, _ = u.Recv(reply)
+	d, _ = u.RecvCtx(context.Background(), reply)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("write rejected")
 	}
 	fs.Read(u.Port(r.srv.Port()), "/home/u/diary", reply)
-	d, _ = u.Recv(reply)
+	d, _ = u.RecvCtx(context.Background(), reply)
 	data, ok := fs.ParseReadReply(d)
 	if !ok || string(data) != "dear diary" {
 		t.Fatalf("read = %q %v", data, ok)
@@ -72,9 +73,9 @@ func TestReadTaintsAndConfines(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
 	fs.Create(u.Port(r.srv.Port()), "/u/file", "u", ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 	fs.Write(u.Port(r.srv.Port()), "/u/file", []byte("private"), ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 
 	// v reads u's file (allowed only if cleared for u's taint).
 	v, _, vr := r.principal(t, "v")
@@ -85,22 +86,22 @@ func TestReadTaintsAndConfines(t *testing.T) {
 	}
 
 	// Now clear v for u's taint (u, holding uT ⋆, grants it).
-	clear := v.NewPort(nil)
+	clear := v.Open(nil).Handle()
 	v.SetPortLabel(clear, label.Empty(label.L3))
-	u.Send(clear, nil, &kernel.SendOpts{DecontRecv: kernel.AllowRecv(label.L3, uid.UT)})
+	u.Port(clear).Send(nil, &kernel.SendOpts{DecontRecv: kernel.AllowRecv(label.L3, uid.UT)})
 	if d, _ := v.TryRecv(clear); d == nil {
 		t.Fatal("clearance grant dropped")
 	}
 	fs.Read(v.Port(r.srv.Port()), "/u/file", vr)
-	d, _ := v.Recv(vr)
+	d, _ := v.RecvCtx(context.Background(), vr)
 	if data, ok := fs.ParseReadReply(d); !ok || string(data) != "private" {
 		t.Fatalf("cleared read failed: %q %v", data, ok)
 	}
 	// v is now tainted and cannot message an ordinary process.
 	w := r.sys.NewProcess("w")
-	wPort := w.NewPort(nil)
+	wPort := w.Open(nil).Handle()
 	w.SetPortLabel(wPort, label.Empty(label.L3))
-	v.Send(wPort, []byte("leak"), nil)
+	v.Port(wPort).Send([]byte("leak"), nil)
 	if d, _ := w.TryRecv(); d != nil {
 		t.Fatal("tainted reader leaked to untainted process")
 	}
@@ -110,34 +111,34 @@ func TestWriteRequiresSpeaksFor(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
 	fs.Create(u.Port(r.srv.Port()), "/u/file", "u", ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 
 	// A stranger cannot write: without uG 0 the kernel drops the forged V,
 	// and an honest V fails the server's check.
 	s := r.sys.NewProcess("stranger")
-	sr := s.NewPort(nil)
+	sr := s.Open(nil).Handle()
 	fs.Write(s.Port(r.srv.Port()), "/u/file", []byte("defaced"), sr, ownerV(uid))
 	if d, _ := s.TryRecv(sr); d != nil {
 		t.Fatal("forged ownership proof was not dropped")
 	}
 	fs.Write(s.Port(r.srv.Port()), "/u/file", []byte("defaced"), sr, label.Empty(label.L3))
-	d, _ := s.Recv(sr)
+	d, _ := s.RecvCtx(context.Background(), sr)
 	if fs.ParseWriteReply(d) {
 		t.Fatal("write without proof accepted")
 	}
 
 	// u can delegate: grant uG 0 to an editor, who may then write.
 	e := r.sys.NewProcess("editor")
-	ePort := e.NewPort(nil)
+	ePort := e.Open(nil).Handle()
 	e.SetPortLabel(ePort, label.Empty(label.L3))
-	u.Send(ePort, nil, &kernel.SendOpts{
+	u.Port(ePort).Send(nil, &kernel.SendOpts{
 		DecontSend: label.New(label.L3, label.Entry{H: uid.UG, L: label.L0})})
 	if d, _ := e.TryRecv(); d == nil {
 		t.Fatal("delegation dropped")
 	}
-	er := e.NewPort(nil)
+	er := e.Open(nil).Handle()
 	fs.Write(e.Port(r.srv.Port()), "/u/file", []byte("edited"), er, ownerV(uid))
-	d, _ = e.Recv(er)
+	d, _ = e.RecvCtx(context.Background(), er)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("delegated write rejected")
 	}
@@ -148,23 +149,23 @@ func TestMandatoryIntegrity(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
 	fs.Create(u.Port(r.srv.Port()), "/u/file", "u", ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 
 	e := r.sys.NewProcess("editor")
-	ePort := e.NewPort(nil)
+	ePort := e.Open(nil).Handle()
 	e.SetPortLabel(ePort, label.Empty(label.L3))
-	u.Send(ePort, nil, &kernel.SendOpts{
+	u.Port(ePort).Send(nil, &kernel.SendOpts{
 		DecontSend: label.New(label.L3, label.Entry{H: uid.UG, L: label.L0})})
 	e.TryRecv()
 
 	// Low-integrity input arrives.
 	q := r.sys.NewProcess("random")
-	q.Send(ePort, []byte("spam"), nil)
+	q.Port(ePort).Send([]byte("spam"), nil)
 	if d, _ := e.TryRecv(); d == nil {
 		t.Fatal("plain message dropped")
 	}
 	// The privilege is gone; the kernel now drops the forged proof.
-	er := e.NewPort(nil)
+	er := e.Open(nil).Handle()
 	fs.Write(e.Port(r.srv.Port()), "/u/file", []byte("tainted write"), er, ownerV(uid))
 	if d, _ := e.TryRecv(er); d != nil {
 		t.Fatal("editor kept speaks-for after low-integrity input")
@@ -179,17 +180,17 @@ func TestSystemFileIntegrity(t *testing.T) {
 	sysH := r.srv.SystemHandle()
 
 	installer := r.sys.NewProcess("installer")
-	ir := installer.NewPort(nil)
+	ir := installer.Open(nil).Handle()
 	v := label.New(label.L3, label.Entry{H: sysH, L: label.L1})
 	fs.Write(installer.Port(r.srv.Port()), "/etc/passwd", []byte("updated"), ir, v)
-	d, _ := installer.Recv(ir)
+	d, _ := installer.RecvCtx(context.Background(), ir)
 	if !fs.ParseWriteReply(d) {
 		t.Fatal("clean installer rejected")
 	}
 
 	netdP := r.sys.NewProcess("netd")
 	netdP.ContaminateSelf(kernel.Taint(label.L2, sysH))
-	nr := netdP.NewPort(nil)
+	nr := netdP.Open(nil).Handle()
 	fs.Write(netdP.Port(r.srv.Port()), "/etc/passwd", []byte("pwned"), nr, v)
 	if d, _ := netdP.TryRecv(nr); d != nil {
 		t.Fatal("network-tainted writer passed the integrity check")
@@ -197,11 +198,11 @@ func TestSystemFileIntegrity(t *testing.T) {
 
 	// Transitively: a process that received from netd also fails.
 	victim := r.sys.NewProcess("victim")
-	vp := victim.NewPort(nil)
+	vp := victim.Open(nil).Handle()
 	victim.SetPortLabel(vp, label.Empty(label.L3))
-	netdP.Send(vp, []byte("data"), nil)
+	netdP.Port(vp).Send([]byte("data"), nil)
 	victim.TryRecv()
-	vr := victim.NewPort(nil)
+	vr := victim.Open(nil).Handle()
 	fs.Write(victim.Port(r.srv.Port()), "/etc/passwd", []byte("pwned2"), vr, v)
 	if d, _ := victim.TryRecv(vr); d != nil {
 		t.Fatal("laundered network taint passed the integrity check")
@@ -212,11 +213,11 @@ func TestList(t *testing.T) {
 	r := boot(t)
 	u, uid, ur := r.principal(t, "u")
 	fs.Create(u.Port(r.srv.Port()), "/b", "u", ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 	fs.Create(u.Port(r.srv.Port()), "/a", "u", ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 	fs.List(u.Port(r.srv.Port()), ur)
-	d, _ := u.Recv(ur)
+	d, _ := u.RecvCtx(context.Background(), ur)
 	listing, ok := fs.ParseListReply(d)
 	if !ok || listing != "/a\n/b\n" {
 		t.Fatalf("list = %q %v", listing, ok)
@@ -227,7 +228,7 @@ func TestReadMissingFile(t *testing.T) {
 	r := boot(t)
 	u, _, ur := r.principal(t, "u")
 	fs.Read(u.Port(r.srv.Port()), "/nope", ur)
-	d, _ := u.Recv(ur)
+	d, _ := u.RecvCtx(context.Background(), ur)
 	if _, ok := fs.ParseReadReply(d); ok {
 		t.Fatal("missing file read succeeded")
 	}
@@ -239,13 +240,13 @@ func TestServerStaysClean(t *testing.T) {
 	u, uid, ur := r.principal(t, "u")
 	v, vid, vr := r.principal(t, "v")
 	fs.Create(u.Port(r.srv.Port()), "/u/f", "u", ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 	fs.Create(v.Port(r.srv.Port()), "/v/f", "v", vr, ownerV(vid))
-	v.Recv(vr)
+	v.RecvCtx(context.Background(), vr)
 	fs.Write(u.Port(r.srv.Port()), "/u/f", []byte("uu"), ur, ownerV(uid))
-	u.Recv(ur)
+	u.RecvCtx(context.Background(), ur)
 	fs.Write(v.Port(r.srv.Port()), "/v/f", []byte("vv"), vr, ownerV(vid))
-	v.Recv(vr)
+	v.RecvCtx(context.Background(), vr)
 	if got := r.srv.Process().SendLabel().Get(uid.UT); got != label.Star {
 		t.Errorf("server label for uT = %v, want ⋆", got)
 	}
@@ -254,5 +255,27 @@ func TestServerStaysClean(t *testing.T) {
 	}
 	if !strings.Contains(r.srv.Process().Name(), "fsd") {
 		t.Error("unexpected process identity")
+	}
+}
+
+// TestEmptyDeliveryIgnored pins the audit result for the demux's
+// zero-length-delivery panic: the file server's dispatch parses via
+// wire.NewReader, so empty payloads are ignored and the server keeps
+// serving.
+func TestEmptyDeliveryIgnored(t *testing.T) {
+	r := boot(t)
+	u, uid, ur := r.principal(t, "u")
+	for _, payload := range [][]byte{nil, {}} {
+		if err := u.Port(r.srv.Port()).Send(payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Create(u.Port(r.srv.Port()), "/u/alive", "u", ur, ownerV(uid))
+	d, err := u.RecvCtx(context.Background(), ur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := fs.ParseWriteReply(d); !ok {
+		t.Fatal("server wedged after empty deliveries")
 	}
 }

@@ -18,8 +18,13 @@ import (
 
 // Ops on the login port.
 const (
-	OpLogin  = 10 // user, pass, reply
-	OpLoginR = 11 // ok byte, uid, uT, uG (handles granted at ⋆ via DS)
+	OpLogin  = 10 // token u64, user, pass, reply
+	OpLoginR = 11 // token u64, ok byte, uid, uT, uG (handles granted at ⋆ via DS)
+	// The token is chosen by the caller and echoed verbatim in the reply,
+	// so a client juggling several in-flight logins on one reply port can
+	// match verdicts to requests even when a request or reply is silently
+	// dropped (unreliable sends, §4) — positional matching would hand one
+	// user another user's identity the moment a message went missing.
 )
 
 // Ops on the admin port (account management, used by the launcher/tests).
@@ -53,8 +58,12 @@ type Idd struct {
 	loginPort *kernel.Port
 	adminPort *kernel.Port
 	mbox      *kernel.Mailbox // login + admin
-	dbAdmin   *kernel.Port    // ok-dbproxy admin port (capability held, route cached)
-	dbReply   *kernel.Port    // reply port for database queries
+	// dbAdmins are every ok-dbproxy shard's admin port (capabilities held,
+	// routes cached). Admin statements go to shard 0; user bindings are
+	// pushed to all shards, since any shard may need any owner's taint
+	// handle when labeling result rows.
+	dbAdmins []*kernel.Port
+	dbReply  *kernel.Port // reply port for database queries
 
 	// ctx is the service lifecycle: Run returns when Stop cancels it.
 	ctx    context.Context
@@ -77,7 +86,7 @@ func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
 	}
 	dbReply := proc.Open(nil)
 
-	// Bootstrap: receive the admin-port capability from the proxy.
+	// Bootstrap: receive one admin-port capability per proxy shard.
 	grantRx := proc.Open(nil)
 	if err := grantRx.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
@@ -85,8 +94,10 @@ func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
 	if err := proxy.GrantAdmin(grantRx.Handle()); err != nil {
 		panic(err)
 	}
-	if d, err := grantRx.TryRecv(); err != nil || d == nil {
-		panic("idd: dbproxy admin grant failed")
+	for range proxy.AdminPorts() {
+		if d, err := grantRx.TryRecv(); err != nil || d == nil {
+			panic("idd: dbproxy admin grant failed")
+		}
 	}
 	grantRx.Dissociate()
 
@@ -97,11 +108,13 @@ func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
 		loginPort: login,
 		adminPort: admin,
 		mbox:      proc.Mailbox(login, admin),
-		dbAdmin:   proc.Port(proxy.AdminPort()),
 		dbReply:   dbReply,
 		ctx:       ctx,
 		cancel:    cancel,
 		cache:     make(map[string]Identity),
+	}
+	for _, h := range proxy.AdminPorts() {
+		i.dbAdmins = append(i.dbAdmins, proc.Port(h))
 	}
 	sys.SetEnv(EnvLoginPort, login.Handle())
 	sys.SetEnv(EnvAdminPort, admin.Handle())
@@ -145,7 +158,7 @@ func (i *Idd) Stop() {
 // The blocking is safe: the proxy never calls back into idd, and the wait
 // respects the service context so shutdown cannot hang on a lost reply.
 func (i *Idd) adminExec(sql string, args ...string) (dbproxy.AdminResult, bool) {
-	if err := dbproxy.AdminExec(i.dbAdmin, sql, args, i.dbReply.Handle()); err != nil {
+	if err := dbproxy.AdminExec(i.dbAdmins[0], sql, args, i.dbReply.Handle()); err != nil {
 		return dbproxy.AdminResult{}, false
 	}
 	d, err := i.dbReply.Recv(i.ctx)
@@ -160,6 +173,7 @@ func (i *Idd) handleLogin(d *kernel.Delivery) {
 	if op != OpLogin {
 		return
 	}
+	token := r.U64()
 	user := r.String()
 	pass := r.String()
 	reply := r.Handle()
@@ -169,14 +183,14 @@ func (i *Idd) handleLogin(d *kernel.Delivery) {
 
 	id, ok := i.authenticate(user, pass)
 	if !ok {
-		i.proc.Send(reply, wire.NewWriter(OpLoginR).Byte(0).String("").
+		i.proc.Port(reply).Send(wire.NewWriter(OpLoginR).U64(token).Byte(0).String("").
 			Handle(handle.None).Handle(handle.None).Done(), nil)
 		return
 	}
 	// Success: grant uT ⋆ and uG ⋆, and raise the receiver's clearance for
 	// uT so it can handle u's tainted data (Figure 5 step 4).
-	msg := wire.NewWriter(OpLoginR).Byte(1).String(id.UID).Handle(id.UT).Handle(id.UG).Done()
-	i.proc.Send(reply, msg, &kernel.SendOpts{
+	msg := wire.NewWriter(OpLoginR).U64(token).Byte(1).String(id.UID).Handle(id.UT).Handle(id.UG).Done()
+	i.proc.Port(reply).Send(msg, &kernel.SendOpts{
 		DecontSend: kernel.Grant(id.UT, id.UG),
 		DecontRecv: kernel.AllowRecv(label.L3, id.UT),
 	})
@@ -215,10 +229,12 @@ func (i *Idd) authenticate(user, pass string) (Identity, bool) {
 		return Identity{}, false
 	}
 	i.cache[user] = id
-	// Push the binding to ok-dbproxy so it can taint rows.
-	dbproxy.PushMapping(i.dbAdmin, user, dbproxy.Mapping{
-		UID: id.UID, UT: id.UT, UG: id.UG,
-	})
+	// Push the binding to every ok-dbproxy shard so each can taint rows.
+	for _, adm := range i.dbAdmins {
+		dbproxy.PushMapping(adm, user, dbproxy.Mapping{
+			UID: id.UID, UT: id.UT, UG: id.UG,
+		})
+	}
 	return id, true
 }
 
@@ -242,7 +258,7 @@ func (i *Idd) handleAdmin(d *kernel.Delivery) {
 	if ok {
 		b = 1
 	}
-	i.proc.Send(reply, wire.NewWriter(OpAddUserR).Byte(b).Done(), nil)
+	i.proc.Port(reply).Send(wire.NewWriter(OpAddUserR).Byte(b).Done(), nil)
 	i.proc.DropPrivilege(reply, label.L1)
 }
 
@@ -253,24 +269,31 @@ func (i *Idd) ensureTable() {
 // --- client helpers ---
 
 // Login sends a login request through the caller's endpoint to idd's login
-// port; the reply arrives on reply as OpLoginR.
-func Login(iddPort *kernel.Port, user, pass string, reply handle.Handle) error {
-	msg := wire.NewWriter(OpLogin).String(user).String(pass).Handle(reply).Done()
+// port; the reply arrives on reply as OpLoginR echoing token.
+func Login(iddPort *kernel.Port, token uint64, user, pass string, reply handle.Handle) error {
+	msg := wire.NewWriter(OpLogin).U64(token).String(user).String(pass).Handle(reply).Done()
 	return iddPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 }
 
-// ParseLoginReply decodes an OpLoginR delivery.
-func ParseLoginReply(d *kernel.Delivery) (Identity, bool) {
+// ParseLoginReply decodes an OpLoginR delivery: the echoed request token,
+// the identity, and whether the login succeeded. The token is valid
+// whenever the delivery is a structurally sound OpLoginR, success or not;
+// a garbled delivery returns token 0 and matches nothing.
+func ParseLoginReply(d *kernel.Delivery) (Identity, uint64, bool) {
 	op, r := wire.NewReader(d.Data)
 	if op != OpLoginR {
-		return Identity{}, false
+		return Identity{}, 0, false
 	}
+	token := r.U64()
 	okb := r.Byte()
 	id := Identity{UID: r.String(), UT: r.Handle(), UG: r.Handle()}
-	if r.Err() || okb != 1 {
-		return Identity{}, false
+	if r.Err() {
+		return Identity{}, 0, false
 	}
-	return id, true
+	if okb != 1 {
+		return Identity{}, token, false
+	}
+	return id, token, true
 }
 
 // AddUser provisions an account (launcher/test helper); the caller needs an

@@ -1,7 +1,9 @@
 package idd_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"asbestos/internal/db"
 	"asbestos/internal/dbproxy"
@@ -28,19 +30,19 @@ func boot(t *testing.T) *harness {
 	t.Cleanup(func() { proxy.Stop(); id.Stop() })
 
 	admin := sys.NewProcess("setup")
-	reply := admin.NewPort(nil)
+	reply := admin.Open(nil).Handle()
 	adminPort, _ := sys.Env(idd.EnvAdminPort)
 	if err := idd.AddUser(admin.Port(adminPort), "alice", "pw-a", "1001", reply); err != nil {
 		t.Fatal(err)
 	}
-	d, err := admin.Recv(reply)
+	d, err := admin.RecvCtx(context.Background(), reply)
 	if err != nil || !idd.ParseAddUserReply(d) {
 		t.Fatalf("add user: %v", err)
 	}
 	if err := idd.AddUser(admin.Port(adminPort), "bob", "pw-b", "1002", reply); err != nil {
 		t.Fatal(err)
 	}
-	if d, _ := admin.Recv(reply); !idd.ParseAddUserReply(d) {
+	if d, _ := admin.RecvCtx(context.Background(), reply); !idd.ParseAddUserReply(d) {
 		t.Fatal("add bob failed")
 	}
 	return &harness{sys: sys, proxy: proxy, id: id}
@@ -50,17 +52,22 @@ func boot(t *testing.T) *harness {
 // uT ⋆, uG ⋆ and uT-3 clearance.
 func (h *harness) login(t *testing.T, p *kernel.Process, user, pass string) (idd.Identity, bool) {
 	t.Helper()
-	reply := p.NewPort(nil)
+	reply := p.Open(nil).Handle()
 	port, _ := h.sys.Env(idd.EnvLoginPort)
-	if err := idd.Login(p.Port(port), user, pass, reply); err != nil {
+	const token = 7
+	if err := idd.Login(p.Port(port), token, user, pass, reply); err != nil {
 		t.Fatal(err)
 	}
-	d, err := p.Recv(reply)
+	d, err := p.RecvCtx(context.Background(), reply)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Dissociate(reply)
-	return idd.ParseLoginReply(d)
+	id, tok, ok := idd.ParseLoginReply(d)
+	if tok != token {
+		t.Fatalf("login reply echoed token %d, want %d", tok, token)
+	}
+	return id, ok
 }
 
 func TestLoginSuccess(t *testing.T) {
@@ -125,11 +132,21 @@ func TestIddSendLabelGrowsPerUser(t *testing.T) {
 	if _, ok := h.login(t, demux, "bob", "pw-b"); !ok {
 		t.Fatal("login failed")
 	}
-	after := h.id.Process().SendLabel().Len()
 	// Exactly uT ⋆ + uG ⋆ per user: the per-request reply capability is
-	// dropped after each reply, so it does not accumulate.
-	if after-before != 4 {
-		t.Errorf("idd send label grew by %d entries for 2 users, want 4", after-before)
+	// dropped after each reply, so it does not accumulate. idd sheds it
+	// just AFTER sending the reply, so poll briefly — a fast client can
+	// observe the label between the send and the drop.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := h.id.Process().SendLabel().Len()
+		if after-before == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("idd send label grew by %d entries for 2 users, want 4", after-before)
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -143,9 +160,9 @@ func workerFixture(t *testing.T, h *harness, user, pass string) (*kernel.Process
 		t.Fatalf("login %s failed", user)
 	}
 	w := h.sys.NewProcess("worker-" + user)
-	boot := w.NewPort(nil)
+	boot := w.Open(nil).Handle()
 	w.SetPortLabel(boot, label.Empty(label.L3))
-	if err := demux.Send(boot, nil, &kernel.SendOpts{
+	if err := demux.Port(boot).Send(nil, &kernel.SendOpts{
 		DecontSend:  kernel.Grant(id.UG),
 		Contaminate: kernel.Taint(label.L3, id.UT),
 		DecontRecv:  kernel.AllowRecv(label.L3, id.UT),
@@ -162,14 +179,14 @@ func TestWorkerQueryRoundTrip(t *testing.T) {
 	h := boot(t)
 	w, id := workerFixture(t, h, "alice", "pw-a")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	reply := w.NewPort(nil)
+	reply := w.Open(nil).Handle()
 	v := dbproxy.VerifyFor(id.UT, id.UG)
 
 	// Create a table, insert, select back.
 	if err := dbproxy.Query(w.Port(proxyPort), "alice", "CREATE TABLE notes (text)", nil, reply, v); err != nil {
 		t.Fatal(err)
 	}
-	d, err := w.Recv(reply)
+	d, err := w.RecvCtx(context.Background(), reply)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,13 +195,13 @@ func TestWorkerQueryRoundTrip(t *testing.T) {
 		t.Fatalf("create failed: %s", msg)
 	}
 	dbproxy.Query(w.Port(proxyPort), "alice", "INSERT INTO notes (text) VALUES (?)", []string{"alice-note"}, reply, v)
-	if d, _ := w.Recv(reply); d == nil {
+	if d, _ := w.RecvCtx(context.Background(), reply); d == nil {
 		t.Fatal("insert reply lost")
 	}
 	dbproxy.Query(w.Port(proxyPort), "alice", "SELECT text FROM notes", nil, reply, v)
 	var rows [][]string
 	for {
-		d, err := w.Recv(reply)
+		d, err := w.RecvCtx(context.Background(), reply)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,20 +226,20 @@ func TestCrossUserRowsInvisible(t *testing.T) {
 	h := boot(t)
 	wa, ida := workerFixture(t, h, "alice", "pw-a")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	ra := wa.NewPort(nil)
+	ra := wa.Open(nil).Handle()
 	va := dbproxy.VerifyFor(ida.UT, ida.UG)
 	dbproxy.Query(wa.Port(proxyPort), "alice", "CREATE TABLE posts (body)", nil, ra, va)
-	wa.Recv(ra)
+	wa.RecvCtx(context.Background(), ra)
 	dbproxy.Query(wa.Port(proxyPort), "alice", "INSERT INTO posts (body) VALUES ('private!')", nil, ra, va)
-	wa.Recv(ra)
+	wa.RecvCtx(context.Background(), ra)
 
 	wb, idb := workerFixture(t, h, "bob", "pw-b")
-	rb := wb.NewPort(nil)
+	rb := wb.Open(nil).Handle()
 	vb := dbproxy.VerifyFor(idb.UT, idb.UG)
 	dbproxy.Query(wb.Port(proxyPort), "bob", "SELECT body FROM posts", nil, rb, vb)
 	sawRow := false
 	for {
-		d, err := wb.Recv(rb)
+		d, err := wb.RecvCtx(context.Background(), rb)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,7 +266,7 @@ func TestForgedVerifyRejected(t *testing.T) {
 	// A fresh process without uG tries to write as alice.
 	evil := h.sys.NewProcess("evil")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	reply := evil.NewPort(nil)
+	reply := evil.Open(nil).Handle()
 	v := dbproxy.VerifyFor(ida.UT, ida.UG)
 	// The kernel drops the send outright: evil's ES(uG)=1 > V(uG)=0.
 	dbproxy.Query(evil.Port(proxyPort), "alice", "CREATE TABLE x (a)", nil, reply, v)
@@ -262,7 +279,7 @@ func TestUserColReserved(t *testing.T) {
 	h := boot(t)
 	w, id := workerFixture(t, h, "alice", "pw-a")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	reply := w.NewPort(nil)
+	reply := w.Open(nil).Handle()
 	v := dbproxy.VerifyFor(id.UT, id.UG)
 	for _, q := range []string{
 		"CREATE TABLE t (a, _uid)",
@@ -270,7 +287,7 @@ func TestUserColReserved(t *testing.T) {
 		"SELECT name FROM okws_users WHERE _uid = '1'",
 	} {
 		dbproxy.Query(w.Port(proxyPort), "alice", q, nil, reply, v)
-		d, err := w.Recv(reply)
+		d, err := w.RecvCtx(context.Background(), reply)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,12 +303,12 @@ func TestDeclassifyFlow(t *testing.T) {
 	h := boot(t)
 	wa, ida := workerFixture(t, h, "alice", "pw-a")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	ra := wa.NewPort(nil)
+	ra := wa.Open(nil).Handle()
 	va := dbproxy.VerifyFor(ida.UT, ida.UG)
 	dbproxy.Query(wa.Port(proxyPort), "alice", "CREATE TABLE profiles (bio)", nil, ra, va)
-	wa.Recv(ra)
+	wa.RecvCtx(context.Background(), ra)
 	dbproxy.Query(wa.Port(proxyPort), "alice", "INSERT INTO profiles (bio) VALUES ('alice bio')", nil, ra, va)
-	wa.Recv(ra)
+	wa.RecvCtx(context.Background(), ra)
 
 	// Declassifier: gets uT ⋆ from demux (simulated by a fresh login).
 	demux := h.sys.NewProcess("demux-decl")
@@ -300,22 +317,22 @@ func TestDeclassifyFlow(t *testing.T) {
 		t.Fatal("login")
 	}
 	decl := h.sys.NewProcess("declassifier")
-	dboot := decl.NewPort(nil)
+	dboot := decl.Open(nil).Handle()
 	decl.SetPortLabel(dboot, label.Empty(label.L3))
-	demux.Send(dboot, nil, &kernel.SendOpts{
+	demux.Port(dboot).Send(nil, &kernel.SendOpts{
 		DecontSend: kernel.Grant(idd2.UT), // ⋆, not taint — declassifier status
 		DecontRecv: kernel.AllowRecv(label.L3, idd2.UT),
 	})
 	if d, _ := decl.TryRecv(); d == nil {
 		t.Fatal("declassifier grant dropped")
 	}
-	rd := decl.NewPort(nil)
+	rd := decl.Open(nil).Handle()
 	vd := dbproxy.VerifyDeclassify(idd2.UT)
 	if err := dbproxy.Declassify(decl.Port(proxyPort), "alice",
 		"UPDATE profiles SET bio = 'alice bio' WHERE bio = 'alice bio'", nil, rd, vd); err != nil {
 		t.Fatal(err)
 	}
-	d, err := decl.Recv(rd)
+	d, err := decl.RecvCtx(context.Background(), rd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,12 +343,12 @@ func TestDeclassifyFlow(t *testing.T) {
 
 	// Bob reads the declassified row, untainted.
 	wb, idb := workerFixture(t, h, "bob", "pw-b")
-	rb := wb.NewPort(nil)
+	rb := wb.Open(nil).Handle()
 	vb := dbproxy.VerifyFor(idb.UT, idb.UG)
 	dbproxy.Query(wb.Port(proxyPort), "bob", "SELECT bio FROM profiles", nil, rb, vb)
 	var rows [][]string
 	for {
-		d, err := wb.Recv(rb)
+		d, err := wb.RecvCtx(context.Background(), rb)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -353,7 +370,7 @@ func TestDeclassifyRequiresStar(t *testing.T) {
 	h := boot(t)
 	w, id := workerFixture(t, h, "alice", "pw-a") // tainted, NOT a declassifier
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	reply := w.NewPort(nil)
+	reply := w.Open(nil).Handle()
 	// A tainted worker cannot prove uT ⋆: its ES(uT)=3 > ⋆ fails check 1.
 	v := dbproxy.VerifyDeclassify(id.UT)
 	dbproxy.Declassify(w.Port(proxyPort), "alice", "UPDATE profiles SET bio = 'x'", nil, reply, v)
@@ -367,26 +384,26 @@ func TestUpdateDeleteScopedToOwnRows(t *testing.T) {
 	wa, ida := workerFixture(t, h, "alice", "pw-a")
 	wb, idb := workerFixture(t, h, "bob", "pw-b")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	ra, rb := wa.NewPort(nil), wb.NewPort(nil)
+	ra, rb := wa.Open(nil).Handle(), wb.Open(nil).Handle()
 	va := dbproxy.VerifyFor(ida.UT, ida.UG)
 	vb := dbproxy.VerifyFor(idb.UT, idb.UG)
 
 	dbproxy.Query(wa.Port(proxyPort), "alice", "CREATE TABLE items (v)", nil, ra, va)
-	wa.Recv(ra)
+	wa.RecvCtx(context.Background(), ra)
 	dbproxy.Query(wa.Port(proxyPort), "alice", "INSERT INTO items (v) VALUES ('A')", nil, ra, va)
-	wa.Recv(ra)
+	wa.RecvCtx(context.Background(), ra)
 	dbproxy.Query(wb.Port(proxyPort), "bob", "INSERT INTO items (v) VALUES ('B')", nil, rb, vb)
-	wb.Recv(rb)
+	wb.RecvCtx(context.Background(), rb)
 
 	// Bob updates "all" rows: only his row is touched.
 	dbproxy.Query(wb.Port(proxyPort), "bob", "UPDATE items SET v = 'HACKED'", nil, rb, vb)
-	d, _ := wb.Recv(rb)
+	d, _ := wb.RecvCtx(context.Background(), rb)
 	if n, ok := dbproxy.ParseDone(d); !ok || n != 1 {
 		t.Fatalf("bob's update affected %d rows", n)
 	}
 	// Bob deletes "all" rows: only his.
 	dbproxy.Query(wb.Port(proxyPort), "bob", "DELETE FROM items", nil, rb, vb)
-	d, _ = wb.Recv(rb)
+	d, _ = wb.RecvCtx(context.Background(), rb)
 	if n, ok := dbproxy.ParseDone(d); !ok || n != 1 {
 		t.Fatalf("bob's delete affected %d rows", n)
 	}
@@ -394,7 +411,7 @@ func TestUpdateDeleteScopedToOwnRows(t *testing.T) {
 	dbproxy.Query(wa.Port(proxyPort), "alice", "SELECT v FROM items", nil, ra, va)
 	var rows [][]string
 	for {
-		d, err := wa.Recv(ra)
+		d, err := wa.RecvCtx(context.Background(), ra)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -413,9 +430,9 @@ func TestUnknownUserQuery(t *testing.T) {
 	h := boot(t)
 	w := h.sys.NewProcess("w")
 	proxyPort, _ := h.sys.Env(dbproxy.EnvWorkerPort)
-	reply := w.NewPort(nil)
+	reply := w.Open(nil).Handle()
 	dbproxy.Query(w.Port(proxyPort), "ghost", "SELECT a FROM t", nil, reply, label.Empty(label.L2))
-	d, err := w.Recv(reply)
+	d, err := w.RecvCtx(context.Background(), reply)
 	if err != nil {
 		t.Fatal(err)
 	}

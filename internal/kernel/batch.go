@@ -22,9 +22,11 @@ type BatchEntry struct {
 	Owned bool
 }
 
-// SendBatch sends N messages to one port in a single syscall. It is
-// semantically equivalent to calling Send for each entry in order, with the
-// per-message overheads amortized across the batch:
+// sendBatchVia is the batch path behind Port.SendBatch and Batcher.Flush;
+// the destination's vnode has already been resolved. A batch of N messages
+// to one port is a single syscall, semantically equivalent to sending each
+// entry in order, with the per-message overheads amortized across the
+// batch:
 //
 //   - the sender's labels are snapshotted once — the batch is one syscall,
 //     so one snapshot is exactly the enqueue-time atomicity Figure 4 asks
@@ -50,12 +52,6 @@ type BatchEntry struct {
 // racing the limit behaves like the same messages sent one at a time. A
 // batch to an unknown port or a dead receiver is dropped whole and
 // silently, like any other undeliverable send (§4).
-func (p *Process) SendBatch(port handle.Handle, entries []BatchEntry) error {
-	return p.sendBatchVia(port, p.sys.lookup(port), entries)
-}
-
-// sendBatchVia is the batch path shared by Process.SendBatch and
-// Port.SendBatch; the destination's vnode has already been resolved.
 func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEntry) error {
 	if len(entries) == 0 {
 		return nil
@@ -272,7 +268,7 @@ func (b *Batcher) Flush() error {
 	var first error
 	for i := range b.slots {
 		s := &b.slots[i]
-		if err := b.p.SendBatch(s.port, s.entries); err != nil && first == nil {
+		if err := b.p.sendBatchVia(s.port, b.p.sys.lookup(s.port), s.entries); err != nil && first == nil {
 			first = err
 		}
 		// Release payload/opts references (the slot and its entry array are

@@ -13,11 +13,11 @@ func TestEPOwnedPortLabelControl(t *testing.T) {
 	s := newSys()
 	w, svc := workerHarness(t, s)
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("a"), nil)
-	client.Send(svc, []byte("b"), nil)
+	client.Port(svc).Send([]byte("a"), nil)
+	client.Port(svc).Send([]byte("b"), nil)
 
 	_, ep1, _ := w.Checkpoint()
-	p1 := w.NewPort(nil)
+	p1 := w.Open(nil).Handle()
 	if err := w.SetPortLabel(p1, label.Empty(label.L3)); err != nil {
 		t.Fatalf("owner EP cannot set its port label: %v", err)
 	}
@@ -44,7 +44,7 @@ func TestForkFromEventProcessContext(t *testing.T) {
 	w, svc := workerHarness(t, s)
 	owner := s.NewProcess("owner")
 	hT := owner.NewHandle()
-	owner.Send(svc, []byte("go"), &SendOpts{
+	owner.Port(svc).Send([]byte("go"), &SendOpts{
 		Contaminate: Taint(label.L3, hT),
 		DecontRecv:  AllowRecv(label.L3, hT),
 	})
@@ -66,17 +66,17 @@ func TestVerificationLabelRestrictsDelivery(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
 	hX := s.NewProcess("owner").NewHandle() // p holds no ⋆ for hX
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 	// p taints itself at 2 (passes q's default receive label of 2)...
 	p.ContaminateSelf(Taint(label.L2, hX))
-	p.Send(port, []byte("loose"), nil)
+	p.Port(port).Send([]byte("loose"), nil)
 	if d, _ := q.TryRecv(); d == nil {
 		t.Fatal("level-2 taint should deliver by default")
 	}
 	// ...but with V = {hX 1, 3} the sender demands its own taint be ≤ 1,
 	// which fails: the kernel drops p's own message.
-	p.Send(port, []byte("strict"), &SendOpts{
+	p.Port(port).Send([]byte("strict"), &SendOpts{
 		Verify: label.New(label.L3, label.Entry{H: hX, L: label.L1})})
 	if d, _ := q.TryRecv(); d != nil {
 		t.Fatal("self-restricting V should have blocked delivery")
@@ -105,10 +105,10 @@ func TestContaminateFusedMatchesComposition(t *testing.T) {
 func TestQueueLenAndCurrentDiagnostics(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
-	p.Send(port, []byte("1"), nil)
-	p.Send(port, []byte("2"), nil)
+	p.Port(port).Send([]byte("1"), nil)
+	p.Port(port).Send([]byte("2"), nil)
 	if q.QueueLen() != 2 {
 		t.Fatalf("QueueLen = %d", q.QueueLen())
 	}
@@ -120,10 +120,10 @@ func TestQueueLenAndCurrentDiagnostics(t *testing.T) {
 func TestMemStatsCountsQueuedPayloadAndPages(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 	base := s.MemStats()
-	p.Send(port, make([]byte, 1000), nil)
+	p.Port(port).Send(make([]byte, 1000), nil)
 	grown := s.MemStats()
 	if grown.KernelBytes-base.KernelBytes < 1000 {
 		t.Fatal("queued payload must be charged to kernel memory")
@@ -137,12 +137,12 @@ func TestMemStatsCountsQueuedPayloadAndPages(t *testing.T) {
 func TestSendOptsNilEquivalentToDefaults(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
-	if err := p.Send(port, []byte("a"), nil); err != nil {
+	if err := p.Port(port).Send([]byte("a"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Send(port, []byte("b"), &SendOpts{}); err != nil {
+	if err := p.Port(port).Send([]byte("b"), &SendOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	d1, _ := q.TryRecv()
@@ -160,11 +160,11 @@ func TestDropPrivilegeKeepsDelivery(t *testing.T) {
 	// it (it loses the capability like anyone else).
 	s := newSys()
 	p := s.NewProcess("p")
-	port := p.NewPort(nil)
+	port := p.Open(nil).Handle()
 	if err := p.DropPrivilege(port, label.L1); err != nil {
 		t.Fatal(err)
 	}
-	p.Send(port, []byte("self"), nil)
+	p.Port(port).Send([]byte("self"), nil)
 	if d, _ := p.TryRecv(); d != nil {
 		t.Fatal("send should fail after dropping own port capability")
 	}

@@ -14,7 +14,7 @@ import (
 func workerHarness(t *testing.T, s *System) (*Process, handle.Handle) {
 	t.Helper()
 	w := s.NewProcess("worker")
-	svc := w.NewPort(nil)
+	svc := w.Open(nil).Handle()
 	if err := w.SetPortLabel(svc, label.Empty(label.L3)); err != nil {
 		t.Fatal(err)
 	}
@@ -25,8 +25,8 @@ func TestCheckpointCreatesEventProcessPerBaseMessage(t *testing.T) {
 	s := newSys()
 	w, svc := workerHarness(t, s)
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("one"), nil)
-	client.Send(svc, []byte("two"), nil)
+	client.Port(svc).Send([]byte("one"), nil)
+	client.Port(svc).Send([]byte("two"), nil)
 
 	d1, ep1, err := w.Checkpoint()
 	if err != nil {
@@ -60,18 +60,18 @@ func TestEventProcessPortRouting(t *testing.T) {
 	w, svc := workerHarness(t, s)
 	client := s.NewProcess("client")
 
-	client.Send(svc, []byte("hello"), nil)
+	client.Port(svc).Send([]byte("hello"), nil)
 	_, ep, err := w.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	epPort := w.NewPort(nil) // created in ep's context: ep owns it
+	epPort := w.Open(nil).Handle() // created in ep's context: ep owns it
 	w.SetPortLabel(epPort, label.Empty(label.L3))
 	ep.Memory().WriteAt(0, []byte("session-state"))
 	w.Yield()
 
 	// Second message goes directly to the event process's port.
-	client.Send(epPort, []byte("again"), nil)
+	client.Port(epPort).Send([]byte("again"), nil)
 	d, ep2, err := w.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
@@ -97,8 +97,8 @@ func TestEventProcessMemoryIsolation(t *testing.T) {
 	w, svc := workerHarness(t, s)
 	w.Memory().WriteAt(0, []byte("BASE"))
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("u"), nil)
-	client.Send(svc, []byte("v"), nil)
+	client.Port(svc).Send([]byte("u"), nil)
+	client.Port(svc).Send([]byte("v"), nil)
 
 	_, epU, _ := w.Checkpoint()
 	epU.Memory().WriteAt(0, []byte("UUUU"))
@@ -136,22 +136,22 @@ func TestEventProcessLabelIsolation(t *testing.T) {
 	vT := idd.NewHandle()
 
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("conn-u"), nil)
-	client.Send(svc, []byte("conn-v"), nil)
+	client.Port(svc).Send([]byte("conn-u"), nil)
+	client.Port(svc).Send([]byte("conn-v"), nil)
 
 	_, epU, _ := w.Checkpoint()
-	epUPort := w.NewPort(nil)
+	epUPort := w.Open(nil).Handle()
 	w.SetPortLabel(epUPort, label.Empty(label.L3))
 	w.Yield()
 	_, epV, _ := w.Checkpoint()
-	epVPort := w.NewPort(nil)
+	epVPort := w.Open(nil).Handle()
 	w.SetPortLabel(epVPort, label.Empty(label.L3))
 	w.Yield()
 
 	// idd taints each event process with its user's handle.
-	idd.Send(epUPort, []byte("taint"), &SendOpts{
+	idd.Port(epUPort).Send([]byte("taint"), &SendOpts{
 		Contaminate: Taint(label.L3, uT), DecontRecv: AllowRecv(label.L3, uT)})
-	idd.Send(epVPort, []byte("taint"), &SendOpts{
+	idd.Port(epVPort).Send([]byte("taint"), &SendOpts{
 		Contaminate: Taint(label.L3, vT), DecontRecv: AllowRecv(label.L3, vT)})
 
 	d, ep, _ := w.Checkpoint()
@@ -181,7 +181,7 @@ func TestEPCleanRevertsPages(t *testing.T) {
 	w, svc := workerHarness(t, s)
 	w.Memory().WriteAt(0, []byte("base"))
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("go"), nil)
+	client.Port(svc).Send([]byte("go"), nil)
 	_, ep, _ := w.Checkpoint()
 	// Stack scribbling on page 0, session data on page 5.
 	ep.Memory().WriteAt(10, []byte("stack trash"))
@@ -202,9 +202,9 @@ func TestEPExitFreesState(t *testing.T) {
 	s := newSys()
 	w, svc := workerHarness(t, s)
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("go"), nil)
+	client.Port(svc).Send([]byte("go"), nil)
 	_, ep, _ := w.Checkpoint()
-	epPort := w.NewPort(nil)
+	epPort := w.Open(nil).Handle()
 	w.SetPortLabel(epPort, label.Empty(label.L3))
 	ep.Memory().WriteAt(0, []byte("x"))
 	if err := w.EPExit(); err != nil {
@@ -215,8 +215,8 @@ func TestEPExitFreesState(t *testing.T) {
 	}
 	// Messages to the dead event process's port are dropped.
 	before := s.Drops()
-	client.Send(epPort, []byte("late"), nil)
-	client.Send(svc, []byte("fresh"), nil)
+	client.Port(epPort).Send([]byte("late"), nil)
+	client.Port(svc).Send([]byte("fresh"), nil)
 	d, ep2, err := w.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
@@ -234,8 +234,8 @@ func TestImplicitYieldOnCheckpoint(t *testing.T) {
 	s := newSys()
 	w, svc := workerHarness(t, s)
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("a"), nil)
-	client.Send(svc, []byte("b"), nil)
+	client.Port(svc).Send([]byte("a"), nil)
+	client.Port(svc).Send([]byte("b"), nil)
 	_, ep1, _ := w.Checkpoint()
 	// No explicit Yield: Checkpoint must save ep1 and move on.
 	_, ep2, _ := w.Checkpoint()
@@ -267,24 +267,24 @@ func TestEventProcessRecvOnOwnPort(t *testing.T) {
 	s := newSys()
 	w, svc := workerHarness(t, s)
 	db := s.NewProcess("db")
-	dbPort := db.NewPort(nil)
+	dbPort := db.Open(nil).Handle()
 	db.SetPortLabel(dbPort, label.Empty(label.L3))
 
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("req"), nil)
+	client.Port(svc).Send([]byte("req"), nil)
 	_, _, err := w.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	reply := w.NewPort(nil)
+	reply := w.Open(nil).Handle()
 	w.SetPortLabel(reply, label.Empty(label.L3))
-	if err := w.Send(dbPort, []byte("query"), nil); err != nil {
+	if err := w.Port(dbPort).Send([]byte("query"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := db.TryRecv(); d == nil || string(d.Data) != "query" {
 		t.Fatal("db did not get query")
 	}
-	db.Send(reply, []byte("rows"), nil)
+	db.Port(reply).Send([]byte("rows"), nil)
 	d, err := w.TryRecv(reply)
 	if err != nil || d == nil || string(d.Data) != "rows" {
 		t.Fatalf("EP recv on own port = %v, %v", d, err)
@@ -296,7 +296,7 @@ func TestBaseRecvBlockedInRealm(t *testing.T) {
 	s := newSys()
 	w, svc := workerHarness(t, s)
 	client := s.NewProcess("client")
-	client.Send(svc, []byte("x"), nil)
+	client.Port(svc).Send([]byte("x"), nil)
 	w.Checkpoint()
 	w.Yield()
 	// After yield (no active EP) plain Recv must refuse: only Checkpoint
@@ -319,7 +319,7 @@ func TestCheckpointBlocksUntilMessage(t *testing.T) {
 		}
 		done <- string(d.Data)
 	}()
-	client.Send(svc, []byte("wakeup"), nil)
+	client.Port(svc).Send([]byte("wakeup"), nil)
 	if got := <-done; got != "wakeup" {
 		t.Fatalf("checkpoint woke with %q", got)
 	}
@@ -333,7 +333,7 @@ func TestEPKernelStateAccounting(t *testing.T) {
 	base := s.MemStats()
 	const n = 100
 	for i := 0; i < n; i++ {
-		client.Send(svc, []byte{byte(i)}, nil)
+		client.Port(svc).Send([]byte{byte(i)}, nil)
 	}
 	for i := 0; i < n; i++ {
 		if _, _, err := w.Checkpoint(); err != nil {
@@ -361,12 +361,12 @@ func TestManyEventProcesses(t *testing.T) {
 	const n = 2000
 	ports := make([]handle.Handle, n)
 	for i := 0; i < n; i++ {
-		client.Send(svc, []byte(fmt.Sprintf("init-%d", i)), nil)
+		client.Port(svc).Send([]byte(fmt.Sprintf("init-%d", i)), nil)
 		_, ep, err := w.Checkpoint()
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := w.NewPort(nil)
+		p := w.Open(nil).Handle()
 		w.SetPortLabel(p, label.Empty(label.L3))
 		ports[i] = p
 		ep.Memory().WriteAt(0, []byte(fmt.Sprintf("state-%06d", i)))
@@ -378,7 +378,7 @@ func TestManyEventProcesses(t *testing.T) {
 	// Poke a scattering of sessions and verify isolated state.
 	buf := make([]byte, 12)
 	for _, i := range []int{0, 1, 999, 1998, 1999} {
-		client.Send(ports[i], []byte("poke"), nil)
+		client.Port(ports[i]).Send([]byte("poke"), nil)
 		_, ep, err := w.Checkpoint()
 		if err != nil {
 			t.Fatal(err)

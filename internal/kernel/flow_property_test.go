@@ -42,11 +42,11 @@ func runLeakTrial(t *testing.T, rng *rand.Rand) {
 	nodes := make([]*leakNode, n)
 	for i := range nodes {
 		p := s.NewProcess(fmt.Sprintf("node%d", i))
-		port := p.NewPort(nil)
+		port := p.Open(nil).Handle()
 		p.SetPortLabel(port, label.Empty(label.L3))
 		// Randomly give some nodes clearance to receive the secret.
 		if rng.Intn(2) == 0 {
-			owner.Send(port, nil, &SendOpts{DecontRecv: AllowRecv(label.L3, secret)})
+			owner.Port(port).Send(nil, &SendOpts{DecontRecv: AllowRecv(label.L3, secret)})
 			if d, _ := p.TryRecv(); d == nil {
 				t.Fatal("clearance setup dropped")
 			}
@@ -77,24 +77,24 @@ func runLeakTrial(t *testing.T, rng *rand.Rand) {
 		switch rng.Intn(10) {
 		case 0, 1: // owner injects secret data, properly tainted
 			dst := nodes[rng.Intn(n)]
-			owner.Send(dst.port, []byte(secretPayload), &SendOpts{
+			owner.Port(dst.port).Send([]byte(secretPayload), &SendOpts{
 				Contaminate: Taint(label.L3, secret)})
 			drain(dst)
 		case 2: // owner declassifies to a random node (allowed: it owns it)
 			dst := nodes[rng.Intn(n)]
-			owner.Send(dst.port, []byte("public version"), nil)
+			owner.Port(dst.port).Send([]byte("public version"), nil)
 			drain(dst)
 		case 3: // a node tries to decontaminate itself via a crafted send
 			// (must fail: no privilege)
 			src, dst := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
-			err := src.p.Send(dst.port, []byte("fake grant"), &SendOpts{
+			err := src.p.Port(dst.port).Send([]byte("fake grant"), &SendOpts{
 				DecontSend: Grant(secret)})
 			if err != ErrPrivilege {
 				t.Fatalf("unprivileged DecontSend = %v, want ErrPrivilege", err)
 			}
 		case 4: // a node tries to raise someone's receive label (must fail)
 			src, dst := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
-			err := src.p.Send(dst.port, []byte("fake clearance"), &SendOpts{
+			err := src.p.Port(dst.port).Send([]byte("fake clearance"), &SendOpts{
 				DecontRecv: AllowRecv(label.L3, secret)})
 			if err != ErrPrivilege {
 				t.Fatalf("unprivileged DecontRecv = %v, want ErrPrivilege", err)
@@ -105,7 +105,7 @@ func runLeakTrial(t *testing.T, rng *rand.Rand) {
 			if src.sawTaint {
 				payload = secretPayload // relaying secret-derived data
 			}
-			src.p.Send(dst.port, []byte(payload), nil)
+			src.p.Port(dst.port).Send([]byte(payload), nil)
 			drain(dst)
 		}
 	}
@@ -136,11 +136,11 @@ func TestPropTaintMonotoneWithoutPrivilege(t *testing.T) {
 	ports := make([]handle.Handle, 6)
 	for i := range procs {
 		procs[i] = s.NewProcess(fmt.Sprintf("p%d", i))
-		ports[i] = procs[i].NewPort(nil)
+		ports[i] = procs[i].Open(nil).Handle()
 		procs[i].SetPortLabel(ports[i], label.Empty(label.L3))
 		for _, h := range handles {
 			procs[i].RaiseRecv(h, label.L3) // will fail silently: no privilege
-			owner.Send(ports[i], nil, &SendOpts{DecontRecv: AllowRecv(label.L3, h)})
+			owner.Port(ports[i]).Send(nil, &SendOpts{DecontRecv: AllowRecv(label.L3, h)})
 			if d, _ := procs[i].TryRecv(); d == nil {
 				t.Fatal("clearance setup failed")
 			}
@@ -156,7 +156,7 @@ func TestPropTaintMonotoneWithoutPrivilege(t *testing.T) {
 		if rng.Intn(3) == 0 {
 			opts = &SendOpts{Contaminate: Taint(label.Level(rng.Intn(3)+2), handles[rng.Intn(len(handles))])}
 		}
-		procs[src].Send(ports[dst], []byte("m"), opts)
+		procs[src].Port(ports[dst]).Send([]byte("m"), opts)
 		if d, _ := procs[dst].TryRecv(); d != nil {
 			cur := procs[dst].SendLabel()
 			if !prev[dst].Leq(cur) {

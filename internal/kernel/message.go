@@ -162,24 +162,16 @@ func checkSendPrivs(ps, ds, dr *label.Label) error {
 	return nil
 }
 
-// Send implements the send system call (Figure 4). The payload is copied.
-// It is the v1, handle-based form of Port.Send: the destination is resolved
-// through the handle table on every call. Code holding a Port endpoint
-// skips that lookup.
+// sendVia is the send system call behind Port.Send (Figure 4); the
+// destination's vnode has already been resolved (nil when the handle is
+// unknown). The payload is copied.
 //
 // Sender-side requirements (2) and (3) are checked immediately — they
 // depend only on the caller's own labels, so failing them leaks nothing.
 // The remaining requirements — (1) ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR and (4)
 // DR ⊑ pR — are evaluated when the receiver attempts delivery; a message
-// failing them is silently dropped. Send returning nil therefore does NOT
+// failing them is silently dropped. A nil send error therefore does NOT
 // imply delivery (unreliable messaging, §4).
-func (p *Process) Send(port handle.Handle, data []byte, opts *SendOpts) error {
-	return p.sendVia(port, p.sys.lookup(port), data, opts)
-}
-
-// sendVia is the send path shared by Process.Send and Port.Send: the
-// destination's vnode has already been resolved (nil when the handle is
-// unknown).
 //
 // Concurrency: the sender's labels are snapshotted under its own lock, the
 // requirement checks run lock-free against the snapshot, the destination's
@@ -398,12 +390,6 @@ func (p *Process) RecvCtx(ctx context.Context, filter ...handle.Handle) (*Delive
 			return nil, err
 		}
 	}
-}
-
-// Recv is RecvCtx without cancellation: it blocks until a message is
-// deliverable or the process exits.
-func (p *Process) Recv(filter ...handle.Handle) (*Delivery, error) {
-	return p.RecvCtx(context.Background(), filter...)
 }
 
 // TryRecv is Recv without blocking: it returns nil if no message is

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"testing"
 
 	"asbestos/internal/handle"
@@ -12,7 +13,7 @@ func newSys() *System { return NewSystem(WithSeed(1)) }
 // sendRecv drives one message synchronously: q must already have the port.
 func sendRecv(t *testing.T, p *Process, q *Process, port handle.Handle, data string, opts *SendOpts) *Delivery {
 	t.Helper()
-	if err := p.Send(port, []byte(data), opts); err != nil {
+	if err := p.Port(port).Send([]byte(data), opts); err != nil {
 		t.Fatalf("send: %v", err)
 	}
 	d, err := q.TryRecv()
@@ -25,7 +26,7 @@ func sendRecv(t *testing.T, p *Process, q *Process, port handle.Handle, data str
 func TestBasicSendRecv(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	if err := q.SetPortLabel(port, label.Empty(label.L3)); err != nil {
 		t.Fatal(err)
 	}
@@ -45,10 +46,10 @@ func TestBasicSendRecv(t *testing.T) {
 func TestSendCopiesData(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 	buf := []byte("aaaa")
-	p.Send(port, buf, nil)
+	p.Port(port).Send(buf, nil)
 	buf[0] = 'Z' // mutate after send; receiver must see the original
 	d, _ := q.TryRecv()
 	if string(d.Data) != "aaaa" {
@@ -61,8 +62,8 @@ func TestPortInitiallyPrivate(t *testing.T) {
 	// until the creator grants access.
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
-	if err := p.Send(port, []byte("x"), nil); err != nil {
+	port := q.Open(nil).Handle()
+	if err := p.Port(port).Send([]byte("x"), nil); err != nil {
 		t.Fatalf("send must not error (unreliable): %v", err)
 	}
 	if d, _ := q.TryRecv(); d != nil {
@@ -72,7 +73,7 @@ func TestPortInitiallyPrivate(t *testing.T) {
 		t.Fatal("drop not counted")
 	}
 	// The creator itself can send to its own port: PS(port) = ⋆ ≤ 0.
-	if err := q.Send(port, []byte("self"), nil); err != nil {
+	if err := q.Port(port).Send([]byte("self"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := q.TryRecv(); d == nil || string(d.Data) != "self" {
@@ -83,7 +84,7 @@ func TestPortInitiallyPrivate(t *testing.T) {
 func TestSetPortLabelOpens(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	// set_port_label does not modify its input: resetting to {3} with no
 	// exception for the port itself opens it to everyone (§5.5).
 	if err := q.SetPortLabel(port, label.Empty(label.L3)); err != nil {
@@ -104,14 +105,14 @@ func TestContamination(t *testing.T) {
 	s := newSys()
 	fs, sh := s.NewProcess("fs"), s.NewProcess("shell")
 	uT := fs.NewHandle()
-	port := sh.NewPort(nil)
+	port := sh.Open(nil).Handle()
 	sh.SetPortLabel(port, label.Empty(label.L3))
 	// Shell must be able to accept uT taint: raise its receive label.
 	// fs has uT ⋆ so it can decontaminate-receive... here just build the
 	// shell with the right receive label via fs's grant.
-	grantPort := sh.NewPort(nil)
+	grantPort := sh.Open(nil).Handle()
 	sh.SetPortLabel(grantPort, label.Empty(label.L3))
-	if err := fs.Send(grantPort, nil, &SendOpts{DecontRecv: AllowRecv(label.L3, uT)}); err != nil {
+	if err := fs.Port(grantPort).Send(nil, &SendOpts{DecontRecv: AllowRecv(label.L3, uT)}); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := sh.TryRecv(); d == nil {
@@ -122,7 +123,7 @@ func TestContamination(t *testing.T) {
 	}
 
 	// Now fs sends file data contaminated with uT 3.
-	if err := fs.Send(port, []byte("secret file"), &SendOpts{Contaminate: Taint(label.L3, uT)}); err != nil {
+	if err := fs.Port(port).Send([]byte("secret file"), &SendOpts{Contaminate: Taint(label.L3, uT)}); err != nil {
 		t.Fatal(err)
 	}
 	d, _ := sh.TryRecv()
@@ -142,14 +143,14 @@ func TestTaintBlocksFurtherSends(t *testing.T) {
 	s := newSys()
 	fs, sh, other := s.NewProcess("fs"), s.NewProcess("shell"), s.NewProcess("other")
 	uT := fs.NewHandle()
-	shPort := sh.NewPort(nil)
+	shPort := sh.Open(nil).Handle()
 	sh.SetPortLabel(shPort, label.Empty(label.L3))
-	otherPort := other.NewPort(nil)
+	otherPort := other.Open(nil).Handle()
 	other.SetPortLabel(otherPort, label.Empty(label.L3))
 
 	// Taint the shell (receive label raised via DR, send label via CS in
 	// one message — the common idiom of §5.5).
-	if err := fs.Send(shPort, []byte("data"), &SendOpts{
+	if err := fs.Port(shPort).Send([]byte("data"), &SendOpts{
 		Contaminate: Taint(label.L3, uT),
 		DecontRecv:  AllowRecv(label.L3, uT),
 	}); err != nil {
@@ -161,7 +162,7 @@ func TestTaintBlocksFurtherSends(t *testing.T) {
 
 	// The tainted shell can no longer send to an ordinary process:
 	// ES(uT)=3 > otherR(uT)=2.
-	sh.Send(otherPort, []byte("leak"), nil)
+	sh.Port(otherPort).Send([]byte("leak"), nil)
 	if d, _ := other.TryRecv(); d != nil {
 		t.Fatal("tainted process leaked to untainted receiver")
 	}
@@ -172,7 +173,7 @@ func TestStarPreservedOnReceive(t *testing.T) {
 	s := newSys()
 	fs, att := s.NewProcess("fs"), s.NewProcess("attacker")
 	uT := fs.NewHandle()
-	fsPort := fs.NewPort(nil)
+	fsPort := fs.Open(nil).Handle()
 	fs.SetPortLabel(fsPort, label.Empty(label.L3))
 	// fs raises its own receive label so tainted messages reach it.
 	if err := fs.RaiseRecv(uT, label.L3); err != nil {
@@ -180,7 +181,7 @@ func TestStarPreservedOnReceive(t *testing.T) {
 	}
 	// Attacker got tainted somehow: self-contamination.
 	att.ContaminateSelf(Taint(label.L3, uT))
-	if err := att.Send(fsPort, []byte("taint attempt"), nil); err != nil {
+	if err := att.Port(fsPort).Send([]byte("taint attempt"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := fs.TryRecv(); d == nil {
@@ -196,9 +197,9 @@ func TestDecontSendRequiresPrivilege(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
 	hX := q.NewHandle() // q owns the compartment, p does not
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
-	err := p.Send(port, nil, &SendOpts{DecontSend: Grant(hX)})
+	err := p.Port(port).Send(nil, &SendOpts{DecontSend: Grant(hX)})
 	if err != ErrPrivilege {
 		t.Fatalf("unprivileged grant = %v, want ErrPrivilege", err)
 	}
@@ -209,9 +210,9 @@ func TestDecontRecvRequiresPrivilege(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
 	hX := q.NewHandle()
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
-	err := p.Send(port, nil, &SendOpts{DecontRecv: AllowRecv(label.L3, hX)})
+	err := p.Port(port).Send(nil, &SendOpts{DecontRecv: AllowRecv(label.L3, hX)})
 	if err != ErrPrivilege {
 		t.Fatalf("unprivileged DR = %v, want ErrPrivilege", err)
 	}
@@ -221,9 +222,9 @@ func TestGrantTransfersPrivilege(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
 	hX := p.NewHandle()
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
-	if err := p.Send(port, nil, &SendOpts{DecontSend: Grant(hX)}); err != nil {
+	if err := p.Port(port).Send(nil, &SendOpts{DecontSend: Grant(hX)}); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := q.TryRecv(); d == nil {
@@ -234,9 +235,9 @@ func TestGrantTransfersPrivilege(t *testing.T) {
 	}
 	// q can now redistribute the privilege (capability-like, §5.3).
 	r := s.NewProcess("r")
-	rPort := r.NewPort(nil)
+	rPort := r.Open(nil).Handle()
 	r.SetPortLabel(rPort, label.Empty(label.L3))
-	if err := q.Send(rPort, nil, &SendOpts{DecontSend: Grant(hX)}); err != nil {
+	if err := q.Port(rPort).Send(nil, &SendOpts{DecontSend: Grant(hX)}); err != nil {
 		t.Fatalf("redistribution failed: %v", err)
 	}
 	if d, _ := r.TryRecv(); d == nil {
@@ -253,21 +254,21 @@ func TestVerificationLabelBoundsSender(t *testing.T) {
 	s := newSys()
 	writer, fs := s.NewProcess("writer"), s.NewProcess("fs")
 	uG := fs.NewHandle()
-	port := fs.NewPort(nil)
+	port := fs.Open(nil).Handle()
 	fs.SetPortLabel(port, label.Empty(label.L3))
 
 	// Unprivileged sender claims uG 0: its own ES(uG)=1 > V(uG)=0 fails
 	// check 1 and the message is dropped — no forged credentials.
-	writer.Send(port, []byte("forge"), &SendOpts{Verify: VerifyLabel(label.L0, uG)})
+	writer.Port(port).Send([]byte("forge"), &SendOpts{Verify: VerifyLabel(label.L0, uG)})
 	if d, _ := fs.TryRecv(); d != nil {
 		t.Fatal("forged verification label delivered")
 	}
 
 	// Grant the writer uG 0 (speaks-for, §5.4). fs has uG ⋆ so it can grant.
-	wPort := writer.NewPort(nil)
+	wPort := writer.Open(nil).Handle()
 	writer.SetPortLabel(wPort, label.Empty(label.L3))
 	ds := label.New(label.L3, label.Entry{H: uG, L: label.L0})
-	if err := fs.Send(wPort, nil, &SendOpts{DecontSend: ds}); err != nil {
+	if err := fs.Port(wPort).Send(nil, &SendOpts{DecontSend: ds}); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := writer.TryRecv(); d == nil {
@@ -279,7 +280,7 @@ func TestVerificationLabelBoundsSender(t *testing.T) {
 
 	// Now the verified write goes through and fs sees V.
 	v := VerifyLabel(label.L0, uG)
-	if err := writer.Send(port, []byte("write u file"), &SendOpts{Verify: v}); err != nil {
+	if err := writer.Port(port).Send([]byte("write u file"), &SendOpts{Verify: v}); err != nil {
 		t.Fatal(err)
 	}
 	d, _ := fs.TryRecv()
@@ -298,17 +299,17 @@ func TestConfusedDeputyRequiresExplicitCredentials(t *testing.T) {
 	multi, fs := s.NewProcess("multi"), s.NewProcess("fs")
 	uG, vG := fs.NewHandle(), fs.NewHandle()
 	_ = vG
-	port := fs.NewPort(nil)
+	port := fs.Open(nil).Handle()
 	fs.SetPortLabel(port, label.Empty(label.L3))
-	mPort := multi.NewPort(nil)
+	mPort := multi.Open(nil).Handle()
 	multi.SetPortLabel(mPort, label.Empty(label.L3))
-	fs.Send(mPort, nil, &SendOpts{DecontSend: label.New(label.L3,
+	fs.Port(mPort).Send(nil, &SendOpts{DecontSend: label.New(label.L3,
 		label.Entry{H: uG, L: label.L0}, label.Entry{H: vG, L: label.L0})})
 	if d, _ := multi.TryRecv(); d == nil {
 		t.Fatal("grant dropped")
 	}
 	// Sending without V: the receiver learns nothing about credentials.
-	multi.Send(port, []byte("w"), nil)
+	multi.Port(port).Send([]byte("w"), nil)
 	d, _ := fs.TryRecv()
 	if d == nil {
 		t.Fatal("dropped")
@@ -324,9 +325,9 @@ func TestMandatoryIntegrityLevelZeroLost(t *testing.T) {
 	s := newSys()
 	fs, p, q := s.NewProcess("fs"), s.NewProcess("p"), s.NewProcess("q")
 	uG := fs.NewHandle()
-	pPort := p.NewPort(nil)
+	pPort := p.Open(nil).Handle()
 	p.SetPortLabel(pPort, label.Empty(label.L3))
-	fs.Send(pPort, nil, &SendOpts{DecontSend: label.New(label.L3, label.Entry{H: uG, L: label.L0})})
+	fs.Port(pPort).Send(nil, &SendOpts{DecontSend: label.New(label.L3, label.Entry{H: uG, L: label.L0})})
 	if d, _ := p.TryRecv(); d == nil {
 		t.Fatal("grant dropped")
 	}
@@ -334,7 +335,7 @@ func TestMandatoryIntegrityLevelZeroLost(t *testing.T) {
 		t.Fatal("p should speak for u")
 	}
 	// q (default labels) sends to p: p's send label rises to the default 1.
-	q.Send(pPort, []byte("low integrity"), nil)
+	q.Port(pPort).Send([]byte("low integrity"), nil)
 	if d, _ := p.TryRecv(); d == nil {
 		t.Fatal("plain message dropped")
 	}
@@ -353,25 +354,25 @@ func TestPortLabelBlocksContamination(t *testing.T) {
 	hT := tnt.NewHandle()
 
 	// Mail reader's port refuses any taint: port label {2}.
-	port := mail.NewPort(label.Empty(label.L2))
+	port := mail.Open(label.Empty(label.L2)).Handle()
 	mail.SetPortLabel(port, label.Empty(label.L2))
 
 	// Untainted attachment can send.
-	attach.Send(port, []byte("ok"), nil)
+	attach.Port(port).Send([]byte("ok"), nil)
 	if d, _ := mail.TryRecv(); d == nil {
 		t.Fatal("untainted attachment should reach mail reader")
 	}
 
 	// Attachment becomes tainted.
 	attach.ContaminateSelf(Taint(label.L3, hT))
-	attach.Send(port, []byte("bad"), nil)
+	attach.Port(port).Send([]byte("bad"), nil)
 	if d, _ := mail.TryRecv(); d != nil {
 		t.Fatal("tainted attachment must be blocked by port label")
 	}
 
 	// Even the compartment owner cannot decontaminate past the port label:
 	// requirement 4, DR ⊑ pR.
-	tnt.Send(port, []byte("force"), &SendOpts{DecontRecv: AllowRecv(label.L3, hT)})
+	tnt.Port(port).Send([]byte("force"), &SendOpts{DecontRecv: AllowRecv(label.L3, hT)})
 	if d, _ := mail.TryRecv(); d != nil {
 		t.Fatal("DR beyond port label must be rejected")
 	}
@@ -381,24 +382,24 @@ func TestCapabilityStylePortRights(t *testing.T) {
 	// §5.5: port creation + DS grants = send capabilities.
 	s := newSys()
 	owner, friend, stranger := s.NewProcess("owner"), s.NewProcess("friend"), s.NewProcess("stranger")
-	port := owner.NewPort(nil)
+	port := owner.Open(nil).Handle()
 
 	// Stranger cannot send (pR(p)=0 vs ES(p)=1).
-	stranger.Send(port, []byte("no"), nil)
+	stranger.Port(port).Send([]byte("no"), nil)
 	if d, _ := owner.TryRecv(); d != nil {
 		t.Fatal("stranger sent without capability")
 	}
 
 	// Owner grants the capability to friend: DS = {p ⋆, 3}.
-	fPort := friend.NewPort(nil)
+	fPort := friend.Open(nil).Handle()
 	friend.SetPortLabel(fPort, label.Empty(label.L3))
-	if err := owner.Send(fPort, nil, &SendOpts{DecontSend: Grant(port)}); err != nil {
+	if err := owner.Port(fPort).Send(nil, &SendOpts{DecontSend: Grant(port)}); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := friend.TryRecv(); d == nil {
 		t.Fatal("capability grant dropped")
 	}
-	friend.Send(port, []byte("yes"), nil)
+	friend.Port(port).Send([]byte("yes"), nil)
 	if d, _ := owner.TryRecv(); d == nil || string(d.Data) != "yes" {
 		t.Fatal("capability holder could not send")
 	}
@@ -410,12 +411,12 @@ func TestDeliveryTimeChecks(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
 	hT := p.NewHandle()
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 
 	// Tainted message while q cannot accept: queued, then q's receive
 	// label rises before it receives — message delivers.
-	p.Send(port, []byte("early"), &SendOpts{
+	p.Port(port).Send([]byte("early"), &SendOpts{
 		Contaminate: Taint(label.L3, hT),
 		DecontRecv:  AllowRecv(label.L3, hT),
 	})
@@ -429,9 +430,9 @@ func TestDeliveryTimeChecks(t *testing.T) {
 	// below the sender's level before receiving.
 	p2, q2 := s.NewProcess("p2"), s.NewProcess("q2")
 	hS := p2.NewHandle()
-	port2 := q2.NewPort(nil)
+	port2 := q2.Open(nil).Handle()
 	q2.SetPortLabel(port2, label.Empty(label.L3))
-	p2.Send(port2, []byte("pending"), &SendOpts{Contaminate: Taint(label.L2, hS)})
+	p2.Port(port2).Send([]byte("pending"), &SendOpts{Contaminate: Taint(label.L2, hS)})
 	q2.LowerRecv(label.New(label.L3, label.Entry{H: hS, L: label.L1}))
 	if d, _ := q2.TryRecv(); d != nil {
 		t.Fatal("message should be dropped at delivery time after receive label lowered")
@@ -441,13 +442,13 @@ func TestDeliveryTimeChecks(t *testing.T) {
 func TestSendToDeadOrMissingPort(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 	q.Exit()
-	if err := p.Send(port, []byte("x"), nil); err != nil {
+	if err := p.Port(port).Send([]byte("x"), nil); err != nil {
 		t.Fatalf("send to dead process must succeed silently: %v", err)
 	}
-	if err := p.Send(handle.Handle(12345), []byte("x"), nil); err != nil {
+	if err := p.Port(handle.Handle(12345)).Send([]byte("x"), nil); err != nil {
 		t.Fatalf("send to nonexistent port must succeed silently: %v", err)
 	}
 	if _, err := q.TryRecv(); err != ErrDead {
@@ -458,9 +459,9 @@ func TestSendToDeadOrMissingPort(t *testing.T) {
 func TestDissociate(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
-	p.Send(port, []byte("1"), nil)
+	p.Port(port).Send([]byte("1"), nil)
 	if err := q.Dissociate(port); err != nil {
 		t.Fatal(err)
 	}
@@ -475,10 +476,10 @@ func TestDissociate(t *testing.T) {
 func TestQueueLimit(t *testing.T) {
 	s := NewSystem(WithSeed(1), WithQueueLimit(2))
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 	for i := 0; i < 5; i++ {
-		if err := p.Send(port, []byte{byte(i)}, nil); err != nil {
+		if err := p.Port(port).Send([]byte{byte(i)}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -555,11 +556,11 @@ func TestForkInheritsLabelsAndMemory(t *testing.T) {
 func TestRecvFilter(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	a, b := q.NewPort(nil), q.NewPort(nil)
+	a, b := q.Open(nil).Handle(), q.Open(nil).Handle()
 	q.SetPortLabel(a, label.Empty(label.L3))
 	q.SetPortLabel(b, label.Empty(label.L3))
-	p.Send(a, []byte("A"), nil)
-	p.Send(b, []byte("B"), nil)
+	p.Port(a).Send([]byte("A"), nil)
+	p.Port(b).Send([]byte("B"), nil)
 	d, _ := q.TryRecv(b)
 	if d == nil || string(d.Data) != "B" {
 		t.Fatalf("filtered recv = %v", d)
@@ -573,14 +574,14 @@ func TestRecvFilter(t *testing.T) {
 func TestBlockingRecv(t *testing.T) {
 	s := newSys()
 	p, q := s.NewProcess("p"), s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	q.SetPortLabel(port, label.Empty(label.L3))
 	done := make(chan *Delivery, 1)
 	go func() {
-		d, _ := q.Recv()
+		d, _ := q.RecvCtx(context.Background())
 		done <- d
 	}()
-	p.Send(port, []byte("wake"), nil)
+	p.Port(port).Send([]byte("wake"), nil)
 	d := <-done
 	if d == nil || string(d.Data) != "wake" {
 		t.Fatalf("blocking recv = %v", d)
@@ -590,7 +591,7 @@ func TestBlockingRecv(t *testing.T) {
 func TestEnvBootstrap(t *testing.T) {
 	s := newSys()
 	q := s.NewProcess("q")
-	port := q.NewPort(nil)
+	port := q.Open(nil).Handle()
 	s.SetEnv("service", port)
 	h, ok := s.Env("service")
 	if !ok || h != port {

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -162,7 +163,7 @@ func TestSendBatchFIFOAndConservation(t *testing.T) {
 
 	s := NewSystem(WithSeed(3), WithQueueLimit(senders*perSender+1))
 	recv := s.NewProcess("rx")
-	port := recv.NewPort(nil)
+	port := recv.Open(nil).Handle()
 	if err := recv.SetPortLabel(port, label.Empty(label.L3)); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestSendBatchFIFOAndConservation(t *testing.T) {
 				if rng.Intn(3) == 0 {
 					// Plain send interleaved with batches: order must hold
 					// across both paths.
-					if err := proc.Send(port, seqMsg(uint32(si), seq), nil); err != nil {
+					if err := proc.Port(port).Send(seqMsg(uint32(si), seq), nil); err != nil {
 						t.Errorf("sender %d: %v", si, err)
 						return
 					}
@@ -196,7 +197,7 @@ func TestSendBatchFIFOAndConservation(t *testing.T) {
 					entries[i] = BatchEntry{Data: seqMsg(uint32(si), seq)}
 					seq++
 				}
-				if err := proc.SendBatch(port, entries); err != nil {
+				if err := proc.Port(port).SendBatch(entries); err != nil {
 					t.Errorf("sender %d: batch: %v", si, err)
 					return
 				}
@@ -207,7 +208,7 @@ func TestSendBatchFIFOAndConservation(t *testing.T) {
 
 	nextSeq := make([]uint64, senders)
 	for got := 0; got < senders*perSender; got++ {
-		d, err := recv.Recv()
+		d, err := recv.RecvCtx(context.Background())
 		if err != nil {
 			t.Fatalf("recv after %d deliveries: %v", got, err)
 		}
@@ -234,11 +235,11 @@ func TestSendBatchFIFOAndConservation(t *testing.T) {
 func TestSendBatchSemantics(t *testing.T) {
 	s := NewSystem(WithSeed(5), WithQueueLimit(4))
 	rx := s.NewProcess("rx")
-	port := rx.NewPort(nil)
+	port := rx.Open(nil).Handle()
 	rx.SetPortLabel(port, label.Empty(label.L3))
 	tx := s.NewProcess("tx")
 
-	if err := tx.SendBatch(port, nil); err != nil {
+	if err := tx.Port(port).SendBatch(nil); err != nil {
 		t.Fatalf("empty batch = %v, want nil", err)
 	}
 
@@ -249,7 +250,7 @@ func TestSendBatchSemantics(t *testing.T) {
 		{Data: []byte("ok")},
 		{Data: []byte("bad"), Opts: &SendOpts{DecontSend: Grant(foreign)}},
 	}
-	if err := tx.SendBatch(port, bad); err != ErrPrivilege {
+	if err := tx.Port(port).SendBatch(bad); err != ErrPrivilege {
 		t.Fatalf("batch with privilege violation = %v, want ErrPrivilege", err)
 	}
 	if d, _ := rx.TryRecv(); d != nil {
@@ -258,7 +259,7 @@ func TestSendBatchSemantics(t *testing.T) {
 
 	// Unknown port: whole batch counted as drops, call succeeds (§4).
 	base := s.Drops()
-	if err := tx.SendBatch(handle.Handle(999999), mkEntries(3)); err != nil {
+	if err := tx.Port(handle.Handle(999999)).SendBatch(mkEntries(3)); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Drops() - base; got != 3 {
@@ -268,11 +269,11 @@ func TestSendBatchSemantics(t *testing.T) {
 	// Queue limit: a batch that does not fit is split exactly as the same
 	// messages sent one at a time would be — the prefix that fits (here one
 	// slot of the 4 remains) is enqueued, the tail is dropped and counted.
-	if err := tx.SendBatch(port, mkEntries(3)); err != nil {
+	if err := tx.Port(port).SendBatch(mkEntries(3)); err != nil {
 		t.Fatal(err)
 	}
 	base = s.Drops()
-	if err := tx.SendBatch(port, mkEntries(3)); err != nil {
+	if err := tx.Port(port).SendBatch(mkEntries(3)); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Drops() - base; got != 2 {
@@ -290,7 +291,7 @@ func TestSendBatchSemantics(t *testing.T) {
 	// Dead receiver: batch dropped and counted.
 	rx.Exit()
 	base = s.Drops()
-	if err := tx.SendBatch(port, mkEntries(2)); err != nil {
+	if err := tx.Port(port).SendBatch(mkEntries(2)); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Drops() - base; got != 2 {
@@ -299,7 +300,7 @@ func TestSendBatchSemantics(t *testing.T) {
 
 	// Dead sender: reports ErrDead like Send.
 	tx.Exit()
-	if err := tx.SendBatch(port, mkEntries(1)); err != ErrDead {
+	if err := tx.Port(port).SendBatch(mkEntries(1)); err != ErrDead {
 		t.Fatalf("batch from dead sender = %v, want ErrDead", err)
 	}
 }
@@ -322,11 +323,11 @@ func TestSendBatchReceiverChecksPerMessage(t *testing.T) {
 	hT := root.NewHandle()
 
 	rx := root.Fork("rx") // inherits hT ⋆, may accept the taint
-	port := rx.NewPort(nil)
+	port := rx.Open(nil).Handle()
 	rx.SetPortLabel(port, label.Empty(label.L3))
 
 	low := s.NewProcess("low")
-	lowPort := low.NewPort(nil)
+	lowPort := low.Open(nil).Handle()
 	low.SetPortLabel(lowPort, label.Empty(label.L3))
 	low.LowerRecv(label.New(label.L3, label.Entry{H: hT, L: label.L2}))
 
@@ -339,7 +340,7 @@ func TestSendBatchReceiverChecksPerMessage(t *testing.T) {
 	}
 
 	// The privileged receiver gets all three, in order.
-	if err := tx.SendBatch(port, batch); err != nil {
+	if err := tx.Port(port).SendBatch(batch); err != nil {
 		t.Fatal(err)
 	}
 	rx.RaiseRecv(hT, label.L3)
@@ -356,7 +357,7 @@ func TestSendBatchReceiverChecksPerMessage(t *testing.T) {
 	// The low-clearance receiver gets the clean two; the tainted middle
 	// entry is dropped at receive time (Figure 4 requirement 1).
 	base := s.Drops()
-	if err := tx.SendBatch(lowPort, batch); err != nil {
+	if err := tx.Port(lowPort).SendBatch(batch); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"clean-1", "clean-2"} {
@@ -383,14 +384,14 @@ func TestSendBatchReceiverChecksPerMessage(t *testing.T) {
 func TestSendBatchWakesParkedReceiver(t *testing.T) {
 	s := NewSystem(WithSeed(21))
 	rx := s.NewProcess("rx")
-	port := rx.NewPort(nil)
+	port := rx.Open(nil).Handle()
 	rx.SetPortLabel(port, label.Empty(label.L3))
 	tx := s.NewProcess("tx")
 
 	got := make(chan string, 8)
 	go func() {
 		for {
-			d, err := rx.Recv()
+			d, err := rx.RecvCtx(context.Background())
 			if err != nil {
 				close(got)
 				return
@@ -403,7 +404,7 @@ func TestSendBatchWakesParkedReceiver(t *testing.T) {
 	// the test is correct — just less pointed — without it).
 	time.Sleep(10 * time.Millisecond)
 
-	if err := tx.SendBatch(port, []BatchEntry{
+	if err := tx.Port(port).SendBatch([]BatchEntry{
 		{Data: []byte("a")}, {Data: []byte("b")}, {Data: []byte("c")},
 	}); err != nil {
 		t.Fatal(err)
@@ -428,7 +429,7 @@ func TestSendBatchWakesParkedReceiver(t *testing.T) {
 func TestBatcherGroupsPerPort(t *testing.T) {
 	s := NewSystem(WithSeed(33))
 	rx1, rx2 := s.NewProcess("rx1"), s.NewProcess("rx2")
-	p1, p2 := rx1.NewPort(nil), rx2.NewPort(nil)
+	p1, p2 := rx1.Open(nil).Handle(), rx2.Open(nil).Handle()
 	rx1.SetPortLabel(p1, label.Empty(label.L3))
 	rx2.SetPortLabel(p2, label.Empty(label.L3))
 	tx := s.NewProcess("tx")

@@ -34,7 +34,7 @@ func TestPortSendEquivalence(t *testing.T) {
 	if err := out.Send([]byte("via endpoint"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := tx.Send(inbox.Handle(), []byte("via handle"), nil); err != nil {
+	if err := tx.Port(inbox.Handle()).Send([]byte("via handle"), nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"via endpoint", "via handle"} {

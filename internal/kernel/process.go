@@ -280,7 +280,7 @@ func (p *Process) Open(initial *label.Label) *Port {
 }
 
 // openPort creates the port and returns its vnode; Open wraps it in an
-// endpoint, NewPort strips it to the bare handle.
+// endpoint.
 func (p *Process) openPort(initial *label.Label) *vnode {
 	if initial == nil {
 		initial = label.Empty(label.L3)
@@ -310,14 +310,6 @@ func (p *Process) openPort(initial *label.Label) *vnode {
 	s, _ := p.ctxLabels()
 	*s = (*s).With(vn.h, label.Star)
 	return vn
-}
-
-// NewPort is the v1, handle-based form of Open, kept for the seed API.
-//
-// Deprecated: use Open, which returns a Port endpoint with the cached
-// fast path and context-aware receives.
-func (p *Process) NewPort(initial *label.Label) handle.Handle {
-	return p.openPort(initial).h
 }
 
 // withOwnedPort replaces the routing state of a port the current context

@@ -21,10 +21,10 @@ func TestFigure2PrivacyScenario(t *testing.T) {
 	// grants from fs, which controls both compartments).
 	mkShell := func(name string, taint handle.Handle) (*Process, handle.Handle) {
 		p := s.NewProcess(name)
-		port := p.NewPort(nil)
+		port := p.Open(nil).Handle()
 		p.SetPortLabel(port, label.Empty(label.L3))
 		// Raise receive label to taint 3 and contaminate send label to 3.
-		if err := fs.Send(port, nil, &SendOpts{
+		if err := fs.Port(port).Send(nil, &SendOpts{
 			Contaminate: Taint(label.L3, taint),
 			DecontRecv:  AllowRecv(label.L3, taint),
 		}); err != nil {
@@ -45,24 +45,24 @@ func TestFigure2PrivacyScenario(t *testing.T) {
 	}
 
 	// U → UT allowed: US ⊑ UTR.
-	U.Send(utPort, []byte("u's data"), nil)
+	U.Port(utPort).Send([]byte("u's data"), nil)
 	if d, _ := UT.TryRecv(); d == nil {
 		t.Fatal("U must be able to send to UT")
 	}
 
 	// V → UT denied: VS(vT)=3 > UTR(vT)=2.
-	V.Send(utPort, []byte("v's data"), nil)
+	V.Port(utPort).Send([]byte("v's data"), nil)
 	if d, _ := UT.TryRecv(); d != nil {
 		t.Fatal("V must not be able to send to UT")
 	}
 
 	// FS can receive from both (receive label {uT 3, vT 3, 2}) without
 	// accumulating taint (send label keeps ⋆).
-	fsPort := fs.NewPort(nil)
+	fsPort := fs.Open(nil).Handle()
 	fs.SetPortLabel(fsPort, label.Empty(label.L3))
 	fs.RaiseRecv(uT, label.L3)
 	fs.RaiseRecv(vT, label.L3)
-	V.Send(fsPort, []byte("v write"), nil)
+	V.Port(fsPort).Send([]byte("v write"), nil)
 	if d, _ := fs.TryRecv(); d == nil {
 		t.Fatal("fs must accept v's write")
 	}
@@ -72,9 +72,9 @@ func TestFigure2PrivacyScenario(t *testing.T) {
 
 	// And fs can declassify: reply to U with minimal taint even after
 	// having seen v's data.
-	uPort := U.NewPort(nil)
+	uPort := U.Open(nil).Handle()
 	U.SetPortLabel(uPort, label.Empty(label.L3))
-	fs.Send(uPort, []byte("u file contents"), &SendOpts{Contaminate: Taint(label.L3, uT)})
+	fs.Port(uPort).Send([]byte("u file contents"), &SendOpts{Contaminate: Taint(label.L3, uT)})
 	if d, _ := U.TryRecv(); d == nil {
 		t.Fatal("fs reply to U dropped")
 	}
@@ -90,11 +90,11 @@ func TestPartialTaintLevelTwo(t *testing.T) {
 	vT := owner.NewHandle()
 
 	U := s.NewProcess("U")
-	uPort := U.NewPort(nil)
+	uPort := U.Open(nil).Handle()
 	U.SetPortLabel(uPort, label.Empty(label.L3))
 
 	UT := s.NewProcess("UT")
-	utPort := UT.NewPort(nil)
+	utPort := UT.Open(nil).Handle()
 	UT.SetPortLabel(utPort, label.Empty(label.L3))
 	// UT excluded from vT-tainted data: receive label lowered to {vT 1, 2}.
 	UT.LowerRecv(label.New(label.L3, label.Entry{H: vT, L: label.L1}))
@@ -104,7 +104,7 @@ func TestPartialTaintLevelTwo(t *testing.T) {
 
 	// V can talk to U (default receive label 2 accepts level-2 taint) —
 	// the permissive default.
-	V.Send(uPort, []byte("hello"), nil)
+	V.Port(uPort).Send([]byte("hello"), nil)
 	if d, _ := U.TryRecv(); d == nil {
 		t.Fatal("level-2 taint should pass default receive labels")
 	}
@@ -113,14 +113,14 @@ func TestPartialTaintLevelTwo(t *testing.T) {
 	}
 
 	// But not to UT, whose receive label was explicitly lowered.
-	V.Send(utPort, []byte("spy"), nil)
+	V.Port(utPort).Send([]byte("spy"), nil)
 	if d, _ := UT.TryRecv(); d != nil {
 		t.Fatal("explicitly excluded process received level-2 taint")
 	}
 
 	// And U, having received from V, now cannot reach UT either:
 	// transitive protection.
-	U.Send(utPort, []byte("indirect"), nil)
+	U.Port(utPort).Send([]byte("indirect"), nil)
 	if d, _ := UT.TryRecv(); d != nil {
 		t.Fatal("taint must follow data transitively")
 	}
@@ -136,7 +136,7 @@ func TestMLSEmulation(t *testing.T) {
 
 	mk := func(name string, clearance int) (*Process, handle.Handle) {
 		p := sys.NewProcess(name)
-		port := p.NewPort(nil)
+		port := p.Open(nil).Handle()
 		p.SetPortLabel(port, label.Empty(label.L3))
 		var opts SendOpts
 		switch clearance {
@@ -148,7 +148,7 @@ func TestMLSEmulation(t *testing.T) {
 			opts.Contaminate = Taint(label.L3, sh, th)
 		}
 		if clearance > 0 {
-			if err := admin.Send(port, nil, &opts); err != nil {
+			if err := admin.Port(port).Send(nil, &opts); err != nil {
 				t.Fatal(err)
 			}
 			if d, _ := p.TryRecv(); d == nil {
@@ -163,21 +163,21 @@ func TestMLSEmulation(t *testing.T) {
 	topsec, topsecPort := mk("topsecret", 2)
 
 	// Upward flows allowed: unclassified → secret → top-secret.
-	uncl.Send(secretPort, []byte("up1"), nil)
+	uncl.Port(secretPort).Send([]byte("up1"), nil)
 	if d, _ := secret.TryRecv(); d == nil {
 		t.Fatal("unclassified → secret must flow")
 	}
-	secret.Send(topsecPort, []byte("up2"), nil)
+	secret.Port(topsecPort).Send([]byte("up2"), nil)
 	if d, _ := topsec.TryRecv(); d == nil {
 		t.Fatal("secret → top-secret must flow")
 	}
 
 	// Downward flows blocked: top-secret → secret, secret → unclassified.
-	topsec.Send(secretPort, []byte("down1"), nil)
+	topsec.Port(secretPort).Send([]byte("down1"), nil)
 	if d, _ := secret.TryRecv(); d != nil {
 		t.Fatal("top-secret → secret must be blocked")
 	}
-	secret.Send(unclPort, []byte("down2"), nil)
+	secret.Port(unclPort).Send([]byte("down2"), nil)
 	if d, _ := uncl.TryRecv(); d != nil {
 		t.Fatal("secret → unclassified must be blocked")
 	}
@@ -185,11 +185,11 @@ func TestMLSEmulation(t *testing.T) {
 	// The odd label {t3, 1} (§5.2): can still send to top-secret only.
 	odd := sys.NewProcess("odd")
 	odd.ContaminateSelf(Taint(label.L3, th))
-	odd.Send(topsecPort, []byte("odd-up"), nil)
+	odd.Port(topsecPort).Send([]byte("odd-up"), nil)
 	if d, _ := topsec.TryRecv(); d == nil {
 		t.Fatal("{t3,1} → top-secret must flow")
 	}
-	odd.Send(secretPort, []byte("odd-down"), nil)
+	odd.Port(secretPort).Send([]byte("odd-down"), nil)
 	if d, _ := secret.TryRecv(); d != nil {
 		t.Fatal("{t3,1} → secret must be blocked")
 	}
@@ -202,7 +202,7 @@ func TestNetworkIntegrityExclusion(t *testing.T) {
 	sys := newSys()
 	fs := sys.NewProcess("fs")
 	s := fs.NewHandle()
-	fsPort := fs.NewPort(nil)
+	fsPort := fs.Open(nil).Handle()
 	fs.SetPortLabel(fsPort, label.Empty(label.L3))
 
 	netd := sys.NewProcess("netd")
@@ -212,26 +212,26 @@ func TestNetworkIntegrityExclusion(t *testing.T) {
 
 	// Clean process proves V(s) ≤ 1 and may write system files.
 	v := label.New(label.L3, label.Entry{H: s, L: label.L1})
-	clean.Send(fsPort, []byte("write system file"), &SendOpts{Verify: v})
+	clean.Port(fsPort).Send([]byte("write system file"), &SendOpts{Verify: v})
 	if d, _ := fs.TryRecv(); d == nil || d.V.Get(s) > label.L1 {
 		t.Fatal("clean writer should pass the integrity check")
 	}
 
 	// netd itself cannot provide that V.
-	netd.Send(fsPort, []byte("evil"), &SendOpts{Verify: v})
+	netd.Port(fsPort).Send([]byte("evil"), &SendOpts{Verify: v})
 	if d, _ := fs.TryRecv(); d != nil {
 		t.Fatal("netd must fail the s ≤ 1 verification")
 	}
 
 	// And any process contaminated by netd transitively fails too.
 	victim := sys.NewProcess("victim")
-	vicPort := victim.NewPort(nil)
+	vicPort := victim.Open(nil).Handle()
 	victim.SetPortLabel(vicPort, label.Empty(label.L3))
-	netd.Send(vicPort, []byte("payload"), nil)
+	netd.Port(vicPort).Send([]byte("payload"), nil)
 	if d, _ := victim.TryRecv(); d == nil {
 		t.Fatal("netd → victim should deliver (s2 ≤ default receive 2)")
 	}
-	victim.Send(fsPort, []byte("laundered"), &SendOpts{Verify: v})
+	victim.Port(fsPort).Send([]byte("laundered"), &SendOpts{Verify: v})
 	if d, _ := fs.TryRecv(); d != nil {
 		t.Fatal("network taint must not be launderable through a victim")
 	}
@@ -246,21 +246,21 @@ func TestDeclassifierPattern(t *testing.T) {
 	uT := idd.NewHandle()
 
 	public := s.NewProcess("public")
-	pubPort := public.NewPort(nil)
+	pubPort := public.Open(nil).Handle()
 	public.SetPortLabel(pubPort, label.Empty(label.L3))
 
 	db := s.NewProcess("db")
 	dbData := []byte("u's profile")
 
 	serve := func(dst handle.Handle) {
-		db.Send(dst, dbData, &SendOpts{Contaminate: Taint(label.L3, uT)})
+		db.Port(dst).Send(dbData, &SendOpts{Contaminate: Taint(label.L3, uT)})
 	}
 
 	// Ordinary worker: receives tainted, cannot republish.
 	worker := s.NewProcess("worker")
-	wPort := worker.NewPort(nil)
+	wPort := worker.Open(nil).Handle()
 	worker.SetPortLabel(wPort, label.Empty(label.L3))
-	idd.Send(wPort, nil, &SendOpts{DecontRecv: AllowRecv(label.L3, uT)})
+	idd.Port(wPort).Send(nil, &SendOpts{DecontRecv: AllowRecv(label.L3, uT)})
 	if d, _ := worker.TryRecv(); d == nil {
 		t.Fatal("worker clearance setup failed")
 	}
@@ -268,7 +268,7 @@ func TestDeclassifierPattern(t *testing.T) {
 	if d, _ := worker.TryRecv(); d == nil {
 		t.Fatal("worker should receive tainted data")
 	}
-	worker.Send(pubPort, dbData, nil)
+	worker.Port(pubPort).Send(dbData, nil)
 	if d, _ := public.TryRecv(); d != nil {
 		t.Fatal("tainted worker must not publish")
 	}
@@ -277,9 +277,9 @@ func TestDeclassifierPattern(t *testing.T) {
 	// send label but receiving tainted data still requires receive-label
 	// clearance (Equation 6), so the grant includes DR as well.
 	decl := s.NewProcess("declassifier")
-	dPort := decl.NewPort(nil)
+	dPort := decl.Open(nil).Handle()
 	decl.SetPortLabel(dPort, label.Empty(label.L3))
-	idd.Send(dPort, nil, &SendOpts{
+	idd.Port(dPort).Send(nil, &SendOpts{
 		DecontSend: Grant(uT),
 		DecontRecv: AllowRecv(label.L3, uT),
 	})
@@ -293,7 +293,7 @@ func TestDeclassifierPattern(t *testing.T) {
 	if decl.SendLabel().Get(uT) != label.Star {
 		t.Fatal("declassifier must keep ⋆ (not be contaminated)")
 	}
-	decl.Send(pubPort, dbData, nil)
+	decl.Port(pubPort).Send(dbData, nil)
 	if d, _ := public.TryRecv(); d == nil {
 		t.Fatal("declassifier must be able to publish")
 	}

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -79,7 +80,7 @@ func TestStressSendersReceivers(t *testing.T) {
 		}
 		r := &recvState{proc: proc, high: high}
 		for j := 0; j < portsPerRecv; j++ {
-			port := proc.NewPort(nil)
+			port := proc.Open(nil).Handle()
 			if err := proc.SetPortLabel(port, label.Empty(label.L3)); err != nil {
 				t.Fatalf("SetPortLabel: %v", err)
 			}
@@ -104,7 +105,7 @@ func TestStressSendersReceivers(t *testing.T) {
 		go func(ri int, r *recvState) {
 			defer wg.Done()
 			for {
-				d, err := r.proc.Recv()
+				d, err := r.proc.RecvCtx(context.Background())
 				if err != nil {
 					return
 				}
@@ -163,7 +164,7 @@ func TestStressSendersReceivers(t *testing.T) {
 			}
 			for seq := 0; seq < msgsPerSender; seq++ {
 				port := allPorts[(si+seq)%len(allPorts)]
-				if err := proc.Send(port, stressMsg(uint32(si), uint32(seq), tainted), nil); err != nil {
+				if err := proc.Port(port).Send(stressMsg(uint32(si), uint32(seq), tainted), nil); err != nil {
 					t.Errorf("sender %d: send: %v", si, err)
 					return
 				}
@@ -251,11 +252,11 @@ func TestStressPortChurn(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				owner := s.NewProcess(fmt.Sprintf("churn-%d-%d", ci, r))
-				port := owner.NewPort(nil)
+				port := owner.Open(nil).Handle()
 				owner.SetPortLabel(port, label.Empty(label.L3))
 				peer := s.NewProcess(fmt.Sprintf("peer-%d-%d", ci, r))
 				for k := 0; k < 4; k++ {
-					if err := peer.Send(port, []byte{byte(k)}, nil); err != nil {
+					if err := peer.Port(port).Send([]byte{byte(k)}, nil); err != nil {
 						t.Errorf("send: %v", err)
 					}
 					sent.Add(1)

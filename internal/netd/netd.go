@@ -2,10 +2,13 @@ package netd
 
 import (
 	"context"
+	"fmt"
+	"sync"
 
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
+	"asbestos/internal/shard"
 	"asbestos/internal/stats"
 	"asbestos/internal/wire"
 )
@@ -14,27 +17,45 @@ import (
 // port (bootstrap, paper §4).
 const EnvName = "netd"
 
-// Netd is the network server. Create with New, then run its event loop on
-// a goroutine with Run.
+// Netd is the network server: one or more replicated event loops
+// ("shards"), each its own kernel process owning a disjoint slice of the
+// connections by connection-id hash. The driver process deals every
+// connection event straight to the owning shard's driver port, so per-shard
+// connection state needs no locking; the service port (listen/connect) lives
+// on shard 0, which replicates listener registrations to the other shards
+// and hands adopted outbound connections to their owners.
+//
+// Create with New (one loop) or NewSharded, then run the loops on a
+// goroutine with Run.
 type Netd struct {
-	sys  *kernel.System
-	proc *kernel.Process
-	nw   *Network
+	sys *kernel.System
+	nw  *Network
 
-	servicePort *kernel.Port
-	driverPort  *kernel.Port
-	mbox        *kernel.Mailbox // every port netd owns, ctx-aware
+	shards []*netdShard
 
 	// ctx is the service's lifecycle: Run returns when it is cancelled,
-	// which is how Stop shuts the loop down (no Exit-unblocking tricks).
+	// which is how Stop shuts the loops down (no Exit-unblocking tricks).
 	ctx    context.Context
 	cancel context.CancelFunc
+}
+
+// netdShard is one event loop: its own process, driver port, connection
+// table and reply batcher, touched only by its own loop.
+type netdShard struct {
+	nd   *Netd
+	idx  int
+	proc *kernel.Process
+
+	servicePort *kernel.Port // shard 0 only; nil elsewhere
+	driverPort  *kernel.Port
+	mbox        *kernel.Mailbox // every port the shard owns, ctx-aware
 
 	conns     map[uint64]*sconn
 	byPort    map[handle.Handle]*sconn
-	listeners map[uint16]handle.Handle // lport → notify port
+	listeners map[uint16][]handle.Handle // lport → notify ports, dealt round-robin
+	rr        map[uint16]uint64          // per-lport notify rotation
 
-	// out coalesces netd's reply bursts: one dispatch round can fulfill
+	// out coalesces the shard's reply bursts: one dispatch round can fulfill
 	// many reads, acks and connection notifications; each destination port
 	// then receives its replies as one SendBatch. Reply-port capabilities
 	// are shed via out.DropAfter — only after the flush, since a buffered
@@ -46,7 +67,7 @@ type Netd struct {
 // dispatch before flushing.
 const netdBurst = 64
 
-// sconn is netd's per-connection state: the wrapped port endpoint, the
+// sconn is a shard's per-connection state: the wrapped port endpoint, the
 // optional taint handle, and reads awaiting data.
 type sconn struct {
 	c       *Conn
@@ -68,113 +89,174 @@ type pendingRead struct {
 	max   int
 }
 
-// New boots netd on sys: it creates the netd process, its service and
-// driver ports, and the hidden driver process, and publishes the service
-// port under EnvName.
+// New boots a single-loop netd on sys; NewSharded replicates the loop.
 func New(sys *kernel.System) *Netd {
-	proc := sys.NewProcess("netd")
-	svc := proc.Open(nil)
-	if err := svc.SetLabel(label.Empty(label.L3)); err != nil {
-		panic(err)
-	}
-	driver := proc.Open(nil)
+	return NewSharded(sys, 1)
+}
 
-	// The driver process models the interrupt path: it is the only process
-	// allowed to send to the driver port.
+// NewSharded boots netd with n replicated event loops. It creates one
+// process and driver port per shard plus the hidden driver process, and
+// publishes shard 0's service port under EnvName.
+func NewSharded(sys *kernel.System, n int) *Netd {
+	n = shard.Clamp(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	nd := &Netd{sys: sys, ctx: ctx, cancel: cancel}
+
+	// The driver process models the interrupt path: it injects connection
+	// events, dealing each to the shard owning the connection.
 	drv := sys.NewProcess("netdrv")
 	boot := drv.Open(nil)
 	if err := boot.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
 	}
-	if err := proc.Port(boot.Handle()).Send(nil, &kernel.SendOpts{DecontSend: kernel.Grant(driver.Handle())}); err != nil {
-		panic(err)
-	}
-	if d, err := drv.TryRecv(); err != nil || d == nil {
-		panic("netd: driver bootstrap failed")
-	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	nd := &Netd{
-		sys:         sys,
-		proc:        proc,
-		servicePort: svc,
-		driverPort:  driver,
-		mbox:        proc.Mailbox(),
-		ctx:         ctx,
-		cancel:      cancel,
-		conns:       make(map[uint64]*sconn),
-		byPort:      make(map[handle.Handle]*sconn),
-		listeners:   make(map[uint16]handle.Handle),
-		out:         kernel.NewBatcher(proc),
+	drivers := make([]*kernel.Port, n)
+	for i := 0; i < n; i++ {
+		name := "netd"
+		if n > 1 {
+			name = fmt.Sprintf("netd/%d", i)
+		}
+		proc := sys.NewProcess(name)
+		s := &netdShard{
+			nd:        nd,
+			idx:       i,
+			proc:      proc,
+			conns:     make(map[uint64]*sconn),
+			byPort:    make(map[handle.Handle]*sconn),
+			listeners: make(map[uint16][]handle.Handle),
+			rr:        make(map[uint16]uint64),
+			out:       kernel.NewBatcher(proc),
+		}
+		if i == 0 {
+			svc := proc.Open(nil)
+			if err := svc.SetLabel(label.Empty(label.L3)); err != nil {
+				panic(err)
+			}
+			s.servicePort = svc
+		}
+		driver := proc.Open(nil)
+		s.driverPort = driver
+		s.mbox = proc.Mailbox()
+		if err := proc.Port(boot.Handle()).Send(nil, &kernel.SendOpts{DecontSend: kernel.Grant(driver.Handle())}); err != nil {
+			panic(err)
+		}
+		if d, err := drv.TryRecv(); err != nil || d == nil {
+			panic("netd: driver bootstrap failed")
+		}
+		drivers[i] = drv.Port(driver.Handle())
+		nd.shards = append(nd.shards, s)
 	}
+	boot.Dissociate()
+
+	// Driver ports are closed by capability ({drv 0, 3}); the driver process
+	// got its ⋆ above, but shard 0 also sends to its siblings' driver ports
+	// (evListen replication, evAdopt handovers). Grant it those ⋆s, or the
+	// broadcasts would be silently dropped.
+	var grants []kernel.BootstrapGrant
+	for _, sib := range nd.shards[1:] {
+		grants = append(grants, kernel.BootstrapGrant{
+			From: sib.proc, Handles: []handle.Handle{sib.driverPort.Handle()},
+		})
+	}
+	kernel.BootstrapGrants(nd.shards[0].proc, grants)
+
 	nd.nw = &Network{
 		conns:     make(map[uint64]*Conn),
 		listening: make(map[uint16]bool),
 		external:  make(map[uint16]*ExternalListener),
 		drv:       drv,
-		driver:    drv.Port(driver.Handle()),
+		drivers:   drivers,
 	}
-	sys.SetEnv(EnvName, svc.Handle())
+	sys.SetEnv(EnvName, nd.shards[0].servicePort.Handle())
 	return nd
 }
 
 // Network returns the simulated wire for remote peers.
 func (nd *Netd) Network() *Network { return nd.nw }
 
-// ServicePort returns netd's request port.
-func (nd *Netd) ServicePort() handle.Handle { return nd.servicePort.Handle() }
+// ServicePort returns netd's request port (owned by shard 0).
+func (nd *Netd) ServicePort() handle.Handle { return nd.shards[0].servicePort.Handle() }
 
-// Process returns the netd kernel process (for label inspection in tests
-// and experiments — e.g. Figure 9 tracks its receive-label growth).
-func (nd *Netd) Process() *kernel.Process { return nd.proc }
+// ShardCount reports the number of replicated loops.
+func (nd *Netd) ShardCount() int { return len(nd.shards) }
 
-// Run is netd's event loop; it returns when the service's context is
-// cancelled via Stop (or the process is killed). Deliveries are dispatched
-// in bursts so the reply traffic they generate — read replies, write acks,
-// new-connection notifications — coalesces into one SendBatch per
-// destination.
+// Process returns shard 0's kernel process (for label inspection in tests
+// and experiments — e.g. Figure 9 tracks its receive-label growth). With
+// multiple shards, each shard's labels grow only with the connections it
+// owns; Processes exposes all of them.
+func (nd *Netd) Process() *kernel.Process { return nd.shards[0].proc }
+
+// Processes returns every shard's kernel process.
+func (nd *Netd) Processes() []*kernel.Process {
+	out := make([]*kernel.Process, len(nd.shards))
+	for i, s := range nd.shards {
+		out[i] = s.proc
+	}
+	return out
+}
+
+// Run runs every shard's event loop; it returns when the service's context
+// is cancelled via Stop (or the processes are killed). Deliveries are
+// dispatched in bursts so the reply traffic they generate — read replies,
+// write acks, new-connection notifications — coalesces into one SendBatch
+// per destination.
 func (nd *Netd) Run() {
-	prof := nd.sys.Profiler()
+	var wg sync.WaitGroup
+	for _, s := range nd.shards {
+		wg.Add(1)
+		go func(s *netdShard) {
+			defer wg.Done()
+			s.run()
+		}(s)
+	}
+	wg.Wait()
+}
+
+func (s *netdShard) run() {
+	prof := s.nd.sys.Profiler()
 	for {
-		d, err := nd.mbox.Recv(nd.ctx)
+		d, err := s.mbox.Recv(s.nd.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatNetwork)
-		nd.dispatch(d)
+		s.dispatch(d)
 		n := 1
-		for d := range nd.mbox.Drain() {
-			nd.dispatch(d)
+		for d := range s.mbox.Drain() {
+			s.dispatch(d)
 			if n++; n >= netdBurst {
 				break
 			}
 		}
-		nd.out.Flush()
+		s.out.Flush()
 		stop()
 	}
 }
 
 // Stop shuts netd down: it cancels the lifecycle context, which returns
-// Run, and then releases the process's kernel state.
+// Run, and then releases every shard process's kernel state.
 func (nd *Netd) Stop() {
 	nd.cancel()
-	nd.proc.Exit()
+	for _, s := range nd.shards {
+		s.proc.Exit()
+	}
 }
 
-func (nd *Netd) dispatch(d *kernel.Delivery) {
-	switch d.Port {
-	case nd.servicePort.Handle():
-		nd.handleService(d)
-	case nd.driverPort.Handle():
-		nd.handleDriver(d)
+func (s *netdShard) dispatch(d *kernel.Delivery) {
+	switch {
+	case s.servicePort != nil && d.Port == s.servicePort.Handle():
+		s.handleService(d)
+	case d.Port == s.driverPort.Handle():
+		s.handleDriver(d)
 	default:
-		if sc := nd.byPort[d.Port]; sc != nil {
-			nd.handleConn(sc, d)
+		if sc := s.byPort[d.Port]; sc != nil {
+			s.handleConn(sc, d)
 		}
 	}
 }
 
-func (nd *Netd) handleService(d *kernel.Delivery) {
+// handleService runs on shard 0 only (it owns the service port).
+func (s *netdShard) handleService(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	switch op {
 	case opListen:
@@ -183,38 +265,76 @@ func (nd *Netd) handleService(d *kernel.Delivery) {
 		if r.Err() {
 			return
 		}
-		nd.listeners[lport] = notify
-		nd.nw.markListening(lport)
+		// Replicate the registration to the sibling shards BEFORE marking
+		// the port listening: a Dial that sneaks in after markListening
+		// produces an evNewConn that is pushed to the owning shard's queue
+		// after this broadcast, so FIFO order guarantees the shard knows the
+		// listener by then. The listener's ⋆ (granted to this shard by the
+		// Listen message) is re-granted alongside — a sibling's notifications
+		// to a capability-closed notify port would otherwise be dropped.
+		for _, sib := range s.nd.shards {
+			if sib == s {
+				s.addListener(lport, notify)
+				continue
+			}
+			msg := wire.NewWriter(evListen).U16(lport).Handle(notify).Done()
+			s.proc.Port(sib.driverPort.Handle()).Send(msg,
+				&kernel.SendOpts{DecontSend: kernel.Grant(notify)})
+		}
+		s.nd.nw.markListening(lport)
 	case opConnect:
 		lport := r.U16()
 		reply := r.Handle()
 		if r.Err() {
 			return
 		}
-		c := nd.nw.connectExternal(lport)
+		c := s.nd.nw.connectExternal(lport)
 		if c == nil {
-			nd.out.Add(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
+			s.out.Add(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
+			// Shed the reply capability on the refusal path too, or every
+			// refused connect grows this shard's send label forever.
+			s.out.DropAfter(reply)
 			return
 		}
-		sc := nd.newSconn(c, lport)
-		msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port.Handle()).Done()
-		nd.out.Add(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
-		nd.out.DropAfter(reply)
+		owner := s.nd.shards[shard.OfU64(c.id, len(s.nd.shards))]
+		if owner == s {
+			sc := s.newSconn(c, lport)
+			msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port.Handle()).Done()
+			s.out.Add(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
+			s.out.DropAfter(reply)
+			return
+		}
+		// The connection hashes to a sibling: hand it over, re-granting the
+		// requester's reply capability so the owner can answer directly.
+		msg := wire.NewWriter(evAdopt).U64(c.id).U16(lport).Handle(reply).Done()
+		s.proc.Port(owner.driverPort.Handle()).Send(msg,
+			&kernel.SendOpts{DecontSend: kernel.Grant(reply)})
+		s.proc.DropPrivilege(reply, label.L1)
 	}
 }
 
+// addListener records a notify port for lport (deduplicated).
+func (s *netdShard) addListener(lport uint16, notify handle.Handle) {
+	for _, h := range s.listeners[lport] {
+		if h == notify {
+			return
+		}
+	}
+	s.listeners[lport] = append(s.listeners[lport], notify)
+}
+
 // newSconn wraps a connection in a fresh Asbestos port whose label starts
-// as {uC 0, 2}: nobody but netd can send to it until access is granted
-// (Figure 5 step 1).
-func (nd *Netd) newSconn(c *Conn, lport uint16) *sconn {
-	port := nd.proc.Open(label.Empty(label.L2))
+// as {uC 0, 2}: nobody but this netd shard can send to it until access is
+// granted (Figure 5 step 1).
+func (s *netdShard) newSconn(c *Conn, lport uint16) *sconn {
+	port := s.proc.Open(label.Empty(label.L2))
 	sc := &sconn{c: c, port: port, lport: lport}
-	nd.conns[c.id] = sc
-	nd.byPort[port.Handle()] = sc
+	s.conns[c.id] = sc
+	s.byPort[port.Handle()] = sc
 	return sc
 }
 
-func (nd *Netd) handleDriver(d *kernel.Delivery) {
+func (s *netdShard) handleDriver(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	switch op {
 	case evNewConn:
@@ -223,28 +343,57 @@ func (nd *Netd) handleDriver(d *kernel.Delivery) {
 		if r.Err() {
 			return
 		}
-		c := nd.nw.conn(id)
-		notify, ok := nd.listeners[lport]
-		if c == nil || !ok {
+		c := s.nd.nw.conn(id)
+		notifies := s.listeners[lport]
+		if c == nil || len(notifies) == 0 {
 			return
 		}
-		sc := nd.newSconn(c, lport)
-		// Figure 5 step 2: notify the listener, granting uC at ⋆. A burst
-		// of new connections reaches the demux as one batch.
+		// Deal the connection to the next listener endpoint round-robin —
+		// with a sharded demux, each lport has one notify port per demux
+		// shard, and this rotation is what spreads fresh connections across
+		// them. Figure 5 step 2: notify the listener, granting uC at ⋆. A
+		// burst of new connections reaches each listener as one batch.
+		sc := s.newSconn(c, lport)
+		notify := notifies[s.rr[lport]%uint64(len(notifies))]
+		s.rr[lport]++
 		msg := wire.NewWriter(OpNewConnNotify).Handle(sc.port.Handle()).U16(lport).Done()
-		nd.out.Add(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
+		s.out.Add(notify, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
 	case evData, evClosed:
 		id := r.U64()
 		if r.Err() {
 			return
 		}
-		if sc := nd.conns[id]; sc != nil {
-			nd.fulfillReads(sc)
+		if sc := s.conns[id]; sc != nil {
+			s.fulfillReads(sc)
 		}
+	case evListen:
+		lport := r.U16()
+		notify := r.Handle()
+		if r.Err() {
+			return
+		}
+		s.addListener(lport, notify)
+	case evAdopt:
+		id := r.U64()
+		lport := r.U16()
+		reply := r.Handle()
+		if r.Err() {
+			return
+		}
+		c := s.nd.nw.conn(id)
+		if c == nil {
+			s.out.Add(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
+			s.out.DropAfter(reply)
+			return
+		}
+		sc := s.newSconn(c, lport)
+		msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port.Handle()).Done()
+		s.out.Add(reply, msg, &kernel.SendOpts{DecontSend: kernel.Grant(sc.port.Handle())})
+		s.out.DropAfter(reply)
 	}
 }
 
-func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
+func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	switch op {
 	case opRead:
@@ -254,7 +403,7 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 			return
 		}
 		sc.pending = append(sc.pending, pendingRead{reply, max})
-		nd.fulfillReads(sc)
+		s.fulfillReads(sc)
 	case opWrite:
 		reply := r.Handle()
 		data := r.Bytes()
@@ -265,7 +414,7 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 		if !sc.closed {
 			n = sc.c.pushFromNetd(data)
 		}
-		nd.reply(sc, reply, wire.NewWriter(OpWriteReply).U32(uint32(n)).Done())
+		s.reply(sc, reply, wire.NewWriter(OpWriteReply).U32(uint32(n)).Done())
 	case opControl:
 		reply := r.Handle()
 		cmd := r.Byte()
@@ -278,8 +427,8 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 			sc.c.closeFromNetd()
 			okb = 1
 		}
-		nd.fulfillReads(sc) // pending reads now get EOF
-		nd.reply(sc, reply, wire.NewWriter(OpControlReply).Byte(okb).Done())
+		s.fulfillReads(sc) // pending reads now get EOF
+		s.reply(sc, reply, wire.NewWriter(OpControlReply).Byte(okb).Done())
 		if okb == 1 {
 			// Release the connection: its port and capability go away, the
 			// label churn the paper charges per connection ("... and then
@@ -287,9 +436,9 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 			// §9.3). The per-user taint ⋆ is retained for future
 			// connections.
 			sc.port.Dissociate()
-			nd.proc.DropPrivilege(sc.port.Handle(), label.L1)
-			delete(nd.conns, sc.c.id)
-			delete(nd.byPort, sc.port.Handle())
+			s.proc.DropPrivilege(sc.port.Handle(), label.L1)
+			delete(s.conns, sc.c.id)
+			delete(s.byPort, sc.port.Handle())
 		}
 	case opSelect:
 		reply := r.Handle()
@@ -298,7 +447,7 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 		}
 		readable, writable := sc.c.bufferState()
 		msg := wire.NewWriter(OpSelectReply).U32(uint32(readable)).U32(uint32(writable)).Done()
-		nd.reply(sc, reply, msg)
+		s.reply(sc, reply, msg)
 	case opAddTaint:
 		reply := r.Handle()
 		taint := r.Handle()
@@ -307,22 +456,22 @@ func (nd *Netd) handleConn(sc *sconn, d *kernel.Delivery) {
 		}
 		sc.taint = taint
 		sc.replyOpts = &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, taint)}
-		// The sender granted us taint ⋆ (AddTaint's DS), so netd may raise
-		// its own receive label and the port label: {uC 0, uT 3, 2}
+		// The sender granted us taint ⋆ (AddTaint's DS), so this shard may
+		// raise its own receive label and the port label: {uC 0, uT 3, 2}
 		// (Figure 5 step 5).
-		if err := nd.proc.RaiseRecv(taint, label.L3); err != nil {
+		if err := s.proc.RaiseRecv(taint, label.L3); err != nil {
 			return
 		}
 		pl := label.New(label.L2,
 			label.Entry{H: sc.port.Handle(), L: label.L0},
 			label.Entry{H: taint, L: label.L3})
 		sc.port.SetLabel(pl)
-		nd.reply(sc, reply, wire.NewWriter(OpAddTaintReply).Byte(1).Done())
+		s.reply(sc, reply, wire.NewWriter(OpAddTaintReply).Byte(1).Done())
 	}
 }
 
 // fulfillReads answers queued reads that can now complete.
-func (nd *Netd) fulfillReads(sc *sconn) {
+func (s *netdShard) fulfillReads(sc *sconn) {
 	for len(sc.pending) > 0 {
 		pr := sc.pending[0]
 		data, eof := sc.c.takeToNetd(pr.max)
@@ -339,7 +488,7 @@ func (nd *Netd) fulfillReads(sc *sconn) {
 		} else {
 			msg = wire.NewWriter(OpReadReply).Byte(0).Bytes(data).Done()
 		}
-		nd.reply(sc, pr.reply, msg)
+		s.reply(sc, pr.reply, msg)
 	}
 }
 
@@ -347,15 +496,15 @@ func (nd *Netd) fulfillReads(sc *sconn) {
 // set ("netd will respond to all messages on uC with replies contaminated
 // with uT 3", Figure 5 step 5). Replies to one port leave as a single
 // SendBatch at the end of the dispatch burst.
-func (nd *Netd) reply(sc *sconn, to handle.Handle, msg []byte) {
+func (s *netdShard) reply(sc *sconn, to handle.Handle, msg []byte) {
 	var opts *kernel.SendOpts
 	if sc.taint.Valid() {
 		opts = sc.replyOpts
 	}
-	nd.out.Add(to, msg, opts)
+	s.out.Add(to, msg, opts)
 	// The reply-port capability was granted for this exchange only; shed it
 	// — after the flush, since the buffered reply may depend on it — so
-	// netd's send label stays proportional to users + open connections,
+	// the shard's send label stays proportional to users + open connections,
 	// not to total messages handled.
-	nd.out.DropAfter(to)
+	s.out.DropAfter(to)
 }

@@ -1,6 +1,7 @@
 package netd
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func newRig(t *testing.T) *rig {
 	t.Cleanup(nd.Stop)
 
 	app := sys.NewProcess("app")
-	notify := app.NewPort(nil)
+	notify := app.Open(nil).Handle()
 	svc, ok := sys.Env(EnvName)
 	if !ok {
 		t.Fatal("netd service port not published")
@@ -55,7 +56,7 @@ func (r *rig) accept(t *testing.T) (*Conn, handle.Handle) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
-	d, err := r.app.Recv(r.notify)
+	d, err := recvOn(r.app, r.notify)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +71,13 @@ func (r *rig) accept(t *testing.T) (*Conn, handle.Handle) {
 }
 
 func (r *rig) replyPort(p *kernel.Process) handle.Handle {
-	port := p.NewPort(nil)
-	return port
+	return p.Open(nil).Handle()
+}
+
+// recvOn blocks for the next delivery on one port (the v1 Recv idiom, now
+// explicit about its missing deadline).
+func recvOn(p *kernel.Process, h handle.Handle) (*kernel.Delivery, error) {
+	return p.RecvCtx(context.Background(), h)
 }
 
 func TestDialRefusedWithoutListener(t *testing.T) {
@@ -96,7 +102,7 @@ func TestAcceptReadWrite(t *testing.T) {
 	if err := Read(r.app.Port(connPort), reply, 4096); err != nil {
 		t.Fatal(err)
 	}
-	d, err := r.app.Recv(reply)
+	d, err := recvOn(r.app, reply)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +115,7 @@ func TestAcceptReadWrite(t *testing.T) {
 	if err := Write(r.app.Port(connPort), reply, []byte("200 OK")); err != nil {
 		t.Fatal(err)
 	}
-	d, _ = r.app.Recv(reply)
+	d, _ = recvOn(r.app, reply)
 	if n, ok := ParseWriteReply(d); !ok || n != 6 {
 		t.Fatalf("write reply n=%d ok=%v", n, ok)
 	}
@@ -130,7 +136,7 @@ func TestReadBlocksUntilData(t *testing.T) {
 	}
 	done := make(chan string, 1)
 	go func() {
-		d, err := r.app.Recv(reply)
+		d, err := recvOn(r.app, reply)
 		if err != nil {
 			done <- err.Error()
 			return
@@ -155,7 +161,7 @@ func TestRemoteCloseGivesEOF(t *testing.T) {
 	c.Close()
 	reply := r.replyPort(r.app)
 	Read(r.app.Port(connPort), reply, 100)
-	d, _ := r.app.Recv(reply)
+	d, _ := recvOn(r.app, reply)
 	rr, ok := ParseReadReply(d)
 	if !ok || !rr.EOF {
 		t.Fatalf("expected EOF reply, got %+v", rr)
@@ -167,9 +173,9 @@ func TestAppCloseGivesRemoteEOF(t *testing.T) {
 	c, connPort := r.accept(t)
 	reply := r.replyPort(r.app)
 	Write(r.app.Port(connPort), reply, []byte("bye"))
-	r.app.Recv(reply)
+	recvOn(r.app, reply)
 	Control(r.app.Port(connPort), reply, CtlClose)
-	d, _ := r.app.Recv(reply)
+	d, _ := recvOn(r.app, reply)
 	op := d.Data[0]
 	if op != OpControlReply {
 		t.Fatalf("control reply op = %d", op)
@@ -194,7 +200,7 @@ func TestSelectReportsBuffers(t *testing.T) {
 	deadline := time.Now().Add(time.Second)
 	for {
 		Select(r.app.Port(connPort), reply)
-		d, _ := r.app.Recv(reply)
+		d, _ := recvOn(r.app, reply)
 		_, rr := splitSelect(t, d.Data)
 		if rr == 5 {
 			break
@@ -235,7 +241,7 @@ func TestTaintedConnectionFlow(t *testing.T) {
 	}
 	// The AddTaint reply itself is tainted; the app must be able to
 	// receive it (it has uT ⋆, so contamination does not stick).
-	d, err := r.app.Recv(reply)
+	d, err := recvOn(r.app, reply)
 	if err != nil || d.Data[0] != OpAddTaintReply {
 		t.Fatalf("addtaint reply: %v %v", d, err)
 	}
@@ -250,11 +256,11 @@ func TestTaintedConnectionFlow(t *testing.T) {
 
 	// A worker tainted with uT CAN write to the connection...
 	worker := r.sys.NewProcess("worker")
-	wReply := worker.NewPort(nil)
+	wReply := worker.Open(nil).Handle()
 	// demux-style handoff: grant uC ⋆ + contaminate uT 3.
-	handoff := worker.NewPort(nil)
-	worker.SetPortLabel(handoff, label.Empty(label.L3))
-	if err := r.app.Send(handoff, nil, &kernel.SendOpts{
+	handoff := worker.Open(nil)
+	handoff.SetLabel(label.Empty(label.L3))
+	if err := r.app.Port(handoff.Handle()).Send(nil, &kernel.SendOpts{
 		DecontSend:  kernel.Grant(connPort),
 		Contaminate: kernel.Taint(label.L3, uT),
 		DecontRecv:  kernel.AllowRecv(label.L3, uT),
@@ -267,7 +273,7 @@ func TestTaintedConnectionFlow(t *testing.T) {
 	if err := Write(worker.Port(connPort), wReply, []byte("for u")); err != nil {
 		t.Fatal(err)
 	}
-	d2, err := worker.Recv(wReply)
+	d2, err := recvOn(worker, wReply)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +291,7 @@ func TestTaintedConnectionFlow(t *testing.T) {
 	evil := r.sys.NewProcess("evil")
 	vT := r.app.NewHandle()
 	evil.ContaminateSelf(kernel.Taint(label.L3, uT, vT))
-	eReply := evil.NewPort(nil)
+	eReply := evil.Open(nil).Handle()
 	before := r.sys.Drops()
 	Write(evil.Port(connPort), eReply, []byte("stolen"))
 	if r.sys.Drops() <= before {
@@ -317,7 +323,7 @@ func TestOutgoingConnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	remote := ext.Accept()
-	d, err := r.app.Recv(reply)
+	d, err := recvOn(r.app, reply)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +334,7 @@ func TestOutgoingConnect(t *testing.T) {
 	if err := Write(r.app.Port(connPort), reply, []byte("hi out")); err != nil {
 		t.Fatal(err)
 	}
-	r.app.Recv(reply)
+	recvOn(r.app, reply)
 	buf := make([]byte, 16)
 	n, _ := remote.Read(buf)
 	if string(buf[:n]) != "hi out" {
@@ -341,7 +347,7 @@ func TestConnectRefusedWithoutExternalListener(t *testing.T) {
 	reply := r.replyPort(r.app)
 	svc, _ := r.sys.Env(EnvName)
 	Connect(r.app.Port(svc), 12345, reply)
-	d, err := r.app.Recv(reply)
+	d, err := recvOn(r.app, reply)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +377,7 @@ func TestWindowBackpressure(t *testing.T) {
 	drained := 0
 	for drained < len(payload) {
 		Read(r.app.Port(connPort), reply, 64*1024)
-		d, err := r.app.Recv(reply)
+		d, err := recvOn(r.app, reply)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -402,7 +408,7 @@ func TestMultipleConnections(t *testing.T) {
 	seen := make(map[handle.Handle]byte)
 	for i := 0; i < n; i++ {
 		Read(r.app.Port(ports[i]), reply, 10)
-		d, err := r.app.Recv(reply)
+		d, err := recvOn(r.app, reply)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -416,5 +422,152 @@ func TestMultipleConnections(t *testing.T) {
 		if seen[ports[i]] != byte('a'+i) {
 			t.Fatalf("conn %d data mixed up: %c", i, seen[ports[i]])
 		}
+	}
+}
+
+// shardedRig boots a 3-loop netd with two listener notify ports on lport 80.
+func shardedRig(t *testing.T) (*rig, handle.Handle) {
+	t.Helper()
+	sys := kernel.NewSystem(kernel.WithSeed(17))
+	nd := NewSharded(sys, 3)
+	go nd.Run()
+	t.Cleanup(nd.Stop)
+
+	app := sys.NewProcess("app")
+	notify := app.Open(nil).Handle()
+	notify2 := app.Open(nil).Handle()
+	svc, _ := sys.Env(EnvName)
+	if err := Listen(app.Port(svc), 80, notify); err != nil {
+		t.Fatal(err)
+	}
+	if err := Listen(app.Port(svc), 80, notify2); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{sys: sys, nd: nd, app: app, notify: notify}, notify2
+}
+
+// TestShardedNetdDealsConnections drives a 3-shard netd: connections are
+// owned by the shard hashing their id, listener registrations replicate to
+// every shard, and each shard deals notifications round-robin over the
+// registered notify ports — so both listener endpoints see traffic and
+// every connection stays usable end to end.
+func TestShardedNetdDealsConnections(t *testing.T) {
+	r, notify2 := shardedRig(t)
+	const conns = 12
+	remote := make([]*Conn, conns)
+	for i := range remote {
+		var err error
+		for try := 0; try < 200; try++ {
+			remote[i], err = r.nd.Network().Dial(80)
+			if err == nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+	// Collect one notify per connection, from either listener port.
+	seen := map[handle.Handle]int{}
+	ports := make([]handle.Handle, 0, conns)
+	for i := 0; i < conns; i++ {
+		d, err := r.app.RecvCtx(context.Background(), r.notify, notify2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, ok := ParseNotify(d)
+		if !ok || n.LPort != 80 {
+			t.Fatalf("bad notify: %+v", d)
+		}
+		seen[d.Port]++
+		ports = append(ports, n.ConnPort)
+	}
+	if seen[r.notify] == 0 || seen[notify2] == 0 {
+		t.Fatalf("round-robin dealing left a listener dry: %v", seen)
+	}
+	// Every connection works regardless of which shard owns it.
+	reply := r.replyPort(r.app)
+	for i, p := range ports {
+		msg := []byte{byte('A' + i)}
+		if err := Write(r.app.Port(p), reply, msg); err != nil {
+			t.Fatal(err)
+		}
+		if d, err := recvOn(r.app, reply); err != nil {
+			t.Fatal(err)
+		} else if n, ok := ParseWriteReply(d); !ok || n != 1 {
+			t.Fatalf("conn %d write reply: %d %v", i, n, ok)
+		}
+	}
+	for i, c := range remote {
+		buf := make([]byte, 4)
+		n, err := c.Read(buf)
+		if err != nil || n != 1 {
+			t.Fatalf("remote %d read: %v", i, err)
+		}
+	}
+}
+
+// TestShardedOutgoingConnect exercises the evAdopt handover: outbound
+// connections are created by shard 0 (the service-port owner) but owned by
+// the shard hashing their id, which must adopt them and answer the
+// requester directly.
+func TestShardedOutgoingConnect(t *testing.T) {
+	r, _ := shardedRig(t)
+	ext := r.nd.Network().ListenExternal(443)
+	svc, _ := r.sys.Env(EnvName)
+	for i := 0; i < 6; i++ {
+		reply := r.replyPort(r.app)
+		if err := Connect(r.app.Port(svc), 443, reply); err != nil {
+			t.Fatal(err)
+		}
+		remote := ext.Accept()
+		d, err := recvOn(r.app, reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		connPort, ok := ParseConnectReply(d)
+		if !ok {
+			t.Fatalf("connect %d rejected: % x", i, d.Data)
+		}
+		if err := Write(r.app.Port(connPort), reply, []byte("out")); err != nil {
+			t.Fatal(err)
+		}
+		recvOn(r.app, reply)
+		buf := make([]byte, 8)
+		n, _ := remote.Read(buf)
+		if string(buf[:n]) != "out" {
+			t.Fatalf("connect %d: external listener got %q", i, buf[:n])
+		}
+	}
+}
+
+// TestEmptyDeliveryIgnoredByNetd fires zero-length payloads at the service
+// and (via capability) a connection port: both dispatchers must ignore them
+// and keep serving.
+func TestEmptyDeliveryIgnoredByNetd(t *testing.T) {
+	r := newRig(t)
+	c, connPort := r.accept(t)
+	svc, _ := r.sys.Env(EnvName)
+	for _, payload := range [][]byte{nil, {}} {
+		if err := r.app.Port(svc).Send(payload, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.app.Port(connPort).Send(payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The connection still works.
+	reply := r.replyPort(r.app)
+	go c.Write([]byte("still here"))
+	if err := Read(r.app.Port(connPort), reply, 64); err != nil {
+		t.Fatal(err)
+	}
+	d, err := recvOn(r.app, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr, ok := ParseReadReply(d); !ok || string(rr.Data) != "still here" {
+		t.Fatalf("read after empty deliveries: %+v %v", rr, ok)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"asbestos/internal/kernel"
+	"asbestos/internal/shard"
 	"asbestos/internal/wire"
 )
 
@@ -31,8 +32,11 @@ type Network struct {
 	listening map[uint16]bool
 	external  map[uint16]*ExternalListener
 
-	drv    *kernel.Process
-	driver *kernel.Port // netd's driver port, as the driver process's cached send endpoint
+	drv *kernel.Process
+	// drivers are the netd shards' driver ports as the driver process's
+	// cached send endpoints; every event for connection id goes to the shard
+	// owning that id, so one connection's events never split across loops.
+	drivers []*kernel.Port
 }
 
 // Dial opens a connection from the simulated remote host to an Asbestos
@@ -47,7 +51,7 @@ func (nw *Network) Dial(lport uint16) (*Conn, error) {
 	c := newConn(nw, nw.nextID)
 	nw.conns[c.id] = c
 	nw.mu.Unlock()
-	nw.event(wire.NewWriter(evNewConn).U64(c.id).U16(lport).Done())
+	nw.event(c.id, wire.NewWriter(evNewConn).U64(c.id).U16(lport).Done())
 	return c, nil
 }
 
@@ -61,10 +65,19 @@ func (nw *Network) ListenExternal(lport uint16) *ExternalListener {
 	return l
 }
 
-// event injects a driver event into the kernel on behalf of the interrupt
-// path.
-func (nw *Network) event(msg []byte) {
-	nw.driver.Send(msg, nil)
+// event injects a driver event for connection id into the kernel on behalf
+// of the interrupt path, dealt to the shard owning the connection.
+func (nw *Network) event(id uint64, msg []byte) {
+	nw.drivers[shard.OfU64(id, len(nw.drivers))].Send(msg, nil)
+}
+
+// Listening reports whether lport currently accepts connections (set once
+// netd's service loop has processed the Listen request; the OKWS launcher
+// waits on it so a stack is dialable the moment Launch returns).
+func (nw *Network) Listening(lport uint16) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.listening[lport]
 }
 
 // markListening is called by netd when it processes a Listen request.
@@ -155,7 +168,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		}
 		c.toNetd = append(c.toNetd, b[:n]...)
 		c.mu.Unlock()
-		c.nw.event(wire.NewWriter(evData).U64(c.id).Done())
+		c.nw.event(c.id, wire.NewWriter(evData).U64(c.id).Done())
 		b = b[n:]
 		total += n
 	}
@@ -186,7 +199,7 @@ func (c *Conn) Close() error {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	if !already {
-		c.nw.event(wire.NewWriter(evClosed).U64(c.id).Done())
+		c.nw.event(c.id, wire.NewWriter(evClosed).U64(c.id).Done())
 	}
 	return nil
 }

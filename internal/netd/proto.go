@@ -1,6 +1,7 @@
-// Package netd implements the Asbestos network server (paper §7.7): the
-// single process through which all network traffic flows. It wraps each
-// connection in an Asbestos port, services READ/WRITE/CONTROL/SELECT
+// Package netd implements the Asbestos network server (paper §7.7) through
+// which all network traffic flows — replicated into N event loops (shards)
+// that each own a disjoint slice of the connections by id hash. It wraps
+// each connection in an Asbestos port, services READ/WRITE/CONTROL/SELECT
 // messages on that port, and optionally taints each connection with a user
 // handle so that every byte read from user u's connection carries uT 3 and
 // only suitably labeled processes can write to it.
@@ -25,11 +26,20 @@ const (
 	opConnect = 2 // lport u16, reply handle; DS grants reply ⋆
 )
 
-// Driver events (driver process → netd driver port).
+// Driver events (driver process → netd driver ports; each event is dealt
+// to the shard owning the connection id).
 const (
 	evNewConn = 10 // connID u64, lport u16
 	evData    = 11 // connID u64
 	evClosed  = 12 // connID u64
+)
+
+// Internal shard-to-shard events, also carried on the driver ports. Shard 0
+// (the service-port owner) replicates listener registrations and hands
+// hash-misrouted outbound connections to their owning shard.
+const (
+	evListen = 13 // lport u16, notify handle
+	evAdopt  = 14 // connID u64, lport u16, reply handle; DS re-grants reply ⋆
 )
 
 // Connection ops (application → connection port uC).

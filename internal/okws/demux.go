@@ -2,6 +2,9 @@ package okws
 
 import (
 	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
 
 	"asbestos/internal/handle"
 	"asbestos/internal/httpmsg"
@@ -9,61 +12,193 @@ import (
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
 	"asbestos/internal/netd"
+	"asbestos/internal/shard"
 	"asbestos/internal/stats"
 	"asbestos/internal/wire"
 )
 
-// Demux is the trusted ok-demux process: it accepts each incoming
-// connection from netd, parses the HTTP headers to pick a worker,
-// authenticates the user with idd, taints the connection, and hands it off
-// (paper §7.2). It holds the session table mapping (user, service) pairs to
-// worker event-process ports (§7.3).
+// Demux is the trusted ok-demux of the paper (§7.2–7.3) — the router that
+// accepts each incoming connection from netd, parses the HTTP headers to
+// pick a worker, authenticates the user with idd, taints the connection,
+// and hands it off — sharded into N independent event loops.
+//
+// Shard-ownership rules:
+//
+//   - Each shard is its own kernel process with its own ports, and every
+//     piece of per-user and per-connection state (session table, dealt
+//     table, connection table, login cache, round-robin counters) is
+//     private to one shard's loop. No state is shared, so no locking.
+//   - A USER is owned by shard.Of(user, N): that shard authenticates the
+//     user, holds the session entry, and performs every handoff — so a
+//     session can never split across shards.
+//   - A CONNECTION initially belongs to whichever shard netd's round-robin
+//     dealt it to; that shard reads and parses the headers. If the parsed
+//     user hashes elsewhere, the connection is forwarded (opFwdConn,
+//     re-granting uC ⋆) to its owner before authentication.
+//   - Worker registration is serialized through shard 0's registration
+//     port; verified workers are broadcast (opShardWorker) to every shard's
+//     forward port, so each shard routes from its own replica table.
+//   - Logins are asynchronous: a shard never blocks its burst loop on idd.
+//     In-flight logins are coalesced per credential pair and matched to
+//     replies by an echoed request token on the shard's private
+//     login-reply port, so a dropped message strands only its own login.
 type Demux struct {
-	sys  *kernel.System
+	sys    *kernel.System
+	shards []*demuxShard
+
+	// regPort (owned by shard 0's process) serializes worker registration.
+	regPort *kernel.Port
+
+	// ctx is the service lifecycle: Run returns when Stop cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// demuxShard is one event loop and the state it exclusively owns.
+type demuxShard struct {
+	dm   *Demux
+	idx  int
 	proc *kernel.Process
 
-	notifyPort  *kernel.Port // new connections from netd
-	regPort     *kernel.Port // worker registration
+	notifyPort  *kernel.Port // new connections from netd (this shard's deal)
 	sessionPort *kernel.Port // session-port registration from worker EPs
 	loginReply  *kernel.Port // replies from idd
+	fwdPort     *kernel.Port // cross-shard connection handoffs + worker broadcasts
 	mbox        *kernel.Mailbox
 
 	netdSvc  *kernel.Port // netd's service port, route cached
 	iddLogin *kernel.Port // idd's login port, route cached
 
-	// ctx is the service lifecycle: Run returns when Stop cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
-
 	// verif holds the launcher-issued verification handles per worker name
-	// (one per replica); registration messages must prove one of them at
-	// level 0 (§7.1).
+	// (one per replica); registration AND session-registration messages
+	// must prove one of them at level 0 (§7.1) — an unverified session
+	// registration would let any process that learns the session-port
+	// handle hijack a user's request routing. Replicated to every shard by
+	// expectWorker (launch-time only).
 	verif map[string][]handle.Handle
-	// declassifier marks worker names the launcher registered as
-	// semi-trusted declassifiers (§7.6).
+
+	// workers maps a service to the base ports of its registered replicas;
+	// declassifier marks §7.6 workers and ephemeral marks services whose
+	// event processes exit per request (their sessions never register, so
+	// the demux deals every connection fresh). Replicated to every shard by
+	// the opShardWorker broadcast.
+	workers      map[string][]handle.Handle
 	declassifier map[string]bool
+	ephemeral    map[string]bool
 
-	// workers maps a service to the base ports of its registered replicas.
-	// New sessions are dealt round-robin via rr; established sessions stay
-	// pinned to their event process through the session table, so replicas
-	// only shard fresh users, never split a session.
-	workers  map[string][]handle.Handle
+	// sessions maps (user, service) to the session's event-process port;
+	// established sessions stay pinned to it. dealt records which replica a
+	// fresh user was dealt to until the worker registers the session port,
+	// so two quick connections from a new user cannot land on different
+	// replicas. rr advances only when a genuinely fresh user is dealt.
+	// All three are per-shard: a user's entries live only in the owning
+	// shard. sessions and dealt are bounded (LRU): evicting a session is
+	// safe (a routing cache — the user merely re-deals), while evicting a
+	// dealt pin settles its parked queue first (see the newLRUEvict hook),
+	// since every dealt entry is an in-flight registration by definition.
+	sessions *lruCache[sessionKey, handle.Handle]
+	dealt    *lruCache[sessionKey, handle.Handle]
 	rr       map[string]uint64
-	sessions map[sessionKey]handle.Handle
-	conns    map[handle.Handle]*dconn // per-connection reply port → state
-	idCache  map[string]idd.Identity  // demux-side cache of login results
 
-	// out coalesces worker handoffs: the event loop dispatches a burst of
-	// deliveries, buffering the resulting handoff messages per destination
-	// port, then flushes each port with one SendBatch. Per-connection
-	// privileges are shed via out.DropAfter — only after the flush, since a
-	// buffered handoff still needs its uC ⋆ at enqueue time.
+	// parked holds connections that arrived for a dealt-but-unregistered
+	// session: handing each a fresh opStart would split the session over
+	// several event processes, so they wait for the worker's session-port
+	// registration and then ride the pinned continuation path.
+	parked map[sessionKey]*parkedSet
+
+	conns *connTable // per-connection reply port → state
+
+	// idCache memoizes login results per credential pair, keyed by the
+	// SHA-256 of user\x00pass — the demux never retains plaintext passwords
+	// — and bounded so credential stuffing cannot grow it without limit.
+	idCache *lruCache[credKey, idd.Identity]
+
+	// pendingLogins coalesces in-flight idd round-trips per credential pair;
+	// pendingByTok matches them to replies by the echoed request token
+	// (loginTok, unique per shard since each shard has its own loginReply
+	// port). Token matching — not arrival order — means a request or reply
+	// silently dropped under queue pressure parks only its own waiters; it
+	// can never shift a later user's verdict (and identity grants!) onto a
+	// different credential pair, and never stalls the shard.
+	pendingLogins map[credKey]*pendingLogin
+	pendingByTok  map[uint64]*pendingLogin
+	loginTok      uint64
+
+	// out coalesces worker handoffs and cross-shard forwards: the event
+	// loop dispatches a burst of deliveries, buffering the resulting
+	// messages per destination port, then flushes each port with one
+	// SendBatch. Per-connection privileges are shed via out.DropAfter —
+	// only after the flush, since a buffered handoff still needs its uC ⋆
+	// at enqueue time.
 	out *kernel.Batcher
+}
+
+// credKey is the hashed credential-cache key.
+type credKey [sha256.Size]byte
+
+func credKeyOf(user, pass string) credKey {
+	// Sum256 over one appended buffer: no per-connection hash-state
+	// allocation on the authentication fast path.
+	buf := make([]byte, 0, len(user)+1+len(pass))
+	buf = append(buf, user...)
+	buf = append(buf, 0)
+	buf = append(buf, pass...)
+	return sha256.Sum256(buf)
+}
+
+// parkedSet tracks one dealt-but-unregistered session's queue: the waiting
+// connections plus a count of every arrival since the pin (including the
+// ones sent as probes, which do not wait) — the probe cadence and the
+// flood cap key off arrivals and queue length respectively, so neither can
+// starve the other.
+type parkedSet struct {
+	waiters  []*dconn
+	arrivals int
+}
+
+// pendingLogin is one in-flight idd round trip and the connections whose
+// fate it decides. toks lists every token issued for it — the original
+// request plus any re-issues (sends are unreliable, so every redealAfter-th
+// arrival re-asks idd in case the request or reply was dropped); the first
+// reply matching any of them settles the set. arrivals counts every
+// connection that coalesced here, pacing the re-issues; waiters is capped
+// at maxParkedPerSession like the parked-session queue.
+type pendingLogin struct {
+	key      credKey
+	toks     []uint64
+	waiters  []*dconn
+	arrivals int
 }
 
 // demuxBurst bounds how many queued deliveries one batching round may
 // dispatch before flushing, capping both handoff latency and buffer growth.
 const demuxBurst = 64
+
+// maxParkedPerSession bounds connections waiting for one in-flight session
+// registration; a flood beyond it is refused with 503 instead of holding
+// demux memory. redealAfter is the lost-registration escape hatch: every
+// redealAfter-th arrival for the pinned key is sent to the pinned replica
+// as a fresh start instead of parking, so a silently dropped
+// start/registration can strand at most a bounded prefix of a user's
+// connections, never the user.
+// The demux cannot distinguish a lost registration from a merely slow one,
+// so a probe MAY duplicate the session's event process (same replica; the
+// newer registration wins and parked connections drain to it) — liveness
+// over strict EP uniqueness. redealAfter therefore sits above demuxBurst:
+// a registration already queued behind one full dispatch burst is still
+// processed before the queue can reach the probe threshold.
+const (
+	maxParkedPerSession = 256
+	redealAfter         = 2 * demuxBurst
+)
+
+// DefaultSessionCap and DefaultIDCacheCap bound the demux's two
+// attacker-growable tables when Config leaves the knobs zero. Both are
+// split across shards.
+const (
+	DefaultSessionCap = 1 << 16
+	DefaultIDCacheCap = 1 << 14
+)
 
 type sessionKey struct {
 	user    string
@@ -83,92 +218,184 @@ type dconn struct {
 	id    idd.Identity
 }
 
-// newDemux wires a demux against existing netd and idd service ports; the
-// launcher then registers workers' verification handles directly.
-func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle) *Demux {
-	proc := sys.NewProcess("ok-demux")
-	open := label.Empty(label.L3)
-	notify := proc.Open(nil)
-	notify.SetLabel(open)
-	reg := proc.Open(nil)
-	reg.SetLabel(open)
-	sess := proc.Open(nil)
-	sess.SetLabel(open)
-	loginReply := proc.Open(nil)
+// newDemux wires a sharded demux against existing netd and idd service
+// ports; the launcher then registers workers' verification handles directly.
+// sessionCap and idCacheCap bound the per-demux tables (0 = defaults).
+func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle, shards, sessionCap, idCacheCap int) *Demux {
+	shards = shard.Clamp(shards)
+	if sessionCap <= 0 {
+		sessionCap = DefaultSessionCap
+	}
+	if idCacheCap <= 0 {
+		idCacheCap = DefaultIDCacheCap
+	}
+	perShard := func(total int) int {
+		n := total / shards
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	d := &Demux{
-		sys:          sys,
-		proc:         proc,
-		notifyPort:   notify,
-		regPort:      reg,
-		sessionPort:  sess,
-		loginReply:   loginReply,
-		mbox:         proc.Mailbox(),
-		netdSvc:      proc.Port(netdSvc),
-		iddLogin:     proc.Port(iddLogin),
-		ctx:          ctx,
-		cancel:       cancel,
-		verif:        make(map[string][]handle.Handle),
-		declassifier: make(map[string]bool),
-		workers:      make(map[string][]handle.Handle),
-		rr:           make(map[string]uint64),
-		sessions:     make(map[sessionKey]handle.Handle),
-		conns:        make(map[handle.Handle]*dconn),
-		idCache:      make(map[string]idd.Identity),
-		out:          kernel.NewBatcher(proc),
+	d := &Demux{sys: sys, ctx: ctx, cancel: cancel}
+	open := label.Empty(label.L3)
+	for i := 0; i < shards; i++ {
+		name := "ok-demux"
+		if shards > 1 {
+			name = fmt.Sprintf("ok-demux/%d", i)
+		}
+		proc := sys.NewProcess(name)
+		notify := proc.Open(nil)
+		notify.SetLabel(open)
+		sess := proc.Open(nil)
+		sess.SetLabel(open)
+		s := &demuxShard{
+			dm:            d,
+			idx:           i,
+			proc:          proc,
+			notifyPort:    notify,
+			sessionPort:   sess,
+			loginReply:    proc.Open(nil),
+			fwdPort:       proc.Open(nil),
+			netdSvc:       proc.Port(netdSvc),
+			iddLogin:      proc.Port(iddLogin),
+			workers:       make(map[string][]handle.Handle),
+			declassifier:  make(map[string]bool),
+			ephemeral:     make(map[string]bool),
+			parked:        make(map[sessionKey]*parkedSet),
+			sessions:      newLRU[sessionKey, handle.Handle](perShard(sessionCap)),
+			rr:            make(map[string]uint64),
+			conns:         newConnTable(),
+			idCache:       newLRU[credKey, idd.Identity](perShard(idCacheCap)),
+			pendingLogins: make(map[credKey]*pendingLogin),
+			pendingByTok:  make(map[uint64]*pendingLogin),
+			out:           kernel.NewBatcher(proc),
+		}
+		// Every dealt entry is an IN-FLIGHT pin (registration deletes it),
+		// so capacity eviction must settle the evicted key's parked queue:
+		// stranding those connections — or letting the user's next arrival
+		// re-deal to a different replica while waiters drain to the first —
+		// is exactly the split this table exists to prevent. The evicted
+		// user transiently may end up with a duplicate event process
+		// (whichever session registers last wins), which only occurs past
+		// perShard(sessionCap) concurrent unregistered users.
+		s.dealt = newLRUEvict(perShard(sessionCap), func(key sessionKey, _ handle.Handle) {
+			s.dropParked(key)
+		})
+		s.verif = make(map[string][]handle.Handle)
+		if i == 0 {
+			reg := proc.Open(nil)
+			reg.SetLabel(open)
+			d.regPort = reg
+		}
+		s.mbox = proc.Mailbox()
+		d.shards = append(d.shards, s)
 	}
-	sys.SetEnv(EnvDemuxReg, reg.Handle())
-	sys.SetEnv(EnvDemuxSession, sess.Handle())
+	// The forward ports are closed by capability like any fresh port
+	// ({fwd 0, 3}): without a grant, a sibling's opFwdConn or opShardWorker
+	// would be silently dropped by requirement 1. Exchange ⋆ grants for
+	// every ordered shard pair — any shard may forward a connection to any
+	// other.
+	for _, s := range d.shards {
+		var grants []kernel.BootstrapGrant
+		for _, sib := range d.shards {
+			if sib != s {
+				grants = append(grants, kernel.BootstrapGrant{
+					From: sib.proc, Handles: []handle.Handle{sib.fwdPort.Handle()},
+				})
+			}
+		}
+		kernel.BootstrapGrants(s.proc, grants)
+	}
+	sys.SetEnv(EnvDemuxReg, d.regPort.Handle())
+	sys.SetEnv(EnvDemuxSession, d.shards[0].sessionPort.Handle())
 	return d
 }
 
-// Process exposes the demux kernel process for label inspection.
-func (dm *Demux) Process() *kernel.Process { return dm.proc }
+// Process exposes shard 0's kernel process for label inspection.
+func (dm *Demux) Process() *kernel.Process { return dm.shards[0].proc }
 
-// listen registers with netd for HTTP connections on lport.
+// ShardCount reports the number of independent event loops.
+func (dm *Demux) ShardCount() int { return len(dm.shards) }
+
+// sessionPorts returns each shard's session-registration port, indexed by
+// shard; workers register user u's session with sessionPorts[shard.Of(u, N)].
+func (dm *Demux) sessionPorts() []handle.Handle {
+	out := make([]handle.Handle, len(dm.shards))
+	for i, s := range dm.shards {
+		out[i] = s.sessionPort.Handle()
+	}
+	return out
+}
+
+// listen registers every shard's notify port with netd for HTTP connections
+// on lport; netd deals new connections across them round-robin.
 func (dm *Demux) listen(lport uint16) error {
-	return netd.Listen(dm.netdSvc, lport, dm.notifyPort.Handle())
+	for _, s := range dm.shards {
+		if err := netd.Listen(s.netdSvc, lport, s.notifyPort.Handle()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // expectWorker tells the demux a worker named name will register, proving
-// verification handle v at level 0; declassifier marks §7.6 workers. Called
-// once per replica, each with its own launcher-issued handle.
-func (dm *Demux) expectWorker(name string, v handle.Handle, declassifier bool) {
-	dm.verif[name] = append(dm.verif[name], v)
-	dm.declassifier[name] = declassifier
+// verification handle v at level 0; declassifier marks §7.6 workers and
+// ephemeral marks per-request services. Called once per replica, each with
+// its own launcher-issued handle.
+func (dm *Demux) expectWorker(name string, v handle.Handle, declassifier, ephemeral bool) {
+	for _, s := range dm.shards {
+		s.verif[name] = append(s.verif[name], v)
+		s.declassifier[name] = declassifier
+		s.ephemeral[name] = ephemeral
+	}
 }
 
-// registeredWorkers counts worker replicas that have completed registration.
+// registeredWorkers counts worker replicas that have completed registration
+// (shard 0's table; it sees every registration first).
 func (dm *Demux) registeredWorkers() int {
 	n := 0
-	for _, ports := range dm.workers {
+	for _, ports := range dm.shards[0].workers {
 		n += len(ports)
 	}
 	return n
 }
 
-// Run is the demux event loop. It dispatches deliveries in bursts: after
-// the blocking receive it drains up to demuxBurst more pending deliveries
-// without blocking, so the handoffs they generate coalesce into one
-// SendBatch per destination worker (flush) instead of one syscall each.
+// Run runs every shard's event loop. Each loop dispatches deliveries in
+// bursts: after the blocking receive it drains up to demuxBurst more
+// pending deliveries without blocking, so the handoffs they generate
+// coalesce into one SendBatch per destination worker (flush) instead of
+// one syscall each.
 func (dm *Demux) Run() {
-	prof := dm.sys.Profiler()
+	var wg sync.WaitGroup
+	for _, s := range dm.shards {
+		wg.Add(1)
+		go func(s *demuxShard) {
+			defer wg.Done()
+			s.run()
+		}(s)
+	}
+	wg.Wait()
+}
+
+func (s *demuxShard) run() {
+	prof := s.dm.sys.Profiler()
 	for {
-		d, err := dm.mbox.Recv(dm.ctx)
+		d, err := s.mbox.Recv(s.dm.ctx)
 		if err != nil {
 			return
 		}
 		stop := prof.Time(stats.CatOKWS)
-		dm.dispatch(d)
+		s.dispatch(d)
 		n := 1
-		for d := range dm.mbox.Drain() {
-			dm.dispatch(d)
+		for d := range s.mbox.Drain() {
+			s.dispatch(d)
 			if n++; n >= demuxBurst {
 				break
 			}
 		}
-		dm.out.Flush()
+		s.out.Flush()
 		stop()
 	}
 }
@@ -176,20 +403,28 @@ func (dm *Demux) Run() {
 // Stop shuts the demux down: context first (ends Run), then kernel state.
 func (dm *Demux) Stop() {
 	dm.cancel()
-	dm.proc.Exit()
+	for _, s := range dm.shards {
+		s.proc.Exit()
+	}
 }
 
-func (dm *Demux) dispatch(d *kernel.Delivery) {
+func (s *demuxShard) dispatch(d *kernel.Delivery) {
 	switch d.Port {
-	case dm.notifyPort.Handle():
-		dm.handleNotify(d)
-	case dm.regPort.Handle():
-		dm.handleRegister(d)
-	case dm.sessionPort.Handle():
-		dm.handleSession(d)
+	case s.notifyPort.Handle():
+		s.handleNotify(d)
+	case s.sessionPort.Handle():
+		s.handleSession(d)
+	case s.loginReply.Handle():
+		s.handleLoginReply(d)
+	case s.fwdPort.Handle():
+		s.handleFwd(d)
 	default:
-		if cs := dm.conns[d.Port]; cs != nil {
-			dm.handleConnReply(cs, d)
+		if s.idx == 0 && d.Port == s.dm.regPort.Handle() {
+			s.handleRegister(d)
+			return
+		}
+		if cs := s.conns.get(d.Port); cs != nil {
+			s.handleConnReply(cs, d)
 		}
 	}
 }
@@ -197,7 +432,8 @@ func (dm *Demux) dispatch(d *kernel.Delivery) {
 // handleRegister records a worker's base port after checking the
 // launcher-issued verification handle: "ok-demux must be certain that it is
 // communicating with the worker processes that the launcher started" (§7.1).
-func (dm *Demux) handleRegister(d *kernel.Delivery) {
+// It runs on shard 0 and broadcasts the verified entry to every shard.
+func (s *demuxShard) handleRegister(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	if op != opRegister {
 		return
@@ -208,7 +444,7 @@ func (dm *Demux) handleRegister(d *kernel.Delivery) {
 		return
 	}
 	proved := false
-	for _, v := range dm.verif[name] {
+	for _, v := range s.verif[name] {
 		if d.V.Get(v) <= label.L0 {
 			proved = true
 			break
@@ -217,16 +453,28 @@ func (dm *Demux) handleRegister(d *kernel.Delivery) {
 	if !proved {
 		return // unknown worker or failed proof: ignore
 	}
-	for _, b := range dm.workers[name] {
+	for _, b := range s.workers[name] {
 		if b == base {
 			return // duplicate registration
 		}
 	}
-	dm.workers[name] = append(dm.workers[name], base)
+	s.workers[name] = append(s.workers[name], base)
+	// Replicate to the sibling shards' tables via their forward ports. The
+	// queue push order guarantees any connection notified later sees the
+	// worker: broadcasts precede the listen that makes traffic possible at
+	// launch, and at runtime a shard routing for this worker simply has not
+	// processed the broadcast yet — identical to the worker not having
+	// registered.
+	for _, sib := range s.dm.shards[1:] {
+		s.proc.Port(sib.fwdPort.Handle()).Send(
+			encodeShardWorker(name, base, s.declassifier[name], s.ephemeral[name]), nil)
+	}
 }
 
-// handleSession records a worker event process's session port (§7.3).
-func (dm *Demux) handleSession(d *kernel.Delivery) {
+// handleSession records a worker event process's session port (§7.3). The
+// worker sent it to the shard owning the user, so the entry lands exactly
+// where handoffs for that user are decided.
+func (s *demuxShard) handleSession(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)
 	if op != opSession {
 		return
@@ -237,110 +485,261 @@ func (dm *Demux) handleSession(d *kernel.Delivery) {
 	if r.Err() {
 		return
 	}
-	dm.sessions[sessionKey{user, service}] = port
+	// Like opRegister, the sender must prove a launcher-issued verification
+	// handle for this service at level 0: the event process inherits the
+	// worker's grant at checkpoint. Without this, anyone could register a
+	// port of their own as user u's session and receive u's connections —
+	// capabilities and raw credentials included.
+	proved := false
+	for _, v := range s.verif[service] {
+		if d.V.Get(v) <= label.L0 {
+			proved = true
+			break
+		}
+	}
+	if !proved {
+		return
+	}
+	key := sessionKey{user, service}
+	s.sessions.Put(key, port)
+	s.dealt.Delete(key) // the provisional pin graduated to a real session
+	// Connections that raced the registration ride the pinned path now —
+	// handing them fresh starts would have split the session across event
+	// processes.
+	ps := s.parked[key]
+	delete(s.parked, key)
+	if ps == nil {
+		return
+	}
+	for _, cs := range ps.waiters {
+		s.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), Buf: cs.raw}),
+			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
+		s.release(cs)
+	}
+}
+
+// handleFwd processes shard-internal traffic: worker-table broadcasts from
+// shard 0 and connections forwarded by the shard that read their headers.
+func (s *demuxShard) handleFwd(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	switch op {
+	case opShardWorker:
+		name := r.String()
+		base := r.Handle()
+		flags := r.Byte()
+		if r.Err() {
+			return
+		}
+		for _, b := range s.workers[name] {
+			if b == base {
+				return
+			}
+		}
+		s.workers[name] = append(s.workers[name], base)
+		s.declassifier[name] = flags&shardWorkerDeclassifier != 0
+		s.ephemeral[name] = flags&shardWorkerEphemeral != 0
+	case opFwdConn:
+		conn := r.Handle()
+		buf := r.Bytes()
+		if r.Err() {
+			return
+		}
+		reply := s.proc.Open(nil).Handle()
+		cs := &dconn{uC: s.proc.Port(conn), reply: reply, buf: buf}
+		s.conns.put(reply, cs)
+		req, n, complete, err := httpmsg.ParseRequest(buf)
+		if err != nil || !complete {
+			// The forwarder only forwards parsed requests; anything else is
+			// a stale or corrupt handoff.
+			s.fail(cs, 400)
+			return
+		}
+		cs.req = req
+		cs.raw = buf[:n]
+		s.authenticate(cs)
+	}
 }
 
 // handleNotify starts reading a new connection's request.
-func (dm *Demux) handleNotify(d *kernel.Delivery) {
+func (s *demuxShard) handleNotify(d *kernel.Delivery) {
 	n, ok := netd.ParseNotify(d)
 	if !ok {
 		return
 	}
-	reply := dm.proc.NewPort(nil)
-	cs := &dconn{uC: dm.proc.Port(n.ConnPort), reply: reply}
-	dm.conns[reply] = cs
+	reply := s.proc.Open(nil).Handle()
+	cs := &dconn{uC: s.proc.Port(n.ConnPort), reply: reply}
+	s.conns.put(reply, cs)
 	netd.Read(cs.uC, reply, 4096)
 }
 
 // handleConnReply advances a connection's state machine: reading headers,
 // then tainting, then handoff.
-func (dm *Demux) handleConnReply(cs *dconn, d *kernel.Delivery) {
+func (s *demuxShard) handleConnReply(cs *dconn, d *kernel.Delivery) {
 	if rr, ok := netd.ParseReadReply(d); ok {
 		if cs.req == nil {
 			cs.buf = append(cs.buf, rr.Data...)
 			req, n, complete, err := httpmsg.ParseRequest(cs.buf)
 			switch {
 			case err != nil:
-				dm.fail(cs, 400)
+				s.fail(cs, 400)
 			case complete:
 				cs.req = req
 				cs.raw = cs.buf[:n]
-				dm.authenticate(cs)
+				s.route(cs)
 			case rr.EOF:
-				dm.drop(cs)
+				s.drop(cs)
 			default:
 				netd.Read(cs.uC, cs.reply, 4096)
 			}
 		}
 		return
 	}
+	if len(d.Data) == 0 {
+		// A zero-length delivery carries no op byte; reading d.Data[0]
+		// blind was a remotely-triggerable panic in the trusted demux
+		// (anyone holding the reply capability can send an empty message).
+		// The other servers' dispatchers are immune: they parse via
+		// wire.NewReader, which rejects empty payloads.
+		return
+	}
 	if d.Data[0] == netd.OpAddTaintReply {
 		cs.taint = true
-		dm.handoff(cs)
+		s.handoff(cs)
 		return
 	}
 	if d.Data[0] == netd.OpWriteReply || d.Data[0] == netd.OpControlReply {
 		// Completion of an error response; tear down.
 		if d.Data[0] == netd.OpControlReply {
-			dm.drop(cs)
+			s.drop(cs)
 		}
 		return
 	}
 }
 
-// authenticate runs Figure 5 steps 3–5: look up credentials with idd, then
-// taint the connection at netd.
-func (dm *Demux) authenticate(cs *dconn) {
-	user, pass, ok := cs.req.User()
+// route sends a parsed connection to the shard owning its user; the local
+// shard keeps it only if it is the owner.
+func (s *demuxShard) route(cs *dconn) {
+	user, _, ok := cs.req.User()
 	if !ok {
-		dm.fail(cs, 401)
+		s.fail(cs, 401)
 		return
 	}
-	cacheKey := user + "\x00" + pass
-	if id, ok := dm.idCache[cacheKey]; ok {
-		cs.id = id
-		dm.taint(cs)
+	owner := s.dm.shards[shard.Of(user, len(s.dm.shards))]
+	if owner == s {
+		s.authenticate(cs)
 		return
 	}
-	// About to block: release any coalesced handoffs first so earlier
-	// connections in this burst keep making progress.
-	dm.out.Flush()
-	if err := idd.Login(dm.iddLogin, user, pass, dm.loginReply.Handle()); err != nil {
-		dm.fail(cs, 500)
-		return
-	}
-	// idd is trusted and never calls back into the demux, so a synchronous
-	// wait cannot deadlock; the service context bounds it across shutdown.
-	d, err := dm.loginReply.Recv(dm.ctx)
-	if err != nil {
-		return
-	}
-	id, ok := idd.ParseLoginReply(d)
-	if !ok {
-		dm.fail(cs, 401)
-		return
-	}
-	dm.idCache[cacheKey] = id
-	cs.id = id
-	dm.taint(cs)
+	// Forward the raw request bytes and the connection capability; the
+	// owner re-parses and authenticates. Buffered in the batcher so a burst
+	// of misrouted connections leaves as one SendBatch per sibling; uC ⋆ is
+	// shed only after the flush (the buffered grant needs it).
+	s.out.Add(owner.fwdPort.Handle(), encodeFwdConn(cs.uC.Handle(), cs.raw),
+		&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
+	s.release(cs)
 }
 
-func (dm *Demux) taint(cs *dconn) {
+// authenticate runs Figure 5 steps 3–5 asynchronously: look up credentials
+// with idd (never blocking the shard's burst loop on the round trip), then
+// taint the connection at netd. Connections racing the same credential pair
+// coalesce onto one in-flight login.
+func (s *demuxShard) authenticate(cs *dconn) {
+	user, pass, ok := cs.req.User()
+	if !ok {
+		s.fail(cs, 401)
+		return
+	}
+	key := credKeyOf(user, pass)
+	if id, ok := s.idCache.Get(key); ok {
+		cs.id = id
+		s.taint(cs)
+		return
+	}
+	if pl := s.pendingLogins[key]; pl != nil {
+		pl.arrivals++
+		if pl.arrivals%redealAfter == 0 {
+			// The outstanding request (or its reply) may have been silently
+			// dropped; re-ask idd under a fresh token so the credential
+			// pair cannot stay wedged forever. A late duplicate reply is
+			// harmless: the first match settles the set, the rest find no
+			// pending token.
+			s.loginTok++
+			if idd.Login(s.iddLogin, s.loginTok, user, pass, s.loginReply.Handle()) == nil {
+				pl.toks = append(pl.toks, s.loginTok)
+				s.pendingByTok[s.loginTok] = pl
+				// Keep only the newest few tokens live: under sustained
+				// reply loss the re-issues must not grow pendingByTok
+				// without bound (a reply to a retired token is then
+				// ignored, exactly like any other stray).
+				const maxLiveTokens = 8
+				if len(pl.toks) > maxLiveTokens {
+					delete(s.pendingByTok, pl.toks[0])
+					pl.toks = pl.toks[1:]
+				}
+			}
+		}
+		if len(pl.waiters) >= maxParkedPerSession {
+			s.fail(cs, 503)
+			return
+		}
+		pl.waiters = append(pl.waiters, cs)
+		return
+	}
+	s.loginTok++
+	if err := idd.Login(s.iddLogin, s.loginTok, user, pass, s.loginReply.Handle()); err != nil {
+		s.fail(cs, 500)
+		return
+	}
+	pl := &pendingLogin{key: key, toks: []uint64{s.loginTok}, waiters: []*dconn{cs}, arrivals: 1}
+	s.pendingLogins[key] = pl
+	s.pendingByTok[s.loginTok] = pl
+}
+
+// handleLoginReply resolves the in-flight login the reply's echoed token
+// names with idd's verdict. Every exit path settles every waiting
+// connection — a failed or garbled login 401s and tears the connection
+// down rather than leaking its dconn (and the uC/reply capabilities) in
+// s.conns forever. A token matching nothing (stray, duplicate, or garbled
+// reply) is ignored; it cannot touch another login's waiters.
+func (s *demuxShard) handleLoginReply(d *kernel.Delivery) {
+	id, tok, ok := idd.ParseLoginReply(d)
+	pl := s.pendingByTok[tok]
+	if pl == nil {
+		return
+	}
+	for _, t := range pl.toks {
+		delete(s.pendingByTok, t)
+	}
+	delete(s.pendingLogins, pl.key)
+	if ok {
+		s.idCache.Put(pl.key, id)
+	}
+	for _, cs := range pl.waiters {
+		if !ok {
+			s.fail(cs, 401)
+			continue
+		}
+		cs.id = id
+		s.taint(cs)
+	}
+}
+
+func (s *demuxShard) taint(cs *dconn) {
 	netd.AddTaint(cs.uC, cs.reply, cs.id.UT)
 	// Handoff continues when the AddTaint acknowledgment arrives.
 }
 
 // handoff runs Figure 5 step 6: forward uC to the responsible worker. With
-// replicated workers, a fresh user is dealt to the next replica round-robin;
+// replicated workers, a fresh user is dealt to the next replica round-robin
+// and pinned there (dealt) until the worker registers the session port;
 // follow-up connections go straight to the session's event process. The
 // handoff message is buffered in the batcher, so a burst of connections to
 // the same worker leaves the demux as one SendBatch.
-func (dm *Demux) handoff(cs *dconn) {
-	defer dm.release(cs)
+func (s *demuxShard) handoff(cs *dconn) {
 	service := cs.req.Service()
-	replicas := dm.workers[service]
+	replicas := s.workers[service]
 	if len(replicas) == 0 {
-		dm.failDirect(cs, 404)
+		s.release(cs)
+		s.failDirect(cs, 404)
 		return
 	}
 	// Forward the request's original wire bytes: re-serializing the parsed
@@ -348,21 +747,74 @@ func (dm *Demux) handoff(cs *dconn) {
 	// either way.
 	raw := cs.raw
 	user, _, _ := cs.req.User()
-	if port, ok := dm.sessions[sessionKey{user, service}]; ok {
-		// Existing session: forward straight to the event process W[u].
-		dm.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), Buf: raw}),
-			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
-		return
+	key := sessionKey{user, service}
+	nextReplica := func() handle.Handle {
+		// Stagger each shard's rotation by its index so N shards' first
+		// deals spread over N replicas instead of all starting at replica 0.
+		base := replicas[(s.rr[service]+uint64(s.idx))%uint64(len(replicas))]
+		s.rr[service]++
+		return base
 	}
-	// Fresh user: deal to the next replica. The counter advances only on
-	// this path, so pinned-session traffic cannot skew the rotation.
-	base := replicas[dm.rr[service]%uint64(len(replicas))]
-	dm.rr[service]++
+	var base handle.Handle
+	switch {
+	case s.ephemeral[service]:
+		// Per-request service: no session will ever register, every
+		// connection is fresh, and the rotation advances per connection.
+		base = nextReplica()
+	default:
+		if port, ok := s.sessions.Get(key); ok {
+			// Existing session: forward straight to the event process W[u].
+			s.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), Buf: raw}),
+				&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
+			s.release(cs)
+			return
+		}
+		if pinned, dealtAlready := s.dealt.Get(key); dealtAlready {
+			// A start for this user is already in flight: a second fresh
+			// start would create a second event process — the session
+			// EP-split the stress test forbids. Park until the worker
+			// registers the session port (handleSession drains us); bound
+			// the queue so a flood cannot hold connections without limit.
+			ps := s.parked[key]
+			if ps == nil {
+				ps = &parkedSet{}
+				s.parked[key] = ps
+			}
+			ps.arrivals++
+			switch {
+			case ps.arrivals%redealAfter == 0:
+				// Sends are unreliable (§4): if the original start or its
+				// session registration was dropped, nothing would ever
+				// drain this queue. Every redealAfter-th arrival probes the
+				// SAME pinned replica with a fresh start instead of
+				// parking; its registration (re-)creates the session and
+				// drains everyone. Never reached on the fast path —
+				// registration normally lands within a couple of
+				// connections.
+				base = pinned
+			case len(ps.waiters) >= maxParkedPerSession:
+				s.release(cs)
+				s.failDirect(cs, 503)
+				return
+			default:
+				ps.waiters = append(ps.waiters, cs)
+				return
+			}
+		} else {
+			// Genuinely fresh user: deal to the next replica and pin until
+			// the session registers, so pinned-session traffic cannot skew
+			// the rotation and a burst of first connections cannot split
+			// replicas.
+			base = nextReplica()
+			s.dealt.Put(key, base)
+		}
+	}
+	defer s.release(cs)
 	opts := &kernel.SendOpts{
 		DecontSend: kernel.Grant(cs.uC.Handle(), cs.id.UG),
 		DecontRecv: kernel.AllowRecv(label.L3, cs.id.UT),
 	}
-	if dm.declassifier[service] {
+	if s.declassifier[service] {
 		// §7.6: declassifiers get uT ⋆ instead of contamination.
 		opts.DecontSend = kernel.Grant(cs.uC.Handle(), cs.id.UG, cs.id.UT)
 	} else {
@@ -376,44 +828,88 @@ func (dm *Demux) handoff(cs *dconn) {
 		UG:   cs.id.UG,
 		Buf:  raw,
 	})
-	dm.out.Add(base, msg, opts)
+	s.out.Add(base, msg, opts)
+}
+
+// dropParked refuses (503) every connection parked on key — called when
+// the key's dealt pin is evicted, since nothing will drain them afterwards.
+func (s *demuxShard) dropParked(key sessionKey) {
+	ps := s.parked[key]
+	delete(s.parked, key)
+	if ps == nil {
+		return
+	}
+	for _, cs := range ps.waiters {
+		s.release(cs)
+		s.failDirect(cs, 503)
+	}
 }
 
 // release forgets the per-connection state and schedules the capability
 // drops — the label churn Figure 9 charges per connection — for after the
-// flush: the buffered handoff's Grant(uC) is only legal while the demux
+// flush: the buffered handoff's Grant(uC) is only legal while the shard
 // still holds uC ⋆.
-func (dm *Demux) release(cs *dconn) {
-	dm.proc.Dissociate(cs.reply)
-	dm.out.DropAfter(cs.uC.Handle())
-	dm.out.DropAfter(cs.reply)
-	delete(dm.conns, cs.reply)
+func (s *demuxShard) release(cs *dconn) {
+	s.proc.Dissociate(cs.reply)
+	s.out.DropAfter(cs.uC.Handle())
+	s.out.DropAfter(cs.reply)
+	s.conns.del(cs.reply)
 }
 
-// fail writes an HTTP error and closes the connection (pre-handoff).
-func (dm *Demux) fail(cs *dconn, status int) {
+// fail writes an HTTP error and closes the connection (pre-handoff); the
+// dconn is released when the control reply arrives (handleConnReply).
+func (s *demuxShard) fail(cs *dconn, status int) {
 	body := httpmsg.FormatResponse(status, nil, nil)
 	netd.Write(cs.uC, cs.reply, body)
 	netd.Control(cs.uC, cs.reply, netd.CtlClose)
-	// Torn down when the control reply arrives (handleConnReply).
 }
 
 // failDirect is fail for the post-release path.
-func (dm *Demux) failDirect(cs *dconn, status int) {
-	reply := dm.proc.NewPort(nil)
+func (s *demuxShard) failDirect(cs *dconn, status int) {
+	reply := s.proc.Open(nil).Handle()
 	body := httpmsg.FormatResponse(status, nil, nil)
 	netd.Write(cs.uC, reply, body)
 	netd.Control(cs.uC, reply, netd.CtlClose)
-	dm.proc.Dissociate(reply)
-	dm.proc.DropPrivilege(reply, label.L1)
+	s.proc.Dissociate(reply)
+	s.proc.DropPrivilege(reply, label.L1)
 }
 
-func (dm *Demux) drop(cs *dconn) {
-	dm.proc.Dissociate(cs.reply)
-	dm.proc.DropPrivilege(cs.reply, label.L1)
-	dm.proc.DropPrivilege(cs.uC.Handle(), label.L1)
-	delete(dm.conns, cs.reply)
+func (s *demuxShard) drop(cs *dconn) {
+	s.proc.Dissociate(cs.reply)
+	s.proc.DropPrivilege(cs.reply, label.L1)
+	s.proc.DropPrivilege(cs.uC.Handle(), label.L1)
+	s.conns.del(cs.reply)
 }
 
-// SessionCount reports the size of the session table (diagnostics).
-func (dm *Demux) SessionCount() int { return len(dm.sessions) }
+// SessionCount reports the total size of the session tables (diagnostics).
+func (dm *Demux) SessionCount() int {
+	n := 0
+	for _, s := range dm.shards {
+		n += s.sessions.Len()
+	}
+	return n
+}
+
+// ConnCount reports connections currently tracked across shards; a fully
+// settled stack (every connection handed off or torn down) reports zero.
+func (dm *Demux) ConnCount() int {
+	n := 0
+	for _, s := range dm.shards {
+		n += s.conns.len()
+	}
+	return n
+}
+
+// sessionShardSpread reports, per (user, service), how many shards hold a
+// session entry — the sharded-stress test asserts every count is exactly 1
+// (a session never splits across shards). Test hook; callers must ensure
+// the loops are quiescent.
+func (dm *Demux) sessionShardSpread() map[sessionKey]int {
+	out := make(map[sessionKey]int)
+	for _, s := range dm.shards {
+		for k := range s.sessions.m {
+			out[k]++
+		}
+	}
+	return out
+}

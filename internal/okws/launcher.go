@@ -3,12 +3,14 @@ package okws
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"time"
 
 	"asbestos/internal/db"
 	"asbestos/internal/dbproxy"
+	"asbestos/internal/handle"
 	"asbestos/internal/idd"
 	"asbestos/internal/kernel"
-	"asbestos/internal/label"
 	"asbestos/internal/netd"
 	"asbestos/internal/stats"
 )
@@ -55,6 +57,31 @@ type Config struct {
 	Profiler *stats.Profiler
 	// Services lists the workers to launch.
 	Services []Service
+	// Shards is the number of independent event loops each trusted
+	// single-process service (ok-demux, netd, ok-dbproxy) runs. 0 means
+	// runtime.GOMAXPROCS(0) — one loop per schedulable core. The demux
+	// shards own disjoint user slices (sessions never split across shards),
+	// netd shards own disjoint connections, and dbproxy replicas split the
+	// query stream by the same user hash.
+	Shards int
+	// SessionTableCap bounds the demux's session/dealt tables across all
+	// shards (0 = DefaultSessionCap); oldest entries are evicted, which is
+	// safe — they are routing caches.
+	SessionTableCap int
+	// IDCacheCap bounds the demux's hashed login cache across all shards
+	// (0 = DefaultIDCacheCap).
+	IDCacheCap int
+}
+
+// shardCount resolves the Shards knob.
+func (cfg Config) shardCount() int {
+	if cfg.Shards == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards < 1 {
+		return 1
+	}
+	return cfg.Shards
 }
 
 // Server is a running OKWS stack: kernel, netd, database, ok-dbproxy, idd,
@@ -83,12 +110,14 @@ func Launch(cfg Config) (*Server, error) {
 	if cfg.Profiler != nil {
 		opts = append(opts, kernel.WithProfiler(cfg.Profiler))
 	}
+	shards := cfg.shardCount()
 	sys := kernel.NewSystem(opts...)
-	nd := netd.New(sys)
+	nd := netd.NewSharded(sys, shards)
 	database := db.Open()
-	proxy := dbproxy.New(sys, database)
+	proxy := dbproxy.NewSharded(sys, database, shards)
 	iddSrv := idd.New(sys, proxy)
-	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPort())
+	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPort(),
+		shards, cfg.SessionTableCap, cfg.IDCacheCap)
 
 	s := &Server{
 		Sys:      sys,
@@ -101,8 +130,8 @@ func Launch(cfg Config) (*Server, error) {
 		launcher: sys.NewProcess("launcher"),
 	}
 
-	demuxSess, _ := sys.Env(EnvDemuxSession)
-	proxyPort, _ := sys.Env(dbproxy.EnvWorkerPort)
+	demuxSess := demux.sessionPorts()
+	proxyPorts := proxy.WorkerPorts()
 
 	totalWorkers := 0
 	for _, svc := range cfg.Services {
@@ -111,24 +140,25 @@ func Launch(cfg Config) (*Server, error) {
 			w.declassifier = svc.Declassifier
 			w.keepSessions = !svc.EphemeralSessions
 			w.debugNoClean = svc.NoClean
-			w.demuxSess = w.proc.Port(demuxSess)
-			w.proxyPort = w.proc.Port(proxyPort)
+			for _, h := range demuxSess {
+				w.sessPorts = append(w.sessPorts, w.proc.Port(h))
+			}
+			for _, h := range proxyPorts {
+				w.proxyPorts = append(w.proxyPorts, w.proc.Port(h))
+			}
 
 			// §7.1: the launcher grants a process-specific verification
 			// handle to each worker it starts and tells ok-demux its value.
+			// The grant is at ⋆ — the one level that survives contamination
+			// (Equation 5 floors every non-⋆ entry on receipt), which the
+			// worker needs: its event processes must still prove the handle
+			// at 0 when registering session ports after being tainted by
+			// the start message.
 			verif := s.launcher.NewHandle()
-			boot := w.proc.Open(nil)
-			boot.SetLabel(label.Empty(label.L3))
-			if err := s.launcher.Send(boot.Handle(), nil, &kernel.SendOpts{
-				DecontSend: label.New(label.L3, label.Entry{H: verif, L: label.L0}),
-			}); err != nil {
-				return nil, fmt.Errorf("okws: verification grant for %q: %w", svc.Name, err)
-			}
-			if d, err := boot.TryRecv(); err != nil || d == nil {
-				return nil, fmt.Errorf("okws: worker %q bootstrap failed", svc.Name)
-			}
-			boot.Dissociate()
-			demux.expectWorker(svc.Name, verif, svc.Declassifier)
+			kernel.BootstrapGrants(w.proc, []kernel.BootstrapGrant{
+				{From: s.launcher, Handles: []handle.Handle{verif}},
+			})
+			demux.expectWorker(svc.Name, verif, svc.Declassifier, svc.EphemeralSessions)
 			if err := w.register(demux.regPort.Handle(), verif); err != nil {
 				return nil, fmt.Errorf("okws: register %q: %w", svc.Name, err)
 			}
@@ -137,17 +167,22 @@ func Launch(cfg Config) (*Server, error) {
 		}
 	}
 
-	// Drain registrations synchronously before the demux loop starts, so a
-	// request can never race a worker registration.
+	// Drain registrations synchronously before the demux loops start, so a
+	// request can never race a worker registration. Registrations arrive at
+	// shard 0, which broadcasts each verified worker to the sibling shards'
+	// forward ports; those messages are queued ahead of any possible
+	// connection traffic (listen has not happened yet), so every shard
+	// knows every worker before it can see a request.
+	s0 := demux.shards[0]
 	for demux.registeredWorkers() < totalWorkers {
-		d, err := demux.proc.TryRecv()
+		d, err := s0.proc.TryRecv()
 		if err != nil {
 			return nil, err
 		}
 		if d == nil {
 			return nil, fmt.Errorf("okws: missing worker registration")
 		}
-		demux.dispatch(d)
+		s0.dispatch(d)
 	}
 
 	if err := demux.listen(cfg.HTTPPort); err != nil {
@@ -160,6 +195,21 @@ func Launch(cfg Config) (*Server, error) {
 	go demux.Run()
 	for _, w := range s.workers {
 		go w.Run()
+	}
+
+	// The Listen request is served by netd's loop; wait for it so the stack
+	// is dialable the moment Launch returns (clients do not retry refused
+	// connections, and nothing else orders the first Dial after the loop's
+	// first iteration).
+	for deadline := time.Now().Add(10 * time.Second); !nd.Network().Listening(cfg.HTTPPort); {
+		if time.Now().After(deadline) {
+			s.Stop()
+			return nil, fmt.Errorf("okws: netd never started listening on %d", cfg.HTTPPort)
+		}
+		// Yield-then-nap rather than busy-spin: the netd loop this waits on
+		// may need the very core this goroutine would otherwise burn.
+		runtime.Gosched()
+		time.Sleep(50 * time.Microsecond)
 	}
 	return s, nil
 }

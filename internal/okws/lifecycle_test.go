@@ -62,11 +62,12 @@ func TestServerStopReleasesGoroutines(t *testing.T) {
 }
 
 // TestDemuxStopsViaContextAlone cancels only the demux's lifecycle context
-// — no Process.Exit — and requires Run to return while the process stays
-// alive: cancellation, not exit, is the unblocking mechanism.
+// — no Process.Exit — and requires Run (all shard loops) to return while
+// the processes stay alive: cancellation, not exit, is the unblocking
+// mechanism.
 func TestDemuxStopsViaContextAlone(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(78))
-	dm := newDemux(sys, 1<<40, 1<<41) // dangling service handles: never used
+	dm := newDemux(sys, 1<<40, 1<<41, 2, 0, 0) // dangling service handles: never used; 2 shards
 	done := make(chan struct{})
 	go func() {
 		dm.Run()
@@ -79,8 +80,10 @@ func TestDemuxStopsViaContextAlone(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("demux loop did not exit on context cancel")
 	}
-	if _, err := dm.proc.TryRecv(); err != nil {
-		t.Fatalf("demux process should still be alive after cancel: %v", err)
+	for _, sh := range dm.shards {
+		if _, err := sh.proc.TryRecv(); err != nil {
+			t.Fatalf("demux shard %d should still be alive after cancel: %v", sh.idx, err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package okws_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -63,9 +64,12 @@ func publishHandler(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
 	return &httpmsg.Response{Status: 200}
 }
 
+// launch boots a deliberately single-shard stack: these tests pin down the
+// Figure 5 flow and the replica-rotation semantics, which are specified per
+// demux shard. The sharded configuration has its own suite (sharded_test.go).
 func launch(t *testing.T, services ...okws.Service) *okws.Server {
 	t.Helper()
-	s, err := okws.Launch(okws.Config{Seed: 5, Services: services})
+	s, err := okws.Launch(okws.Config{Seed: 5, Shards: 1, Services: services})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +195,7 @@ func TestCompromisedWorkerCannotLeak(t *testing.T) {
 			fmt.Sscanf(p, "%d", &v)
 			// Exfiltration attempt: send the session contents to the
 			// attacker's port, bypassing HTTP entirely.
-			c.RawProcess().Send(handle.Handle(v), c.SessionLoad(), nil)
+			c.RawProcess().Port(handle.Handle(v)).Send(c.SessionLoad(), nil)
 			return &httpmsg.Response{Status: 200}
 		}
 		if d, ok := req.Query["d"]; ok {
@@ -204,7 +208,7 @@ func TestCompromisedWorkerCannotLeak(t *testing.T) {
 
 	// The attacker runs an ordinary process with an open port.
 	attacker := s.Sys.NewProcess("attacker")
-	aPort := attacker.NewPort(nil)
+	aPort := attacker.Open(nil).Handle()
 	attacker.SetPortLabel(aPort, label.Empty(label.L3))
 	leakPort <- uint64(aPort)
 
@@ -220,7 +224,7 @@ func TestCompromisedWorkerCannotLeak(t *testing.T) {
 		t.Fatal(err)
 	}
 	go func() {
-		if d, err := attacker.Recv(); err == nil {
+		if d, err := attacker.RecvCtx(context.Background()); err == nil {
 			leaked <- d.Data
 		}
 	}()

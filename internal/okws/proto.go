@@ -18,6 +18,35 @@
 //  7. The worker returns from checkpoint in a fresh event process W[u].
 //  8. W[u] makes port uW, reads the request, replies over uC.
 //  9. W[u] yields (sessions) or exits.
+//
+// # Shard ownership
+//
+// The trusted single-process services are sharded N ways (Config.Shards,
+// default one loop per core): ok-demux, netd and ok-dbproxy each run N
+// independent event loops, each its own kernel process with exclusively
+// owned state — no shared maps, no locks. The ownership rules:
+//
+//   - USERS are owned by demux shard shard.Of(user, N). That shard holds
+//     the user's session and dealt entries, its login-cache line, and
+//     performs every handoff, so a session can never split across shards.
+//     Workers register session ports with the owning shard directly; the
+//     same hash routes their database queries to one ok-dbproxy replica.
+//   - CONNECTIONS are owned twice: netd shard shard.OfU64(id, N) services
+//     the socket, and whichever demux shard netd's round-robin notified
+//     reads the headers. Once the user is parsed, a misrouted connection is
+//     forwarded (opFwdConn, re-granting uC ⋆) to the owning demux shard.
+//   - Worker REGISTRATION serializes through demux shard 0 (verification
+//     handles, §7.1) and is broadcast to the other shards (opShardWorker).
+//   - LOGINS are asynchronous per shard: pending logins match idd replies
+//     by an echoed request token, so one slow idd round trip can no longer
+//     stall a burst, a silently dropped message cannot misroute another
+//     user's verdict, and concurrent identical credentials coalesce into
+//     one idd round trip.
+//
+// The demux's session table and login cache are bounded LRUs
+// (Config.SessionTableCap, Config.IDCacheCap), and the login cache is
+// keyed by SHA-256(user\x00pass) — the demux retains no plaintext
+// passwords.
 package okws
 
 import (
@@ -36,6 +65,18 @@ const (
 const (
 	opStart = 42 // user, uid, uC, uT, uG, buffered request bytes
 	opCont  = 43 // uC, buffered request bytes
+)
+
+// Shard-internal ops (demux shard → demux shard, on the forward ports).
+const (
+	opFwdConn     = 44 // uC (granted ⋆), raw request bytes: user owned elsewhere
+	opShardWorker = 45 // name, base port, flags byte: registration broadcast
+)
+
+// opShardWorker flag bits.
+const (
+	shardWorkerDeclassifier = 1 << 0
+	shardWorkerEphemeral    = 1 << 1
 )
 
 // Environment names published by the launcher.
@@ -98,6 +139,21 @@ func parseCont(d *kernel.Delivery) (cont, bool) {
 
 func encodeRegister(name string, base handle.Handle) []byte {
 	return wire.NewWriter(opRegister).String(name).Handle(base).Done()
+}
+
+func encodeFwdConn(conn handle.Handle, buf []byte) []byte {
+	return wire.NewWriter(opFwdConn).Handle(conn).Bytes(buf).Done()
+}
+
+func encodeShardWorker(name string, base handle.Handle, declassifier, ephemeral bool) []byte {
+	var b byte
+	if declassifier {
+		b |= shardWorkerDeclassifier
+	}
+	if ephemeral {
+		b |= shardWorkerEphemeral
+	}
+	return wire.NewWriter(opShardWorker).String(name).Handle(base).Byte(b).Done()
 }
 
 func encodeSession(user, service string, port handle.Handle) []byte {

@@ -12,6 +12,7 @@ import (
 	"asbestos/internal/label"
 	"asbestos/internal/mem"
 	"asbestos/internal/netd"
+	"asbestos/internal/shard"
 	"asbestos/internal/stats"
 )
 
@@ -42,9 +43,13 @@ type Worker struct {
 	name    string
 	handler Handler
 
-	basePort  *kernel.Port
-	demuxSess *kernel.Port // demux session port, route cached
-	proxyPort *kernel.Port // ok-dbproxy worker port, route cached
+	basePort *kernel.Port
+	// sessPorts are the demux shards' session ports, route cached; a user's
+	// session registers with the shard owning the user (shard.Of), the same
+	// shard that decides that user's handoffs. proxyPorts are the dbproxy
+	// replicas' worker ports; queries dispatch by the same user hash.
+	sessPorts  []*kernel.Port
+	proxyPorts []*kernel.Port
 
 	// ctx is the worker lifecycle: Run returns when Stop cancels it, and
 	// every blocking receive inside a request honors it.
@@ -53,6 +58,10 @@ type Worker struct {
 
 	declassifier bool
 	keepSessions bool
+
+	// verif is the launcher-issued verification handle, held at 0; session
+	// registrations prove it to the demux just like the base registration.
+	verif handle.Handle
 
 	// debugNoClean disables ep_clean/unmap, reproducing the paper's
 	// worst-case "active session" memory experiment (§9.1).
@@ -85,8 +94,9 @@ func (w *Worker) Process() *kernel.Process { return w.proc }
 // register proves identity to the demux (Figure 5 preamble; §7.1): the
 // verification label carries the launcher-issued handle at level 0.
 func (w *Worker) register(regPort, verif handle.Handle) error {
+	w.verif = verif
 	v := label.New(label.L3, label.Entry{H: verif, L: label.L0})
-	return w.proc.Send(regPort, encodeRegister(w.name, w.basePort.Handle()), &kernel.SendOpts{
+	return w.proc.Port(regPort).Send(encodeRegister(w.name, w.basePort.Handle()), &kernel.SendOpts{
 		Verify:     v,
 		DecontSend: kernel.Grant(w.basePort.Handle()),
 	})
@@ -136,17 +146,22 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 	if s, ok := parseStart(d); ok {
 		// New session (Figure 5 step 7): the delivery contaminated this
 		// fresh event process with uT 3 and granted uC ⋆ + uG ⋆.
-		uW := w.proc.NewPort(nil)
-		reply := w.proc.NewPort(nil)
+		uW := w.proc.Open(nil).Handle()
+		reply := w.proc.Open(nil).Handle()
 		st = sessState{user: s.User, uid: s.UID, uT: s.UT, uG: s.UG, sess: uW, reply: reply}
 		storeSession(ep, st)
 		if w.keepSessions {
-			// Register the session port with the demux so future
-			// connections come straight to this event process (§7.3).
-			// Ephemeral workers skip this: their event processes exit
-			// after each request, so routing to uW would dead-end.
-			w.demuxSess.Send(encodeSession(s.User, w.name, uW),
-				&kernel.SendOpts{DecontSend: kernel.Grant(uW)})
+			// Register the session port with the demux shard that owns this
+			// user, so future connections come straight to this event
+			// process (§7.3) — sent to any other shard the entry would sit
+			// where no handoff for the user ever looks. Ephemeral workers
+			// skip this: their event processes exit after each request, so
+			// routing to uW would dead-end.
+			sess := w.sessPorts[shard.Of(s.User, len(w.sessPorts))]
+			sess.Send(encodeSession(s.User, w.name, uW), &kernel.SendOpts{
+				Verify:     label.New(label.L3, label.Entry{H: w.verif, L: label.L0}),
+				DecontSend: kernel.Grant(uW),
+			})
 		}
 		buf = s.Buf
 		w.handleRequest(ep, &st, s.Conn, buf)
@@ -408,7 +423,8 @@ func (c *Ctx) dbExec(sql string, args []string, declassify bool) ([][]string, er
 		v = dbproxy.VerifyFor(c.UT, c.UG)
 		send = dbproxy.Query
 	}
-	if err := send(c.w.proxyPort, c.User, sql, args, c.st.reply, v); err != nil {
+	proxy := c.w.proxyPorts[dbproxy.ShardFor(c.User, len(c.w.proxyPorts))]
+	if err := send(proxy, c.User, sql, args, c.st.reply, v); err != nil {
 		return nil, err
 	}
 	var rows [][]string

@@ -1,0 +1,53 @@
+// Package shard provides the one hash function every sharded event loop in
+// the stack agrees on. ok-demux shards own users, netd shards own
+// connections, and ok-dbproxy replicas own user mappings; whenever two
+// components must independently pick the same shard for the same key (a
+// worker registering a session with the demux shard that owns the user, a
+// worker querying the dbproxy replica that holds the user's mapping), they
+// both call into this package.
+package shard
+
+// offset64 and prime64 are the FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash is FNV-1a over s.
+func Hash(s string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Of returns the owning shard for a string key among n shards.
+func Of(s string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(s) % uint64(n))
+}
+
+// OfU64 returns the owning shard for a numeric key (a connection id) among
+// n shards.
+func OfU64(v uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Mix before reducing so sequential ids still spread when n is even.
+	v ^= v >> 33
+	v *= prime64
+	v ^= v >> 29
+	return int(v % uint64(n))
+}
+
+// Clamp normalizes a shard-count knob: zero or negative means "one shard".
+func Clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package shard
+
+import "testing"
+
+func TestOfStableAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		for _, key := range []string{"", "u1", "alice", "用户"} {
+			a, b := Of(key, n), Of(key, n)
+			if a != b {
+				t.Fatalf("Of(%q, %d) unstable: %d vs %d", key, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Of(%q, %d) = %d out of range", key, n, a)
+			}
+		}
+	}
+}
+
+func TestOfU64SpreadsSequentialIDs(t *testing.T) {
+	const n = 4
+	var hit [n]int
+	for id := uint64(1); id <= 400; id++ {
+		s := OfU64(id, n)
+		if s < 0 || s >= n {
+			t.Fatalf("OfU64(%d, %d) = %d out of range", id, n, s)
+		}
+		hit[s]++
+	}
+	for i, c := range hit {
+		if c == 0 {
+			t.Fatalf("shard %d never chosen over 400 sequential ids: %v", i, hit)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 7: 7} {
+		if got := Clamp(in); got != want {
+			t.Fatalf("Clamp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
