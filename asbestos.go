@@ -44,6 +44,9 @@
 //   - internal/handle — 61-bit unpredictable handle allocation (§4, §8)
 //   - internal/kernel — processes, ports, the send/recv label checks of
 //     Figure 4, and event processes (§6)
+//   - internal/evloop — the shared sharded event-loop runtime the trusted
+//     services run on (adaptive burst dispatch, reply batching, cross-shard
+//     forwarding, delivery release)
 //   - internal/netd, internal/db, internal/dbproxy, internal/idd,
 //     internal/fs — the userspace servers of Figure 1
 //   - internal/okws — the OK Web server (§7)
@@ -108,7 +111,10 @@ type Mailbox = kernel.Mailbox
 type SendOpts = kernel.SendOpts
 
 // Delivery is a received message: payload plus the sender's verification
-// label.
+// label. The payload buffer is kernel-pooled — a receiver done with it may
+// call Release to recycle it (the trusted event loops do, per handler),
+// Detach to take ownership, or simply drop the Delivery and let the
+// garbage collector have it.
 type Delivery = kernel.Delivery
 
 // BatchEntry is one message of a SendBatch; Batcher accumulates messages

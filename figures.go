@@ -22,7 +22,8 @@ type (
 // Figure7OKWSParallel measure throughput (single-loop versus replicated
 // workers + sharded trusted services); Figure7OKWSSharded varies the shard
 // count independently of the replica count; Figure7Baselines the Apache
-// models; Figure8 the latency table; Figure9 per-component
+// models; Figure8 the latency table; Figure8Burst the same measurement
+// under adaptive vs fixed event-loop burst caps; Figure9 per-component
 // Kcycles/connection.
 var (
 	Figure6             = experiments.Figure6
@@ -31,6 +32,7 @@ var (
 	Figure7OKWSSharded  = experiments.Figure7OKWSSharded
 	Figure7Baselines    = experiments.Figure7Baselines
 	Figure8             = experiments.Figure8
+	Figure8Burst        = experiments.Figure8Burst
 	Figure9             = experiments.Figure9
 )
 

@@ -22,15 +22,19 @@
 // Figure 9 measures. (The paper's proxy pulls mappings from idd on demand;
 // pushing avoids a synchronous call cycle between two single-threaded
 // servers and is otherwise equivalent.)
+//
+// The proxy's replicas run on the shared internal/evloop runtime (burst
+// draining, adaptive dispatch caps, delivery release, ctx-driven stop —
+// see the evloop package doc for its ownership and Release rules); each
+// replica registers just its worker- and admin-port handlers.
 package dbproxy
 
 import (
-	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"asbestos/internal/db"
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
@@ -80,40 +84,42 @@ type Mapping struct {
 	UG  handle.Handle
 }
 
-// Proxy is ok-dbproxy: one or more replicated event loops ("shards") over a
-// shared database. Each shard is its own kernel process with its own worker
-// and admin ports; clients dispatch queries by user hash (ShardFor), so one
-// user's queries always land on the same replica, and idd broadcasts every
-// (user, uT, uG) binding to all shards — any shard may need any owner's
-// taint handle when labeling result rows.
+// Proxy is ok-dbproxy: one or more replicated event loops ("shards") on
+// the shared internal/evloop runtime, over a shared database. Each shard
+// is its own kernel process with its own worker and admin ports; clients
+// dispatch queries by user hash (ShardFor), so one user's queries always
+// land on the same replica, and idd broadcasts every (user, uT, uG)
+// binding to all shards — any shard may need any owner's taint handle when
+// labeling result rows.
 type Proxy struct {
 	sys *kernel.System
 	db  *db.DB
+	g   *evloop.Group
 
 	shards []*proxyShard
-
-	// ctx is the service lifecycle: Run returns when Stop cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
 }
 
 // proxyShard is one replica: its own process, ports and mapping tables,
-// touched only by its own loop (no locking).
+// touched only by its own loop (no locking). The loop skeleton lives in
+// lp; with no fallback handler registered, the loop's mailbox is filtered
+// to exactly the worker and admin ports.
 type proxyShard struct {
-	p    *Proxy
-	proc *kernel.Process
+	p  *Proxy
+	lp *evloop.Shard
+
+	proc *kernel.Process // lp's process
 
 	workerPort *kernel.Port
 	adminPort  *kernel.Port
-	mbox       *kernel.Mailbox
 
 	byUser map[string]Mapping
 	byUID  map[string]Mapping
 }
 
 // New boots a single-loop proxy over an existing database; NewSharded
-// replicates the loop. The admin ports' labels are locked down by
-// capability; GrantAdmin hands access to idd.
+// replicates the loop (NewShardedBurst with an explicit burst policy). The
+// admin ports' labels are locked down by capability; GrantAdmin hands
+// access to idd.
 func New(sys *kernel.System, database *db.DB) *Proxy {
 	return NewSharded(sys, database, 1)
 }
@@ -122,15 +128,21 @@ func New(sys *kernel.System, database *db.DB) *Proxy {
 // shard's ports are published under EnvWorkerPort/EnvAdminPort; WorkerPorts
 // exposes the full dispatch set.
 func NewSharded(sys *kernel.System, database *db.DB, n int) *Proxy {
-	n = shard.Clamp(n)
-	ctx, cancel := context.WithCancel(context.Background())
-	p := &Proxy{sys: sys, db: database, ctx: ctx, cancel: cancel}
-	for i := 0; i < n; i++ {
-		name := "ok-dbproxy"
-		if n > 1 {
-			name = fmt.Sprintf("ok-dbproxy/%d", i)
-		}
-		proc := sys.NewProcess(name)
+	return NewShardedBurst(sys, database, n, evloop.Burst{})
+}
+
+// NewShardedBurst is NewSharded with an explicit dispatch-burst policy.
+func NewShardedBurst(sys *kernel.System, database *db.DB, n int, burst evloop.Burst) *Proxy {
+	g := evloop.New(sys, evloop.Config{
+		Name:     "ok-dbproxy",
+		Shards:   n,
+		Category: stats.CatOKDB,
+		Burst:    burst,
+	})
+	p := &Proxy{sys: sys, db: database, g: g}
+	for i := 0; i < g.Shards(); i++ {
+		lp := g.Shard(i)
+		proc := lp.Proc()
 		worker := proc.Open(nil)
 		if err := worker.SetLabel(label.Empty(label.L3)); err != nil {
 			panic(err)
@@ -139,15 +151,18 @@ func NewSharded(sys *kernel.System, database *db.DB, n int) *Proxy {
 		// must stay 3 (not 2) because idd's mapping pushes raise the shard's
 		// receive label with DR = {uT 3}, and requirement 4 demands DR ⊑ pR.
 		admin := proc.Open(nil)
-		p.shards = append(p.shards, &proxyShard{
+		s := &proxyShard{
 			p:          p,
+			lp:         lp,
 			proc:       proc,
 			workerPort: worker,
 			adminPort:  admin,
-			mbox:       proc.Mailbox(worker, admin),
 			byUser:     make(map[string]Mapping),
 			byUID:      make(map[string]Mapping),
-		})
+		}
+		lp.Handle(worker, s.handleWorker)
+		lp.Handle(admin, s.handleAdmin)
+		p.shards = append(p.shards, s)
 	}
 	sys.SetEnv(EnvWorkerPort, p.shards[0].workerPort.Handle())
 	sys.SetEnv(EnvAdminPort, p.shards[0].adminPort.Handle())
@@ -203,45 +218,12 @@ func (p *Proxy) GrantAdmin(dst handle.Handle) error {
 	return nil
 }
 
-// Run runs every shard's event loop; it returns when Stop cancels the
-// service's context.
-func (p *Proxy) Run() {
-	var wg sync.WaitGroup
-	for _, s := range p.shards {
-		wg.Add(1)
-		go func(s *proxyShard) {
-			defer wg.Done()
-			s.run()
-		}(s)
-	}
-	wg.Wait()
-}
-
-func (s *proxyShard) run() {
-	prof := s.p.sys.Profiler()
-	for {
-		d, err := s.mbox.Recv(s.p.ctx)
-		if err != nil {
-			return
-		}
-		stop := prof.Time(stats.CatOKDB)
-		switch d.Port {
-		case s.workerPort.Handle():
-			s.handleWorker(d)
-		case s.adminPort.Handle():
-			s.handleAdmin(d)
-		}
-		stop()
-	}
-}
+// Run runs every shard's event loop on the evloop runtime; it returns when
+// Stop cancels the group context.
+func (p *Proxy) Run() { p.g.Run() }
 
 // Stop shuts the proxy down: context first (ends Run), then kernel state.
-func (p *Proxy) Stop() {
-	p.cancel()
-	for _, s := range p.shards {
-		s.proc.Exit()
-	}
-}
+func (p *Proxy) Stop() { p.g.Stop() }
 
 func (s *proxyShard) handleAdmin(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)

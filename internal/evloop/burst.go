@@ -1,0 +1,112 @@
+package evloop
+
+import "time"
+
+// Burst configures a shard's dispatch-burst cap — how many queued
+// deliveries one batching round may dispatch before the Batcher flush. The
+// cap trades handoff latency (everything dispatched in a round waits for
+// the flush) against amortization (one SendBatch per destination per
+// round).
+//
+// The zero value selects adaptive batching: the cap starts at
+// DefaultInitial and AIMD-adjusts per shard between DefaultMin and
+// DefaultMax from observed drain latency vs. queue depth. Setting Fixed
+// pins the cap (Fixed: 64 reproduces the pre-adaptive loops exactly).
+type Burst struct {
+	// Fixed, when positive, pins the cap and disables adaptation.
+	Fixed int
+
+	// Initial, Min and Max override the AIMD bounds (0 = defaults).
+	Initial, Min, Max int
+
+	// Target is the drain-latency budget per burst (0 = DefaultTarget):
+	// a round that takes longer halves the cap; a round that fills the cap
+	// under budget with backlog still queued grows it additively.
+	Target time.Duration
+}
+
+// Adaptive-batching defaults: the cap starts where the hand-rolled loops
+// froze it (64) and moves between 8 and 512. The latency target bounds how
+// long a flushed reply can sit in the Batcher — 1ms keeps tail latency in
+// Figure 8 territory while letting a loose shard amortize deep queues.
+const (
+	DefaultInitial = 64
+	DefaultMin     = 8
+	DefaultMax     = 512
+	DefaultTarget  = time.Millisecond
+
+	// aimdStep is the additive increase per under-budget saturated round.
+	aimdStep = 8
+)
+
+// aimd is one shard's burst-cap controller. Touched only by the owning
+// loop goroutine (observe) — Cap reads are exposed to tests via
+// Shard.BurstCap, valid against a quiescent loop.
+type aimd struct {
+	cap      int
+	min, max int
+	target   time.Duration
+	fixed    bool
+}
+
+func newAIMD(b Burst) *aimd {
+	a := &aimd{
+		cap:    b.Initial,
+		min:    b.Min,
+		max:    b.Max,
+		target: b.Target,
+	}
+	if a.min <= 0 {
+		a.min = DefaultMin
+	}
+	if a.max < a.min {
+		a.max = DefaultMax
+	}
+	if a.cap <= 0 {
+		a.cap = DefaultInitial
+	}
+	if a.target <= 0 {
+		a.target = DefaultTarget
+	}
+	if b.Fixed > 0 {
+		a.cap, a.fixed = b.Fixed, true
+		return a
+	}
+	if a.cap < a.min {
+		a.cap = a.min
+	}
+	if a.cap > a.max {
+		a.cap = a.max
+	}
+	return a
+}
+
+// observe feeds one completed round into the controller: n deliveries
+// dispatched in elapsed, with depth messages still queued at flush time.
+// AIMD: multiplicative decrease when the round overran the latency target,
+// additive increase when the round was truncated by the cap (n reached it)
+// under budget and backlog remains — growing an undersubscribed cap would
+// only add flush latency for no amortization.
+//
+// The decrease is gated on n > Min: an over-target round of only a few
+// messages was made slow by something other than the burst size — a GC
+// pause, scheduler preemption, one expensive request — and halving the cap
+// cannot make the next such round faster. Without the gate, background
+// noise ratchets every shard to the floor, where flush overhead amortizes
+// worst; with it, light-load shards sit at whatever cap load last earned
+// and behave exactly like a fixed cap until a real burst arrives.
+func (a *aimd) observe(n int, elapsed time.Duration, depth int) {
+	if a.fixed || n <= 0 {
+		return
+	}
+	switch {
+	case elapsed > a.target && n > a.min:
+		if a.cap = a.cap / 2; a.cap < a.min {
+			a.cap = a.min
+		}
+	case n >= a.cap && depth > 0 && elapsed <= a.target:
+		if a.cap += aimdStep; a.cap > a.max {
+			a.cap = a.max
+		}
+	}
+}

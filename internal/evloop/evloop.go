@@ -1,0 +1,352 @@
+// Package evloop is the shared sharded event-loop runtime behind the
+// trusted Asbestos services (ok-demux, netd, ok-dbproxy, idd, fsd). Each
+// of them used to hand-roll the same ~200-line loop — drain a Mailbox
+// burst, dispatch by port, flush a Batcher, forward cross-shard work;
+// evloop owns that skeleton once, so loop behaviour (burst caps, payload
+// lifecycle, empty-payload tolerance, shard forwarding, ctx-driven stop)
+// can be stated once and tested once.
+//
+// A Group runs Config.Shards independent loops. Each Shard is its own
+// kernel process with exclusively-owned state: the service registers port
+// handlers on it before Run, and the loop then dispatches deliveries in
+// adaptive bursts, flushing the shard's Batcher after every round.
+//
+// # Ownership rules
+//
+//   - A Shard's handlers, tables and Batcher belong to its loop goroutine.
+//     Handlers run only on that goroutine (plus the construction-time
+//     Dispatch calls a launcher makes before Run); nothing in a shard needs
+//     locking. Registration (Handle, HandleDefault, OnTick) must complete
+//     before Run.
+//   - Cross-shard traffic goes through each shard's forward port: the Group
+//     exchanges ⋆ grants for every ordered shard pair at construction, and
+//     Peer(i) is a route-cached endpoint to shard i's port. Buffer batched
+//     forwards on Out() with Peer(i).Handle() as the destination; use
+//     Peer(i).Send directly when the message must be visible to the sibling
+//     before the current handler returns (listener replication and other
+//     ordering-sensitive control traffic).
+//   - Messages buffered on Out() are flushed after the burst; privileges a
+//     buffered message needs must be shed via Out().DropAfter, never
+//     directly (the Batcher contract).
+//
+// # Release rules
+//
+// The loop releases every delivery after its handler returns
+// (kernel.Delivery.Release), returning the payload buffer to the kernel's
+// pool — this is what makes the trusted services allocation-free per
+// delivered payload. A handler that retains d.Data bytes past its own
+// return must copy them (wire.Reader.Bytes already copies) or take
+// ownership with d.Detach(); retaining the slice without either is a
+// use-after-release bug, and the kernel's detector panics on the double
+// releases that usually accompany one.
+//
+// # Adaptive batching
+//
+// The dispatch-burst cap — how many deliveries one round may dispatch
+// before the flush — starts at Burst.Initial (64) and adapts per shard:
+// AIMD between Burst.Min and Burst.Max (8..512), halving when a round's
+// drain latency overruns Burst.Target and growing additively when a round
+// saturates the cap under budget with backlog still queued. Burst.Fixed
+// pins the cap for A/B comparisons (the Figure 8 sweep's fixed-vs-adaptive
+// dimension).
+package evloop
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/shard"
+	"asbestos/internal/stats"
+)
+
+// Handler consumes one delivery. The payload is released when the handler
+// returns; see the package comment's release rules.
+type Handler func(d *kernel.Delivery)
+
+// Config configures a Group.
+type Config struct {
+	// Name is the kernel-process name; shard i of a multi-shard group is
+	// named "Name/i".
+	Name string
+	// Shards is the loop count, clamped like every other shard knob
+	// (0 = one per schedulable core).
+	Shards int
+	// Category attributes loop time to one of the Figure 9 components.
+	Category stats.Category
+	// Burst is the dispatch-burst policy (zero value = adaptive defaults).
+	Burst Burst
+	// Tick is the timer cadence for shards that register OnTick handlers
+	// (0 = TickDefault). Ticks fire only while armed (Shard.SetTick), so an
+	// idle service pays nothing for having a timer path.
+	Tick time.Duration
+}
+
+// TickDefault is the timer cadence when Config.Tick is zero.
+const TickDefault = 25 * time.Millisecond
+
+// Group is a set of sharded event loops sharing one lifecycle: Run runs
+// every loop until Stop cancels the group context.
+type Group struct {
+	sys    *kernel.System
+	cfg    Config
+	shards []*Shard
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Shard is one event loop: its own kernel process, dispatch table, Batcher
+// and burst controller, touched only by its own goroutine once Run starts.
+type Shard struct {
+	g   *Group
+	idx int
+
+	proc  *kernel.Process
+	out   *kernel.Batcher
+	fwd   *kernel.Port
+	peers []*kernel.Port
+
+	handlers map[handle.Handle]Handler
+	ports    []*kernel.Port // registration order, for the filtered mailbox
+	fallback Handler
+	mbox     *kernel.Mailbox
+
+	onTick    func(now time.Time)
+	tickArmed bool
+	nextTick  time.Time
+
+	burst *aimd
+}
+
+// New builds a Group of shard.Clamp(cfg.Shards) loops: one kernel process,
+// forward port and Batcher per shard, with forward-port ⋆ grants exchanged
+// for every ordered shard pair (fresh ports are closed by capability, so
+// an un-granted cross-shard send would be silently dropped).
+func New(sys *kernel.System, cfg Config) *Group {
+	n := shard.Clamp(cfg.Shards)
+	if cfg.Tick <= 0 {
+		cfg.Tick = TickDefault
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &Group{sys: sys, cfg: cfg, ctx: ctx, cancel: cancel}
+	for i := 0; i < n; i++ {
+		name := cfg.Name
+		if n > 1 {
+			name = fmt.Sprintf("%s/%d", cfg.Name, i)
+		}
+		proc := sys.NewProcess(name)
+		g.shards = append(g.shards, &Shard{
+			g:        g,
+			idx:      i,
+			proc:     proc,
+			out:      kernel.NewBatcher(proc),
+			fwd:      proc.Open(nil),
+			handlers: make(map[handle.Handle]Handler),
+			burst:    newAIMD(cfg.Burst),
+		})
+	}
+	for _, s := range g.shards {
+		var grants []kernel.BootstrapGrant
+		for _, sib := range g.shards {
+			if sib != s {
+				grants = append(grants, kernel.BootstrapGrant{
+					From: sib.proc, Handles: []handle.Handle{sib.fwd.Handle()},
+				})
+			}
+		}
+		kernel.BootstrapGrants(s.proc, grants)
+		s.peers = make([]*kernel.Port, n)
+		for j, sib := range g.shards {
+			s.peers[j] = s.proc.Port(sib.fwd.Handle())
+		}
+	}
+	return g
+}
+
+// Shards reports the loop count.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// Shard returns loop i.
+func (g *Group) Shard(i int) *Shard { return g.shards[i] }
+
+// Context is the group lifecycle: done once Stop is called. Services use
+// it for blocking receives outside the loop (client round trips) so
+// shutdown cannot hang on a lost reply.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Run runs every shard's loop; it returns when Stop cancels the group
+// context.
+func (g *Group) Run() {
+	var wg sync.WaitGroup
+	for _, s := range g.shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			s.run()
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Stop shuts the group down: context first (ends Run), then each shard's
+// kernel state.
+func (g *Group) Stop() {
+	g.cancel()
+	for _, s := range g.shards {
+		s.proc.Exit()
+	}
+}
+
+// Cancel ends the group context without releasing any shard's kernel
+// state: Run returns, the processes stay alive. Stop is Cancel plus the
+// per-shard Exit; the split exists for staged shutdowns and the lifecycle
+// tests that pin cancellation — not process death — as the unblocking
+// mechanism.
+func (g *Group) Cancel() { g.cancel() }
+
+// Index reports the shard's position in the group.
+func (s *Shard) Index() int { return s.idx }
+
+// Proc exposes the shard's kernel process (port creation, label
+// inspection).
+func (s *Shard) Proc() *kernel.Process { return s.proc }
+
+// Out is the shard's Batcher, flushed after every dispatch round.
+func (s *Shard) Out() *kernel.Batcher { return s.out }
+
+// ForwardPort is the shard's own cross-shard port (handled via
+// HandleForward).
+func (s *Shard) ForwardPort() *kernel.Port { return s.fwd }
+
+// Peer returns a route-cached endpoint from this shard's process to shard
+// i's forward port (⋆ pre-granted).
+func (s *Shard) Peer(i int) *kernel.Port { return s.peers[i] }
+
+// Handle registers h for deliveries on pt, which must be a port of the
+// shard's process. Registration must complete before the group runs.
+func (s *Shard) Handle(pt *kernel.Port, h Handler) {
+	if pt.Process() != s.proc {
+		panic("evloop: Handle port belongs to a different process")
+	}
+	if _, dup := s.handlers[pt.Handle()]; !dup {
+		s.ports = append(s.ports, pt)
+	}
+	s.handlers[pt.Handle()] = h
+}
+
+// HandleForward registers the shard's cross-shard handler.
+func (s *Shard) HandleForward(h Handler) { s.Handle(s.fwd, h) }
+
+// HandleDefault registers the fallback for ports without their own entry —
+// the dynamic-port idiom (per-connection reply ports). A shard with a
+// fallback receives on every port its process owns; without one, the loop's
+// mailbox is filtered to the registered ports, leaving the rest (client
+// reply ports a handler blocks on inline) untouched.
+func (s *Shard) HandleDefault(h Handler) { s.fallback = h }
+
+// OnTick registers the shard's timer handler, fired at the group's tick
+// cadence while armed. Like every handler it runs on the loop goroutine.
+func (s *Shard) OnTick(f func(now time.Time)) { s.onTick = f }
+
+// SetTick arms or disarms the shard's timer. Call from the shard's own
+// handlers (or before Run); an armed tick wakes an otherwise idle loop, a
+// disarmed one costs nothing.
+func (s *Shard) SetTick(on bool) {
+	if on && !s.tickArmed {
+		s.nextTick = time.Now().Add(s.g.cfg.Tick)
+	}
+	s.tickArmed = on && s.onTick != nil
+}
+
+// BurstCap reports the shard's current dispatch-burst cap. Exact against a
+// quiescent loop (tests, diagnostics).
+func (s *Shard) BurstCap() int { return s.burst.cap }
+
+// Dispatch routes one delivery through the shard's table: the port's
+// handler, else the fallback, else nothing (unknown ports are dropped like
+// any other undeliverable message). Exposed for construction-time plumbing
+// — launchers that must consume registrations synchronously before the
+// loops start; at runtime only the loop goroutine may call it.
+func (s *Shard) Dispatch(d *kernel.Delivery) {
+	if h := s.handlers[d.Port]; h != nil {
+		h(d)
+		return
+	}
+	if s.fallback != nil {
+		s.fallback(d)
+	}
+}
+
+// run is the loop skeleton every trusted service used to copy: block for
+// the first delivery, drain up to the burst cap without blocking, flush
+// the Batcher, adapt the cap, fire due ticks.
+func (s *Shard) run() {
+	if s.mbox == nil {
+		if s.fallback != nil {
+			s.mbox = s.proc.Mailbox()
+		} else {
+			s.mbox = s.proc.Mailbox(s.ports...)
+		}
+	}
+	prof := s.g.sys.Profiler()
+	for {
+		d, err := s.recvNext()
+		if err != nil {
+			return
+		}
+		now := time.Now()
+		if d != nil {
+			stop := prof.Time(s.g.cfg.Category)
+			cap := s.burst.cap
+			s.dispatchRelease(d)
+			n := 1
+			if n < cap {
+				for d := range s.mbox.Drain() {
+					s.dispatchRelease(d)
+					if n++; n >= cap {
+						break
+					}
+				}
+			}
+			s.out.Flush()
+			elapsed := time.Since(now)
+			s.burst.observe(n, elapsed, s.proc.QueueLen())
+			stop()
+			now = now.Add(elapsed)
+		}
+		if s.tickArmed && !now.Before(s.nextTick) {
+			stop := prof.Time(s.g.cfg.Category)
+			s.onTick(now)
+			s.out.Flush()
+			stop()
+			s.nextTick = now.Add(s.g.cfg.Tick)
+		}
+	}
+}
+
+func (s *Shard) dispatchRelease(d *kernel.Delivery) {
+	s.Dispatch(d)
+	d.Release()
+}
+
+// recvNext blocks for the next delivery, bounded by the tick deadline when
+// the timer is armed. A deadline expiry returns (nil, nil) so the loop can
+// fire the tick; a group-context cancellation (or process death) ends the
+// loop.
+func (s *Shard) recvNext() (*kernel.Delivery, error) {
+	if !s.tickArmed {
+		return s.mbox.Recv(s.g.ctx)
+	}
+	tctx, cancel := context.WithDeadline(s.g.ctx, s.nextTick)
+	d, err := s.mbox.Recv(tctx)
+	cancel()
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && s.g.ctx.Err() == nil {
+		return nil, nil
+	}
+	return d, err
+}

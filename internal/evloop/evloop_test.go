@@ -1,0 +1,385 @@
+package evloop
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+	"asbestos/internal/label"
+	"asbestos/internal/stats"
+)
+
+// start runs the group on a goroutine and returns a join function that
+// stops it and waits for every loop to exit (after which shard state like
+// BurstCap is safe to read).
+func start(g *Group) (join func()) {
+	done := make(chan struct{})
+	go func() {
+		g.Run()
+		close(done)
+	}()
+	return func() {
+		g.Stop()
+		<-done
+	}
+}
+
+// openTo opens an open-labeled port on s's process and registers h for it.
+func openTo(s *Shard, h Handler) *kernel.Port {
+	pt := s.Proc().Open(nil)
+	if err := pt.SetLabel(label.Empty(label.L3)); err != nil {
+		panic(err)
+	}
+	s.Handle(pt, h)
+	return pt
+}
+
+// TestAIMDController pins the burst-cap arithmetic: multiplicative
+// decrease on over-target rounds, additive increase on saturated
+// under-target rounds with backlog, clamped to [Min, Max], inert when
+// Fixed.
+func TestAIMDController(t *testing.T) {
+	a := newAIMD(Burst{})
+	if a.cap != DefaultInitial || a.min != DefaultMin || a.max != DefaultMax {
+		t.Fatalf("defaults = %d [%d,%d]", a.cap, a.min, a.max)
+	}
+
+	// Injected latency: cap halves per round down to the floor.
+	for i, want := range []int{32, 16, 8, 8} {
+		a.observe(a.cap, 2*DefaultTarget, 100)
+		if a.cap != want {
+			t.Fatalf("round %d: cap = %d, want %d", i, a.cap, want)
+		}
+	}
+
+	// Saturated fast rounds with backlog: additive growth up to the cap.
+	for a.cap < DefaultMax {
+		before := a.cap
+		a.observe(a.cap, DefaultTarget/10, 100)
+		if a.cap != before+aimdStep && a.cap != DefaultMax {
+			t.Fatalf("growth step: %d → %d", before, a.cap)
+		}
+	}
+	a.observe(a.cap, DefaultTarget/10, 100)
+	if a.cap != DefaultMax {
+		t.Fatalf("cap exceeded Max: %d", a.cap)
+	}
+
+	// No growth without saturation or without backlog; no shrink when the
+	// over-target round was too small for the cap to be the cause (a GC
+	// pause under a one-message round must not ratchet the cap down).
+	a = newAIMD(Burst{})
+	a.observe(a.cap-1, DefaultTarget/10, 100)
+	a.observe(a.cap, DefaultTarget/10, 0)
+	a.observe(0, 2*DefaultTarget, 0) // empty rounds are ignored
+	a.observe(1, 50*DefaultTarget, 0)
+	a.observe(DefaultMin, 50*DefaultTarget, 100)
+	if a.cap != DefaultInitial {
+		t.Fatalf("cap moved without cause: %d", a.cap)
+	}
+
+	// Fixed pins the cap.
+	f := newAIMD(Burst{Fixed: 64})
+	f.observe(64, 10*DefaultTarget, 1000)
+	f.observe(64, DefaultTarget/10, 1000)
+	if f.cap != 64 || !f.fixed {
+		t.Fatalf("fixed cap moved: %d", f.cap)
+	}
+}
+
+// TestDispatchForwardFlushOrdering drives a burst through the full
+// pipeline — registered-port dispatch on shard 0, a batched cross-shard
+// forward to shard 1, a batched hop to an external collector — and asserts
+// per-sender FIFO order survives both Batcher flushes end to end.
+func TestDispatchForwardFlushOrdering(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(81))
+	g := New(sys, Config{Name: "t", Shards: 2, Category: stats.CatOther})
+	s0, s1 := g.Shard(0), g.Shard(1)
+
+	col := sys.NewProcess("collector")
+	colPort := col.Open(nil)
+	if err := colPort.SetLabel(label.Empty(label.L3)); err != nil {
+		t.Fatal(err)
+	}
+
+	openTo(s0, func(d *kernel.Delivery) {
+		// Forward a fresh copy (the delivery is released after return).
+		s0.Out().Add(s0.Peer(1).Handle(), append([]byte(nil), d.Data...), nil)
+	})
+	s1.HandleForward(func(d *kernel.Delivery) {
+		s1.Out().Add(colPort.Handle(), append([]byte(nil), d.Data...), nil)
+	})
+	in0 := s0.ports[len(s0.ports)-1]
+
+	join := start(g)
+	defer join()
+
+	const K = 300
+	tx := sys.NewProcess("tx")
+	out := tx.Port(in0.Handle())
+	for i := 0; i < K; i++ {
+		var buf [2]byte
+		binary.BigEndian.PutUint16(buf[:], uint16(i))
+		if err := out.Send(buf[:], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < K; i++ {
+		d, err := col.RecvCtx(ctx)
+		if err != nil {
+			t.Fatalf("collector starved at %d/%d: %v", i, K, err)
+		}
+		if got := binary.BigEndian.Uint16(d.Data); int(got) != i {
+			t.Fatalf("message %d arrived as %d: FIFO lost through the flushes", i, got)
+		}
+	}
+}
+
+// TestFlushBeforeDropAfter pins the Batcher privilege contract the loop
+// inherits: a capability a buffered message grants is shed only AFTER the
+// flush, so the grant is still legal at enqueue time — and is genuinely
+// gone afterwards.
+func TestFlushBeforeDropAfter(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(82))
+	g := New(sys, Config{Name: "t", Shards: 2, Category: stats.CatOther})
+	s0, s1 := g.Shard(0), g.Shard(1)
+
+	var granted atomic.Uint64 // handle granted to shard 1, once delivered
+	var arrived atomic.Int64
+	openTo(s0, func(d *kernel.Delivery) {
+		fresh := s0.Proc().Open(nil)
+		h := fresh.Handle()
+		s0.Out().Add(s0.Peer(1).Handle(),
+			append([]byte(nil), d.Data...),
+			&kernel.SendOpts{DecontSend: kernel.Grant(h)})
+		s0.Out().DropAfter(h)
+		granted.Store(uint64(h))
+	})
+	s1.HandleForward(func(d *kernel.Delivery) { arrived.Add(1) })
+	in0 := s0.ports[len(s0.ports)-1]
+
+	join := start(g)
+	tx := sys.NewProcess("tx")
+	if err := tx.Port(in0.Handle()).Send([]byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for arrived.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("granted forward never arrived: privilege shed before flush?")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	join()
+
+	// After the flush the privilege must actually be gone (DropAfter ran).
+	h := handle.Handle(granted.Load())
+	if lvl := s0.Proc().SendLabel().Get(h); lvl == label.Star {
+		t.Fatalf("shard 0 still holds ⋆ for %v after the flush", h)
+	}
+}
+
+// TestAdaptiveCapShrinksUnderLatency runs a loop whose handler is slow:
+// every round overruns the latency target, so the cap must converge to the
+// floor.
+func TestAdaptiveCapShrinksUnderLatency(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(83))
+	g := New(sys, Config{Name: "slow", Shards: 1, Category: stats.CatOther,
+		Burst: Burst{Target: 100 * time.Microsecond}})
+	s := g.Shard(0)
+
+	var seen atomic.Int64
+	in := openTo(s, func(d *kernel.Delivery) {
+		time.Sleep(300 * time.Microsecond)
+		seen.Add(1)
+	})
+
+	const K = 120
+	tx := sys.NewProcess("tx")
+	out := tx.Port(in.Handle())
+	for i := 0; i < K; i++ {
+		if err := out.Send([]byte{byte(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	join := start(g)
+	deadline := time.Now().Add(30 * time.Second)
+	for seen.Load() < K {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop stalled: %d/%d", seen.Load(), K)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	join()
+	if got := s.BurstCap(); got != DefaultMin {
+		t.Fatalf("cap = %d under injected latency, want floor %d", got, DefaultMin)
+	}
+}
+
+// TestAdaptiveCapGrowsUnderDepth pre-floods a fast loop: rounds saturate
+// the cap under budget with backlog queued, so the cap must grow past its
+// initial value.
+func TestAdaptiveCapGrowsUnderDepth(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(84))
+	g := New(sys, Config{Name: "fast", Shards: 1, Category: stats.CatOther})
+	s := g.Shard(0)
+
+	var seen atomic.Int64
+	in := openTo(s, func(d *kernel.Delivery) { seen.Add(1) })
+
+	const K = 6000
+	tx := sys.NewProcess("tx")
+	out := tx.Port(in.Handle())
+	payload := []byte{0}
+	for i := 0; i < K; i++ {
+		if err := out.Send(payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	join := start(g)
+	deadline := time.Now().Add(30 * time.Second)
+	for seen.Load() < K {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop stalled: %d/%d", seen.Load(), K)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	join()
+	if got := s.BurstCap(); got <= DefaultInitial {
+		t.Fatalf("cap = %d after a deep fast backlog, want growth past %d", got, DefaultInitial)
+	}
+}
+
+// TestFixedBurstStaysFixed is the knob's regression: Fixed pins the cap
+// through both latency and depth pressure.
+func TestFixedBurstStaysFixed(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(85))
+	g := New(sys, Config{Name: "fixed", Shards: 1, Category: stats.CatOther,
+		Burst: Burst{Fixed: 64}})
+	s := g.Shard(0)
+	var seen atomic.Int64
+	in := openTo(s, func(d *kernel.Delivery) { seen.Add(1) })
+	tx := sys.NewProcess("tx")
+	out := tx.Port(in.Handle())
+	for i := 0; i < 2000; i++ {
+		if err := out.Send([]byte{0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	join := start(g)
+	deadline := time.Now().Add(30 * time.Second)
+	for seen.Load() < 2000 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	join()
+	if got := s.BurstCap(); got != 64 {
+		t.Fatalf("fixed cap moved to %d", got)
+	}
+}
+
+// TestTickFiresWhileArmed pins the timer path the pending-login deadline
+// rides on: an armed tick fires on an otherwise idle loop, a handler can
+// disarm it, and a disarmed loop fires nothing.
+func TestTickFiresWhileArmed(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(86))
+	g := New(sys, Config{Name: "tick", Shards: 1, Category: stats.CatOther,
+		Tick: 2 * time.Millisecond})
+	s := g.Shard(0)
+	openTo(s, func(d *kernel.Delivery) {})
+
+	var ticks atomic.Int64
+	s.OnTick(func(now time.Time) {
+		if ticks.Add(1) >= 3 {
+			s.SetTick(false)
+		}
+	})
+	s.SetTick(true)
+
+	join := start(g)
+	defer join()
+	deadline := time.Now().Add(10 * time.Second)
+	for ticks.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("armed tick never fired (%d)", ticks.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Disarmed: no further ticks.
+	settled := ticks.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := ticks.Load(); got != settled {
+		t.Fatalf("disarmed tick kept firing: %d → %d", settled, got)
+	}
+}
+
+// TestEvloopStress hammers a 4-shard group from 8 producers, with every
+// handler forwarding a slice of its traffic to a sibling shard — the
+// race-detector workout for the shared runtime.
+func TestEvloopStress(t *testing.T) {
+	const (
+		shards    = 4
+		producers = 8
+		perProd   = 500
+	)
+	sys := kernel.NewSystem(kernel.WithSeed(87))
+	g := New(sys, Config{Name: "stress", Shards: shards, Category: stats.CatOther})
+
+	var direct, forwarded atomic.Int64
+	ins := make([]*kernel.Port, shards)
+	for i := 0; i < shards; i++ {
+		s := g.Shard(i)
+		sib := (i + 1) % shards
+		ins[i] = openTo(s, func(d *kernel.Delivery) {
+			direct.Add(1)
+			if d.Data[0]%4 == 0 {
+				s.Out().Add(s.Peer(sib).Handle(), append([]byte(nil), d.Data...), nil)
+			}
+		})
+		s.HandleForward(func(d *kernel.Delivery) { forwarded.Add(1) })
+	}
+	join := start(g)
+	defer join()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tx := sys.NewProcess(fmt.Sprintf("tx%d", p))
+			outs := make([]*kernel.Port, shards)
+			for i := range outs {
+				outs[i] = tx.Port(ins[i].Handle())
+			}
+			for i := 0; i < perProd; i++ {
+				if err := outs[i%shards].Send([]byte{byte(i)}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	want := int64(producers * perProd)
+	wantFwd := int64(producers) * int64(perProd/4)
+	deadline := time.Now().Add(30 * time.Second)
+	for direct.Load() < want || forwarded.Load() < wantFwd {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed %d/%d direct, %d/%d forwarded",
+				direct.Load(), want, forwarded.Load(), wantFwd)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"sort"
 
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
+	"asbestos/internal/stats"
 	"asbestos/internal/wire"
 )
 
@@ -62,15 +64,13 @@ type user struct {
 	uG handle.Handle
 }
 
-// Server is the labeled file server process.
+// Server is the labeled file server: a single-loop dispatcher on the
+// shared internal/evloop runtime.
 type Server struct {
 	sys  *kernel.System
+	g    *evloop.Group
 	proc *kernel.Process
 	port *kernel.Port
-
-	// ctx is the service lifecycle: Run returns when Stop cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
 
 	files map[string]*file
 	users map[string]user
@@ -81,20 +81,23 @@ type Server struct {
 
 // New boots a file server and publishes its port.
 func New(sys *kernel.System) *Server {
-	proc := sys.NewProcess("fsd")
+	g := evloop.New(sys, evloop.Config{
+		Name: "fsd", Shards: 1, Category: stats.CatOther,
+	})
+	lp := g.Shard(0)
+	proc := lp.Proc()
 	port := proc.Open(nil)
 	port.SetLabel(label.Empty(label.L3))
-	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		sys:    sys,
-		proc:   proc,
-		port:   port,
-		ctx:    ctx,
-		cancel: cancel,
-		files:  make(map[string]*file),
-		users:  make(map[string]user),
-		sysH:   proc.NewHandle(),
+		sys:   sys,
+		g:     g,
+		proc:  proc,
+		port:  port,
+		files: make(map[string]*file),
+		users: make(map[string]user),
+		sysH:  proc.NewHandle(),
 	}
+	lp.Handle(port, s.dispatch)
 	sys.SetEnv(EnvName, port.Handle())
 	return s
 }
@@ -115,23 +118,12 @@ func (s *Server) CreateSystemFile(path string, data []byte) {
 	s.files[path] = &file{data: data, system: true}
 }
 
-// Run is the server's event loop; it returns when Stop cancels the
-// service's context.
-func (s *Server) Run() {
-	for {
-		d, err := s.port.Recv(s.ctx)
-		if err != nil {
-			return
-		}
-		s.dispatch(d)
-	}
-}
+// Run is the server's event loop on the evloop runtime; it returns when
+// Stop cancels the service's context.
+func (s *Server) Run() { s.g.Run() }
 
 // Stop shuts the server down: context first (ends Run), then kernel state.
-func (s *Server) Stop() {
-	s.cancel()
-	s.proc.Exit()
-}
+func (s *Server) Stop() { s.g.Stop() }
 
 func (s *Server) dispatch(d *kernel.Delivery) {
 	op, r := wire.NewReader(d.Data)

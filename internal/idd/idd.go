@@ -6,9 +6,8 @@
 package idd
 
 import (
-	"context"
-
 	"asbestos/internal/dbproxy"
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
@@ -50,14 +49,17 @@ type Identity struct {
 	UG  handle.Handle
 }
 
-// Idd is the identity server process.
+// Idd is the identity server: a single-loop dispatcher on the shared
+// internal/evloop runtime. With no fallback handler registered, the loop's
+// mailbox is filtered to the login and admin ports — the database reply
+// port is consumed inline by adminExec, never by the loop.
 type Idd struct {
 	sys  *kernel.System
+	g    *evloop.Group
 	proc *kernel.Process
 
 	loginPort *kernel.Port
 	adminPort *kernel.Port
-	mbox      *kernel.Mailbox // login + admin
 	// dbAdmins are every ok-dbproxy shard's admin port (capabilities held,
 	// routes cached). Admin statements go to shard 0; user bindings are
 	// pushed to all shards, since any shard may need any owner's taint
@@ -65,17 +67,17 @@ type Idd struct {
 	dbAdmins []*kernel.Port
 	dbReply  *kernel.Port // reply port for database queries
 
-	// ctx is the service lifecycle: Run returns when Stop cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
-
 	cache map[string]Identity // by username
 }
 
 // New boots idd. The proxy must already exist; New acquires the admin
 // capability from it and creates the password table if missing.
 func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
-	proc := sys.NewProcess("idd")
+	g := evloop.New(sys, evloop.Config{
+		Name: "idd", Shards: 1, Category: stats.CatOKWS,
+	})
+	lp := g.Shard(0)
+	proc := lp.Proc()
 	login := proc.Open(nil)
 	if err := login.SetLabel(label.Empty(label.L3)); err != nil {
 		panic(err)
@@ -101,18 +103,17 @@ func New(sys *kernel.System, proxy *dbproxy.Proxy) *Idd {
 	}
 	grantRx.Dissociate()
 
-	ctx, cancel := context.WithCancel(context.Background())
 	i := &Idd{
 		sys:       sys,
+		g:         g,
 		proc:      proc,
 		loginPort: login,
 		adminPort: admin,
-		mbox:      proc.Mailbox(login, admin),
 		dbReply:   dbReply,
-		ctx:       ctx,
-		cancel:    cancel,
 		cache:     make(map[string]Identity),
 	}
+	lp.Handle(login, i.handleLogin)
+	lp.Handle(admin, i.handleAdmin)
 	for _, h := range proxy.AdminPorts() {
 		i.dbAdmins = append(i.dbAdmins, proc.Port(h))
 	}
@@ -128,31 +129,12 @@ func (i *Idd) Process() *kernel.Process { return i.proc }
 // LoginPort returns the login request port.
 func (i *Idd) LoginPort() handle.Handle { return i.loginPort.Handle() }
 
-// Run is idd's event loop; it returns when Stop cancels the service's
-// context.
-func (i *Idd) Run() {
-	prof := i.sys.Profiler()
-	for {
-		d, err := i.mbox.Recv(i.ctx)
-		if err != nil {
-			return
-		}
-		stop := prof.Time(stats.CatOKWS)
-		switch d.Port {
-		case i.loginPort.Handle():
-			i.handleLogin(d)
-		case i.adminPort.Handle():
-			i.handleAdmin(d)
-		}
-		stop()
-	}
-}
+// Run is idd's event loop on the evloop runtime; it returns when Stop
+// cancels the service's context.
+func (i *Idd) Run() { i.g.Run() }
 
 // Stop shuts idd down: context first (ends Run), then kernel state.
-func (i *Idd) Stop() {
-	i.cancel()
-	i.proc.Exit()
-}
+func (i *Idd) Stop() { i.g.Stop() }
 
 // adminExec runs a statement through ok-dbproxy and waits for the reply.
 // The blocking is safe: the proxy never calls back into idd, and the wait
@@ -161,7 +143,7 @@ func (i *Idd) adminExec(sql string, args ...string) (dbproxy.AdminResult, bool) 
 	if err := dbproxy.AdminExec(i.dbAdmins[0], sql, args, i.dbReply.Handle()); err != nil {
 		return dbproxy.AdminResult{}, false
 	}
-	d, err := i.dbReply.Recv(i.ctx)
+	d, err := i.dbReply.Recv(i.g.Context())
 	if err != nil || d == nil {
 		return dbproxy.AdminResult{}, false
 	}

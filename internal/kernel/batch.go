@@ -104,7 +104,7 @@ func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEnt
 		if e.Owned {
 			m.Data = e.Data
 		} else {
-			m.Data = append(m.Data[:0], e.Data...)
+			m.Data = append(getPayload(), e.Data...)
 		}
 		m.es, m.ds, m.dr, m.v = es, ds, dr, v
 		m.next = nil

@@ -118,9 +118,7 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 			applyEffects(m, &ep.sendL, &ep.recvL)
 			ep.active = true
 			p.cur = ep
-			d := &Delivery{Port: m.Port, Data: m.Data, V: m.v}
-			releaseMsg(m)
-			return d, ep
+			return newDelivery(m), ep
 		}
 		// Base-owned port: a deliverable message forks a new event process
 		// with labels copied from the base (§6.1).
@@ -143,9 +141,7 @@ func (p *Process) checkpointScan() (*Delivery, *EventProcess) {
 		applyEffects(m, &ep.sendL, &ep.recvL)
 		ep.active = true
 		p.cur = ep
-		d := &Delivery{Port: m.Port, Data: m.Data, V: m.v}
-		releaseMsg(m)
-		return d, ep
+		return newDelivery(m), ep
 	}
 	return nil, nil
 }

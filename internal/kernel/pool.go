@@ -2,51 +2,79 @@ package kernel
 
 import "sync"
 
-// The Message freelist. Message structs are the nodes of every process's
-// MPSC inbox; before pooling, each send allocated one node plus one payload
-// copy — the largest remaining allocation on the IPC path once the
-// event-process scratch pages were pooled. Nodes are recycled through a
-// sync.Pool at the two points the kernel relinquishes ownership:
+// The Message and payload freelists. Message structs are the nodes of every
+// process's MPSC inbox; payload buffers hold the kernel's defensive copy of
+// each sent message. Before pooling, each send allocated one node plus one
+// payload copy — the largest remaining allocation on the IPC path once the
+// event-process scratch pages were pooled.
 //
-//   - a message the kernel drops (failed receiver-side checks, stale port
-//     ownership, queue overflow, process exit) is recycled together with
-//     its payload buffer, which the next send through the pool reuses for
-//     its defensive copy;
-//   - a message that is delivered hands its payload to the Delivery — the
-//     receiver owns those bytes from then on — so only the node itself is
-//     recycled.
+// Nodes are recycled through msgPool at the two points the kernel
+// relinquishes ownership of a Message: a drop (failed receiver-side checks,
+// stale port ownership, queue overflow, process exit) and a delivery (the
+// payload moves into the Delivery; only the node returns here).
 //
-// Label references are cleared in both cases: labels are immutable and
-// shared, and keeping them reachable from pooled nodes would pin them.
+// Payload buffers flow through their own pool, payloadPool, and complete
+// the cycle the ROADMAP called out as the last per-send allocation on the
+// hot path:
+//
+//   - a send that must copy (Port.Send, un-Owned batch entries) draws its
+//     copy buffer from the pool;
+//   - a dropped message returns its buffer immediately (freeMsg);
+//   - a delivered message hands its buffer to the Delivery, which owns it
+//     until the receiver calls Delivery.Release — the trusted event loops
+//     (internal/evloop) release every delivery after its handler returns,
+//     so on the demux→worker path the same buffers circulate send after
+//     send. Receivers that never Release (clients, workers) simply let the
+//     buffer go to the garbage collector, exactly the pre-lifecycle
+//     behaviour.
+//
+// Label references are cleared when nodes are pooled: labels are immutable
+// and shared, and keeping them reachable from pooled nodes would pin them.
 
-// maxPooledPayload bounds the payload capacity a recycled node may retain,
-// so one huge message cannot pin a huge buffer in the pool.
+// maxPooledPayload bounds the payload capacity a recycled buffer may
+// retain, so one huge message cannot pin a huge buffer in the pool.
 const maxPooledPayload = 64 << 10
 
 var msgPool = sync.Pool{New: func() any { return new(Message) }}
 
-// getMsg returns a Message node whose Data slice, if non-nil, is empty with
-// reusable capacity. All other fields are garbage; the caller must assign
-// every one of them before publishing the node.
+// payloadPool recycles payload buffers. Entries are *[]byte so Put does not
+// allocate an interface box per call; every pooled slice has length 0 and
+// capacity ≤ maxPooledPayload.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getPayload returns a zero-length buffer with reusable capacity (possibly
+// zero, for a fresh pool entry — append grows it like any other slice).
+func getPayload() []byte {
+	return *payloadPool.Get().(*[]byte)
+}
+
+// putPayload recycles a payload buffer for a future send's copy. Nil and
+// oversized buffers are dropped.
+func putPayload(b []byte) {
+	if b == nil || cap(b) > maxPooledPayload {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
+
+// getMsg returns a Message node. All fields are garbage; the caller must
+// assign every one of them before publishing the node.
 func getMsg() *Message {
 	return msgPool.Get().(*Message)
 }
 
 // releaseMsg recycles a delivered node. Its payload has escaped into a
-// Delivery and must not be reused.
+// Delivery, which owns those bytes until Release.
 func releaseMsg(m *Message) {
 	m.Data = nil
 	scrubMsg(m)
 }
 
-// freeMsg recycles a dropped node, retaining its payload buffer for the
-// next send's copy.
+// freeMsg recycles a dropped node and its payload buffer.
 func freeMsg(m *Message) {
-	if cap(m.Data) > maxPooledPayload {
-		m.Data = nil
-	} else {
-		m.Data = m.Data[:0]
-	}
+	putPayload(m.Data)
+	m.Data = nil
 	scrubMsg(m)
 }
 

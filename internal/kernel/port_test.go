@@ -315,7 +315,7 @@ func TestSelectCtxAndErrors(t *testing.T) {
 	}()
 	d, from, err := Select(context.Background(), inboxA, inboxB)
 	if err != nil || from != inboxA || string(d.Data) != "still alive" {
-		t.Fatalf("Select with one dead process = %q %v %v", d, from, err)
+		t.Fatalf("Select with one dead process = %v %v %v", d, from, err)
 	}
 }
 

@@ -1,10 +1,7 @@
 package netd
 
 import (
-	"context"
-	"fmt"
-	"sync"
-
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
@@ -18,54 +15,51 @@ import (
 const EnvName = "netd"
 
 // Netd is the network server: one or more replicated event loops
-// ("shards"), each its own kernel process owning a disjoint slice of the
-// connections by connection-id hash. The driver process deals every
-// connection event straight to the owning shard's driver port, so per-shard
-// connection state needs no locking; the service port (listen/connect) lives
-// on shard 0, which replicates listener registrations to the other shards
-// and hands adopted outbound connections to their owners.
+// ("shards") on the shared internal/evloop runtime, each its own kernel
+// process owning a disjoint slice of the connections by connection-id
+// hash. The driver process deals every connection event straight to the
+// owning shard's driver port, so per-shard connection state needs no
+// locking; the service port (listen/connect) lives on shard 0, which
+// replicates listener registrations to the other shards and hands adopted
+// outbound connections to their owners over the runtime's forward ports.
 //
 // Create with New (one loop) or NewSharded, then run the loops on a
 // goroutine with Run.
 type Netd struct {
 	sys *kernel.System
 	nw  *Network
+	g   *evloop.Group
 
 	shards []*netdShard
-
-	// ctx is the service's lifecycle: Run returns when it is cancelled,
-	// which is how Stop shuts the loops down (no Exit-unblocking tricks).
-	ctx    context.Context
-	cancel context.CancelFunc
 }
 
-// netdShard is one event loop: its own process, driver port, connection
-// table and reply batcher, touched only by its own loop.
+// netdShard is one event loop: its own process, driver port and connection
+// table, touched only by its own loop. The loop skeleton — mailbox drain,
+// adaptive burst cap, Batcher flush, cross-shard forward grants, ctx-driven
+// stop — lives in lp.
 type netdShard struct {
-	nd   *Netd
-	idx  int
-	proc *kernel.Process
+	nd  *Netd
+	idx int
+	lp  *evloop.Shard
+
+	proc *kernel.Process // lp's process
 
 	servicePort *kernel.Port // shard 0 only; nil elsewhere
 	driverPort  *kernel.Port
-	mbox        *kernel.Mailbox // every port the shard owns, ctx-aware
 
 	conns     map[uint64]*sconn
 	byPort    map[handle.Handle]*sconn
 	listeners map[uint16][]handle.Handle // lport → notify ports, dealt round-robin
 	rr        map[uint16]uint64          // per-lport notify rotation
 
-	// out coalesces the shard's reply bursts: one dispatch round can fulfill
-	// many reads, acks and connection notifications; each destination port
-	// then receives its replies as one SendBatch. Reply-port capabilities
-	// are shed via out.DropAfter — only after the flush, since a buffered
-	// reply still needs its ⋆ at enqueue time.
+	// out is lp's Batcher, coalescing the shard's reply bursts: one
+	// dispatch round can fulfill many reads, acks and connection
+	// notifications; each destination port then receives its replies as one
+	// SendBatch. Reply-port capabilities are shed via out.DropAfter — only
+	// after the flush, since a buffered reply still needs its ⋆ at enqueue
+	// time.
 	out *kernel.Batcher
 }
-
-// netdBurst bounds how many queued deliveries one batching round may
-// dispatch before flushing.
-const netdBurst = 64
 
 // sconn is a shard's per-connection state: the wrapped port endpoint, the
 // optional taint handle, and reads awaiting data.
@@ -89,43 +83,53 @@ type pendingRead struct {
 	max   int
 }
 
-// New boots a single-loop netd on sys; NewSharded replicates the loop.
+// New boots a single-loop netd on sys; NewSharded replicates the loop with
+// the default adaptive burst policy, NewShardedBurst with an explicit one.
 func New(sys *kernel.System) *Netd {
 	return NewSharded(sys, 1)
 }
 
-// NewSharded boots netd with n replicated event loops. It creates one
-// process and driver port per shard plus the hidden driver process, and
-// publishes shard 0's service port under EnvName.
+// NewSharded boots netd with n replicated event loops.
 func NewSharded(sys *kernel.System, n int) *Netd {
-	n = shard.Clamp(n)
-	ctx, cancel := context.WithCancel(context.Background())
-	nd := &Netd{sys: sys, ctx: ctx, cancel: cancel}
+	return NewShardedBurst(sys, n, evloop.Burst{})
+}
+
+// NewShardedBurst boots netd with n replicated event loops under the given
+// dispatch-burst policy. It creates one evloop shard and driver port per
+// loop plus the hidden driver process, and publishes shard 0's service
+// port under EnvName.
+func NewShardedBurst(sys *kernel.System, n int, burst evloop.Burst) *Netd {
+	g := evloop.New(sys, evloop.Config{
+		Name:     "netd",
+		Shards:   n,
+		Category: stats.CatNetwork,
+		Burst:    burst,
+	})
+	n = g.Shards()
+	nd := &Netd{sys: sys, g: g}
 
 	// The driver process models the interrupt path: it injects connection
-	// events, dealing each to the shard owning the connection.
+	// events, dealing each to the shard owning the connection. Driver ports
+	// are closed by capability ({drv 0, 3}), so the driver is granted ⋆ for
+	// each; shard-to-shard traffic (evListen replication, evAdopt
+	// handovers) travels on the runtime's forward ports, whose grants the
+	// evloop Group already exchanged.
 	drv := sys.NewProcess("netdrv")
-	boot := drv.Open(nil)
-	if err := boot.SetLabel(label.Empty(label.L3)); err != nil {
-		panic(err)
-	}
-
 	drivers := make([]*kernel.Port, n)
+	var grants []kernel.BootstrapGrant
 	for i := 0; i < n; i++ {
-		name := "netd"
-		if n > 1 {
-			name = fmt.Sprintf("netd/%d", i)
-		}
-		proc := sys.NewProcess(name)
+		lp := g.Shard(i)
+		proc := lp.Proc()
 		s := &netdShard{
 			nd:        nd,
 			idx:       i,
+			lp:        lp,
 			proc:      proc,
 			conns:     make(map[uint64]*sconn),
 			byPort:    make(map[handle.Handle]*sconn),
 			listeners: make(map[uint16][]handle.Handle),
 			rr:        make(map[uint16]uint64),
-			out:       kernel.NewBatcher(proc),
+			out:       lp.Out(),
 		}
 		if i == 0 {
 			svc := proc.Open(nil)
@@ -133,32 +137,21 @@ func NewSharded(sys *kernel.System, n int) *Netd {
 				panic(err)
 			}
 			s.servicePort = svc
+			lp.Handle(svc, s.handleService)
 		}
-		driver := proc.Open(nil)
-		s.driverPort = driver
-		s.mbox = proc.Mailbox()
-		if err := proc.Port(boot.Handle()).Send(nil, &kernel.SendOpts{DecontSend: kernel.Grant(driver.Handle())}); err != nil {
-			panic(err)
-		}
-		if d, err := drv.TryRecv(); err != nil || d == nil {
-			panic("netd: driver bootstrap failed")
-		}
-		drivers[i] = drv.Port(driver.Handle())
+		s.driverPort = proc.Open(nil)
+		lp.Handle(s.driverPort, s.handleDriver)
+		lp.HandleForward(s.handleShard)
+		lp.HandleDefault(s.handleConnPort)
+		grants = append(grants, kernel.BootstrapGrant{
+			From: proc, Handles: []handle.Handle{s.driverPort.Handle()},
+		})
 		nd.shards = append(nd.shards, s)
 	}
-	boot.Dissociate()
-
-	// Driver ports are closed by capability ({drv 0, 3}); the driver process
-	// got its ⋆ above, but shard 0 also sends to its siblings' driver ports
-	// (evListen replication, evAdopt handovers). Grant it those ⋆s, or the
-	// broadcasts would be silently dropped.
-	var grants []kernel.BootstrapGrant
-	for _, sib := range nd.shards[1:] {
-		grants = append(grants, kernel.BootstrapGrant{
-			From: sib.proc, Handles: []handle.Handle{sib.driverPort.Handle()},
-		})
+	kernel.BootstrapGrants(drv, grants)
+	for i, s := range nd.shards {
+		drivers[i] = drv.Port(s.driverPort.Handle())
 	}
-	kernel.BootstrapGrants(nd.shards[0].proc, grants)
 
 	nd.nw = &Network{
 		conns:     make(map[uint64]*Conn),
@@ -195,63 +188,22 @@ func (nd *Netd) Processes() []*kernel.Process {
 	return out
 }
 
-// Run runs every shard's event loop; it returns when the service's context
-// is cancelled via Stop (or the processes are killed). Deliveries are
-// dispatched in bursts so the reply traffic they generate — read replies,
-// write acks, new-connection notifications — coalesces into one SendBatch
-// per destination.
-func (nd *Netd) Run() {
-	var wg sync.WaitGroup
-	for _, s := range nd.shards {
-		wg.Add(1)
-		go func(s *netdShard) {
-			defer wg.Done()
-			s.run()
-		}(s)
-	}
-	wg.Wait()
-}
-
-func (s *netdShard) run() {
-	prof := s.nd.sys.Profiler()
-	for {
-		d, err := s.mbox.Recv(s.nd.ctx)
-		if err != nil {
-			return
-		}
-		stop := prof.Time(stats.CatNetwork)
-		s.dispatch(d)
-		n := 1
-		for d := range s.mbox.Drain() {
-			s.dispatch(d)
-			if n++; n >= netdBurst {
-				break
-			}
-		}
-		s.out.Flush()
-		stop()
-	}
-}
+// Run runs every shard's event loop on the evloop runtime; it returns when
+// Stop cancels the group context (or the processes are killed). Deliveries
+// are dispatched in adaptive bursts so the reply traffic they generate —
+// read replies, write acks, new-connection notifications — coalesces into
+// one SendBatch per destination.
+func (nd *Netd) Run() { nd.g.Run() }
 
 // Stop shuts netd down: it cancels the lifecycle context, which returns
 // Run, and then releases every shard process's kernel state.
-func (nd *Netd) Stop() {
-	nd.cancel()
-	for _, s := range nd.shards {
-		s.proc.Exit()
-	}
-}
+func (nd *Netd) Stop() { nd.g.Stop() }
 
-func (s *netdShard) dispatch(d *kernel.Delivery) {
-	switch {
-	case s.servicePort != nil && d.Port == s.servicePort.Handle():
-		s.handleService(d)
-	case d.Port == s.driverPort.Handle():
-		s.handleDriver(d)
-	default:
-		if sc := s.byPort[d.Port]; sc != nil {
-			s.handleConn(sc, d)
-		}
+// handleConnPort is the shard's fallback handler: deliveries to the
+// per-connection ports tracked in byPort.
+func (s *netdShard) handleConnPort(d *kernel.Delivery) {
+	if sc := s.byPort[d.Port]; sc != nil {
+		s.handleConn(sc, d)
 	}
 }
 
@@ -267,18 +219,22 @@ func (s *netdShard) handleService(d *kernel.Delivery) {
 		}
 		// Replicate the registration to the sibling shards BEFORE marking
 		// the port listening: a Dial that sneaks in after markListening
-		// produces an evNewConn that is pushed to the owning shard's queue
-		// after this broadcast, so FIFO order guarantees the shard knows the
-		// listener by then. The listener's ⋆ (granted to this shard by the
-		// Listen message) is re-granted alongside — a sibling's notifications
-		// to a capability-closed notify port would otherwise be dropped.
+		// produces an evNewConn that is pushed to the owning shard's
+		// process queue after this broadcast, so per-process FIFO order
+		// guarantees the shard knows the listener by then (the forward port
+		// and the driver port feed the same queue). The sends are direct —
+		// a batched replication would flush after markListening and lose
+		// that ordering. The listener's ⋆ (granted to this shard by the
+		// Listen message) is re-granted alongside — a sibling's
+		// notifications to a capability-closed notify port would otherwise
+		// be dropped.
 		for _, sib := range s.nd.shards {
 			if sib == s {
 				s.addListener(lport, notify)
 				continue
 			}
 			msg := wire.NewWriter(evListen).U16(lport).Handle(notify).Done()
-			s.proc.Port(sib.driverPort.Handle()).Send(msg,
+			s.lp.Peer(sib.idx).Send(msg,
 				&kernel.SendOpts{DecontSend: kernel.Grant(notify)})
 		}
 		s.nd.nw.markListening(lport)
@@ -304,10 +260,11 @@ func (s *netdShard) handleService(d *kernel.Delivery) {
 			s.out.DropAfter(reply)
 			return
 		}
-		// The connection hashes to a sibling: hand it over, re-granting the
-		// requester's reply capability so the owner can answer directly.
+		// The connection hashes to a sibling: hand it over on the forward
+		// port, re-granting the requester's reply capability so the owner
+		// can answer directly.
 		msg := wire.NewWriter(evAdopt).U64(c.id).U16(lport).Handle(reply).Done()
-		s.proc.Port(owner.driverPort.Handle()).Send(msg,
+		s.lp.Peer(owner.idx).Send(msg,
 			&kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 		s.proc.DropPrivilege(reply, label.L1)
 	}
@@ -366,6 +323,15 @@ func (s *netdShard) handleDriver(d *kernel.Delivery) {
 		if sc := s.conns[id]; sc != nil {
 			s.fulfillReads(sc)
 		}
+	}
+}
+
+// handleShard processes shard-internal traffic on the evloop forward port:
+// listener replications from shard 0 and adopted outbound connections
+// handed to this shard as their id-hash owner.
+func (s *netdShard) handleShard(d *kernel.Delivery) {
+	op, r := wire.NewReader(d.Data)
+	switch op {
 	case evListen:
 		lport := r.U16()
 		notify := r.Handle()

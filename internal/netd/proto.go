@@ -1,10 +1,14 @@
 // Package netd implements the Asbestos network server (paper §7.7) through
 // which all network traffic flows — replicated into N event loops (shards)
-// that each own a disjoint slice of the connections by id hash. It wraps
-// each connection in an Asbestos port, services READ/WRITE/CONTROL/SELECT
-// messages on that port, and optionally taints each connection with a user
-// handle so that every byte read from user u's connection carries uT 3 and
-// only suitably labeled processes can write to it.
+// on the shared internal/evloop runtime, each owning a disjoint slice of
+// the connections by id hash (the runtime provides the burst-draining
+// loop, adaptive dispatch caps, reply batching, cross-shard forward ports
+// and delivery release; see the evloop package doc for its ownership and
+// Release rules). netd wraps each connection in an Asbestos port, services
+// READ/WRITE/CONTROL/SELECT messages on that port, and optionally taints
+// each connection with a user handle so that every byte read from user u's
+// connection carries uT 3 and only suitably labeled processes can write to
+// it.
 //
 // The paper's netd contains an LWIP TCP/IP stack and an E1000 driver; the
 // hardware is substituted by an in-memory Network on which remote peers
@@ -34,9 +38,9 @@ const (
 	evClosed  = 12 // connID u64
 )
 
-// Internal shard-to-shard events, also carried on the driver ports. Shard 0
-// (the service-port owner) replicates listener registrations and hands
-// hash-misrouted outbound connections to their owning shard.
+// Internal shard-to-shard events, carried on the evloop forward ports.
+// Shard 0 (the service-port owner) replicates listener registrations and
+// hands hash-misrouted outbound connections to their owning shard.
 const (
 	evListen = 13 // lport u16, notify handle
 	evAdopt  = 14 // connID u64, lport u16, reply handle; DS re-grants reply ⋆

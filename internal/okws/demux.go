@@ -1,11 +1,10 @@
 package okws
 
 import (
-	"context"
 	"crypto/sha256"
-	"fmt"
-	"sync"
+	"time"
 
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/httpmsg"
 	"asbestos/internal/idd"
@@ -20,14 +19,16 @@ import (
 // Demux is the trusted ok-demux of the paper (§7.2–7.3) — the router that
 // accepts each incoming connection from netd, parses the HTTP headers to
 // pick a worker, authenticates the user with idd, taints the connection,
-// and hands it off — sharded into N independent event loops.
+// and hands it off — sharded into N independent event loops on the shared
+// internal/evloop runtime.
 //
 // Shard-ownership rules:
 //
-//   - Each shard is its own kernel process with its own ports, and every
-//     piece of per-user and per-connection state (session table, dealt
-//     table, connection table, login cache, round-robin counters) is
-//     private to one shard's loop. No state is shared, so no locking.
+//   - Each shard is its own kernel process (an evloop.Shard) with its own
+//     ports, and every piece of per-user and per-connection state (session
+//     table, dealt table, connection table, login cache, round-robin
+//     counters) is private to one shard's loop. No state is shared, so no
+//     locking.
 //   - A USER is owned by shard.Of(user, N): that shard authenticates the
 //     user, holds the session entry, and performs every handoff — so a
 //     session can never split across shards.
@@ -44,27 +45,27 @@ import (
 //     login-reply port, so a dropped message strands only its own login.
 type Demux struct {
 	sys    *kernel.System
+	g      *evloop.Group
 	shards []*demuxShard
 
 	// regPort (owned by shard 0's process) serializes worker registration.
 	regPort *kernel.Port
-
-	// ctx is the service lifecycle: Run returns when Stop cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
 }
 
-// demuxShard is one event loop and the state it exclusively owns.
+// demuxShard is one event loop and the state it exclusively owns. The loop
+// skeleton — mailbox drain, burst cap, Batcher flush, forward-port grants,
+// ctx-driven stop — lives in lp; the demux contributes the dispatch
+// handlers and tables.
 type demuxShard struct {
-	dm   *Demux
-	idx  int
-	proc *kernel.Process
+	dm  *Demux
+	idx int
+	lp  *evloop.Shard
+
+	proc *kernel.Process // lp's process
 
 	notifyPort  *kernel.Port // new connections from netd (this shard's deal)
 	sessionPort *kernel.Port // session-port registration from worker EPs
 	loginReply  *kernel.Port // replies from idd
-	fwdPort     *kernel.Port // cross-shard connection handoffs + worker broadcasts
-	mbox        *kernel.Mailbox
 
 	netdSvc  *kernel.Port // netd's service port, route cached
 	iddLogin *kernel.Port // idd's login port, route cached
@@ -124,10 +125,10 @@ type demuxShard struct {
 	pendingByTok  map[uint64]*pendingLogin
 	loginTok      uint64
 
-	// out coalesces worker handoffs and cross-shard forwards: the event
-	// loop dispatches a burst of deliveries, buffering the resulting
-	// messages per destination port, then flushes each port with one
-	// SendBatch. Per-connection privileges are shed via out.DropAfter —
+	// out is lp's Batcher, coalescing worker handoffs and cross-shard
+	// forwards: the loop dispatches a burst of deliveries, buffering the
+	// resulting messages per destination port, then flushes each port with
+	// one SendBatch. Per-connection privileges are shed via out.DropAfter —
 	// only after the flush, since a buffered handoff still needs its uC ⋆
 	// at enqueue time.
 	out *kernel.Batcher
@@ -158,21 +159,30 @@ type parkedSet struct {
 
 // pendingLogin is one in-flight idd round trip and the connections whose
 // fate it decides. toks lists every token issued for it — the original
-// request plus any re-issues (sends are unreliable, so every redealAfter-th
-// arrival re-asks idd in case the request or reply was dropped); the first
-// reply matching any of them settles the set. arrivals counts every
-// connection that coalesced here, pacing the re-issues; waiters is capped
-// at maxParkedPerSession like the parked-session queue.
+// request plus any re-issues (sends are unreliable, so the login is
+// re-asked both every redealAfter-th coalesced arrival AND once
+// loginDeadline passes with no verdict); the first reply matching any of
+// them settles the set. arrivals counts every connection that coalesced
+// here, pacing the arrival re-issues; lastIssue is the wall clock of the
+// newest request, bounding how long a quiet credential pair whose only
+// request was dropped can wait; waiters is capped at maxParkedPerSession
+// like the parked-session queue.
 type pendingLogin struct {
-	key      credKey
-	toks     []uint64
-	waiters  []*dconn
-	arrivals int
+	key       credKey
+	toks      []uint64
+	waiters   []*dconn
+	arrivals  int
+	lastIssue time.Time
 }
 
-// demuxBurst bounds how many queued deliveries one batching round may
-// dispatch before flushing, capping both handoff latency and buffer growth.
-const demuxBurst = 64
+// loginDeadline is the wall-clock bound on a pending login: a pending set
+// whose newest idd request is older than this is re-issued under a fresh
+// token by the shard's timer tick. Arrival-paced re-issues (every
+// redealAfter-th coalesced connection) already bound busy credential
+// pairs; the deadline bounds the QUIET pair whose only request — or its
+// reply — was silently dropped and for which no further arrivals would
+// ever trigger a retry.
+const loginDeadline = 100 * time.Millisecond
 
 // maxParkedPerSession bounds connections waiting for one in-flight session
 // registration; a flood beyond it is refused with 503 instead of holding
@@ -184,12 +194,16 @@ const demuxBurst = 64
 // The demux cannot distinguish a lost registration from a merely slow one,
 // so a probe MAY duplicate the session's event process (same replica; the
 // newer registration wins and parked connections drain to it) — liveness
-// over strict EP uniqueness. redealAfter therefore sits above demuxBurst:
-// a registration already queued behind one full dispatch burst is still
-// processed before the queue can reach the probe threshold.
+// over strict EP uniqueness. redealAfter therefore sits above the loop's
+// initial dispatch-burst cap (evloop.DefaultInitial): a registration
+// already queued behind one full starting burst is still processed before
+// the queue can reach the probe threshold. (The adaptive cap can grow past
+// redealAfter under sustained backlog, but only while the loop is keeping
+// up — precisely the regime where registrations are being processed, not
+// lost.)
 const (
 	maxParkedPerSession = 256
-	redealAfter         = 2 * demuxBurst
+	redealAfter         = 2 * evloop.DefaultInitial
 )
 
 // DefaultSessionCap and DefaultIDCacheCap bound the demux's two
@@ -220,15 +234,28 @@ type dconn struct {
 
 // newDemux wires a sharded demux against existing netd and idd service
 // ports; the launcher then registers workers' verification handles directly.
-// sessionCap and idCacheCap bound the per-demux tables (0 = defaults).
-func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle, shards, sessionCap, idCacheCap int) *Demux {
-	shards = shard.Clamp(shards)
+// sessionCap and idCacheCap bound the per-demux tables (0 = defaults);
+// burst is the evloop dispatch-burst policy (zero value = adaptive).
+func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle,
+	shards, sessionCap, idCacheCap int, burst evloop.Burst) *Demux {
 	if sessionCap <= 0 {
 		sessionCap = DefaultSessionCap
 	}
 	if idCacheCap <= 0 {
 		idCacheCap = DefaultIDCacheCap
 	}
+
+	// The runtime owns the loop skeleton: shard processes, forward ports
+	// with ⋆ grants for every ordered pair (a sibling's opFwdConn or
+	// opShardWorker to a capability-closed port would be silently dropped),
+	// burst policy, Batcher flush, the login-deadline timer, and stop.
+	g := evloop.New(sys, evloop.Config{
+		Name:     "ok-demux",
+		Shards:   shards,
+		Category: stats.CatOKWS,
+		Burst:    burst,
+	})
+	shards = g.Shards()
 	perShard := func(total int) int {
 		n := total / shards
 		if n < 1 {
@@ -237,15 +264,11 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle, shards, sessi
 		return n
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	d := &Demux{sys: sys, ctx: ctx, cancel: cancel}
+	d := &Demux{sys: sys, g: g}
 	open := label.Empty(label.L3)
 	for i := 0; i < shards; i++ {
-		name := "ok-demux"
-		if shards > 1 {
-			name = fmt.Sprintf("ok-demux/%d", i)
-		}
-		proc := sys.NewProcess(name)
+		lp := g.Shard(i)
+		proc := lp.Proc()
 		notify := proc.Open(nil)
 		notify.SetLabel(open)
 		sess := proc.Open(nil)
@@ -253,25 +276,31 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle, shards, sessi
 		s := &demuxShard{
 			dm:            d,
 			idx:           i,
+			lp:            lp,
 			proc:          proc,
 			notifyPort:    notify,
 			sessionPort:   sess,
 			loginReply:    proc.Open(nil),
-			fwdPort:       proc.Open(nil),
 			netdSvc:       proc.Port(netdSvc),
 			iddLogin:      proc.Port(iddLogin),
 			workers:       make(map[string][]handle.Handle),
 			declassifier:  make(map[string]bool),
 			ephemeral:     make(map[string]bool),
 			parked:        make(map[sessionKey]*parkedSet),
-			sessions:      newLRU[sessionKey, handle.Handle](perShard(sessionCap)),
 			rr:            make(map[string]uint64),
 			conns:         newConnTable(),
 			idCache:       newLRU[credKey, idd.Identity](perShard(idCacheCap)),
 			pendingLogins: make(map[credKey]*pendingLogin),
 			pendingByTok:  make(map[uint64]*pendingLogin),
-			out:           kernel.NewBatcher(proc),
+			out:           lp.Out(),
 		}
+		// A session entry is a routing cache, so evicting one is safe for
+		// the DEMUX — but the worker still holds the session's event
+		// process, which nothing would ever reclaim. Tell the worker to
+		// ep_exit the orphan (ROADMAP: eviction → ep_exit).
+		s.sessions = newLRUEvict(perShard(sessionCap), func(_ sessionKey, port handle.Handle) {
+			s.evictSession(port)
+		})
 		// Every dealt entry is an IN-FLIGHT pin (registration deletes it),
 		// so capacity eviction must settle the evicted key's parked queue:
 		// stranding those connections — or letting the user's next arrival
@@ -288,25 +317,15 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle, shards, sessi
 			reg := proc.Open(nil)
 			reg.SetLabel(open)
 			d.regPort = reg
+			lp.Handle(reg, s.handleRegister)
 		}
-		s.mbox = proc.Mailbox()
+		lp.Handle(notify, s.handleNotify)
+		lp.Handle(sess, s.handleSession)
+		lp.Handle(s.loginReply, s.handleLoginReply)
+		lp.HandleForward(s.handleFwd)
+		lp.HandleDefault(s.handleConnPort)
+		lp.OnTick(s.tickLogins)
 		d.shards = append(d.shards, s)
-	}
-	// The forward ports are closed by capability like any fresh port
-	// ({fwd 0, 3}): without a grant, a sibling's opFwdConn or opShardWorker
-	// would be silently dropped by requirement 1. Exchange ⋆ grants for
-	// every ordered shard pair — any shard may forward a connection to any
-	// other.
-	for _, s := range d.shards {
-		var grants []kernel.BootstrapGrant
-		for _, sib := range d.shards {
-			if sib != s {
-				grants = append(grants, kernel.BootstrapGrant{
-					From: sib.proc, Handles: []handle.Handle{sib.fwdPort.Handle()},
-				})
-			}
-		}
-		kernel.BootstrapGrants(s.proc, grants)
 	}
 	sys.SetEnv(EnvDemuxReg, d.regPort.Handle())
 	sys.SetEnv(EnvDemuxSession, d.shards[0].sessionPort.Handle())
@@ -362,70 +381,26 @@ func (dm *Demux) registeredWorkers() int {
 	return n
 }
 
-// Run runs every shard's event loop. Each loop dispatches deliveries in
-// bursts: after the blocking receive it drains up to demuxBurst more
-// pending deliveries without blocking, so the handoffs they generate
-// coalesce into one SendBatch per destination worker (flush) instead of
-// one syscall each.
-func (dm *Demux) Run() {
-	var wg sync.WaitGroup
-	for _, s := range dm.shards {
-		wg.Add(1)
-		go func(s *demuxShard) {
-			defer wg.Done()
-			s.run()
-		}(s)
-	}
-	wg.Wait()
-}
-
-func (s *demuxShard) run() {
-	prof := s.dm.sys.Profiler()
-	for {
-		d, err := s.mbox.Recv(s.dm.ctx)
-		if err != nil {
-			return
-		}
-		stop := prof.Time(stats.CatOKWS)
-		s.dispatch(d)
-		n := 1
-		for d := range s.mbox.Drain() {
-			s.dispatch(d)
-			if n++; n >= demuxBurst {
-				break
-			}
-		}
-		s.out.Flush()
-		stop()
-	}
-}
+// Run runs every shard's event loop on the evloop runtime: each loop
+// dispatches deliveries in adaptive bursts, so the handoffs a burst
+// generates coalesce into one SendBatch per destination worker (flush)
+// instead of one syscall each.
+func (dm *Demux) Run() { dm.g.Run() }
 
 // Stop shuts the demux down: context first (ends Run), then kernel state.
-func (dm *Demux) Stop() {
-	dm.cancel()
-	for _, s := range dm.shards {
-		s.proc.Exit()
-	}
-}
+func (dm *Demux) Stop() { dm.g.Stop() }
 
-func (s *demuxShard) dispatch(d *kernel.Delivery) {
-	switch d.Port {
-	case s.notifyPort.Handle():
-		s.handleNotify(d)
-	case s.sessionPort.Handle():
-		s.handleSession(d)
-	case s.loginReply.Handle():
-		s.handleLoginReply(d)
-	case s.fwdPort.Handle():
-		s.handleFwd(d)
-	default:
-		if s.idx == 0 && d.Port == s.dm.regPort.Handle() {
-			s.handleRegister(d)
-			return
-		}
-		if cs := s.conns.get(d.Port); cs != nil {
-			s.handleConnReply(cs, d)
-		}
+// dispatch routes one delivery through the shard's evloop table —
+// launch-time registration draining and tests use it; at runtime the loop
+// goroutine dispatches directly.
+func (s *demuxShard) dispatch(d *kernel.Delivery) { s.lp.Dispatch(d) }
+
+// handleConnPort is the shard's fallback handler: deliveries to
+// per-connection reply ports, which come and go too fast for the dispatch
+// table.
+func (s *demuxShard) handleConnPort(d *kernel.Delivery) {
+	if cs := s.conns.get(d.Port); cs != nil {
+		s.handleConnReply(cs, d)
 	}
 }
 
@@ -466,7 +441,7 @@ func (s *demuxShard) handleRegister(d *kernel.Delivery) {
 	// processed the broadcast yet — identical to the worker not having
 	// registered.
 	for _, sib := range s.dm.shards[1:] {
-		s.proc.Port(sib.fwdPort.Handle()).Send(
+		s.lp.Peer(sib.idx).Send(
 			encodeShardWorker(name, base, s.declassifier[name], s.ephemeral[name]), nil)
 	}
 }
@@ -501,6 +476,12 @@ func (s *demuxShard) handleSession(d *kernel.Delivery) {
 		return
 	}
 	key := sessionKey{user, service}
+	if old, ok := s.sessions.Get(key); ok && old != port {
+		// A re-registration superseding an earlier session (the probe
+		// escape hatch can duplicate an EP; the newer registration wins):
+		// reclaim the loser's event process just like an LRU eviction.
+		s.evictSession(old)
+	}
 	s.sessions.Put(key, port)
 	s.dealt.Delete(key) // the provisional pin graduated to a real session
 	// Connections that raced the registration ride the pinned path now —
@@ -624,8 +605,8 @@ func (s *demuxShard) route(cs *dconn) {
 		s.fail(cs, 401)
 		return
 	}
-	owner := s.dm.shards[shard.Of(user, len(s.dm.shards))]
-	if owner == s {
+	owner := shard.Of(user, len(s.dm.shards))
+	if owner == s.idx {
 		s.authenticate(cs)
 		return
 	}
@@ -633,7 +614,7 @@ func (s *demuxShard) route(cs *dconn) {
 	// owner re-parses and authenticates. Buffered in the batcher so a burst
 	// of misrouted connections leaves as one SendBatch per sibling; uC ⋆ is
 	// shed only after the flush (the buffered grant needs it).
-	s.out.Add(owner.fwdPort.Handle(), encodeFwdConn(cs.uC.Handle(), cs.raw),
+	s.out.Add(s.lp.Peer(owner).Handle(), encodeFwdConn(cs.uC.Handle(), cs.raw),
 		&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
 	s.release(cs)
 }
@@ -662,20 +643,7 @@ func (s *demuxShard) authenticate(cs *dconn) {
 			// pair cannot stay wedged forever. A late duplicate reply is
 			// harmless: the first match settles the set, the rest find no
 			// pending token.
-			s.loginTok++
-			if idd.Login(s.iddLogin, s.loginTok, user, pass, s.loginReply.Handle()) == nil {
-				pl.toks = append(pl.toks, s.loginTok)
-				s.pendingByTok[s.loginTok] = pl
-				// Keep only the newest few tokens live: under sustained
-				// reply loss the re-issues must not grow pendingByTok
-				// without bound (a reply to a retired token is then
-				// ignored, exactly like any other stray).
-				const maxLiveTokens = 8
-				if len(pl.toks) > maxLiveTokens {
-					delete(s.pendingByTok, pl.toks[0])
-					pl.toks = pl.toks[1:]
-				}
-			}
+			s.reissueLogin(pl, user, pass)
 		}
 		if len(pl.waiters) >= maxParkedPerSession {
 			s.fail(cs, 503)
@@ -689,9 +657,56 @@ func (s *demuxShard) authenticate(cs *dconn) {
 		s.fail(cs, 500)
 		return
 	}
-	pl := &pendingLogin{key: key, toks: []uint64{s.loginTok}, waiters: []*dconn{cs}, arrivals: 1}
+	pl := &pendingLogin{key: key, toks: []uint64{s.loginTok},
+		waiters: []*dconn{cs}, arrivals: 1, lastIssue: time.Now()}
 	s.pendingLogins[key] = pl
 	s.pendingByTok[s.loginTok] = pl
+	// Arm the shard timer: the wall-clock deadline must fire even if no
+	// further connection ever arrives for this credential pair.
+	s.lp.SetTick(true)
+}
+
+// reissueLogin asks idd again for an in-flight login under a fresh token.
+// Called on both retry paths — every redealAfter-th coalesced arrival and
+// the loginDeadline timer tick.
+func (s *demuxShard) reissueLogin(pl *pendingLogin, user, pass string) {
+	s.loginTok++
+	pl.lastIssue = time.Now()
+	if idd.Login(s.iddLogin, s.loginTok, user, pass, s.loginReply.Handle()) != nil {
+		return
+	}
+	pl.toks = append(pl.toks, s.loginTok)
+	s.pendingByTok[s.loginTok] = pl
+	// Keep only the newest few tokens live: under sustained reply loss the
+	// re-issues must not grow pendingByTok without bound (a reply to a
+	// retired token is then ignored, exactly like any other stray).
+	const maxLiveTokens = 8
+	if len(pl.toks) > maxLiveTokens {
+		delete(s.pendingByTok, pl.toks[0])
+		pl.toks = pl.toks[1:]
+	}
+}
+
+// tickLogins is the shard's timer handler: every pending login whose
+// newest request has aged past loginDeadline is re-issued under a fresh
+// token, so a request or reply silently dropped for a QUIET credential
+// pair is recovered on the wall clock rather than on the user's patience
+// (ROADMAP: login-drop deadline). The waiters hold the parsed request —
+// credentials included — so no plaintext is retained beyond what the
+// in-flight connections already pin.
+func (s *demuxShard) tickLogins(now time.Time) {
+	if len(s.pendingLogins) == 0 {
+		s.lp.SetTick(false)
+		return
+	}
+	for _, pl := range s.pendingLogins {
+		if now.Sub(pl.lastIssue) < loginDeadline || len(pl.waiters) == 0 {
+			continue
+		}
+		if user, pass, ok := pl.waiters[0].req.User(); ok {
+			s.reissueLogin(pl, user, pass)
+		}
+	}
 }
 
 // handleLoginReply resolves the in-flight login the reply's echoed token
@@ -710,6 +725,9 @@ func (s *demuxShard) handleLoginReply(d *kernel.Delivery) {
 		delete(s.pendingByTok, t)
 	}
 	delete(s.pendingLogins, pl.key)
+	if len(s.pendingLogins) == 0 {
+		s.lp.SetTick(false) // no deadline left to watch
+	}
 	if ok {
 		s.idCache.Put(pl.key, id)
 	}
@@ -829,6 +847,19 @@ func (s *demuxShard) handoff(cs *dconn) {
 		Buf:  raw,
 	})
 	s.out.Add(base, msg, opts)
+}
+
+// evictSession reclaims the worker-side event process behind a session
+// entry the demux is dropping (LRU capacity eviction, or a superseding
+// re-registration): it sends opEvict to the session port so the worker
+// ep_exits the orphan, then sheds the uW ⋆ the registration granted.
+// Both go through the batcher — an eviction can race handoffs to the same
+// port buffered earlier in the burst, and bypassing them would reorder the
+// eviction ahead of a still-legal continuation. Only the demux (and the
+// event process itself) hold uW ⋆, so nobody else can forge the exit.
+func (s *demuxShard) evictSession(port handle.Handle) {
+	s.out.Add(port, encodeEvict(), nil)
+	s.out.DropAfter(port)
 }
 
 // dropParked refuses (503) every connection parked on key — called when

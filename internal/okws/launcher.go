@@ -8,6 +8,7 @@ import (
 
 	"asbestos/internal/db"
 	"asbestos/internal/dbproxy"
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/idd"
 	"asbestos/internal/kernel"
@@ -71,6 +72,17 @@ type Config struct {
 	// IDCacheCap bounds the demux's hashed login cache across all shards
 	// (0 = DefaultIDCacheCap).
 	IDCacheCap int
+	// FixedBurst pins every trusted event loop's dispatch-burst cap
+	// (FixedBurst: 64 reproduces the pre-adaptive loops). 0 — the default —
+	// enables adaptive batching: each shard's cap starts at 64 and
+	// AIMD-adjusts between 8 and 512 from observed drain latency vs. queue
+	// depth (internal/evloop). The Figure 8 sweep compares the two.
+	FixedBurst int
+}
+
+// burst resolves the FixedBurst knob into the evloop policy.
+func (cfg Config) burst() evloop.Burst {
+	return evloop.Burst{Fixed: cfg.FixedBurst}
 }
 
 // shardCount resolves the Shards knob.
@@ -112,12 +124,12 @@ func Launch(cfg Config) (*Server, error) {
 	}
 	shards := cfg.shardCount()
 	sys := kernel.NewSystem(opts...)
-	nd := netd.NewSharded(sys, shards)
+	nd := netd.NewShardedBurst(sys, shards, cfg.burst())
 	database := db.Open()
-	proxy := dbproxy.NewSharded(sys, database, shards)
+	proxy := dbproxy.NewShardedBurst(sys, database, shards, cfg.burst())
 	iddSrv := idd.New(sys, proxy)
 	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPort(),
-		shards, cfg.SessionTableCap, cfg.IDCacheCap)
+		shards, cfg.SessionTableCap, cfg.IDCacheCap, cfg.burst())
 
 	s := &Server{
 		Sys:      sys,

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"asbestos/internal/evloop"
 	"asbestos/internal/httpmsg"
 	"asbestos/internal/kernel"
 	"asbestos/internal/workload"
@@ -67,14 +68,14 @@ func TestServerStopReleasesGoroutines(t *testing.T) {
 // mechanism.
 func TestDemuxStopsViaContextAlone(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(78))
-	dm := newDemux(sys, 1<<40, 1<<41, 2, 0, 0) // dangling service handles: never used; 2 shards
+	dm := newDemux(sys, 1<<40, 1<<41, 2, 0, 0, evloop.Burst{}) // dangling service handles: never used; 2 shards
 	done := make(chan struct{})
 	go func() {
 		dm.Run()
 		close(done)
 	}()
 	time.Sleep(5 * time.Millisecond)
-	dm.cancel()
+	dm.g.Cancel()
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):

@@ -23,8 +23,15 @@
 //
 // The trusted single-process services are sharded N ways (Config.Shards,
 // default one loop per core): ok-demux, netd and ok-dbproxy each run N
-// independent event loops, each its own kernel process with exclusively
-// owned state — no shared maps, no locks. The ownership rules:
+// independent event loops on the shared internal/evloop runtime — each its
+// own kernel process with exclusively owned state, no shared maps, no
+// locks. The runtime owns the loop skeleton (mailbox burst drain with an
+// adaptive cap, Batcher flush, cross-shard forward ports with pre-exchanged
+// ⋆ grants, delivery release, ctx-driven stop; see the evloop package doc
+// for the ownership and Release rules); the services contribute only their
+// dispatch handlers and tables. Config.FixedBurst pins the dispatch-burst
+// cap for A/B measurement; by default each shard's cap adapts to load.
+// The ownership rules:
 //
 //   - USERS are owned by demux shard shard.Of(user, N). That shard holds
 //     the user's session and dealt entries, its login-cache line, and
@@ -46,7 +53,12 @@
 // The demux's session table and login cache are bounded LRUs
 // (Config.SessionTableCap, Config.IDCacheCap), and the login cache is
 // keyed by SHA-256(user\x00pass) — the demux retains no plaintext
-// passwords.
+// passwords. Bounding begets reclaim: a session evicted from the table
+// sends its worker an opEvict so the orphaned event process is ep_exited
+// rather than leaked, and every pending login carries a wall-clock
+// deadline (the shard's evloop timer re-issues a dropped request/reply
+// under a fresh token, so a quiet credential pair cannot stay wedged until
+// its user retries).
 package okws
 
 import (
@@ -65,6 +77,7 @@ const (
 const (
 	opStart = 42 // user, uid, uC, uT, uG, buffered request bytes
 	opCont  = 43 // uC, buffered request bytes
+	opEvict = 46 // no payload: the demux evicted this session; ep_exit it
 )
 
 // Shard-internal ops (demux shard → demux shard, on the forward ports).
@@ -135,6 +148,15 @@ func parseCont(d *kernel.Delivery) (cont, bool) {
 		return cont{}, false
 	}
 	return c, true
+}
+
+func encodeEvict() []byte {
+	return wire.NewWriter(opEvict).Done()
+}
+
+func parseEvict(d *kernel.Delivery) bool {
+	op, _ := wire.NewReader(d.Data)
+	return op == opEvict
 }
 
 func encodeRegister(name string, base handle.Handle) []byte {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"asbestos/internal/dbproxy"
+	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/httpmsg"
 	"asbestos/internal/idd"
@@ -31,7 +32,7 @@ func echoBody(c *Ctx, req *httpmsg.Request) *httpmsg.Response {
 // the trusted demux. Every demux dispatch path must ignore empty payloads.
 func TestEmptyDeliveryDoesNotPanicDemux(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(31))
-	dm := newDemux(sys, 1<<40, 1<<41, 2, 0, 0) // dangling service handles
+	dm := newDemux(sys, 1<<40, 1<<41, 2, 0, 0, evloop.Burst{}) // dangling service handles
 	s := dm.shards[0]
 
 	// A connection mid-header-read, exactly the state the panic needed.
@@ -48,7 +49,7 @@ func TestEmptyDeliveryDoesNotPanicDemux(t *testing.T) {
 	// Every other demux port must shrug off empty payloads too.
 	for _, port := range []handle.Handle{
 		s.notifyPort.Handle(), s.sessionPort.Handle(), s.loginReply.Handle(),
-		s.fwdPort.Handle(), dm.regPort.Handle(),
+		s.lp.ForwardPort().Handle(), dm.regPort.Handle(),
 	} {
 		s.dispatch(&kernel.Delivery{Port: port, Data: nil})
 	}
@@ -279,7 +280,7 @@ func TestShardedSessionPinningStress(t *testing.T) {
 // credential pair, and stray or garbled replies match nothing.
 func TestLoginReplyTokenMatching(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(36))
-	dm := newDemux(sys, 1<<40, 1<<41, 1, 0, 0) // dangling service handles
+	dm := newDemux(sys, 1<<40, 1<<41, 1, 0, 0, evloop.Burst{}) // dangling service handles
 	s := dm.shards[0]
 
 	mk := func(user string) *dconn {
@@ -338,7 +339,7 @@ func TestLoginReplyTokenMatching(t *testing.T) {
 // draining every parked connection.
 func TestParkedProbeCadenceAndCap(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(37))
-	dm := newDemux(sys, 1<<40, 1<<41, 1, 0, 0) // dangling service handles
+	dm := newDemux(sys, 1<<40, 1<<41, 1, 0, 0, evloop.Burst{}) // dangling service handles
 	s := dm.shards[0]
 	base := handle.Handle(1 << 44)
 	s.workers["svc"] = []handle.Handle{base}

@@ -91,6 +91,12 @@ func newWorker(sys *kernel.System, name string, h Handler) *Worker {
 // Process exposes the worker's kernel process.
 func (w *Worker) Process() *kernel.Process { return w.proc }
 
+// SessionCount reports the worker's live event processes — cached sessions
+// plus any active one. The eviction-reclaim tests bound it: a session the
+// demux evicts must disappear from here too, or the worker leaks one event
+// process per evicted session.
+func (w *Worker) SessionCount() int { return w.proc.EPCount() }
+
 // register proves identity to the demux (Figure 5 preamble; §7.1): the
 // verification label carries the launcher-issued handle at level 0.
 func (w *Worker) register(regPort, verif handle.Handle) error {
@@ -141,6 +147,14 @@ type sessState struct {
 
 // serve handles one delivery in the context of event process ep.
 func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
+	if parseEvict(d) {
+		// The demux evicted this session from its routing table: nothing
+		// will ever be handed to this event process again, so exit it and
+		// reclaim its kernel state and private pages (only the demux holds
+		// the session port's capability, so nobody else can force this).
+		w.proc.EPExit()
+		return
+	}
 	var st sessState
 	var buf []byte
 	if s, ok := parseStart(d); ok {
