@@ -25,6 +25,8 @@ func main() {
 		"worker replicas per service; >1 adds a multicore sweep over the sharded kernel")
 	shards := flag.Int("shards", 0,
 		"event loops per trusted service (demux/netd/dbproxy) for the parallel sweep; 0 = workers")
+	iddShards := flag.Int("iddshards", 0,
+		"event loops for idd in the parallel sweep; 0 = shards")
 	flag.Parse()
 
 	counts, err := parseInts(*sessions)
@@ -40,12 +42,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "throughput:", err)
 		os.Exit(1)
 	}
-	if *workers > 1 || *shards > 1 {
+	if *workers > 1 || *shards > 1 || *iddShards > 1 {
 		n := *shards
 		if n == 0 {
 			n = *workers
 		}
-		prows, err := asbestos.Figure7OKWSSharded(counts, *workers, n)
+		prows, err := asbestos.Figure7OKWSIddSharded(counts, *workers, n, *iddShards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "throughput:", err)
 			os.Exit(1)

@@ -204,6 +204,17 @@ func (p *Proxy) AdminPorts() []handle.Handle {
 // ShardFor returns the shard index owning a user's queries among n shards.
 func ShardFor(user string, n int) int { return shard.Of(user, n) }
 
+// BootExec runs a statement directly against the proxy's database. It is a
+// boot-time-only escape hatch: idd creates its user table with it during
+// construction, BEFORE any event loop runs — an admin-port round trip at
+// that point would block forever waiting on a loop that has not started.
+// Callers must not use it once Run has been called (the loops assume the
+// database is theirs).
+func (p *Proxy) BootExec(sql string, args ...string) error {
+	_, err := p.db.Exec(sql, args...)
+	return err
+}
+
 // GrantAdmin gives a process the capability to send to every shard's admin
 // port (the launcher calls this for idd). dst must be an open port of the
 // grantee; one grant message arrives per shard.

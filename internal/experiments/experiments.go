@@ -102,6 +102,17 @@ func provisionSharded(n, shards int, prof *stats.Profiler, services ...okws.Serv
 	return provisionBurst(n, shards, 0, prof, services...)
 }
 
+// provisionIdd is provisionSharded with idd's shard count pinned
+// independently (0 follows shards); the idd-sharding sweep uses it.
+func provisionIdd(n, shards, iddShards int, prof *stats.Profiler, services ...okws.Service) (*okws.Server, []workload.Credentials, error) {
+	srv, err := okws.Launch(okws.Config{Seed: 42, Shards: shards, IddShards: iddShards,
+		Profiler: prof, Services: services})
+	if err != nil {
+		return nil, nil, err
+	}
+	return seedUsers(srv, n)
+}
+
 // provisionBurst is provisionSharded with the event loops' burst policy
 // pinned (0 = adaptive, the default); the fixed-vs-adaptive sweeps use it.
 func provisionBurst(n, shards, fixedBurst int, prof *stats.Profiler, services ...okws.Service) (*okws.Server, []workload.Credentials, error) {
@@ -110,6 +121,11 @@ func provisionBurst(n, shards, fixedBurst int, prof *stats.Profiler, services ..
 	if err != nil {
 		return nil, nil, err
 	}
+	return seedUsers(srv, n)
+}
+
+// seedUsers provisions n accounts on a freshly launched server.
+func seedUsers(srv *okws.Server, n int) (*okws.Server, []workload.Credentials, error) {
 	us := users(n)
 	for i, u := range us {
 		if err := srv.AddUser(u.User, u.Pass, fmt.Sprintf("%d", 10000+i)); err != nil {
@@ -206,17 +222,26 @@ func Figure7OKWS(sessionCounts []int) ([]Fig7Row, error) {
 // the sharded kernel exists for. The client concurrency scales with the
 // replica count so every worker has requests in flight.
 func Figure7OKWSParallel(sessionCounts []int, workers int) ([]Fig7Row, error) {
-	return figure7Parallel(sessionCounts, workers, workers)
+	return figure7Parallel(sessionCounts, workers, workers, 0)
 }
 
 // Figure7OKWSSharded is Figure7OKWSParallel with the demux/netd/dbproxy
 // shard count chosen independently of the worker replica count — the
-// shards=1 vs shards=N comparison behind BENCH_pr4.json.
+// shards=1 vs shards=N comparison behind BENCH_pr4.json. idd follows the
+// trusted-service shard count.
 func Figure7OKWSSharded(sessionCounts []int, workers, shards int) ([]Fig7Row, error) {
-	return figure7Parallel(sessionCounts, workers, shards)
+	return figure7Parallel(sessionCounts, workers, shards, 0)
 }
 
-func figure7Parallel(sessionCounts []int, workers, shards int) ([]Fig7Row, error) {
+// Figure7OKWSIddSharded additionally pins idd's shard count independently
+// of the other trusted services (0 follows shards) — the iddShards=1 vs N
+// comparison isolates the identity server's contribution under login-heavy
+// load.
+func Figure7OKWSIddSharded(sessionCounts []int, workers, shards, iddShards int) ([]Fig7Row, error) {
+	return figure7Parallel(sessionCounts, workers, shards, iddShards)
+}
+
+func figure7Parallel(sessionCounts []int, workers, shards, iddShards int) ([]Fig7Row, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -225,7 +250,7 @@ func figure7Parallel(sessionCounts []int, workers, shards int) ([]Fig7Row, error
 	}
 	var rows []Fig7Row
 	for _, n := range sessionCounts {
-		srv, us, err := provisionSharded(n, shards, nil, okws.Service{
+		srv, us, err := provisionIdd(n, shards, iddShards, nil, okws.Service{
 			Name: "echo", Handler: echoHandler, Replicas: workers,
 		})
 		if err != nil {
@@ -233,8 +258,12 @@ func figure7Parallel(sessionCounts []int, workers, shards int) ([]Fig7Row, error
 		}
 		reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
 		res := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency*workers)
+		label := fmt.Sprintf("OKWS %d x%dw s%d", n, workers, shards)
+		if iddShards > 0 {
+			label = fmt.Sprintf("%s i%d", label, iddShards)
+		}
 		rows = append(rows, Fig7Row{
-			Label:       fmt.Sprintf("OKWS %d x%dw s%d", n, workers, shards),
+			Label:       label,
 			Sessions:    n,
 			ConnsPerSec: res.ConnsPerSec(),
 			Errors:      res.Errors + res.BadStatus,

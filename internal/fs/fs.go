@@ -260,12 +260,16 @@ func Register(fsPort *kernel.Port, name string, reply *kernel.Port) (Identity, e
 	if err != nil {
 		return Identity{}, err
 	}
+	// Inline Recv outside an event loop: parse, then recycle the payload.
 	op, r := wire.NewReader(d.Data)
-	if op != OpUserR || r.Byte() != 1 {
+	ok := op == OpUserR && r.Byte() == 1
+	id := Identity{UT: r.Handle(), UG: r.Handle()}
+	bad := r.Err()
+	d.Release()
+	if !ok {
 		return Identity{}, fmt.Errorf("fs: register failed")
 	}
-	id := Identity{UT: r.Handle(), UG: r.Handle()}
-	if r.Err() {
+	if bad {
 		return Identity{}, fmt.Errorf("fs: malformed register reply")
 	}
 	return id, nil

@@ -34,9 +34,11 @@ func BootstrapGrants(recipient *Process, grants []BootstrapGrant) {
 		}
 	}
 	for range grants {
-		if d, err := boot.TryRecv(); err != nil || d == nil {
+		d, err := boot.TryRecv()
+		if err != nil || d == nil {
 			panic("kernel: capability bootstrap failed")
 		}
+		d.Release()
 	}
 	boot.Dissociate()
 }

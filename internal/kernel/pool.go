@@ -1,6 +1,9 @@
 package kernel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The Message and payload freelists. Message structs are the nodes of every
 // process's MPSC inbox; payload buffers hold the kernel's defensive copy of
@@ -42,9 +45,35 @@ var msgPool = sync.Pool{New: func() any { return new(Message) }}
 // capacity ≤ maxPooledPayload.
 var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// payloadsDrawn and payloadsReturned count pool traffic. A receiver that
+// Recvs inline and never Releases lets its buffer fall to the garbage
+// collector — legal, but on a hot path it reopens the per-send allocation
+// this pool closed. The counters make that visible: across a closed loop of
+// round trips, returned must keep pace with drawn (PayloadPoolStats; the
+// leak regression tests pin the idd and client paths with it).
+var payloadsDrawn, payloadsReturned atomic.Uint64
+
+// PoolStats is a snapshot of payload-pool traffic.
+type PoolStats struct {
+	Drawn    uint64 // buffers handed out for send-side copies
+	Returned uint64 // buffers recycled (message dropped or Delivery released)
+}
+
+// PayloadPoolStats reports cumulative payload-pool traffic. Outstanding
+// buffers = Drawn - Returned; a steadily growing gap across a closed loop
+// of round trips is a Release leak.
+func PayloadPoolStats() PoolStats {
+	// Read returned first: a concurrent draw between the two loads then
+	// inflates the gap (a false alarm reads as outstanding work, never as a
+	// phantom return).
+	r := payloadsReturned.Load()
+	return PoolStats{Drawn: payloadsDrawn.Load(), Returned: r}
+}
+
 // getPayload returns a zero-length buffer with reusable capacity (possibly
 // zero, for a fresh pool entry — append grows it like any other slice).
 func getPayload() []byte {
+	payloadsDrawn.Add(1)
 	return *payloadPool.Get().(*[]byte)
 }
 
@@ -54,6 +83,7 @@ func putPayload(b []byte) {
 	if b == nil || cap(b) > maxPooledPayload {
 		return
 	}
+	payloadsReturned.Add(1)
 	b = b[:0]
 	payloadPool.Put(&b)
 }

@@ -1,0 +1,71 @@
+package lru
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // a is now most recent; b is the eviction candidate
+	c.Put("d", 4)
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("%s missing after eviction of b", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestOnEvictSeesCapacityEvictionsOnly(t *testing.T) {
+	var evicted []string
+	c := NewEvict[string, int](2, func(k string, _ int) { evicted = append(evicted, k) })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Delete("a") // explicit delete: no observer call
+	c.Put("c", 3)
+	c.Put("d", 4) // evicts b
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+}
+
+func TestPeekDoesNotTouchRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Peek("a") // must NOT rescue a
+	c.Put("c", 3)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek refreshed recency; a survived eviction")
+	}
+}
+
+func TestKeysSnapshot(t *testing.T) {
+	c := New[int, int](4)
+	for i := 0; i < 4; i++ {
+		c.Put(i, i)
+	}
+	ks := c.Keys()
+	sort.Ints(ks)
+	if len(ks) != 4 || ks[0] != 0 || ks[3] != 3 {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := New[string, int](1)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v != 2 || c.Len() != 1 {
+		t.Fatalf("update: v=%d len=%d", v, c.Len())
+	}
+}

@@ -11,6 +11,10 @@ import (
 // (Demux.ConnCount, the leak regression tests) read the count from other
 // goroutines. Encapsulating the counter here keeps the two in sync at
 // every call site by construction.
+//
+// The demux's bounded tables (sessions, dealt pins, login cache) live on
+// internal/lru — the generic LRU grew out of this file and moved there when
+// idd needed the same bound for its identity cache and backoff table.
 type connTable struct {
 	m    map[handle.Handle]*dconn
 	size atomic.Int64
@@ -34,137 +38,3 @@ func (t *connTable) del(h handle.Handle) {
 
 // len is safe from any goroutine.
 func (t *connTable) len() int { return int(t.size.Load()) }
-
-// lruCache is a tiny bounded map with least-recently-used eviction. The
-// demux uses it for the two tables an attacker can grow without bound — the
-// session table (one entry per (user, service) seen) and the login cache
-// (one entry per credential pair tried): a credential-stuffing run or a
-// many-user workload now recycles old entries instead of growing demux
-// memory forever. Both tables are routing caches, so eviction is always
-// safe — a evicted session re-deals on its next connection, an evicted
-// login re-asks idd.
-//
-// All mutating methods belong to the owning shard's loop; only Len is safe
-// to call from other goroutines (diagnostics).
-type lruCache[K comparable, V any] struct {
-	cap  int
-	m    map[K]*lruEntry[K, V]
-	head *lruEntry[K, V] // most recently used
-	tail *lruEntry[K, V] // eviction candidate
-	size atomic.Int64
-
-	// onEvict, when set, observes capacity evictions (not Deletes) — the
-	// demux uses it to settle state hanging off the evicted key (parked
-	// connections of an evicted dealt pin) instead of stranding it.
-	onEvict func(K, V)
-}
-
-type lruEntry[K comparable, V any] struct {
-	key        K
-	val        V
-	prev, next *lruEntry[K, V]
-}
-
-// newLRU builds a cache bounded to capacity entries (minimum 1).
-func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &lruCache[K, V]{cap: capacity, m: make(map[K]*lruEntry[K, V])}
-}
-
-// newLRUEvict is newLRU with an eviction observer.
-func newLRUEvict[K comparable, V any](capacity int, onEvict func(K, V)) *lruCache[K, V] {
-	c := newLRU[K, V](capacity)
-	c.onEvict = onEvict
-	return c
-}
-
-// Get returns the value for k, marking it most recently used.
-func (c *lruCache[K, V]) Get(k K) (V, bool) {
-	e := c.m[k]
-	if e == nil {
-		var zero V
-		return zero, false
-	}
-	c.moveToFront(e)
-	return e.val, true
-}
-
-// Put inserts or updates k, evicting the least recently used entry when
-// the cache is full.
-func (c *lruCache[K, V]) Put(k K, v V) {
-	if e := c.m[k]; e != nil {
-		e.val = v
-		c.moveToFront(e)
-		return
-	}
-	if len(c.m) >= c.cap {
-		victim := c.tail
-		c.unlink(victim)
-		if c.onEvict != nil && victim != nil {
-			c.onEvict(victim.key, victim.val)
-		}
-	}
-	e := &lruEntry[K, V]{key: k, val: v}
-	c.m[k] = e
-	c.pushFront(e)
-	c.size.Store(int64(len(c.m)))
-}
-
-// Delete removes k if present.
-func (c *lruCache[K, V]) Delete(k K) {
-	if e := c.m[k]; e != nil {
-		c.unlink(e)
-	}
-}
-
-// Len reports the current entry count; safe from any goroutine.
-func (c *lruCache[K, V]) Len() int { return int(c.size.Load()) }
-
-func (c *lruCache[K, V]) pushFront(e *lruEntry[K, V]) {
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
-	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
-	}
-}
-
-func (c *lruCache[K, V]) unlink(e *lruEntry[K, V]) {
-	if e == nil {
-		return
-	}
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		c.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		c.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	delete(c.m, e.key)
-	c.size.Store(int64(len(c.m)))
-}
-
-func (c *lruCache[K, V]) moveToFront(e *lruEntry[K, V]) {
-	if c.head == e {
-		return
-	}
-	// Detach without touching the map.
-	if e.prev != nil {
-		e.prev.next = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		c.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	c.pushFront(e)
-}

@@ -10,6 +10,7 @@ import (
 	"asbestos/internal/idd"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
+	"asbestos/internal/lru"
 	"asbestos/internal/netd"
 	"asbestos/internal/shard"
 	"asbestos/internal/stats"
@@ -68,7 +69,7 @@ type demuxShard struct {
 	loginReply  *kernel.Port // replies from idd
 
 	netdSvc  *kernel.Port // netd's service port, route cached
-	iddLogin *kernel.Port // idd's login port, route cached
+	iddLogins []*kernel.Port // idd's login ports, indexed by idd shard
 
 	// verif holds the launcher-issued verification handles per worker name
 	// (one per replica); registration AND session-registration messages
@@ -95,10 +96,10 @@ type demuxShard struct {
 	// All three are per-shard: a user's entries live only in the owning
 	// shard. sessions and dealt are bounded (LRU): evicting a session is
 	// safe (a routing cache — the user merely re-deals), while evicting a
-	// dealt pin settles its parked queue first (see the newLRUEvict hook),
+	// dealt pin settles its parked queue first (see the lru.NewEvict hook),
 	// since every dealt entry is an in-flight registration by definition.
-	sessions *lruCache[sessionKey, handle.Handle]
-	dealt    *lruCache[sessionKey, handle.Handle]
+	sessions *lru.Cache[sessionKey, handle.Handle]
+	dealt    *lru.Cache[sessionKey, handle.Handle]
 	rr       map[string]uint64
 
 	// parked holds connections that arrived for a dealt-but-unregistered
@@ -112,7 +113,7 @@ type demuxShard struct {
 	// idCache memoizes login results per credential pair, keyed by the
 	// SHA-256 of user\x00pass — the demux never retains plaintext passwords
 	// — and bounded so credential stuffing cannot grow it without limit.
-	idCache *lruCache[credKey, idd.Identity]
+	idCache *lru.Cache[credKey, idd.Identity]
 
 	// pendingLogins coalesces in-flight idd round-trips per credential pair;
 	// pendingByTok matches them to replies by the echoed request token
@@ -236,7 +237,7 @@ type dconn struct {
 // ports; the launcher then registers workers' verification handles directly.
 // sessionCap and idCacheCap bound the per-demux tables (0 = defaults);
 // burst is the evloop dispatch-burst policy (zero value = adaptive).
-func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle,
+func newDemux(sys *kernel.System, netdSvc handle.Handle, iddLogins []handle.Handle,
 	shards, sessionCap, idCacheCap int, burst evloop.Burst) *Demux {
 	if sessionCap <= 0 {
 		sessionCap = DefaultSessionCap
@@ -282,14 +283,14 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle,
 			sessionPort:   sess,
 			loginReply:    proc.Open(nil),
 			netdSvc:       proc.Port(netdSvc),
-			iddLogin:      proc.Port(iddLogin),
+			iddLogins:     iddPorts(proc, iddLogins),
 			workers:       make(map[string][]handle.Handle),
 			declassifier:  make(map[string]bool),
 			ephemeral:     make(map[string]bool),
 			parked:        make(map[sessionKey]*parkedSet),
 			rr:            make(map[string]uint64),
 			conns:         newConnTable(),
-			idCache:       newLRU[credKey, idd.Identity](perShard(idCacheCap)),
+			idCache:       lru.New[credKey, idd.Identity](perShard(idCacheCap)),
 			pendingLogins: make(map[credKey]*pendingLogin),
 			pendingByTok:  make(map[uint64]*pendingLogin),
 			out:           lp.Out(),
@@ -298,7 +299,7 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle,
 		// the DEMUX — but the worker still holds the session's event
 		// process, which nothing would ever reclaim. Tell the worker to
 		// ep_exit the orphan (ROADMAP: eviction → ep_exit).
-		s.sessions = newLRUEvict(perShard(sessionCap), func(_ sessionKey, port handle.Handle) {
+		s.sessions = lru.NewEvict(perShard(sessionCap), func(_ sessionKey, port handle.Handle) {
 			s.evictSession(port)
 		})
 		// Every dealt entry is an IN-FLIGHT pin (registration deletes it),
@@ -309,7 +310,7 @@ func newDemux(sys *kernel.System, netdSvc, iddLogin handle.Handle,
 		// user transiently may end up with a duplicate event process
 		// (whichever session registers last wins), which only occurs past
 		// perShard(sessionCap) concurrent unregistered users.
-		s.dealt = newLRUEvict(perShard(sessionCap), func(key sessionKey, _ handle.Handle) {
+		s.dealt = lru.NewEvict(perShard(sessionCap), func(key sessionKey, _ handle.Handle) {
 			s.dropParked(key)
 		})
 		s.verif = make(map[string][]handle.Handle)
@@ -619,6 +620,21 @@ func (s *demuxShard) route(cs *dconn) {
 	s.release(cs)
 }
 
+// iddPorts caches a shard process's route to every idd login port.
+func iddPorts(proc *kernel.Process, hs []handle.Handle) []*kernel.Port {
+	out := make([]*kernel.Port, len(hs))
+	for i, h := range hs {
+		out[i] = proc.Port(h)
+	}
+	return out
+}
+
+// iddPort routes a username's login to the idd shard that owns it, so the
+// request skips the replica-forward hop inside idd.
+func (s *demuxShard) iddPort(user string) *kernel.Port {
+	return s.iddLogins[idd.ShardFor(user, len(s.iddLogins))]
+}
+
 // authenticate runs Figure 5 steps 3–5 asynchronously: look up credentials
 // with idd (never blocking the shard's burst loop on the round trip), then
 // taint the connection at netd. Connections racing the same credential pair
@@ -653,7 +669,7 @@ func (s *demuxShard) authenticate(cs *dconn) {
 		return
 	}
 	s.loginTok++
-	if err := idd.Login(s.iddLogin, s.loginTok, user, pass, s.loginReply.Handle()); err != nil {
+	if err := idd.Login(s.iddPort(user), s.loginTok, user, pass, s.loginReply.Handle()); err != nil {
 		s.fail(cs, 500)
 		return
 	}
@@ -672,7 +688,7 @@ func (s *demuxShard) authenticate(cs *dconn) {
 func (s *demuxShard) reissueLogin(pl *pendingLogin, user, pass string) {
 	s.loginTok++
 	pl.lastIssue = time.Now()
-	if idd.Login(s.iddLogin, s.loginTok, user, pass, s.loginReply.Handle()) != nil {
+	if idd.Login(s.iddPort(user), s.loginTok, user, pass, s.loginReply.Handle()) != nil {
 		return
 	}
 	pl.toks = append(pl.toks, s.loginTok)
@@ -938,7 +954,7 @@ func (dm *Demux) ConnCount() int {
 func (dm *Demux) sessionShardSpread() map[sessionKey]int {
 	out := make(map[sessionKey]int)
 	for _, s := range dm.shards {
-		for k := range s.sessions.m {
+		for _, k := range s.sessions.Keys() {
 			out[k]++
 		}
 	}

@@ -72,6 +72,14 @@ type Config struct {
 	// IDCacheCap bounds the demux's hashed login cache across all shards
 	// (0 = DefaultIDCacheCap).
 	IDCacheCap int
+	// IddShards is the number of idd event loops (0 = same as Shards). idd
+	// shards own disjoint username slices (idd.ShardFor); the demux routes
+	// each login straight to the owner.
+	IddShards int
+	// IddOptions tunes idd beyond the shard count (cache bound, hashing
+	// cost, lockout ladder). Shards and Burst inside it are overridden by
+	// IddShards and FixedBurst.
+	IddOptions idd.Options
 	// FixedBurst pins every trusted event loop's dispatch-burst cap
 	// (FixedBurst: 64 reproduces the pre-adaptive loops). 0 — the default —
 	// enables adaptive batching: each shard's cap starts at 64 and
@@ -94,6 +102,17 @@ func (cfg Config) shardCount() int {
 		return 1
 	}
 	return cfg.Shards
+}
+
+// iddShardCount resolves the IddShards knob: 0 follows Shards.
+func (cfg Config) iddShardCount() int {
+	if cfg.IddShards == 0 {
+		return cfg.shardCount()
+	}
+	if cfg.IddShards < 1 {
+		return 1
+	}
+	return cfg.IddShards
 }
 
 // Server is a running OKWS stack: kernel, netd, database, ok-dbproxy, idd,
@@ -127,8 +146,11 @@ func Launch(cfg Config) (*Server, error) {
 	nd := netd.NewShardedBurst(sys, shards, cfg.burst())
 	database := db.Open()
 	proxy := dbproxy.NewShardedBurst(sys, database, shards, cfg.burst())
-	iddSrv := idd.New(sys, proxy)
-	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPort(),
+	iddOpts := cfg.IddOptions
+	iddOpts.Shards = cfg.iddShardCount()
+	iddOpts.Burst = cfg.burst()
+	iddSrv := idd.NewOpts(sys, proxy, iddOpts)
+	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPorts(),
 		shards, cfg.SessionTableCap, cfg.IDCacheCap, cfg.burst())
 
 	s := &Server{
@@ -194,7 +216,9 @@ func Launch(cfg Config) (*Server, error) {
 		if d == nil {
 			return nil, fmt.Errorf("okws: missing worker registration")
 		}
+		// Outside the evloop the Dispatch→Release pairing is on us.
 		s0.dispatch(d)
+		d.Release()
 	}
 
 	if err := demux.listen(cfg.HTTPPort); err != nil {
@@ -238,7 +262,10 @@ func (s *Server) AddUser(user, pass, uid string) error {
 	if err != nil {
 		return err
 	}
-	if !idd.ParseAddUserReply(d) {
+	// Inline Recv outside an event loop: release the pooled payload.
+	ok := idd.ParseAddUserReply(d)
+	d.Release()
+	if !ok {
 		return fmt.Errorf("okws: AddUser(%s) rejected", user)
 	}
 	return nil

@@ -55,7 +55,7 @@ func TestPendingLoginDeadlineReissues(t *testing.T) {
 	if err := loginPort.SetLabel(label.Empty(label.L3)); err != nil {
 		t.Fatal(err)
 	}
-	dm := newDemux(sys, 1<<40, loginPort.Handle(), 1, 0, 0, evloop.Burst{})
+	dm := newDemux(sys, 1<<40, []handle.Handle{loginPort.Handle()}, 1, 0, 0, evloop.Burst{})
 	s := dm.shards[0]
 
 	mk := func(user string) *dconn {
@@ -185,7 +185,7 @@ func TestEvictionExitsWorkerSession(t *testing.T) {
 // strand it. Driven directly against one shard.
 func TestSupersededRegistrationReclaimsOldSession(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(41))
-	dm := newDemux(sys, 1<<40, 1<<41, 1, 0, 0, evloop.Burst{})
+	dm := newDemux(sys, 1<<40, []handle.Handle{1 << 41}, 1, 0, 0, evloop.Burst{})
 	s := dm.shards[0]
 	verif := s.proc.NewHandle()
 	s.verif["svc"] = []handle.Handle{verif}

@@ -259,7 +259,11 @@ func (w *Worker) readRequest(st *sessState, conn *kernel.Port, buf []byte) (*htt
 		if err != nil {
 			return nil, nil
 		}
+		// ParseReadReply copies the bytes out, so the pooled payload can be
+		// recycled before the verdict — inline receivers that skip Release
+		// quietly reopen the per-send allocation the pool closed.
 		rr, ok := netd.ParseReadReply(d)
+		d.Release()
 		if !ok || rr.EOF {
 			return nil, nil
 		}
@@ -268,15 +272,18 @@ func (w *Worker) readRequest(st *sessState, conn *kernel.Port, buf []byte) (*htt
 }
 
 // await discards deliveries on port until one with the given op arrives,
-// giving up when the worker shuts down.
-func (w *Worker) await(op byte, port handle.Handle) *kernel.Delivery {
+// giving up when the worker shuts down. Every delivery — matching or
+// discarded — is released; both call sites only care that the reply came.
+func (w *Worker) await(op byte, port handle.Handle) {
 	for {
 		d, err := w.proc.RecvCtx(w.ctx, port)
 		if err != nil {
-			return nil
+			return
 		}
-		if len(d.Data) > 0 && d.Data[0] == op {
-			return d
+		match := len(d.Data) > 0 && d.Data[0] == op
+		d.Release()
+		if match {
+			return
 		}
 	}
 }
@@ -447,14 +454,19 @@ func (c *Ctx) dbExec(sql string, args []string, declassify bool) ([][]string, er
 		if err != nil {
 			return nil, err
 		}
-		if row, ok := dbproxy.ParseRow(d); ok {
+		// Every parser copies its fields out, so the pooled payload is
+		// recycled per delivery — a query streaming N rows used to leak N
+		// buffers to the garbage collector.
+		row, isRow := dbproxy.ParseRow(d)
+		_, isDone := dbproxy.ParseDone(d)
+		msg, isErr := dbproxy.ParseError(d)
+		d.Release()
+		switch {
+		case isRow:
 			rows = append(rows, row)
-			continue
-		}
-		if _, ok := dbproxy.ParseDone(d); ok {
+		case isDone:
 			return rows, nil
-		}
-		if msg, ok := dbproxy.ParseError(d); ok {
+		case isErr:
 			return nil, fmt.Errorf("okws: db: %s", msg)
 		}
 		// Stray netd replies can interleave; skip them.

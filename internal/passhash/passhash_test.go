@@ -1,0 +1,115 @@
+package passhash
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// TestBlake2bRFC7693 pins the BLAKE2b core to the RFC 7693 appendix A
+// vector: BLAKE2b-512("abc").
+func TestBlake2bRFC7693(t *testing.T) {
+	want, _ := hex.DecodeString(
+		"ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1" +
+			"7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923")
+	got := make([]byte, 64)
+	blake2bSum(got, []byte("abc"))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("blake2b-512(abc) = %x, want %x", got, want)
+	}
+}
+
+// TestBlake2bIncremental pins the streaming path (Write across block
+// boundaries) against the one-shot path.
+func TestBlake2bIncremental(t *testing.T) {
+	msg := bytes.Repeat([]byte("asbestos"), 100) // 800 bytes, > 6 blocks
+	oneShot := make([]byte, 64)
+	blake2bSum(oneShot, msg)
+	d := newBlake2b(64)
+	for i := 0; i < len(msg); i += 33 {
+		end := i + 33
+		if end > len(msg) {
+			end = len(msg)
+		}
+		d.Write(msg[i:end])
+	}
+	streamed := make([]byte, 64)
+	d.Sum(streamed)
+	if !bytes.Equal(oneShot, streamed) {
+		t.Fatalf("streamed digest diverges: %x vs %x", streamed, oneShot)
+	}
+	// Variable digest sizes are genuinely different hashes (parameter block
+	// includes the length), not truncations.
+	short := make([]byte, 32)
+	blake2bSum(short, msg)
+	if bytes.Equal(short, oneShot[:32]) {
+		t.Fatal("blake2b-256 must not be a truncation of blake2b-512")
+	}
+}
+
+// TestArgon2idRFC9106 pins the full Argon2id derivation to the RFC 9106
+// §5.3 test vector (t=3, m=32, p=4, with secret and associated data).
+func TestArgon2idRFC9106(t *testing.T) {
+	password := bytes.Repeat([]byte{0x01}, 32)
+	salt := bytes.Repeat([]byte{0x02}, 16)
+	secret := bytes.Repeat([]byte{0x03}, 8)
+	ad := bytes.Repeat([]byte{0x04}, 12)
+	want, _ := hex.DecodeString(
+		"0d640df58d78766c08c037a34a8b53c9d01ef0452d75b65eb52520e96b01e659")
+	got := argon2id(password, salt, secret, ad,
+		Params{Time: 3, Memory: 32, Threads: 4, KeyLen: 32})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("argon2id vector = %x, want %x", got, want)
+	}
+}
+
+func TestHashVerifyRoundTrip(t *testing.T) {
+	h := Hash("correct horse", TestParams)
+	if !IsHash(h) {
+		t.Fatalf("Hash output %q not recognized by IsHash", h)
+	}
+	if !strings.HasPrefix(h, "$argon2id$v=19$") {
+		t.Fatalf("unexpected encoding: %q", h)
+	}
+	if !Verify("correct horse", h) {
+		t.Fatal("correct password rejected")
+	}
+	if Verify("battery staple", h) {
+		t.Fatal("wrong password accepted")
+	}
+	if Verify("correct horse", "plaintext-pw") || IsHash("plaintext-pw") {
+		t.Fatal("plaintext treated as hash")
+	}
+	// Distinct salts: two hashes of the same password differ.
+	if h2 := Hash("correct horse", TestParams); h2 == h {
+		t.Fatal("two hashes of one password identical — salt not random")
+	}
+}
+
+func TestVerifyUsesEncodedParams(t *testing.T) {
+	// A hash created under one parameter set verifies regardless of today's
+	// defaults — the migration path for parameter upgrades.
+	old := Params{Time: 2, Memory: 32, Threads: 2, KeyLen: 24}
+	h := Hash("pw", old)
+	if !Verify("pw", h) {
+		t.Fatal("hash under non-default params rejected")
+	}
+	if !strings.Contains(h, "m=32,t=2,p=2") {
+		t.Fatalf("params not encoded: %q", h)
+	}
+}
+
+func TestParseRejectsHostileCosts(t *testing.T) {
+	for _, enc := range []string{
+		"$argon2id$v=19$m=4194304,t=3,p=1$AAAAAAAAAAAAAAAAAAAAAA$AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA", // 4 GiB
+		"$argon2id$v=19$m=64,t=1000,p=1$AAAAAAAAAAAAAAAAAAAAAA$AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA",
+		"$argon2id$v=18$m=64,t=1,p=1$AAAAAAAAAAAAAAAAAAAAAA$AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA", // bad version
+		"$argon2id$v=19$m=64,t=1,p=1$notbase64!!$AAAA",
+		"$argon2id$garbage",
+	} {
+		if Verify("pw", enc) {
+			t.Errorf("hostile encoding verified: %q", enc)
+		}
+	}
+}

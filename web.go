@@ -7,6 +7,7 @@ package asbestos
 import (
 	"asbestos/internal/fs"
 	"asbestos/internal/httpmsg"
+	"asbestos/internal/idd"
 	"asbestos/internal/netd"
 	"asbestos/internal/okws"
 	"asbestos/internal/workload"
@@ -18,8 +19,24 @@ type WebServer = okws.Server
 // WebService describes one OKWS worker.
 type WebService = okws.Service
 
-// WebConfig configures LaunchWeb.
+// WebConfig configures LaunchWeb. Besides the shard/burst knobs for the
+// trusted services, it tunes the identity server: IddShards loops sharded
+// by username hash (0 follows Shards), and IddOptions for the login path's
+// semantics — passwords are stored as Argon2id hashes and verified in
+// constant time, each idd shard holds a bounded LRU identity cache so
+// repeat logins verify locally without a database round trip, and failed
+// logins climb a bounded per-username lockout ladder (IddOptions.Ladder;
+// attempts against a locked name are deferred unverified, so credential
+// stuffing costs the attacker time, not the server hashing work).
 type WebConfig = okws.Config
+
+// IddOptions tunes the identity server (WebConfig.IddOptions): identity
+// cache bound, Argon2id cost, lockout ladder. IddBackoffRung is one rung of
+// that ladder.
+type (
+	IddOptions     = idd.Options
+	IddBackoffRung = idd.BackoffRung
+)
 
 // WebHandler is a worker's application logic; WebCtx its per-request
 // context.
