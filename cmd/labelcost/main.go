@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -41,17 +42,43 @@ func main() {
 	for _, c := range asbestos.Categories() {
 		header = append(header, c.String())
 	}
-	header = append(header, "total", "cachehit")
+	header = append(header, "total", "cachehit", "drops")
 	var table [][]string
 	for _, r := range rows {
 		row := []string{strconv.Itoa(r.Sessions)}
 		for _, c := range asbestos.Categories() {
 			row = append(row, fmt.Sprintf("%.0f", r.Kcycles[c]))
 		}
-		row = append(row, fmt.Sprintf("%.0f", r.Total), fmt.Sprintf("%.2f", r.CacheHitRate))
+		var drops uint64
+		for _, n := range r.Drops {
+			drops += n
+		}
+		row = append(row,
+			fmt.Sprintf("%.0f", r.Total),
+			fmt.Sprintf("%.2f", r.CacheHitRate),
+			strconv.FormatUint(drops, 10))
 		table = append(table, row)
 	}
 	fmt.Print(asbestos.FormatTable(header, table))
+
+	// Silent drops are legal under the paper's §4 contract, but WHERE they
+	// land matters: break each row down by the receiving process's port
+	// class so queue pressure is attributable to a component.
+	for _, r := range rows {
+		if len(r.Drops) == 0 {
+			continue
+		}
+		classes := make([]string, 0, len(r.Drops))
+		for class := range r.Drops {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		fmt.Printf("drops @ %d sessions:", r.Sessions)
+		for _, class := range classes {
+			fmt.Printf(" %s=%d", class, r.Drops[class])
+		}
+		fmt.Println()
+	}
 }
 
 func parseInts(s string) ([]int, error) {

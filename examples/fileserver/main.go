@@ -26,11 +26,11 @@ func main() {
 	u := sys.NewProcess("u-shell")
 	uFS := u.Port(srv.Port())
 	ur := u.Open(nil)
-	uid, _ := asbestos.FileRegister(uFS, "u", ur)
+	uid, _ := asbestos.FileRegister(ctx, uFS, "u", ur)
 	v := sys.NewProcess("v-shell")
 	vFS := v.Port(srv.Port())
 	vr := v.Open(nil)
-	asbestos.FileRegister(vFS, "v", vr)
+	asbestos.FileRegister(ctx, vFS, "v", vr)
 
 	ownerV := asbestos.NewLabel(asbestos.L3, asbestos.Entry{H: uid.UG, L: asbestos.L0})
 	asbestos.FileCreate(uFS, "/home/u/secret.txt", "u", ur.Handle(), ownerV)

@@ -16,8 +16,8 @@
 //   - A Shard's handlers, tables and Batcher belong to its loop goroutine.
 //     Handlers run only on that goroutine (plus the construction-time
 //     Dispatch calls a launcher makes before Run); nothing in a shard needs
-//     locking. Registration (Handle, HandleDefault, OnTick) must complete
-//     before Run.
+//     locking. Registration (Handle, HandleDefault) must complete before
+//     Run.
 //   - Cross-shard traffic goes through each shard's forward port: the Group
 //     exchanges ⋆ grants for every ordered shard pair at construction, and
 //     Peer(i) is a route-cached endpoint to shard i's port. Buffer batched
@@ -40,6 +40,32 @@
 // use-after-release bug, and the kernel's detector panics on the double
 // releases that usually accompany one.
 //
+// # Timers
+//
+// Each shard owns a hierarchical timing wheel (see wheel.go): Shard.Timer
+// makes a per-key one-shot timer whose handler runs on the loop goroutine,
+// exactly like a port handler. The arming rules:
+//
+//   - Timers belong to the shard that created them. Arm, Stop and the
+//     expiry handler all run on the loop goroutine (or before Run, during
+//     construction); arming a sibling shard's timer from a handler is a
+//     data race.
+//   - Arm re-arms: calling it on an armed timer moves the deadline, O(1),
+//     no allocation. Handlers may re-arm their own timer from inside the
+//     expiry callback (the periodic-timer idiom).
+//   - An idle shard arms nothing and sleeps indefinitely: the loop blocks
+//     with a receive deadline only while at least one timer is armed, so a
+//     quiet service costs zero wakeups.
+//   - Expiry handlers may buffer sends on Out(); the loop flushes after
+//     each Advance that fired, same as after a dispatch burst.
+//   - Precision is Config.Tick (the wheel granularity, default 1ms). A
+//     timer never fires before its deadline; it can fire up to one
+//     granule late, plus whatever the loop was already busy doing.
+//
+// A panicking handler — port or timer — does not kill the shard: the loop
+// recovers, counts the event (Group.HandlerPanics), releases the delivery
+// and keeps draining.
+//
 // # Adaptive batching
 //
 // The dispatch-burst cap — how many deliveries one round may dispatch
@@ -56,6 +82,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asbestos/internal/handle"
@@ -80,14 +107,15 @@ type Config struct {
 	Category stats.Category
 	// Burst is the dispatch-burst policy (zero value = adaptive defaults).
 	Burst Burst
-	// Tick is the timer cadence for shards that register OnTick handlers
-	// (0 = TickDefault). Ticks fire only while armed (Shard.SetTick), so an
-	// idle service pays nothing for having a timer path.
+	// Tick is the shard timer wheel's granularity (0 = TickDefault): the
+	// precision bound on Shard.Timer deadlines. Finer granularity costs
+	// nothing while idle — the wheel jumps empty spans — so the default is
+	// deliberately fine.
 	Tick time.Duration
 }
 
-// TickDefault is the timer cadence when Config.Tick is zero.
-const TickDefault = 25 * time.Millisecond
+// TickDefault is the timer-wheel granularity when Config.Tick is zero.
+const TickDefault = time.Millisecond
 
 // Group is a set of sharded event loops sharing one lifecycle: Run runs
 // every loop until Stop cancels the group context.
@@ -98,6 +126,11 @@ type Group struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// panics counts handler panics the loops recovered from (see
+	// dispatchRelease): one malformed message must not kill a
+	// trusted-service shard.
+	panics stats.Counter
 }
 
 // Shard is one event loop: its own kernel process, dispatch table, Batcher
@@ -116,9 +149,15 @@ type Shard struct {
 	fallback Handler
 	mbox     *kernel.Mailbox
 
-	onTick    func(now time.Time)
-	tickArmed bool
-	nextTick  time.Time
+	wheel *Wheel
+
+	// Reusable receive-deadline machinery (recvNext): one runtime timer
+	// per shard that cancels the current receive context, instead of a
+	// fresh context.WithDeadline (+timer) per receive.
+	recvCtx    context.Context
+	recvDone   context.CancelFunc
+	recvCancel atomic.Pointer[context.CancelFunc]
+	recvTimer  *time.Timer
 
 	burst *aimd
 }
@@ -147,6 +186,7 @@ func New(sys *kernel.System, cfg Config) *Group {
 			out:      kernel.NewBatcher(proc),
 			fwd:      proc.Open(nil),
 			handlers: make(map[handle.Handle]Handler),
+			wheel:    NewWheel(time.Now(), cfg.Tick),
 			burst:    newAIMD(cfg.Burst),
 		})
 	}
@@ -249,19 +289,34 @@ func (s *Shard) HandleForward(h Handler) { s.Handle(s.fwd, h) }
 // reply ports a handler blocks on inline) untouched.
 func (s *Shard) HandleDefault(h Handler) { s.fallback = h }
 
-// OnTick registers the shard's timer handler, fired at the group's tick
-// cadence while armed. Like every handler it runs on the loop goroutine.
-func (s *Shard) OnTick(f func(now time.Time)) { s.onTick = f }
-
-// SetTick arms or disarms the shard's timer. Call from the shard's own
-// handlers (or before Run); an armed tick wakes an otherwise idle loop, a
-// disarmed one costs nothing.
-func (s *Shard) SetTick(on bool) {
-	if on && !s.tickArmed {
-		s.nextTick = time.Now().Add(s.g.cfg.Tick)
-	}
-	s.tickArmed = on && s.onTick != nil
+// Timer creates an unarmed one-shot timer on the shard's wheel. fn runs
+// on the loop goroutine like any handler (and like any handler, a panic
+// is recovered and counted, not fatal). Arm/Stop/re-arm follow the wheel
+// ownership rules in the package comment.
+func (s *Shard) Timer(fn func(now time.Time)) *Timer {
+	return s.wheel.NewTimer(func(now time.Time) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.g.panics.Add(1)
+			}
+		}()
+		fn(now)
+	})
 }
+
+// Wheel exposes the shard's timer wheel (diagnostics; Len/Empty).
+func (s *Shard) Wheel() *Wheel { return s.wheel }
+
+// AdvanceTimers turns the shard's wheel to now, firing due timers, and
+// reports how many fired. The loop calls it after every round; it is
+// exported for the same reason Dispatch is — construction-time plumbing
+// and tests that drive a shard synchronously. At runtime only the loop
+// goroutine may call it.
+func (s *Shard) AdvanceTimers(now time.Time) int { return s.wheel.Advance(now) }
+
+// HandlerPanics reports how many handler panics the group's loops have
+// recovered from.
+func (g *Group) HandlerPanics() uint64 { return g.panics.Load() }
 
 // BurstCap reports the shard's current dispatch-burst cap. Exact against a
 // quiescent loop (tests, diagnostics).
@@ -283,8 +338,9 @@ func (s *Shard) Dispatch(d *kernel.Delivery) {
 }
 
 // run is the loop skeleton every trusted service used to copy: block for
-// the first delivery, drain up to the burst cap without blocking, flush
-// the Batcher, adapt the cap, fire due ticks.
+// the first delivery (bounded by the wheel's next deadline), drain up to
+// the burst cap without blocking, flush the Batcher, adapt the cap, turn
+// the wheel.
 func (s *Shard) run() {
 	if s.mbox == nil {
 		if s.fallback != nil {
@@ -293,6 +349,14 @@ func (s *Shard) run() {
 			s.mbox = s.proc.Mailbox(s.ports...)
 		}
 	}
+	defer func() {
+		if s.recvTimer != nil {
+			s.recvTimer.Stop()
+		}
+		if s.recvDone != nil {
+			s.recvDone()
+		}
+	}()
 	prof := s.g.sys.Profiler()
 	for {
 		d, err := s.recvNext()
@@ -319,34 +383,71 @@ func (s *Shard) run() {
 			stop()
 			now = now.Add(elapsed)
 		}
-		if s.tickArmed && !now.Before(s.nextTick) {
+		if !s.wheel.Empty() {
 			stop := prof.Time(s.g.cfg.Category)
-			s.onTick(now)
-			s.out.Flush()
+			if s.wheel.Advance(now) > 0 {
+				s.out.Flush()
+			}
 			stop()
-			s.nextTick = now.Add(s.g.cfg.Tick)
 		}
 	}
 }
 
+// dispatchRelease dispatches one delivery and releases it, surviving a
+// panicking handler: the panic is recovered and counted first, then the
+// release runs regardless (defer order), so a poisoned message can
+// neither kill the shard nor leak its payload. A panic out of Release
+// itself (a double-release bug) still propagates.
 func (s *Shard) dispatchRelease(d *kernel.Delivery) {
+	defer d.Release()
+	defer func() {
+		if r := recover(); r != nil {
+			s.g.panics.Add(1)
+		}
+	}()
 	s.Dispatch(d)
-	d.Release()
 }
 
-// recvNext blocks for the next delivery, bounded by the tick deadline when
-// the timer is armed. A deadline expiry returns (nil, nil) so the loop can
-// fire the tick; a group-context cancellation (or process death) ends the
-// loop.
+// recvNext blocks for the next delivery, bounded by the wheel's earliest
+// deadline while any timer is armed. An expiry returns (nil, nil) so the
+// loop can turn the wheel; a group-context cancellation (or process
+// death) ends the loop.
+//
+// The deadline is enforced by one reusable runtime timer per shard that
+// cancels the current receive context — not a context.WithDeadline per
+// receive, which allocates a context and a timer every round while armed.
+// Only an actual expiry poisons the receive context and costs a
+// replacement.
 func (s *Shard) recvNext() (*kernel.Delivery, error) {
-	if !s.tickArmed {
+	deadline, armed := s.wheel.NextDeadline()
+	if !armed {
 		return s.mbox.Recv(s.g.ctx)
 	}
-	tctx, cancel := context.WithDeadline(s.g.ctx, s.nextTick)
-	d, err := s.mbox.Recv(tctx)
-	cancel()
-	if err != nil && errors.Is(err, context.DeadlineExceeded) && s.g.ctx.Err() == nil {
-		return nil, nil
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return nil, nil // already due: turn the wheel before blocking
+	}
+	if s.recvCtx == nil || s.recvCtx.Err() != nil {
+		if s.recvDone != nil {
+			s.recvDone()
+		}
+		ctx, cancel := context.WithCancel(s.g.ctx)
+		s.recvCtx, s.recvDone = ctx, cancel
+		s.recvCancel.Store(&cancel)
+	}
+	if s.recvTimer == nil {
+		s.recvTimer = time.AfterFunc(wait, func() {
+			if c := s.recvCancel.Load(); c != nil {
+				(*c)()
+			}
+		})
+	} else {
+		s.recvTimer.Reset(wait)
+	}
+	d, err := s.mbox.Recv(s.recvCtx)
+	s.recvTimer.Stop()
+	if err != nil && errors.Is(err, context.Canceled) && s.g.ctx.Err() == nil {
+		return nil, nil // receive deadline, not shutdown
 	}
 	return d, err
 }

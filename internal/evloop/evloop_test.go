@@ -289,10 +289,11 @@ func TestFixedBurstStaysFixed(t *testing.T) {
 	}
 }
 
-// TestTickFiresWhileArmed pins the timer path the pending-login deadline
-// rides on: an armed tick fires on an otherwise idle loop, a handler can
-// disarm it, and a disarmed loop fires nothing.
-func TestTickFiresWhileArmed(t *testing.T) {
+// TestTimerFiresWhileArmed pins the timer path the pending-login deadline
+// rides on: an armed wheel timer fires on an otherwise idle loop, a
+// handler can re-arm itself periodically, and once disarmed the loop
+// fires nothing (and blocks with no receive deadline at all).
+func TestTimerFiresWhileArmed(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(86))
 	g := New(sys, Config{Name: "tick", Shards: 1, Category: stats.CatOther,
 		Tick: 2 * time.Millisecond})
@@ -300,27 +301,78 @@ func TestTickFiresWhileArmed(t *testing.T) {
 	openTo(s, func(d *kernel.Delivery) {})
 
 	var ticks atomic.Int64
-	s.OnTick(func(now time.Time) {
-		if ticks.Add(1) >= 3 {
-			s.SetTick(false)
+	var tm *Timer
+	tm = s.Timer(func(now time.Time) {
+		if ticks.Add(1) < 3 {
+			tm.Arm(now.Add(2 * time.Millisecond))
 		}
 	})
-	s.SetTick(true)
+	tm.Arm(time.Now().Add(2 * time.Millisecond))
 
 	join := start(g)
 	defer join()
 	deadline := time.Now().Add(10 * time.Second)
 	for ticks.Load() < 3 {
 		if time.Now().After(deadline) {
-			t.Fatalf("armed tick never fired (%d)", ticks.Load())
+			t.Fatalf("armed timer never fired (%d)", ticks.Load())
 		}
 		time.Sleep(time.Millisecond)
 	}
-	// Disarmed: no further ticks.
+	// Disarmed: no further fires.
 	settled := ticks.Load()
 	time.Sleep(20 * time.Millisecond)
 	if got := ticks.Load(); got != settled {
-		t.Fatalf("disarmed tick kept firing: %d → %d", settled, got)
+		t.Fatalf("disarmed timer kept firing: %d → %d", settled, got)
+	}
+}
+
+// TestPanickingHandlerDoesNotKillShard pins the dispatch recovery rule:
+// a handler that panics on a poisoned message is counted and its delivery
+// released, and the loop keeps draining subsequent traffic.
+func TestPanickingHandlerDoesNotKillShard(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(88))
+	g := New(sys, Config{Name: "panicky", Shards: 1, Category: stats.CatOther})
+	s := g.Shard(0)
+
+	var ok atomic.Int64
+	in := openTo(s, func(d *kernel.Delivery) {
+		if len(d.Data) > 0 && d.Data[0] == 0xff {
+			panic("poisoned message")
+		}
+		ok.Add(1)
+	})
+
+	join := start(g)
+	defer join()
+
+	pool0 := kernel.PayloadPoolStats()
+	tx := sys.NewProcess("tx")
+	out := tx.Port(in.Handle())
+	const K = 20
+	for i := 0; i < K; i++ {
+		b := byte(i)
+		if i%4 == 0 {
+			b = 0xff
+		}
+		if err := out.Send([]byte{b}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ok.Load() < K-K/4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard died after a panic: %d/%d clean messages handled",
+				ok.Load(), K-K/4)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := g.HandlerPanics(); got != K/4 {
+		t.Fatalf("HandlerPanics = %d, want %d", got, K/4)
+	}
+	// Panicked deliveries were still released: the payload pool balances.
+	pool1 := kernel.PayloadPoolStats()
+	if drawn, ret := pool1.Drawn-pool0.Drawn, pool1.Returned-pool0.Returned; ret < drawn {
+		t.Fatalf("payload leak across panics: drawn %d, returned %d", drawn, ret)
 	}
 }
 

@@ -378,6 +378,12 @@ type Fig9Row struct {
 	CacheHits    uint64
 	CacheMisses  uint64
 	CacheHitRate float64
+
+	// Drops breaks the run's silently dropped messages down by the
+	// receiving process's port class (kernel.DropStats) — under the §4
+	// unreliability contract drops are legal, but a class whose count grows
+	// with the sweep is a queue-pressure signal the totals alone hide.
+	Drops map[string]uint64
 }
 
 // Figure9 sweeps cached-session counts, attributing measured time to the
@@ -397,9 +403,11 @@ func Figure9(sessionCounts []int) ([]Fig9Row, error) {
 		}
 		prof.Reset() // exclude provisioning cost
 		cache0 := label.CacheStats()
+		drops0 := srv.Sys.DropStats()
 		reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
 		res := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency)
 		cache1 := label.CacheStats()
+		drops1 := srv.Sys.DropStats()
 		conns := res.Connections - res.Errors
 		row := Fig9Row{Sessions: n, Kcycles: make(map[stats.Category]float64)}
 		for _, c := range stats.Categories() {
@@ -411,6 +419,12 @@ func Figure9(sessionCounts []int) ([]Fig9Row, error) {
 		row.CacheMisses = cache1.Misses() - cache0.Misses()
 		if total := row.CacheHits + row.CacheMisses; total > 0 {
 			row.CacheHitRate = float64(row.CacheHits) / float64(total)
+		}
+		row.Drops = make(map[string]uint64)
+		for class, n := range drops1 {
+			if d := n - drops0[class]; d > 0 {
+				row.Drops[class] = d
+			}
 		}
 		rows = append(rows, row)
 		srv.Stop()

@@ -1,0 +1,67 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// Same seed, same rule table, same call sequence → identical decisions.
+func TestDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		return New(42, Rule{Class: "idd", Drop: 0.3, Dup: 0.2, Delay: 0.1, DelayFor: time.Millisecond})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10_000; i++ {
+		da, db := a.Decide("idd"), b.Decide("idd")
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Drops() != b.Drops() || a.Dups() != b.Dups() || a.Delays() != b.Delays() {
+		t.Fatalf("counters diverged: %d/%d/%d vs %d/%d/%d",
+			a.Drops(), a.Dups(), a.Delays(), b.Drops(), b.Dups(), b.Delays())
+	}
+	if a.Drops() == 0 || a.Dups() == 0 || a.Delays() == 0 {
+		t.Fatalf("expected all fault kinds at these rates, got %d/%d/%d",
+			a.Drops(), a.Dups(), a.Delays())
+	}
+}
+
+// Rates over a long stream stay near the configured probabilities.
+func TestRates(t *testing.T) {
+	inj := New(7, Rule{Drop: 0.1})
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		inj.Decide("anything")
+	}
+	got := float64(inj.Drops()) / n
+	if got < 0.09 || got > 0.11 {
+		t.Fatalf("drop rate %.4f, want ~0.10", got)
+	}
+}
+
+// First matching rule wins; unmatched classes are untouched.
+func TestClassMatching(t *testing.T) {
+	inj := New(1,
+		Rule{Class: "idd", Drop: 1},
+		Rule{Class: "", Dup: 1},
+	)
+	if d := inj.Decide("idd"); !d.Drop || d.Dup {
+		t.Fatalf("idd: got %+v, want drop only", d)
+	}
+	if d := inj.Decide("netd"); d.Drop || !d.Dup {
+		t.Fatalf("netd: got %+v, want dup via catch-all", d)
+	}
+	none := New(1, Rule{Class: "idd", Drop: 1})
+	if d := none.Decide("netd"); d.Drop || d.Dup || d.Delay != 0 {
+		t.Fatalf("unmatched class faulted: %+v", d)
+	}
+}
+
+// A Delay rule without DelayFor still produces a positive delay.
+func TestDelayDefault(t *testing.T) {
+	inj := New(3, Rule{Delay: 1})
+	if d := inj.Decide("x"); d.Delay <= 0 {
+		t.Fatalf("delay decision has no duration: %+v", d)
+	}
+}

@@ -250,13 +250,15 @@ type Identity struct {
 
 // Register creates (or fetches) a user, granting the caller uT ⋆, uG ⋆ and
 // uT-3 clearance. reply must be an owned endpoint of the calling process;
-// Register blocks on it for the server's answer.
-func Register(fsPort *kernel.Port, name string, reply *kernel.Port) (Identity, error) {
+// Register blocks on it for the server's answer, bounded by ctx — under the
+// unreliable-IPC contract the request or reply can be silently dropped, and
+// a caller with no deadline would wedge forever.
+func Register(ctx context.Context, fsPort *kernel.Port, name string, reply *kernel.Port) (Identity, error) {
 	msg := wire.NewWriter(OpAddUser).String(name).Handle(reply.Handle()).Done()
 	if err := fsPort.Send(msg, &kernel.SendOpts{DecontSend: kernel.Grant(reply.Handle())}); err != nil {
 		return Identity{}, err
 	}
-	d, err := reply.Recv(context.Background())
+	d, err := reply.Recv(ctx)
 	if err != nil {
 		return Identity{}, err
 	}

@@ -30,7 +30,7 @@ func (r *rig) principal(t *testing.T, name string) (*kernel.Process, fs.Identity
 	t.Helper()
 	p := r.sys.NewProcess(name)
 	reply := p.Open(nil)
-	id, err := fs.Register(p.Port(r.srv.Port()), name, reply)
+	id, err := fs.Register(context.Background(), p.Port(r.srv.Port()), name, reply)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,8 +48,8 @@ const VnodeBytes = 64
 const ShardCount = 64
 
 const (
-	shardBits   = 6                       // log2(ShardCount)
-	counterBits = Bits - shardBits        // width of each shard's counter
+	shardBits   = 6                          // log2(ShardCount)
+	counterBits = Bits - shardBits           // width of each shard's counter
 	counterMax  = uint64(1)<<counterBits - 1 // largest legal per-shard counter
 )
 

@@ -175,8 +175,9 @@ type Options struct {
 	// Ladder is the failed-login lockout ladder in ascending Fails order.
 	// nil = DefaultLadder; an explicit empty slice disables lockout.
 	Ladder []BackoffRung
-	// Tick overrides the evloop timer cadence driving lockout expiry
-	// (0 = evloop.TickDefault). Tests shrink it.
+	// Tick overrides the evloop timer-wheel granularity, which bounds the
+	// precision of lockout-expiry timers (0 = evloop.TickDefault). Tests
+	// shrink it.
 	Tick time.Duration
 }
 
@@ -235,6 +236,12 @@ type backoffState struct {
 	fails    int
 	until    time.Time
 	deferred []deferredReply
+
+	// timer fires at until when replies are parked on the lockout
+	// (flushDeferred settles them); armed lazily on the first deferral, so
+	// idle shards — and lockouts nobody is waiting on — cost no timer at
+	// all.
+	timer *evloop.Timer
 }
 
 type deferredReply struct {
@@ -333,7 +340,6 @@ func NewOpts(sys *kernel.System, proxy *dbproxy.Proxy, o Options) *Idd {
 		lp.Handle(login, s.handleLogin)
 		lp.Handle(admin, s.handleAdmin)
 		lp.HandleForward(s.handleFwd)
-		lp.OnTick(s.tick)
 		i.shards = append(i.shards, s)
 	}
 	sys.SetEnv(EnvLoginPort, i.shards[0].loginPort.Handle())
@@ -472,11 +478,18 @@ func (s *iddShard) login(token uint64, user, pass string, reply handle.Handle) {
 			return
 		}
 		st.deferred = append(st.deferred, deferredReply{token: token, reply: reply})
-		s.lp.SetTick(true)
+		// Arm the lockout-expiry timer at the window's end; one per-key
+		// timer on the shard wheel replaces the old standing tick, so a
+		// shard with nothing locked arms nothing. Re-arming on each
+		// deferral is idempotent (until is fixed while locked).
+		if st.timer == nil {
+			st.timer = s.lp.Timer(func(time.Time) { s.flushDeferred(st) })
+		}
+		st.timer.Arm(st.until)
 		return
 	}
 	if locked && len(st.deferred) > 0 {
-		// The lockout expired but the tick has not fired yet: settle the
+		// The lockout expired but its timer has not fired yet: settle the
 		// queue first so verdicts stay ordered.
 		s.flushDeferred(st)
 	}
@@ -508,32 +521,16 @@ func (s *iddShard) recordFailure(user string, now time.Time) {
 	s.backoff.Put(user, st)
 }
 
-// tick drives lockout expiry: every locked name whose window has passed
-// gets its deferred failure replies flushed. The timer stays armed only
-// while something is still locked with waiters.
-func (s *iddShard) tick(now time.Time) {
-	armed := false
-	for _, user := range s.backoff.Keys() {
-		st, ok := s.backoff.Peek(user)
-		if !ok || len(st.deferred) == 0 {
-			continue
-		}
-		if now.Before(st.until) {
-			armed = true
-			continue
-		}
-		s.flushDeferred(st)
-	}
-	if !armed {
-		s.lp.SetTick(false)
-	}
-}
-
 // flushDeferred settles a lockout queue: every waiter gets its failure
 // reply, then the reply capabilities are shed — once per distinct handle,
 // AFTER all sends, since the demux parks many attempts on one reply port
-// and dropping ⋆ between sends would silently kill the rest.
+// and dropping ⋆ between sends would silently kill the rest. It doubles
+// as the lockout timer's expiry handler; flushing early (eviction,
+// ladder reset) leaves nothing for the fire to do.
 func (s *iddShard) flushDeferred(st *backoffState) {
+	if st.timer != nil {
+		st.timer.Stop()
+	}
 	if len(st.deferred) == 0 {
 		return
 	}

@@ -72,7 +72,7 @@ func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEnt
 		if err := checkBatchPrivs(ps, entries); err != nil {
 			return err
 		}
-		p.sys.drops.Add(uint64(len(entries)))
+		p.sys.countDrop(dropClassDead, uint64(len(entries)))
 		return nil
 	}
 
@@ -111,11 +111,18 @@ func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEnt
 		msgs[i] = m
 	}
 
+	if p.sys.fault != nil {
+		msgs = p.sys.injectBatch(st.owner, msgs)
+		if len(msgs) == 0 {
+			return nil
+		}
+	}
+
 	// Queue-limit parity with single sends: admit the prefix that fits,
 	// drop the tail.
 	k := st.owner.admit(len(msgs))
 	if k < len(msgs) {
-		p.sys.drops.Add(uint64(len(msgs) - k))
+		p.sys.countDrop(portClass(st.owner.name), uint64(len(msgs)-k))
 		for _, m := range msgs[k:] {
 			freeMsg(m)
 		}

@@ -189,7 +189,37 @@ func (p *Process) EPExit() error {
 	if p.cur == nil {
 		return ErrNotInRealm
 	}
-	ep := p.cur
+	p.reapLocked(p.cur)
+	p.cur = nil
+	return nil
+}
+
+// EPReap frees a suspended event process by id: the garbage-collection
+// counterpart of EPExit, invoked from outside any event-process context.
+// A process cannot message its own event processes into exiting — their
+// ports carry the self-at-0 capability label, and the base realm holds no
+// ⋆ for them (deliberately: nothing short of the capability holder may
+// force a session). But the event process is the process's OWN kernel
+// state; reclaiming it destroys tainted data rather than revealing it, so
+// no information-flow rule is implicated. Workers use it to bound cached
+// sessions whose eviction message was lost to the unreliable IPC contract
+// (§4). The active event process cannot be reaped — it is running, not
+// leaked. Returns whether an event process was freed.
+func (p *Process) EPReap(id uint32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ep := p.eps[id]
+	if ep == nil || ep == p.cur {
+		return false
+	}
+	p.reapLocked(ep)
+	return true
+}
+
+// reapLocked frees an event process's kernel state: the receive rights
+// for every port it created (messages to them are henceforth dropped),
+// then the entry itself. Caller holds p.mu.
+func (p *Process) reapLocked(ep *EventProcess) {
 	for port := range ep.ports {
 		vn := p.sys.lookup(port)
 		if vn == nil || !vn.isPort {
@@ -203,8 +233,6 @@ func (p *Process) EPExit() error {
 		})
 	}
 	delete(p.eps, ep.id)
-	p.cur = nil
-	return nil
 }
 
 // EPCount returns the number of live event processes (cached sessions plus

@@ -251,7 +251,7 @@ func (p *Process) sendVia(port handle.Handle, vn *vnode, data []byte, opts *Send
 	st, ok := vn.state()
 	if !ok || st == nil || st.owner == nil {
 		// Undeliverable, but send still "succeeds" (§4).
-		p.sys.drops.Add(1)
+		p.sys.countDrop(dropClassDead, 1)
 		return nil
 	}
 	msg := getMsg()
@@ -262,10 +262,15 @@ func (p *Process) sendVia(port handle.Handle, vn *vnode, data []byte, opts *Send
 	msg.dr = dr
 	msg.v = v
 	msg.next = nil
+	if p.sys.fault != nil && p.sys.injectOne(st.owner, msg) {
+		// The injector consumed the message (dropped or delayed it); the
+		// send still "succeeds", exactly like a queue-overflow drop.
+		return nil
+	}
 	if st.owner.admit(1) == 0 {
 		// Dead receiver or resource exhaustion (§4).
 		freeMsg(msg)
-		p.sys.drops.Add(1)
+		p.sys.countDrop(portClass(st.owner.name), 1)
 		return nil
 	}
 	st.owner.publish(msg, msg)
@@ -390,7 +395,7 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 		if !ok || owner != p {
 			// Port dissociated or re-owned elsewhere: drop.
 			p.removePending(i)
-			p.sys.drops.Add(1)
+			p.sys.countDrop(dropClassDead, 1)
 			freeMsg(m)
 			continue
 		}
@@ -402,7 +407,7 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 		}
 		p.removePending(i)
 		if !deliverable(m, *recvL, pr) {
-			p.sys.drops.Add(1)
+			p.sys.countDrop(portClass(p.name), 1)
 			freeMsg(m)
 			continue
 		}

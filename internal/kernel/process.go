@@ -474,7 +474,9 @@ func (p *Process) Exit() {
 	// after this drain; that message is stranded unread — for the sender,
 	// indistinguishable from any other silent drop (§4).
 	p.drainInbox()
-	p.sys.drops.Add(uint64(len(p.pending)))
+	if n := len(p.pending); n > 0 {
+		p.sys.countDrop(portClass(p.name), uint64(n))
+	}
 	p.queued.Add(int64(-len(p.pending)))
 	for _, m := range p.pending {
 		freeMsg(m)

@@ -88,8 +88,10 @@
 package kernel
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asbestos/internal/handle"
 	"asbestos/internal/label"
@@ -140,6 +142,12 @@ type System struct {
 
 	queueLimit int
 	drops      stats.Counter // messages dropped by label checks or overflow
+	dropsBy    sync.Map      // port class (string) → *stats.Counter
+
+	// fault is the optional send-path fault injector; nil (the default)
+	// costs one pointer check per send.
+	fault   FaultInjector
+	delayed atomic.Int64 // injector-delayed messages not yet re-admitted
 }
 
 // vnodeShard is one slice of the handle table: a map plus the lock guarding
@@ -213,6 +221,33 @@ func WithQueueLimit(n int) Option {
 	return func(s *System) { s.queueLimit = n }
 }
 
+// FaultDecision is one message's injected fate on the send path.
+type FaultDecision struct {
+	// Drop discards the message (counted as a drop for its class).
+	Drop bool
+	// Dup enqueues a second, independently-owned copy.
+	Dup bool
+	// Delay > 0 re-admits the message after the given pause instead of
+	// enqueueing it inline.
+	Delay time.Duration
+}
+
+// FaultInjector decides the fate of each message as it passes the kernel
+// send path, keyed by the destination port class (the owner process's
+// name, normalized by portClass). Implementations must be safe for
+// concurrent use; internal/faultinject provides a seeded deterministic
+// one. Injection applies after the sender-side label checks, so injected
+// faults are indistinguishable from the silent drops §4 already allows.
+type FaultInjector interface {
+	Decide(class string) FaultDecision
+}
+
+// WithFaultInjector attaches a send-path fault injector. Off by default;
+// when unset the send path pays only a nil check.
+func WithFaultInjector(f FaultInjector) Option {
+	return func(s *System) { s.fault = f }
+}
+
 // NewSystem boots an empty kernel.
 func NewSystem(opts ...Option) *System {
 	s := &System{
@@ -277,6 +312,52 @@ func (s *System) Env(name string) (handle.Handle, bool) {
 // drops is exactly the storage channel §8 discusses.
 func (s *System) Drops() uint64 {
 	return s.drops.Load()
+}
+
+// DropStats breaks Drops down by destination port class — the receiving
+// process's name with shard ("netd/3") and per-service worker
+// ("worker-echo") suffixes folded, or "dead" for messages to dissociated
+// or unknown ports. Same diagnostics-only caveat as Drops.
+func (s *System) DropStats() map[string]uint64 {
+	out := make(map[string]uint64)
+	s.dropsBy.Range(func(k, v any) bool {
+		if n := v.(*stats.Counter).Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
+}
+
+// DelayedInFlight reports injector-delayed messages that have not yet
+// been re-admitted; chaos harnesses quiesce on zero before asserting pool
+// balance.
+func (s *System) DelayedInFlight() int64 { return s.delayed.Load() }
+
+// countDrop records n dropped messages bound for the given port class.
+func (s *System) countDrop(class string, n uint64) {
+	s.drops.Add(n)
+	c, ok := s.dropsBy.Load(class)
+	if !ok {
+		c, _ = s.dropsBy.LoadOrStore(class, new(stats.Counter))
+	}
+	c.(*stats.Counter).Add(n)
+}
+
+// dropClassDead is the drop class for undeliverable destinations.
+const dropClassDead = "dead"
+
+// portClass folds a process name to its drop-stats class: the shard
+// suffix ("idd/3" → "idd") and the per-service worker suffix
+// ("worker-echo" → "worker") collapse so classes stay low-cardinality.
+func portClass(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if strings.HasPrefix(name, "worker-") {
+		return "worker"
+	}
+	return name
 }
 
 // Profiler returns the attached profiler (possibly nil).

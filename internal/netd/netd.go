@@ -1,6 +1,8 @@
 package netd
 
 import (
+	"time"
+
 	"asbestos/internal/evloop"
 	"asbestos/internal/handle"
 	"asbestos/internal/kernel"
@@ -29,6 +31,10 @@ type Netd struct {
 	sys *kernel.System
 	nw  *Network
 	g   *evloop.Group
+
+	// idle is the per-connection inactivity bound (Options.IdleTimeout);
+	// 0 means connections live until closed.
+	idle time.Duration
 
 	shards []*netdShard
 }
@@ -71,6 +77,11 @@ type sconn struct {
 	pending []pendingRead
 	closed  bool // Asbestos side closed it
 
+	// idle is the connection's inactivity timer (nil without an
+	// IdleTimeout); every port operation and wire event re-arms it, and
+	// expiry closes the connection like a CtlClose nobody asked for.
+	idle *evloop.Timer
+
 	// replyOpts is the contamination applied to every reply once the
 	// connection is tainted, built once at AddTaint time. Sharing the one
 	// *SendOpts across a connection's replies lets SendBatch prepare the
@@ -83,30 +94,49 @@ type pendingRead struct {
 	max   int
 }
 
+// Options configures a netd beyond the defaults.
+type Options struct {
+	// Shards is the number of replicated event loops (<=0 means one).
+	Shards int
+	// Burst is the evloop dispatch-burst policy (zero value = adaptive).
+	Burst evloop.Burst
+	// IdleTimeout evicts and closes connections with no port operation or
+	// wire activity for the given duration — the coarse backstop under the
+	// demux's per-request deadlines, catching connections whose owner has
+	// forgotten them entirely. 0 disables.
+	IdleTimeout time.Duration
+}
+
 // New boots a single-loop netd on sys; NewSharded replicates the loop with
-// the default adaptive burst policy, NewShardedBurst with an explicit one.
+// the default adaptive burst policy, NewShardedBurst with an explicit one,
+// and NewOpts exposes every knob.
 func New(sys *kernel.System) *Netd {
 	return NewSharded(sys, 1)
 }
 
 // NewSharded boots netd with n replicated event loops.
 func NewSharded(sys *kernel.System, n int) *Netd {
-	return NewShardedBurst(sys, n, evloop.Burst{})
+	return NewOpts(sys, Options{Shards: n})
 }
 
 // NewShardedBurst boots netd with n replicated event loops under the given
-// dispatch-burst policy. It creates one evloop shard and driver port per
-// loop plus the hidden driver process, and publishes shard 0's service
-// port under EnvName.
+// dispatch-burst policy.
 func NewShardedBurst(sys *kernel.System, n int, burst evloop.Burst) *Netd {
+	return NewOpts(sys, Options{Shards: n, Burst: burst})
+}
+
+// NewOpts boots netd from Options. It creates one evloop shard and driver
+// port per loop plus the hidden driver process, and publishes shard 0's
+// service port under EnvName.
+func NewOpts(sys *kernel.System, o Options) *Netd {
 	g := evloop.New(sys, evloop.Config{
 		Name:     "netd",
-		Shards:   n,
+		Shards:   o.Shards,
 		Category: stats.CatNetwork,
-		Burst:    burst,
+		Burst:    o.Burst,
 	})
-	n = g.Shards()
-	nd := &Netd{sys: sys, g: g}
+	n := g.Shards()
+	nd := &Netd{sys: sys, g: g, idle: o.IdleTimeout}
 
 	// The driver process models the interrupt path: it injects connection
 	// events, dealing each to the shard owning the connection. Driver ports
@@ -282,13 +312,54 @@ func (s *netdShard) addListener(lport uint16, notify handle.Handle) {
 
 // newSconn wraps a connection in a fresh Asbestos port whose label starts
 // as {uC 0, 2}: nobody but this netd shard can send to it until access is
-// granted (Figure 5 step 1).
+// granted (Figure 5 step 1). With an IdleTimeout the inactivity timer
+// starts here — a connection nobody ever touches still gets reclaimed.
 func (s *netdShard) newSconn(c *Conn, lport uint16) *sconn {
 	port := s.proc.Open(label.Empty(label.L2))
 	sc := &sconn{c: c, port: port, lport: lport}
 	s.conns[c.id] = sc
 	s.byPort[port.Handle()] = sc
+	if s.nd.idle > 0 {
+		sc.idle = s.lp.Timer(func(time.Time) { s.idleExpire(sc) })
+		sc.idle.Arm(time.Now().Add(s.nd.idle))
+	}
 	return sc
+}
+
+// touchIdle pushes sc's inactivity deadline out; called on every port
+// operation and wire event.
+func (sc *sconn) touchIdle(idle time.Duration) {
+	if sc.idle != nil && !sc.closed {
+		sc.idle.Arm(time.Now().Add(idle))
+	}
+}
+
+// idleExpire reclaims a connection with no activity for the idle bound:
+// exactly the CtlClose teardown, initiated by netd instead of the owner.
+// The remote peer sees EOF; a demux or worker still holding uC sees its
+// next read answer EOF and tears its own state down.
+func (s *netdShard) idleExpire(sc *sconn) {
+	if sc.closed || s.byPort[sc.port.Handle()] != sc {
+		return
+	}
+	sc.closed = true
+	sc.c.closeFromNetd()
+	s.fulfillReads(sc) // pending reads get EOF
+	s.teardown(sc)
+}
+
+// teardown releases a closed connection: its port and capability go away,
+// the label churn the paper charges per connection ("... and then to
+// release that capability when the connection is ... closed", §9.3). The
+// per-user taint ⋆ is retained for future connections.
+func (s *netdShard) teardown(sc *sconn) {
+	if sc.idle != nil {
+		sc.idle.Stop()
+	}
+	sc.port.Dissociate()
+	s.proc.DropPrivilege(sc.port.Handle(), label.L1)
+	delete(s.conns, sc.c.id)
+	delete(s.byPort, sc.port.Handle())
 }
 
 func (s *netdShard) handleDriver(d *kernel.Delivery) {
@@ -321,6 +392,7 @@ func (s *netdShard) handleDriver(d *kernel.Delivery) {
 			return
 		}
 		if sc := s.conns[id]; sc != nil {
+			sc.touchIdle(s.nd.idle)
 			s.fulfillReads(sc)
 		}
 	}
@@ -360,6 +432,7 @@ func (s *netdShard) handleShard(d *kernel.Delivery) {
 }
 
 func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
+	sc.touchIdle(s.nd.idle)
 	op, r := wire.NewReader(d.Data)
 	switch op {
 	case opRead:
@@ -396,15 +469,7 @@ func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
 		s.fulfillReads(sc) // pending reads now get EOF
 		s.reply(sc, reply, wire.NewWriter(OpControlReply).Byte(okb).Done())
 		if okb == 1 {
-			// Release the connection: its port and capability go away, the
-			// label churn the paper charges per connection ("... and then
-			// to release that capability when the connection is ... closed",
-			// §9.3). The per-user taint ⋆ is retained for future
-			// connections.
-			sc.port.Dissociate()
-			s.proc.DropPrivilege(sc.port.Handle(), label.L1)
-			delete(s.conns, sc.c.id)
-			delete(s.byPort, sc.port.Handle())
+			s.teardown(sc)
 		}
 	case opSelect:
 		reply := r.Handle()

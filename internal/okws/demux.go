@@ -49,6 +49,13 @@ type Demux struct {
 	g      *evloop.Group
 	shards []*demuxShard
 
+	// reqDeadline bounds a request's whole demux-side life (read, login,
+	// taint, handoff); 0 disables. sessionTTL bounds how long an idle
+	// session entry pins its worker event process; 0 disables. Both ride
+	// the shard wheels — an idle shard arms no standing tick for either.
+	reqDeadline time.Duration
+	sessionTTL  time.Duration
+
 	// regPort (owned by shard 0's process) serializes worker registration.
 	regPort *kernel.Port
 }
@@ -68,7 +75,7 @@ type demuxShard struct {
 	sessionPort *kernel.Port // session-port registration from worker EPs
 	loginReply  *kernel.Port // replies from idd
 
-	netdSvc  *kernel.Port // netd's service port, route cached
+	netdSvc   *kernel.Port   // netd's service port, route cached
 	iddLogins []*kernel.Port // idd's login ports, indexed by idd shard
 
 	// verif holds the launcher-issued verification handles per worker name
@@ -101,6 +108,12 @@ type demuxShard struct {
 	sessions *lru.Cache[sessionKey, handle.Handle]
 	dealt    *lru.Cache[sessionKey, handle.Handle]
 	rr       map[string]uint64
+
+	// sessTimers holds each live session's TTL timer (only when the demux
+	// has a sessionTTL). A handoff touching the session re-arms its timer;
+	// expiry evicts the entry and reclaims the worker's event process, so
+	// an abandoned session costs a bounded amount of worker memory.
+	sessTimers map[sessionKey]*evloop.Timer
 
 	// parked holds connections that arrived for a dealt-but-unregistered
 	// session: handing each a fresh opStart would split the session over
@@ -174,6 +187,12 @@ type pendingLogin struct {
 	waiters   []*dconn
 	arrivals  int
 	lastIssue time.Time
+
+	// timer fires at lastIssue+loginDeadline and re-issues the login under
+	// a fresh token (loginExpired); the settling reply stops it. Per-key
+	// timers on the shard wheel replaced the old standing tick: a shard
+	// with no pending login arms nothing.
+	timer *evloop.Timer
 }
 
 // loginDeadline is the wall-clock bound on a pending login: a pending set
@@ -231,14 +250,24 @@ type dconn struct {
 	taint bool   // AddTaint acknowledged
 	req   *httpmsg.Request
 	id    idd.Identity
+
+	// deadline is the request's demux-side deadline timer (nil when the
+	// demux has no reqDeadline); expiry 504s and tears the connection down
+	// wherever it is parked. failing suppresses a second error write when
+	// expiry races an in-flight fail().
+	deadline *evloop.Timer
+	failing  bool
 }
 
 // newDemux wires a sharded demux against existing netd and idd service
 // ports; the launcher then registers workers' verification handles directly.
 // sessionCap and idCacheCap bound the per-demux tables (0 = defaults);
-// burst is the evloop dispatch-burst policy (zero value = adaptive).
+// reqDeadline and sessionTTL are the per-request and per-session lifecycle
+// bounds (0 = none); burst is the evloop dispatch-burst policy (zero value
+// = adaptive).
 func newDemux(sys *kernel.System, netdSvc handle.Handle, iddLogins []handle.Handle,
-	shards, sessionCap, idCacheCap int, burst evloop.Burst) *Demux {
+	shards, sessionCap, idCacheCap int, reqDeadline, sessionTTL time.Duration,
+	burst evloop.Burst) *Demux {
 	if sessionCap <= 0 {
 		sessionCap = DefaultSessionCap
 	}
@@ -265,7 +294,7 @@ func newDemux(sys *kernel.System, netdSvc handle.Handle, iddLogins []handle.Hand
 		return n
 	}
 
-	d := &Demux{sys: sys, g: g}
+	d := &Demux{sys: sys, g: g, reqDeadline: reqDeadline, sessionTTL: sessionTTL}
 	open := label.Empty(label.L3)
 	for i := 0; i < shards; i++ {
 		lp := g.Shard(i)
@@ -289,6 +318,7 @@ func newDemux(sys *kernel.System, netdSvc handle.Handle, iddLogins []handle.Hand
 			ephemeral:     make(map[string]bool),
 			parked:        make(map[sessionKey]*parkedSet),
 			rr:            make(map[string]uint64),
+			sessTimers:    make(map[sessionKey]*evloop.Timer),
 			conns:         newConnTable(),
 			idCache:       lru.New[credKey, idd.Identity](perShard(idCacheCap)),
 			pendingLogins: make(map[credKey]*pendingLogin),
@@ -298,8 +328,10 @@ func newDemux(sys *kernel.System, netdSvc handle.Handle, iddLogins []handle.Hand
 		// A session entry is a routing cache, so evicting one is safe for
 		// the DEMUX — but the worker still holds the session's event
 		// process, which nothing would ever reclaim. Tell the worker to
-		// ep_exit the orphan (ROADMAP: eviction → ep_exit).
-		s.sessions = lru.NewEvict(perShard(sessionCap), func(_ sessionKey, port handle.Handle) {
+		// ep_exit the orphan (ROADMAP: eviction → ep_exit) and retire the
+		// TTL timer with the entry.
+		s.sessions = lru.NewEvict(perShard(sessionCap), func(key sessionKey, port handle.Handle) {
+			s.stopSessTTL(key)
 			s.evictSession(port)
 		})
 		// Every dealt entry is an IN-FLIGHT pin (registration deletes it),
@@ -325,7 +357,6 @@ func newDemux(sys *kernel.System, netdSvc handle.Handle, iddLogins []handle.Hand
 		lp.Handle(s.loginReply, s.handleLoginReply)
 		lp.HandleForward(s.handleFwd)
 		lp.HandleDefault(s.handleConnPort)
-		lp.OnTick(s.tickLogins)
 		d.shards = append(d.shards, s)
 	}
 	sys.SetEnv(EnvDemuxReg, d.regPort.Handle())
@@ -484,17 +515,23 @@ func (s *demuxShard) handleSession(d *kernel.Delivery) {
 		s.evictSession(old)
 	}
 	s.sessions.Put(key, port)
+	s.touchSessTTL(key)
 	s.dealt.Delete(key) // the provisional pin graduated to a real session
 	// Connections that raced the registration ride the pinned path now —
 	// handing them fresh starts would have split the session across event
-	// processes.
+	// processes. Waiters whose request deadline already tore them down are
+	// skipped: their uC ⋆ is gone, and batching a grant for it would
+	// poison the whole flush (a batch is rejected atomically).
 	ps := s.parked[key]
 	delete(s.parked, key)
 	if ps == nil {
 		return
 	}
 	for _, cs := range ps.waiters {
-		s.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), Buf: cs.raw}),
+		if !s.live(cs) {
+			continue
+		}
+		s.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), DeadlineMS: cs.remainingMS(), Buf: cs.raw}),
 			&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
 		s.release(cs)
 	}
@@ -529,6 +566,10 @@ func (s *demuxShard) handleFwd(d *kernel.Delivery) {
 		reply := s.proc.Open(nil).Handle()
 		cs := &dconn{uC: s.proc.Port(conn), reply: reply, buf: buf}
 		s.conns.put(reply, cs)
+		// The forwarder released its dconn (and deadline) on forward; the
+		// owner restarts the clock, so a forwarded request gets at most
+		// 2×reqDeadline — bounded either way.
+		s.armDeadline(cs)
 		req, n, complete, err := httpmsg.ParseRequest(buf)
 		if err != nil || !complete {
 			// The forwarder only forwards parsed requests; anything else is
@@ -551,6 +592,7 @@ func (s *demuxShard) handleNotify(d *kernel.Delivery) {
 	reply := s.proc.Open(nil).Handle()
 	cs := &dconn{uC: s.proc.Port(n.ConnPort), reply: reply}
 	s.conns.put(reply, cs)
+	s.armDeadline(cs)
 	netd.Read(cs.uC, reply, 4096)
 }
 
@@ -659,7 +701,7 @@ func (s *demuxShard) authenticate(cs *dconn) {
 			// pair cannot stay wedged forever. A late duplicate reply is
 			// harmless: the first match settles the set, the rest find no
 			// pending token.
-			s.reissueLogin(pl, user, pass)
+			s.reissueLogin(time.Now(), pl, user, pass)
 		}
 		if len(pl.waiters) >= maxParkedPerSession {
 			s.fail(cs, 503)
@@ -677,17 +719,21 @@ func (s *demuxShard) authenticate(cs *dconn) {
 		waiters: []*dconn{cs}, arrivals: 1, lastIssue: time.Now()}
 	s.pendingLogins[key] = pl
 	s.pendingByTok[s.loginTok] = pl
-	// Arm the shard timer: the wall-clock deadline must fire even if no
-	// further connection ever arrives for this credential pair.
-	s.lp.SetTick(true)
+	// Arm the per-key deadline: it must fire even if no further connection
+	// ever arrives for this credential pair.
+	pl.timer = s.lp.Timer(func(now time.Time) { s.loginExpired(now, pl) })
+	pl.timer.Arm(pl.lastIssue.Add(loginDeadline))
 }
 
 // reissueLogin asks idd again for an in-flight login under a fresh token.
 // Called on both retry paths — every redealAfter-th coalesced arrival and
-// the loginDeadline timer tick.
-func (s *demuxShard) reissueLogin(pl *pendingLogin, user, pass string) {
+// the per-key loginDeadline timer.
+func (s *demuxShard) reissueLogin(now time.Time, pl *pendingLogin, user, pass string) {
 	s.loginTok++
-	pl.lastIssue = time.Now()
+	pl.lastIssue = now
+	// Push the wall-clock deadline out behind the newest request; if this
+	// re-issue (or its reply) is dropped too, the timer retries again.
+	pl.timer.Arm(pl.lastIssue.Add(loginDeadline))
 	if idd.Login(s.iddPort(user), s.loginTok, user, pass, s.loginReply.Handle()) != nil {
 		return
 	}
@@ -703,26 +749,43 @@ func (s *demuxShard) reissueLogin(pl *pendingLogin, user, pass string) {
 	}
 }
 
-// tickLogins is the shard's timer handler: every pending login whose
-// newest request has aged past loginDeadline is re-issued under a fresh
-// token, so a request or reply silently dropped for a QUIET credential
-// pair is recovered on the wall clock rather than on the user's patience
-// (ROADMAP: login-drop deadline). The waiters hold the parsed request —
-// credentials included — so no plaintext is retained beyond what the
-// in-flight connections already pin.
-func (s *demuxShard) tickLogins(now time.Time) {
-	if len(s.pendingLogins) == 0 {
-		s.lp.SetTick(false)
-		return
+// loginExpired is a pending login's deadline handler: the newest idd
+// request for this credential pair aged past loginDeadline with no
+// verdict, so it is re-asked under a fresh token — a request or reply
+// silently dropped for a QUIET credential pair is recovered on the wall
+// clock rather than on the user's patience (ROADMAP: login-drop deadline).
+// The waiters hold the parsed request — credentials included — so no
+// plaintext is retained beyond what the in-flight connections already pin.
+// If every waiter has since died to its own request deadline there is
+// nobody left to answer; the pending entry is retired instead of retried
+// forever.
+func (s *demuxShard) loginExpired(now time.Time, pl *pendingLogin) {
+	if s.pendingLogins[pl.key] != pl {
+		return // settled while the expiry was in flight
 	}
-	for _, pl := range s.pendingLogins {
-		if now.Sub(pl.lastIssue) < loginDeadline || len(pl.waiters) == 0 {
+	for _, cs := range pl.waiters {
+		if !s.live(cs) {
 			continue
 		}
-		if user, pass, ok := pl.waiters[0].req.User(); ok {
-			s.reissueLogin(pl, user, pass)
+		if user, pass, ok := cs.req.User(); ok {
+			// Re-arm relative to the wheel's notion of now (the fire time),
+			// not the wall clock: the two agree in a running loop, and tests
+			// that advance the wheel synthetically must not see the re-armed
+			// deadline land behind the cursor and re-fire in the same sweep.
+			s.reissueLogin(now, pl, user, pass)
+			return
 		}
 	}
+	s.retireLogin(pl)
+}
+
+// retireLogin forgets a pending login: token index, key entry, timer.
+func (s *demuxShard) retireLogin(pl *pendingLogin) {
+	for _, t := range pl.toks {
+		delete(s.pendingByTok, t)
+	}
+	delete(s.pendingLogins, pl.key)
+	pl.timer.Stop()
 }
 
 // handleLoginReply resolves the in-flight login the reply's echoed token
@@ -737,17 +800,14 @@ func (s *demuxShard) handleLoginReply(d *kernel.Delivery) {
 	if pl == nil {
 		return
 	}
-	for _, t := range pl.toks {
-		delete(s.pendingByTok, t)
-	}
-	delete(s.pendingLogins, pl.key)
-	if len(s.pendingLogins) == 0 {
-		s.lp.SetTick(false) // no deadline left to watch
-	}
+	s.retireLogin(pl)
 	if ok {
 		s.idCache.Put(pl.key, id)
 	}
 	for _, cs := range pl.waiters {
+		if !s.live(cs) {
+			continue // torn down by its request deadline while waiting
+		}
 		if !ok {
 			s.fail(cs, 401)
 			continue
@@ -797,8 +857,10 @@ func (s *demuxShard) handoff(cs *dconn) {
 		base = nextReplica()
 	default:
 		if port, ok := s.sessions.Get(key); ok {
-			// Existing session: forward straight to the event process W[u].
-			s.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), Buf: raw}),
+			// Existing session: forward straight to the event process W[u],
+			// and push its idle TTL out — the session just proved useful.
+			s.touchSessTTL(key)
+			s.out.Add(port, encodeCont(cont{Conn: cs.uC.Handle(), DeadlineMS: cs.remainingMS(), Buf: raw}),
 				&kernel.SendOpts{DecontSend: kernel.Grant(cs.uC.Handle())})
 			s.release(cs)
 			return
@@ -855,12 +917,13 @@ func (s *demuxShard) handoff(cs *dconn) {
 		opts.Contaminate = kernel.Taint(label.L3, cs.id.UT)
 	}
 	msg := encodeStart(start{
-		User: user,
-		UID:  cs.id.UID,
-		Conn: cs.uC.Handle(),
-		UT:   cs.id.UT,
-		UG:   cs.id.UG,
-		Buf:  raw,
+		User:       user,
+		UID:        cs.id.UID,
+		Conn:       cs.uC.Handle(),
+		UT:         cs.id.UT,
+		UG:         cs.id.UG,
+		DeadlineMS: cs.remainingMS(),
+		Buf:        raw,
 	})
 	s.out.Add(base, msg, opts)
 }
@@ -887,8 +950,90 @@ func (s *demuxShard) dropParked(key sessionKey) {
 		return
 	}
 	for _, cs := range ps.waiters {
+		if !s.live(cs) {
+			continue
+		}
 		s.release(cs)
 		s.failDirect(cs, 503)
+	}
+}
+
+// live reports whether cs is still the tracked state for its reply port.
+// Parked references — pendingLogin waiters, parked sets — outlive a
+// torn-down connection, so every drain checks before touching one.
+func (s *demuxShard) live(cs *dconn) bool { return s.conns.get(cs.reply) == cs }
+
+// armDeadline starts cs's request-deadline clock (no-op when the demux has
+// none configured).
+func (s *demuxShard) armDeadline(cs *dconn) {
+	if s.dm.reqDeadline <= 0 {
+		return
+	}
+	cs.deadline = s.lp.Timer(func(time.Time) { s.deadlineExpired(cs) })
+	cs.deadline.Arm(time.Now().Add(s.dm.reqDeadline))
+}
+
+// remainingMS reports cs's remaining deadline in whole milliseconds
+// (minimum 1 while armed; 0 = no deadline) — the form the handoff wire
+// format carries so the worker's handler context inherits the same clock.
+func (cs *dconn) remainingMS() uint32 {
+	if cs.deadline == nil || !cs.deadline.Armed() {
+		return 0
+	}
+	ms := time.Until(cs.deadline.When()) / time.Millisecond
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 1<<30 {
+		ms = 1 << 30
+	}
+	return uint32(ms)
+}
+
+// deadlineExpired tears down a request that outlived the demux deadline:
+// 504 and close straight to netd, then forget the connection. References
+// parked elsewhere find the corpse via live() and skip it.
+func (s *demuxShard) deadlineExpired(cs *dconn) {
+	if !s.live(cs) || cs.failing {
+		return
+	}
+	cs.failing = true
+	netd.Write(cs.uC, cs.reply, httpmsg.FormatResponse(504, nil, nil))
+	netd.Control(cs.uC, cs.reply, netd.CtlClose)
+	s.drop(cs)
+}
+
+// touchSessTTL (re-)arms key's session TTL timer; a handoff or fresh
+// registration resets the idle clock.
+func (s *demuxShard) touchSessTTL(key sessionKey) {
+	if s.dm.sessionTTL <= 0 {
+		return
+	}
+	t := s.sessTimers[key]
+	if t == nil {
+		t = s.lp.Timer(func(time.Time) { s.sessionExpired(key) })
+		s.sessTimers[key] = t
+	}
+	t.Arm(time.Now().Add(s.dm.sessionTTL))
+}
+
+// stopSessTTL retires key's TTL timer (entry evicted or superseded).
+func (s *demuxShard) stopSessTTL(key sessionKey) {
+	if t := s.sessTimers[key]; t != nil {
+		t.Stop()
+		delete(s.sessTimers, key)
+	}
+}
+
+// sessionExpired retires an idle session proactively: drop the routing
+// entry and reclaim the worker's event process, exactly like a capacity
+// eviction but on the idle clock instead of under table pressure.
+// lru.Delete fires no evict hook, so the reclaim is explicit here.
+func (s *demuxShard) sessionExpired(key sessionKey) {
+	delete(s.sessTimers, key)
+	if port, ok := s.sessions.Peek(key); ok {
+		s.sessions.Delete(key)
+		s.evictSession(port)
 	}
 }
 
@@ -897,6 +1042,9 @@ func (s *demuxShard) dropParked(key sessionKey) {
 // flush: the buffered handoff's Grant(uC) is only legal while the shard
 // still holds uC ⋆.
 func (s *demuxShard) release(cs *dconn) {
+	if cs.deadline != nil {
+		cs.deadline.Stop()
+	}
 	s.proc.Dissociate(cs.reply)
 	s.out.DropAfter(cs.uC.Handle())
 	s.out.DropAfter(cs.reply)
@@ -906,6 +1054,7 @@ func (s *demuxShard) release(cs *dconn) {
 // fail writes an HTTP error and closes the connection (pre-handoff); the
 // dconn is released when the control reply arrives (handleConnReply).
 func (s *demuxShard) fail(cs *dconn, status int) {
+	cs.failing = true // a racing deadline expiry must not write a second error
 	body := httpmsg.FormatResponse(status, nil, nil)
 	netd.Write(cs.uC, cs.reply, body)
 	netd.Control(cs.uC, cs.reply, netd.CtlClose)
@@ -922,6 +1071,9 @@ func (s *demuxShard) failDirect(cs *dconn, status int) {
 }
 
 func (s *demuxShard) drop(cs *dconn) {
+	if cs.deadline != nil {
+		cs.deadline.Stop()
+	}
 	s.proc.Dissociate(cs.reply)
 	s.proc.DropPrivilege(cs.reply, label.L1)
 	s.proc.DropPrivilege(cs.uC.Handle(), label.L1)

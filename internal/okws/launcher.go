@@ -86,6 +86,25 @@ type Config struct {
 	// AIMD-adjusts between 8 and 512 from observed drain latency vs. queue
 	// depth (internal/evloop). The Figure 8 sweep compares the two.
 	FixedBurst int
+	// RequestDeadline bounds each request's demux-side life — header read,
+	// login round trips, taint, handoff — and rides into the worker as the
+	// handler context's deadline, so one clock covers the whole chain. A
+	// request that outlives it is answered 504 and torn down. 0 disables
+	// (no deadline, the pre-timeout behavior).
+	RequestDeadline time.Duration
+	// SessionTTL bounds how long an IDLE session entry pins its worker
+	// event process; each handoff resets the clock. Expiry evicts the entry
+	// and ep_exits the orphaned event process, like a capacity eviction but
+	// proactive. 0 disables.
+	SessionTTL time.Duration
+	// IdleTimeout makes netd evict and close connections with no socket
+	// activity for the given duration — the backstop under every
+	// finer-grained deadline above it. 0 disables.
+	IdleTimeout time.Duration
+	// FaultInjector, when set, is installed on the kernel send path
+	// (kernel.WithFaultInjector); see internal/faultinject. Nil — always,
+	// outside chaos tests — costs one pointer check per send.
+	FaultInjector kernel.FaultInjector
 }
 
 // burst resolves the FixedBurst knob into the evloop policy.
@@ -141,9 +160,16 @@ func Launch(cfg Config) (*Server, error) {
 	if cfg.Profiler != nil {
 		opts = append(opts, kernel.WithProfiler(cfg.Profiler))
 	}
+	if cfg.FaultInjector != nil {
+		opts = append(opts, kernel.WithFaultInjector(cfg.FaultInjector))
+	}
 	shards := cfg.shardCount()
 	sys := kernel.NewSystem(opts...)
-	nd := netd.NewShardedBurst(sys, shards, cfg.burst())
+	nd := netd.NewOpts(sys, netd.Options{
+		Shards:      shards,
+		Burst:       cfg.burst(),
+		IdleTimeout: cfg.IdleTimeout,
+	})
 	database := db.Open()
 	proxy := dbproxy.NewShardedBurst(sys, database, shards, cfg.burst())
 	iddOpts := cfg.IddOptions
@@ -151,7 +177,8 @@ func Launch(cfg Config) (*Server, error) {
 	iddOpts.Burst = cfg.burst()
 	iddSrv := idd.NewOpts(sys, proxy, iddOpts)
 	demux := newDemux(sys, nd.ServicePort(), iddSrv.LoginPorts(),
-		shards, cfg.SessionTableCap, cfg.IDCacheCap, cfg.burst())
+		shards, cfg.SessionTableCap, cfg.IDCacheCap,
+		cfg.RequestDeadline, cfg.SessionTTL, cfg.burst())
 
 	s := &Server{
 		Sys:      sys,
@@ -174,6 +201,12 @@ func Launch(cfg Config) (*Server, error) {
 			w.declassifier = svc.Declassifier
 			w.keepSessions = !svc.EphemeralSessions
 			w.debugNoClean = svc.NoClean
+			// Worker-side idle backstop at twice the demux TTL: the demux's
+			// proactive opEvict normally wins; the backstop only catches the
+			// evict the unreliable kernel silently dropped.
+			if cfg.SessionTTL > 0 {
+				w.epTTL = 2 * cfg.SessionTTL
+			}
 			for _, h := range demuxSess {
 				w.sessPorts = append(w.sessPorts, w.proc.Port(h))
 			}

@@ -75,8 +75,8 @@ const (
 
 // Worker-facing ops.
 const (
-	opStart = 42 // user, uid, uC, uT, uG, buffered request bytes
-	opCont  = 43 // uC, buffered request bytes
+	opStart = 42 // user, uid, uC, uT, uG, deadline ms, buffered request bytes
+	opCont  = 43 // uC, deadline ms, buffered request bytes
 	opEvict = 46 // no payload: the demux evicted this session; ep_exit it
 )
 
@@ -98,19 +98,24 @@ const (
 	EnvDemuxSession = "ok-demux-session"
 )
 
-// start is a parsed opStart.
+// start is a parsed opStart. DeadlineMS is the request's remaining demux
+// deadline in milliseconds (0 = none): the worker derives its handler
+// context's deadline from it, so the whole request chain — parse, handler,
+// dbproxy round trips — expires together rather than each layer inventing
+// its own clock.
 type start struct {
-	User string
-	UID  string
-	Conn handle.Handle
-	UT   handle.Handle
-	UG   handle.Handle
-	Buf  []byte
+	User       string
+	UID        string
+	Conn       handle.Handle
+	UT         handle.Handle
+	UG         handle.Handle
+	DeadlineMS uint32
+	Buf        []byte
 }
 
 func encodeStart(s start) []byte {
 	return wire.NewWriter(opStart).String(s.User).String(s.UID).
-		Handle(s.Conn).Handle(s.UT).Handle(s.UG).Bytes(s.Buf).Done()
+		Handle(s.Conn).Handle(s.UT).Handle(s.UG).U32(s.DeadlineMS).Bytes(s.Buf).Done()
 }
 
 func parseStart(d *kernel.Delivery) (start, bool) {
@@ -121,7 +126,8 @@ func parseStart(d *kernel.Delivery) (start, bool) {
 	s := start{
 		User: r.String(), UID: r.String(),
 		Conn: r.Handle(), UT: r.Handle(), UG: r.Handle(),
-		Buf: r.Bytes(),
+		DeadlineMS: r.U32(),
+		Buf:        r.Bytes(),
 	}
 	if r.Err() {
 		return start{}, false
@@ -130,12 +136,13 @@ func parseStart(d *kernel.Delivery) (start, bool) {
 }
 
 type cont struct {
-	Conn handle.Handle
-	Buf  []byte
+	Conn       handle.Handle
+	DeadlineMS uint32
+	Buf        []byte
 }
 
 func encodeCont(c cont) []byte {
-	return wire.NewWriter(opCont).Handle(c.Conn).Bytes(c.Buf).Done()
+	return wire.NewWriter(opCont).Handle(c.Conn).U32(c.DeadlineMS).Bytes(c.Buf).Done()
 }
 
 func parseCont(d *kernel.Delivery) (cont, bool) {
@@ -143,7 +150,7 @@ func parseCont(d *kernel.Delivery) (cont, bool) {
 	if op != opCont {
 		return cont{}, false
 	}
-	c := cont{Conn: r.Handle(), Buf: r.Bytes()}
+	c := cont{Conn: r.Handle(), DeadlineMS: r.U32(), Buf: r.Bytes()}
 	if r.Err() {
 		return cont{}, false
 	}

@@ -55,7 +55,7 @@ func TestPendingLoginDeadlineReissues(t *testing.T) {
 	if err := loginPort.SetLabel(label.Empty(label.L3)); err != nil {
 		t.Fatal(err)
 	}
-	dm := newDemux(sys, 1<<40, []handle.Handle{loginPort.Handle()}, 1, 0, 0, evloop.Burst{})
+	dm := newDemux(sys, 1<<40, []handle.Handle{loginPort.Handle()}, 1, 0, 0, 0, 0, evloop.Burst{})
 	s := dm.shards[0]
 
 	mk := func(user string) *dconn {
@@ -78,13 +78,13 @@ func TestPendingLoginDeadlineReissues(t *testing.T) {
 	tok1, _ := readLoginReq(t, d)
 
 	// Before the deadline the timer must not re-ask.
-	s.tickLogins(time.Now())
+	s.lp.AdvanceTimers(time.Now())
 	if d, _ := loginPort.TryRecv(); d != nil {
-		t.Fatal("tick re-issued a login before the deadline")
+		t.Fatal("timer re-issued a login before the deadline")
 	}
 
 	// Past the deadline: a fresh token, same credentials.
-	s.tickLogins(time.Now().Add(loginDeadline + time.Millisecond))
+	s.lp.AdvanceTimers(time.Now().Add(loginDeadline + 10*time.Millisecond))
 	d, err = loginPort.TryRecv()
 	if err != nil || d == nil {
 		t.Fatal("deadline tick did not re-issue the login")
@@ -185,7 +185,7 @@ func TestEvictionExitsWorkerSession(t *testing.T) {
 // strand it. Driven directly against one shard.
 func TestSupersededRegistrationReclaimsOldSession(t *testing.T) {
 	sys := kernel.NewSystem(kernel.WithSeed(41))
-	dm := newDemux(sys, 1<<40, []handle.Handle{1 << 41}, 1, 0, 0, evloop.Burst{})
+	dm := newDemux(sys, 1<<40, []handle.Handle{1 << 41}, 1, 0, 0, 0, 0, evloop.Burst{})
 	s := dm.shards[0]
 	verif := s.proc.NewHandle()
 	s.verif["svc"] = []handle.Handle{verif}

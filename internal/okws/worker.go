@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
+	"time"
 
 	"asbestos/internal/dbproxy"
 	"asbestos/internal/handle"
@@ -66,6 +68,29 @@ type Worker struct {
 	// debugNoClean disables ep_clean/unmap, reproducing the paper's
 	// worst-case "active session" memory experiment (§9.1).
 	debugNoClean bool
+
+	// epTTL is the worker-side idle backstop on cached event processes.
+	// The demux's opEvict is fire-and-forget under the unreliable-IPC
+	// contract (§4): if that one message is dropped, nothing else ever
+	// addresses the session port — the port's self-at-0 capability label
+	// means not even this worker's base realm can message the event
+	// process into exiting. With epTTL set, the worker tracks each
+	// session's last handoff and reaps (kernel.EPReap) any event process
+	// idle past the bound. 0 disables (sessions then live until a demux
+	// evict arrives).
+	epTTL time.Duration
+	// epMu guards epLast and epSweep: handoffs land on Run's goroutine,
+	// the sweep on a timer goroutine.
+	epMu    sync.Mutex
+	epLast  map[handle.Handle]epIdle
+	epSweep *time.Timer
+}
+
+// epIdle is one cached session's idle-tracking state, keyed by its
+// session port uW (the handle an arriving evict names).
+type epIdle struct {
+	id   uint32 // event-process id, for EPReap
+	last time.Time
 }
 
 // newWorker builds the worker process; the launcher registers it with the
@@ -127,7 +152,67 @@ func (w *Worker) Run() {
 // wait), then kernel state.
 func (w *Worker) Stop() {
 	w.cancel()
+	w.epMu.Lock()
+	if w.epSweep != nil {
+		w.epSweep.Stop()
+		w.epSweep = nil
+	}
+	w.epMu.Unlock()
 	w.proc.Exit()
+}
+
+// touchEP records activity on a cached session and lazily arms the idle
+// sweep — one parked timer per worker, armed only while any session is
+// live, so an idle worker schedules no wakeups at all.
+func (w *Worker) touchEP(sess handle.Handle, id uint32) {
+	if w.epTTL <= 0 {
+		return
+	}
+	w.epMu.Lock()
+	if w.epLast == nil {
+		w.epLast = make(map[handle.Handle]epIdle)
+	}
+	w.epLast[sess] = epIdle{id: id, last: time.Now()}
+	if w.epSweep == nil {
+		w.epSweep = time.AfterFunc(w.epTTL, w.sweepIdleEPs)
+	}
+	w.epMu.Unlock()
+}
+
+// forgetEP drops a session from idle tracking (evicted, or exited).
+func (w *Worker) forgetEP(sess handle.Handle) {
+	if w.epTTL <= 0 {
+		return
+	}
+	w.epMu.Lock()
+	delete(w.epLast, sess)
+	w.epMu.Unlock()
+}
+
+// sweepIdleEPs reaps every cached session idle past epTTL, exactly as if
+// the demux's evict had arrived. An event process that is ACTIVE when the
+// sweep looks (mid-request on Run's goroutine) is skipped — its handoff
+// already re-touched it, or the next sweep retries.
+func (w *Worker) sweepIdleEPs() {
+	w.epMu.Lock()
+	now := time.Now()
+	var expired []handle.Handle
+	for sess, st := range w.epLast {
+		if now.Sub(st.last) >= w.epTTL {
+			expired = append(expired, sess)
+		}
+	}
+	for _, sess := range expired {
+		if w.proc.EPReap(w.epLast[sess].id) {
+			delete(w.epLast, sess)
+		}
+	}
+	if len(w.epLast) > 0 {
+		w.epSweep.Reset(w.epTTL)
+	} else {
+		w.epSweep = nil
+	}
+	w.epMu.Unlock()
 }
 
 // session state persisted in event-process memory.
@@ -148,10 +233,12 @@ type sessState struct {
 // serve handles one delivery in the context of event process ep.
 func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 	if parseEvict(d) {
-		// The demux evicted this session from its routing table: nothing
-		// will ever be handed to this event process again, so exit it and
-		// reclaim its kernel state and private pages (only the demux holds
-		// the session port's capability, so nobody else can force this).
+		// The demux (or the worker's own idle sweep) evicted this session
+		// from the routing table: nothing will ever be handed to this event
+		// process again, so exit it and reclaim its kernel state and private
+		// pages (only the demux and the worker itself hold the session
+		// port's capability, so nobody else can force this).
+		w.forgetEP(d.Port)
 		w.proc.EPExit()
 		return
 	}
@@ -176,9 +263,12 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 				Verify:     label.New(label.L3, label.Entry{H: w.verif, L: label.L0}),
 				DecontSend: kernel.Grant(uW),
 			})
+			w.touchEP(uW, ep.ID())
 		}
 		buf = s.Buf
-		w.handleRequest(ep, &st, s.Conn, buf)
+		rctx, cancel := w.reqCtx(s.DeadlineMS)
+		w.handleRequest(rctx, ep, &st, s.Conn, buf)
+		cancel()
 		return
 	}
 	if c, ok := parseCont(d); ok {
@@ -188,26 +278,47 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 			w.proc.Yield()
 			return
 		}
-		w.handleRequest(ep, &st, c.Conn, c.Buf)
+		w.touchEP(st.sess, ep.ID())
+		rctx, cancel := w.reqCtx(c.DeadlineMS)
+		w.handleRequest(rctx, ep, &st, c.Conn, c.Buf)
+		cancel()
 		return
 	}
 	// Unknown message: ignore and yield.
 	w.proc.Yield()
 }
 
+// reqCtx derives the request-scoped context from the deadline the demux
+// stamped into the handoff (0 = none): one clock covers the header read,
+// the handler's database round trips, and the reply waits, so a request
+// the demux has already 504ed cannot pin this worker past it. The cancel
+// must run when the request ends to release the deadline timer.
+func (w *Worker) reqCtx(deadlineMS uint32) (context.Context, context.CancelFunc) {
+	if deadlineMS == 0 {
+		return w.ctx, func() {}
+	}
+	return context.WithTimeout(w.ctx, time.Duration(deadlineMS)*time.Millisecond)
+}
+
 // handleRequest reads the full request (step 8), runs the handler, writes
-// the response, closes the connection, and yields or exits.
-func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, connH handle.Handle, buf []byte) {
+// the response, closes the connection, and yields or exits. rctx bounds
+// every blocking wait inside the request.
+func (w *Worker) handleRequest(rctx context.Context, ep *kernel.EventProcess, st *sessState, connH handle.Handle, buf []byte) {
 	// One endpoint per request: the write, close and any continuation reads
 	// below share the resolved route.
 	conn := w.proc.Port(connH)
-	req, reqRaw := w.readRequest(st, conn, buf)
+	req, reqRaw := w.readRequest(rctx, st, conn, buf)
 	if req == nil {
+		// Deadline, EOF or garbage: close the connection and shed uC so a
+		// dead request can neither pin the socket nor grow the labels.
+		netd.Control(conn, st.reply, netd.CtlClose)
+		w.await(rctx, netd.OpControlReply, st.reply)
+		w.proc.DropPrivilege(conn.Handle(), label.L1)
 		w.finish(ep, st)
 		return
 	}
 	c := &Ctx{
-		w: w, ep: ep, st: st,
+		w: w, ep: ep, st: st, ctx: rctx,
 		User: st.user, UID: st.uid,
 		UT: st.uT, UG: st.uG,
 	}
@@ -231,9 +342,9 @@ func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, connH han
 	ctr[7]++
 	ep.Memory().WriteAt(ScratchAddr+8*mem.PageSize, ctr[:])
 	netd.Write(conn, st.reply, raw)
-	w.await(netd.OpWriteReply, st.reply)
+	w.await(rctx, netd.OpWriteReply, st.reply)
 	netd.Control(conn, st.reply, netd.CtlClose)
-	w.await(netd.OpControlReply, st.reply)
+	w.await(rctx, netd.OpControlReply, st.reply)
 	// Release the per-connection capability so event-process labels do not
 	// accumulate one stale uC ⋆ entry per connection.
 	w.proc.DropPrivilege(conn.Handle(), label.L1)
@@ -242,8 +353,8 @@ func (w *Worker) handleRequest(ep *kernel.EventProcess, st *sessState, connH han
 
 // readRequest assembles the HTTP request, reading more from netd if the
 // demux's buffered bytes are incomplete. It returns the parsed request and
-// its wire bytes.
-func (w *Worker) readRequest(st *sessState, conn *kernel.Port, buf []byte) (*httpmsg.Request, []byte) {
+// its wire bytes; rctx bounds the netd round trips.
+func (w *Worker) readRequest(rctx context.Context, st *sessState, conn *kernel.Port, buf []byte) (*httpmsg.Request, []byte) {
 	for {
 		req, n, complete, err := httpmsg.ParseRequest(buf)
 		if err != nil {
@@ -255,7 +366,7 @@ func (w *Worker) readRequest(st *sessState, conn *kernel.Port, buf []byte) (*htt
 		if err := netd.Read(conn, st.reply, 4096); err != nil {
 			return nil, nil
 		}
-		d, err := w.proc.RecvCtx(w.ctx, st.reply)
+		d, err := w.proc.RecvCtx(rctx, st.reply)
 		if err != nil {
 			return nil, nil
 		}
@@ -272,11 +383,13 @@ func (w *Worker) readRequest(st *sessState, conn *kernel.Port, buf []byte) (*htt
 }
 
 // await discards deliveries on port until one with the given op arrives,
-// giving up when the worker shuts down. Every delivery — matching or
-// discarded — is released; both call sites only care that the reply came.
-func (w *Worker) await(op byte, port handle.Handle) {
+// giving up when ctx expires (request deadline or worker shutdown) — a
+// reply silently dropped under queue pressure must not park the worker
+// forever. Every delivery — matching or discarded — is released; the call
+// sites only care that the reply came.
+func (w *Worker) await(ctx context.Context, op byte, port handle.Handle) {
 	for {
-		d, err := w.proc.RecvCtx(w.ctx, port)
+		d, err := w.proc.RecvCtx(ctx, port)
 		if err != nil {
 			return
 		}
@@ -373,6 +486,10 @@ type Ctx struct {
 	ep *kernel.EventProcess
 	st *sessState
 
+	// ctx is the request-scoped context (deadline inherited from the
+	// demux handoff); Query/Declassify waits honor it.
+	ctx context.Context
+
 	// User is the authorization string; UID the database user id.
 	User string
 	UID  string
@@ -448,9 +565,13 @@ func (c *Ctx) dbExec(sql string, args []string, declassify bool) ([][]string, er
 	if err := send(proxy, c.User, sql, args, c.st.reply, v); err != nil {
 		return nil, err
 	}
+	rctx := c.ctx
+	if rctx == nil {
+		rctx = c.w.ctx
+	}
 	var rows [][]string
 	for {
-		d, err := c.w.proc.RecvCtx(c.w.ctx, c.st.reply)
+		d, err := c.w.proc.RecvCtx(rctx, c.st.reply)
 		if err != nil {
 			return nil, err
 		}

@@ -28,6 +28,14 @@ type WebService = okws.Service
 // logins climb a bounded per-username lockout ladder (IddOptions.Ladder;
 // attempts against a locked name are deferred unverified, so credential
 // stuffing costs the attacker time, not the server hashing work).
+//
+// Three knobs form the lifecycle-deadline ladder, finest first:
+// RequestDeadline bounds one request end to end (demux read, login round
+// trips, taint, handoff, and the worker handler's ctx share the one
+// clock), SessionTTL evicts idle sessions and reclaims their worker event
+// processes, and IdleTimeout is netd's backstop that tears down silent
+// connections. All three ride the per-shard timer wheels — an idle shard
+// arms no standing tick — and each defaults to 0 (disabled).
 type WebConfig = okws.Config
 
 // IddOptions tunes the identity server (WebConfig.IddOptions): identity
