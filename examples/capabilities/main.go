@@ -11,6 +11,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"asbestos"
 )
@@ -26,6 +27,8 @@ func main() {
 	stranger.Port(service.Handle()).Send([]byte("knock knock"), nil)
 	if d, _ := service.TryRecv(); d == nil {
 		fmt.Println("stranger -> service: DROPPED (no capability)")
+	} else {
+		d.Release() // not expected, but a received delivery is always owned
 	}
 
 	// The owner mints a capability: DS = {service ⋆, 3} sent to a friend.
@@ -33,23 +36,29 @@ func main() {
 	fPort := friend.Open(nil)
 	fPort.SetLabel(asbestos.EmptyLabel(asbestos.L3))
 	owner.Port(fPort.Handle()).Send(nil, &asbestos.SendOpts{DecontSend: asbestos.Grant(service.Handle())})
-	fPort.TryRecv()
+	if d, _ := fPort.TryRecv(); d != nil {
+		d.Release() // the grant rides the label; the payload pool still wants its buffer back
+	}
 	// The friend holds the capability now; a cached endpoint reuses the
 	// resolved route for every later send.
 	friendToService := friend.Port(service.Handle())
 	friendToService.Send([]byte("hi, it's friend"), nil)
 	d, _ := service.TryRecv()
 	fmt.Printf("friend -> service: %q (capability granted)\n", d.Data)
+	d.Release()
 
 	// Capabilities re-delegate: friend forwards the right to delegate.
 	delegate := sys.NewProcess("delegate")
 	dPort := delegate.Open(nil)
 	dPort.SetLabel(asbestos.EmptyLabel(asbestos.L3))
 	friend.Port(dPort.Handle()).Send(nil, &asbestos.SendOpts{DecontSend: asbestos.Grant(service.Handle())})
-	dPort.TryRecv()
+	if d, _ := dPort.TryRecv(); d != nil {
+		d.Release()
+	}
 	delegate.Port(service.Handle()).Send([]byte("hello from delegate"), nil)
 	d, _ = service.TryRecv()
 	fmt.Printf("delegate -> service: %q (re-delegation works)\n", d.Data)
+	d.Release()
 
 	// The mail-reader pattern (§5.5): a port label of {2} refuses tainted
 	// senders outright, keeping the receiver's labels clean.
@@ -62,6 +71,7 @@ func main() {
 	toInbox.Send([]byte("clean attachment output"), nil)
 	d, _ = inbox.TryRecv()
 	fmt.Printf("clean attachment -> inbox: %q\n", d.Data)
+	d.Release()
 
 	tainter := sys.NewProcess("tainter")
 	hT := tainter.NewHandle()
@@ -69,12 +79,17 @@ func main() {
 	toInbox.Send([]byte("now compromised"), nil)
 	if d, _ := inbox.TryRecv(); d == nil {
 		fmt.Println("compromised attachment -> inbox: DROPPED by port label")
+	} else {
+		d.Release()
 	}
 	fmt.Printf("mail reader's send label stayed clean: %v\n", mail.SendLabel())
 
 	// Select watches the service port and the mail inbox — queues of two
 	// different processes — in one blocking call.
 	friendToService.Send([]byte("one more"), nil)
-	d, from, _ := asbestos.Select(context.Background(), inbox, service)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d, from, _ := asbestos.Select(ctx, inbox, service)
 	fmt.Printf("Select woke on port %v with %q\n", from.Handle(), d.Data)
+	d.Release()
 }

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //asbestos:<verb> comment: the waiver mechanism the
+// analyzers honor. Reason is the free text after the verb; the analyzers
+// require it to be non-empty so every waiver documents itself.
+type Directive struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// Directives collects every //asbestos:<verb> comment in the file, keyed
+// by the line the comment sits on. A waiver applies to findings on its own
+// line (trailing comment) or the line below (comment above the statement);
+// callers check both.
+func Directives(fset *token.FileSet, file *ast.File, verb string) map[int]Directive {
+	prefix := "//asbestos:" + verb
+	out := make(map[int]Directive)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, prefix)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // longer verb, e.g. keepstarX
+			}
+			out[fset.Position(c.Pos()).Line] = Directive{
+				Pos:    c.Pos(),
+				Reason: strings.TrimSpace(rest),
+			}
+		}
+	}
+	return out
+}
+
+// WaiverFor looks up a directive covering a finding at pos: same line or
+// the line above, or (when fd is non-nil) the function's doc comment.
+func WaiverFor(fset *token.FileSet, dirs map[int]Directive, pos token.Pos, fd *ast.FuncDecl, verb string) (Directive, bool) {
+	line := fset.Position(pos).Line
+	if d, ok := dirs[line]; ok {
+		return d, true
+	}
+	if d, ok := dirs[line-1]; ok {
+		return d, true
+	}
+	if fd != nil && fd.Doc != nil {
+		prefix := "//asbestos:" + verb
+		for _, c := range fd.Doc.List {
+			if rest, ok := strings.CutPrefix(c.Text, prefix); ok {
+				return Directive{Pos: c.Pos(), Reason: strings.TrimSpace(rest)}, true
+			}
+		}
+	}
+	return Directive{}, false
+}

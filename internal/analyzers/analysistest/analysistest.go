@@ -1,0 +1,208 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against `// want "regexp"`
+// annotations — the x/tools go/analysis testing convention, restated on
+// the standard library for the asbestosvet suite.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go. Imports resolve
+// against the same tree, so stub packages mirroring the real import paths
+// (asbestos/internal/kernel etc.) sit next to the fixture packages; the
+// analyzers match types by package-path suffix, so the stubs exercise the
+// same code paths as the real tree.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"asbestos/internal/analyzers/analysis"
+	"asbestos/internal/analyzers/unitchecker"
+)
+
+// TestData returns the shared fixture root for the analyzer packages:
+// internal/analyzers/testdata, resolved relative to the test's cwd.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run analyzes each fixture package under dir/src with a and reports
+// every mismatch between diagnostics and // want annotations as a test
+// error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		t.Run(pkgpath, func(t *testing.T) {
+			runOne(t, dir, a, pkgpath)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := &loader{fset: token.NewFileSet(), src: filepath.Join(dir, "src"), pkgs: map[string]*types.Package{}}
+	files, pkg, info, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+
+	diags := unitchecker.RunAnalyzers([]*analysis.Analyzer{a}, ld.fset, files, pkg, info)
+
+	wants := collectWants(t, ld.fset, files)
+	var unmatched []string
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		key := posKey{filepath.Base(pos.Filename), pos.Line}
+		ws := wants[key]
+		found := false
+		for i, w := range ws {
+			if w != nil && w.rx.MatchString(d.Message) {
+				ws[i] = nil
+				found = true
+				break
+			}
+		}
+		if !found {
+			unmatched = append(unmatched, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message))
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				unmatched = append(unmatched, fmt.Sprintf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.rx))
+			}
+		}
+	}
+	sort.Strings(unmatched)
+	for _, m := range unmatched {
+		t.Error(m)
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct{ rx *regexp.Regexp }
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses `// want "re" "re"...` comments; backquoted strings
+// are accepted too. The annotation binds to its own line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	wants := map[posKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, pat := range splitPatterns(m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", key.file, key.line, pat, err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns pulls the quoted (or backquoted) regexps out of a want
+// annotation's payload.
+func splitPatterns(s string) []string {
+	var pats []string
+	for i := 0; i < len(s); {
+		switch s[i] {
+		case '"', '`':
+			q := s[i]
+			j := i + 1
+			for j < len(s) && s[j] != q {
+				if q == '"' && s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				raw := s[i+1 : j]
+				if q == '"' {
+					raw = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(raw)
+				}
+				pats = append(pats, raw)
+			}
+			i = j + 1
+		default:
+			i++
+		}
+	}
+	return pats
+}
+
+// loader type-checks fixture packages, resolving imports from the same
+// src tree (depth-first, memoized).
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*types.Package
+}
+
+func (ld *loader) load(pkgpath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ld.src, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := unitchecker.NewInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ld.pkgs[pkgpath] = pkg
+	return files, pkg, info, nil
+}
+
+// Import implements types.Importer over the fixture tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	_, pkg, _, err := ld.load(path)
+	if err != nil {
+		return nil, fmt.Errorf("importing %s: %v", path, err)
+	}
+	return pkg, nil
+}

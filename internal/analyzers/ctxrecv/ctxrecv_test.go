@@ -1,0 +1,12 @@
+package ctxrecv_test
+
+import (
+	"testing"
+
+	"asbestos/internal/analyzers/analysistest"
+	"asbestos/internal/analyzers/ctxrecv"
+)
+
+func TestCtxrecv(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxrecv.Analyzer, "ctxrecv_a")
+}

@@ -1,0 +1,12 @@
+package privdrop_test
+
+import (
+	"testing"
+
+	"asbestos/internal/analyzers/analysistest"
+	"asbestos/internal/analyzers/privdrop"
+)
+
+func TestPrivdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), privdrop.Analyzer, "privdrop_a")
+}

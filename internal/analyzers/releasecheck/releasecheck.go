@@ -1,0 +1,230 @@
+// Package releasecheck enforces the Delivery ownership contract from the
+// kernel package docs: every *kernel.Delivery obtained from a receive call
+// (Recv, RecvCtx, TryRecv, Select, Mailbox.Drain) must reach Release or
+// Detach on every control-flow path — the payload-pool leak class that PR 6
+// hand-audited out of cmd/ and the service loops.
+package releasecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"asbestos/internal/analyzers/analysis"
+	"asbestos/internal/analyzers/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "releasecheck",
+	Doc: `enforce Release/Detach on every path for received deliveries
+
+Every *kernel.Delivery returned by Recv/RecvCtx/TryRecv/Select or yielded
+by Mailbox.Drain borrows a pooled payload buffer; kernel.Delivery's docs
+make Release (or Detach, which takes ownership) mandatory on all paths.
+This analyzer tracks each receive through the function's control flow and
+flags paths — early returns, error branches, reassignment, loop back
+edges — on which the delivery can escape unreleased. Sanctioned
+discharges: Release, Detach, returning the delivery, storing it in a
+field/global/channel (ownership transfer), passing it to a func value
+(handler/yield), or passing it to a same-package function that provably
+releases it on every path.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	summaries := releaseSummaries(pass)
+	for _, file := range pass.Files {
+		if len(file.Decls) > 0 && pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, unit := range analysis.FuncUnits(file) {
+			checkUnit(pass, unit, summaries)
+		}
+	}
+	return nil
+}
+
+// recvName is the syntactic allow-list: a call is a receive only if it is
+// named like one AND its first result is *kernel.Delivery, so helper
+// functions returning deliveries (ownership transfers by construction) are
+// not treated as acquisitions.
+func recvName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func isRecvCall(info *types.Info, call *ast.CallExpr) bool {
+	switch recvName(call) {
+	case "Recv", "RecvCtx", "TryRecv", "Select":
+	default:
+		return false
+	}
+	return analysis.FirstResultIs(info, call, analysis.IsDeliveryPtr)
+}
+
+func isDrainCall(info *types.Info, call *ast.CallExpr) bool {
+	return recvName(call) == "Drain" &&
+		analysis.MethodOn(info, call, "internal/kernel", "Mailbox", "Drain")
+}
+
+// releaseSummaries computes, per same-package function, which
+// *kernel.Delivery parameters are released/detached on every path — so
+// passing a delivery to e.g. a dispatchRelease-style helper counts as a
+// discharge at the call site.
+func releaseSummaries(pass *analysis.Pass) map[*types.Func][]bool {
+	sums := make(map[*types.Func][]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			params := analysis.ParamObjs(pass.TypesInfo, fd)
+			var flags []bool
+			any := false
+			for _, p := range params {
+				if p == nil || !analysis.IsDeliveryPtr(p.Type()) {
+					flags = append(flags, false)
+					continue
+				}
+				t := &flow.Tracker{
+					Info:    pass.TypesInfo,
+					Res:     flow.Resource{Obj: p},
+					Nilable: true,
+					Satisfies: func(call *ast.CallExpr) bool {
+						return releasesRes(pass.TypesInfo, call, flow.Resource{Obj: p})
+					},
+					EscapeDischarges:      true,
+					ReturnDischarges:      true,
+					DynamicCallDischarges: true,
+				}
+				ok := len(t.Check(fd.Body)) == 0
+				flags = append(flags, ok)
+				any = any || ok
+			}
+			if any {
+				sums[fn] = flags
+			}
+		}
+	}
+	return sums
+}
+
+// releasesRes reports whether call is res.Release() or res.Detach().
+func releasesRes(info *types.Info, call *ast.CallExpr, res flow.Resource) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Release" && sel.Sel.Name != "Detach" {
+		return false
+	}
+	return flow.MatchResource(info, res, sel.X)
+}
+
+func checkUnit(pass *analysis.Pass, unit analysis.FuncUnit, sums map[*types.Func][]bool) {
+	info := pass.TypesInfo
+	analysis.InspectUnit(unit.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isRecvCall(info, call) {
+				pass.Reportf(call.Pos(), "result of %s discarded: the *kernel.Delivery must reach Release or Detach", recvName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isRecvCall(info, call) {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				// Stored straight into a field/element: ownership
+				// transferred at acquisition.
+				return
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "result of %s discarded: the *kernel.Delivery must reach Release or Detach", recvName(call))
+				return
+			}
+			obj := objOf(info, id)
+			if obj == nil {
+				return
+			}
+			track(pass, unit, sums, flow.Resource{Obj: obj}, errObj(info, n.Lhs), n, recvName(call))
+		case *ast.RangeStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok || !isDrainCall(info, call) {
+				return
+			}
+			id, ok := n.Key.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(n.Pos(), "delivery yielded by Drain ignored: each *kernel.Delivery must reach Release or Detach")
+				return
+			}
+			obj := objOf(info, id)
+			if obj == nil {
+				return
+			}
+			track(pass, unit, sums, flow.Resource{Obj: obj}, nil, n, "Drain")
+		}
+	})
+}
+
+// errObj returns the companion error variable of the acquiring assignment
+// (the last ident whose type is error), for `err != nil` guard pruning.
+func errObj(info *types.Info, lhs []ast.Expr) types.Object {
+	for i := len(lhs) - 1; i > 0; i-- {
+		id, ok := lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := objOf(info, id)
+		if obj != nil && types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func track(pass *analysis.Pass, unit analysis.FuncUnit, sums map[*types.Func][]bool,
+	res flow.Resource, err types.Object, start ast.Node, via string) {
+	info := pass.TypesInfo
+	t := &flow.Tracker{
+		Info:    info,
+		Res:     res,
+		Err:     err,
+		Nilable: true,
+		Start:   start,
+		Satisfies: func(call *ast.CallExpr) bool {
+			if releasesRes(info, call, res) {
+				return true
+			}
+			return analysis.CalleeDischargesArg(info, call, sums, func(e ast.Expr) bool {
+				return flow.MatchResource(info, res, e)
+			})
+		},
+		EscapeDischarges:      true,
+		ReturnDischarges:      true,
+		DynamicCallDischarges: true,
+	}
+	for _, leak := range t.Check(unit.Body) {
+		pass.Reportf(leak.Pos, "delivery %q from %s may not be released on this path (%s): every *kernel.Delivery must reach Release or Detach", res.Obj.Name(), via, leak.Reason)
+	}
+}

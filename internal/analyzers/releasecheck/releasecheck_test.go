@@ -1,0 +1,12 @@
+package releasecheck_test
+
+import (
+	"testing"
+
+	"asbestos/internal/analyzers/analysistest"
+	"asbestos/internal/analyzers/releasecheck"
+)
+
+func TestReleasecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), releasecheck.Analyzer, "releasecheck_a")
+}

@@ -1,0 +1,310 @@
+// Package retaincheck enforces the evloop handler no-retain contract: a
+// handler registered with Shard.Handle/HandleForward/HandleDefault borrows
+// its *kernel.Delivery only for the duration of the call — the loop
+// releases the payload the moment the handler returns. Letting d or d.Data
+// escape the handler (into a field, global, captured variable, channel or
+// goroutine) is a use-after-release bug; Detach() and byte copies are the
+// sanctioned escapes.
+package retaincheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asbestos/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "retaincheck",
+	Doc: `forbid evloop handlers from retaining the delivery or its payload
+
+The evloop package doc makes handler payloads borrowed: the shard calls
+d.Release() right after the handler returns, recycling d.Data's buffer.
+This analyzer resolves the handler function at every
+Handle/HandleForward/HandleDefault registration (function literals, named
+functions and method values) and flags statements that let the delivery or
+an alias of d.Data outlive the call: assignment into a field, element,
+global or captured variable; a channel send; or capture by a go statement.
+Sanctioned: d.Detach() (transfers buffer ownership and returns a slice the
+pool no longer owns), copies (string conversion, append onto a fresh
+slice), and values derived by parsing rather than aliasing.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Index declared functions so ident/method-value handler registrations
+	// resolve to bodies.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	checked := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		if len(file.Decls) > 0 && pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRegistration(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			h := ast.Unparen(call.Args[len(call.Args)-1])
+			// Unwrap an evloop.Handler(f) conversion.
+			if conv, ok := h.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+				if tv, ok := info.Types[conv.Fun]; ok && tv.IsType() {
+					h = ast.Unparen(conv.Args[0])
+				}
+			}
+			switch h := h.(type) {
+			case *ast.FuncLit:
+				if !checked[h] {
+					checked[h] = true
+					checkHandler(pass, h, h.Body, h.Type)
+				}
+			case *ast.Ident, *ast.SelectorExpr:
+				fn := handlerFunc(info, h)
+				if fd := decls[fn]; fd != nil && !checked[fd] {
+					checked[fd] = true
+					checkHandler(pass, fd, fd.Body, fd.Type)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRegistration(info *types.Info, call *ast.CallExpr) bool {
+	for _, name := range []string{"Handle", "HandleForward", "HandleDefault"} {
+		if analysis.MethodOn(info, call, "internal/evloop", "Shard", name) {
+			return true
+		}
+	}
+	return false
+}
+
+func handlerFunc(info *types.Info, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkHandler analyzes one handler body. node is the handler's syntax
+// (FuncDecl or FuncLit) — identifiers declared outside it are captured.
+func checkHandler(pass *analysis.Pass, node ast.Node, body *ast.BlockStmt, ftype *ast.FuncType) {
+	info := pass.TypesInfo
+
+	// The delivery parameter.
+	var dObj types.Object
+	if ftype.Params != nil {
+		for _, f := range ftype.Params.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil && analysis.IsDeliveryPtr(obj.Type()) {
+					dObj = obj
+				}
+			}
+		}
+	}
+	if dObj == nil {
+		return
+	}
+
+	c := &checker{pass: pass, info: info, node: node, aliases: map[types.Object]bool{dObj: true}}
+
+	// Seed aliases in source order: locals assigned from d, d.Data or a
+	// subslice of an alias. One forward pass is enough for the
+	// straight-line aliasing these handlers use.
+	analysis.InspectUnit(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if c.retains(as.Rhs[i]) {
+				if obj := info.Defs[id]; obj != nil {
+					c.aliases[obj] = true
+				}
+			}
+		}
+	})
+
+	analysis.InspectUnit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil || !c.retains(rhs) {
+					continue
+				}
+				if why := c.escapeTarget(lhs); why != "" {
+					c.report(n.Pos(), why)
+				}
+			}
+		case *ast.SendStmt:
+			if c.retains(n.Value) {
+				c.report(n.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			if c.mentionsAlias(n.Call) {
+				c.report(n.Pos(), "captured by a go statement")
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if c.retains(e) {
+					c.report(n.Pos(), "returned from the handler")
+				}
+			}
+		}
+	})
+	return
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	node    ast.Node
+	aliases map[types.Object]bool
+}
+
+func (c *checker) report(pos token.Pos, how string) {
+	c.pass.Reportf(pos, "handler lets the delivery payload escape (%s): the evloop releases it when the handler returns — Detach() or copy instead", how)
+}
+
+// isAlias reports whether e denotes the delivery or a payload alias:
+// the tracked ident, d.Data / alias.Data, or a slice of an alias.
+func (c *checker) isAlias(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj == nil {
+			obj = c.info.Defs[e]
+		}
+		return obj != nil && c.aliases[obj]
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Data" && c.isAlias(e.X)
+	case *ast.SliceExpr:
+		return c.isAlias(e.X)
+	}
+	return false
+}
+
+// retains reports whether evaluating e yields a value sharing the payload
+// buffer: an alias reachable without crossing a copying boundary. A
+// string(...) conversion copies; append(fresh, alias...) copies the bytes;
+// append(alias, ...) retains the base array; any other call is a parse
+// boundary and treated as non-retaining (the callee is responsible).
+func (c *checker) retains(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if c.isAlias(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if tv, ok := c.info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: string(d.Data) copies; []byte(x)/Handler(x)
+			// keep the underlying value.
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.String {
+				return false
+			}
+			if len(e.Args) == 1 {
+				return c.retains(e.Args[0])
+			}
+			return false
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return c.retains(e.Args[0]) // appending ONTO an alias retains it
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.retains(el) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return c.retains(e.X)
+	case *ast.IndexExpr:
+		return false // a single byte is a copy
+	}
+	return false
+}
+
+// mentionsAlias reports whether any alias ident occurs under n (for go
+// statements, where capture alone is the bug).
+func (c *checker) mentionsAlias(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if e, ok := x.(ast.Expr); ok && c.isAlias(e) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapeTarget classifies an assignment LHS that outlives the handler
+// call: a field/element/deref, a package-level variable, or an identifier
+// declared outside the handler (captured from the enclosing function).
+func (c *checker) escapeTarget(lhs ast.Expr) string {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "stored in a field"
+	case *ast.IndexExpr:
+		return "stored in an element"
+	case *ast.StarExpr:
+		return "stored through a pointer"
+	case *ast.Ident:
+		obj := c.info.Defs[l]
+		if obj != nil {
+			return "" // fresh local
+		}
+		obj = c.info.Uses[l]
+		if obj == nil {
+			return ""
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return "stored in a package-level variable"
+			}
+			if v.Pos() < c.node.Pos() || v.Pos() > c.node.End() {
+				return "stored in a variable captured from the enclosing function"
+			}
+		}
+	}
+	return ""
+}

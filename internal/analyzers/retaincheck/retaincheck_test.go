@@ -1,0 +1,12 @@
+package retaincheck_test
+
+import (
+	"testing"
+
+	"asbestos/internal/analyzers/analysistest"
+	"asbestos/internal/analyzers/retaincheck"
+)
+
+func TestRetaincheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), retaincheck.Analyzer, "retaincheck_a")
+}

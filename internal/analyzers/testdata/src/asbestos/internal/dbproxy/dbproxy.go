@@ -1,0 +1,11 @@
+// Stub of asbestos/internal/dbproxy for the releasecheck regression
+// fixture (the adminExec payload-leak shape).
+package dbproxy
+
+import "asbestos/internal/kernel"
+
+type AdminResult struct {
+	Rows int
+}
+
+func ParseAdminResult(d *kernel.Delivery) (AdminResult, bool) { return AdminResult{}, false }

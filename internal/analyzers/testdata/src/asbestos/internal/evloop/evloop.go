@@ -1,0 +1,16 @@
+// Stub of asbestos/internal/evloop for analyzer fixtures.
+package evloop
+
+import "asbestos/internal/kernel"
+
+type Handler func(d *kernel.Delivery)
+
+type Shard struct {
+	Out *kernel.Batcher
+}
+
+func (s *Shard) Handle(pt *kernel.Port, h Handler) {}
+
+func (s *Shard) HandleForward(h Handler) {}
+
+func (s *Shard) HandleDefault(h Handler) {}

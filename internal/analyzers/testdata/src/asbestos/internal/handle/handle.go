@@ -1,0 +1,6 @@
+// Stub of asbestos/internal/handle for analyzer fixtures.
+package handle
+
+type Handle uint64
+
+const None Handle = 0

@@ -1,0 +1,14 @@
+// Stub of asbestos/internal/label for analyzer fixtures.
+package label
+
+type Level uint8
+
+const (
+	Star Level = iota
+	L0
+	L1
+	L2
+	L3
+)
+
+type Label struct{ _ [0]byte }

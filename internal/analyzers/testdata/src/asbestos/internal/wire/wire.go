@@ -1,0 +1,34 @@
+// Stub of asbestos/internal/wire for the privdrop regression fixture:
+// Reader.Handle() extracts a wire-carried handle — NOT an own-port
+// handle, so privdrop must track it.
+package wire
+
+import "asbestos/internal/handle"
+
+type Reader struct{ _ [0]byte }
+
+func NewReader(b []byte) (byte, *Reader) { return 0, nil }
+
+func (r *Reader) Handle() handle.Handle { return 0 }
+
+func (r *Reader) String() string { return "" }
+
+func (r *Reader) U64() uint64 { return 0 }
+
+func (r *Reader) Err() bool { return false }
+
+type Writer struct{ _ [0]byte }
+
+func NewWriter(op byte) *Writer { return nil }
+
+func (w *Writer) Handle(h handle.Handle) *Writer { return w }
+
+func (w *Writer) String(s string) *Writer { return w }
+
+func (w *Writer) U64(v uint64) *Writer { return w }
+
+func (w *Writer) Byte(b byte) *Writer { return w }
+
+func (w *Writer) Bytes(b []byte) *Writer { return w }
+
+func (w *Writer) Done() []byte { return nil }

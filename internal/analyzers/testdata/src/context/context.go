@@ -1,0 +1,18 @@
+// Stub of the standard context package: just enough surface for the
+// ctxrecv fixtures. The analyzers match by package-path suffix, so this
+// stub exercises the same detection paths as the real one.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+}
+
+type CancelFunc func()
+
+func Background() Context { return nil }
+
+func TODO() Context { return nil }
+
+func WithCancel(parent Context) (Context, CancelFunc) { return parent, func() {} }
+
+func WithTimeout(parent Context, d int64) (Context, CancelFunc) { return parent, func() {} }

@@ -1,0 +1,189 @@
+// Fixtures for releasecheck: every received *kernel.Delivery must reach
+// Release or Detach on all control-flow paths.
+package a
+
+import (
+	"context"
+
+	"asbestos/internal/dbproxy"
+	"asbestos/internal/kernel"
+)
+
+var sink *kernel.Delivery
+
+// --- PR 6 regression: the adminExec payload leak. The delivery is handed
+// to a parse helper in another package and never released — passing to a
+// named function is not an ownership transfer.
+func adminExecOld(pt *kernel.Port, ctx context.Context) (dbproxy.AdminResult, bool) {
+	d, err := pt.Recv(ctx)
+	if err != nil || d == nil {
+		return dbproxy.AdminResult{}, false
+	}
+	return dbproxy.ParseAdminResult(d) // want `delivery "d" from Recv may not be released on this path \(return\)`
+}
+
+// The PR 6 fix shape: parse, then release.
+func adminExecFixed(pt *kernel.Port, ctx context.Context) (dbproxy.AdminResult, bool) {
+	d, err := pt.Recv(ctx)
+	if err != nil || d == nil {
+		return dbproxy.AdminResult{}, false
+	}
+	res, ok := dbproxy.ParseAdminResult(d)
+	d.Release()
+	return res, ok
+}
+
+// --- basic path coverage
+
+func leakEarlyReturn(p *kernel.Process, cond bool) {
+	d, err := p.TryRecv()
+	if err != nil {
+		return
+	}
+	if cond {
+		return // want `delivery "d" from TryRecv may not be released on this path \(return\)`
+	}
+	d.Release()
+}
+
+func leakFunctionExit(p *kernel.Process) {
+	d, _ := p.TryRecv()
+	_ = d
+} // want `delivery "d" from TryRecv may not be released on this path \(function exit\)`
+
+func discarded(pt *kernel.Port) {
+	pt.TryRecv() // want `result of TryRecv discarded`
+}
+
+func discardedBlank(pt *kernel.Port) {
+	_, _ = pt.TryRecv() // want `result of TryRecv discarded`
+}
+
+func overwrittenWhileLive(pt *kernel.Port) {
+	d, _ := pt.TryRecv()
+	d, _ = pt.TryRecv() // want `delivery "d" from TryRecv may not be released on this path \(overwritten\)`
+	d.Release()
+}
+
+func releasedBothBranches(p *kernel.Process, cond bool) {
+	d, err := p.TryRecv()
+	if err != nil || d == nil {
+		return
+	}
+	if cond {
+		d.Release()
+		return
+	}
+	d.Detach()
+}
+
+func deferredRelease(pt *kernel.Port, ctx context.Context) {
+	d, err := pt.Recv(ctx)
+	if err != nil {
+		return
+	}
+	defer d.Release()
+	use(d.Data)
+}
+
+func returnedToCaller(pt *kernel.Port, ctx context.Context) (*kernel.Delivery, error) {
+	d, err := pt.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil // ownership moves to the caller
+}
+
+func storedInGlobal(pt *kernel.Port) {
+	d, _ := pt.TryRecv()
+	sink = d // ownership transfer: the store site is responsible now
+}
+
+// --- guards
+
+func nilGuardSwallows(pt *kernel.Port) {
+	if d, _ := pt.TryRecv(); d == nil {
+		return
+	} else {
+		d.Release()
+	}
+}
+
+func errSentinelGuard(p *kernel.Process) {
+	d, err := p.TryRecv()
+	if err == kernel.ErrDead {
+		return // err non-nil implies no delivery
+	}
+	if d != nil {
+		d.Release()
+	}
+}
+
+// --- loops
+
+func drainReleasesEach(m *kernel.Mailbox) {
+	for d := range m.Drain() {
+		d.Release()
+	}
+}
+
+func drainLeaksOnContinue(m *kernel.Mailbox) {
+	for d := range m.Drain() {
+		if d.V == nil {
+			continue
+		}
+		d.Release()
+	} // want `delivery "d" from Drain may not be released on this path \(end of loop iteration`
+}
+
+func loopReacquireLeaks(pt *kernel.Port) {
+	for i := 0; i < 3; i++ {
+		d, _ := pt.TryRecv()
+		use2(d)
+	} // want `delivery "d" from TryRecv may not be released on this path \(end of loop iteration`
+}
+
+// --- same-package always-release helper counts as a discharge
+
+func dispatchRelease(d *kernel.Delivery) {
+	if d == nil {
+		return
+	}
+	defer d.Release()
+	use(d.Data)
+}
+
+func viaHelper(pt *kernel.Port, ctx context.Context) {
+	d, err := pt.Recv(ctx)
+	if err != nil {
+		return
+	}
+	dispatchRelease(d)
+}
+
+// use2 does NOT release; passing to it must not discharge.
+func use2(d *kernel.Delivery) {}
+
+func use(b []byte) {}
+
+// --- Select and func-value discharge
+
+func selectReleased(ctx context.Context, a, b *kernel.Port) {
+	d, _, err := kernel.Select(ctx, a, b)
+	if err != nil {
+		return
+	}
+	d.Release()
+}
+
+func yieldDischarges(p *kernel.Process, yield func(*kernel.Delivery) bool) {
+	for {
+		d, err := p.TryRecv()
+		if err != nil || d == nil {
+			return
+		}
+		if !yield(d) {
+			return
+		}
+	}
+}

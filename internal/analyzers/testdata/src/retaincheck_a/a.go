@@ -1,0 +1,112 @@
+// Fixtures for retaincheck: evloop handlers borrow their delivery — the
+// shard releases it the moment the handler returns, so letting d or
+// d.Data escape is a use-after-release. Detach() and copies are the
+// sanctioned ways out.
+package a
+
+import (
+	"asbestos/internal/evloop"
+	"asbestos/internal/kernel"
+)
+
+var lastPayload []byte
+
+type server struct {
+	shard *evloop.Shard
+	last  []byte
+	names []string
+	byOp  map[byte][]byte
+	out   chan []byte
+}
+
+func use(b []byte) {}
+
+// --- escapes through every target class
+
+func (s *server) registerEscapes(pt *kernel.Port) {
+	s.shard.Handle(pt, func(d *kernel.Delivery) {
+		s.last = d.Data // want `handler lets the delivery payload escape \(stored in a field\)`
+	})
+	s.shard.HandleForward(func(d *kernel.Delivery) {
+		lastPayload = d.Data // want `handler lets the delivery payload escape \(stored in a package-level variable\)`
+	})
+	s.shard.HandleDefault(func(d *kernel.Delivery) {
+		s.byOp[d.Data[0]] = d.Data // want `handler lets the delivery payload escape \(stored in an element\)`
+	})
+}
+
+func (s *server) registerChanAndGo(pt *kernel.Port) {
+	s.shard.Handle(pt, func(d *kernel.Delivery) {
+		s.out <- d.Data // want `handler lets the delivery payload escape \(sent on a channel\)`
+	})
+	s.shard.HandleForward(func(d *kernel.Delivery) {
+		go use(d.Data) // want `handler lets the delivery payload escape \(captured by a go statement\)`
+	})
+}
+
+func (s *server) captured(pt *kernel.Port) {
+	var seen []byte
+	s.shard.Handle(pt, func(d *kernel.Delivery) {
+		seen = d.Data // want `handler lets the delivery payload escape \(stored in a variable captured from the enclosing function\)`
+	})
+	_ = seen
+}
+
+// Aliasing is transitive: a subslice of d.Data is still the pool's buffer,
+// and append onto an alias keeps the base array.
+func (s *server) aliased(pt *kernel.Port) {
+	s.shard.Handle(pt, func(d *kernel.Delivery) {
+		hdr := d.Data[:4]
+		s.last = hdr // want `handler lets the delivery payload escape \(stored in a field\)`
+	})
+	s.shard.HandleForward(func(d *kernel.Delivery) {
+		buf := d.Data
+		buf = append(buf, 0)
+		s.last = buf // want `handler lets the delivery payload escape \(stored in a field\)`
+	})
+}
+
+// --- named and method-value handlers resolve too
+
+func (s *server) onMsg(d *kernel.Delivery) {
+	s.last = d.Data // want `handler lets the delivery payload escape \(stored in a field\)`
+}
+
+func (s *server) registerMethod(pt *kernel.Port) {
+	s.shard.Handle(pt, s.onMsg)
+}
+
+func keepRaw(d *kernel.Delivery) {
+	lastPayload = d.Data // want `handler lets the delivery payload escape \(stored in a package-level variable\)`
+}
+
+func registerNamed(s *evloop.Shard) {
+	s.HandleDefault(evloop.Handler(keepRaw))
+}
+
+// A function with the handler shape that is never registered is not a
+// handler; it may own its delivery outright.
+func notAHandler(d *kernel.Delivery) {
+	lastPayload = d.Data
+}
+
+// --- sanctioned escapes
+
+func (s *server) sanctioned(pt *kernel.Port) {
+	s.shard.Handle(pt, func(d *kernel.Delivery) {
+		s.last = d.Detach() // ownership transfer: the pool no longer recycles it
+	})
+	s.shard.HandleForward(func(d *kernel.Delivery) {
+		s.names = append(s.names, string(d.Data)) // string conversion copies
+	})
+	s.shard.HandleDefault(func(d *kernel.Delivery) {
+		cp := append([]byte(nil), d.Data...) // fresh backing array
+		s.last = cp
+	})
+}
+
+func (s *server) copiesIntoGlobal(pt *kernel.Port) {
+	s.shard.Handle(pt, func(d *kernel.Delivery) {
+		lastPayload = append(lastPayload, d.Data...) // copy onto our own buffer
+	})
+}

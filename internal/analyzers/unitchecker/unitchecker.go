@@ -1,0 +1,267 @@
+// Package unitchecker drives the asbestosvet analyzers under `go vet
+// -vettool`, speaking the (unpublished but stable) vet command-line
+// protocol that cmd/go expects of an analysis tool — the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements, restated here on
+// the standard library alone:
+//
+//   - `tool -flags` prints the tool's analyzer flags as JSON (ours: none).
+//   - `tool -V=full` prints "name version v..." for the build cache key.
+//   - `tool <dir>/vet.cfg` analyzes one package: the JSON config carries
+//     the file list plus an import→export-data map, the tool type-checks
+//     against the compiler's export data and prints findings to stderr,
+//     exiting 2 if there were any.
+//
+// cmd/go invokes the tool once per package in the build graph; dependency
+// invocations arrive with VetxOnly set (they exist only to produce
+// cross-package facts, which this suite does not use) and return
+// immediately, so vetting the whole tree costs one type-check per package
+// actually named on the command line.
+//
+// Invoked with package patterns instead of a .cfg file, the tool re-execs
+// itself through `go vet -vettool=<self> <patterns>`, so
+// `asbestosvet ./...` works directly.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+
+	"asbestos/internal/analyzers/analysis"
+)
+
+// Config mirrors cmd/go's vetConfig (work.buildVetConfig); only the fields
+// this driver consumes are listed, but unknown JSON keys are ignored so the
+// struct tracks the real one loosely.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Version is what -V=full reports, alongside a hash of the tool binary
+// itself; cmd/go hashes the line into the vet cache key, so any rebuild
+// with changed analyzer behaviour invalidates cached clean verdicts.
+const Version = "v8.0"
+
+// selfID returns a content hash of the running executable, or "unknown"
+// when the binary cannot be read (the cache is merely less precise then).
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// Main is the tool entry point: dispatch on the protocol argument forms.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "asbestosvet"
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Printf("%s version %s sha256=%s\n", progname, Version, selfID())
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+	case len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
+		fmt.Printf("%s: the asbestos kernel-invariant analyzer suite\n\n", progname)
+		fmt.Printf("usage: %s package... (or via go vet -vettool=%s)\n\nAnalyzers:\n", progname, progname)
+		for _, a := range analyzers {
+			fmt.Printf("\n# %s\n\n%s\n", a.Name, a.Doc)
+		}
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		if err := runUnit(args[0], analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+	default:
+		// Package-pattern mode: delegate the build graph to go vet.
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	// Always produce the vetx output cmd/go caches, even though this suite
+	// computes no cross-package facts: a present-but-empty file lets the
+	// driver cache dependency results instead of re-invoking us per build.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("asbestosvet\n"), 0666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil // dependency run: facts only, and we have none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := RunAnalyzers(analyzers, fset, files, pkg, info)
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		os.Exit(2)
+	}
+	return nil
+}
+
+// typecheck type-checks the unit against the compiler's export data,
+// resolving imports through the config's ImportMap/PackageFile tables —
+// the stdlib gc importer accepts a lookup hook for exactly this.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// NewInfo allocates the full set of type-info maps the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// combined diagnostics in file/position order, deduplicated. Shared by the
+// vet driver and the in-process test harness.
+func RunAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      token.NoPos,
+				Message:  fmt.Sprintf("analyzer %s failed: %v", a.Name, err),
+				Analyzer: a.Name,
+			})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	out := diags[:0]
+	var last analysis.Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}

@@ -38,7 +38,11 @@
 // return must copy them (wire.Reader.Bytes already copies) or take
 // ownership with d.Detach(); retaining the slice without either is a
 // use-after-release bug, and the kernel's detector panics on the double
-// releases that usually accompany one.
+// releases that usually accompany one. The no-retain rule is normative and
+// machine-checked: asbestosvet's retaincheck analyzer resolves the handler
+// behind every Handle/HandleForward/HandleDefault registration and flags
+// any statement that lets the delivery or a payload alias outlive the
+// handler call.
 //
 // # Timers
 //

@@ -634,6 +634,7 @@ func (s *iddShard) broadcast(user string, id Identity, hashed string) {
 			continue
 		}
 		s.lp.Peer(j).Send(msg, &kernel.SendOpts{
+			//asbestos:keepstar idd is the identity authority: it holds uT/uG ⋆ for the account's lifetime to answer logins and re-grant on every shard
 			DecontSend: kernel.Grant(id.UT, id.UG),
 			DecontRecv: kernel.AllowRecv(label.L3, id.UT),
 		})
@@ -646,6 +647,7 @@ func (s *iddShard) replyOK(token uint64, id Identity, reply handle.Handle) {
 	msg := wire.NewWriter(OpLoginR).U64(token).Byte(1).String(id.UID).
 		Handle(id.UT).Handle(id.UG).Done()
 	s.proc.Port(reply).Send(msg, &kernel.SendOpts{
+		//asbestos:keepstar identity authority: uT/uG ⋆ outlives any one login — only the transient reply capability is dropped below
 		DecontSend: kernel.Grant(id.UT, id.UG),
 		DecontRecv: kernel.AllowRecv(label.L3, id.UT),
 	})

@@ -68,12 +68,16 @@ func (o *SendOpts) defaults() (cs, ds, dr, v *label.Label) {
 //
 // The payload has a release lifecycle: the kernel hands the receiver a
 // pooled buffer it owns until Release returns it for reuse by a future
-// send. Receivers under no memory pressure may simply drop the Delivery —
-// an unreleased buffer is garbage-collected like any other slice — but the
-// trusted event loops (internal/evloop) release every delivery after its
-// handler returns, which is what closes the last per-send allocation on
-// the hot path. A receiver that retains the payload bytes past Release
-// must copy them first, or take ownership with Detach.
+// send. The rule is normative: every received Delivery must reach Release
+// or Detach on every control-flow path (enforced by asbestosvet's
+// releasecheck analyzer). A dropped Delivery is garbage-collected like any
+// other slice, so a miss costs allocation pressure rather than
+// correctness — but the hand-audits that rule replaced kept finding real
+// leaks on error paths, so it is mechanical now. The trusted event loops
+// (internal/evloop) release every delivery after its handler returns,
+// which is what closes the last per-send allocation on the hot path. A
+// receiver that retains the payload bytes past Release must copy them
+// first, or take ownership with Detach.
 type Delivery struct {
 	Port handle.Handle
 	Data []byte
@@ -424,6 +428,11 @@ func (p *Process) recvScan(filter []handle.Handle) *Delivery {
 // deliverable wins over an already-expired context. In the event-process
 // realm, only the active event process's ports are eligible; the base
 // process must use Checkpoint.
+//
+// The ctx must be one that can actually end the wait — thread the caller's
+// context or derive one with WithTimeout/WithCancel. Passing a bare
+// context.Background()/TODO() wedges the goroutine forever and is rejected
+// by asbestosvet's ctxrecv analyzer.
 func (p *Process) RecvCtx(ctx context.Context, filter ...handle.Handle) (*Delivery, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

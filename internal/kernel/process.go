@@ -393,6 +393,11 @@ func (p *Process) ContaminateSelf(l *label.Label) {
 // DropPrivilege removes ⋆ for h from the context's send label, setting it
 // to lvl (which must be above ⋆). This is the paper's "special variant of
 // the send system call" by which only a process itself can shed ⋆ (§5.3).
+//
+// Pairing is normative: every transient Grant must reach DropPrivilege (or
+// Batcher.DropAfter) on every path after the send, and deliberately
+// long-lived ⋆ must carry an //asbestos:keepstar <reason> waiver — both
+// enforced by asbestosvet's privdrop analyzer.
 func (p *Process) DropPrivilege(h handle.Handle, lvl label.Level) error {
 	if lvl == label.Star || !lvl.Valid() {
 		return ErrBadLabel

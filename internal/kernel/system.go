@@ -85,6 +85,24 @@
 // Kernel data-structure sizes follow the paper for memory accounting:
 // 64-byte vnodes per active handle, 320-byte processes, 44-byte event
 // processes, and chunked labels of ≈300 bytes minimum.
+//
+// # Statically enforced contracts
+//
+// Four of this package's usage rules are normative and machine-checked by
+// the asbestosvet suite (cmd/asbestosvet; CI runs it via go vet
+// -vettool, and `go build -o vet ./cmd/asbestosvet && go vet -vettool=vet
+// ./...` reproduces the check locally):
+//
+//  1. Every *Delivery obtained from Recv/RecvCtx/TryRecv/Select or
+//     Mailbox.Drain reaches Release or Detach on every control-flow path
+//     (analyzer: releasecheck).
+//  2. Every ⋆-level capability grant (Grant) is paired with
+//     DropPrivilege/DropAfter on every path, or carries an
+//     //asbestos:keepstar <reason> waiver (analyzer: privdrop).
+//  3. Handlers running under internal/evloop do not retain the delivery
+//     or its payload past their return (analyzer: retaincheck).
+//  4. Blocking receives are given a cancellable context, never a bare
+//     context.Background()/TODO() (analyzer: ctxrecv).
 package kernel
 
 import (

@@ -264,8 +264,10 @@ func (s *netdShard) handleService(d *kernel.Delivery) {
 				continue
 			}
 			msg := wire.NewWriter(evListen).U16(lport).Handle(notify).Done()
-			s.lp.Peer(sib.idx).Send(msg,
-				&kernel.SendOpts{DecontSend: kernel.Grant(notify)})
+			s.lp.Peer(sib.idx).Send(msg, &kernel.SendOpts{
+				//asbestos:keepstar listener replication: every shard holds the notify-port ⋆ for as long as the listen registration lives, or sibling accept notifications would be capability-dropped
+				DecontSend: kernel.Grant(notify),
+			})
 		}
 		s.nd.nw.markListening(lport)
 	case opConnect:

@@ -291,7 +291,12 @@ func (s *Server) AddUser(user, pass, uid string) error {
 	if err := idd.AddUser(s.launcher.Port(adminPort), user, pass, uid, reply.Handle()); err != nil {
 		return err
 	}
-	d, err := reply.Recv(context.Background())
+	// Bound the wait: if idd died the reply never comes, and an unbounded
+	// receive would wedge the caller forever (ctxrecv flags Background
+	// receives for exactly this reason).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	d, err := reply.Recv(ctx)
 	if err != nil {
 		return err
 	}
