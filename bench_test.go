@@ -169,6 +169,31 @@ func BenchmarkFig7ThroughputParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7TransportAB prices the real-socket front end against the
+// simulated wire it plugs in beside: the same Figure 7 echo workload (64
+// users × 4 keep-alive requests, request concurrency 16) is driven once
+// over the in-memory Network and once over a loopback TCP socket through
+// netd.TCPListener, against identically provisioned stacks. Both rates
+// are reported from the same run as an interleaved A/B pair; the tcp
+// figure is the honest one for any real-deployment claim, and the gap is
+// the price of syscalls, loopback traversal, and the per-connection
+// reader/writer goroutines.
+func BenchmarkFig7TransportAB(b *testing.B) {
+	var row experiments.Fig7ABRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.Figure7TransportAB(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.Simulated.Errors > 0 || row.TCP.Errors > 0 {
+			b.Fatalf("errors: simulated %d, tcp %d", row.Simulated.Errors, row.TCP.Errors)
+		}
+	}
+	b.ReportMetric(row.Simulated.ConnsPerSec, "conns/sec_simulated")
+	b.ReportMetric(row.TCP.ConnsPerSec, "conns/sec_tcp")
+}
+
 // BenchmarkDeliveryLifecycle isolates the Delivery.Release payload
 // recycling the trusted event loops ride on: one sender spraying a port,
 // the receiver either releasing each delivery (the evloop discipline —

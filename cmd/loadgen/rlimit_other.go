@@ -1,0 +1,5 @@
+//go:build !unix
+
+package main
+
+func raiseNoFile(uint64) error { return nil }

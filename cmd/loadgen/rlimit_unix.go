@@ -1,0 +1,36 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseNoFile lifts the open-file limit so ten thousand sockets fit. A
+// self-serve run holds BOTH ends of every connection in one process — 2×
+// conns fds plus overhead — so the hard limit is raised too when the
+// process is privileged (CAP_SYS_RESOURCE); otherwise the soft limit is
+// lifted to the hard cap and the run proceeds best-effort. Running out of
+// fds mid-run is nasty: accepts fail with EMFILE and the victims' sockets
+// sit established-but-undrained in the listen queue until their clients
+// give up.
+func raiseNoFile(want uint64) error {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return err
+	}
+	if lim.Cur >= want {
+		return nil
+	}
+	if lim.Max < want {
+		// Try for a bigger hard limit; privileged processes can.
+		try := lim
+		try.Cur, try.Max = want, want
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try) == nil {
+			return nil
+		}
+	}
+	lim.Cur = want
+	if lim.Cur > lim.Max {
+		lim.Cur = lim.Max
+	}
+	return syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -9,13 +9,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"asbestos"
 )
 
+var listenAddr = flag.String("listen", "", "serve real HTTP on this TCP address (e.g. 127.0.0.1:8080) until interrupted")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "webserver:", err)
 		os.Exit(1)
@@ -78,5 +83,16 @@ func run() error {
 	get("bob", "b", "/profile")
 	fmt.Println("-- the kernel delivered only bob's own row: alice's bio never arrived;")
 	fmt.Println("-- the worker cannot even tell how many rows were withheld (§7.5)")
+
+	if *listenAddr != "" {
+		ln, err := srv.ListenTCP(*listenAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nserving real HTTP on http://%s/profile (auth header: \"alice a\" or \"bob b\"); ctrl-c to stop\n", ln.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 	return nil
 }

@@ -1,0 +1,84 @@
+// Package buffered provides the flush-on-threshold writer the real-socket
+// netd transport coalesces reply bursts with: small writes accumulate in
+// one buffer and reach the underlying writer as a single write call — the
+// userspace analogue of writev — either when the buffered bytes cross the
+// threshold or when the producer explicitly flushes at a burst boundary.
+//
+// Unlike bufio.Writer, Write never splits a payload across two underlying
+// write calls and never performs a partial flush: the buffer grows to hold
+// whatever one burst produces, and each flush hands the accumulated bytes
+// to the underlying writer whole. That keeps the underlying syscall count
+// proportional to bursts, not messages, which is the point: one netd
+// dispatch round can fulfill dozens of reads and acks for one connection,
+// and they should cost one socket write.
+package buffered
+
+import "io"
+
+// DefaultThreshold is the flush threshold used when NewWriter is given a
+// non-positive one: large enough to absorb a typical burst of HTTP
+// responses, small enough to keep per-connection memory modest.
+const DefaultThreshold = 16 * 1024
+
+// Writer accumulates writes and flushes them to w in threshold-sized (or
+// larger) chunks. The zero value is not usable; construct with NewWriter.
+// Writer is not safe for concurrent use — in netd each connection's writer
+// goroutine owns one exclusively.
+type Writer struct {
+	w         io.Writer
+	buf       []byte
+	threshold int
+	err       error
+}
+
+// NewWriter wraps w with a flush threshold (<=0 selects DefaultThreshold).
+func NewWriter(w io.Writer, threshold int) *Writer {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Writer{w: w, threshold: threshold}
+}
+
+// Write buffers p, flushing to the underlying writer once the buffer
+// reaches the threshold. Errors are sticky: after an underlying write
+// fails, every subsequent call reports that first error and nothing more
+// reaches the writer.
+func (b *Writer) Write(p []byte) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	b.buf = append(b.buf, p...)
+	if len(b.buf) >= b.threshold {
+		if err := b.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Flush writes any buffered bytes through in one call. Call it at burst
+// boundaries: the moment the producer has nothing more queued, whatever
+// accumulated below the threshold should still hit the wire.
+func (b *Writer) Flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.buf) == 0 {
+		return nil
+	}
+	n, err := b.w.Write(b.buf)
+	if err == nil && n < len(b.buf) {
+		err = io.ErrShortWrite
+	}
+	b.buf = b.buf[:0]
+	if err != nil {
+		b.err = err
+	}
+	return err
+}
+
+// Buffered reports the bytes accumulated and not yet flushed.
+func (b *Writer) Buffered() int { return len(b.buf) }
+
+// Err returns the sticky error, if any.
+func (b *Writer) Err() error { return b.err }

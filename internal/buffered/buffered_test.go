@@ -1,0 +1,107 @@
+package buffered
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// recorder counts underlying write calls and their sizes.
+type recorder struct {
+	bytes.Buffer
+	calls []int
+	fail  error
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.fail != nil {
+		return 0, r.fail
+	}
+	r.calls = append(r.calls, len(p))
+	return r.Buffer.Write(p)
+}
+
+func TestBelowThresholdBuffers(t *testing.T) {
+	var r recorder
+	w := NewWriter(&r, 64)
+	for i := 0; i < 3; i++ {
+		if n, err := w.Write([]byte("0123456789")); n != 10 || err != nil {
+			t.Fatalf("write: %d %v", n, err)
+		}
+	}
+	if len(r.calls) != 0 {
+		t.Fatalf("flushed early: %v", r.calls)
+	}
+	if w.Buffered() != 30 {
+		t.Fatalf("buffered = %d", w.Buffered())
+	}
+}
+
+func TestThresholdCoalescesIntoOneWrite(t *testing.T) {
+	var r recorder
+	w := NewWriter(&r, 64)
+	// 7 × 10 = 70 ≥ 64: exactly one underlying write carrying all 70 bytes.
+	for i := 0; i < 7; i++ {
+		w.Write([]byte("0123456789"))
+	}
+	if len(r.calls) != 1 || r.calls[0] != 70 {
+		t.Fatalf("calls = %v, want [70]", r.calls)
+	}
+	if w.Buffered() != 0 {
+		t.Fatalf("buffered after flush = %d", w.Buffered())
+	}
+}
+
+func TestFlushDrainsTail(t *testing.T) {
+	var r recorder
+	w := NewWriter(&r, 1<<20)
+	w.Write([]byte("tail"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "tail" {
+		t.Fatalf("underlying = %q", got)
+	}
+	// Flushing an empty buffer is a no-op, not a zero-length write.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.calls) != 1 {
+		t.Fatalf("calls = %v", r.calls)
+	}
+}
+
+func TestErrorIsSticky(t *testing.T) {
+	boom := errors.New("boom")
+	r := recorder{fail: boom}
+	w := NewWriter(&r, 4)
+	if _, err := w.Write([]byte("01234")); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	r.fail = nil // underlying recovers, but the writer must not
+	if _, err := w.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("error not sticky on Write: %v", err)
+	}
+	if err := w.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("error not sticky on Flush: %v", err)
+	}
+	if err := w.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("bytes leaked through after error: %q", r.String())
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	var r recorder
+	w := NewWriter(&r, 0)
+	w.Write(make([]byte, DefaultThreshold-1))
+	if len(r.calls) != 0 {
+		t.Fatal("flushed below default threshold")
+	}
+	w.Write([]byte{0})
+	if len(r.calls) != 1 || r.calls[0] != DefaultThreshold {
+		t.Fatalf("calls = %v", r.calls)
+	}
+}

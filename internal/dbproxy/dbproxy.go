@@ -108,6 +108,7 @@ type proxyShard struct {
 	lp *evloop.Shard
 
 	proc *kernel.Process // lp's process
+	out  *kernel.Batcher // lp's batcher, flushed by the loop after each burst
 
 	workerPort *kernel.Port
 	adminPort  *kernel.Port
@@ -155,6 +156,7 @@ func NewShardedBurst(sys *kernel.System, database *db.DB, n int, burst evloop.Bu
 			p:          p,
 			lp:         lp,
 			proc:       proc,
+			out:        lp.Out(),
 			workerPort: worker,
 			adminPort:  admin,
 			byUser:     make(map[string]Mapping),
@@ -266,7 +268,9 @@ func (s *proxyShard) handleAdmin(d *kernel.Delivery) {
 		}
 		w.U32(uint32(res.Affected))
 		s.send(reply, w.Done(), nil)
-		s.proc.DropPrivilege(reply, label.L1)
+		// The reply above is still buffered in the shard Batcher; shed the
+		// capability only after the loop's flush actually enqueues it.
+		s.out.DropAfter(reply)
 	case OpMapping:
 		user := r.String()
 		m := Mapping{UID: r.String(), UT: r.Handle(), UG: r.Handle()}
@@ -294,8 +298,11 @@ func (s *proxyShard) handleWorker(d *kernel.Delivery) {
 	if r.Err() {
 		return
 	}
-	// The reply capability lives for this request only.
-	defer s.proc.DropPrivilege(reply, label.L1)
+	// The reply capability lives for this request only, but every reply now
+	// rides the shard Batcher: the privilege must survive until the loop's
+	// post-burst Flush, so the drop is scheduled there rather than taken
+	// inline on return.
+	defer s.out.DropAfter(reply)
 
 	m, ok := s.byUser[user]
 	if !ok {
@@ -379,10 +386,12 @@ func (s *proxyShard) execSimple(m Mapping, stmt db.Stmt, args []string, reply ha
 // execSelect streams rows back, each labeled by its owner (paper §7.5:
 // "Each row is returned as a separate message with a separate taint"),
 // then an untainted done. The whole stream — every row message plus the
-// done marker — leaves the proxy as ONE SendBatch: each row is still a
-// separate message with its own taint (the receiver-side checks run per
-// message, so the kernel still hides rows the worker may not see), but the
-// per-message queue operations and wakeups are paid once per result set.
+// done marker — rides the shard Batcher and leaves the proxy as ONE
+// SendBatch per destination at the loop's post-burst Flush: each row is
+// still a separate message with its own taint (the receiver-side checks
+// run per message, so the kernel still hides rows the worker may not see),
+// but the per-message queue operations and wakeups are paid once per
+// burst, and result sets for several workers in one burst coalesce too.
 func (s *proxyShard) execSelect(m Mapping, sel *db.SelectStmt, args []string, reply handle.Handle) {
 	// Resolve the output columns, then select them plus the hidden owner.
 	outCols := sel.Cols
@@ -409,10 +418,9 @@ func (s *proxyShard) execSelect(m Mapping, sel *db.SelectStmt, args []string, re
 		s.reply(m, reply, errMsg(err))
 		return
 	}
-	// One shared *SendOpts per row owner, so SendBatch prepares the taint
+	// One shared *SendOpts per row owner, so the flush prepares the taint
 	// labels once per owner run rather than once per row.
 	ownerOpts := make(map[string]*kernel.SendOpts)
-	entries := make([]kernel.BatchEntry, 0, len(res.Rows)+1)
 	sent := 0
 	for _, row := range res.Rows {
 		owner := row[len(row)-1]
@@ -433,16 +441,12 @@ func (s *proxyShard) execSelect(m Mapping, sel *db.SelectStmt, args []string, re
 				ownerOpts[owner] = opts
 			}
 		}
-		entries = append(entries, kernel.BatchEntry{Data: w.Done(), Opts: opts, Owned: true})
+		s.out.Add(reply, w.Done(), opts)
 		sent++
 	}
 	// Untainted completion marker: receipt tells the worker the stream
 	// ended without revealing how many rows it was not allowed to see.
-	entries = append(entries, kernel.BatchEntry{
-		Data:  wire.NewWriter(OpDone).U32(uint32(sent)).Done(),
-		Owned: true,
-	})
-	s.proc.Port(reply).SendBatch(entries)
+	s.out.Add(reply, wire.NewWriter(OpDone).U32(uint32(sent)).Done(), nil)
 }
 
 // reply sends a worker-facing control message tainted with the user's
@@ -451,10 +455,11 @@ func (s *proxyShard) reply(m Mapping, to handle.Handle, msg []byte) {
 	s.send(to, msg, &kernel.SendOpts{Contaminate: kernel.Taint(label.L3, m.UT)})
 }
 
-// send is the shard's one-off reply path: replies go to wire-carried
-// handles, so the endpoint is bound per call.
+// send buffers one reply in the shard Batcher; the loop flushes after the
+// burst, so replies to wire-carried handles still leave in FIFO order but
+// cost one queue operation per destination per burst.
 func (s *proxyShard) send(to handle.Handle, msg []byte, opts *kernel.SendOpts) {
-	s.proc.Port(to).Send(msg, opts)
+	s.out.Add(to, msg, opts)
 }
 
 func errMsg(err error) []byte {

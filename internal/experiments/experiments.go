@@ -273,6 +273,71 @@ func figure7Parallel(sessionCounts []int, workers, shards, iddShards int) ([]Fig
 	return rows, nil
 }
 
+// Fig7ABRow pairs one Figure 7 measurement over the two netd transports.
+type Fig7ABRow struct {
+	Sessions  int
+	Simulated Fig7Row
+	TCP       Fig7Row
+}
+
+// Figure7TransportAB measures the same echo workload — sessions users,
+// ConnsPerSession requests each, client concurrency OKWSConcurrency —
+// against two identically provisioned stacks that differ only in the
+// transport under netd: the in-memory simulated Network every earlier
+// Figure 7 number was taken on, and a real loopback TCP socket through
+// netd.TCPListener. One keep-alive TCP request corresponds to one
+// simulated connection (the simulated client does connect→request→close),
+// so ConnsPerSec is comparable across the pair; the delta prices real
+// sockets — syscalls, loopback traversal, the per-connection
+// reader/writer goroutines — on an otherwise unchanged label stack.
+func Figure7TransportAB(sessions int) (Fig7ABRow, error) {
+	row := Fig7ABRow{Sessions: sessions}
+
+	srv, us, err := provision(sessions, nil, okws.Service{Name: "echo", Handler: echoHandler})
+	if err != nil {
+		return row, err
+	}
+	reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
+	resA := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency)
+	srv.Stop()
+	row.Simulated = Fig7Row{
+		Label:       fmt.Sprintf("OKWS %d simulated", sessions),
+		Sessions:    sessions,
+		ConnsPerSec: resA.ConnsPerSec(),
+		Errors:      resA.Errors + resA.BadStatus,
+	}
+
+	srv, us, err = provision(sessions, nil, okws.Service{Name: "echo", Handler: echoHandler})
+	if err != nil {
+		return row, err
+	}
+	ln, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		srv.Stop()
+		return row, err
+	}
+	resB := workload.RunTCP(ln.Addr().String(), workload.TCPOptions{
+		Conns:       sessions,
+		ReqsPerConn: ConnsPerSession,
+		MaxInflight: OKWSConcurrency,
+	}, func(conn, seq int) *httpmsg.Request {
+		u := us[conn%len(us)]
+		return &httpmsg.Request{
+			Method:  "GET",
+			Path:    "/echo?n=11",
+			Headers: map[string]string{"authorization": u.User + " " + u.Pass},
+		}
+	})
+	srv.Stop()
+	row.TCP = Fig7Row{
+		Label:       fmt.Sprintf("OKWS %d tcp", sessions),
+		Sessions:    sessions,
+		ConnsPerSec: resB.ReqsPerSec(),
+		Errors:      resB.Errors + resB.BadStatus,
+	}
+	return row, nil
+}
+
 // Figure7Baselines measures the Apache and Mod-Apache bars.
 func Figure7Baselines(connections int) []Fig7Row {
 	req := &httpmsg.Request{Method: "GET", Path: "/svc",

@@ -103,6 +103,24 @@ func TestFigure7Shape(t *testing.T) {
 	}
 }
 
+func TestFigure7TransportABShape(t *testing.T) {
+	row, err := Figure7TransportAB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Fig7Row{row.Simulated, row.TCP} {
+		if r.Errors != 0 {
+			t.Fatalf("%s: %d errors", r.Label, r.Errors)
+		}
+		if r.ConnsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", r.Label)
+		}
+	}
+	// No ORDER assertion between the transports: on a loaded test box the
+	// loopback-socket and in-memory rates are both scheduler-bound at this
+	// scale. The A/B magnitude lives in BENCH_pr9.json.
+}
+
 func TestFigure8Shape(t *testing.T) {
 	rows, err := Figure8(200, 100)
 	if err != nil {

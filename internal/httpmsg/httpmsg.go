@@ -33,6 +33,14 @@ func (r *Request) User() (user, pass string, ok bool) {
 	return parts[0], parts[1], true
 }
 
+// KeepAlive reports whether the client asked to reuse the connection
+// ("Connection: keep-alive"). The codec speaks HTTP/1.0, where close is
+// the default; a server honoring this echoes the header on its response
+// and leaves the connection open for the next request.
+func (r *Request) KeepAlive() bool {
+	return strings.EqualFold(r.Headers["connection"], "keep-alive")
+}
+
 // Service returns the first path segment, OKWS's worker selector:
 // "/store?d=x" → "store".
 func (r *Request) Service() string {

@@ -70,6 +70,7 @@ func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEnt
 		// privilege violation is reported identically either way — but no
 		// messages need building.
 		if err := checkBatchPrivs(ps, entries); err != nil {
+			p.sys.countDrop(dropClassReject, uint64(len(entries)))
 			return err
 		}
 		p.sys.countDrop(dropClassDead, uint64(len(entries)))
@@ -90,10 +91,15 @@ func (p *Process) sendBatchVia(port handle.Handle, vn *vnode, entries []BatchEnt
 			cs, ds2, dr2, v2 := e.Opts.defaults()
 			if err := checkSendPrivs(ps, ds2, dr2); err != nil {
 				// Reject the batch atomically: nothing was published, so
-				// the built prefix just goes back to the freelist.
+				// the built prefix just goes back to the freelist. The
+				// reject is counted like any other loss — callers flush
+				// batches fire-and-forget, and an invisible whole-batch
+				// rejection is undebuggable (it strands every entry, not
+				// just the offending one).
 				for _, m := range msgs[:i] {
 					freeMsg(m)
 				}
+				p.sys.countDrop("reject:"+portClass(st.owner.name), uint64(len(entries)))
 				return err
 			}
 			es, ds, dr, v = ps.Lub(cs), ds2, dr2, v2

@@ -362,8 +362,13 @@ func (s *System) countDrop(class string, n uint64) {
 	c.(*stats.Counter).Add(n)
 }
 
-// dropClassDead is the drop class for undeliverable destinations.
-const dropClassDead = "dead"
+// dropClassDead is the drop class for undeliverable destinations;
+// dropClassReject counts whole batches rejected by a sender-side privilege
+// failure (the destination was unresolvable, so no port class applies).
+const (
+	dropClassDead   = "dead"
+	dropClassReject = "reject"
+)
 
 // portClass folds a process name to its drop-stats class: the shard
 // suffix ("idd/3" → "idd") and the per-service worker suffix

@@ -1,6 +1,7 @@
 package netd
 
 import (
+	"sync"
 	"time"
 
 	"asbestos/internal/evloop"
@@ -29,6 +30,7 @@ const EnvName = "netd"
 // goroutine with Run.
 type Netd struct {
 	sys *kernel.System
+	inj *Injector
 	nw  *Network
 	g   *evloop.Group
 
@@ -37,6 +39,12 @@ type Netd struct {
 	idle time.Duration
 
 	shards []*netdShard
+
+	// transports are every event source feeding the shards — the simulated
+	// Network always, plus any TCPListeners opened with ListenTCP. Stop
+	// closes them all before stopping the loops.
+	tmu        sync.Mutex
+	transports []Transport
 }
 
 // netdShard is one event loop: its own process, driver port and connection
@@ -70,7 +78,7 @@ type netdShard struct {
 // sconn is a shard's per-connection state: the wrapped port endpoint, the
 // optional taint handle, and reads awaiting data.
 type sconn struct {
-	c       *Conn
+	c       WireConn
 	port    *kernel.Port
 	lport   uint16
 	taint   handle.Handle
@@ -183,15 +191,24 @@ func NewOpts(sys *kernel.System, o Options) *Netd {
 		drivers[i] = drv.Port(s.driverPort.Handle())
 	}
 
-	nd.nw = &Network{
-		conns:     make(map[uint64]*Conn),
-		listening: make(map[uint16]bool),
-		external:  make(map[uint16]*ExternalListener),
-		drv:       drv,
-		drivers:   drivers,
-	}
+	nd.inj = newInjector(drv, drivers)
+	nd.nw = newNetwork(nd.inj)
+	nd.transports = []Transport{nd.nw}
 	sys.SetEnv(EnvName, nd.shards[0].servicePort.Handle())
 	return nd
+}
+
+// Injector exposes the event hub so additional transports can be built on
+// top of this netd (tests, custom drivers). ListenTCP covers the common
+// case.
+func (nd *Netd) Injector() *Injector { return nd.inj }
+
+// AddTransport records a transport for teardown: Stop closes it before
+// stopping the shard loops.
+func (nd *Netd) AddTransport(t Transport) {
+	nd.tmu.Lock()
+	nd.transports = append(nd.transports, t)
+	nd.tmu.Unlock()
 }
 
 // Network returns the simulated wire for remote peers.
@@ -225,9 +242,19 @@ func (nd *Netd) Processes() []*kernel.Process {
 // one SendBatch per destination.
 func (nd *Netd) Run() { nd.g.Run() }
 
-// Stop shuts netd down: it cancels the lifecycle context, which returns
-// Run, and then releases every shard process's kernel state.
-func (nd *Netd) Stop() { nd.g.Stop() }
+// Stop shuts netd down: it closes every transport (so no new connections
+// or events arrive and pending accepts unblock with ErrClosed), then
+// cancels the lifecycle context, which returns Run and releases every
+// shard process's kernel state.
+func (nd *Netd) Stop() {
+	nd.tmu.Lock()
+	ts := append([]Transport(nil), nd.transports...)
+	nd.tmu.Unlock()
+	for _, t := range ts {
+		t.Close()
+	}
+	nd.g.Stop()
+}
 
 // handleConnPort is the shard's fallback handler: deliveries to the
 // per-connection ports tracked in byPort.
@@ -269,7 +296,7 @@ func (s *netdShard) handleService(d *kernel.Delivery) {
 				DecontSend: kernel.Grant(notify),
 			})
 		}
-		s.nd.nw.markListening(lport)
+		s.nd.inj.markListening(lport)
 	case opConnect:
 		lport := r.U16()
 		reply := r.Handle()
@@ -284,7 +311,7 @@ func (s *netdShard) handleService(d *kernel.Delivery) {
 			s.out.DropAfter(reply)
 			return
 		}
-		owner := s.nd.shards[shard.OfU64(c.id, len(s.nd.shards))]
+		owner := s.nd.shards[shard.OfU64(c.ID(), len(s.nd.shards))]
 		if owner == s {
 			sc := s.newSconn(c, lport)
 			msg := wire.NewWriter(OpConnectReply).Byte(1).Handle(sc.port.Handle()).Done()
@@ -295,7 +322,7 @@ func (s *netdShard) handleService(d *kernel.Delivery) {
 		// The connection hashes to a sibling: hand it over on the forward
 		// port, re-granting the requester's reply capability so the owner
 		// can answer directly.
-		msg := wire.NewWriter(evAdopt).U64(c.id).U16(lport).Handle(reply).Done()
+		msg := wire.NewWriter(evAdopt).U64(c.ID()).U16(lport).Handle(reply).Done()
 		s.lp.Peer(owner.idx).Send(msg,
 			&kernel.SendOpts{DecontSend: kernel.Grant(reply)})
 		s.proc.DropPrivilege(reply, label.L1)
@@ -316,10 +343,10 @@ func (s *netdShard) addListener(lport uint16, notify handle.Handle) {
 // as {uC 0, 2}: nobody but this netd shard can send to it until access is
 // granted (Figure 5 step 1). With an IdleTimeout the inactivity timer
 // starts here — a connection nobody ever touches still gets reclaimed.
-func (s *netdShard) newSconn(c *Conn, lport uint16) *sconn {
+func (s *netdShard) newSconn(c WireConn, lport uint16) *sconn {
 	port := s.proc.Open(label.Empty(label.L2))
 	sc := &sconn{c: c, port: port, lport: lport}
-	s.conns[c.id] = sc
+	s.conns[c.ID()] = sc
 	s.byPort[port.Handle()] = sc
 	if s.nd.idle > 0 {
 		sc.idle = s.lp.Timer(func(time.Time) { s.idleExpire(sc) })
@@ -345,7 +372,7 @@ func (s *netdShard) idleExpire(sc *sconn) {
 		return
 	}
 	sc.closed = true
-	sc.c.closeFromNetd()
+	sc.c.CloseOutbound()
 	s.fulfillReads(sc) // pending reads get EOF
 	s.teardown(sc)
 }
@@ -360,8 +387,12 @@ func (s *netdShard) teardown(sc *sconn) {
 	}
 	sc.port.Dissociate()
 	s.proc.DropPrivilege(sc.port.Handle(), label.L1)
-	delete(s.conns, sc.c.id)
+	delete(s.conns, sc.c.ID())
 	delete(s.byPort, sc.port.Handle())
+	// The registry tracks live connections only: without this, every
+	// connection ever opened would pin its WireConn (and, for TCP, its
+	// socket buffers) until process exit.
+	s.nd.inj.Unregister(sc.c.ID())
 }
 
 func (s *netdShard) handleDriver(d *kernel.Delivery) {
@@ -373,9 +404,17 @@ func (s *netdShard) handleDriver(d *kernel.Delivery) {
 		if r.Err() {
 			return
 		}
-		c := s.nd.nw.conn(id)
+		c := s.nd.inj.Conn(id)
+		if c == nil {
+			return
+		}
 		notifies := s.listeners[lport]
-		if c == nil || len(notifies) == 0 {
+		if len(notifies) == 0 {
+			// No listener by the time the event is dispatched (e.g. the demux
+			// already stopped): refuse the connection instead of leaking it in
+			// the registry forever.
+			c.CloseOutbound()
+			s.nd.inj.Unregister(id)
 			return
 		}
 		// Deal the connection to the next listener endpoint round-robin —
@@ -420,7 +459,7 @@ func (s *netdShard) handleShard(d *kernel.Delivery) {
 		if r.Err() {
 			return
 		}
-		c := s.nd.nw.conn(id)
+		c := s.nd.inj.Conn(id)
 		if c == nil {
 			s.out.Add(reply, wire.NewWriter(OpConnectReply).Byte(0).Handle(handle.None).Done(), nil)
 			s.out.DropAfter(reply)
@@ -453,7 +492,9 @@ func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
 		}
 		n := 0
 		if !sc.closed {
-			n = sc.c.pushFromNetd(data)
+			n = sc.c.PushOutbound(data)
+		}
+		if n != len(data) {
 		}
 		s.reply(sc, reply, wire.NewWriter(OpWriteReply).U32(uint32(n)).Done())
 	case opControl:
@@ -465,7 +506,7 @@ func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
 		okb := byte(0)
 		if cmd == CtlClose && !sc.closed {
 			sc.closed = true
-			sc.c.closeFromNetd()
+			sc.c.CloseOutbound()
 			okb = 1
 		}
 		s.fulfillReads(sc) // pending reads now get EOF
@@ -478,7 +519,7 @@ func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
 		if r.Err() {
 			return
 		}
-		readable, writable := sc.c.bufferState()
+		readable, writable := sc.c.BufferState()
 		msg := wire.NewWriter(OpSelectReply).U32(uint32(readable)).U32(uint32(writable)).Done()
 		s.reply(sc, reply, msg)
 	case opAddTaint:
@@ -507,7 +548,7 @@ func (s *netdShard) handleConn(sc *sconn, d *kernel.Delivery) {
 func (s *netdShard) fulfillReads(sc *sconn) {
 	for len(sc.pending) > 0 {
 		pr := sc.pending[0]
-		data, eof := sc.c.takeToNetd(pr.max)
+		data, eof := sc.c.TakeInbound(pr.max)
 		if sc.closed {
 			eof = true
 		}

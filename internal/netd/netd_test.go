@@ -322,7 +322,10 @@ func TestOutgoingConnect(t *testing.T) {
 	if err := Connect(r.app.Port(svc), 443, reply); err != nil {
 		t.Fatal(err)
 	}
-	remote := ext.Accept()
+	remote, err := ext.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := recvOn(r.app, reply)
 	if err != nil {
 		t.Fatal(err)
@@ -521,7 +524,10 @@ func TestShardedOutgoingConnect(t *testing.T) {
 		if err := Connect(r.app.Port(svc), 443, reply); err != nil {
 			t.Fatal(err)
 		}
-		remote := ext.Accept()
+		remote, aerr := ext.Accept()
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
 		d, err := recvOn(r.app, reply)
 		if err != nil {
 			t.Fatal(err)

@@ -1,57 +1,61 @@
 package netd
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sync"
 
-	"asbestos/internal/kernel"
-	"asbestos/internal/shard"
 	"asbestos/internal/wire"
 )
 
 // connWindow bounds each direction's in-flight bytes, standing in for a TCP
-// window. Writers block when the window is full.
+// window. Remote writers block when the window toward Asbestos is full; the
+// netd side is never blocked — PushOutbound accepts what fits.
 const connWindow = 256 * 1024
 
 // ErrRefused is returned by Dial when nothing listens on the port.
 var ErrRefused = errors.New("netd: connection refused")
 
-// ErrClosed is returned on operations over a closed connection.
+// ErrClosed is returned on operations over a closed connection, listener
+// or network.
 var ErrClosed = errors.New("netd: connection closed")
 
-// Network is the simulated wire: the world outside the Asbestos box.
-// Remote peers obtain Conns via Dial (connecting in to an Asbestos
-// listener) or ListenExternal (accepting connections that Asbestos
-// processes open outward). It substitutes for the paper's gigabit LAN and
-// HTTP load generator host.
+// Network is the simulated wire: the world outside the Asbestos box, and
+// the Transport the netd test suites and benchmarks run over. Remote peers
+// obtain Conns via Dial (connecting in to an Asbestos listener) or
+// ListenExternal (accepting connections that Asbestos processes open
+// outward). It substitutes for the paper's gigabit LAN and HTTP load
+// generator host; the TCPListener transport replaces it with real sockets.
 type Network struct {
-	mu        sync.Mutex
-	nextID    uint64
-	conns     map[uint64]*Conn
-	listening map[uint16]bool
-	external  map[uint16]*ExternalListener
+	inj *Injector
 
-	drv *kernel.Process
-	// drivers are the netd shards' driver ports as the driver process's
-	// cached send endpoints; every event for connection id goes to the shard
-	// owning that id, so one connection's events never split across loops.
-	drivers []*kernel.Port
+	mu       sync.Mutex
+	closed   bool
+	external map[uint16]*ExternalListener
+}
+
+var _ Transport = (*Network)(nil)
+
+func newNetwork(inj *Injector) *Network {
+	return &Network{inj: inj, external: make(map[uint16]*ExternalListener)}
 }
 
 // Dial opens a connection from the simulated remote host to an Asbestos
 // listener on lport.
 func (nw *Network) Dial(lport uint16) (*Conn, error) {
 	nw.mu.Lock()
-	if !nw.listening[lport] {
+	if nw.closed {
 		nw.mu.Unlock()
+		return nil, ErrClosed
+	}
+	nw.mu.Unlock()
+	if !nw.inj.Listening(lport) {
 		return nil, ErrRefused
 	}
-	nw.nextID++
-	c := newConn(nw, nw.nextID)
-	nw.conns[c.id] = c
-	nw.mu.Unlock()
-	nw.event(c.id, wire.NewWriter(evNewConn).U64(c.id).U16(lport).Done())
+	c := newConn(nw.inj, nw.inj.NewID())
+	nw.inj.Register(c)
+	nw.inj.EventNewConn(c.id, lport)
 	return c, nil
 }
 
@@ -60,37 +64,41 @@ func (nw *Network) Dial(lport uint16) (*Conn, error) {
 func (nw *Network) ListenExternal(lport uint16) *ExternalListener {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	l := &ExternalListener{nw: nw, lport: lport, ch: make(chan *Conn, 64)}
+	l := &ExternalListener{nw: nw, lport: lport, ch: make(chan *Conn, 64), done: make(chan struct{})}
+	if nw.closed {
+		close(l.done)
+		return l
+	}
 	nw.external[lport] = l
 	return l
-}
-
-// event injects a driver event for connection id into the kernel on behalf
-// of the interrupt path, dealt to the shard owning the connection.
-func (nw *Network) event(id uint64, msg []byte) {
-	nw.drivers[shard.OfU64(id, len(nw.drivers))].Send(msg, nil)
 }
 
 // Listening reports whether lport currently accepts connections (set once
 // netd's service loop has processed the Listen request; the OKWS launcher
 // waits on it so a stack is dialable the moment Launch returns).
 func (nw *Network) Listening(lport uint16) bool {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.listening[lport]
+	return nw.inj.Listening(lport)
 }
 
-// markListening is called by netd when it processes a Listen request.
-func (nw *Network) markListening(lport uint16) {
+// Close tears the simulated wire down (Transport contract): future Dials
+// fail with ErrClosed and every external listener — including accepts
+// already blocked in Accept/AcceptCtx — unblocks with ErrClosed.
+func (nw *Network) Close() {
 	nw.mu.Lock()
-	nw.listening[lport] = true
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	listeners := make([]*ExternalListener, 0, len(nw.external))
+	for _, l := range nw.external {
+		listeners = append(listeners, l)
+	}
+	nw.external = make(map[uint16]*ExternalListener)
 	nw.mu.Unlock()
-}
-
-func (nw *Network) conn(id uint64) *Conn {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.conns[id]
+	for _, l := range listeners {
+		l.close()
+	}
 }
 
 // connectExternal pairs an Asbestos-initiated connection with an external
@@ -98,22 +106,18 @@ func (nw *Network) conn(id uint64) *Conn {
 func (nw *Network) connectExternal(lport uint16) *Conn {
 	nw.mu.Lock()
 	l := nw.external[lport]
+	nw.mu.Unlock()
 	if l == nil {
-		nw.mu.Unlock()
 		return nil
 	}
-	nw.nextID++
-	c := newConn(nw, nw.nextID)
-	nw.conns[c.id] = c
-	nw.mu.Unlock()
+	c := newConn(nw.inj, nw.inj.NewID())
+	nw.inj.Register(c)
 	select {
 	case l.ch <- c:
 		return c
 	default:
 		// Listener backlog full: refuse.
-		nw.mu.Lock()
-		delete(nw.conns, c.id)
-		nw.mu.Unlock()
+		nw.inj.Unregister(c.id)
 		return nil
 	}
 }
@@ -123,17 +127,66 @@ type ExternalListener struct {
 	nw    *Network
 	lport uint16
 	ch    chan *Conn
+
+	once sync.Once
+	done chan struct{}
 }
 
-// Accept blocks for the next connection.
-func (l *ExternalListener) Accept() *Conn { return <-l.ch }
+// Accept blocks for the next connection. It returns ErrClosed once the
+// listener (or the whole Network) is closed — including for accepts
+// already blocked at that moment.
+func (l *ExternalListener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		// Drain connections that raced the close.
+		select {
+		case c := <-l.ch:
+			return c, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// AcceptCtx is Accept bounded by ctx.
+func (l *ExternalListener) AcceptCtx(ctx context.Context) (*Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		select {
+		case c := <-l.ch:
+			return c, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close deregisters the listener and unblocks pending accepts with
+// ErrClosed. Safe to call more than once, and concurrently with Accept.
+func (l *ExternalListener) Close() {
+	l.nw.mu.Lock()
+	if l.nw.external[l.lport] == l {
+		delete(l.nw.external, l.lport)
+	}
+	l.nw.mu.Unlock()
+	l.close()
+}
+
+func (l *ExternalListener) close() { l.once.Do(func() { close(l.done) }) }
 
 // Conn is the remote peer's endpoint of one simulated TCP connection.
 // Read/Write/Close are called from remote-host goroutines (the load
-// generator); the netd process works the other end via sconn.
+// generator); the netd process works the other end through the WireConn
+// methods.
 type Conn struct {
-	nw *Network
-	id uint64
+	inj *Injector
+	id  uint64
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -144,8 +197,10 @@ type Conn struct {
 	netdEOF   bool   // Asbestos side closed (no more fromNetd data)
 }
 
-func newConn(nw *Network, id uint64) *Conn {
-	c := &Conn{nw: nw, id: id}
+var _ WireConn = (*Conn)(nil)
+
+func newConn(inj *Injector, id uint64) *Conn {
+	c := &Conn{inj: inj, id: id}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -168,7 +223,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		}
 		c.toNetd = append(c.toNetd, b[:n]...)
 		c.mu.Unlock()
-		c.nw.event(c.id, wire.NewWriter(evData).U64(c.id).Done())
+		c.inj.Event(c.id, wire.NewWriter(evData).U64(c.id).Done())
 		b = b[n:]
 		total += n
 	}
@@ -199,16 +254,19 @@ func (c *Conn) Close() error {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	if !already {
-		c.nw.event(c.id, wire.NewWriter(evClosed).U64(c.id).Done())
+		c.inj.Event(c.id, wire.NewWriter(evClosed).U64(c.id).Done())
 	}
 	return nil
 }
 
-// --- netd-side buffer access (used by the netd process only) ---
+// --- WireConn: the netd-side buffer access (owning shard only) ---
 
-// takeToNetd removes up to max buffered bytes heading into Asbestos,
+// ID implements WireConn.
+func (c *Conn) ID() uint64 { return c.id }
+
+// TakeInbound removes up to max buffered bytes heading into Asbestos,
 // reporting eof once the remote has closed and the buffer is empty.
-func (c *Conn) takeToNetd(max int) (data []byte, eof bool) {
+func (c *Conn) TakeInbound(max int) (data []byte, eof bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.toNetd) == 0 {
@@ -223,8 +281,10 @@ func (c *Conn) takeToNetd(max int) (data []byte, eof bool) {
 	return data, false
 }
 
-// pushFromNetd appends outbound data for the remote peer.
-func (c *Conn) pushFromNetd(b []byte) int {
+// PushOutbound appends outbound data for the remote peer. The simulated
+// wire's remote buffer is unbounded (a test client that never reads parks
+// bytes, never the shard), so everything is accepted unless closed.
+func (c *Conn) PushOutbound(b []byte) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.remoteEOF || c.netdEOF {
@@ -235,17 +295,21 @@ func (c *Conn) pushFromNetd(b []byte) int {
 	return len(b)
 }
 
-// closeFromNetd marks the Asbestos side closed.
-func (c *Conn) closeFromNetd() {
+// CloseOutbound marks the Asbestos side closed.
+func (c *Conn) CloseOutbound() {
 	c.mu.Lock()
 	c.netdEOF = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
 
-// bufferState reports (readable by netd, window space toward remote).
-func (c *Conn) bufferState() (readable, writable int) {
+// BufferState reports (readable by netd, window space toward remote).
+func (c *Conn) BufferState() (readable, writable int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.toNetd), connWindow - len(c.fromNetd)
+	w := connWindow - len(c.fromNetd)
+	if w < 0 {
+		w = 0
+	}
+	return len(c.toNetd), w
 }

@@ -10,12 +10,43 @@
 // connection carries uT 3 and only suitably labeled processes can write to
 // it.
 //
-// The paper's netd contains an LWIP TCP/IP stack and an E1000 driver; the
-// hardware is substituted by an in-memory Network on which remote peers
-// (load generators, test clients) exchange buffered byte streams with the
-// kernel-resident netd process. A hidden driver process injects connection
-// and data events into netd's driver port — the moral equivalent of an
-// interrupt handler.
+// The paper's netd contains an LWIP TCP/IP stack and an E1000 driver; here
+// the wire is pluggable. Everything below the shard loops goes through the
+// Transport seam (transport.go): the in-memory Network on which simulated
+// peers exchange buffered byte streams, and TCPListener (tcp.go), which
+// bridges real sockets into the same machinery. A hidden driver process
+// injects connection and data events into netd's driver ports — the moral
+// equivalent of an interrupt handler.
+//
+// The Transport contract, which both implementations and any future one
+// must honor:
+//
+//   - The Injector assigns connection ids (Injector.NewID); a transport
+//     never invents its own. The id fixes the owning shard for the
+//     connection's whole life via shard.OfU64(id, shards) — the transport
+//     does not know or care which shard that is.
+//   - A transport Registers a WireConn with the Injector BEFORE injecting
+//     its evNewConn, so the owning shard can resolve the id when the event
+//     arrives.
+//   - Per-connection event order is evNewConn, then any interleaving of
+//     evData/evClosed, with evClosed last. All of one connection's events
+//     go to one driver port (the Injector deals by id hash), so the owning
+//     shard observes them in injection order; events for different
+//     connections have no ordering guarantee.
+//   - evData is edge-style: it need only be injected when the inbound
+//     buffer transitions empty→non-empty. The shard re-checks the buffer
+//     directly on every read request, so a transport must not rely on one
+//     evData per chunk — and the shard must not rely on more.
+//   - WireConn buffer methods (TakeInbound, PushOutbound, CloseOutbound,
+//     BufferState) are called only from the owning shard's loop; the
+//     transport's own goroutines stay on the socket side of the buffers.
+//     PushOutbound accepts everything — backpressure from a slow client
+//     must land on the transport's writer (and ultimately the client),
+//     never block the shard.
+//   - Netd.Stop closes transports (Transport.Close) before stopping the
+//     shard loops. Close unblocks pending accepts with ErrClosed, and a
+//     connection's end — remote close or transport teardown — is always
+//     reported via evClosed, never by vanishing silently.
 package netd
 
 import (

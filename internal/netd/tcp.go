@@ -1,0 +1,489 @@
+package netd
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"asbestos/internal/buffered"
+)
+
+// tcpReadBuf is the per-connection socket read chunk size.
+const tcpReadBuf = 32 * 1024
+
+// closeLinger bounds how long a finished connection's read side lingers
+// after netd closed it, giving the client time to drain the final response
+// before the socket goes away entirely.
+const closeLinger = 5 * time.Second
+
+// TCPListener is the real-socket Transport: a net.Listener whose accepted
+// connections feed the same sharded netd loops as the simulated Network —
+// same Injector ids, same shard.OfU64 ownership, same driver-port events.
+// Each connection gets two goroutines: a reader filling the inbound buffer
+// (blocking when the connWindow is full, so a flooding client stalls only
+// its own socket), and a writer draining the outbound buffer through a
+// flush-on-threshold buffered.Writer, so a dispatch burst's worth of
+// replies reaches the socket as one write. A client that never drains
+// parks only its own writer goroutine on the socket — never a shard loop.
+//
+// Open one with Netd.ListenTCP; Netd.Stop closes it with the rest of the
+// transports.
+type TCPListener struct {
+	inj   *Injector
+	lns   []net.Listener // SO_REUSEPORT group; lns[0] resolves the address
+	lport uint16
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals accepted, closed
+	closed   bool
+	accepted []net.Conn // accept backlog awaiting registration (FIFO)
+	conns    map[uint64]*tcpConn
+
+	// reserve is a spare fd (open on /dev/null) the accept loops burn to
+	// shed connections when the process is out of file descriptors; see
+	// shedOverLimit. -1 when unavailable.
+	reserveMu sync.Mutex
+	reserve   int
+}
+
+var _ Transport = (*TCPListener)(nil)
+
+// ListenTCP binds a real TCP listener on addr (e.g. "127.0.0.1:0") and
+// bridges accepted connections to the Asbestos listeners registered on
+// lport, exactly as if they had arrived over the simulated wire. The
+// Asbestos side must already be Listening on lport (or start soon —
+// connections accepted before then are refused). The listener is
+// registered as one of this netd's transports, so Stop tears it down; it
+// can also be closed on its own.
+func (nd *Netd) ListenTCP(addr string, lport uint16) (*TCPListener, error) {
+	lns, err := listenGroup(addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &TCPListener{
+		inj:   nd.inj,
+		lns:   lns,
+		lport: lport,
+		conns: make(map[uint64]*tcpConn),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.reserve = -1
+	if fd, err := syscall.Open("/dev/null", syscall.O_RDONLY, 0); err == nil {
+		l.reserve = fd
+	}
+	nd.AddTransport(l)
+	for _, ln := range lns {
+		go l.acceptLoop(ln)
+	}
+	go l.registerLoop()
+	return l, nil
+}
+
+// tcpAcceptQueues is how many SO_REUSEPORT sockets back one TCPListener.
+// Each socket carries its own kernel accept queue (bounded by
+// net.core.somaxconn, typically 4096), and the kernel hashes incoming
+// connections across the group — so the group's combined queue capacity,
+// not one socket's, is what a connection burst must overflow before the
+// kernel sheds handshake ACKs. A shed ACK is the worst failure mode a
+// front end can have: the client sees an established connection whose
+// requests silently vanish until the SYN-ACK retransmission ladder or the
+// client's own teardown resolves it, tens of seconds later. Eight queues
+// put the overflow point past 30k simultaneous un-accepted connections.
+const tcpAcceptQueues = 8
+
+// soReusePort is SO_REUSEPORT on Linux; the syscall package predates the
+// option and never picked it up.
+const soReusePort = 0xf
+
+// listenGroup opens up to tcpAcceptQueues listeners on one address. The
+// first bind resolves the port (addr may be ":0"); the rest join its
+// reuseport group. Kernels without SO_REUSEPORT fall back to a single
+// plainly-bound socket.
+func listenGroup(addr string) ([]net.Listener, error) {
+	lc := net.ListenConfig{Control: func(network, address string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	first, err := lc.Listen(context.Background(), "tcp", addr)
+	if err != nil {
+		ln, perr := net.Listen("tcp", addr)
+		if perr != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lns := []net.Listener{first}
+	for len(lns) < tcpAcceptQueues {
+		ln, err := lc.Listen(context.Background(), "tcp", first.Addr().String())
+		if err != nil {
+			break // partial group still works, just with less queue headroom
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (l *TCPListener) Addr() net.Addr { return l.lns[0].Addr() }
+
+// Close implements Transport: stop accepting and shut every live socket.
+func (l *TCPListener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	pending := l.accepted
+	l.accepted = nil
+	conns := make([]*tcpConn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	for _, ln := range l.lns {
+		ln.Close()
+	}
+	for _, sock := range pending {
+		sock.Close()
+	}
+	for _, c := range conns {
+		c.fail()
+	}
+	l.reserveMu.Lock()
+	if l.reserve >= 0 {
+		syscall.Close(l.reserve)
+		l.reserve = -1
+	}
+	l.reserveMu.Unlock()
+}
+
+// acceptLoop does nothing but drain its socket's kernel accept queue into
+// the registration backlog. Keeping it this tight matters: per-conn setup
+// (port allocation, the evNewConn kernel send, goroutine spawns) costs
+// hundreds of microseconds, and an accept path that pays it inline lets a
+// connection burst pile established connections up in the listen queue —
+// where they are invisible to diagnostics and, past the backlog bound,
+// get their handshake ACKs shed. An Accept-only loop drains at syscall
+// speed; the backlog it feeds is bounded only by the process fd limit,
+// which is what a socket costs anyway.
+func (l *TCPListener) acceptLoop(ln net.Listener) {
+	var backoff time.Duration
+	for {
+		sock, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed
+			}
+			if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+				// Out of fds. The established connections queued behind
+				// this failure cannot be accepted, and their clients see a
+				// socket that swallows requests without answering — an
+				// undebuggable wedge that persists until the fd budget
+				// recovers. Shedding them with the reserve fd turns that
+				// into an immediate close the client can react to.
+				l.shedOverLimit(ln)
+			}
+			// Transient accept failure (fd exhaustion, aborted handshake):
+			// dying here would strand the whole backlog, so back off and
+			// keep accepting — a load spike is the one moment the listener
+			// must not give up.
+			if backoff < 5*time.Millisecond {
+				backoff += time.Millisecond
+			} else if backoff < time.Second {
+				backoff *= 2
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		backoff = 0
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			sock.Close()
+			return
+		}
+		l.accepted = append(l.accepted, sock)
+		l.cond.Signal()
+		l.mu.Unlock()
+	}
+}
+
+// shedOverLimit is the classic reserve-fd dance for accept-time fd
+// exhaustion: close the spare fd, accept the connection that just failed
+// for want of it, close that connection immediately (the client sees EOF
+// and can retry elsewhere), and re-open the spare. One queued victim is
+// shed per call; the accept loop's backoff paces the rest.
+func (l *TCPListener) shedOverLimit(ln net.Listener) {
+	l.reserveMu.Lock()
+	defer l.reserveMu.Unlock()
+	if l.reserve < 0 {
+		return
+	}
+	syscall.Close(l.reserve)
+	l.reserve = -1
+	// EMFILE can surface with an empty queue (the kernel allocates the fd
+	// before dequeuing), so bound the shed accept instead of blocking on a
+	// connection that may never come.
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Now().Add(50 * time.Millisecond))
+		defer d.SetDeadline(time.Time{})
+	}
+	if sock, err := ln.Accept(); err == nil {
+		sock.Close()
+	}
+	if fd, err := syscall.Open("/dev/null", syscall.O_RDONLY, 0); err == nil {
+		l.reserve = fd
+	}
+}
+
+// registerLoop turns accepted sockets into live connections, in accept
+// order: allocate the id, publish to the Injector, inject the evNewConn,
+// then start the socket goroutines. Register happens before the evNewConn
+// per the Transport contract, and the reader starts only after the
+// announcement is injected, so its evData/evClosed happen-after the
+// evNewConn.
+func (l *TCPListener) registerLoop() {
+	for {
+		l.mu.Lock()
+		for len(l.accepted) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		sock := l.accepted[0]
+		l.accepted = l.accepted[1:]
+		l.mu.Unlock()
+		if !l.inj.Listening(l.lport) {
+			sock.Close()
+			continue
+		}
+		c := newTCPConn(l.inj.NewID(), sock, l)
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			sock.Close()
+			return
+		}
+		l.conns[c.id] = c
+		l.mu.Unlock()
+		l.inj.Register(c)
+		l.inj.EventNewConn(c.id, l.lport)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+func (l *TCPListener) forget(id uint64) {
+	l.mu.Lock()
+	delete(l.conns, id)
+	l.mu.Unlock()
+}
+
+// tcpConn adapts one accepted socket to WireConn. The shard side touches
+// only the two byte buffers; the socket goroutines move bytes between the
+// buffers and the wire.
+type tcpConn struct {
+	id   uint64
+	sock net.Conn
+	l    *TCPListener
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	in   []byte // socket → Asbestos, capped at connWindow (reader blocks)
+	out  []byte // Asbestos → socket, drained by the writer goroutine
+
+	inEOF  bool // remote closed / read side finished
+	outEOF bool // Asbestos side closed; drain then CloseWrite
+	dead   bool // hard stop for both goroutines
+
+	closeOnce sync.Once
+}
+
+var _ WireConn = (*tcpConn)(nil)
+
+func newTCPConn(id uint64, sock net.Conn, l *TCPListener) *tcpConn {
+	c := &tcpConn{id: id, sock: sock, l: l}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// readLoop fills the inbound buffer from the socket, honoring the
+// connWindow: when netd hasn't drained the buffer, the loop waits (and the
+// kernel's TCP flow control pushes back on the sender) instead of growing
+// memory — exactly the simulated wire's window semantics.
+func (c *tcpConn) readLoop() {
+	defer c.sock.Close()
+	defer c.l.forget(c.id)
+	buf := make([]byte, tcpReadBuf)
+	for {
+		c.mu.Lock()
+		for len(c.in) >= connWindow && !c.dead {
+			c.cond.Wait()
+		}
+		dead := c.dead
+		c.mu.Unlock()
+		if dead {
+			c.notifyClosed()
+			return
+		}
+		n, err := c.sock.Read(buf)
+		if n > 0 {
+			c.mu.Lock()
+			wasEmpty := len(c.in) == 0
+			c.in = append(c.in, buf[:n]...)
+			c.mu.Unlock()
+			// Inject evData only on the empty→non-empty transition: while
+			// the buffer stays non-empty, either a previous evData is still
+			// in flight or the shard has no read pending (fulfillReads
+			// leaves data behind only with an empty pending queue), and the
+			// next opRead re-checks the buffer directly.
+			if wasEmpty {
+				c.l.inj.EventData(c.id)
+			}
+		}
+		if err != nil {
+			c.notifyClosed()
+			return
+		}
+	}
+}
+
+// notifyClosed marks the read side finished and announces the close to the
+// owning shard, exactly once.
+func (c *tcpConn) notifyClosed() {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.inEOF = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		c.l.inj.EventClosed(c.id)
+	})
+}
+
+// writeLoop drains the outbound buffer through a flush-on-threshold
+// writer: each wakeup takes everything queued, and flushes only once the
+// queue is momentarily empty — a burst of replies coalesced by the shard's
+// Batcher costs one socket write, not one per reply. A client whose window
+// is full blocks this goroutine inside sock.Write; the shard keeps
+// appending to c.out unhindered.
+func (c *tcpConn) writeLoop() {
+	bw := buffered.NewWriter(c.sock, 0)
+	for {
+		c.mu.Lock()
+		for len(c.out) == 0 && !c.outEOF && !c.dead {
+			c.cond.Wait()
+		}
+		chunk := c.out
+		c.out = nil
+		eof, dead := c.outEOF, c.dead
+		c.mu.Unlock()
+		if dead {
+			return
+		}
+		if len(chunk) > 0 {
+			if _, err := bw.Write(chunk); err != nil {
+				c.fail()
+				return
+			}
+		}
+		c.mu.Lock()
+		quiet := len(c.out) == 0
+		c.mu.Unlock()
+		if !quiet {
+			continue // burst still producing; keep accumulating
+		}
+		if err := bw.Flush(); err != nil {
+			c.fail()
+			return
+		}
+		if eof {
+			// Asbestos closed and everything drained: half-close so the
+			// client reads a clean EOF after the final response, then bound
+			// the read side's lingering and stop.
+			if hc, ok := c.sock.(interface{ CloseWrite() error }); ok {
+				hc.CloseWrite()
+			}
+			c.sock.SetReadDeadline(time.Now().Add(closeLinger))
+			c.mu.Lock()
+			c.dead = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// fail hard-stops the connection: wake both goroutines and close the
+// socket, which unblocks a reader parked in sock.Read; the read side then
+// reports evClosed so netd tears the connection down.
+func (c *tcpConn) fail() {
+	c.mu.Lock()
+	c.dead = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.sock.Close()
+	c.notifyClosed()
+}
+
+// --- WireConn (owning shard's loop only) ---
+
+func (c *tcpConn) ID() uint64 { return c.id }
+
+func (c *tcpConn) TakeInbound(max int) (data []byte, eof bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.in) == 0 {
+		return nil, c.inEOF
+	}
+	if max > len(c.in) {
+		max = len(c.in)
+	}
+	data = append([]byte(nil), c.in[:max]...)
+	c.in = c.in[max:]
+	c.cond.Broadcast() // reopen the window for the reader goroutine
+	return data, false
+}
+
+// PushOutbound accepts everything, like the simulated wire: backpressure
+// from a slow client lands on the writer goroutine (blocked in
+// sock.Write), never on the shard, and upstream writers (demux, workers)
+// see identical full-acceptance semantics on both transports.
+func (c *tcpConn) PushOutbound(b []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.outEOF || c.dead {
+		return 0
+	}
+	c.out = append(c.out, b...)
+	c.cond.Broadcast()
+	return len(b)
+}
+
+func (c *tcpConn) CloseOutbound() {
+	c.mu.Lock()
+	c.outEOF = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *tcpConn) BufferState() (readable, writable int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := connWindow - len(c.out)
+	if w < 0 {
+		w = 0
+	}
+	return len(c.in), w
+}

@@ -1,0 +1,330 @@
+package netd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"asbestos/internal/handle"
+	"asbestos/internal/kernel"
+)
+
+// waitListening polls until netd's service loop has processed the Listen
+// for lport.
+func waitListening(t *testing.T, nd *Netd, lport uint16) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if nd.Network().Listening(lport) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("port %d never came up", lport)
+}
+
+// readPort drains OpReadReply messages until n bytes (or EOF) arrive.
+func readPort(t *testing.T, r *rig, connPort handle.Handle, n int) []byte {
+	t.Helper()
+	reply := r.replyPort(r.app)
+	var got []byte
+	for len(got) < n {
+		if err := Read(r.app.Port(connPort), reply, n-len(got)); err != nil {
+			t.Fatal(err)
+		}
+		d, err := recvOn(r.app, reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, ok := ParseReadReply(d)
+		if !ok {
+			t.Fatalf("bad read reply: % x", d.Data)
+		}
+		if rr.EOF {
+			break
+		}
+		got = append(got, rr.Data...)
+	}
+	return got
+}
+
+// TestTCPTransportEcho drives one request/response over a real socket: the
+// bytes must flow through the same driver-port protocol and shard loops as
+// the simulated wire, ending in a clean EOF for the client after CtlClose.
+func TestTCPTransportEcho(t *testing.T) {
+	r := newRig(t)
+	ln, err := r.nd.ListenTCP("127.0.0.1:0", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitListening(t, r.nd, 80)
+
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	if _, err := sock.Write([]byte("ping over tcp")); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := recvOn(r.app, r.notify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := ParseNotify(d)
+	if !ok || n.LPort != 80 {
+		t.Fatalf("bad notify: %+v", d.Data)
+	}
+	if got := readPort(t, r, n.ConnPort, len("ping over tcp")); string(got) != "ping over tcp" {
+		t.Fatalf("netd read %q", got)
+	}
+
+	reply := r.replyPort(r.app)
+	if err := Write(r.app.Port(n.ConnPort), reply, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	recvOn(r.app, reply)
+	if err := Control(r.app.Port(n.ConnPort), reply, CtlClose); err != nil {
+		t.Fatal(err)
+	}
+	recvOn(r.app, reply)
+
+	sock.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(sock)
+	if err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if string(got) != "pong" {
+		t.Fatalf("client got %q", got)
+	}
+}
+
+// wireClient is the remote end of a connection, on either transport.
+type wireClient interface {
+	io.ReadWriter
+	Close() error
+}
+
+// testSlowClientIsolation pushes a large burst to connection 0 — whose
+// client never reads a byte — and then serves N−1 well-behaved clients.
+// The stalled connection must park only itself (its buffers / its writer
+// goroutine), never a shard loop: the other clients' responses must all
+// arrive. Runs under -race in CI on both transports.
+func testSlowClientIsolation(t *testing.T, r *rig, dial func() (wireClient, error)) {
+	t.Helper()
+	const (
+		nConns   = 6
+		bigLen   = 512 * 1024 // > connWindow and > typical socket buffers
+		smallLen = 64 * 1024
+	)
+	clients := make([]wireClient, nConns)
+	ports := make([]handle.Handle, nConns)
+	for i := 0; i < nConns; i++ {
+		c, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		// Each client introduces itself with one id byte so notify order
+		// doesn't have to match dial order.
+		if _, err := c.Write([]byte{byte('A' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := recvOn(r.app, r.notify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, ok := ParseNotify(d)
+		if !ok {
+			t.Fatalf("bad notify: % x", d.Data)
+		}
+		id := readPort(t, r, n.ConnPort, 1)
+		if len(id) != 1 || id[0] < 'A' || id[0] >= 'A'+nConns {
+			t.Fatalf("bad client id %q", id)
+		}
+		ports[id[0]-'A'] = n.ConnPort
+	}
+
+	// Burst to the stalled client FIRST: if its full window could wedge a
+	// shard, every write after this one would hang.
+	reply := r.replyPort(r.app)
+	big := bytes.Repeat([]byte{0xbb}, bigLen)
+	if err := Write(r.app.Port(ports[0]), reply, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvOn(r.app, reply); err != nil {
+		t.Fatal(err)
+	}
+
+	small := bytes.Repeat([]byte{0xaa}, smallLen)
+	for i := 1; i < nConns; i++ {
+		if err := Write(r.app.Port(ports[i]), reply, small); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := recvOn(r.app, reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan int, nConns)
+	for i := 1; i < nConns; i++ {
+		go func(i int) {
+			buf := make([]byte, smallLen)
+			if _, err := io.ReadFull(clients[i], buf); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+			done <- i
+		}(i)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 1; i < nConns; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("only %d/%d well-behaved clients completed: slow client stalled the loop", i-1, nConns-1)
+		}
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+func TestSlowClientIsolationSimulated(t *testing.T) {
+	r := newRig(t)
+	waitListening(t, r.nd, 80)
+	testSlowClientIsolation(t, r, func() (wireClient, error) {
+		return r.nd.Network().Dial(80)
+	})
+}
+
+func TestSlowClientIsolationTCP(t *testing.T) {
+	r := newRig(t)
+	ln, err := r.nd.ListenTCP("127.0.0.1:0", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitListening(t, r.nd, 80)
+	testSlowClientIsolation(t, r, func() (wireClient, error) {
+		return net.Dial("tcp", ln.Addr().String())
+	})
+}
+
+// TestTCPTransportSharded runs real sockets against a 3-shard netd: ids
+// from the one Injector spread connections across shards by the unchanged
+// hash, and every conversation must still come back intact.
+func TestTCPTransportSharded(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(7))
+	nd := NewSharded(sys, 3)
+	go nd.Run()
+	t.Cleanup(nd.Stop)
+	app := sys.NewProcess("app")
+	notify := app.Open(nil).Handle()
+	svc, _ := sys.Env(EnvName)
+	if err := Listen(app.Port(svc), 80, notify); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{sys: sys, nd: nd, app: app, notify: notify}
+	ln, err := nd.ListenTCP("127.0.0.1:0", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitListening(t, nd, 80)
+
+	for i := 0; i < 6; i++ {
+		sock, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := fmt.Sprintf("conn-%d", i)
+		sock.Write([]byte(msg))
+		d, err := recvOn(app, notify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, ok := ParseNotify(d)
+		if !ok {
+			t.Fatalf("bad notify: % x", d.Data)
+		}
+		if got := readPort(t, r, n.ConnPort, len(msg)); string(got) != msg {
+			t.Fatalf("conn %d: netd read %q", i, got)
+		}
+		reply := r.replyPort(app)
+		Write(app.Port(n.ConnPort), reply, []byte("ok "+msg))
+		recvOn(app, reply)
+		Control(app.Port(n.ConnPort), reply, CtlClose)
+		recvOn(app, reply)
+		sock.SetReadDeadline(time.Now().Add(5 * time.Second))
+		got, err := io.ReadAll(sock)
+		if err != nil || string(got) != "ok "+msg {
+			t.Fatalf("conn %d: client got %q, %v", i, got, err)
+		}
+		sock.Close()
+	}
+}
+
+// TestExternalListenerCloseUnblocksAccept pins the satellite fix: a
+// pending Accept must return ErrClosed when the listener closes, instead
+// of wedging forever on a bare channel receive.
+func TestExternalListenerCloseUnblocksAccept(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(7))
+	nd := New(sys)
+	go nd.Run()
+	defer nd.Stop()
+	ext := nd.Network().ListenExternal(443)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ext.Accept()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ext.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("Accept after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept still wedged after listener Close")
+	}
+}
+
+// TestNetworkCloseUnblocksAccept covers the whole-transport teardown path:
+// Netd.Stop closes the Network, which must unblock every listener.
+func TestNetworkCloseUnblocksAccept(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(7))
+	nd := New(sys)
+	go nd.Run()
+	ext := nd.Network().ListenExternal(443)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ext.Accept()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	nd.Stop()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("Accept after Stop = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept still wedged after Netd.Stop")
+	}
+}
+
+func TestExternalListenerAcceptCtx(t *testing.T) {
+	sys := kernel.NewSystem(kernel.WithSeed(7))
+	nd := New(sys)
+	go nd.Run()
+	defer nd.Stop()
+	ext := nd.Network().ListenExternal(443)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := ext.AcceptCtx(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("AcceptCtx = %v, want DeadlineExceeded", err)
+	}
+}

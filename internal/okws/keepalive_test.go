@@ -1,0 +1,128 @@
+package okws_test
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/okws"
+)
+
+// kaRoundTrip writes one authenticated keep-alive GET on an open byte
+// stream and reads back one content-length-framed response.
+func kaRoundTrip(t *testing.T, rw io.ReadWriter, user, pass, path string) *httpmsg.Response {
+	t.Helper()
+	req := &httpmsg.Request{
+		Method: "GET",
+		Path:   path,
+		Headers: map[string]string{
+			"authorization": user + " " + pass,
+			"connection":    "keep-alive",
+		},
+	}
+	if _, err := rw.Write(httpmsg.FormatRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	chunk := make([]byte, 4096)
+	for {
+		resp, _, complete, err := httpmsg.ParseResponse(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if complete {
+			return resp
+		}
+		n, err := rw.Read(chunk)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		buf = append(buf, chunk[:n]...)
+	}
+}
+
+// testKeepAlive drives two requests through ONE connection. The second
+// response returning the first request's stored data proves both that the
+// session survived and that the connection was genuinely reused (a closed
+// connection would EOF the second read).
+func testKeepAlive(t *testing.T, rw io.ReadWriter) {
+	r1 := kaRoundTrip(t, rw, "user1", "pw1", "/store?d=first")
+	if r1.Status != 200 {
+		t.Fatalf("first request: %d", r1.Status)
+	}
+	if r1.Headers["connection"] != "keep-alive" {
+		t.Fatalf("first response connection header = %q", r1.Headers["connection"])
+	}
+	r2 := kaRoundTrip(t, rw, "user1", "pw1", "/store")
+	if r2.Status != 200 || string(r2.Body) != "first" {
+		t.Fatalf("second request on same connection: %d %q", r2.Status, r2.Body)
+	}
+}
+
+func TestKeepAliveSimulated(t *testing.T) {
+	s := launch(t, okws.Service{Name: "store", Handler: storeHandler})
+	c, err := s.Network().Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	testKeepAlive(t, c)
+}
+
+func TestKeepAliveTCP(t *testing.T) {
+	s := launch(t, okws.Service{Name: "store", Handler: storeHandler})
+	ln, err := s.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	sock.SetDeadline(time.Now().Add(30 * time.Second))
+	testKeepAlive(t, sock)
+}
+
+// TestKeepAliveDeclined pins the non-keep-alive path: without the request
+// header the server closes after one response exactly as before.
+func TestKeepAliveDeclined(t *testing.T) {
+	s := launch(t, okws.Service{Name: "store", Handler: storeHandler})
+	c, err := s.Network().Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	req := &httpmsg.Request{
+		Method:  "GET",
+		Path:    "/store?d=x",
+		Headers: map[string]string{"authorization": "user1 pw1"},
+	}
+	if _, err := c.Write(httpmsg.FormatRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	chunk := make([]byte, 4096)
+	for {
+		n, err := c.Read(chunk)
+		if err == io.EOF {
+			break // server closed: the old one-request lifecycle
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, chunk[:n]...)
+	}
+	resp, _, complete, err := httpmsg.ParseResponse(buf)
+	if err != nil || !complete {
+		t.Fatalf("response incomplete at EOF: %v", err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if resp.Headers["connection"] == "keep-alive" {
+		t.Fatal("server offered keep-alive to a close-mode client")
+	}
+}

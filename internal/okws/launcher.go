@@ -201,6 +201,10 @@ func Launch(cfg Config) (*Server, error) {
 			w.declassifier = svc.Declassifier
 			w.keepSessions = !svc.EphemeralSessions
 			w.debugNoClean = svc.NoClean
+			// Requests woken off a parked keep-alive connection never pass
+			// through the demux, so the worker applies the configured
+			// deadline itself.
+			w.reqDeadline = cfg.RequestDeadline
 			// Worker-side idle backstop at twice the demux TTL: the demux's
 			// proactive opEvict normally wins; the backstop only catches the
 			// evict the unreliable kernel silently dropped.
@@ -311,6 +315,15 @@ func (s *Server) AddUser(user, pass, uid string) error {
 
 // Network returns the simulated wire clients dial into.
 func (s *Server) Network() *netd.Network { return s.Netd.Network() }
+
+// ListenTCP exposes the running stack over a real TCP socket: accepted
+// connections feed the same sharded netd loops (and from there the same
+// demux/worker path) as simulated ones. addr is a net.Listen address like
+// "127.0.0.1:0" or ":8080"; the returned listener reports the bound
+// address and is closed by Stop with the rest of the stack.
+func (s *Server) ListenTCP(addr string) (*netd.TCPListener, error) {
+	return s.Netd.ListenTCP(addr, s.HTTPPort)
+}
 
 // Workers returns the launched workers (diagnostics and experiments).
 func (s *Server) Workers() []*Worker { return s.workers }

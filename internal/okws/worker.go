@@ -29,6 +29,23 @@ const (
 	ScratchAddr mem.Addr = 0x40000
 	// ScratchSize bounds the scratch region.
 	ScratchSize = 64 * mem.PageSize
+	// kaAddr is where the session's parked keep-alive connections are
+	// recorded (port, connection, leftover bytes per entry). Like the
+	// session region it survives ep_clean — it sits above the scratch
+	// region, whose ep_clean would revert it. The address space is sparse
+	// (4 KiB pages on first write), so the gap costs nothing.
+	kaAddr mem.Addr = 0x100000
+)
+
+// maxParkedConns bounds how many keep-alive connections one session can
+// hold parked at once — a session is one user, and one user fronting many
+// devices or tabs legitimately holds many idle connections, so the bound
+// is a resource cap, not a structural limit. maxKALeftover bounds the
+// partial-request bytes a parked entry may carry (a trickling sender past
+// it is cut off, which keeps a full park table to a few dozen pages).
+const (
+	maxParkedConns = 256
+	maxKALeftover  = 1024
 )
 
 // Handler is a worker's application logic, invoked once per HTTP request
@@ -60,6 +77,12 @@ type Worker struct {
 
 	declassifier bool
 	keepSessions bool
+
+	// reqDeadline bounds each request served on a woken keep-alive
+	// connection (the demux stamps first requests with its own remaining
+	// deadline; later requests on the same connection never pass through
+	// the demux, so the worker applies the configured bound itself).
+	reqDeadline time.Duration
 
 	// verif is the launcher-issued verification handle, held at 0; session
 	// registrations prove it to the demux just like the base registration.
@@ -267,7 +290,7 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 		}
 		buf = s.Buf
 		rctx, cancel := w.reqCtx(s.DeadlineMS)
-		w.handleRequest(rctx, ep, &st, s.Conn, buf)
+		w.serveConn(rctx, ep, &st, s.Conn, buf, handle.None)
 		cancel()
 		return
 	}
@@ -280,8 +303,13 @@ func (w *Worker) serve(d *kernel.Delivery, ep *kernel.EventProcess) {
 		}
 		w.touchEP(st.sess, ep.ID())
 		rctx, cancel := w.reqCtx(c.DeadlineMS)
-		w.handleRequest(rctx, ep, &st, c.Conn, c.Buf)
+		w.serveConn(rctx, ep, &st, c.Conn, c.Buf, handle.None)
 		cancel()
+		return
+	}
+	// Not a handoff: maybe a netd ReadReply waking one of this session's
+	// parked keep-alive connections.
+	if st, ok := loadSession(ep); ok && w.wakeParked(d, ep, &st) {
 		return
 	}
 	// Unknown message: ignore and yield.
@@ -300,23 +328,61 @@ func (w *Worker) reqCtx(deadlineMS uint32) (context.Context, context.CancelFunc)
 	return context.WithTimeout(w.ctx, time.Duration(deadlineMS)*time.Millisecond)
 }
 
-// handleRequest reads the full request (step 8), runs the handler, writes
-// the response, closes the connection, and yields or exits. rctx bounds
-// every blocking wait inside the request.
-func (w *Worker) handleRequest(rctx context.Context, ep *kernel.EventProcess, st *sessState, connH handle.Handle, buf []byte) {
-	// One endpoint per request: the write, close and any continuation reads
-	// below share the resolved route.
+// serveConn serves requests arriving on one connection (step 8 onwards)
+// until the connection closes or parks idle. The first request may need
+// continuation reads (blocking, bounded by rctx — the demux hands off
+// complete requests, so this is the request-body tail at most); between
+// requests a keep-alive connection PARKS instead: a netd read is left
+// pending on an event-process-owned port, the connection is recorded at
+// kaAddr, and the event process yields — the single worker goroutine is
+// never blocked waiting for a client to speak. kaPort is the already-open
+// parked port when resuming from a wake (handle.None on fresh handoffs).
+func (w *Worker) serveConn(rctx context.Context, ep *kernel.EventProcess, st *sessState, connH handle.Handle, buf []byte, kaPort handle.Handle) {
+	// One endpoint per connection: writes, closes and continuation reads
+	// share the resolved route.
 	conn := w.proc.Port(connH)
-	req, reqRaw := w.readRequest(rctx, st, conn, buf)
-	if req == nil {
-		// Deadline, EOF or garbage: close the connection and shed uC so a
-		// dead request can neither pin the socket nor grow the labels.
-		netd.Control(conn, st.reply, netd.CtlClose)
-		w.await(rctx, netd.OpControlReply, st.reply)
-		w.proc.DropPrivilege(conn.Handle(), label.L1)
-		w.finish(ep, st)
-		return
+	first := kaPort == handle.None
+	for {
+		req, n, complete, err := httpmsg.ParseRequest(buf)
+		if err != nil {
+			w.closeConn(rctx, ep, st, conn, kaPort)
+			return
+		}
+		var reqRaw []byte
+		switch {
+		case complete:
+			reqRaw = buf[:n]
+			buf = buf[n:]
+		case first:
+			// Mid-first-request: the rest is already in flight behind the
+			// handoff, so the blocking read is short and deadline-bounded.
+			req, reqRaw, buf = w.readRequest(rctx, st, conn, buf)
+			if req == nil {
+				w.closeConn(rctx, ep, st, conn, kaPort)
+				return
+			}
+		default:
+			// Between requests (or a partial pipelined one): park.
+			if w.park(ep, st, conn, kaPort, buf) {
+				w.finish(ep, st)
+				return
+			}
+			w.closeConn(rctx, ep, st, conn, kaPort)
+			return
+		}
+		first = false
+		keep := w.serveRequest(rctx, ep, st, conn, req, reqRaw)
+		if !keep {
+			w.closeConn(rctx, ep, st, conn, kaPort)
+			return
+		}
 	}
+}
+
+// serveRequest runs the handler and writes the response for one parsed
+// request, reporting whether the connection stays open (the client asked
+// for keep-alive and this worker caches sessions).
+func (w *Worker) serveRequest(rctx context.Context, ep *kernel.EventProcess, st *sessState, conn *kernel.Port, req *httpmsg.Request, reqRaw []byte) (keep bool) {
 	c := &Ctx{
 		w: w, ep: ep, st: st, ctx: rctx,
 		User: st.user, UID: st.uid,
@@ -326,7 +392,18 @@ func (w *Worker) handleRequest(rctx context.Context, ep *kernel.EventProcess, st
 	if resp == nil {
 		resp = &httpmsg.Response{Status: 500}
 	}
-	raw := httpmsg.FormatResponse(resp.Status, resp.Headers, resp.Body)
+	keep = w.keepSessions && req.KeepAlive()
+	headers := resp.Headers
+	if keep {
+		// Echo the keep-alive (HTTP/1.0 defaults to close); responses are
+		// always content-length framed, so the client can find the boundary.
+		headers = make(map[string]string, len(resp.Headers)+1)
+		for k, v := range resp.Headers {
+			headers[k] = v
+		}
+		headers["connection"] = "keep-alive"
+	}
+	raw := httpmsg.FormatResponse(resp.Status, headers, resp.Body)
 	// Scratch traffic, mirroring how "programs scatter users' data across
 	// the stack in addition to various places on the heap" (§6.2): the
 	// response buffer, a copy of the request ("stack" temporaries), and a
@@ -343,32 +420,48 @@ func (w *Worker) handleRequest(rctx context.Context, ep *kernel.EventProcess, st
 	ep.Memory().WriteAt(ScratchAddr+8*mem.PageSize, ctr[:])
 	netd.Write(conn, st.reply, raw)
 	w.await(rctx, netd.OpWriteReply, st.reply)
-	netd.Control(conn, st.reply, netd.CtlClose)
-	w.await(rctx, netd.OpControlReply, st.reply)
-	// Release the per-connection capability so event-process labels do not
-	// accumulate one stale uC ⋆ entry per connection.
+	return keep
+}
+
+// closeConn ends a connection: close at netd, shed uC so a dead request
+// can neither pin the socket nor grow the labels, retire the parked port
+// if one was held, and yield/exit the event process. The close reply wait
+// is bounded even without a request deadline — netd may have torn the
+// connection down on its own (idle timeout, transport close), in which
+// case the reply never comes.
+func (w *Worker) closeConn(rctx context.Context, ep *kernel.EventProcess, st *sessState, conn *kernel.Port, kaPort handle.Handle) {
+	cctx, cancel := context.WithTimeout(rctx, 2*time.Second)
+	if netd.Control(conn, st.reply, netd.CtlClose) == nil {
+		w.await(cctx, netd.OpControlReply, st.reply)
+	}
+	cancel()
 	w.proc.DropPrivilege(conn.Handle(), label.L1)
+	if kaPort != handle.None {
+		w.proc.Dissociate(kaPort)
+		w.proc.DropPrivilege(kaPort, label.L1)
+	}
 	w.finish(ep, st)
 }
 
 // readRequest assembles the HTTP request, reading more from netd if the
-// demux's buffered bytes are incomplete. It returns the parsed request and
-// its wire bytes; rctx bounds the netd round trips.
-func (w *Worker) readRequest(rctx context.Context, st *sessState, conn *kernel.Port, buf []byte) (*httpmsg.Request, []byte) {
+// demux's buffered bytes are incomplete. It returns the parsed request,
+// its wire bytes and any leftover (pipelined) bytes beyond it; rctx
+// bounds the netd round trips.
+func (w *Worker) readRequest(rctx context.Context, st *sessState, conn *kernel.Port, buf []byte) (*httpmsg.Request, []byte, []byte) {
 	for {
 		req, n, complete, err := httpmsg.ParseRequest(buf)
 		if err != nil {
-			return nil, nil
+			return nil, nil, nil
 		}
 		if complete {
-			return req, buf[:n]
+			return req, buf[:n], buf[n:]
 		}
 		if err := netd.Read(conn, st.reply, 4096); err != nil {
-			return nil, nil
+			return nil, nil, nil
 		}
 		d, err := w.proc.RecvCtx(rctx, st.reply)
 		if err != nil {
-			return nil, nil
+			return nil, nil, nil
 		}
 		// ParseReadReply copies the bytes out, so the pooled payload can be
 		// recycled before the verdict — inline receivers that skip Release
@@ -376,10 +469,154 @@ func (w *Worker) readRequest(rctx context.Context, st *sessState, conn *kernel.P
 		rr, ok := netd.ParseReadReply(d)
 		d.Release()
 		if !ok || rr.EOF {
-			return nil, nil
+			return nil, nil, nil
 		}
 		buf = append(buf, rr.Data...)
 	}
+}
+
+// park records an idle keep-alive connection in the session's kaAddr
+// region and leaves a netd read pending on an event-process-owned port:
+// when the client's next request arrives, the ReadReply is delivered to
+// that port, routed to this event process by the checkpoint scan, and
+// wakeParked resumes the connection. leftover carries any partial request
+// bytes already received. Returns false (caller closes instead) when the
+// park table or the leftover bound is exceeded. kaPort, when valid, is
+// reused from the previous park of this connection.
+func (w *Worker) park(ep *kernel.EventProcess, st *sessState, conn *kernel.Port, kaPort handle.Handle, leftover []byte) bool {
+	entries := kaLoad(ep)
+	if len(entries) >= maxParkedConns || len(leftover) > maxKALeftover {
+		return false
+	}
+	if kaPort == handle.None {
+		kaPort = w.proc.Open(nil).Handle()
+	}
+	if err := netd.Read(conn, kaPort, 4096); err != nil {
+		return false
+	}
+	entries = append(entries, kaEntry{port: kaPort, conn: conn.Handle(), leftover: leftover})
+	kaStore(ep, entries)
+	return true
+}
+
+// wakeParked resumes a parked keep-alive connection when its pending
+// ReadReply arrives (or tears it down on EOF — the client closed, or netd
+// evicted the connection). Reports whether d belonged to a parked entry.
+func (w *Worker) wakeParked(d *kernel.Delivery, ep *kernel.EventProcess, st *sessState) bool {
+	entries := kaLoad(ep)
+	idx := -1
+	for i, e := range entries {
+		if e.port == d.Port {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	e := entries[idx]
+	kaStore(ep, append(entries[:idx], entries[idx+1:]...))
+	rr, ok := netd.ParseReadReply(d)
+	conn := w.proc.Port(e.conn)
+	if !ok || rr.EOF || len(rr.Data) == 0 {
+		// Client closed (or the reply is garbage): retire the connection.
+		// The bounded close-reply wait inside closeConn matters here — netd
+		// may already have torn the connection down (idle timeout), and the
+		// CtlClose reply would then never come.
+		w.closeConn(w.ctx, ep, st, conn, e.port)
+		return true
+	}
+	w.touchEP(st.sess, ep.ID())
+	rctx, cancel := w.reqCtxDur(w.reqDeadline)
+	w.serveConn(rctx, ep, st, conn.Handle(), append(e.leftover, rr.Data...), e.port)
+	cancel()
+	return true
+}
+
+// reqCtxDur is reqCtx for a duration-typed deadline (keep-alive wakes).
+func (w *Worker) reqCtxDur(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return w.ctx, func() {}
+	}
+	return context.WithTimeout(w.ctx, d)
+}
+
+// kaEntry is one parked keep-alive connection: the event-process-owned
+// port its pending netd read answers to, the connection capability, and
+// any partial request bytes received before parking.
+type kaEntry struct {
+	port     handle.Handle
+	conn     handle.Handle
+	leftover []byte
+}
+
+// kaStore persists the parked set at kaAddr (u16 count, u32 body length,
+// then per entry u64 port, u64 conn, u16 leftover length, leftover
+// bytes). Like the session region, the bytes live in the event process's
+// private memory — outside the scratch region ep_clean reverts.
+func kaStore(ep *kernel.EventProcess, entries []kaEntry) {
+	size := 6
+	for _, e := range entries {
+		size += 8 + 8 + 2 + len(e.leftover)
+	}
+	b := make([]byte, 6, size)
+	b[0], b[1] = byte(len(entries)>>8), byte(len(entries))
+	body := size - 6
+	b[2], b[3], b[4], b[5] = byte(body>>24), byte(body>>16), byte(body>>8), byte(body)
+	for _, e := range entries {
+		b = append(b,
+			byte(e.port>>56), byte(e.port>>48), byte(e.port>>40), byte(e.port>>32),
+			byte(e.port>>24), byte(e.port>>16), byte(e.port>>8), byte(e.port),
+			byte(e.conn>>56), byte(e.conn>>48), byte(e.conn>>40), byte(e.conn>>32),
+			byte(e.conn>>24), byte(e.conn>>16), byte(e.conn>>8), byte(e.conn),
+			byte(len(e.leftover)>>8), byte(len(e.leftover)))
+		b = append(b, e.leftover...)
+	}
+	ep.Memory().WriteAt(kaAddr, b)
+}
+
+// kaLoad reads the parked set back (nil when none or corrupt).
+func kaLoad(ep *kernel.EventProcess) []kaEntry {
+	hdr := make([]byte, 6)
+	ep.Memory().ReadAt(kaAddr, hdr)
+	n := int(hdr[0])<<8 | int(hdr[1])
+	if n == 0 || n > maxParkedConns {
+		return nil
+	}
+	body := int(hdr[2])<<24 | int(hdr[3])<<16 | int(hdr[4])<<8 | int(hdr[5])
+	if body < 18*n || body > n*(18+maxKALeftover) {
+		return nil
+	}
+	raw := make([]byte, body)
+	ep.Memory().ReadAt(kaAddr+6, raw)
+	entries := make([]kaEntry, 0, n)
+	off := 0
+	rdU64 := func() uint64 {
+		v := uint64(raw[off])<<56 | uint64(raw[off+1])<<48 | uint64(raw[off+2])<<40 |
+			uint64(raw[off+3])<<32 | uint64(raw[off+4])<<24 | uint64(raw[off+5])<<16 |
+			uint64(raw[off+6])<<8 | uint64(raw[off+7])
+		off += 8
+		return v
+	}
+	for i := 0; i < n; i++ {
+		if off+18 > len(raw) {
+			return nil
+		}
+		port := handle.Handle(rdU64())
+		conn := handle.Handle(rdU64())
+		l := int(raw[off])<<8 | int(raw[off+1])
+		off += 2
+		if l > maxKALeftover || off+l > len(raw) {
+			return nil
+		}
+		var leftover []byte
+		if l > 0 {
+			leftover = append([]byte(nil), raw[off:off+l]...)
+			off += l
+		}
+		entries = append(entries, kaEntry{port: port, conn: conn, leftover: leftover})
+	}
+	return entries
 }
 
 // await discards deliveries on port until one with the given op arrives,

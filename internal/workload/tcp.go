@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asbestos/internal/httpmsg"
+	"asbestos/internal/stats"
+)
+
+// TCPOptions configures RunTCP.
+type TCPOptions struct {
+	Conns       int           // concurrent TCP connections (default 1)
+	ReqsPerConn int           // keep-alive requests per connection (default 1)
+	MaxInflight int           // cap on requests in flight across all conns (0 = no cap)
+	DialRate    int           // dial starts per second, ramping the connect burst (0 = unpaced)
+	DialTimeout time.Duration // per dial attempt (default 5s)
+	ReqTimeout  time.Duration // per request round trip (default 30s)
+	Barrier     bool          // hold the first request until every connection is up
+	HoldOpen    bool          // keep every socket open until the whole run finishes
+
+	// Accepted, when set with Barrier, reports how many connections the
+	// server currently holds (e.g. netd's Injector.ConnCount for a
+	// co-located stack). The barrier then waits for the server to hold
+	// every connection, not just for the kernel handshakes: a dial can
+	// look established client-side while its final ACK was shed by a full
+	// listen backlog, and releasing the request storm at that moment races
+	// the victims' retransmission recovery. Nil skips the check (external
+	// servers can't be polled).
+	Accepted func() int
+}
+
+// TCPResult aggregates one RunTCP run. Unlike the simulated Result, one
+// connection carries many requests, so connections and requests are
+// reported separately.
+type TCPResult struct {
+	Conns     int
+	Requests  int
+	Errors    int
+	BadStatus int
+	Elapsed   time.Duration
+	Latency   *stats.Latencies
+	ErrSample []string // up to 8 distinct error strings, for diagnosis
+}
+
+// noteErr records a sample error; caller holds the result mutex.
+func (r *TCPResult) noteErr(s string) {
+	if len(r.ErrSample) < 8 {
+		r.ErrSample = append(r.ErrSample, s)
+	}
+}
+
+// ConnsPerSec is the Figure 7 metric: completed connections per second.
+func (r TCPResult) ConnsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Conns) / r.Elapsed.Seconds()
+}
+
+// ReqsPerSec is throughput in requests per second.
+func (r TCPResult) ReqsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests-r.Errors) / r.Elapsed.Seconds()
+}
+
+func (r TCPResult) String() string {
+	return fmt.Sprintf("%d conns, %d requests in %v (%.0f req/s, %d errors, %d bad status), p50 %v, p90 %v, p99 %v",
+		r.Conns, r.Requests, r.Elapsed.Round(time.Millisecond), r.ReqsPerSec(), r.Errors, r.BadStatus,
+		r.Latency.Median().Round(time.Microsecond),
+		r.Latency.P90().Round(time.Microsecond),
+		r.Latency.Percentile(99).Round(time.Microsecond))
+}
+
+// RunTCP drives opt.Conns concurrent keep-alive connections against a real
+// TCP front end (Netd.ListenTCP). Connection i issues opt.ReqsPerConn
+// sequential requests built by reqFor(i, seq); every request is sent with
+// "connection: keep-alive" so the whole conversation rides one socket, and
+// the client closes the socket when its last response has arrived — or,
+// with opt.HoldOpen, only once EVERY connection has finished, so the
+// server demonstrably sustains opt.Conns live keep-alive connections (all
+// parked in worker sessions between requests) for the whole run.
+//
+// Dials retry with backoff: at ten thousand concurrent connections the
+// listener's accept backlog will shed SYNs, and a shed dial is load, not
+// failure. With opt.Barrier, requests are held until every connection is
+// established, so the concurrency peak is reached before the first byte
+// of HTTP flows. opt.MaxInflight separates connection concurrency from
+// request concurrency: ten thousand parked connections are cheap, ten
+// thousand simultaneous requests just melt the queues of whatever serves
+// them — a closed-loop cap keeps latency a property of the server rather
+// than of the pileup.
+func RunTCP(addr string, opt TCPOptions, reqFor func(conn, seq int) *httpmsg.Request) TCPResult {
+	if opt.Conns < 1 {
+		opt.Conns = 1
+	}
+	if opt.ReqsPerConn < 1 {
+		opt.ReqsPerConn = 1
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 5 * time.Second
+	}
+	if opt.ReqTimeout <= 0 {
+		opt.ReqTimeout = 30 * time.Second
+	}
+
+	res := TCPResult{Conns: opt.Conns, Latency: stats.NewLatencies()}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	// Barrier plumbing: connected.Done() per established (or failed) dial,
+	// start closed once all are accounted for.
+	var connected sync.WaitGroup
+	start := make(chan struct{})
+	var dialed atomic.Int64 // successful dials, for the Accepted target
+	if opt.Barrier {
+		connected.Add(opt.Conns)
+		go func() {
+			connected.Wait()
+			if opt.Accepted != nil {
+				// Bounded: a conn whose handshake ACK was shed recovers
+				// via SYN-ACK retransmission within the kernel's retry
+				// ladder; past that it is never coming, so release and
+				// let its requests surface the failure.
+				deadline := time.Now().Add(90 * time.Second)
+				for opt.Accepted() < int(dialed.Load()) && time.Now().Before(deadline) {
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+			close(start)
+		}()
+	} else {
+		close(start)
+	}
+
+	// Hold-open plumbing: finished.Done() when a connection's conversation
+	// ends (success or error); allDone releases the deferred Closes.
+	var finished sync.WaitGroup
+	allDone := make(chan struct{})
+	finished.Add(opt.Conns)
+	go func() {
+		finished.Wait()
+		close(allDone)
+	}()
+
+	// Closed-loop request cap.
+	var inflight chan struct{}
+	if opt.MaxInflight > 0 {
+		inflight = make(chan struct{}, opt.MaxInflight)
+	}
+
+	// Dial pacing: conn i's dial starts i/DialRate into the ramp. An
+	// unpaced burst of ten thousand connects outruns any userspace accept
+	// loop and overflows the kernel's listen backlog (net.core.somaxconn);
+	// the overflow victims' handshake ACKs are then silently dropped and
+	// those clients sit in established-looking sockets whose requests go
+	// nowhere for tens of seconds of SYN-ACK retransmission ladder. Ramping
+	// the dials keeps the accept queue shallow, exactly like a real load
+	// generator's ramp-up phase.
+	var dialDelay func(i int) time.Duration
+	if opt.DialRate > 0 {
+		interval := time.Second / time.Duration(opt.DialRate)
+		dialDelay = func(i int) time.Duration { return time.Duration(i) * interval }
+	}
+
+	t0 := time.Now()
+	for i := 0; i < opt.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if dialDelay != nil {
+				time.Sleep(dialDelay(i))
+			}
+			sock, err := dialRetry(addr, opt.DialTimeout)
+			if err == nil {
+				dialed.Add(1)
+			}
+			if opt.Barrier {
+				connected.Done()
+			}
+			if err != nil {
+				finished.Done()
+				mu.Lock()
+				res.Errors++
+				res.noteErr(fmt.Sprintf("conn %d dial: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			defer sock.Close()
+			<-start
+
+			var leftover []byte
+			for seq := 0; seq < opt.ReqsPerConn; seq++ {
+				req := reqFor(i, seq)
+				hdrs := make(map[string]string, len(req.Headers)+1)
+				for k, v := range req.Headers {
+					hdrs[k] = v
+				}
+				hdrs["connection"] = "keep-alive"
+				kept := *req
+				kept.Headers = hdrs
+
+				if inflight != nil {
+					inflight <- struct{}{}
+				}
+				rt0 := time.Now()
+				sock.SetDeadline(rt0.Add(opt.ReqTimeout))
+				resp, rest, err := doTCP(sock, &kept, leftover)
+				lat := time.Since(rt0)
+				if inflight != nil {
+					<-inflight
+				}
+				mu.Lock()
+				res.Requests++
+				if err != nil {
+					res.Errors++
+					res.noteErr(fmt.Sprintf("conn %d req %d: %v", i, seq, err))
+					mu.Unlock()
+					finished.Done()
+					return // the socket is in an unknown state: abandon it
+				}
+				res.Latency.Add(lat)
+				if resp.Status != 200 {
+					res.BadStatus++
+				}
+				mu.Unlock()
+				leftover = rest
+			}
+			finished.Done()
+			if opt.HoldOpen {
+				// Stay parked server-side until the whole fleet is done: this
+				// is what "N concurrent keep-alive connections" means.
+				sock.SetDeadline(time.Time{})
+				<-allDone
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(t0)
+	return res
+}
+
+// dialRetry dials with exponential backoff; backlog sheds and transient
+// refusals are retried, a persistently unreachable address is an error.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		d := net.Dialer{Timeout: timeout}
+		var c net.Conn
+		c, err = d.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		backoff := 5 * time.Millisecond << uint(min(attempt, 5))
+		time.Sleep(backoff)
+	}
+	return nil, err
+}
+
+// doTCP writes one request and reads one content-length-framed response,
+// returning any extra bytes already read past it.
+func doTCP(sock net.Conn, req *httpmsg.Request, leftover []byte) (*httpmsg.Response, []byte, error) {
+	if _, err := sock.Write(httpmsg.FormatRequest(req)); err != nil {
+		return nil, nil, err
+	}
+	buf := leftover
+	chunk := make([]byte, 4096)
+	for {
+		resp, n, complete, err := httpmsg.ParseResponse(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if complete {
+			return resp, buf[n:], nil
+		}
+		n, err = sock.Read(chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf = append(buf, chunk[:n]...)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -62,6 +62,16 @@ type (
 // Network is the simulated wire remote peers dial into (WebServer.Network).
 type Network = netd.Network
 
+// TCPListener is a real-socket front end bound to the web server's HTTP
+// port (WebServer.ListenTCP). It runs alongside — not instead of — the
+// simulated Network: both are netd Transports feeding the same per-shard
+// service loops, so a browser on the TCP side and a workload generator on
+// the simulated side hit identical demux, login, and worker paths. Close
+// the server (or the listener) to tear it down; per-connection reader and
+// writer goroutines buffer socket I/O so a stalled client parks only its
+// own connection.
+type TCPListener = netd.TCPListener
+
 // LaunchWeb boots the full OKWS stack of Figure 1.
 var LaunchWeb = okws.Launch
 
