@@ -19,6 +19,7 @@ import (
 	"asbestos/internal/idd"
 	"asbestos/internal/kernel"
 	"asbestos/internal/label"
+	"asbestos/internal/netd"
 	"asbestos/internal/okws"
 	"asbestos/internal/stats"
 	"asbestos/internal/workload"
@@ -169,15 +170,17 @@ func BenchmarkFig7ThroughputParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkFig7TransportAB prices the real-socket front end against the
-// simulated wire it plugs in beside: the same Figure 7 echo workload (64
-// users × 4 keep-alive requests, request concurrency 16) is driven once
-// over the in-memory Network and once over a loopback TCP socket through
-// netd.TCPListener, against identically provisioned stacks. Both rates
-// are reported from the same run as an interleaved A/B pair; the tcp
-// figure is the honest one for any real-deployment claim, and the gap is
-// the price of syscalls, loopback traversal, and the per-connection
-// reader/writer goroutines.
+// BenchmarkFig7TransportAB prices the real-socket front ends against the
+// simulated wire they plug in beside: the same Figure 7 echo workload (64
+// users × 4 keep-alive requests, request concurrency 16) is driven over
+// the in-memory Network, over loopback TCP through the goroutine-pair
+// engine, and — on Linux — over the same socket through the epoll poller,
+// against identically provisioned stacks that all stay up for the whole
+// run. The legs alternate in short segments inside one window, so machine
+// drift lands on every transport. The tcp figures are the honest ones for
+// any real-deployment claim: simulated÷tcp is the price of syscalls and
+// loopback traversal, pair÷poller the price of the two-goroutines-per-
+// connection socket path specifically.
 func BenchmarkFig7TransportAB(b *testing.B) {
 	var row experiments.Fig7ABRow
 	for i := 0; i < b.N; i++ {
@@ -186,12 +189,16 @@ func BenchmarkFig7TransportAB(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if row.Simulated.Errors > 0 || row.TCP.Errors > 0 {
-			b.Fatalf("errors: simulated %d, tcp %d", row.Simulated.Errors, row.TCP.Errors)
+		if row.Simulated.Errors > 0 || row.TCP.Errors > 0 || row.Poller.Errors > 0 {
+			b.Fatalf("errors: simulated %d, tcp-pair %d, tcp-poller %d",
+				row.Simulated.Errors, row.TCP.Errors, row.Poller.Errors)
 		}
 	}
 	b.ReportMetric(row.Simulated.ConnsPerSec, "conns/sec_simulated")
-	b.ReportMetric(row.TCP.ConnsPerSec, "conns/sec_tcp")
+	b.ReportMetric(row.TCP.ConnsPerSec, "conns/sec_tcp_pair")
+	if netd.PollerAvailable() {
+		b.ReportMetric(row.Poller.ConnsPerSec, "conns/sec_tcp_poller")
+	}
 }
 
 // BenchmarkDeliveryLifecycle isolates the Delivery.Release payload
@@ -295,58 +302,92 @@ func BenchmarkSendBatch(b *testing.B) {
 // BenchmarkPortSend measures the cached-route fast path: one sender
 // spraying a port through a bound Port endpoint (vnode resolved once)
 // versus the v1 handle-based Process.Send (handle-table shard lookup per
-// call). The queue is drained off-clock, so the metric isolates the send
-// syscall.
+// call). The two variants alternate in short segments inside ONE bench
+// window — not separate sub-benchmarks — so frequency scaling, GC
+// pacing, and background load hit both sides equally; each side's rate is
+// reported from its own accumulated clock. The queue is drained
+// off-clock, so the metrics isolate the send syscall.
 func BenchmarkPortSend(b *testing.B) {
-	for _, cached := range []bool{false, true} {
-		name := "handle"
-		if cached {
-			name = "endpoint"
-		}
-		b.Run(name, func(b *testing.B) {
-			const backlog = 1 << 14
-			sys := kernel.NewSystem(kernel.WithSeed(3), kernel.WithQueueLimit(backlog+64))
-			recv := sys.NewProcess("rx")
-			inbox := recv.Open(nil)
-			if err := inbox.SetLabel(label.Empty(label.L3)); err != nil {
+	const backlog = 1 << 14
+	// At least four alternations per side whatever b.N is, capped so long
+	// runs still swap often enough to share machine drift.
+	segment := b.N / 8
+	if segment > 256 {
+		segment = 256
+	}
+	if segment < 1 {
+		segment = 1
+	}
+	sys := kernel.NewSystem(kernel.WithSeed(3), kernel.WithQueueLimit(backlog+64))
+	recv := sys.NewProcess("rx")
+	inbox := recv.Open(nil)
+	if err := inbox.SetLabel(label.Empty(label.L3)); err != nil {
+		b.Fatal(err)
+	}
+	sender := sys.NewProcess("tx")
+	out := sender.Port(inbox.Handle())
+	payload := make([]byte, 16)
+	drain := func() {
+		for {
+			d, err := recv.TryRecv()
+			if err != nil {
 				b.Fatal(err)
 			}
-			sender := sys.NewProcess("tx")
-			out := sender.Port(inbox.Handle())
-			payload := make([]byte, 16)
-			drain := func() {
-				for {
-					d, err := recv.TryRecv()
-					if err != nil {
-						b.Fatal(err)
-					}
-					if d == nil {
-						return
-					}
-				}
+			if d == nil {
+				return
 			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var err error
-				if cached {
-					err = out.Send(payload, nil)
-				} else {
-					err = sender.Port(inbox.Handle()).Send(payload, nil)
-				}
-				if err != nil {
+		}
+	}
+	var (
+		endpointNs, handleNs time.Duration
+		endpointN, handleN   int
+	)
+	cached := false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := segment
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		t0 := time.Now()
+		if cached {
+			for i := 0; i < n; i++ {
+				if err := out.Send(payload, nil); err != nil {
 					b.Fatal(err)
 				}
-				if recv.QueueLen() >= backlog {
-					b.StopTimer()
-					drain()
-					b.StartTimer()
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if err := sender.Port(inbox.Handle()).Send(payload, nil); err != nil {
+					b.Fatal(err)
 				}
 			}
+		}
+		seg := time.Since(t0)
+		if cached {
+			endpointNs += seg
+			endpointN += n
+		} else {
+			handleNs += seg
+			handleN += n
+		}
+		cached = !cached
+		done += n
+		if recv.QueueLen() >= backlog {
 			b.StopTimer()
 			drain()
-			recv.Exit()
-		})
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	drain()
+	recv.Exit()
+	if endpointN > 0 {
+		b.ReportMetric(float64(endpointNs.Nanoseconds())/float64(endpointN), "ns/op_endpoint")
+	}
+	if handleN > 0 {
+		b.ReportMetric(float64(handleNs.Nanoseconds())/float64(handleN), "ns/op_handle")
 	}
 }
 

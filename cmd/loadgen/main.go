@@ -29,9 +29,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registered on -pprof only; DefaultServeMux is otherwise unused
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"asbestos/internal/httpmsg"
@@ -53,7 +57,22 @@ var (
 	inflight = flag.Int("inflight", 512, "cap on requests in flight across all connections (0 = none)")
 	timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	serveFlg = flag.Bool("serve", false, "server half only: boot the stack, print LISTENING <addr>, run until stdin closes")
+	poller   = flag.String("poller", "auto", "TCP engine: auto | on (epoll poller) | off (goroutine pair)")
+	pprofFlg = flag.String("pprof", "", "serve net/http/pprof on this addr (server half), e.g. localhost:6060")
 )
+
+// pollerMode parses -poller.
+func pollerMode() (netd.PollerMode, error) {
+	switch *poller {
+	case "auto", "":
+		return netd.PollerAuto, nil
+	case "on":
+		return netd.PollerOn, nil
+	case "off":
+		return netd.PollerOff, nil
+	}
+	return 0, fmt.Errorf("bad -poller %q (want auto|on|off)", *poller)
+}
 
 func main() {
 	flag.Parse()
@@ -72,7 +91,7 @@ func run() error {
 	}
 
 	target := *addr
-	var stopChild func()
+	var stopChild func() error
 	if target == "" {
 		var err error
 		target, stopChild, err = spawnServer()
@@ -97,7 +116,9 @@ func run() error {
 		fmt.Println("  error:", e)
 	}
 	if stopChild != nil {
-		stopChild() // relays the server's shutdown diagnostics
+		if err := stopChild(); err != nil { // relays the server's shutdown diagnostics
+			return fmt.Errorf("server child: %w", err)
+		}
 	}
 	if res.Errors > 0 || res.BadStatus > 0 {
 		return fmt.Errorf("%d errors, %d bad status", res.Errors, res.BadStatus)
@@ -108,13 +129,45 @@ func run() error {
 // serve is the server half: boot the stack, announce the address on
 // stdout, then hold until the parent (or operator) closes stdin; shutdown
 // prints the stack's loss diagnostics so a failed run is attributable.
+// While running it samples the process goroutine count and the server-held
+// connection count, and at shutdown it enforces the poller transport's
+// whole point: goroutines must NOT scale with connections.
 func serve() error {
+	if *pprofFlg != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofFlg, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", *pprofFlg)
+	}
 	srv, ln, err := boot()
 	if err != nil {
 		return err
 	}
+	baseGoroutines := runtime.NumGoroutine()
+	var peakG, peakConns atomic.Int64
+	sampleDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleDone:
+				return
+			case <-tick.C:
+				if g := int64(runtime.NumGoroutine()); g > peakG.Load() {
+					peakG.Store(g)
+				}
+				if c := int64(srv.Netd.Injector().ConnCount()); c > peakConns.Load() {
+					peakConns.Store(c)
+				}
+			}
+		}
+	}()
 	fmt.Printf("LISTENING %s\n", ln.Addr())
 	io.Copy(io.Discard, os.Stdin)
+	close(sampleDone)
 	if drops := srv.Sys.Drops(); drops > 0 {
 		fmt.Printf("kernel drops: %d %v\n", drops, srv.Sys.DropStats())
 	}
@@ -129,20 +182,35 @@ func serve() error {
 		}
 	})
 	srv.Stop()
+	fmt.Printf("goroutines: base %d, peak %d at peak %d conns\n",
+		baseGoroutines, peakG.Load(), peakConns.Load())
+	mode, _ := pollerMode()
+	usingPoller := netd.PollerAvailable() && mode != netd.PollerOff
+	if usingPoller && peakConns.Load() >= 1000 && peakG.Load() >= peakConns.Load() {
+		// The epoll transport exists so 10k connections cost O(shards)
+		// goroutines; fail loudly if the 2-per-conn pattern sneaks back.
+		return fmt.Errorf("goroutine budget exceeded: peak %d goroutines for %d conns under the poller transport",
+			peakG.Load(), peakConns.Load())
+	}
 	return nil
 }
 
 // spawnServer re-executes this binary with -serve and waits for its
 // LISTENING line. The returned stop closes the child's stdin (its shutdown
 // signal) and waits for it to exit, relaying its diagnostics.
-func spawnServer() (addr string, stop func(), err error) {
+func spawnServer() (addr string, stop func() error, err error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return "", nil, err
 	}
-	cmd := exec.Command(exe, "-serve",
+	args := []string{"-serve",
 		"-users", fmt.Sprint(*users),
-		"-shards", fmt.Sprint(*shards))
+		"-shards", fmt.Sprint(*shards),
+		"-poller", *poller}
+	if *pprofFlg != "" {
+		args = append(args, "-pprof", *pprofFlg)
+	}
+	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
@@ -169,15 +237,17 @@ func spawnServer() (addr string, stop func(), err error) {
 		return "", nil, fmt.Errorf("unexpected server announcement %q", line)
 	}
 	go io.Copy(os.Stdout, br) // relay diagnostics printed at shutdown
-	stop = func() {
+	stop = func() error {
 		stdin.Close()
 		done := make(chan error, 1)
 		go func() { done <- cmd.Wait() }()
 		select {
-		case <-done:
+		case err := <-done:
+			return err // non-zero exit = server-side invariant failed (e.g. goroutine budget)
 		case <-time.After(15 * time.Second):
 			cmd.Process.Kill()
 			<-done
+			return fmt.Errorf("server child hung at shutdown")
 		}
 	}
 	return addr, stop, nil
@@ -207,7 +277,7 @@ func request(c, seq int) *httpmsg.Request {
 // boot launches a full OKWS stack with a /store worker and a TCP listener
 // on an ephemeral loopback port. Login hashing uses the light test cost:
 // the generator measures the serving path, not Argon2id throughput.
-func boot() (*okws.Server, *netd.TCPListener, error) {
+func boot() (*okws.Server, netd.TCPFrontend, error) {
 	store := func(c *okws.Ctx, req *httpmsg.Request) *httpmsg.Response {
 		if d, ok := req.Query["d"]; ok {
 			if _, err := c.Query("INSERT INTO notes (d) VALUES (?)", d); err != nil {
@@ -235,11 +305,16 @@ func boot() (*okws.Server, *netd.TCPListener, error) {
 		return &httpmsg.Response{Status: 200, Body: out}
 	}
 
+	mode, err := pollerMode()
+	if err != nil {
+		return nil, nil, err
+	}
 	srv, err := okws.Launch(okws.Config{
 		Seed:       1,
 		Shards:     *shards,
 		Services:   []okws.Service{{Name: "store", Handler: store}},
 		IddOptions: idd.Options{Hash: passhash.TestParams},
+		TCP:        netd.TCPConfig{Poller: mode},
 	})
 	if err != nil {
 		return nil, nil, err

@@ -11,13 +11,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof only; DefaultServeMux is otherwise unused
 	"os"
 	"os/signal"
 
 	"asbestos"
 )
 
-var listenAddr = flag.String("listen", "", "serve real HTTP on this TCP address (e.g. 127.0.0.1:8080) until interrupted")
+var (
+	listenAddr = flag.String("listen", "", "serve real HTTP on this TCP address (e.g. 127.0.0.1:8080) until interrupted")
+	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this addr (e.g. localhost:6060)")
+)
 
 func main() {
 	flag.Parse()
@@ -84,6 +89,14 @@ func run() error {
 	fmt.Println("-- the kernel delivered only bob's own row: alice's bio never arrived;")
 	fmt.Println("-- the worker cannot even tell how many rows were withheld (§7.5)")
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "webserver: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	if *listenAddr != "" {
 		ln, err := srv.ListenTCP(*listenAddr)
 		if err != nil {

@@ -14,10 +14,12 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"asbestos/internal/baseline"
 	"asbestos/internal/httpmsg"
 	"asbestos/internal/label"
+	"asbestos/internal/netd"
 	"asbestos/internal/okws"
 	"asbestos/internal/stats"
 	"asbestos/internal/workload"
@@ -273,67 +275,139 @@ func figure7Parallel(sessionCounts []int, workers, shards, iddShards int) ([]Fig
 	return rows, nil
 }
 
-// Fig7ABRow pairs one Figure 7 measurement over the two netd transports.
+// Fig7ABRow holds one Figure 7 measurement over the netd transports:
+// the in-memory simulated wire, loopback TCP through the goroutine-pair
+// engine, and loopback TCP through the epoll poller. Poller is the zero
+// Fig7Row (empty Label) on platforms where netd.PollerAvailable() is
+// false.
 type Fig7ABRow struct {
 	Sessions  int
 	Simulated Fig7Row
-	TCP       Fig7Row
+	TCP       Fig7Row // goroutine-pair engine (netd.PollerOff)
+	Poller    Fig7Row // epoll poller engine (netd.PollerOn), Linux only
+}
+
+// abRounds is how many alternating segments each transport gets in
+// Figure7TransportAB. Three is enough to spread machine drift (frequency
+// scaling, GC pauses, background load) across the legs.
+const abRounds = 3
+
+// abLeg accumulates one transport's interleaved segments.
+type abLeg struct {
+	label   string
+	run     func() (done, errs int, elapsed time.Duration)
+	done    int
+	errs    int
+	elapsed time.Duration
+}
+
+func (l *abLeg) row(sessions int) Fig7Row {
+	r := Fig7Row{Label: l.label, Sessions: sessions, Errors: l.errs}
+	if l.elapsed > 0 {
+		r.ConnsPerSec = float64(l.done-l.errs) / l.elapsed.Seconds()
+	}
+	return r
 }
 
 // Figure7TransportAB measures the same echo workload — sessions users,
 // ConnsPerSession requests each, client concurrency OKWSConcurrency —
-// against two identically provisioned stacks that differ only in the
+// against identically provisioned stacks that differ only in the
 // transport under netd: the in-memory simulated Network every earlier
-// Figure 7 number was taken on, and a real loopback TCP socket through
-// netd.TCPListener. One keep-alive TCP request corresponds to one
-// simulated connection (the simulated client does connect→request→close),
-// so ConnsPerSec is comparable across the pair; the delta prices real
-// sockets — syscalls, loopback traversal, the per-connection
-// reader/writer goroutines — on an otherwise unchanged label stack.
+// Figure 7 number was taken on, a real loopback TCP socket through the
+// goroutine-pair engine, and (on Linux) the same socket through the epoll
+// poller. One keep-alive TCP request corresponds to one simulated
+// connection (the simulated client does connect→request→close), so
+// ConnsPerSec is comparable across all legs; the simulated÷TCP gap prices
+// real sockets, and the pair÷poller gap prices the per-connection
+// reader/writer goroutines specifically.
+//
+// All stacks stay up for the whole measurement and the workload runs as
+// abRounds alternating segments (A1 B1 C1 A2 B2 C2 …), so slow drift in
+// the machine lands on every transport instead of whichever ran last.
+// The first segment of each leg establishes the sessions (logins); that
+// cost is identical across legs and cancels in the comparison.
 func Figure7TransportAB(sessions int) (Fig7ABRow, error) {
 	row := Fig7ABRow{Sessions: sessions}
+	var legs []*abLeg
 
-	srv, us, err := provision(sessions, nil, okws.Service{Name: "echo", Handler: echoHandler})
+	simSrv, simUs, err := provision(sessions, nil, okws.Service{Name: "echo", Handler: echoHandler})
 	if err != nil {
 		return row, err
 	}
-	reqs := workload.SessionWorkload(us, "/echo?n=11", ConnsPerSession)
-	resA := workload.Run(srv.Network(), 80, reqs, OKWSConcurrency)
-	srv.Stop()
-	row.Simulated = Fig7Row{
-		Label:       fmt.Sprintf("OKWS %d simulated", sessions),
-		Sessions:    sessions,
-		ConnsPerSec: resA.ConnsPerSec(),
-		Errors:      resA.Errors + resA.BadStatus,
-	}
-
-	srv, us, err = provision(sessions, nil, okws.Service{Name: "echo", Handler: echoHandler})
-	if err != nil {
-		return row, err
-	}
-	ln, err := srv.ListenTCP("127.0.0.1:0")
-	if err != nil {
-		srv.Stop()
-		return row, err
-	}
-	resB := workload.RunTCP(ln.Addr().String(), workload.TCPOptions{
-		Conns:       sessions,
-		ReqsPerConn: ConnsPerSession,
-		MaxInflight: OKWSConcurrency,
-	}, func(conn, seq int) *httpmsg.Request {
-		u := us[conn%len(us)]
-		return &httpmsg.Request{
-			Method:  "GET",
-			Path:    "/echo?n=11",
-			Headers: map[string]string{"authorization": u.User + " " + u.Pass},
-		}
+	defer simSrv.Stop()
+	legs = append(legs, &abLeg{
+		label: fmt.Sprintf("OKWS %d simulated", sessions),
+		run: func() (int, int, time.Duration) {
+			reqs := workload.SessionWorkload(simUs, "/echo?n=11", ConnsPerSession)
+			res := workload.Run(simSrv.Network(), 80, reqs, OKWSConcurrency)
+			return res.Connections, res.Errors + res.BadStatus, res.Elapsed
+		},
 	})
-	srv.Stop()
-	row.TCP = Fig7Row{
-		Label:       fmt.Sprintf("OKWS %d tcp", sessions),
-		Sessions:    sessions,
-		ConnsPerSec: resB.ReqsPerSec(),
-		Errors:      resB.Errors + resB.BadStatus,
+
+	// tcpLeg boots one more identical stack with the given front-end
+	// engine and returns its interleavable segment.
+	tcpLeg := func(label string, mode netd.PollerMode) (*abLeg, func(), error) {
+		srv, us, err := provision(sessions, nil, okws.Service{Name: "echo", Handler: echoHandler})
+		if err != nil {
+			return nil, nil, err
+		}
+		ln, err := srv.Netd.ListenTCPConfig("127.0.0.1:0", srv.HTTPPort, netd.TCPConfig{Poller: mode})
+		if err != nil {
+			srv.Stop()
+			return nil, nil, err
+		}
+		addr := ln.Addr().String()
+		return &abLeg{
+			label: fmt.Sprintf("OKWS %d %s", sessions, label),
+			run: func() (int, int, time.Duration) {
+				res := workload.RunTCP(addr, workload.TCPOptions{
+					Conns:       sessions,
+					ReqsPerConn: ConnsPerSession,
+					MaxInflight: OKWSConcurrency,
+				}, func(conn, seq int) *httpmsg.Request {
+					u := us[conn%len(us)]
+					return &httpmsg.Request{
+						Method:  "GET",
+						Path:    "/echo?n=11",
+						Headers: map[string]string{"authorization": u.User + " " + u.Pass},
+					}
+				})
+				return res.Requests, res.Errors + res.BadStatus, res.Elapsed
+			},
+		}, srv.Stop, nil
+	}
+
+	pair, stop, err := tcpLeg("tcp-pair", netd.PollerOff)
+	if err != nil {
+		return row, err
+	}
+	defer stop()
+	legs = append(legs, pair)
+
+	var poller *abLeg
+	if netd.PollerAvailable() {
+		var stopP func()
+		poller, stopP, err = tcpLeg("tcp-poller", netd.PollerOn)
+		if err != nil {
+			return row, err
+		}
+		defer stopP()
+		legs = append(legs, poller)
+	}
+
+	for round := 0; round < abRounds; round++ {
+		for _, l := range legs {
+			done, errs, elapsed := l.run()
+			l.done += done
+			l.errs += errs
+			l.elapsed += elapsed
+		}
+	}
+
+	row.Simulated = legs[0].row(sessions)
+	row.TCP = pair.row(sessions)
+	if poller != nil {
+		row.Poller = poller.row(sessions)
 	}
 	return row, nil
 }

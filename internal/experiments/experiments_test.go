@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"asbestos/internal/netd"
 	"asbestos/internal/stats"
 )
 
@@ -108,7 +109,16 @@ func TestFigure7TransportABShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range []Fig7Row{row.Simulated, row.TCP} {
+	legs := []Fig7Row{row.Simulated, row.TCP}
+	if netd.PollerAvailable() {
+		if row.Poller.Label == "" {
+			t.Fatal("poller available but Poller leg missing")
+		}
+		legs = append(legs, row.Poller)
+	} else if row.Poller.Label != "" {
+		t.Fatalf("poller unavailable but Poller leg %q present", row.Poller.Label)
+	}
+	for _, r := range legs {
 		if r.Errors != 0 {
 			t.Fatalf("%s: %d errors", r.Label, r.Errors)
 		}
@@ -117,8 +127,8 @@ func TestFigure7TransportABShape(t *testing.T) {
 		}
 	}
 	// No ORDER assertion between the transports: on a loaded test box the
-	// loopback-socket and in-memory rates are both scheduler-bound at this
-	// scale. The A/B magnitude lives in BENCH_pr9.json.
+	// loopback-socket and in-memory rates are all scheduler-bound at this
+	// scale. The A/B magnitude lives in BENCH_pr10.json.
 }
 
 func TestFigure8Shape(t *testing.T) {

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package netd
+
+import "errors"
+
+// pollerSupported gates PollerAuto/PollerOn; without epoll the goroutine-
+// pair TCPListener is the only real-socket engine.
+const pollerSupported = false
+
+func (nd *Netd) listenPoller(addr string, lport uint16) (TCPFrontend, error) {
+	return nil, errors.New("netd: epoll poller transport requires linux")
+}

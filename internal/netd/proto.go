@@ -13,10 +13,38 @@
 // The paper's netd contains an LWIP TCP/IP stack and an E1000 driver; here
 // the wire is pluggable. Everything below the shard loops goes through the
 // Transport seam (transport.go): the in-memory Network on which simulated
-// peers exchange buffered byte streams, and TCPListener (tcp.go), which
-// bridges real sockets into the same machinery. A hidden driver process
-// injects connection and data events into netd's driver ports — the moral
-// equivalent of an interrupt handler.
+// peers exchange buffered byte streams, and two real-socket engines behind
+// ListenTCPConfig — TCPListener (tcp.go), the portable goroutine-pair
+// engine, and the Linux epoll poller (poller_linux.go), selected by
+// TCPConfig.Poller. A hidden driver process injects connection and data
+// events into netd's driver ports — the moral equivalent of an interrupt
+// handler.
+//
+// Poller ownership rules (poller_linux.go). The poller transport runs ONE
+// goroutine per netd shard; poller i owns every accepted fd whose
+// connection id hashes to shard i (the same shard.OfU64 split the shard
+// loops use, so a connection's poller index equals its owning shard
+// index). All fd syscalls — accept4, read, writev, epoll_ctl, shutdown,
+// close — happen on the owning poller goroutine, with one deliberate
+// exception: PushOutbound, finding the outbound ring empty and no write
+// interest armed, writes the fd directly from the shard goroutine under
+// the connection mutex (destroy marks the conn dead and resets the ring
+// under that same mutex BEFORE closing the fd, so a direct write can
+// never race a close or land on a reused fd number). Otherwise the shard
+// loop talks to a poller connection exclusively through the WireConn
+// methods, which touch the in/out rings under the connection mutex and,
+// when the poller must act (a writev spill to drain, a read window
+// reopening), post a deduplicated op and wake the poller via its eventfd.
+// Accept happens inline on each poller's SO_REUSEPORT listen socket; a
+// connection accepted by poller j but owned by poller i is handed over as
+// an adopt op, so ownership is established before the first byte moves.
+// EPOLLIN is disarmed while the inbound window is full and the read-side
+// mask drops entirely at EOF; EPOLLOUT is armed only while a writev left
+// backlog — an idle parked connection costs zero events and zero
+// goroutines. The poller waits for work the way the pair engine's readers
+// do: a short zero-timeout spin while events are flowing, then parking in
+// the runtime netpoller on the epoll fd itself (an epoll fd is pollable),
+// never blocking a thread in EpollWait on the idle path.
 //
 // The Transport contract, which both implementations and any future one
 // must honor:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"os"
 	"sync"
 	"syscall"
 	"time"
@@ -11,26 +12,111 @@ import (
 	"asbestos/internal/buffered"
 )
 
-// tcpReadBuf is the per-connection socket read chunk size.
-const tcpReadBuf = 32 * 1024
-
 // closeLinger bounds how long a finished connection's read side lingers
 // after netd closed it, giving the client time to drain the final response
 // before the socket goes away entirely.
 const closeLinger = 5 * time.Second
 
-// TCPListener is the real-socket Transport: a net.Listener whose accepted
-// connections feed the same sharded netd loops as the simulated Network —
-// same Injector ids, same shard.OfU64 ownership, same driver-port events.
-// Each connection gets two goroutines: a reader filling the inbound buffer
-// (blocking when the connWindow is full, so a flooding client stalls only
-// its own socket), and a writer draining the outbound buffer through a
-// flush-on-threshold buffered.Writer, so a dispatch burst's worth of
-// replies reaches the socket as one write. A client that never drains
-// parks only its own writer goroutine on the socket — never a shard loop.
+// PollerMode selects the engine behind a TCP front end.
+type PollerMode int
+
+const (
+	// PollerAuto picks the epoll poller transport on Linux (unless the
+	// ASBESTOS_TCP_POLLER=off environment escape hatch is set) and the
+	// portable goroutine-pair transport elsewhere.
+	PollerAuto PollerMode = iota
+	// PollerOn requires the epoll poller; ListenTCPConfig fails on
+	// platforms without it.
+	PollerOn
+	// PollerOff forces the portable goroutine-pair transport — two
+	// goroutines, one mutex+cond pair and private buffers per connection.
+	PollerOff
+)
+
+// TCPConfig tunes a TCP front end beyond the address; the zero value is
+// the production default (PollerAuto).
+type TCPConfig struct {
+	// Poller selects between the epoll poller transport (O(shards)
+	// goroutines for any number of connections) and the goroutine-pair
+	// transport (2 goroutines per connection). The two are A/B-comparable:
+	// both implement the identical Transport contract against the same
+	// shard loops, and BenchmarkFig7TransportAB interleaves them.
+	Poller PollerMode
+}
+
+// enabled resolves the mode against platform support and the environment.
+func (m PollerMode) enabled() (bool, error) {
+	switch m {
+	case PollerOn:
+		if !pollerSupported {
+			return false, errors.New("netd: epoll poller transport requires linux")
+		}
+		return true, nil
+	case PollerOff:
+		return false, nil
+	default:
+		if !pollerSupported {
+			return false, nil
+		}
+		switch os.Getenv("ASBESTOS_TCP_POLLER") {
+		case "off", "0":
+			return false, nil
+		}
+		return true, nil
+	}
+}
+
+// PollerAvailable reports whether this platform has the epoll poller
+// transport (true on Linux).
+func PollerAvailable() bool { return pollerSupported }
+
+// TCPFrontend is a running real-socket front end: either the epoll poller
+// transport (poller_linux.go) or the goroutine-pair TCPListener below.
+// Both satisfy the Transport contract; Close (or Netd.Stop) tears them
+// down.
+type TCPFrontend interface {
+	Transport
+	// Addr reports the bound listen address (useful with ":0").
+	Addr() net.Addr
+}
+
+// ListenTCP binds a real TCP listener on addr (e.g. "127.0.0.1:0") and
+// bridges accepted connections to the Asbestos listeners registered on
+// lport, exactly as if they had arrived over the simulated wire, using the
+// default TCPConfig. The Asbestos side must already be Listening on lport
+// (or start soon — connections accepted before then are refused).
+func (nd *Netd) ListenTCP(addr string, lport uint16) (TCPFrontend, error) {
+	return nd.ListenTCPConfig(addr, lport, TCPConfig{})
+}
+
+// ListenTCPConfig is ListenTCP with explicit engine selection. The
+// returned front end is registered as one of this netd's transports, so
+// Stop tears it down; it can also be closed on its own.
+func (nd *Netd) ListenTCPConfig(addr string, lport uint16, cfg TCPConfig) (TCPFrontend, error) {
+	poll, err := cfg.Poller.enabled()
+	if err != nil {
+		return nil, err
+	}
+	if poll {
+		return nd.listenPoller(addr, lport)
+	}
+	return nd.listenPair(addr, lport)
+}
+
+// TCPListener is the goroutine-pair TCP transport: a net.Listener whose
+// accepted connections feed the same sharded netd loops as the simulated
+// Network — same Injector ids, same shard.OfU64 ownership, same
+// driver-port events. Each connection gets two goroutines: a reader
+// filling the pooled inbound ring (blocking when the connWindow is full,
+// so a flooding client stalls only its own socket), and a writer draining
+// the pooled outbound ring with vectored writes, so a dispatch burst's
+// worth of replies reaches the socket as one writev. A client that never
+// drains parks only its own writer goroutine on the socket — never a
+// shard loop.
 //
-// Open one with Netd.ListenTCP; Netd.Stop closes it with the rest of the
-// transports.
+// This is the portable engine and the A/B baseline for the epoll poller
+// transport (PollerMode); at N connections it costs 2N goroutines and N
+// mutex+cond pairs where the poller costs O(shards).
 type TCPListener struct {
 	inj   *Injector
 	lns   []net.Listener // SO_REUSEPORT group; lns[0] resolves the address
@@ -50,15 +136,10 @@ type TCPListener struct {
 }
 
 var _ Transport = (*TCPListener)(nil)
+var _ TCPFrontend = (*TCPListener)(nil)
 
-// ListenTCP binds a real TCP listener on addr (e.g. "127.0.0.1:0") and
-// bridges accepted connections to the Asbestos listeners registered on
-// lport, exactly as if they had arrived over the simulated wire. The
-// Asbestos side must already be Listening on lport (or start soon —
-// connections accepted before then are refused). The listener is
-// registered as one of this netd's transports, so Stop tears it down; it
-// can also be closed on its own.
-func (nd *Netd) ListenTCP(addr string, lport uint16) (*TCPListener, error) {
+// listenPair boots the goroutine-pair engine.
+func (nd *Netd) listenPair(addr string, lport uint16) (*TCPListener, error) {
 	lns, err := listenGroup(addr)
 	if err != nil {
 		return nil, err
@@ -82,7 +163,7 @@ func (nd *Netd) ListenTCP(addr string, lport uint16) (*TCPListener, error) {
 	return l, nil
 }
 
-// tcpAcceptQueues is how many SO_REUSEPORT sockets back one TCPListener.
+// tcpAcceptQueues is how many SO_REUSEPORT sockets back one TCP front end.
 // Each socket carries its own kernel accept queue (bounded by
 // net.core.somaxconn, typically 4096), and the kernel hashes incoming
 // connections across the group — so the group's combined queue capacity,
@@ -292,8 +373,8 @@ func (l *TCPListener) forget(id uint64) {
 }
 
 // tcpConn adapts one accepted socket to WireConn. The shard side touches
-// only the two byte buffers; the socket goroutines move bytes between the
-// buffers and the wire.
+// only the two pooled rings; the socket goroutines move bytes between the
+// rings and the wire.
 type tcpConn struct {
 	id   uint64
 	sock net.Conn
@@ -301,8 +382,8 @@ type tcpConn struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	in   []byte // socket → Asbestos, capped at connWindow (reader blocks)
-	out  []byte // Asbestos → socket, drained by the writer goroutine
+	in   buffered.Ring // socket → Asbestos, capped at connWindow (reader blocks)
+	out  buffered.Ring // Asbestos → socket, drained by the writer goroutine
 
 	inEOF  bool // remote closed / read side finished
 	outEOF bool // Asbestos side closed; drain then CloseWrite
@@ -319,30 +400,39 @@ func newTCPConn(id uint64, sock net.Conn, l *TCPListener) *tcpConn {
 	return c
 }
 
-// readLoop fills the inbound buffer from the socket, honoring the
-// connWindow: when netd hasn't drained the buffer, the loop waits (and the
+// readLoop fills the inbound ring from the socket, honoring the
+// connWindow: when netd hasn't drained the ring, the loop waits (and the
 // kernel's TCP flow control pushes back on the sender) instead of growing
-// memory — exactly the simulated wire's window semantics.
+// memory — exactly the simulated wire's window semantics. Reads land
+// directly in pooled ring chunks: no per-connection scratch buffer, no
+// append growth, no copy between the socket and the shard's TakeInbound
+// view. The Writable reservation is taken under the lock and stays valid
+// across the blocking Read per the Ring's producer rules; the in-ring is
+// never Reset (the chunks die with the conn), because the shard may hold
+// a TakeInbound view the reader can't see.
 func (c *tcpConn) readLoop() {
 	defer c.sock.Close()
 	defer c.l.forget(c.id)
-	buf := make([]byte, tcpReadBuf)
 	for {
 		c.mu.Lock()
-		for len(c.in) >= connWindow && !c.dead {
+		for c.in.Len() >= connWindow && !c.dead {
 			c.cond.Wait()
 		}
-		dead := c.dead
-		c.mu.Unlock()
-		if dead {
+		if c.dead {
+			c.mu.Unlock()
 			c.notifyClosed()
 			return
 		}
-		n, err := c.sock.Read(buf)
+		w := c.in.Writable()
+		if space := connWindow - c.in.Len(); len(w) > space {
+			w = w[:space]
+		}
+		c.mu.Unlock()
+		n, err := c.sock.Read(w)
 		if n > 0 {
 			c.mu.Lock()
-			wasEmpty := len(c.in) == 0
-			c.in = append(c.in, buf[:n]...)
+			wasEmpty := c.in.Len() == 0
+			c.in.Commit(n)
 			c.mu.Unlock()
 			// Inject evData only on the empty→non-empty transition: while
 			// the buffer stays non-empty, either a previous evData is still
@@ -372,41 +462,47 @@ func (c *tcpConn) notifyClosed() {
 	})
 }
 
-// writeLoop drains the outbound buffer through a flush-on-threshold
-// writer: each wakeup takes everything queued, and flushes only once the
-// queue is momentarily empty — a burst of replies coalesced by the shard's
-// Batcher costs one socket write, not one per reply. A client whose window
-// is full blocks this goroutine inside sock.Write; the shard keeps
-// appending to c.out unhindered.
+// writeLoop drains the outbound ring with vectored writes: each wakeup
+// gathers everything queued into one writev (net.Buffers), so a burst of
+// replies coalesced by the shard's Batcher costs one syscall, not one per
+// reply. A client whose window is full blocks this goroutine inside the
+// write; the shard keeps appending to the ring unhindered.
 func (c *tcpConn) writeLoop() {
-	bw := buffered.NewWriter(c.sock, 0)
+	var views [][]byte
 	for {
 		c.mu.Lock()
-		for len(c.out) == 0 && !c.outEOF && !c.dead {
+		for c.out.Len() == 0 && !c.outEOF && !c.dead {
 			c.cond.Wait()
 		}
-		chunk := c.out
-		c.out = nil
+		views = c.out.Views(views[:0], 1<<30)
 		eof, dead := c.outEOF, c.dead
 		c.mu.Unlock()
 		if dead {
+			c.mu.Lock()
+			c.out.Reset() // writer owns out-ring teardown; shard sees dead
+			c.mu.Unlock()
 			return
 		}
-		if len(chunk) > 0 {
-			if _, err := bw.Write(chunk); err != nil {
+		if len(views) > 0 {
+			total := 0
+			for _, v := range views {
+				total += len(v)
+			}
+			bufs := net.Buffers(views)
+			if _, err := bufs.WriteTo(c.sock); err != nil {
 				c.fail()
+				c.mu.Lock()
+				c.out.Reset()
+				c.mu.Unlock()
 				return
 			}
-		}
-		c.mu.Lock()
-		quiet := len(c.out) == 0
-		c.mu.Unlock()
-		if !quiet {
-			continue // burst still producing; keep accumulating
-		}
-		if err := bw.Flush(); err != nil {
-			c.fail()
-			return
+			c.mu.Lock()
+			c.out.Discard(total)
+			quiet := c.out.Len() == 0
+			c.mu.Unlock()
+			if !quiet {
+				continue // burst still producing; keep gathering
+			}
 		}
 		if eof {
 			// Asbestos closed and everything drained: half-close so the
@@ -419,6 +515,7 @@ func (c *tcpConn) writeLoop() {
 			c.mu.Lock()
 			c.dead = true
 			c.cond.Broadcast()
+			c.out.Reset()
 			c.mu.Unlock()
 			return
 		}
@@ -441,32 +538,32 @@ func (c *tcpConn) fail() {
 
 func (c *tcpConn) ID() uint64 { return c.id }
 
+// TakeInbound hands out a view straight into the pooled ring — no copy.
+// Per the WireConn contract the view is valid until the next TakeInbound
+// on this connection; fulfillReads serializes the bytes into a wire
+// message immediately.
 func (c *tcpConn) TakeInbound(max int) (data []byte, eof bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.in) == 0 {
+	data = c.in.Take(max)
+	if data == nil {
 		return nil, c.inEOF
 	}
-	if max > len(c.in) {
-		max = len(c.in)
-	}
-	data = append([]byte(nil), c.in[:max]...)
-	c.in = c.in[max:]
 	c.cond.Broadcast() // reopen the window for the reader goroutine
 	return data, false
 }
 
 // PushOutbound accepts everything, like the simulated wire: backpressure
-// from a slow client lands on the writer goroutine (blocked in
-// sock.Write), never on the shard, and upstream writers (demux, workers)
-// see identical full-acceptance semantics on both transports.
+// from a slow client lands on the writer goroutine (blocked in the
+// socket write), never on the shard, and upstream writers (demux,
+// workers) see identical full-acceptance semantics on both transports.
 func (c *tcpConn) PushOutbound(b []byte) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.outEOF || c.dead {
 		return 0
 	}
-	c.out = append(c.out, b...)
+	c.out.Write(b)
 	c.cond.Broadcast()
 	return len(b)
 }
@@ -481,9 +578,9 @@ func (c *tcpConn) CloseOutbound() {
 func (c *tcpConn) BufferState() (readable, writable int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	w := connWindow - len(c.out)
+	w := connWindow - c.out.Len()
 	if w < 0 {
 		w = 0
 	}
-	return len(c.in), w
+	return c.in.Len(), w
 }

@@ -23,7 +23,11 @@ type WireConn interface {
 	ID() uint64
 	// TakeInbound removes up to max buffered inbound bytes (remote →
 	// Asbestos), reporting eof once the remote has closed and the buffer
-	// is empty.
+	// is empty. The returned slice may be a view into transport-owned
+	// pooled storage: it is valid only until the next TakeInbound on the
+	// same connection, so the caller must consume (or copy) it before
+	// taking again. netd's read path serializes it into a wire message
+	// immediately, which is what makes the zero-copy socket paths legal.
 	TakeInbound(max int) (data []byte, eof bool)
 	// PushOutbound queues outbound bytes (Asbestos → remote), returning
 	// how many were accepted. A transport with a bounded outbound window

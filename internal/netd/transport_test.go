@@ -51,58 +51,6 @@ func readPort(t *testing.T, r *rig, connPort handle.Handle, n int) []byte {
 	return got
 }
 
-// TestTCPTransportEcho drives one request/response over a real socket: the
-// bytes must flow through the same driver-port protocol and shard loops as
-// the simulated wire, ending in a clean EOF for the client after CtlClose.
-func TestTCPTransportEcho(t *testing.T) {
-	r := newRig(t)
-	ln, err := r.nd.ListenTCP("127.0.0.1:0", 80)
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitListening(t, r.nd, 80)
-
-	sock, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sock.Close()
-	if _, err := sock.Write([]byte("ping over tcp")); err != nil {
-		t.Fatal(err)
-	}
-
-	d, err := recvOn(r.app, r.notify)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n, ok := ParseNotify(d)
-	if !ok || n.LPort != 80 {
-		t.Fatalf("bad notify: %+v", d.Data)
-	}
-	if got := readPort(t, r, n.ConnPort, len("ping over tcp")); string(got) != "ping over tcp" {
-		t.Fatalf("netd read %q", got)
-	}
-
-	reply := r.replyPort(r.app)
-	if err := Write(r.app.Port(n.ConnPort), reply, []byte("pong")); err != nil {
-		t.Fatal(err)
-	}
-	recvOn(r.app, reply)
-	if err := Control(r.app.Port(n.ConnPort), reply, CtlClose); err != nil {
-		t.Fatal(err)
-	}
-	recvOn(r.app, reply)
-
-	sock.SetReadDeadline(time.Now().Add(5 * time.Second))
-	got, err := io.ReadAll(sock)
-	if err != nil {
-		t.Fatalf("client read: %v", err)
-	}
-	if string(got) != "pong" {
-		t.Fatalf("client got %q", got)
-	}
-}
-
 // wireClient is the remote end of a connection, on either transport.
 type wireClient interface {
 	io.ReadWriter
@@ -111,9 +59,10 @@ type wireClient interface {
 
 // testSlowClientIsolation pushes a large burst to connection 0 — whose
 // client never reads a byte — and then serves N−1 well-behaved clients.
-// The stalled connection must park only itself (its buffers / its writer
-// goroutine), never a shard loop: the other clients' responses must all
-// arrive. Runs under -race in CI on both transports.
+// The stalled connection must park only itself (its buffers, its writer
+// goroutine on the pair engine, its EPOLLOUT backlog on the poller), never
+// a shard loop: the other clients' responses must all arrive. Runs under
+// -race in CI on every transport via the conformance suite.
 func testSlowClientIsolation(t *testing.T, r *rig, dial func() (wireClient, error)) {
 	t.Helper()
 	const (
@@ -191,26 +140,6 @@ func testSlowClientIsolation(t *testing.T, r *rig, dial func() (wireClient, erro
 	for _, c := range clients {
 		c.Close()
 	}
-}
-
-func TestSlowClientIsolationSimulated(t *testing.T) {
-	r := newRig(t)
-	waitListening(t, r.nd, 80)
-	testSlowClientIsolation(t, r, func() (wireClient, error) {
-		return r.nd.Network().Dial(80)
-	})
-}
-
-func TestSlowClientIsolationTCP(t *testing.T) {
-	r := newRig(t)
-	ln, err := r.nd.ListenTCP("127.0.0.1:0", 80)
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitListening(t, r.nd, 80)
-	testSlowClientIsolation(t, r, func() (wireClient, error) {
-		return net.Dial("tcp", ln.Addr().String())
-	})
 }
 
 // TestTCPTransportSharded runs real sockets against a 3-shard netd: ids

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: fixed memory,
+// lock-free Add, ~3% relative error at every scale from nanoseconds to
+// hours. Buckets are exact for values below 2^(histSubBits+1) ns and
+// subdivide each higher power of two into 2^histSubBits linear
+// sub-buckets, so percentiles stay meaningful whether the tail is at 40µs
+// or 40s — the lone sorted-slice p50 the load generator used to report
+// hid exactly that distinction.
+//
+// Add is safe for unsynchronized concurrent use (one atomic increment);
+// reads (Percentile, Mean, Max) are consistent enough for reporting while
+// writers are active and exact once they quiesce. The zero value is ready
+// to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+const (
+	// histSubBits fixes the resolution: 2^5 = 32 linear sub-buckets per
+	// power of two, bounding relative error at 1/32 ≈ 3%.
+	histSubBits = 5
+	// histMaxExp caps the representable exponent; 2^62 ns ≈ 146 years.
+	histMaxExp  = 62
+	histBuckets = (histMaxExp - histSubBits + 1) << histSubBits
+)
+
+// histBucket maps a non-negative value to its bucket index. Values below
+// 2^(histSubBits+1) map one-to-one; above, the index is the classic
+// log-linear form — continuous across the boundary, monotone throughout.
+func histBucket(v uint64) int {
+	if v < 1<<(histSubBits+1) {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // floor(log2 v), ≥ histSubBits+1
+	idx := (e-histSubBits)<<histSubBits + int(v>>(e-histSubBits))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// histValue returns the upper edge of bucket idx — the value Percentile
+// reports, so reported percentiles never understate the measurement.
+func histValue(idx int) uint64 {
+	if idx < 1<<(histSubBits+1) {
+		return uint64(idx)
+	}
+	// idx = (e-sub)<<sub + (v>>(e-sub)) with the mantissa in [2^sub, 2^(sub+1)),
+	// so idx>>sub = e - histSubBits + 1.
+	e := idx>>histSubBits + histSubBits - 1
+	sub := uint64(idx & (1<<histSubBits - 1))
+	return (1<<histSubBits + sub + 1) << (e - histSubBits)
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one duration sample (negative clamps to zero).
+func (h *Histogram) Add(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[histBucket(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return int(h.n.Load()) }
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) as the upper edge
+// of the bucket containing that rank; zero with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(histValue(i))
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
+
+// P90 returns the 90th percentile.
+func (h *Histogram) P90() time.Duration { return h.Percentile(90) }
+
+// Max returns the largest sample, exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean, exactly.
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Summary formats the percentile ladder the load generator reports.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("p50 %v, p90 %v, p99 %v, p999 %v, max %v",
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(90).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Percentile(99.9).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

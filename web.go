@@ -62,15 +62,37 @@ type (
 // Network is the simulated wire remote peers dial into (WebServer.Network).
 type Network = netd.Network
 
-// TCPListener is a real-socket front end bound to the web server's HTTP
+// TCPFrontend is a real-socket front end bound to the web server's HTTP
 // port (WebServer.ListenTCP). It runs alongside — not instead of — the
 // simulated Network: both are netd Transports feeding the same per-shard
 // service loops, so a browser on the TCP side and a workload generator on
 // the simulated side hit identical demux, login, and worker paths. Close
-// the server (or the listener) to tear it down; per-connection reader and
-// writer goroutines buffer socket I/O so a stalled client parks only its
-// own connection.
+// the server (or the front end) to tear it down. Two engines implement it,
+// selected by TCPConfig.Poller (WebConfig.TCP): on Linux an epoll poller
+// runs one goroutine per netd shard and moves bytes only on readiness, so
+// ten thousand parked keep-alive connections cost no goroutines at all;
+// elsewhere (or with PollerOff) each connection gets buffered reader and
+// writer goroutines, so a stalled client still parks only its own
+// connection.
+type TCPFrontend = netd.TCPFrontend
+
+// TCPListener is the portable goroutine-pair engine behind TCPFrontend,
+// exported for code that selects it explicitly (PollerOff).
 type TCPListener = netd.TCPListener
+
+// TCPConfig (WebConfig.TCP) picks the front-end engine; PollerAuto /
+// PollerOn / PollerOff are the modes.
+type (
+	TCPConfig  = netd.TCPConfig
+	PollerMode = netd.PollerMode
+)
+
+// Poller engine modes for TCPConfig.
+const (
+	PollerAuto = netd.PollerAuto
+	PollerOn   = netd.PollerOn
+	PollerOff  = netd.PollerOff
+)
 
 // LaunchWeb boots the full OKWS stack of Figure 1.
 var LaunchWeb = okws.Launch
