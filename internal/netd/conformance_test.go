@@ -95,6 +95,7 @@ func TestTransportConformance(t *testing.T) {
 			t.Run("WindowBackpressureIntegrity", func(t *testing.T) { testWindowBackpressure(t, eng) })
 			t.Run("DataEdgeResidue", func(t *testing.T) { testDataEdgeResidue(t, eng) })
 			t.Run("SlowClientIsolation", func(t *testing.T) { testSlowClient(t, eng) })
+			t.Run("OutboundBurstIntegrity", func(t *testing.T) { testOutboundBurst(t, eng) })
 			t.Run("ClientCloseEOF", func(t *testing.T) { testClientCloseEOF(t, eng) })
 			t.Run("FrontCloseDropsClients", func(t *testing.T) { testFrontClose(t, eng) })
 		})
@@ -231,6 +232,79 @@ func testSlowClient(t *testing.T, eng tengine) {
 	dial, _ := eng.start(t, r)
 	waitListening(t, r.nd, 80)
 	testSlowClientIsolation(t, r, dial)
+}
+
+// testOutboundBurst hammers the transport's outbound contract directly:
+// PushOutbound (from a non-poller goroutine, as the shard does) races the
+// engine's own drain loop, paced so the outbound buffer crosses the
+// empty↔non-empty boundary constantly while a throttled client keeps the
+// kernel send buffer cycling full↔drained. Every pushed byte must reach
+// the client WITHOUT a CloseOutbound — a transport that strands buffered
+// bytes until close (e.g. via a lost write wakeup in the drain/disarm
+// window) stalls the reader here.
+func testOutboundBurst(t *testing.T, eng tengine) {
+	r := newRig(t)
+	dial, _ := eng.start(t, r)
+	waitListening(t, r.nd, 80)
+	c, _ := dialIntro(t, r, dial, 'b')
+
+	var wc WireConn
+	r.nd.Injector().Conns(func(w WireConn) { wc = w })
+	if wc == nil {
+		t.Fatal("no wire conn registered")
+	}
+
+	const chunk = 4096
+	const chunks = 4096 // 16 MiB
+	payload := make([]byte, chunk*chunks)
+	for i := range payload {
+		payload[i] = byte(i*131 + 11)
+	}
+	werr := make(chan error, 1)
+	go func() {
+		for i := 0; i < chunks; i++ {
+			// Keep the outbound buffer shallow so the drain side hits
+			// empty — and the racy disarm-vs-push window — on nearly
+			// every chunk, instead of only once at the end of the burst.
+			for {
+				_, writable := wc.BufferState()
+				if connWindow-writable < 2*chunk {
+					break
+				}
+				runtime.Gosched()
+			}
+			if n := wc.PushOutbound(payload[i*chunk : (i+1)*chunk]); n != chunk {
+				werr <- fmt.Errorf("PushOutbound accepted %d of %d at chunk %d", n, chunk, i)
+				return
+			}
+		}
+		werr <- nil
+	}()
+
+	if dc, ok := c.(interface{ SetReadDeadline(time.Time) error }); ok {
+		dc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	}
+	got := make([]byte, 0, len(payload))
+	buf := make([]byte, 32*1024)
+	for i := 0; len(got) < len(payload); i++ {
+		n, err := c.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			t.Fatalf("client read stalled at %d/%d bytes: %v", len(got), len(payload), err)
+		}
+		// Throttle the drain so the kernel send buffer fills and empties
+		// over and over: every fill arms the transport's write interest,
+		// every drain-to-empty disarms it, with pushes racing both edges.
+		if i%4 == 3 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("app write: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("burst corrupted: first diff at %d", firstDiff(got, payload))
+	}
 }
 
 // testClientCloseEOF: the client closing its end must surface as EOF on

@@ -312,7 +312,9 @@ func newPoller(l *pollerListener, idx int) (*poller, error) {
 		if rc, err := f.SyscallConn(); err == nil {
 			p.epFile, p.epRaw = f, rc
 		} else {
-			f.Close()
+			f.Close() // releases epfd
+			syscall.Close(p.wakefd)
+			p.wakefd = -1
 			return nil, err
 		}
 	}
@@ -423,6 +425,10 @@ func (p *poller) loop() {
 			n, err = syscall.EpollWait(p.epfd, events, p.waitMillis())
 		}
 		if err != nil && err != syscall.EINTR {
+			// A persistent epoll failure is fatal for this poller; tear
+			// down as on Close so every owned connection gets its
+			// EventClosed and no fd (listen/epoll/event/conn) leaks.
+			p.shutdown()
 			return
 		}
 		if n > 0 {
@@ -710,6 +716,12 @@ func (p *poller) connEOF(c *pconn) {
 	}
 }
 
+// testHookDrainOutEmpty, when non-nil, runs in drainOut's empty-ring path
+// just before the disarm critical section — the window in which a
+// concurrent PushOutbound (seeing wantWrite still armed, so posting no
+// kick) must not be lost. Regression hook for the conformance suite.
+var testHookDrainOutEmpty atomic.Pointer[func(c *pconn)]
+
 // drainOut writevs the outbound ring into the socket until EAGAIN or
 // empty. EPOLLOUT discipline: armed ONLY when a writev left backlog,
 // disarmed the moment the ring drains.
@@ -724,7 +736,20 @@ func (p *poller) drainOut(c *pconn) {
 		eof := c.outEOF
 		c.mu.Unlock()
 		if len(c.views) == 0 {
+			if h := testHookDrainOutEmpty.Load(); h != nil {
+				(*h)(c)
+			}
 			c.mu.Lock()
+			if c.out.Len() != 0 {
+				// A PushOutbound landed between the Views check and here.
+				// It saw wantWrite still armed and skipped its kick, so if
+				// we disarmed and returned now those bytes would strand
+				// (no kick queued, EPOLLOUT off). Keep draining instead;
+				// only disarm once the ring is empty IN this critical
+				// section.
+				c.mu.Unlock()
+				continue
+			}
 			if c.wantWrite {
 				c.wantWrite = false
 				p.interestLocked(c)

@@ -1,0 +1,126 @@
+//go:build linux
+
+package netd
+
+import (
+	"net"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestPollerDrainDisarmPushRace pins the lost-write-wakeup regression
+// deterministically. The hazard: drainOut finds the outbound ring empty,
+// and a concurrent PushOutbound lands before it disarms write interest —
+// the pusher sees wantWrite still armed, so it neither direct-writes nor
+// posts a kick, trusting the drain loop. If drainOut then disarms EPOLLOUT
+// and returns without re-checking the ring, those bytes strand until
+// CloseOutbound. testHookDrainOutEmpty injects a push into exactly that
+// window; the client must still receive the marker bytes without any
+// outbound close forcing a flush.
+func TestPollerDrainDisarmPushRace(t *testing.T) {
+	if !PollerAvailable() {
+		t.Skip("epoll poller transport requires linux")
+	}
+	r := newRig(t)
+	ln, err := r.nd.ListenTCPConfig("127.0.0.1:0", 80, TCPConfig{Poller: PollerOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitListening(t, r.nd, 80)
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Moderate buffers: small enough that the payload overruns them and the
+	// poller arms write interest (the precondition for the race), large
+	// enough to stay clear of kernel small-buffer pathologies (tiny
+	// SO_SNDBUF degrades loopback TCP to persist-timer trickles).
+	if tc, ok := raw.(*net.TCPConn); ok {
+		tc.SetReadBuffer(64 * 1024)
+	}
+	if _, err := raw.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvOn(r.app, r.notify); err != nil {
+		t.Fatal(err)
+	}
+
+	var wc WireConn
+	r.nd.Injector().Conns(func(w WireConn) { wc = w })
+	pc, ok := wc.(*pconn)
+	if !ok {
+		t.Fatalf("wire conn is %T, want *pconn", wc)
+	}
+	syscall.SetsockoptInt(pc.fd, syscall.SOL_SOCKET, syscall.SO_SNDBUF, 64*1024)
+
+	marker := []byte("STRAGGLER")
+	var fired atomic.Bool
+	hook := func(c *pconn) {
+		if c != pc {
+			return
+		}
+		c.mu.Lock()
+		armed := c.wantWrite
+		c.mu.Unlock()
+		if !armed || !fired.CompareAndSwap(false, true) {
+			return
+		}
+		// The drain loop found the ring empty and is about to disarm:
+		// push from the lost window. wantWrite is still armed, so
+		// PushOutbound spills to the ring with no direct write and no
+		// kick — the drain loop itself must pick these bytes up.
+		c.PushOutbound(marker)
+	}
+	testHookDrainOutEmpty.Store(&hook)
+	defer testHookDrainOutEmpty.Store(nil)
+
+	// Far more than the kernel can buffer with the client not yet reading:
+	// the direct write and the poller's writev both hit EAGAIN, arming
+	// write interest before the drain begins.
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i*7 + 3)
+	}
+	if n := pc.PushOutbound(payload); n != len(payload) {
+		t.Fatalf("PushOutbound accepted %d of %d", n, len(payload))
+	}
+	armedBy := time.Now().Add(5 * time.Second)
+	for {
+		pc.mu.Lock()
+		armed := pc.wantWrite
+		pc.mu.Unlock()
+		if armed {
+			break
+		}
+		if time.Now().After(armedBy) {
+			t.Fatal("write interest never armed — payload fit in kernel buffers?")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	raw.SetReadDeadline(time.Now().Add(20 * time.Second))
+	want := len(payload) + len(marker)
+	got := make([]byte, 0, want)
+	buf := make([]byte, 64*1024)
+	for len(got) < want {
+		n, err := raw.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			pc.mu.Lock()
+			t.Logf("pconn state: out.Len=%d wantWrite=%v kickQueued=%v dead=%v",
+				pc.out.Len(), pc.wantWrite, pc.kickQueued, pc.dead)
+			pc.mu.Unlock()
+			t.Fatalf("read stalled at %d/%d bytes (marker stranded?): %v", len(got), want, err)
+		}
+	}
+	if !fired.Load() {
+		t.Fatal("drain-empty window never hit with write interest armed — rig assumption broke")
+	}
+	if string(got[len(payload):]) != string(marker) {
+		t.Fatalf("tail %q, want %q", got[len(payload):], marker)
+	}
+}
